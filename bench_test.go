@@ -1,0 +1,250 @@
+package loadbalance_test
+
+// One benchmark per experiment in DESIGN.md's index (E1…E10) — running any
+// of these regenerates the corresponding figure/table data — plus
+// micro-benchmarks on the negotiation hot paths. EXPERIMENTS.md records a
+// reference run.
+
+import (
+	"testing"
+	"time"
+
+	"loadbalance"
+	"loadbalance/internal/bus"
+	"loadbalance/internal/core"
+	"loadbalance/internal/message"
+	"loadbalance/internal/protocol"
+	"loadbalance/internal/sim"
+	"loadbalance/internal/utilityagent"
+)
+
+// BenchmarkE1DemandCurve regenerates the Figure 1 demand curve.
+func BenchmarkE1DemandCurve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sim.E1DemandCurve(200, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2InitialPhase regenerates the Figure 6 round-1 table.
+func BenchmarkE2InitialPhase(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.E2InitialPhase(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3FinalPhase regenerates the Figure 7 final table.
+func BenchmarkE3FinalPhase(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.E3FinalPhase(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4CustomerDecision regenerates the Figures 8-9 decision trace.
+func BenchmarkE4CustomerDecision(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.E4CustomerDecision(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5MethodComparison runs all three announcement methods on a
+// 50-household fleet.
+func BenchmarkE5MethodComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.E5MethodComparison(50, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6BetaSweep sweeps the negotiation-speed parameter.
+func BenchmarkE6BetaSweep(b *testing.B) {
+	betas := []float64{0.5, 1.85, 5}
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.E6BetaSweep(betas); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7Scalability runs fleets of increasing size; per-size results
+// come from the sub-benchmarks.
+func BenchmarkE7Scalability(b *testing.B) {
+	for _, n := range []int{10, 100, 500} {
+		n := n
+		b.Run(sizeName(n), func(b *testing.B) {
+			s, err := core.PopulationScenario(core.PopulationConfig{
+				N: n, Seed: 1, Margin: 0.2, Method: utilityagent.MethodRewardTable,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Timeout = 2 * time.Minute
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1000:
+		return "n1000"
+	case n >= 500:
+		return "n500"
+	case n >= 100:
+		return "n100"
+	default:
+		return "n10"
+	}
+}
+
+// BenchmarkE8ProtocolProperties verifies the protocol properties on
+// randomized runs.
+func BenchmarkE8ProtocolProperties(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.E8ProtocolProperties(3, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9FailureInjection measures lossy negotiations.
+func BenchmarkE9FailureInjection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.E9FailureInjection([]float64{0.1}, []int{2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10RewardTableSeries regenerates the full per-round table data.
+func BenchmarkE10RewardTableSeries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.E10RewardTableSeries(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPaperScenario is the headline number: one complete Figures 6-9
+// negotiation (10 agents, 3 rounds) end to end.
+func BenchmarkPaperScenario(b *testing.B) {
+	s, err := loadbalance.PaperScenario()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := loadbalance.Run(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableUpdate measures the reward update rule on the hot path.
+func BenchmarkTableUpdate(b *testing.B) {
+	tab, err := protocol.StandardTable(42.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := core.PaperParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Update(0.35, p)
+	}
+}
+
+// BenchmarkBusRoundTrip measures one send/receive pair on the in-proc bus.
+func BenchmarkBusRoundTrip(b *testing.B) {
+	ib, err := bus.NewInProc(bus.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ib.Close()
+	inbox, err := ib.Register("ua", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := ib.Register("c1", 1); err != nil {
+		b.Fatal(err)
+	}
+	env, err := message.NewEnvelope("c1", "ua", "s", message.CutDownBid{Round: 1, CutDown: 0.2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ib.Send(env); err != nil {
+			b.Fatal(err)
+		}
+		<-inbox
+	}
+}
+
+// BenchmarkEnvelopeCodec measures wire marshalling.
+func BenchmarkEnvelopeCodec(b *testing.B) {
+	tab, err := protocol.StandardTable(42.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := loadbalance.PaperScenario()
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := message.NewEnvelope("ua", "", "s", tab.Message(s.Window, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := env.Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := message.Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE11DayPeakShaving runs a full day of rolling negotiations.
+func BenchmarkE11DayPeakShaving(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.E11DayPeakShaving(20, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE12MarketComparison compares the protocol to the market baseline.
+func BenchmarkE12MarketComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.E12MarketComparison(50, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE13ForecastDriven measures the forecast-driven negotiation.
+func BenchmarkE13ForecastDriven(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.E13ForecastDrivenNegotiation(10, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Command experiments regenerates every figure of the paper's evaluation
+// (and the parameter studies its Discussion calls for) as aligned text on
+// stdout and CSV files under -out.
+//
+// Usage:
+//
+//	experiments                 # run everything into ./results
+//	experiments -exp e5 -n 100  # one experiment
+//	experiments -exp e7 -sizes 10,100,1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"loadbalance/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		exp   = fs.String("exp", "all", "experiment id: e1..e10 or all")
+		out   = fs.String("out", "results", "output directory for CSV files")
+		n     = fs.Int("n", 100, "population size (e1, e5)")
+		seed  = fs.Int64("seed", 1, "random seed")
+		sizes = fs.String("sizes", "10,50,200,1000", "fleet sizes for e7")
+		betas = fs.String("betas", "0.5,1,1.85,3,5,8", "beta values for e6")
+		runs  = fs.Int("runs", 10, "randomized runs for e8")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+
+	sizeList, err := parseInts(*sizes)
+	if err != nil {
+		return fmt.Errorf("-sizes: %w", err)
+	}
+	betaList, err := parseFloats(*betas)
+	if err != nil {
+		return fmt.Errorf("-betas: %w", err)
+	}
+
+	type experiment struct {
+		id  string
+		run func() (*sim.Table, error)
+	}
+	experiments := []experiment{
+		{"e1", func() (*sim.Table, error) {
+			prof, tab, err := sim.E1DemandCurve(*n, *seed)
+			if err != nil {
+				return nil, err
+			}
+			// The full curve goes to its own CSV; the summary table returns.
+			if err := os.WriteFile(filepath.Join(*out, "e1_demand_curve.csv"), []byte(prof.CSV()), 0o644); err != nil {
+				return nil, err
+			}
+			fmt.Println(prof.ASCII(60))
+			return tab, nil
+		}},
+		{"e2", sim.E2InitialPhase},
+		{"e3", sim.E3FinalPhase},
+		{"e4", sim.E4CustomerDecision},
+		{"e5", func() (*sim.Table, error) { return sim.E5MethodComparison(*n, *seed) }},
+		{"e6", func() (*sim.Table, error) { return sim.E6BetaSweep(betaList) }},
+		{"e7", func() (*sim.Table, error) { return sim.E7Scalability(sizeList, *seed) }},
+		{"e8", func() (*sim.Table, error) { return sim.E8ProtocolProperties(*runs, *seed) }},
+		{"e9", func() (*sim.Table, error) {
+			return sim.E9FailureInjection([]float64{0, 0.05, 0.1, 0.2}, []int{0, 2, 4})
+		}},
+		{"e10", sim.E10RewardTableSeries},
+		{"e11", func() (*sim.Table, error) { return sim.E11DayPeakShaving(min(*n, 40), *seed) }},
+		{"e12", func() (*sim.Table, error) { return sim.E12MarketComparison(*n, *seed) }},
+		{"e13", func() (*sim.Table, error) { return sim.E13ForecastDrivenNegotiation(min(*n, 40), *seed) }},
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if *exp != "all" && *exp != e.id {
+			continue
+		}
+		tab, err := e.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		fmt.Println(tab.String())
+		file := filepath.Join(*out, e.id+".csv")
+		if err := os.WriteFile(file, []byte(tab.CSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", file)
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

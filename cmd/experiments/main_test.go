@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-exp", "e2", "-out", dir}); err != nil {
+		t.Fatalf("e2: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "e2.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := string(data)
+	if !strings.HasPrefix(csv, "cut_down,reward\n") {
+		t.Fatalf("csv header = %q", csv[:40])
+	}
+	if !strings.Contains(csv, "0.4,17") {
+		t.Fatalf("csv missing the Figure 6 row:\n%s", csv)
+	}
+}
+
+func TestRunE1WritesCurve(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-exp", "e1", "-n", "20", "-out", dir}); err != nil {
+		t.Fatalf("e1: %v", err)
+	}
+	for _, f := range []string{"e1.csv", "e1_demand_curve.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+	}
+}
+
+func TestRunSmallSweeps(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-out", dir, "-n", "8", "-runs", "2",
+		"-sizes", "5,10", "-betas", "1,3"}
+	for _, exp := range []string{"e5", "e6", "e7", "e8", "e12"} {
+		if err := run(append([]string{"-exp", exp}, args...)); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, exp+".csv")); err != nil {
+			t.Fatalf("%s csv missing: %v", exp, err)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-exp", "e99", "-out", dir}); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+	if err := run([]string{"-sizes", "ten", "-out", dir}); err == nil {
+		t.Fatal("bad sizes should fail")
+	}
+	if err := run([]string{"-betas", "x", "-out", dir}); err == nil {
+		t.Fatal("bad betas should fail")
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	ints, err := parseInts("1, 2,3")
+	if err != nil || len(ints) != 3 || ints[2] != 3 {
+		t.Fatalf("parseInts = %v, %v", ints, err)
+	}
+	floats, err := parseFloats("0.5,1.85")
+	if err != nil || len(floats) != 2 || floats[1] != 1.85 {
+		t.Fatalf("parseFloats = %v, %v", floats, err)
+	}
+}

@@ -1,0 +1,206 @@
+// Command gridd runs the negotiation as separate OS processes over TCP: the
+// Utility Agent as a daemon and each Customer Agent as a client, which is
+// the "large open distributed industrial systems" deployment the paper's
+// Discussion aims at.
+//
+// Server (waits for -customers clients, then negotiates):
+//
+//	gridd -serve :9340 -customers 10
+//
+// Clients (one per customer; names must be c01..cNN):
+//
+//	gridd -connect localhost:9340 -name c01 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	agentrt "loadbalance/internal/agent"
+	"loadbalance/internal/bus"
+	"loadbalance/internal/core"
+	"loadbalance/internal/customeragent"
+	"loadbalance/internal/message"
+	"loadbalance/internal/protocol"
+	"loadbalance/internal/sim"
+	"loadbalance/internal/units"
+	"loadbalance/internal/utilityagent"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gridd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gridd", flag.ContinueOnError)
+	var (
+		serve     = fs.String("serve", "", "listen address for the Utility Agent daemon")
+		customers = fs.Int("customers", 10, "customer count the daemon waits for")
+		connect   = fs.String("connect", "", "daemon address to join as a Customer Agent")
+		name      = fs.String("name", "", "customer name (client mode)")
+		seed      = fs.Int64("seed", 1, "preference randomisation seed (client mode)")
+		timeout   = fs.Duration("timeout", 2*time.Minute, "overall negotiation timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *serve != "" && *connect != "":
+		return fmt.Errorf("-serve and -connect are mutually exclusive")
+	case *serve != "":
+		return runServer(*serve, *customers, *timeout)
+	case *connect != "":
+		if *name == "" {
+			return fmt.Errorf("-connect requires -name")
+		}
+		return runClient(*connect, *name, *seed)
+	default:
+		return fmt.Errorf("pass -serve ADDR or -connect ADDR")
+	}
+}
+
+// runServer hosts the UA and bridges remote customers onto a local bus.
+func runServer(addr string, customers int, timeout time.Duration) error {
+	return serve(addr, customers, timeout, nil)
+}
+
+// serve is runServer with an optional ready channel that receives the bound
+// address (used by tests binding to :0).
+func serve(addr string, customers int, timeout time.Duration, ready chan<- string) error {
+	inner, err := bus.NewInProc(bus.Config{})
+	if err != nil {
+		return err
+	}
+	defer inner.Close()
+	srv, err := bus.ListenAndServe(addr, inner)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	if ready != nil {
+		ready <- srv.Addr()
+	}
+	fmt.Printf("gridd: listening on %s, waiting for %d customers\n", srv.Addr(), customers)
+
+	// Wait for the fleet to dial in.
+	deadline := time.Now().Add(timeout)
+	for len(inner.Agents()) < customers {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("only %d of %d customers connected", len(inner.Agents()), customers)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	names := inner.Agents()
+	fmt.Printf("gridd: customers connected: %v\n", names)
+
+	loads := make(map[string]protocol.CustomerLoad, len(names))
+	var totalPredicted units.Energy
+	for _, n := range names {
+		loads[n] = protocol.CustomerLoad{Predicted: 13.5, Allowed: 13.5}
+		totalPredicted += 13.5
+	}
+	ua, err := utilityagent.New(utilityagent.Config{
+		SessionID: "gridd",
+		Window:    windowNow(),
+		// Capacity set for the paper's 35% initial overuse.
+		NormalUse:    totalPredicted.Scale(1 / 1.35),
+		Loads:        loads,
+		Method:       utilityagent.MethodRewardTable,
+		Params:       core.PaperParams(),
+		InitialSlope: 42.5,
+		RoundTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	rt, err := agentrt.Start("ua", inner, ua, 4*customers)
+	if err != nil {
+		return err
+	}
+	defer rt.Stop()
+
+	select {
+	case res := <-ua.Done():
+		// Give the per-connection writers a moment to flush the awards and
+		// the session-end broadcast before the deferred teardown cuts the
+		// TCP connections.
+		time.Sleep(300 * time.Millisecond)
+		full := &core.Result{Result: res, Bus: inner.Stats()}
+		fmt.Print(sim.RenderResult(full))
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("negotiation timed out after %v", timeout)
+	}
+}
+
+// runClient joins as one Customer Agent and reacts until the session ends.
+func runClient(addr, name string, seed int64) error {
+	cli, err := bus.Dial(addr, name)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+
+	prefs, err := clientPreferences(seed)
+	if err != nil {
+		return err
+	}
+	ca, err := customeragent.New(name, prefs, customeragent.StrategyGreedy)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gridd: %s connected to %s\n", name, addr)
+
+	for env := range cli.Inbox() {
+		reply, ok, err := ca.React(env)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridd: %s: %v\n", name, err)
+			continue
+		}
+		if ok {
+			out, err := message.NewEnvelope(name, env.From, env.Session, reply)
+			if err != nil {
+				return err
+			}
+			if err := cli.Send(out); err != nil {
+				return err
+			}
+		}
+		if env.Kind == message.KindSessionEnd {
+			if award, got := ca.AwardFor(env.Session); got {
+				fmt.Printf("gridd: %s awarded cut-down %.1f for reward %.2f\n",
+					name, award.CutDown, award.Reward)
+			} else {
+				fmt.Printf("gridd: %s: session ended without award\n", name)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("connection closed before session end")
+}
+
+// clientPreferences derives a deterministic preference table from the seed:
+// the paper customer's table scaled by a seed-dependent factor in [0.8, 1.6].
+func clientPreferences(seed int64) (customeragent.Preferences, error) {
+	factor := 0.8 + float64(seed%9)/10
+	levels := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	required := map[float64]float64{
+		0: 0, 0.1: 4 * factor, 0.2: 8 * factor, 0.3: 13 * factor, 0.4: 21 * factor,
+	}
+	p, err := customeragent.NewPreferences(levels, required)
+	if err != nil {
+		return customeragent.Preferences{}, err
+	}
+	return p.WithExpectedUse(13.5), nil
+}
+
+// windowNow returns a 2-hour negotiation window starting one hour from now.
+func windowNow() units.Interval {
+	start := time.Now().Add(time.Hour).Truncate(time.Minute)
+	return units.Interval{Start: start, End: start.Add(2 * time.Hour)}
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRunFlagValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{name: "no mode", args: nil, want: "-serve ADDR or -connect ADDR"},
+		{name: "both modes", args: []string{"-serve", ":1", "-connect", "x:1"}, want: "mutually exclusive"},
+		{name: "connect without name", args: []string{"-connect", "x:1"}, want: "requires -name"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := run(tt.args)
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("error = %v, want %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestClientPreferencesDeterministic(t *testing.T) {
+	p1, err := clientPreferences(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := clientPreferences(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.RequiredFor(0.4) != p2.RequiredFor(0.4) {
+		t.Fatal("same seed must give identical preferences")
+	}
+	p3, err := clientPreferences(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.RequiredFor(0.4) == p3.RequiredFor(0.4) {
+		t.Fatal("different seeds should scale the table differently")
+	}
+	if p1.ExpectedUse != 13.5 {
+		t.Fatalf("expected use = %v", p1.ExpectedUse)
+	}
+}
+
+func TestWindowNow(t *testing.T) {
+	iv := windowNow()
+	if iv.Duration() != 2*time.Hour {
+		t.Fatalf("duration = %v", iv.Duration())
+	}
+	if !iv.Start.After(time.Now()) {
+		t.Fatal("window should start in the future")
+	}
+}
+
+// TestServerClientEndToEnd runs the daemon and three customer processes'
+// worth of clients inside one test over real TCP.
+func TestServerClientEndToEnd(t *testing.T) {
+	ready := make(chan string, 1)
+	serverErr := make(chan error, 1)
+	go func() {
+		serverErr <- serve("127.0.0.1:0", 3, 30*time.Second, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	var wg sync.WaitGroup
+	clientErrs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			clientErrs[i] = runClient(addr, []string{"c01", "c02", "c03"}[i], int64(i+1))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range clientErrs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	select {
+	case err := <-serverErr:
+		if err != nil {
+			t.Fatalf("server: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never finished")
+	}
+}

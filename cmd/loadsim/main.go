@@ -1,0 +1,103 @@
+// Command loadsim runs one load-balancing negotiation and prints the full
+// per-round trace — the textual counterpart of the prototype's GUI screens
+// in Figures 6-9 of the paper.
+//
+// Usage:
+//
+//	loadsim                          # the paper's Figures 6-9 scenario
+//	loadsim -scenario population -n 50 -seed 7
+//	loadsim -method offer            # compare announcement methods
+//	loadsim -beta 3 -adaptive        # negotiation-speed experiments
+//	loadsim -drop 0.1 -round-timeout 50ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"loadbalance"
+	"loadbalance/internal/utilityagent"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "loadsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("loadsim", flag.ContinueOnError)
+	var (
+		scenario     = fs.String("scenario", "paper", "scenario: paper | population")
+		n            = fs.Int("n", 50, "population size (population scenario)")
+		seed         = fs.Int64("seed", 1, "random seed")
+		method       = fs.String("method", "reward_table", "method: reward_table | offer | request_for_bids | auto")
+		beta         = fs.Float64("beta", 0, "override beta (0 keeps the scenario default)")
+		adaptive     = fs.Bool("adaptive", false, "enable adaptive beta (Section 7 extension)")
+		drop         = fs.Float64("drop", 0, "message drop rate in [0,1]")
+		roundTimeout = fs.Duration("round-timeout", 0, "close rounds on timeout (required with -drop)")
+		margin       = fs.Float64("margin", 0.2, "customer profit margin (population scenario)")
+		verifyTrace  = fs.Bool("verify", true, "verify the trace against the protocol properties")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		s   loadbalance.Scenario
+		err error
+	)
+	switch *scenario {
+	case "paper":
+		s, err = loadbalance.PaperScenario()
+	case "population":
+		s, err = loadbalance.PopulationScenario(loadbalance.PopulationConfig{
+			N: *n, Seed: *seed, Margin: *margin,
+		})
+	default:
+		return fmt.Errorf("unknown scenario %q", *scenario)
+	}
+	if err != nil {
+		return err
+	}
+
+	switch *method {
+	case "reward_table":
+		s.Method = loadbalance.MethodRewardTable
+	case "offer":
+		s.Method = loadbalance.MethodOffer
+	case "request_for_bids":
+		s.Method = loadbalance.MethodRequestForBids
+	case "auto":
+		s.Method = loadbalance.MethodAuto
+		s.LeadTime = 2 * time.Hour
+	default:
+		return fmt.Errorf("unknown method %q", *method)
+	}
+	if *beta > 0 {
+		s.Params.Beta = *beta
+	}
+	s.Params.AdaptiveBeta = *adaptive
+	s.DropRate = *drop
+	s.RoundTimeout = *roundTimeout
+	s.Seed = *seed
+
+	res, err := loadbalance.Run(s)
+	if err != nil {
+		return err
+	}
+	fmt.Print(loadbalance.Render(res))
+
+	if *verifyTrace && s.Method == utilityagent.MethodRewardTable && len(res.History) > 0 {
+		rep := loadbalance.VerifyTrace(res, s.Params)
+		if rep.OK() {
+			fmt.Printf("\nverified %d protocol properties: all hold\n", len(rep.Checked))
+		} else {
+			return fmt.Errorf("trace violates protocol properties: %w", rep.Error())
+		}
+	}
+	return nil
+}

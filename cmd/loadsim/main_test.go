@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunPaperScenario(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatalf("default run: %v", err)
+	}
+}
+
+func TestRunMethodVariants(t *testing.T) {
+	for _, method := range []string{"offer", "request_for_bids", "auto"} {
+		if err := run([]string{"-method", method}); err != nil {
+			t.Fatalf("method %s: %v", method, err)
+		}
+	}
+}
+
+func TestRunPopulationScenario(t *testing.T) {
+	if err := run([]string{"-scenario", "population", "-n", "8", "-seed", "3"}); err != nil {
+		t.Fatalf("population run: %v", err)
+	}
+}
+
+func TestRunWithFaultInjection(t *testing.T) {
+	if err := run([]string{"-drop", "0.1", "-round-timeout", "25ms"}); err != nil {
+		t.Fatalf("lossy run: %v", err)
+	}
+}
+
+func TestRunAdaptiveBeta(t *testing.T) {
+	if err := run([]string{"-beta", "0.5", "-adaptive"}); err != nil {
+		t.Fatalf("adaptive run: %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{name: "unknown scenario", args: []string{"-scenario", "mars"}, want: "unknown scenario"},
+		{name: "unknown method", args: []string{"-method", "telepathy"}, want: "unknown method"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := run(tt.args)
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("error = %v, want %q", err, tt.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,55 @@
+// Methods compares the paper's three announcement methods (Section 3.2) on
+// one synthetic fleet of households: the one-shot offer, the iterated
+// request for bids, and the announced reward tables of the prototype.
+//
+// Expected shape (Section 3.2.4): the offer is fastest but gives customers
+// no influence and discounts everyone; the reward-table method iterates a
+// few rounds and pays only for the savings it needs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"loadbalance"
+	"loadbalance/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const fleet = 60
+	fmt.Printf("comparing announcement methods on %d synthetic households\n\n", fleet)
+	tab, err := sim.E5MethodComparison(fleet, 42)
+	if err != nil {
+		return err
+	}
+	fmt.Println(tab.String())
+
+	// Also show what the auto-selector would pick at different horizons.
+	for _, lead := range []string{"5m", "2h", "12h"} {
+		s, err := loadbalance.PopulationScenario(loadbalance.PopulationConfig{
+			N: fleet, Seed: 42, Margin: 0.2, Method: loadbalance.MethodAuto,
+		})
+		if err != nil {
+			return err
+		}
+		d, err := time.ParseDuration(lead)
+		if err != nil {
+			return err
+		}
+		s.LeadTime = d
+		res, err := loadbalance.Run(s)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("auto with %s lead time chose: %s (%s in %d rounds)\n",
+			lead, res.Method, res.Outcome, res.Rounds)
+	}
+	return nil
+}

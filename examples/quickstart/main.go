@@ -1,0 +1,66 @@
+// Quickstart: the smallest end-to-end negotiation. Three customers with
+// hand-written preference tables face a 25% predicted peak; the Utility
+// Agent announces growing reward tables until the peak is acceptable.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"loadbalance"
+	"loadbalance/internal/units"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A customer's private valuation: the minimum reward it demands for
+	// each cut-down fraction. Levels not listed are infeasible for it.
+	levels := []float64{0, 0.1, 0.2, 0.3, 0.4}
+	cheap, err := loadbalance.NewPreferences(levels, map[float64]float64{
+		0: 0, 0.1: 2, 0.2: 5, 0.3: 9, 0.4: 15,
+	})
+	if err != nil {
+		return err
+	}
+	picky, err := loadbalance.NewPreferences(levels, map[float64]float64{
+		0: 0, 0.1: 6, 0.2: 14,
+	})
+	if err != nil {
+		return err
+	}
+
+	start := time.Date(1998, 1, 20, 17, 0, 0, 0, time.UTC)
+	s := loadbalance.Scenario{
+		SessionID: "quickstart",
+		Window:    units.Interval{Start: start, End: start.Add(2 * time.Hour)},
+		NormalUse: 24, // kWh of cheap capacity; the fleet predicts 30
+		Method:    loadbalance.MethodRewardTable,
+		Params:    loadbalance.PaperParams(),
+		// Round-1 rewards: 42.5 × cut-down (the prototype's table).
+		InitialSlope: 42.5,
+		Customers: []loadbalance.CustomerSpec{
+			{Name: "casa-verde", Predicted: 10, Allowed: 10, Prefs: cheap.WithExpectedUse(10), Strategy: loadbalance.StrategyGreedy},
+			{Name: "casa-azul", Predicted: 12, Allowed: 12, Prefs: cheap.WithExpectedUse(12), Strategy: loadbalance.StrategyIncremental},
+			{Name: "casa-roja", Predicted: 8, Allowed: 8, Prefs: picky.WithExpectedUse(8), Strategy: loadbalance.StrategyGreedy},
+		},
+	}
+
+	res, err := loadbalance.Run(s)
+	if err != nil {
+		return err
+	}
+	fmt.Print(loadbalance.Render(res))
+
+	// Every trace can be checked against the monotonic concession
+	// protocol's formal properties.
+	rep := loadbalance.VerifyTrace(res, s.Params)
+	fmt.Printf("\nprotocol properties: %d checked, %d violated\n",
+		len(rep.Checked), len(rep.Violations))
+	return rep.Error()
+}

@@ -1,0 +1,273 @@
+package agent
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"loadbalance/internal/bus"
+	"loadbalance/internal/message"
+	"loadbalance/internal/units"
+)
+
+func newBus(t *testing.T) *bus.InProc {
+	t.Helper()
+	b, err := bus.NewInProc(bus.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.Close)
+	return b
+}
+
+func TestStartValidation(t *testing.T) {
+	b := newBus(t)
+	if _, err := Start("a", b, nil, 4); !errors.Is(err, ErrNilHandler) {
+		t.Fatalf("nil handler error = %v", err)
+	}
+	rt, err := Start("a", b, HandlerFuncs{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	if _, err := Start("a", b, HandlerFuncs{}, 4); !errors.Is(err, bus.ErrDuplicateAgent) {
+		t.Fatalf("duplicate registration error = %v", err)
+	}
+	if rt.Name() != "a" {
+		t.Fatalf("name = %q", rt.Name())
+	}
+}
+
+func TestOnStartRunsBeforeMessages(t *testing.T) {
+	b := newBus(t)
+	started := make(chan struct{})
+	echo, err := Start("echo", b, HandlerFuncs{
+		Start: func(rt *Runtime) error {
+			close(started)
+			return nil
+		},
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer echo.Stop()
+	select {
+	case <-started:
+	case <-time.After(2 * time.Second):
+		t.Fatal("OnStart never ran")
+	}
+}
+
+func TestMessageRoundTripBetweenAgents(t *testing.T) {
+	b := newBus(t)
+	got := make(chan message.Envelope, 1)
+
+	// Responder echoes any cut-down bid back as an award.
+	responder, err := Start("ua", b, HandlerFuncs{
+		Message: func(rt *Runtime, env message.Envelope) error {
+			p, err := env.Decode()
+			if err != nil {
+				return err
+			}
+			bid, ok := p.(message.CutDownBid)
+			if !ok {
+				return nil
+			}
+			return rt.Send(env.From, env.Session, message.Award{
+				Round: bid.Round, CutDown: bid.CutDown, Reward: 17,
+			})
+		},
+	}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer responder.Stop()
+
+	sender, err := Start("c1", b, HandlerFuncs{
+		Start: func(rt *Runtime) error {
+			return rt.Send("ua", "s1", message.CutDownBid{Round: 1, CutDown: 0.4})
+		},
+		Message: func(rt *Runtime, env message.Envelope) error {
+			got <- env
+			return nil
+		},
+	}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Stop()
+
+	select {
+	case env := <-got:
+		if env.Kind != message.KindAward {
+			t.Fatalf("kind = %v", env.Kind)
+		}
+		p, err := env.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		award := p.(message.Award)
+		if !units.NearlyEqual(award.CutDown, 0.4, 1e-12) || award.Reward != 17 {
+			t.Fatalf("award = %+v", award)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no award received")
+	}
+}
+
+func TestBroadcastFromAgent(t *testing.T) {
+	b := newBus(t)
+	var count atomic.Int32
+	for _, name := range []string{"c1", "c2", "c3"} {
+		rt, err := Start(name, b, HandlerFuncs{
+			Message: func(rt *Runtime, env message.Envelope) error {
+				count.Add(1)
+				return nil
+			},
+		}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rt.Stop()
+	}
+	ua, err := Start("ua", b, HandlerFuncs{
+		Start: func(rt *Runtime) error {
+			return rt.Broadcast("s1", message.SessionEnd{Round: 1, Reason: "test"})
+		},
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ua.Stop()
+
+	deadline := time.After(2 * time.Second)
+	for count.Load() < 3 {
+		select {
+		case <-deadline:
+			t.Fatalf("broadcast reached %d of 3", count.Load())
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func TestHandlerErrorsAreRecorded(t *testing.T) {
+	b := newBus(t)
+	boom := errors.New("boom")
+	rt, err := Start("ua", b, HandlerFuncs{
+		Message: func(rt *Runtime, env message.Envelope) error { return boom },
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	if _, err := b.Register("x", 1); err != nil {
+		t.Fatal(err)
+	}
+	env, err := message.NewEnvelope("x", "ua", "s1", message.OfferReply{Round: 1, Accept: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(env); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(2 * time.Second)
+	for len(rt.Errors()) == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("handler error never recorded")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if !errors.Is(rt.Errors()[0], boom) {
+		t.Fatalf("recorded = %v", rt.Errors()[0])
+	}
+}
+
+func TestStartErrorStopsLoop(t *testing.T) {
+	b := newBus(t)
+	rt, err := Start("ua", b, HandlerFuncs{
+		Start: func(rt *Runtime) error { return errors.New("no start") },
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Wait() // loop must exit on its own
+	if len(rt.Errors()) != 1 {
+		t.Fatalf("errors = %v", rt.Errors())
+	}
+	rt.Stop() // still safe
+}
+
+func TestStopIsIdempotentAndUnregisters(t *testing.T) {
+	b := newBus(t)
+	rt, err := Start("ua", b, HandlerFuncs{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Stop()
+	rt.Stop()
+	if got := b.Agents(); len(got) != 0 {
+		t.Fatalf("agents after stop = %v", got)
+	}
+}
+
+func TestModelResponseTracking(t *testing.T) {
+	m, err := NewModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.ResponseRate("c1"); ok {
+		t.Fatal("fresh model should have no rate")
+	}
+	steps := []struct {
+		peer     string
+		positive bool
+	}{
+		{"c1", true}, {"c1", true}, {"c1", false},
+		{"c2", true},
+	}
+	for _, s := range steps {
+		if err := m.RecordResponse(s.peer, s.positive); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rate, ok := m.ResponseRate("c1")
+	if !ok || !units.NearlyEqual(rate, 2.0/3, 1e-12) {
+		t.Fatalf("c1 rate = %v, %v", rate, ok)
+	}
+	rate, ok = m.ResponseRate("c2")
+	if !ok || rate != 1 {
+		t.Fatalf("c2 rate = %v, %v", rate, ok)
+	}
+	overall, ok := m.OverallResponseRate()
+	if !ok || !units.NearlyEqual(overall, 3.0/4, 1e-12) {
+		t.Fatalf("overall = %v, %v", overall, ok)
+	}
+}
+
+func TestModelWorldValues(t *testing.T) {
+	m, err := NewModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.WorldValue("temperature_c"); ok {
+		t.Fatal("fresh model should have no world values")
+	}
+	if err := m.SetWorldValue("temperature_c", -5); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m.WorldValue("temperature_c"); !ok || v != -5 {
+		t.Fatalf("value = %v, %v", v, ok)
+	}
+	// Overwrite replaces rather than accumulates.
+	if err := m.SetWorldValue("temperature_c", 3); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.WorldValue("temperature_c"); v != 3 {
+		t.Fatalf("value after overwrite = %v", v)
+	}
+	if m.WorldInfo.Len() != 1 {
+		t.Fatalf("store len = %d, want 1", m.WorldInfo.Len())
+	}
+}

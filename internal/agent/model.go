@@ -1,0 +1,109 @@
+package agent
+
+import (
+	"fmt"
+
+	"loadbalance/internal/kb"
+)
+
+// Model implements the two maintenance tasks of the generic agent model:
+// maintenance of agent information ("models of other agents, including for
+// example, information on how often Customer Agents have positively
+// responded to announcements", Section 5.1.4) and maintenance of world
+// information (weather, consumption). Both are kb stores so agent knowledge
+// stays declarative and inspectable.
+type Model struct {
+	ont       *kb.Ontology
+	AgentInfo *kb.Store
+	WorldInfo *kb.Store
+}
+
+// Predicates maintained by the model.
+const (
+	predResponses = "responses"   // responses(agent, positive, total)
+	predWorldVal  = "world_value" // world_value(topic, value)
+)
+
+// NewModel builds the model with its maintenance ontology.
+func NewModel() (*Model, error) {
+	ont := kb.NewOntology()
+	steps := []error{
+		ont.DeclareSort("peer", kb.SortAny),
+		ont.DeclarePred(predResponses, kb.SortString, kb.SortNumber, kb.SortNumber),
+		ont.DeclarePred(predWorldVal, kb.SortString, kb.SortNumber),
+	}
+	for _, err := range steps {
+		if err != nil {
+			return nil, fmt.Errorf("agent: model ontology: %w", err)
+		}
+	}
+	return &Model{
+		ont:       ont,
+		AgentInfo: kb.NewStore(ont),
+		WorldInfo: kb.NewStore(ont),
+	}, nil
+}
+
+// RecordResponse updates the response statistics for a peer: whether it
+// answered an announcement positively. This feeds the UA's prediction that
+// "normally about 70% of the Customer Agents will respond positively".
+func (m *Model) RecordResponse(peer string, positive bool) error {
+	pos, total := m.responseCounts(peer)
+	m.AgentInfo.Retract(kb.A(predResponses, kb.S(peer), kb.N(pos), kb.N(total)))
+	if positive {
+		pos++
+	}
+	total++
+	return m.AgentInfo.Assert(kb.A(predResponses, kb.S(peer), kb.N(pos), kb.N(total)), kb.True)
+}
+
+// responseCounts reads the current (positive, total) pair for a peer.
+func (m *Model) responseCounts(peer string) (pos, total float64) {
+	matches := m.AgentInfo.Query(kb.A(predResponses, kb.S(peer), kb.V("P"), kb.V("T")))
+	if len(matches) == 0 {
+		return 0, 0
+	}
+	return matches[0].Args[1].Num, matches[0].Args[2].Num
+}
+
+// ResponseRate returns the observed positive-response rate for a peer and
+// whether any observation exists.
+func (m *Model) ResponseRate(peer string) (float64, bool) {
+	pos, total := m.responseCounts(peer)
+	if total == 0 {
+		return 0, false
+	}
+	return pos / total, true
+}
+
+// OverallResponseRate aggregates response statistics over all peers.
+func (m *Model) OverallResponseRate() (float64, bool) {
+	matches := m.AgentInfo.Query(kb.A(predResponses, kb.V("A"), kb.V("P"), kb.V("T")))
+	var pos, total float64
+	for _, a := range matches {
+		pos += a.Args[1].Num
+		total += a.Args[2].Num
+	}
+	if total == 0 {
+		return 0, false
+	}
+	return pos / total, true
+}
+
+// SetWorldValue records a named observation about the external world
+// (e.g. "temperature_c", "predicted_use_kwh").
+func (m *Model) SetWorldValue(topic string, value float64) error {
+	for _, a := range m.WorldInfo.Query(kb.A(predWorldVal, kb.S(topic), kb.V("V"))) {
+		m.WorldInfo.Retract(a)
+	}
+	return m.WorldInfo.Assert(kb.A(predWorldVal, kb.S(topic), kb.N(value)), kb.True)
+}
+
+// WorldValue reads a named world observation.
+func (m *Model) WorldValue(topic string) (float64, bool) {
+	matches := m.WorldInfo.Query(kb.A(predWorldVal, kb.S(topic), kb.V("V")))
+	if len(matches) == 0 {
+		return 0, false
+	}
+	return matches[0].Args[1].Num, true
+}

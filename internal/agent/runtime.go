@@ -1,0 +1,171 @@
+// Package agent provides the generic agent machinery shared by the Utility
+// Agent and the Customer Agents: a goroutine runtime that owns an agent's
+// mailbox and lifecycle, and the information-maintenance model of the
+// generic agent tasks.
+//
+// The paper's generic agent model (Section 5, after [4]) decomposes an agent
+// into: own process control, agent specific tasks, cooperation management,
+// agent interaction management, world interaction management, maintenance of
+// agent information and maintenance of world information. In this
+// reproduction:
+//
+//   - agent interaction management is the Runtime (mailbox, send/broadcast);
+//   - maintenance of agent/world information is the Model (two kb stores
+//     with domain helpers);
+//   - the remaining tasks are methods on the concrete agents
+//     (internal/utilityagent, internal/customeragent), named after the tasks
+//     they implement.
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"loadbalance/internal/bus"
+	"loadbalance/internal/message"
+)
+
+// Errors reported by the runtime.
+var (
+	ErrStopped    = errors.New("agent: runtime stopped")
+	ErrNilHandler = errors.New("agent: handler must not be nil")
+)
+
+// Handler reacts to the agent's inbox. Implementations run on the agent's
+// own goroutine, so they may freely mutate agent state without locks.
+type Handler interface {
+	// OnStart runs once before the first message — the hook for
+	// pro-active behaviour (the UA starting a negotiation).
+	OnStart(rt *Runtime) error
+	// OnMessage handles one inbound envelope.
+	OnMessage(rt *Runtime, env message.Envelope) error
+}
+
+// Runtime owns one agent goroutine: its registration on the bus, its inbox
+// loop and its shutdown. Every agent in the system is hosted by a Runtime.
+type Runtime struct {
+	name    string
+	bus     bus.Bus
+	inbox   <-chan message.Envelope
+	handler Handler
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+
+	mu   sync.Mutex
+	errs []error
+}
+
+// Start registers the agent on the bus and launches its goroutine.
+func Start(name string, b bus.Bus, h Handler, inboxSize int) (*Runtime, error) {
+	if h == nil {
+		return nil, ErrNilHandler
+	}
+	inbox, err := b.Register(name, inboxSize)
+	if err != nil {
+		return nil, fmt.Errorf("agent %q: %w", name, err)
+	}
+	rt := &Runtime{
+		name:    name,
+		bus:     b,
+		inbox:   inbox,
+		handler: h,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go rt.loop()
+	return rt, nil
+}
+
+// Name returns the agent's name.
+func (rt *Runtime) Name() string { return rt.name }
+
+// loop is the agent goroutine: start hook, then the mailbox loop.
+func (rt *Runtime) loop() {
+	defer close(rt.done)
+	if err := rt.handler.OnStart(rt); err != nil {
+		rt.recordErr(fmt.Errorf("agent %q: start: %w", rt.name, err))
+		return
+	}
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case env, ok := <-rt.inbox:
+			if !ok {
+				return
+			}
+			if err := rt.handler.OnMessage(rt, env); err != nil {
+				rt.recordErr(fmt.Errorf("agent %q: handle %s from %q: %w", rt.name, env.Kind, env.From, err))
+			}
+		}
+	}
+}
+
+// Send wraps a payload in an envelope from this agent and delivers it.
+func (rt *Runtime) Send(to, session string, p message.Payload) error {
+	env, err := message.NewEnvelope(rt.name, to, session, p)
+	if err != nil {
+		return err
+	}
+	return rt.bus.Send(env)
+}
+
+// Broadcast sends a payload to every other agent on the bus.
+func (rt *Runtime) Broadcast(session string, p message.Payload) error {
+	return rt.Send("", session, p)
+}
+
+// Stop signals the goroutine, unregisters from the bus and waits for exit.
+// It is idempotent.
+func (rt *Runtime) Stop() {
+	rt.stopOnce.Do(func() {
+		close(rt.stop)
+		rt.bus.Unregister(rt.name)
+	})
+	<-rt.done
+}
+
+// Wait blocks until the agent goroutine exits (without requesting a stop) —
+// used when the handler terminates itself by returning after a session ends.
+func (rt *Runtime) Wait() { <-rt.done }
+
+// Errors returns the handler errors recorded so far.
+func (rt *Runtime) Errors() []error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return append([]error(nil), rt.errs...)
+}
+
+// recordErr stores a handler error for later inspection.
+func (rt *Runtime) recordErr(err error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.errs = append(rt.errs, err)
+}
+
+// HandlerFuncs adapts plain functions to the Handler interface.
+type HandlerFuncs struct {
+	Start   func(rt *Runtime) error
+	Message func(rt *Runtime, env message.Envelope) error
+}
+
+// OnStart implements Handler.
+func (h HandlerFuncs) OnStart(rt *Runtime) error {
+	if h.Start == nil {
+		return nil
+	}
+	return h.Start(rt)
+}
+
+// OnMessage implements Handler.
+func (h HandlerFuncs) OnMessage(rt *Runtime, env message.Envelope) error {
+	if h.Message == nil {
+		return nil
+	}
+	return h.Message(rt, env)
+}
+
+var _ Handler = HandlerFuncs{}

@@ -1,0 +1,208 @@
+// Package bus provides the message transport connecting agents: a
+// deterministic in-process bus built on channels (the default substrate for
+// simulations and tests) and a TCP/JSON transport for running the Utility
+// Agent and Customer Agents as separate OS processes.
+//
+// All inter-agent communication in this system flows through a Bus; agents
+// never share memory. The in-process bus supports seeded failure injection
+// (message loss) so the protocol's robustness rules — "when all (or an
+// acceptable number of) bids have been collected" (Section 3.2.2) — can be
+// exercised (experiment E9).
+package bus
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"loadbalance/internal/message"
+)
+
+// Errors reported by bus operations.
+var (
+	ErrDuplicateAgent = errors.New("bus: agent already registered")
+	ErrUnknownAgent   = errors.New("bus: unknown agent")
+	ErrClosed         = errors.New("bus: closed")
+	ErrInboxFull      = errors.New("bus: inbox full")
+)
+
+// Bus is the transport abstraction agents communicate through.
+type Bus interface {
+	// Register creates a mailbox for the named agent and returns its inbox.
+	Register(name string, inboxSize int) (<-chan message.Envelope, error)
+	// Unregister removes an agent's mailbox and closes its inbox.
+	Unregister(name string)
+	// Send delivers an envelope. An empty To broadcasts to every registered
+	// agent except the sender.
+	Send(env message.Envelope) error
+	// Agents returns the registered agent names, sorted.
+	Agents() []string
+}
+
+// Stats counts bus traffic. All counters are cumulative.
+type Stats struct {
+	Sent      int
+	Delivered int
+	Dropped   int // lost to fault injection
+	Rejected  int // no such agent / inbox full
+}
+
+// Config parameterises an in-process bus.
+type Config struct {
+	// DropRate is the probability in [0,1] that any single delivery is lost.
+	DropRate float64
+	// Seed drives the fault-injection randomness.
+	Seed int64
+	// DefaultInboxSize is used when Register is called with size <= 0.
+	DefaultInboxSize int
+}
+
+// InProc is the channel-based bus. It is safe for concurrent use.
+type InProc struct {
+	mu       sync.Mutex
+	boxes    map[string]chan message.Envelope
+	closed   bool
+	stats    Stats
+	dropRate float64
+	rng      *rand.Rand
+	defSize  int
+}
+
+var _ Bus = (*InProc)(nil)
+
+// NewInProc constructs an in-process bus.
+func NewInProc(cfg Config) (*InProc, error) {
+	if cfg.DropRate < 0 || cfg.DropRate > 1 {
+		return nil, fmt.Errorf("bus: drop rate %v out of [0,1]", cfg.DropRate)
+	}
+	size := cfg.DefaultInboxSize
+	if size <= 0 {
+		size = 64
+	}
+	return &InProc{
+		boxes:    make(map[string]chan message.Envelope),
+		dropRate: cfg.DropRate,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		defSize:  size,
+	}, nil
+}
+
+// Register implements Bus.
+func (b *InProc) Register(name string, inboxSize int) (<-chan message.Envelope, error) {
+	if name == "" {
+		return nil, fmt.Errorf("%w: empty name", ErrUnknownAgent)
+	}
+	if inboxSize <= 0 {
+		inboxSize = b.defSize
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := b.boxes[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateAgent, name)
+	}
+	ch := make(chan message.Envelope, inboxSize)
+	b.boxes[name] = ch
+	return ch, nil
+}
+
+// Unregister implements Bus.
+func (b *InProc) Unregister(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ch, ok := b.boxes[name]; ok {
+		delete(b.boxes, name)
+		close(ch)
+	}
+}
+
+// Send implements Bus. Broadcast delivery order is deterministic
+// (alphabetical by recipient) so simulations are reproducible.
+func (b *InProc) Send(env message.Envelope) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	b.stats.Sent++
+	if env.To != "" {
+		return b.deliverLocked(env.To, env)
+	}
+	names := make([]string, 0, len(b.boxes))
+	for n := range b.boxes {
+		if n != env.From {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var firstErr error
+	for _, n := range names {
+		if err := b.deliverLocked(n, env); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// deliverLocked pushes an envelope into one mailbox. The caller holds b.mu.
+func (b *InProc) deliverLocked(to string, env message.Envelope) error {
+	ch, ok := b.boxes[to]
+	if !ok {
+		b.stats.Rejected++
+		return fmt.Errorf("%w: %q", ErrUnknownAgent, to)
+	}
+	// Self-addressed messages model an agent's internal control flow (e.g.
+	// the UA's round timeouts); they never traverse the network and are
+	// exempt from fault injection.
+	if b.dropRate > 0 && env.From != to && b.rng.Float64() < b.dropRate {
+		b.stats.Dropped++
+		return nil // silently lost, like a real lossy network
+	}
+	env.To = to // concretise broadcast recipient
+	select {
+	case ch <- env:
+		b.stats.Delivered++
+		return nil
+	default:
+		b.stats.Rejected++
+		return fmt.Errorf("%w: %q", ErrInboxFull, to)
+	}
+}
+
+// Agents implements Bus.
+func (b *InProc) Agents() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.boxes))
+	for n := range b.boxes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (b *InProc) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// Close shuts the bus; subsequent Register/Send calls fail and all inboxes
+// are closed.
+func (b *InProc) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for n, ch := range b.boxes {
+		delete(b.boxes, n)
+		close(ch)
+	}
+}

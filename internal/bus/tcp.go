@@ -1,0 +1,249 @@
+package bus
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"loadbalance/internal/message"
+)
+
+// The TCP transport frames messages as newline-delimited JSON. A connection
+// opens with a hello frame naming the remote agent; afterwards both sides
+// exchange message envelopes. The server bridges remote agents onto a local
+// Bus, so the rest of the system cannot tell remote agents from local ones.
+
+// helloFrame is the first frame a client sends.
+type helloFrame struct {
+	Hello string `json:"hello"`
+}
+
+// frame is the union wire frame: exactly one field is set.
+type frame struct {
+	Hello    string            `json:"hello,omitempty"`
+	Envelope *message.Envelope `json:"envelope,omitempty"`
+}
+
+// Server accepts TCP connections and bridges each remote agent onto the
+// wrapped bus.
+type Server struct {
+	bus Bus
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[string]net.Conn
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ListenAndServe starts a server on addr, bridging onto bus. Callers must
+// Close the returned server.
+func ListenAndServe(addr string, b Bus) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("bus: listen %s: %w", addr, err)
+	}
+	s := &Server{bus: b, ln: ln, conns: make(map[string]net.Conn)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// acceptLoop accepts connections until the listener closes.
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// handle serves one client connection for its lifetime.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+
+	r := bufio.NewReader(conn)
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return
+	}
+	var hello helloFrame
+	if err := json.Unmarshal(line, &hello); err != nil || hello.Hello == "" {
+		return
+	}
+	name := hello.Hello
+
+	inbox, err := s.bus.Register(name, 0)
+	if err != nil {
+		return
+	}
+	defer s.bus.Unregister(name)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.conns[name] = conn
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, name)
+		s.mu.Unlock()
+	}()
+
+	// Writer: forward bus inbox to the connection.
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		enc := json.NewEncoder(conn)
+		for env := range inbox {
+			e := env
+			if err := enc.Encode(frame{Envelope: &e}); err != nil {
+				return
+			}
+		}
+	}()
+
+	// Reader: forward connection frames to the bus.
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			break
+		}
+		var f frame
+		if err := json.Unmarshal(line, &f); err != nil || f.Envelope == nil {
+			continue // skip malformed frames rather than killing the session
+		}
+		env := *f.Envelope
+		env.From = name // trust boundary: the connection owns its identity
+		if _, err := env.Decode(); err != nil {
+			continue
+		}
+		_ = s.bus.Send(env) // delivery errors are the protocol layer's concern
+	}
+	// Unregister closes the inbox, which stops the writer.
+	s.bus.Unregister(name)
+	<-writerDone
+}
+
+// Close stops accepting, drops all connections and waits for handlers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for _, c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	_ = s.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+}
+
+// Client is a remote agent's connection to a Server.
+type Client struct {
+	name string
+	conn net.Conn
+	enc  *json.Encoder
+
+	inbox chan message.Envelope
+	done  chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Dial connects to a server and identifies as the named agent.
+func Dial(addr, name string) (*Client, error) {
+	if name == "" {
+		return nil, fmt.Errorf("%w: empty name", ErrUnknownAgent)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("bus: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		name:  name,
+		conn:  conn,
+		enc:   json.NewEncoder(conn),
+		inbox: make(chan message.Envelope, 64),
+		done:  make(chan struct{}),
+	}
+	if err := c.enc.Encode(helloFrame{Hello: name}); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("bus: hello: %w", err)
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop pumps inbound frames into the inbox until the connection dies.
+func (c *Client) readLoop() {
+	defer close(c.inbox)
+	defer close(c.done)
+	r := bufio.NewReader(c.conn)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			return
+		}
+		var f frame
+		if err := json.Unmarshal(line, &f); err != nil || f.Envelope == nil {
+			continue
+		}
+		select {
+		case c.inbox <- *f.Envelope:
+		default:
+			// Inbox full: drop, matching InProc semantics under overload.
+		}
+	}
+}
+
+// Inbox returns the channel of inbound envelopes. It closes when the
+// connection ends.
+func (c *Client) Inbox() <-chan message.Envelope { return c.inbox }
+
+// Send transmits an envelope. From is forced to the client's identity.
+func (c *Client) Send(env message.Envelope) error {
+	env.From = c.name
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if err := c.enc.Encode(frame{Envelope: &env}); err != nil {
+		return fmt.Errorf("bus: send: %w", err)
+	}
+	return nil
+}
+
+// Close tears down the connection and waits for the read loop to exit.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	_ = c.conn.Close()
+	<-c.done
+}

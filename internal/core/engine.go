@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	agentrt "loadbalance/internal/agent"
+	"loadbalance/internal/bus"
+	"loadbalance/internal/customeragent"
+	"loadbalance/internal/protocol"
+	"loadbalance/internal/utilityagent"
+)
+
+// Result is the outcome of one full negotiation run.
+type Result struct {
+	utilityagent.Result
+	// Bus holds the transport counters (messages, drops).
+	Bus bus.Stats
+	// FinalBids maps each non-silent customer to its last cut-down bid.
+	FinalBids map[string]float64
+	// Elapsed is the wall time of the run.
+	Elapsed time.Duration
+	// AgentErrors collects handler errors from every runtime (empty on a
+	// clean run; lossy runs may legitimately record stale-bid errors).
+	AgentErrors []error
+}
+
+// Run executes a scenario to completion: it builds the bus, starts every
+// Customer Agent and the Utility Agent, waits for the negotiation result and
+// tears everything down.
+func Run(s Scenario) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	timeout := s.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+
+	b, err := bus.NewInProc(bus.Config{DropRate: s.DropRate, Seed: s.Seed})
+	if err != nil {
+		return nil, err
+	}
+	defer b.Close()
+
+	start := time.Now()
+
+	// Customer Agents first so the UA's opening broadcast reaches everyone.
+	var runtimes []*agentrt.Runtime
+	defer func() {
+		for _, rt := range runtimes {
+			rt.Stop()
+		}
+	}()
+	cas := make(map[string]*customeragent.Agent, len(s.Customers))
+	inboxSize := 4 * maxInt(len(s.Customers), 16)
+	for _, spec := range s.Customers {
+		var handler agentrt.Handler
+		if spec.Silent {
+			handler = agentrt.HandlerFuncs{} // drains its inbox, never answers
+		} else {
+			ca, err := customeragent.New(spec.Name, spec.Prefs, spec.Strategy)
+			if err != nil {
+				return nil, fmt.Errorf("core: customer %q: %w", spec.Name, err)
+			}
+			cas[spec.Name] = ca
+			handler = ca
+		}
+		rt, err := agentrt.Start(spec.Name, b, handler, 64)
+		if err != nil {
+			return nil, fmt.Errorf("core: start %q: %w", spec.Name, err)
+		}
+		runtimes = append(runtimes, rt)
+	}
+
+	ua, err := utilityagent.New(utilityagent.Config{
+		Name:         "ua",
+		SessionID:    s.SessionID,
+		Window:       s.Window,
+		NormalUse:    s.NormalUse,
+		Loads:        s.Loads(),
+		Method:       s.Method,
+		LeadTime:     s.LeadTime,
+		Params:       s.Params,
+		InitialSlope: s.InitialSlope,
+		Offer:        s.Offer,
+		RFB:          s.RFB,
+		RoundTimeout: s.RoundTimeout,
+		WarrantRatio: s.Params.AllowedOveruseRatio,
+	})
+	if err != nil {
+		return nil, err
+	}
+	uaRT, err := agentrt.Start("ua", b, ua, inboxSize)
+	if err != nil {
+		return nil, err
+	}
+	runtimes = append(runtimes, uaRT)
+
+	var uaResult utilityagent.Result
+	select {
+	case uaResult = <-ua.Done():
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("%w after %v", ErrTimeout, timeout)
+	}
+
+	// Give in-flight awards/session-end messages a moment to land before
+	// tearing the runtimes down, so FinalBids and awards are consistent.
+	drainDeadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(drainDeadline) {
+		if allAwarded(cas, s, uaResult) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	res := &Result{
+		Result:    uaResult,
+		FinalBids: make(map[string]float64, len(cas)),
+		Elapsed:   time.Since(start),
+	}
+	for name, ca := range cas {
+		res.FinalBids[name] = ca.LastBid(s.SessionID)
+	}
+	for _, rt := range runtimes {
+		res.AgentErrors = append(res.AgentErrors, rt.Errors()...)
+	}
+	res.Bus = b.Stats()
+	return res, nil
+}
+
+// allAwarded reports whether every awarded customer has seen its award.
+func allAwarded(cas map[string]*customeragent.Agent, s Scenario, r utilityagent.Result) bool {
+	for _, aw := range r.Awards {
+		ca, ok := cas[aw.Customer]
+		if !ok {
+			continue
+		}
+		if _, got := ca.AwardFor(s.SessionID); !got {
+			return false
+		}
+	}
+	return true
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// BidsOf extracts one customer's bid per round from a reward-table history —
+// the Figures 8-9 trace. Rounds without a recorded bid repeat the previous
+// commitment (a lost or stale bid leaves the model unchanged).
+func BidsOf(history []protocol.RoundRecord, customer string) []float64 {
+	out := make([]float64, 0, len(history))
+	last := 0.0
+	for _, rec := range history {
+		if b, ok := rec.Bids[customer]; ok {
+			last = b
+		}
+		out = append(out, last)
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package customeragent
+
+import (
+	"fmt"
+	"sync"
+
+	"loadbalance/internal/agent"
+	"loadbalance/internal/message"
+	"loadbalance/internal/units"
+)
+
+// unitsEnergy converts a raw kWh value to the domain type (local helper so
+// decision code reads naturally).
+func unitsEnergy(kwh float64) units.Energy {
+	if kwh < 0 {
+		return 0
+	}
+	return units.Energy(kwh)
+}
+
+// sessionState tracks one negotiation from the CA's perspective.
+type sessionState struct {
+	lastCutDownBid float64
+	committedYMin  float64
+	award          *message.Award
+	ended          bool
+}
+
+// Agent is a Customer Agent. Its OnMessage runs on the hosting Runtime's
+// goroutine; the mutex only guards the result accessors other goroutines
+// may call (Awards, SessionCount).
+type Agent struct {
+	name     string
+	prefs    Preferences
+	strategy Strategy
+	decider  *decider
+	model    *agent.Model
+
+	mu       sync.Mutex
+	sessions map[string]*sessionState
+}
+
+// New constructs a Customer Agent.
+func New(name string, prefs Preferences, strategy Strategy) (*Agent, error) {
+	if name == "" {
+		return nil, fmt.Errorf("%w: empty name", ErrBadPreferences)
+	}
+	switch strategy {
+	case StrategyGreedy, StrategyIncremental, StrategyHoldout:
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadStrategy, int(strategy))
+	}
+	d, err := newDecider(prefs)
+	if err != nil {
+		return nil, err
+	}
+	m, err := agent.NewModel()
+	if err != nil {
+		return nil, err
+	}
+	return &Agent{
+		name:     name,
+		prefs:    prefs,
+		strategy: strategy,
+		decider:  d,
+		model:    m,
+		sessions: make(map[string]*sessionState),
+	}, nil
+}
+
+// Name returns the agent name.
+func (a *Agent) Name() string { return a.name }
+
+// Preferences returns the customer's valuation (for experiment reporting).
+func (a *Agent) Preferences() Preferences { return a.prefs }
+
+// OnStart implements agent.Handler. Customer Agents are reactive in the
+// negotiation: the Utility Agent always opens (Section 3.2).
+func (a *Agent) OnStart(rt *agent.Runtime) error { return nil }
+
+// OnMessage implements agent.Handler: the CA's agent interaction management
+// task, dispatching to cooperation management per announcement kind.
+func (a *Agent) OnMessage(rt *agent.Runtime, env message.Envelope) error {
+	reply, ok, err := a.React(env)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil
+	}
+	return rt.Send(env.From, env.Session, reply)
+}
+
+// React computes the CA's response to one envelope without sending it —
+// the transport-agnostic cooperation-management entry point. It returns the
+// reply payload and whether one should be sent. Remote deployments
+// (cmd/gridd) call React directly and ship the reply over their own
+// transport.
+func (a *Agent) React(env message.Envelope) (message.Payload, bool, error) {
+	p, err := env.Decode()
+	if err != nil {
+		return nil, false, err
+	}
+	st := a.session(env.Session)
+	a.mu.Lock()
+	ended := st.ended
+	a.mu.Unlock()
+	if ended {
+		return nil, false, nil // late traffic for a finished negotiation
+	}
+	switch m := p.(type) {
+	case message.RewardTable:
+		return a.reactRewardTable(env.From, st, m)
+	case message.OfferTerms:
+		return a.reactOffer(env.From, m)
+	case message.BidRequest:
+		return a.reactBidRequest(st, m)
+	case message.Award:
+		a.mu.Lock()
+		st.award = &m
+		a.mu.Unlock()
+		return nil, false, nil
+	case message.SessionEnd:
+		a.mu.Lock()
+		st.ended = true
+		a.mu.Unlock()
+		return nil, false, nil
+	default:
+		return nil, false, nil // not addressed to the CA role
+	}
+}
+
+// reactRewardTable is the CA's "determine bid" for the reward-table method.
+func (a *Agent) reactRewardTable(from string, st *sessionState, table message.RewardTable) (message.Payload, bool, error) {
+	a.mu.Lock()
+	last := st.lastCutDownBid
+	a.mu.Unlock()
+	bid, err := a.decider.DecideCutDown(a.prefs, a.strategy, table, last)
+	if err != nil {
+		return nil, false, err
+	}
+	a.mu.Lock()
+	st.lastCutDownBid = bid
+	a.mu.Unlock()
+	if err := a.model.RecordResponse(from, bid > 0); err != nil {
+		return nil, false, err
+	}
+	return message.CutDownBid{Round: table.Round, CutDown: bid}, true, nil
+}
+
+// reactOffer answers a take-it-or-leave-it offer.
+func (a *Agent) reactOffer(from string, terms message.OfferTerms) (message.Payload, bool, error) {
+	accept := DecideOffer(a.prefs, terms)
+	if err := a.model.RecordResponse(from, accept); err != nil {
+		return nil, false, err
+	}
+	return message.OfferReply{Round: 1, Accept: accept}, true, nil
+}
+
+// reactBidRequest answers a request-for-bids round.
+func (a *Agent) reactBidRequest(st *sessionState, req message.BidRequest) (message.Payload, bool, error) {
+	a.mu.Lock()
+	if st.committedYMin == 0 {
+		st.committedYMin = a.prefs.ExpectedUse.KWhs()
+	}
+	y := DecideEnergyBid(a.prefs, req, st.committedYMin)
+	st.committedYMin = y
+	a.mu.Unlock()
+	return message.EnergyBid{Round: req.Round, YMinKWh: y}, true, nil
+}
+
+// session returns (creating if needed) the state for a session id.
+func (a *Agent) session(id string) *sessionState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.sessions[id]
+	if !ok {
+		st = &sessionState{}
+		a.sessions[id] = st
+	}
+	return st
+}
+
+// AwardFor returns the award received in a session, if any.
+func (a *Agent) AwardFor(session string) (message.Award, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.sessions[session]
+	if !ok || st.award == nil {
+		return message.Award{}, false
+	}
+	return *st.award, true
+}
+
+// LastBid returns the customer's current cut-down bid in a session.
+func (a *Agent) LastBid(session string) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.sessions[session]
+	if !ok {
+		return 0
+	}
+	return st.lastCutDownBid
+}
+
+var _ agent.Handler = (*Agent)(nil)

@@ -1,0 +1,499 @@
+package customeragent
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"loadbalance/internal/bus"
+	"loadbalance/internal/message"
+	"loadbalance/internal/resource"
+	"loadbalance/internal/units"
+	"loadbalance/internal/world"
+
+	agentrt "loadbalance/internal/agent"
+)
+
+// paperLevels is the prototype's cut-down grid.
+var paperLevels = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+
+// paperCustomer reproduces the Figures 8-9 customer: it accepts 0.2 under
+// the round-1 table, and 0.4 once rewards have grown past 21.
+func paperCustomer(t *testing.T) Preferences {
+	t.Helper()
+	p, err := NewPreferences(paperLevels, map[float64]float64{
+		0: 0, 0.1: 4, 0.2: 8, 0.3: 13, 0.4: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.WithExpectedUse(13.5)
+}
+
+// linearTable builds a reward-table message with the given slope.
+func linearTable(round int, slope float64) message.RewardTable {
+	start := time.Date(1998, 1, 20, 17, 0, 0, 0, time.UTC)
+	entries := make([]message.RewardEntry, len(paperLevels))
+	for i, l := range paperLevels {
+		entries[i] = message.RewardEntry{CutDown: l, Reward: slope * l}
+	}
+	return message.RewardTable{
+		Window:  message.Window{Start: start, End: start.Add(2 * time.Hour)},
+		Round:   round,
+		Entries: entries,
+	}
+}
+
+func TestNewPreferencesValidation(t *testing.T) {
+	tests := []struct {
+		name     string
+		levels   []float64
+		required map[float64]float64
+	}{
+		{name: "empty levels", levels: nil},
+		{name: "unordered", levels: []float64{0, 0.2, 0.1}},
+		{name: "grid not starting at 0", levels: []float64{0.1, 0.2}},
+		{name: "negative requirement", levels: []float64{0, 0.1}, required: map[float64]float64{0: 0, 0.1: -1}},
+		{name: "nonzero at 0", levels: []float64{0, 0.1}, required: map[float64]float64{0: 5, 0.1: 6}},
+		{name: "decreasing requirements", levels: []float64{0, 0.1, 0.2}, required: map[float64]float64{0: 0, 0.1: 9, 0.2: 5}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewPreferences(tt.levels, tt.required); !errors.Is(err, ErrBadPreferences) {
+				t.Fatalf("error = %v, want ErrBadPreferences", err)
+			}
+		})
+	}
+}
+
+func TestPreferencesAccessors(t *testing.T) {
+	p := paperCustomer(t)
+	if got := p.RequiredFor(0.4); got != 21 {
+		t.Fatalf("RequiredFor(0.4) = %v", got)
+	}
+	if got := p.RequiredFor(0.5); !math.IsInf(got, 1) {
+		t.Fatalf("RequiredFor(0.5) = %v, want +Inf", got)
+	}
+	if got := p.RequiredFor(0.25); !math.IsInf(got, 1) {
+		t.Fatalf("off-grid level = %v, want +Inf", got)
+	}
+	if p.MaxCutDown != 0.4 {
+		t.Fatalf("MaxCutDown = %v, want 0.4", p.MaxCutDown)
+	}
+	// Marginal cost: first finite step is 4 reward for 0.1×13.5 kWh.
+	want := 4 / (0.1 * 13.5)
+	if !units.NearlyEqual(p.MarginalComfortCost, want, 1e-9) {
+		t.Fatalf("marginal = %v, want %v", p.MarginalComfortCost, want)
+	}
+	if got := p.Surplus(0.2, 10); !units.NearlyEqual(got, 2, 1e-12) {
+		t.Fatalf("surplus = %v", got)
+	}
+}
+
+func TestFromReport(t *testing.T) {
+	h, err := world.NewHousehold("h", 3, false, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm := world.NewWeatherModel(9)
+	start := time.Date(1998, 1, 20, 17, 0, 0, 0, time.UTC)
+	iv := units.Interval{Start: start, End: start.Add(2 * time.Hour)}
+	rep, err := resource.BuildReport(h, iv, wm, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := FromReport(rep, paperLevels, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ExpectedUse != rep.TotalUse {
+		t.Fatal("expected use should come from the report")
+	}
+	if p.MaxCutDown <= 0 {
+		t.Fatal("household should have some flexibility")
+	}
+	if math.IsInf(p.MarginalComfortCost, 1) {
+		t.Fatal("marginal comfort cost should be finite")
+	}
+}
+
+// TestPaperDecisionSequence replays the Figures 8-9 storyline: the customer
+// chooses 0.2 against the round-1 table and 0.4 once the reward at 0.4 has
+// passed its requirement of 21.
+func TestPaperDecisionSequence(t *testing.T) {
+	prefs := paperCustomer(t)
+	d, err := newDecider(prefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 1: linear slope 42.5 → rewards 4.25/8.5/12.75/17.
+	bid1, err := d.DecideCutDown(prefs, StrategyGreedy, linearTable(1, 42.5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.NearlyEqual(bid1, 0.2, 1e-12) {
+		t.Fatalf("round 1 bid = %v, want 0.2", bid1)
+	}
+	// Round 2: slope grown to 53.66 → reward(0.4) = 21.46 ≥ 21.
+	bid2, err := d.DecideCutDown(prefs, StrategyGreedy, linearTable(2, 53.66), bid1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.NearlyEqual(bid2, 0.4, 1e-12) {
+		t.Fatalf("round 2 bid = %v, want 0.4", bid2)
+	}
+	// Round 3: rewards grow further; the bid stands still at 0.4.
+	bid3, err := d.DecideCutDown(prefs, StrategyGreedy, linearTable(3, 62), bid2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.NearlyEqual(bid3, 0.4, 1e-12) {
+		t.Fatalf("round 3 bid = %v, want 0.4", bid3)
+	}
+}
+
+func TestDecideCutDownNeverRegresses(t *testing.T) {
+	prefs := paperCustomer(t)
+	d, err := newDecider(prefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Last bid 0.3 but table only justifies 0.2: the bid must stay 0.3.
+	bid, err := d.DecideCutDown(prefs, StrategyGreedy, linearTable(2, 42.5), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bid != 0.3 {
+		t.Fatalf("bid = %v, want floor 0.3", bid)
+	}
+}
+
+func TestStrategyIncremental(t *testing.T) {
+	prefs := paperCustomer(t)
+	d, err := newDecider(prefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generous table: greedy would jump to 0.4; incremental concedes 0.1.
+	rich := linearTable(1, 100)
+	bid, err := d.DecideCutDown(prefs, StrategyIncremental, rich, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.NearlyEqual(bid, 0.1, 1e-12) {
+		t.Fatalf("incremental first bid = %v, want 0.1", bid)
+	}
+	bid, err = d.DecideCutDown(prefs, StrategyIncremental, rich, bid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.NearlyEqual(bid, 0.2, 1e-12) {
+		t.Fatalf("incremental second bid = %v, want 0.2", bid)
+	}
+}
+
+func TestStrategyHoldout(t *testing.T) {
+	prefs := paperCustomer(t)
+	d, err := newDecider(prefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-1 table: 8.5 at 0.2 vs requirement 8. Acceptable, but below the
+	// 15% holdout premium (9.2), so the holdout stays at 0.
+	bid, err := d.DecideCutDown(prefs, StrategyHoldout, linearTable(1, 42.5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bid != 0 {
+		t.Fatalf("holdout round 1 bid = %v, want 0", bid)
+	}
+	// Premium reached at several levels: 0.3 pays 15 ≥ 1.15×13 = 14.95 and
+	// is the deepest level clearing the premium, so the holdout bids 0.3.
+	bid, err = d.DecideCutDown(prefs, StrategyHoldout, linearTable(2, 50), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.NearlyEqual(bid, 0.3, 1e-12) {
+		t.Fatalf("holdout round 2 bid = %v, want 0.3", bid)
+	}
+}
+
+func TestDecideCutDownUnknownStrategy(t *testing.T) {
+	prefs := paperCustomer(t)
+	d, err := newDecider(prefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.DecideCutDown(prefs, Strategy(99), linearTable(1, 42.5), 0); !errors.Is(err, ErrBadStrategy) {
+		t.Fatalf("error = %v, want ErrBadStrategy", err)
+	}
+}
+
+func TestDecideOffer(t *testing.T) {
+	prefs := paperCustomer(t) // 13.5 kWh expected, marginal cost ~2.96/kWh
+	window := message.Window{
+		Start: time.Date(1998, 1, 20, 17, 0, 0, 0, time.UTC),
+		End:   time.Date(1998, 1, 20, 19, 0, 0, 0, time.UTC),
+	}
+	tests := []struct {
+		name  string
+		terms message.OfferTerms
+		want  bool
+	}{
+		{
+			// Cap 13.5×0.8 = 10.8; decline 13.5×1 = 13.5; accept = 10.8×0.5
+			// + cheaper of (2.7×2.0 high) vs (2.7×2.96 shed) = 5.4+5.4 =
+			// 10.8 < 13.5 → accept.
+			name:  "worthwhile discount",
+			terms: message.OfferTerms{Window: window, XMax: 0.8, AllowanceKWh: 13.5, LowPrice: 0.5, NormalPrice: 1, HighPrice: 2},
+			want:  true,
+		},
+		{
+			// Tiny discount with harsh excess price: accept = 13.23×0.98 +
+			// cheap-side excess ≈ 12.97 + min(0.54, 0.8) → still less than
+			// 13.5? 0.27 kWh excess at high 3 → 0.81, shed 0.8. accept ≈
+			// 13.76 > 13.5 → decline.
+			name:  "not worth it",
+			terms: message.OfferTerms{Window: window, XMax: 0.98, AllowanceKWh: 13.5, LowPrice: 0.98, NormalPrice: 1, HighPrice: 3},
+			want:  false,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := DecideOffer(prefs, tt.terms); got != tt.want {
+				t.Fatalf("DecideOffer = %v, want %v", got, tt.want)
+			}
+		})
+	}
+	// A customer with no expected use accepts trivially.
+	idle, err := NewPreferences(paperLevels, map[float64]float64{0: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !DecideOffer(idle, tests[0].terms) {
+		t.Fatal("idle customer should accept")
+	}
+}
+
+func TestDecideEnergyBid(t *testing.T) {
+	prefs := paperCustomer(t)
+	req := message.BidRequest{
+		Window: message.Window{
+			Start: time.Date(1998, 1, 20, 17, 0, 0, 0, time.UTC),
+			End:   time.Date(1998, 1, 20, 19, 0, 0, 0, time.UTC),
+		},
+		Round: 1, LowPrice: 0.5, NormalPrice: 1, HighPrice: 4,
+	}
+	// Step = 0.1×13.5 = 1.35 kWh; premium saved = 3.5×1.35 = 4.725 >
+	// comfort 2.96×1.35 = 4.0 → step forward.
+	got := DecideEnergyBid(prefs, req, 13.5)
+	if !units.NearlyEqual(got, 12.15, 1e-9) {
+		t.Fatalf("bid = %v, want 12.15", got)
+	}
+	// Cheap peak power: premium 0.5×1.35 = 0.675 < comfort → stand still.
+	cheap := req
+	cheap.HighPrice = 1
+	if got := DecideEnergyBid(prefs, cheap, 13.5); got != 13.5 {
+		t.Fatalf("bid = %v, want stand-still 13.5", got)
+	}
+	// Never below the feasibility floor 13.5×0.6 = 8.1.
+	if got := DecideEnergyBid(prefs, req, 8.5); got < 8.1-1e-9 {
+		t.Fatalf("bid %v below floor", got)
+	}
+	if got := DecideEnergyBid(prefs, req, 8.1); got != 8.1 {
+		t.Fatalf("bid at floor = %v, want stand-still", got)
+	}
+}
+
+func TestNewAgentValidation(t *testing.T) {
+	prefs := paperCustomer(t)
+	if _, err := New("", prefs, StrategyGreedy); err == nil {
+		t.Fatal("empty name should fail")
+	}
+	if _, err := New("c1", prefs, Strategy(42)); !errors.Is(err, ErrBadStrategy) {
+		t.Fatal("bad strategy should fail")
+	}
+	a, err := New("c1", prefs, StrategyGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "c1" || a.Preferences().MaxCutDown != 0.4 {
+		t.Fatalf("agent = %+v", a)
+	}
+}
+
+// TestAgentRespondsToRewardTable runs the CA on a live bus and checks it
+// answers an announcement with its bid.
+func TestAgentRespondsToRewardTable(t *testing.T) {
+	b, err := bus.NewInProc(bus.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	uaBox, err := b.Register("ua", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ca, err := New("c1", paperCustomer(t), StrategyGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := agentrt.Start("c1", b, ca, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+
+	env, err := message.NewEnvelope("ua", "c1", "s1", linearTable(1, 42.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(env); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case reply := <-uaBox:
+		p, err := reply.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bid, ok := p.(message.CutDownBid)
+		if !ok {
+			t.Fatalf("reply = %T", p)
+		}
+		if bid.Round != 1 || !units.NearlyEqual(bid.CutDown, 0.2, 1e-12) {
+			t.Fatalf("bid = %+v, want round 1 cut-down 0.2", bid)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no bid received")
+	}
+	if got := ca.LastBid("s1"); !units.NearlyEqual(got, 0.2, 1e-12) {
+		t.Fatalf("LastBid = %v", got)
+	}
+}
+
+// TestAgentSessionLifecycle covers award receipt and end-of-session
+// handling, including silence after SessionEnd.
+func TestAgentSessionLifecycle(t *testing.T) {
+	b, err := bus.NewInProc(bus.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	uaBox, err := b.Register("ua", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := New("c1", paperCustomer(t), StrategyGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := agentrt.Start("c1", b, ca, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+
+	send := func(p message.Payload) {
+		t.Helper()
+		env, err := message.NewEnvelope("ua", "c1", "s1", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Send(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(message.Award{Round: 3, CutDown: 0.4, Reward: 24.8})
+	send(message.SessionEnd{Round: 3, Reason: "converged"})
+	// A table after session end must not produce a bid.
+	send(linearTable(4, 80))
+
+	deadline := time.After(2 * time.Second)
+	for {
+		if _, ok := ca.AwardFor("s1"); ok {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("award never recorded")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	award, _ := ca.AwardFor("s1")
+	if award.Reward != 24.8 {
+		t.Fatalf("award = %+v", award)
+	}
+	// Allow any in-flight handling to finish, then check no bid arrived.
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case env := <-uaBox:
+		t.Fatalf("CA responded after session end: %+v", env)
+	default:
+	}
+	if _, ok := ca.AwardFor("nosession"); ok {
+		t.Fatal("award for unknown session")
+	}
+	if got := ca.LastBid("nosession"); got != 0 {
+		t.Fatalf("LastBid unknown session = %v", got)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	for _, s := range []Strategy{StrategyGreedy, StrategyIncremental, StrategyHoldout, Strategy(9)} {
+		if s.String() == "" {
+			t.Fatal("empty strategy string")
+		}
+	}
+}
+
+// Property: for any pair of tables where the second dominates the first,
+// the greedy decision against the second is at least the decision against
+// the first (the customer half of monotonic concession emerges from the
+// decision rule alone).
+func TestDecisionMonotoneInTableProperty(t *testing.T) {
+	prefs := paperCustomer(t)
+	f := func(s1Raw, s2Raw uint8) bool {
+		slope1 := 20 + float64(s1Raw%60)
+		slope2 := slope1 + float64(s2Raw%40) // dominating table
+		d, err := newDecider(prefs)
+		if err != nil {
+			return false
+		}
+		bid1, err := d.DecideCutDown(prefs, StrategyGreedy, linearTable(1, slope1), 0)
+		if err != nil {
+			return false
+		}
+		bid2, err := d.DecideCutDown(prefs, StrategyGreedy, linearTable(2, slope2), bid1)
+		if err != nil {
+			return false
+		}
+		return bid2 >= bid1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the greedy bid never exceeds the customer's feasible maximum.
+func TestDecisionRespectsFeasibilityProperty(t *testing.T) {
+	prefs := paperCustomer(t)
+	f := func(sRaw uint8) bool {
+		slope := 20 + float64(sRaw) // arbitrarily rich tables
+		d, err := newDecider(prefs)
+		if err != nil {
+			return false
+		}
+		bid, err := d.DecideCutDown(prefs, StrategyGreedy, linearTable(1, slope), 0)
+		if err != nil {
+			return false
+		}
+		return bid <= prefs.MaxCutDown+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

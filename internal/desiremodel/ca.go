@@ -1,0 +1,279 @@
+package desiremodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"loadbalance/internal/desire"
+	"loadbalance/internal/kb"
+)
+
+// This file assembles the Customer Agent's Figure 5 composition,
+// "cooperation management": interpretation of the announcement, bid
+// generation, expected-gain calculation, bid choice, and the determination
+// of implementation instructions for the Resource Consumer Agents.
+
+// caOntology declares the CA model's information types.
+func caOntology() (*kb.Ontology, error) {
+	o := kb.NewOntology()
+	steps := []error{
+		o.DeclareSort("device", kb.SortAny),
+		// Inputs.
+		o.DeclarePred("announced_reward", kb.SortNumber, kb.SortNumber),       // cutdown, reward
+		o.DeclarePred("required_reward", kb.SortNumber, kb.SortNumber),        // cutdown, min reward
+		o.DeclarePred("savable", kb.SortString, kb.SortNumber, kb.SortNumber), // device, kwh, cost/kwh
+		o.DeclarePred("expected_use", kb.SortNumber),
+		// Intermediate and output.
+		o.DeclarePred("possible_bid", kb.SortNumber),
+		o.DeclarePred("expected_gain", kb.SortNumber, kb.SortNumber), // cutdown, gain
+		o.DeclarePred("chosen_bid", kb.SortNumber),
+		o.DeclarePred("instruction", kb.SortString, kb.SortNumber), // device, kwh to shed
+	}
+	for _, err := range steps {
+		if err != nil {
+			return nil, fmt.Errorf("desiremodel: ca ontology: %w", err)
+		}
+	}
+	return o, nil
+}
+
+// generateBidsRules is "generate bids": every announced cut-down whose
+// reward clears the requirement is a possible bid.
+func generateBidsRules() (*kb.Base, error) {
+	return kb.NewBase("generate_bids", kb.Rule{
+		Name: "possible_if_reward_clears",
+		If: []kb.Literal{
+			kb.Pos(kb.A("announced_reward", kb.V("Cut"), kb.V("Off"))),
+			kb.Pos(kb.A("required_reward", kb.V("Cut"), kb.V("Req"))),
+		},
+		Guards: []kb.Guard{{Op: kb.OpGeq, Left: kb.V("Off"), Right: kb.V("Req")}},
+		Then:   []kb.Atom{kb.A("possible_bid", kb.V("Cut"))},
+	})
+}
+
+// calculateGainTask is "calculate expected gain": gain = offered − required
+// for every possible bid.
+func calculateGainTask(ont *kb.Ontology) *desire.Task {
+	return desire.NewTask("calculate_expected_gain", ont, func(in, out *kb.Store) (bool, error) {
+		changed := false
+		for _, pb := range in.Query(kb.A("possible_bid", kb.V("Cut"))) {
+			cut := pb.Args[0].Num
+			var offered, required float64
+			for _, a := range in.Query(kb.A("announced_reward", kb.N(cut), kb.V("Off"))) {
+				offered = a.Args[1].Num
+			}
+			for _, a := range in.Query(kb.A("required_reward", kb.N(cut), kb.V("Req"))) {
+				required = a.Args[1].Num
+			}
+			atom := kb.A("expected_gain", kb.N(cut), kb.N(offered-required))
+			if out.Holds(atom) {
+				continue
+			}
+			if err := out.Assert(atom, kb.True); err != nil {
+				return changed, err
+			}
+			changed = true
+		}
+		return changed, nil
+	})
+}
+
+// chooseBidTask is "choose appropriate bid" + "select bid": the prototype's
+// customer "chooses the highest acceptable cut-down as its preferred
+// cut-down" (Section 6.2).
+func chooseBidTask(ont *kb.Ontology) *desire.Task {
+	return desire.NewTask("choose_appropriate_bid", ont, func(in, out *kb.Store) (bool, error) {
+		best := math.Inf(-1)
+		for _, a := range in.Query(kb.A("expected_gain", kb.V("Cut"), kb.V("G"))) {
+			if cut := a.Args[0].Num; cut > best {
+				best = cut
+			}
+		}
+		if math.IsInf(best, -1) {
+			return false, nil
+		}
+		atom := kb.A("chosen_bid", kb.N(best))
+		if out.Holds(atom) {
+			return false, nil
+		}
+		return true, out.Assert(atom, kb.True)
+	})
+}
+
+// instructionsTask is "determine implementation instructions": given the
+// chosen cut-down, shed devices cheapest-comfort-first until the saving is
+// covered — the CA→RCA half the paper leaves for future work, made
+// executable.
+func instructionsTask(ont *kb.Ontology) *desire.Task {
+	return desire.NewTask("determine_implementation_instructions", ont, func(in, out *kb.Store) (bool, error) {
+		var chosen float64
+		found := false
+		for _, a := range in.Query(kb.A("chosen_bid", kb.V("Cut"))) {
+			chosen = a.Args[0].Num
+			found = true
+		}
+		if !found || chosen == 0 {
+			return false, nil
+		}
+		var use float64
+		for _, a := range in.Query(kb.A("expected_use", kb.V("U"))) {
+			use = a.Args[0].Num
+		}
+		type tranche struct {
+			device string
+			kwh    float64
+			cost   float64
+		}
+		var tranches []tranche
+		for _, a := range in.Query(kb.A("savable", kb.V("D"), kb.V("K"), kb.V("C"))) {
+			tranches = append(tranches, tranche{device: a.Args[0].Str, kwh: a.Args[1].Num, cost: a.Args[2].Num})
+		}
+		sort.Slice(tranches, func(i, j int) bool {
+			if tranches[i].cost != tranches[j].cost {
+				return tranches[i].cost < tranches[j].cost
+			}
+			return tranches[i].device < tranches[j].device
+		})
+		remaining := chosen * use
+		changed := false
+		for _, tr := range tranches {
+			if remaining <= 1e-9 {
+				break
+			}
+			take := tr.kwh
+			if take > remaining {
+				take = remaining
+			}
+			remaining -= take
+			atom := kb.A("instruction", kb.S(tr.device), kb.N(take))
+			if out.Holds(atom) {
+				continue
+			}
+			if err := out.Assert(atom, kb.True); err != nil {
+				return changed, err
+			}
+			changed = true
+		}
+		return changed, nil
+	})
+}
+
+// NewCACooperationManagement assembles the Figure 5 composition.
+func NewCACooperationManagement() (*desire.Composed, error) {
+	ont, err := caOntology()
+	if err != nil {
+		return nil, err
+	}
+	gen, err := generateBidsRules()
+	if err != nil {
+		return nil, err
+	}
+
+	cm := desire.NewComposed("cooperation_management", ont, 0)
+	children := []desire.Component{
+		desire.NewReasoning("generate_bids", ont, gen, "possible_bid"),
+		calculateGainTask(ont),
+		chooseBidTask(ont),
+		instructionsTask(ont),
+	}
+	for _, c := range children {
+		if err := cm.AddChild(c); err != nil {
+			return nil, err
+		}
+	}
+	links := []desire.Link{
+		{Name: "announcement_in", From: desire.Endpoint{Port: desire.In},
+			To: desire.Endpoint{Component: "generate_bids", Port: desire.In}},
+		{Name: "possible_to_gain", From: desire.Endpoint{Component: "generate_bids", Port: desire.Out},
+			To: desire.Endpoint{Component: "calculate_expected_gain", Port: desire.In}},
+		{Name: "tables_to_gain", From: desire.Endpoint{Port: desire.In},
+			To: desire.Endpoint{Component: "calculate_expected_gain", Port: desire.In}},
+		{Name: "gain_to_choice", From: desire.Endpoint{Component: "calculate_expected_gain", Port: desire.Out},
+			To: desire.Endpoint{Component: "choose_appropriate_bid", Port: desire.In}},
+		{Name: "choice_to_instructions", From: desire.Endpoint{Component: "choose_appropriate_bid", Port: desire.Out},
+			To: desire.Endpoint{Component: "determine_implementation_instructions", Port: desire.In}},
+		{Name: "resources_to_instructions", From: desire.Endpoint{Port: desire.In},
+			To: desire.Endpoint{Component: "determine_implementation_instructions", Port: desire.In}},
+		{Name: "bid_out", From: desire.Endpoint{Component: "choose_appropriate_bid", Port: desire.Out},
+			To: desire.Endpoint{Port: desire.Out}},
+		{Name: "instructions_out", From: desire.Endpoint{Component: "determine_implementation_instructions", Port: desire.Out},
+			To: desire.Endpoint{Port: desire.Out}},
+	}
+	for _, l := range links {
+		if err := cm.AddLink(l); err != nil {
+			return nil, err
+		}
+	}
+	err = cm.SetControl([]desire.Step{
+		{Transfer: "announcement_in"},
+		{Activate: "generate_bids"},
+		{Transfer: "possible_to_gain"},
+		{Transfer: "tables_to_gain"},
+		{Activate: "calculate_expected_gain"},
+		{Transfer: "gain_to_choice"},
+		{Activate: "choose_appropriate_bid"},
+		{Transfer: "choice_to_instructions"},
+		{Transfer: "resources_to_instructions"},
+		{Activate: "determine_implementation_instructions"},
+		{Transfer: "bid_out"},
+		{Transfer: "instructions_out"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cm, nil
+}
+
+// CABid is the Figure 5 composition's decision.
+type CABid struct {
+	CutDown float64
+	// Instructions maps devices to the kWh each must shed.
+	Instructions map[string]float64
+}
+
+// DecideBid runs the Figure 5 composition: announced and required reward
+// tables (maps cut-down → reward), expected use and device savables in,
+// chosen bid plus per-device shedding instructions out.
+func DecideBid(announced, required map[float64]float64, expectedUse float64, savables map[string][2]float64) (CABid, error) {
+	cm, err := NewCACooperationManagement()
+	if err != nil {
+		return CABid{}, err
+	}
+	var facts []kb.Fact
+	for cut, r := range announced {
+		facts = append(facts, kb.Fact{Atom: kb.A("announced_reward", kb.N(cut), kb.N(r)), Truth: kb.True})
+	}
+	for cut, r := range required {
+		if math.IsInf(r, 1) {
+			continue
+		}
+		facts = append(facts, kb.Fact{Atom: kb.A("required_reward", kb.N(cut), kb.N(r)), Truth: kb.True})
+	}
+	facts = append(facts, kb.Fact{Atom: kb.A("expected_use", kb.N(expectedUse)), Truth: kb.True})
+	for device, kc := range savables {
+		facts = append(facts, kb.Fact{
+			Atom:  kb.A("savable", kb.S(device), kb.N(kc[0]), kb.N(kc[1])),
+			Truth: kb.True,
+		})
+	}
+	out, err := desire.Run(cm, facts)
+	if err != nil {
+		return CABid{}, err
+	}
+	bid := CABid{Instructions: make(map[string]float64)}
+	for _, f := range out {
+		if f.Truth != kb.True {
+			continue
+		}
+		switch f.Atom.Pred {
+		case "chosen_bid":
+			if f.Atom.Args[0].Num > bid.CutDown {
+				bid.CutDown = f.Atom.Args[0].Num
+			}
+		case "instruction":
+			bid.Instructions[f.Atom.Args[0].Str] += f.Atom.Args[1].Num
+		}
+	}
+	return bid, nil
+}

@@ -1,0 +1,182 @@
+package desiremodel
+
+import (
+	"fmt"
+
+	"loadbalance/internal/desire"
+	"loadbalance/internal/kb"
+)
+
+// This file assembles Figure 4: the Customer Agent's own process control —
+// "determine general negotiation strategies" (a general resource allocation
+// strategy for its Resource Consumer Agents and a general bidding strategy
+// toward the Utility Agent) plus "evaluate processes".
+
+// Attitude constants of sort "attitude": the customer profile that drives
+// strategy selection. The paper: models of consumers "need to be adaptive
+// and flexible" since customers differ in the price/risk they accept.
+const (
+	AttitudeEager    = "eager"    // wants the deal now → greedy bidding
+	AttitudeCautious = "cautious" // concedes a step at a time → incremental
+	AttitudePatient  = "patient"  // waits for a premium → holdout
+)
+
+// Strategy and allocation constants.
+const (
+	BidGreedy      = "greedy"
+	BidIncremental = "incremental"
+	BidHoldout     = "holdout"
+
+	AllocCheapestFirst = "cheapest_comfort_first"
+	AllocProportional  = "proportional"
+)
+
+// caOPCOntology declares the Figure 4 information types.
+func caOPCOntology() (*kb.Ontology, error) {
+	o := kb.NewOntology()
+	steps := []error{
+		o.DeclareSort("attitude", kb.SortAny),
+		o.DeclareSort("bidstrategy", kb.SortAny),
+		o.DeclareSort("allocstrategy", kb.SortAny),
+		o.DeclareConst(AttitudeEager, "attitude"),
+		o.DeclareConst(AttitudeCautious, "attitude"),
+		o.DeclareConst(AttitudePatient, "attitude"),
+		o.DeclareConst(BidGreedy, "bidstrategy"),
+		o.DeclareConst(BidIncremental, "bidstrategy"),
+		o.DeclareConst(BidHoldout, "bidstrategy"),
+		o.DeclareConst(AllocCheapestFirst, "allocstrategy"),
+		o.DeclareConst(AllocProportional, "allocstrategy"),
+
+		o.DeclarePred("customer_attitude", "attitude"),
+		o.DeclarePred("devices_heterogeneous", kb.SortNumber), // 1 when comfort costs differ
+		o.DeclarePred("bidding_strategy", "bidstrategy"),
+		o.DeclarePred("allocation_strategy", "allocstrategy"),
+		// Evaluation.
+		o.DeclarePred("award_received", kb.SortNumber), // 1/0
+		o.DeclarePred("surplus", kb.SortNumber),        // reward − requirement
+		o.DeclarePred("bidding_verdict", kb.SortString),
+	}
+	for _, err := range steps {
+		if err != nil {
+			return nil, fmt.Errorf("desiremodel: ca opc ontology: %w", err)
+		}
+	}
+	return o, nil
+}
+
+// caStrategyRules encodes "determine general negotiation strategies".
+func caStrategyRules() (*kb.Base, error) {
+	return kb.NewBase("determine_general_negotiation_strategies",
+		kb.Rule{
+			Name: "eager_bids_greedy",
+			If:   []kb.Literal{kb.Pos(kb.A("customer_attitude", kb.C(AttitudeEager)))},
+			Then: []kb.Atom{kb.A("bidding_strategy", kb.C(BidGreedy))},
+		},
+		kb.Rule{
+			Name: "cautious_bids_incrementally",
+			If:   []kb.Literal{kb.Pos(kb.A("customer_attitude", kb.C(AttitudeCautious)))},
+			Then: []kb.Atom{kb.A("bidding_strategy", kb.C(BidIncremental))},
+		},
+		kb.Rule{
+			Name: "patient_holds_out",
+			If:   []kb.Literal{kb.Pos(kb.A("customer_attitude", kb.C(AttitudePatient)))},
+			Then: []kb.Atom{kb.A("bidding_strategy", kb.C(BidHoldout))},
+		},
+		kb.Rule{
+			Name: "heterogeneous_devices_shed_cheapest_first",
+			If:   []kb.Literal{kb.Pos(kb.A("devices_heterogeneous", kb.N(1)))},
+			Then: []kb.Atom{kb.A("allocation_strategy", kb.C(AllocCheapestFirst))},
+		},
+		kb.Rule{
+			Name: "homogeneous_devices_shed_proportionally",
+			If:   []kb.Literal{kb.Pos(kb.A("devices_heterogeneous", kb.N(0)))},
+			Then: []kb.Atom{kb.A("allocation_strategy", kb.C(AllocProportional))},
+		},
+	)
+}
+
+// caEvaluationRules encodes "evaluate processes": a bidding process that
+// ended with an award and non-negative surplus succeeded.
+func caEvaluationRules() (*kb.Base, error) {
+	return kb.NewBase("evaluate_processes",
+		kb.Rule{
+			Name: "award_with_surplus_is_good",
+			If: []kb.Literal{
+				kb.Pos(kb.A("award_received", kb.N(1))),
+				kb.Pos(kb.A("surplus", kb.V("S"))),
+			},
+			Guards: []kb.Guard{{Op: kb.OpGeq, Left: kb.V("S"), Right: kb.N(0)}},
+			Then:   []kb.Atom{kb.A("bidding_verdict", kb.S("satisfactory"))},
+		},
+		kb.Rule{
+			Name: "award_below_requirement_is_bad",
+			If: []kb.Literal{
+				kb.Pos(kb.A("award_received", kb.N(1))),
+				kb.Pos(kb.A("surplus", kb.V("S"))),
+			},
+			Guards: []kb.Guard{{Op: kb.OpLt, Left: kb.V("S"), Right: kb.N(0)}},
+			Then:   []kb.Atom{kb.A("bidding_verdict", kb.S("reconsider_strategy"))},
+		},
+		kb.Rule{
+			Name: "no_award_means_missed_deal",
+			If: []kb.Literal{
+				kb.Pos(kb.A("award_received", kb.N(0))),
+			},
+			Then: []kb.Atom{kb.A("bidding_verdict", kb.S("no_deal"))},
+		},
+	)
+}
+
+// NewCAOwnProcessControl assembles Figure 4.
+func NewCAOwnProcessControl() (*desire.Composed, error) {
+	ont, err := caOPCOntology()
+	if err != nil {
+		return nil, err
+	}
+	strat, err := caStrategyRules()
+	if err != nil {
+		return nil, err
+	}
+	eval, err := caEvaluationRules()
+	if err != nil {
+		return nil, err
+	}
+	opc := desire.NewComposed("own_process_control", ont, 0)
+	children := []desire.Component{
+		desire.NewReasoning("determine_general_negotiation_strategies", ont, strat,
+			"bidding_strategy", "allocation_strategy"),
+		desire.NewReasoning("evaluate_processes", ont, eval, "bidding_verdict"),
+	}
+	for _, c := range children {
+		if err := opc.AddChild(c); err != nil {
+			return nil, err
+		}
+	}
+	links := []desire.Link{
+		{Name: "profile_in", From: desire.Endpoint{Port: desire.In},
+			To: desire.Endpoint{Component: "determine_general_negotiation_strategies", Port: desire.In}},
+		{Name: "results_in", From: desire.Endpoint{Port: desire.In},
+			To: desire.Endpoint{Component: "evaluate_processes", Port: desire.In}},
+		{Name: "strategies_out", From: desire.Endpoint{Component: "determine_general_negotiation_strategies", Port: desire.Out},
+			To: desire.Endpoint{Port: desire.Out}},
+		{Name: "verdict_out", From: desire.Endpoint{Component: "evaluate_processes", Port: desire.Out},
+			To: desire.Endpoint{Port: desire.Out}},
+	}
+	for _, l := range links {
+		if err := opc.AddLink(l); err != nil {
+			return nil, err
+		}
+	}
+	err = opc.SetControl([]desire.Step{
+		{Transfer: "profile_in"},
+		{Activate: "determine_general_negotiation_strategies"},
+		{Transfer: "results_in"},
+		{Activate: "evaluate_processes"},
+		{Transfer: "strategies_out"},
+		{Transfer: "verdict_out"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return opc, nil
+}

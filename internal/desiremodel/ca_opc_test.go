@@ -1,0 +1,96 @@
+package desiremodel
+
+import (
+	"testing"
+
+	"loadbalance/internal/desire"
+	"loadbalance/internal/kb"
+)
+
+// runCAOPC runs the Figure 4 composition and indexes output by predicate.
+func runCAOPC(t *testing.T, facts []kb.Fact) map[string]string {
+	t.Helper()
+	opc, err := NewCAOwnProcessControl()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := desire.Run(opc, facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]string)
+	for _, f := range out {
+		if f.Truth != kb.True {
+			continue
+		}
+		switch f.Atom.Args[0].Kind {
+		case kb.KindConst:
+			got[f.Atom.Pred] = f.Atom.Args[0].Name
+		case kb.KindString:
+			got[f.Atom.Pred] = f.Atom.Args[0].Str
+		}
+	}
+	return got
+}
+
+func TestStrategySelectionPerAttitude(t *testing.T) {
+	tests := []struct {
+		attitude string
+		want     string
+	}{
+		{AttitudeEager, BidGreedy},
+		{AttitudeCautious, BidIncremental},
+		{AttitudePatient, BidHoldout},
+	}
+	for _, tt := range tests {
+		t.Run(tt.attitude, func(t *testing.T) {
+			got := runCAOPC(t, []kb.Fact{
+				{Atom: kb.A("customer_attitude", kb.C(tt.attitude)), Truth: kb.True},
+				{Atom: kb.A("devices_heterogeneous", kb.N(1)), Truth: kb.True},
+			})
+			if got["bidding_strategy"] != tt.want {
+				t.Fatalf("strategy = %q, want %q", got["bidding_strategy"], tt.want)
+			}
+			if got["allocation_strategy"] != AllocCheapestFirst {
+				t.Fatalf("allocation = %q", got["allocation_strategy"])
+			}
+		})
+	}
+}
+
+func TestAllocationStrategyForHomogeneousDevices(t *testing.T) {
+	got := runCAOPC(t, []kb.Fact{
+		{Atom: kb.A("customer_attitude", kb.C(AttitudeEager)), Truth: kb.True},
+		{Atom: kb.A("devices_heterogeneous", kb.N(0)), Truth: kb.True},
+	})
+	if got["allocation_strategy"] != AllocProportional {
+		t.Fatalf("allocation = %q, want proportional", got["allocation_strategy"])
+	}
+}
+
+func TestProcessEvaluationVerdicts(t *testing.T) {
+	tests := []struct {
+		name    string
+		award   float64
+		surplus float64
+		want    string
+	}{
+		{name: "good deal", award: 1, surplus: 3.8, want: "satisfactory"},
+		{name: "break even", award: 1, surplus: 0, want: "satisfactory"},
+		{name: "bad deal", award: 1, surplus: -2, want: "reconsider_strategy"},
+		{name: "no deal", award: 0, surplus: 0, want: "no_deal"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := runCAOPC(t, []kb.Fact{
+				{Atom: kb.A("customer_attitude", kb.C(AttitudeEager)), Truth: kb.True},
+				{Atom: kb.A("devices_heterogeneous", kb.N(1)), Truth: kb.True},
+				{Atom: kb.A("award_received", kb.N(tt.award)), Truth: kb.True},
+				{Atom: kb.A("surplus", kb.N(tt.surplus)), Truth: kb.True},
+			})
+			if got["bidding_verdict"] != tt.want {
+				t.Fatalf("verdict = %q, want %q", got["bidding_verdict"], tt.want)
+			}
+		})
+	}
+}

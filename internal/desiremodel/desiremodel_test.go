@@ -1,0 +1,190 @@
+package desiremodel
+
+import (
+	"testing"
+	"time"
+
+	"loadbalance/internal/desire"
+	"loadbalance/internal/kb"
+	"loadbalance/internal/units"
+	"loadbalance/internal/utilityagent"
+)
+
+func TestDecideMethodMatchesFigure2Cases(t *testing.T) {
+	tests := []struct {
+		name           string
+		give           UASituation
+		wantMethod     string
+		wantAcceptance string
+	}{
+		{
+			name:           "imminent peak",
+			give:           UASituation{LeadTimeMinutes: 5, OveruseRatio: 0.35, Customers: 100},
+			wantMethod:     MethodOffer,
+			wantAcceptance: AcceptCountYes,
+		},
+		{
+			name:           "small peak",
+			give:           UASituation{LeadTimeMinutes: 120, OveruseRatio: 0.08, Customers: 100},
+			wantMethod:     MethodOffer,
+			wantAcceptance: AcceptCountYes,
+		},
+		{
+			name:           "long horizon small fleet",
+			give:           UASituation{LeadTimeMinutes: 720, OveruseRatio: 0.35, Customers: 20},
+			wantMethod:     MethodRFB,
+			wantAcceptance: AcceptMonotonicYMin,
+		},
+		{
+			name:           "default reward tables",
+			give:           UASituation{LeadTimeMinutes: 120, OveruseRatio: 0.35, Customers: 1000},
+			wantMethod:     MethodRewardTable,
+			wantAcceptance: AcceptMonotonicBids,
+		},
+		{
+			name:           "long horizon large fleet",
+			give:           UASituation{LeadTimeMinutes: 720, OveruseRatio: 0.35, Customers: 1000},
+			wantMethod:     MethodRewardTable,
+			wantAcceptance: AcceptMonotonicBids,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			method, acceptance, err := DecideMethod(tt.give)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if method != tt.wantMethod {
+				t.Fatalf("method = %q, want %q", method, tt.wantMethod)
+			}
+			if acceptance != tt.wantAcceptance {
+				t.Fatalf("acceptance = %q, want %q", acceptance, tt.wantAcceptance)
+			}
+		})
+	}
+}
+
+// TestSpecificationMatchesImplementation is the consistency check between
+// the declarative Figure 2 model and the operational ChooseMethod, sampled
+// away from threshold boundaries.
+func TestSpecificationMatchesImplementation(t *testing.T) {
+	cases := []UASituation{
+		{LeadTimeMinutes: 5, OveruseRatio: 0.4, Customers: 10},
+		{LeadTimeMinutes: 30, OveruseRatio: 0.05, Customers: 400},
+		{LeadTimeMinutes: 120, OveruseRatio: 0.35, Customers: 1000},
+		{LeadTimeMinutes: 720, OveruseRatio: 0.35, Customers: 20},
+		{LeadTimeMinutes: 720, OveruseRatio: 0.35, Customers: 900},
+	}
+	implName := map[utilityagent.Method]string{
+		utilityagent.MethodOffer:          MethodOffer,
+		utilityagent.MethodRequestForBids: MethodRFB,
+		utilityagent.MethodRewardTable:    MethodRewardTable,
+	}
+	for _, s := range cases {
+		spec, _, err := DecideMethod(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		impl := utilityagent.ChooseMethod(utilityagent.Situation{
+			LeadTime:     time.Duration(s.LeadTimeMinutes) * time.Minute,
+			OveruseRatio: s.OveruseRatio,
+			Customers:    int(s.Customers),
+			ResponseRate: 0.7,
+		})
+		if implName[impl] != spec {
+			t.Fatalf("situation %+v: spec %q vs implementation %q", s, spec, implName[impl])
+		}
+	}
+}
+
+func TestEvaluateNegotiationProcess(t *testing.T) {
+	verdictFor := func(converged float64) string {
+		t.Helper()
+		opc, err := NewUAOwnProcessControl()
+		if err != nil {
+			t.Fatal(err)
+		}
+		facts := []kb.Fact{
+			{Atom: kb.A("lead_time_minutes", kb.N(120)), Truth: kb.True},
+			{Atom: kb.A("overuse_ratio", kb.N(0.35)), Truth: kb.True},
+			{Atom: kb.A("customer_count", kb.N(100)), Truth: kb.True},
+			{Atom: kb.A("outcome_converged", kb.N(converged)), Truth: kb.True},
+			{Atom: kb.A("rounds_used", kb.N(3)), Truth: kb.True},
+		}
+		out, err := desire.Run(opc, facts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range out {
+			if f.Atom.Pred == "process_verdict" && f.Truth == kb.True {
+				return f.Atom.Args[0].Name
+			}
+		}
+		return ""
+	}
+	if got := verdictFor(1); got != "successful" {
+		t.Fatalf("verdict = %q, want successful", got)
+	}
+	if got := verdictFor(0); got != "needs_review" {
+		t.Fatalf("verdict = %q, want needs_review", got)
+	}
+}
+
+// TestDecideBidReproducesPaperCustomer runs the Figure 5 composition on the
+// Figures 8-9 situation.
+func TestDecideBidReproducesPaperCustomer(t *testing.T) {
+	announcedRound1 := map[float64]float64{0.1: 4.25, 0.2: 8.5, 0.3: 12.75, 0.4: 17}
+	required := map[float64]float64{0.1: 4, 0.2: 8, 0.3: 13, 0.4: 21}
+	savables := map[string][2]float64{
+		"water_heater":  {3.0, 0.6},
+		"space_heating": {2.5, 1.2},
+		"white_goods":   {1.0, 0.4},
+	}
+	bid, err := DecideBid(announcedRound1, required, 13.5, savables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.NearlyEqual(bid.CutDown, 0.2, 1e-12) {
+		t.Fatalf("round-1 bid = %v, want 0.2", bid.CutDown)
+	}
+	// Implementation instructions: shed 0.2×13.5 = 2.7 kWh cheapest-first:
+	// white_goods 1.0 then water_heater 1.7.
+	if !units.NearlyEqual(bid.Instructions["white_goods"], 1.0, 1e-9) {
+		t.Fatalf("white_goods instruction = %v, want 1.0", bid.Instructions["white_goods"])
+	}
+	if !units.NearlyEqual(bid.Instructions["water_heater"], 1.7, 1e-9) {
+		t.Fatalf("water_heater instruction = %v, want 1.7", bid.Instructions["water_heater"])
+	}
+	if v, ok := bid.Instructions["space_heating"]; ok && v > 0 {
+		t.Fatalf("space_heating should not shed at 0.2, got %v", v)
+	}
+
+	// Round 3 announcement: 0.4 now pays 24.8 ≥ 21.
+	announcedRound3 := map[float64]float64{0.1: 6.2, 0.2: 12.4, 0.3: 18.6, 0.4: 24.8}
+	bid, err = DecideBid(announcedRound3, required, 13.5, savables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.NearlyEqual(bid.CutDown, 0.4, 1e-12) {
+		t.Fatalf("round-3 bid = %v, want 0.4", bid.CutDown)
+	}
+	// 0.4×13.5 = 5.4 kWh: white_goods 1.0 + water_heater 3.0 + heating 1.4.
+	if !units.NearlyEqual(bid.Instructions["space_heating"], 1.4, 1e-9) {
+		t.Fatalf("space_heating instruction = %v, want 1.4", bid.Instructions["space_heating"])
+	}
+}
+
+func TestDecideBidNothingAcceptable(t *testing.T) {
+	announced := map[float64]float64{0.1: 1, 0.2: 2}
+	required := map[float64]float64{0.1: 10, 0.2: 20}
+	bid, err := DecideBid(announced, required, 13.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bid.CutDown != 0 {
+		t.Fatalf("bid = %v, want 0", bid.CutDown)
+	}
+	if len(bid.Instructions) != 0 {
+		t.Fatalf("instructions = %v, want none", bid.Instructions)
+	}
+}

@@ -1,0 +1,255 @@
+package desiremodel
+
+import (
+	"fmt"
+	"math"
+
+	"loadbalance/internal/desire"
+	"loadbalance/internal/kb"
+)
+
+// This file assembles Figure 3: the Utility Agent's cooperation management,
+// split into "determine announcement" (here by the generate-and-select
+// approach: generate candidate announcements, evaluate the prediction for
+// each, select one) and "determine bid acceptance" (monitor bid receipt,
+// evaluate bids, select bids).
+
+// uaCoopOntology declares the Figure 3 information types.
+func uaCoopOntology() (*kb.Ontology, error) {
+	o := kb.NewOntology()
+	steps := []error{
+		o.DeclareSort("customer", kb.SortAny),
+		// Inputs.
+		o.DeclarePred("base_slope", kb.SortNumber),
+		o.DeclarePred("response_rate", kb.SortNumber), // historical positive-response rate
+		o.DeclarePred("overuse_kwh", kb.SortNumber),
+		o.DeclarePred("expected_customer", kb.SortString),
+		o.DeclarePred("bid", kb.SortString, kb.SortNumber, kb.SortNumber), // customer, cutdown, previous cutdown
+		// Generate and select.
+		o.DeclarePred("candidate_slope", kb.SortNumber),
+		o.DeclarePred("predicted_reduction", kb.SortNumber, kb.SortNumber), // slope, kwh
+		o.DeclarePred("selected_slope", kb.SortNumber),
+		// Bid acceptance.
+		o.DeclarePred("received", kb.SortString),
+		o.DeclarePred("missing", kb.SortString),
+		o.DeclarePred("valid_bid", kb.SortString, kb.SortNumber),
+		o.DeclarePred("accepted_bid", kb.SortString, kb.SortNumber),
+	}
+	for _, err := range steps {
+		if err != nil {
+			return nil, fmt.Errorf("desiremodel: ua coop ontology: %w", err)
+		}
+	}
+	return o, nil
+}
+
+// generateAnnouncementsTask is "generate announcements": candidate slopes
+// at 75%, 100% and 125% of the base slope.
+func generateAnnouncementsTask(ont *kb.Ontology) *desire.Task {
+	return desire.NewTask("generate_announcements", ont, func(in, out *kb.Store) (bool, error) {
+		changed := false
+		for _, a := range in.Query(kb.A("base_slope", kb.V("S"))) {
+			base := a.Args[0].Num
+			for _, f := range []float64{0.75, 1, 1.25} {
+				atom := kb.A("candidate_slope", kb.N(base*f))
+				if out.Holds(atom) {
+					continue
+				}
+				if err := out.Assert(atom, kb.True); err != nil {
+					return changed, err
+				}
+				changed = true
+			}
+		}
+		return changed, nil
+	})
+}
+
+// evaluatePredictionTask is "evaluate prediction for announcements": the
+// predicted first-round reduction for a candidate is proportional to the
+// slope (richer tables unlock deeper acceptable cut-downs) scaled by the
+// observed response rate — the paper's "e.g., the Utility Agent knows that
+// normally about 70% of the Customer Agents will respond positively".
+func evaluatePredictionTask(ont *kb.Ontology) *desire.Task {
+	return desire.NewTask("evaluate_prediction_for_announcements", ont, func(in, out *kb.Store) (bool, error) {
+		rate := 0.7
+		for _, a := range in.Query(kb.A("response_rate", kb.V("R"))) {
+			rate = a.Args[0].Num
+		}
+		overuse := 0.0
+		for _, a := range in.Query(kb.A("overuse_kwh", kb.V("O"))) {
+			overuse = a.Args[0].Num
+		}
+		changed := false
+		for _, a := range in.Query(kb.A("candidate_slope", kb.V("S"))) {
+			slope := a.Args[0].Num
+			// A steeper table is predicted to unlock proportionally more of
+			// the needed reduction, saturating at the full overuse.
+			predicted := overuse * rate * math.Min(1, slope/42.5)
+			atom := kb.A("predicted_reduction", kb.N(slope), kb.N(predicted))
+			if out.Holds(atom) {
+				continue
+			}
+			if err := out.Assert(atom, kb.True); err != nil {
+				return changed, err
+			}
+			changed = true
+		}
+		return changed, nil
+	})
+}
+
+// selectAnnouncementTask is "select announcement": the cheapest candidate
+// achieving the best predicted reduction (lowest slope among maxima — the
+// UA does not pay more than necessary).
+func selectAnnouncementTask(ont *kb.Ontology) *desire.Task {
+	return desire.NewTask("select_announcement", ont, func(in, out *kb.Store) (bool, error) {
+		bestSlope, bestReduction := math.Inf(1), math.Inf(-1)
+		for _, a := range in.Query(kb.A("predicted_reduction", kb.V("S"), kb.V("P"))) {
+			s, p := a.Args[0].Num, a.Args[1].Num
+			if p > bestReduction+1e-12 || (math.Abs(p-bestReduction) <= 1e-12 && s < bestSlope) {
+				bestReduction, bestSlope = p, s
+			}
+		}
+		if math.IsInf(bestSlope, 1) {
+			return false, nil
+		}
+		atom := kb.A("selected_slope", kb.N(bestSlope))
+		if out.Holds(atom) {
+			return false, nil
+		}
+		return true, out.Assert(atom, kb.True)
+	})
+}
+
+// monitorBidReceiptRules is "monitor bid receipt": mark received customers
+// and flag expected customers that stayed silent.
+func monitorBidReceiptRules() (*kb.Base, error) {
+	return kb.NewBase("monitor_bid_receipt",
+		kb.Rule{
+			Name: "mark_received",
+			If:   []kb.Literal{kb.Pos(kb.A("bid", kb.V("C"), kb.V("Cut"), kb.V("Prev")))},
+			Then: []kb.Atom{kb.A("received", kb.V("C"))},
+		},
+		kb.Rule{
+			Name: "mark_missing",
+			If: []kb.Literal{
+				kb.Pos(kb.A("expected_customer", kb.V("C"))),
+				kb.Neg(kb.A("received", kb.V("C"))),
+			},
+			Then: []kb.Atom{kb.A("missing", kb.V("C"))},
+		},
+	)
+}
+
+// evaluateBidsRules is "evaluate bids": a bid is valid when it does not
+// regress (monotonic concession).
+func evaluateBidsRules() (*kb.Base, error) {
+	return kb.NewBase("evaluate_bids",
+		kb.Rule{
+			Name: "valid_if_monotonic",
+			If:   []kb.Literal{kb.Pos(kb.A("bid", kb.V("C"), kb.V("Cut"), kb.V("Prev")))},
+			Guards: []kb.Guard{
+				{Op: kb.OpGeq, Left: kb.V("Cut"), Right: kb.V("Prev")},
+			},
+			Then: []kb.Atom{kb.A("valid_bid", kb.V("C"), kb.V("Cut"))},
+		},
+	)
+}
+
+// selectBidsRules is "select bids": every valid bid is accepted (the
+// prototype's acceptance strategy: all monotonic bids count toward the
+// balance).
+func selectBidsRules() (*kb.Base, error) {
+	return kb.NewBase("select_bids",
+		kb.Rule{
+			Name: "accept_valid",
+			If:   []kb.Literal{kb.Pos(kb.A("valid_bid", kb.V("C"), kb.V("Cut")))},
+			Then: []kb.Atom{kb.A("accepted_bid", kb.V("C"), kb.V("Cut"))},
+		},
+	)
+}
+
+// NewUACooperationManagement assembles Figure 3.
+func NewUACooperationManagement() (*desire.Composed, error) {
+	ont, err := uaCoopOntology()
+	if err != nil {
+		return nil, err
+	}
+	monitor, err := monitorBidReceiptRules()
+	if err != nil {
+		return nil, err
+	}
+	evalBids, err := evaluateBidsRules()
+	if err != nil {
+		return nil, err
+	}
+	selBids, err := selectBidsRules()
+	if err != nil {
+		return nil, err
+	}
+
+	cm := desire.NewComposed("cooperation_management", ont, 0)
+	children := []desire.Component{
+		generateAnnouncementsTask(ont),
+		evaluatePredictionTask(ont),
+		selectAnnouncementTask(ont),
+		desire.NewReasoning("monitor_bid_receipt", ont, monitor, "received", "missing"),
+		desire.NewReasoning("evaluate_bids", ont, evalBids, "valid_bid"),
+		desire.NewReasoning("select_bids", ont, selBids, "accepted_bid"),
+	}
+	for _, c := range children {
+		if err := cm.AddChild(c); err != nil {
+			return nil, err
+		}
+	}
+	links := []desire.Link{
+		{Name: "base_in", From: desire.Endpoint{Port: desire.In},
+			To: desire.Endpoint{Component: "generate_announcements", Port: desire.In}},
+		{Name: "candidates_to_eval", From: desire.Endpoint{Component: "generate_announcements", Port: desire.Out},
+			To: desire.Endpoint{Component: "evaluate_prediction_for_announcements", Port: desire.In}},
+		{Name: "situation_to_eval", From: desire.Endpoint{Port: desire.In},
+			To: desire.Endpoint{Component: "evaluate_prediction_for_announcements", Port: desire.In}},
+		{Name: "eval_to_select", From: desire.Endpoint{Component: "evaluate_prediction_for_announcements", Port: desire.Out},
+			To: desire.Endpoint{Component: "select_announcement", Port: desire.In}},
+		{Name: "bids_to_monitor", From: desire.Endpoint{Port: desire.In},
+			To: desire.Endpoint{Component: "monitor_bid_receipt", Port: desire.In}},
+		{Name: "bids_to_evaluate", From: desire.Endpoint{Port: desire.In},
+			To: desire.Endpoint{Component: "evaluate_bids", Port: desire.In}},
+		{Name: "valid_to_select", From: desire.Endpoint{Component: "evaluate_bids", Port: desire.Out},
+			To: desire.Endpoint{Component: "select_bids", Port: desire.In}},
+		{Name: "announcement_out", From: desire.Endpoint{Component: "select_announcement", Port: desire.Out},
+			To: desire.Endpoint{Port: desire.Out}},
+		{Name: "monitor_out", From: desire.Endpoint{Component: "monitor_bid_receipt", Port: desire.Out},
+			To: desire.Endpoint{Port: desire.Out}},
+		{Name: "accepted_out", From: desire.Endpoint{Component: "select_bids", Port: desire.Out},
+			To: desire.Endpoint{Port: desire.Out}},
+	}
+	for _, l := range links {
+		if err := cm.AddLink(l); err != nil {
+			return nil, err
+		}
+	}
+	err = cm.SetControl([]desire.Step{
+		{Transfer: "base_in"},
+		{Activate: "generate_announcements"},
+		{Transfer: "candidates_to_eval"},
+		{Transfer: "situation_to_eval"},
+		{Activate: "evaluate_prediction_for_announcements"},
+		{Transfer: "eval_to_select"},
+		{Activate: "select_announcement"},
+		{Transfer: "bids_to_monitor"},
+		{Activate: "monitor_bid_receipt"},
+		{Transfer: "bids_to_evaluate"},
+		{Activate: "evaluate_bids"},
+		{Transfer: "valid_to_select"},
+		{Activate: "select_bids"},
+		{Transfer: "announcement_out"},
+		{Transfer: "monitor_out"},
+		{Transfer: "accepted_out"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cm, nil
+}

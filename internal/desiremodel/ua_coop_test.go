@@ -1,0 +1,96 @@
+package desiremodel
+
+import (
+	"testing"
+
+	"loadbalance/internal/desire"
+	"loadbalance/internal/kb"
+	"loadbalance/internal/units"
+)
+
+// runUACoop feeds facts into a fresh Figure 3 composition and indexes the
+// output facts by predicate.
+func runUACoop(t *testing.T, facts []kb.Fact) map[string][]kb.Atom {
+	t.Helper()
+	cm, err := NewUACooperationManagement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := desire.Run(cm, facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPred := make(map[string][]kb.Atom)
+	for _, f := range out {
+		if f.Truth == kb.True {
+			byPred[f.Atom.Pred] = append(byPred[f.Atom.Pred], f.Atom)
+		}
+	}
+	return byPred
+}
+
+func TestGenerateAndSelectAnnouncement(t *testing.T) {
+	out := runUACoop(t, []kb.Fact{
+		{Atom: kb.A("base_slope", kb.N(42.5)), Truth: kb.True},
+		{Atom: kb.A("response_rate", kb.N(0.7)), Truth: kb.True},
+		{Atom: kb.A("overuse_kwh", kb.N(35)), Truth: kb.True},
+	})
+	if len(out["selected_slope"]) != 1 {
+		t.Fatalf("selected slopes = %v", out["selected_slope"])
+	}
+	// Predicted reduction saturates at slope 42.5 (min(1, s/42.5)); among
+	// the maxima {42.5, 53.125} the cheaper 42.5 wins.
+	got := out["selected_slope"][0].Args[0].Num
+	if !units.NearlyEqual(got, 42.5, 1e-9) {
+		t.Fatalf("selected slope = %v, want 42.5", got)
+	}
+	// All three candidates were generated and evaluated.
+	if len(out["predicted_reduction"]) != 0 {
+		t.Fatalf("predicted_reduction should stay internal, got %v", out["predicted_reduction"])
+	}
+}
+
+func TestMonitorBidReceiptFlagsSilentCustomers(t *testing.T) {
+	out := runUACoop(t, []kb.Fact{
+		{Atom: kb.A("base_slope", kb.N(42.5)), Truth: kb.True},
+		{Atom: kb.A("expected_customer", kb.S("c01")), Truth: kb.True},
+		{Atom: kb.A("expected_customer", kb.S("c02")), Truth: kb.True},
+		{Atom: kb.A("bid", kb.S("c01"), kb.N(0.2), kb.N(0)), Truth: kb.True},
+	})
+	if len(out["received"]) != 1 || out["received"][0].Args[0].Str != "c01" {
+		t.Fatalf("received = %v", out["received"])
+	}
+	if len(out["missing"]) != 1 || out["missing"][0].Args[0].Str != "c02" {
+		t.Fatalf("missing = %v", out["missing"])
+	}
+}
+
+func TestBidEvaluationRejectsRegressions(t *testing.T) {
+	out := runUACoop(t, []kb.Fact{
+		{Atom: kb.A("base_slope", kb.N(42.5)), Truth: kb.True},
+		// c01 steps forward: valid. c02 regresses 0.3 → 0.1: invalid.
+		{Atom: kb.A("bid", kb.S("c01"), kb.N(0.4), kb.N(0.2)), Truth: kb.True},
+		{Atom: kb.A("bid", kb.S("c02"), kb.N(0.1), kb.N(0.3)), Truth: kb.True},
+	})
+	accepted := out["accepted_bid"]
+	if len(accepted) != 1 {
+		t.Fatalf("accepted = %v, want only c01", accepted)
+	}
+	if accepted[0].Args[0].Str != "c01" || accepted[0].Args[1].Num != 0.4 {
+		t.Fatalf("accepted = %v", accepted[0])
+	}
+}
+
+func TestLowResponseRateLowersPrediction(t *testing.T) {
+	// With rate 0.2 the best candidate still saturates at min(1, s/42.5),
+	// so selection is unchanged — but the composition must run cleanly with
+	// a non-default rate and an explicit zero-overuse situation.
+	out := runUACoop(t, []kb.Fact{
+		{Atom: kb.A("base_slope", kb.N(42.5)), Truth: kb.True},
+		{Atom: kb.A("response_rate", kb.N(0.2)), Truth: kb.True},
+		{Atom: kb.A("overuse_kwh", kb.N(0)), Truth: kb.True},
+	})
+	if len(out["selected_slope"]) != 1 {
+		t.Fatalf("selected = %v", out["selected_slope"])
+	}
+}

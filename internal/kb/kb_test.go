@@ -1,0 +1,513 @@
+package kb
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// domainOntology builds a small load-management ontology used across tests.
+func domainOntology(t *testing.T) *Ontology {
+	t.Helper()
+	o := NewOntology()
+	steps := []error{
+		o.DeclareSort("agent", SortAny),
+		o.DeclareSort("customer", "agent"),
+		o.DeclareSort("utility", "agent"),
+		o.DeclareConst("ua", "utility"),
+		o.DeclareConst("c1", "customer"),
+		o.DeclareConst("c2", "customer"),
+		o.DeclarePred("offered_reward", SortNumber, SortNumber),              // cutdown, reward
+		o.DeclarePred("required_reward", "customer", SortNumber, SortNumber), // who, cutdown, reward
+		o.DeclarePred("acceptable", "customer", SortNumber),
+		o.DeclarePred("responded", "customer"),
+		o.DeclarePred("silent", "customer"),
+	}
+	for _, err := range steps {
+		if err != nil {
+			t.Fatalf("ontology setup: %v", err)
+		}
+	}
+	return o
+}
+
+func TestOntologyDeclarationErrors(t *testing.T) {
+	o := NewOntology()
+	if err := o.DeclareSort("agent", SortAny); err != nil {
+		t.Fatalf("DeclareSort: %v", err)
+	}
+	if err := o.DeclareSort("agent", SortAny); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate sort error = %v, want ErrDuplicate", err)
+	}
+	if err := o.DeclareSort("ghost", "nosuch"); !errors.Is(err, ErrUnknownSort) {
+		t.Fatalf("unknown parent error = %v, want ErrUnknownSort", err)
+	}
+	if err := o.DeclareConst("x", "nosuch"); !errors.Is(err, ErrUnknownSort) {
+		t.Fatalf("const with unknown sort error = %v, want ErrUnknownSort", err)
+	}
+	if err := o.DeclarePred("p", "nosuch"); !errors.Is(err, ErrUnknownSort) {
+		t.Fatalf("pred with unknown sort error = %v, want ErrUnknownSort", err)
+	}
+}
+
+func TestIsSubsort(t *testing.T) {
+	o := domainOntology(t)
+	tests := []struct {
+		sub, super string
+		want       bool
+	}{
+		{"customer", "agent", true},
+		{"customer", SortAny, true},
+		{"customer", "customer", true},
+		{"agent", "customer", false},
+		{"utility", "customer", false},
+		{SortNumber, SortAny, true},
+	}
+	for _, tt := range tests {
+		if got := o.IsSubsort(tt.sub, tt.super); got != tt.want {
+			t.Errorf("IsSubsort(%q, %q) = %v, want %v", tt.sub, tt.super, got, tt.want)
+		}
+	}
+}
+
+func TestCheckAtom(t *testing.T) {
+	o := domainOntology(t)
+	tests := []struct {
+		name    string
+		give    Atom
+		wantErr error
+	}{
+		{name: "ok", give: A("acceptable", C("c1"), N(0.4))},
+		{name: "unknown pred", give: A("nosuch", C("c1")), wantErr: ErrUnknownPredicate},
+		{name: "arity", give: A("acceptable", C("c1")), wantErr: ErrArity},
+		{name: "sort mismatch", give: A("acceptable", C("ua"), N(0.4)), wantErr: ErrSortMismatch},
+		{name: "unknown const", give: A("acceptable", C("c9"), N(0.4)), wantErr: ErrUnknownConstant},
+		{name: "not ground", give: A("acceptable", V("X"), N(0.4)), wantErr: ErrNotGround},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := o.CheckAtom(tt.give); !errors.Is(err, tt.wantErr) {
+				t.Fatalf("CheckAtom error = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestOntologyMerge(t *testing.T) {
+	a := NewOntology()
+	if err := a.DeclareSort("agent", SortAny); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.DeclarePred("p", "agent"); err != nil {
+		t.Fatal(err)
+	}
+	b := NewOntology()
+	if err := b.DeclareSort("agent", SortAny); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DeclareConst("x", "agent"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if _, err := a.SortOfConst("x"); err != nil {
+		t.Fatalf("merged constant missing: %v", err)
+	}
+
+	c := NewOntology()
+	if err := c.DeclareSort("agent", SortAny); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeclarePred("p", SortNumber); err != nil { // conflicting signature
+		t.Fatal(err)
+	}
+	if err := a.Merge(c); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("conflicting merge error = %v, want ErrDuplicate", err)
+	}
+}
+
+func TestStoreAssertAndTruth(t *testing.T) {
+	o := domainOntology(t)
+	s := NewStore(o)
+	atom := A("acceptable", C("c1"), N(0.4))
+	if got := s.TruthOf(atom); got != Unknown {
+		t.Fatalf("fresh store truth = %v, want Unknown", got)
+	}
+	if err := s.Assert(atom, True); err != nil {
+		t.Fatalf("Assert: %v", err)
+	}
+	if !s.Holds(atom) {
+		t.Fatal("atom should hold after Assert(True)")
+	}
+	if err := s.Assert(atom, False); err != nil {
+		t.Fatalf("Assert(False): %v", err)
+	}
+	if got := s.TruthOf(atom); got != False {
+		t.Fatalf("truth = %v, want False", got)
+	}
+	if err := s.Assert(atom, Unknown); err != nil {
+		t.Fatalf("Assert(Unknown): %v", err)
+	}
+	if got := s.Len(); got != 0 {
+		t.Fatalf("Len = %d, want 0", got)
+	}
+}
+
+func TestStoreRejectsBadAtoms(t *testing.T) {
+	o := domainOntology(t)
+	s := NewStore(o)
+	if err := s.Assert(A("acceptable", V("X"), N(0.4)), True); !errors.Is(err, ErrNotGround) {
+		t.Fatalf("non-ground assert error = %v, want ErrNotGround", err)
+	}
+	if err := s.Assert(A("nosuch", C("c1")), True); !errors.Is(err, ErrUnknownPredicate) {
+		t.Fatalf("unknown predicate error = %v, want ErrUnknownPredicate", err)
+	}
+}
+
+func TestStoreQueryAndMatch(t *testing.T) {
+	o := domainOntology(t)
+	s := NewStore(o)
+	mustAssert(t, s, A("required_reward", C("c1"), N(0.3), N(10)))
+	mustAssert(t, s, A("required_reward", C("c1"), N(0.4), N(21)))
+	mustAssert(t, s, A("required_reward", C("c2"), N(0.4), N(15)))
+
+	got := s.Query(A("required_reward", C("c1"), V("Cut"), V("Req")))
+	if len(got) != 2 {
+		t.Fatalf("query returned %d atoms, want 2", len(got))
+	}
+	for _, a := range got {
+		if a.Args[0].Name != "c1" {
+			t.Fatalf("query leaked other customer: %s", a)
+		}
+	}
+
+	// Repeated-variable pattern: same variable must bind consistently.
+	mustAssert(t, s, A("offered_reward", N(0.4), N(0.4)))
+	same := s.Match(A("offered_reward", V("X"), V("X")), nil)
+	if len(same) != 1 {
+		t.Fatalf("repeated-variable match = %d, want 1", len(same))
+	}
+}
+
+func TestStoreCloneIsolation(t *testing.T) {
+	o := domainOntology(t)
+	s := NewStore(o)
+	mustAssert(t, s, A("responded", C("c1")))
+	c := s.Clone()
+	mustAssert(t, c, A("responded", C("c2")))
+	if s.Holds(A("responded", C("c2"))) {
+		t.Fatal("mutating clone affected original")
+	}
+	if !c.Holds(A("responded", C("c1"))) {
+		t.Fatal("clone lost original fact")
+	}
+}
+
+func TestGuardEval(t *testing.T) {
+	tests := []struct {
+		name string
+		g    Guard
+		b    Binding
+		want bool
+	}{
+		{name: "geq true", g: Guard{Op: OpGeq, Left: V("A"), Right: N(10)}, b: Binding{"A": N(17)}, want: true},
+		{name: "geq false", g: Guard{Op: OpGeq, Left: V("A"), Right: N(10)}, b: Binding{"A": N(9)}, want: false},
+		{name: "lt", g: Guard{Op: OpLt, Left: N(1), Right: N(2)}, b: Binding{}, want: true},
+		{name: "unbound", g: Guard{Op: OpEq, Left: V("Z"), Right: N(1)}, b: Binding{}, want: false},
+		{name: "const eq", g: Guard{Op: OpEq, Left: C("c1"), Right: C("c1")}, b: Binding{}, want: true},
+		{name: "const neq", g: Guard{Op: OpNeq, Left: C("c1"), Right: C("c2")}, b: Binding{}, want: true},
+		{name: "const lt invalid", g: Guard{Op: OpLt, Left: C("c1"), Right: C("c2")}, b: Binding{}, want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.g.Eval(tt.b); got != tt.want {
+				t.Fatalf("Eval = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRuleValidateUnboundVariables(t *testing.T) {
+	r := Rule{
+		Name: "bad",
+		If:   []Literal{Pos(A("responded", V("C")))},
+		Then: []Atom{A("acceptable", V("D"), N(0.1))}, // D unbound
+	}
+	if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "?D") {
+		t.Fatalf("Validate error = %v, want unbound ?D", err)
+	}
+	neg := Rule{
+		Name: "badneg",
+		If:   []Literal{Neg(A("responded", V("C")))},
+	}
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negated literal with unbound var should fail validation")
+	}
+}
+
+// TestInferAcceptability exercises the exact knowledge pattern the Customer
+// Agent uses (Section 6.2): a cut-down is acceptable when the offered reward
+// meets the customer's required reward.
+func TestInferAcceptability(t *testing.T) {
+	o := domainOntology(t)
+	s := NewStore(o)
+	mustAssert(t, s, A("required_reward", C("c1"), N(0.3), N(10)))
+	mustAssert(t, s, A("required_reward", C("c1"), N(0.4), N(21)))
+	mustAssert(t, s, A("offered_reward", N(0.3), N(12.75)))
+	mustAssert(t, s, A("offered_reward", N(0.4), N(17)))
+
+	rule := Rule{
+		Name: "acceptable_cutdown",
+		If: []Literal{
+			Pos(A("required_reward", V("C"), V("Cut"), V("Req"))),
+			Pos(A("offered_reward", V("Cut"), V("Off"))),
+		},
+		Guards: []Guard{{Op: OpGeq, Left: V("Off"), Right: V("Req")}},
+		Then:   []Atom{A("acceptable", V("C"), V("Cut"))},
+	}
+	base, err := NewBase("ca", rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived, err := NewEngine(base).Infer(s)
+	if err != nil {
+		t.Fatalf("Infer: %v", err)
+	}
+	if len(derived) != 1 {
+		t.Fatalf("derived %d facts, want 1: %v", len(derived), derived)
+	}
+	if !s.Holds(A("acceptable", C("c1"), N(0.3))) {
+		t.Fatal("0.3 should be acceptable (12.75 >= 10)")
+	}
+	if s.Holds(A("acceptable", C("c1"), N(0.4))) {
+		t.Fatal("0.4 should not be acceptable (17 < 21)")
+	}
+}
+
+func TestInferNegationAsUnknown(t *testing.T) {
+	o := domainOntology(t)
+	s := NewStore(o)
+	mustAssert(t, s, A("required_reward", C("c1"), N(0.3), N(10)))
+	mustAssert(t, s, A("required_reward", C("c2"), N(0.3), N(10)))
+	mustAssert(t, s, A("responded", C("c1")))
+
+	rule := Rule{
+		Name: "mark_silent",
+		If: []Literal{
+			Pos(A("required_reward", V("C"), V("Cut"), V("Req"))),
+			Neg(A("responded", V("C"))),
+		},
+		Then: []Atom{A("silent", V("C"))},
+	}
+	base, err := NewBase("sentinel", rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(base).Infer(s); err != nil {
+		t.Fatalf("Infer: %v", err)
+	}
+	if s.Holds(A("silent", C("c1"))) {
+		t.Fatal("c1 responded; must not be silent")
+	}
+	if !s.Holds(A("silent", C("c2"))) {
+		t.Fatal("c2 did not respond; must be silent")
+	}
+}
+
+func TestInferChainsToFixpoint(t *testing.T) {
+	o := NewOntology()
+	if err := o.DeclarePred("n", SortNumber); err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(o)
+	mustAssert(t, s, A("n", N(0)))
+	// n(X) and X < 5 then n(X+1) cannot be expressed without arithmetic
+	// construction; emulate a chain with explicit rules instead.
+	var rules []Rule
+	for i := 0; i < 5; i++ {
+		rules = append(rules, Rule{
+			Name: "step",
+			If:   []Literal{Pos(A("n", N(float64(i))))},
+			Then: []Atom{A("n", N(float64(i+1)))},
+		})
+	}
+	base, err := NewBase("chain", rules...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived, err := NewEngine(base).Infer(s)
+	if err != nil {
+		t.Fatalf("Infer: %v", err)
+	}
+	if len(derived) != 5 {
+		t.Fatalf("derived %d, want 5", len(derived))
+	}
+	if !s.Holds(A("n", N(5))) {
+		t.Fatal("chain did not reach n(5)")
+	}
+}
+
+func TestInferConflictIsError(t *testing.T) {
+	o := NewOntology()
+	if err := o.DeclarePred("p", SortNumber); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.DeclarePred("q", SortNumber); err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(o)
+	mustAssert(t, s, A("p", N(1)))
+	pos := Rule{Name: "pos", If: []Literal{Pos(A("p", V("X")))}, Then: []Atom{A("q", V("X"))}}
+	neg := Rule{Name: "neg", If: []Literal{Pos(A("p", V("X")))}, ThenFalse: []Atom{A("q", V("X"))}}
+	base, err := NewBase("conflict", pos, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(base).Infer(s); err == nil {
+		t.Fatal("conflicting derivation should be an error")
+	}
+}
+
+func TestComposeBasesPreservesOrder(t *testing.T) {
+	r1 := Rule{Name: "r1", If: []Literal{Pos(A("p", V("X")))}, Then: []Atom{A("q", V("X"))}}
+	r2 := Rule{Name: "r2", If: []Literal{Pos(A("q", V("X")))}, Then: []Atom{A("r", V("X"))}}
+	b1, err := NewBase("b1", r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := NewBase("b2", r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Compose("both", b1, b2)
+	if len(c.Rules) != 2 || c.Rules[0].Name != "r1" || c.Rules[1].Name != "r2" {
+		t.Fatalf("composed rules = %+v", c.Rules)
+	}
+
+	o := NewOntology()
+	for _, p := range []string{"p", "q", "r"} {
+		if err := o.DeclarePred(p, SortNumber); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := NewStore(o)
+	mustAssert(t, s, A("p", N(7)))
+	if _, err := NewEngine(c).Infer(s); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Holds(A("r", N(7))) {
+		t.Fatal("composed base did not chain p -> q -> r")
+	}
+}
+
+func TestInferRunawayIsBounded(t *testing.T) {
+	// A rule that keeps deriving new facts every pass cannot exist in this
+	// fragment (consequent terms come from antecedent bindings), so emulate a
+	// low pass bound with a deep chain to exercise the bound error path.
+	o := NewOntology()
+	if err := o.DeclarePred("n", SortNumber); err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(o)
+	mustAssert(t, s, A("n", N(0)))
+	var rules []Rule
+	for i := 0; i < 10; i++ {
+		rules = append(rules, Rule{
+			Name: "step",
+			If:   []Literal{Pos(A("n", N(float64(i))))},
+			Then: []Atom{A("n", N(float64(i+1)))},
+		})
+	}
+	// Reverse rule order so each pass derives exactly one new fact.
+	for i, j := 0, len(rules)-1; i < j; i, j = i+1, j-1 {
+		rules[i], rules[j] = rules[j], rules[i]
+	}
+	base, err := NewBase("deep", rules...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(base)
+	e.MaxPasses = 3
+	if _, err := e.Infer(s); err == nil {
+		t.Fatal("expected fixpoint bound error")
+	}
+}
+
+// Property: forward chaining is monotonic — every fact present before Infer
+// is still present afterwards, and inference is idempotent.
+func TestInferMonotoneProperty(t *testing.T) {
+	o := domainOntology(t)
+	rule := Rule{
+		Name: "acceptable_cutdown",
+		If: []Literal{
+			Pos(A("required_reward", V("C"), V("Cut"), V("Req"))),
+			Pos(A("offered_reward", V("Cut"), V("Off"))),
+		},
+		Guards: []Guard{{Op: OpGeq, Left: V("Off"), Right: V("Req")}},
+		Then:   []Atom{A("acceptable", V("C"), V("Cut"))},
+	}
+	base, err := NewBase("ca", rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(req1, req2, off1, off2 uint8) bool {
+		s := NewStore(o)
+		mustAssertQ(s, A("required_reward", C("c1"), N(0.3), N(float64(req1))))
+		mustAssertQ(s, A("required_reward", C("c2"), N(0.4), N(float64(req2))))
+		mustAssertQ(s, A("offered_reward", N(0.3), N(float64(off1))))
+		mustAssertQ(s, A("offered_reward", N(0.4), N(float64(off2))))
+		before := s.Facts()
+		if _, err := NewEngine(base).Infer(s); err != nil {
+			return false
+		}
+		for _, f := range before {
+			if s.TruthOf(f.Atom) != f.Truth {
+				return false
+			}
+		}
+		n := s.Len()
+		if _, err := NewEngine(base).Infer(s); err != nil {
+			return false
+		}
+		return s.Len() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	r := Rule{
+		Name:   "acc",
+		If:     []Literal{Pos(A("offered_reward", V("Cut"), V("Off"))), Neg(A("responded", C("c1")))},
+		Guards: []Guard{{Op: OpGeq, Left: V("Off"), Right: N(10)}},
+		Then:   []Atom{A("acceptable", C("c1"), V("Cut"))},
+	}
+	got := r.String()
+	for _, want := range []string{"acc:", "offered_reward(?Cut, ?Off)", "not responded(c1)", "?Off >= 10", "acceptable(c1, ?Cut)"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("rule string %q missing %q", got, want)
+		}
+	}
+	if got := (Fact{Atom: A("p", N(1)), Truth: False}).String(); got != "p(1) = false" {
+		t.Fatalf("fact string = %q", got)
+	}
+	if got := Unknown.String(); got != "unknown" {
+		t.Fatalf("Unknown.String = %q", got)
+	}
+}
+
+func mustAssert(t *testing.T, s *Store, a Atom) {
+	t.Helper()
+	if err := s.Assert(a, True); err != nil {
+		t.Fatalf("assert %s: %v", a, err)
+	}
+}
+
+func mustAssertQ(s *Store, a Atom) {
+	if err := s.Assert(a, True); err != nil {
+		panic(err)
+	}
+}

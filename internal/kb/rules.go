@@ -1,0 +1,352 @@
+package kb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Guard is a numeric side-condition in a rule antecedent, comparing two terms
+// after substitution. DESIRE knowledge bases routinely contain arithmetic
+// comparisons such as "offered reward >= required reward"; guards provide
+// exactly that without a full arithmetic theory.
+type Guard struct {
+	Op    GuardOp
+	Left  Term
+	Right Term
+}
+
+// GuardOp enumerates the comparison operators usable in guards.
+type GuardOp int
+
+// Guard operators.
+const (
+	OpEq GuardOp = iota + 1
+	OpNeq
+	OpLt
+	OpLeq
+	OpGt
+	OpGeq
+)
+
+// String renders the operator symbol.
+func (op GuardOp) String() string {
+	switch op {
+	case OpEq:
+		return "=="
+	case OpNeq:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLeq:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGeq:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// Eval evaluates the guard under a binding. Numeric operands compare
+// numerically; any other ground operands compare by structural equality
+// (only for == and !=). Unbound variables make the guard fail.
+func (g Guard) Eval(b Binding) bool {
+	l := substitute(g.Left, b)
+	r := substitute(g.Right, b)
+	if !l.IsGround() || !r.IsGround() {
+		return false
+	}
+	if l.Kind == KindNumber && r.Kind == KindNumber {
+		switch g.Op {
+		case OpEq:
+			return l.Num == r.Num
+		case OpNeq:
+			return l.Num != r.Num
+		case OpLt:
+			return l.Num < r.Num
+		case OpLeq:
+			return l.Num <= r.Num
+		case OpGt:
+			return l.Num > r.Num
+		case OpGeq:
+			return l.Num >= r.Num
+		}
+		return false
+	}
+	switch g.Op {
+	case OpEq:
+		return l.Equal(r)
+	case OpNeq:
+		return !l.Equal(r)
+	default:
+		return false
+	}
+}
+
+// String renders the guard.
+func (g Guard) String() string {
+	return fmt.Sprintf("%s %s %s", g.Left, g.Op, g.Right)
+}
+
+// Literal is an atom or its negation inside a rule antecedent. Negation is
+// negation-as-unknown over the current store: "not p" succeeds when p is not
+// explicitly True.
+type Literal struct {
+	Atom    Atom
+	Negated bool
+}
+
+// Pos returns a positive literal.
+func Pos(a Atom) Literal { return Literal{Atom: a} }
+
+// Neg returns a negated literal.
+func Neg(a Atom) Literal { return Literal{Atom: a, Negated: true} }
+
+// String renders the literal.
+func (l Literal) String() string {
+	if l.Negated {
+		return "not " + l.Atom.String()
+	}
+	return l.Atom.String()
+}
+
+// Rule is an if-then rule: when every antecedent literal is satisfied (and
+// every guard passes) under some binding, each consequent atom is asserted
+// True under that binding. Negated antecedents must not bind new variables
+// (they are checks, not generators), mirroring safe Datalog.
+type Rule struct {
+	Name      string
+	If        []Literal
+	Guards    []Guard
+	Then      []Atom
+	ThenFalse []Atom // consequents asserted False (DESIRE supports explicit negative conclusions)
+}
+
+// Validate performs static safety checks: every variable in a consequent or
+// negated literal or guard must occur in some positive antecedent literal.
+func (r Rule) Validate() error {
+	bound := make(map[string]bool)
+	for _, l := range r.If {
+		if l.Negated {
+			continue
+		}
+		for _, t := range l.Atom.Args {
+			if t.Kind == KindVar {
+				bound[t.Name] = true
+			}
+		}
+	}
+	check := func(where string, ts []Term) error {
+		for _, t := range ts {
+			if t.Kind == KindVar && !bound[t.Name] {
+				return fmt.Errorf("kb: rule %q: unbound variable ?%s in %s", r.Name, t.Name, where)
+			}
+		}
+		return nil
+	}
+	for _, l := range r.If {
+		if !l.Negated {
+			continue
+		}
+		if err := check("negated antecedent "+l.Atom.String(), l.Atom.Args); err != nil {
+			return err
+		}
+	}
+	for _, g := range r.Guards {
+		if err := check("guard "+g.String(), []Term{g.Left, g.Right}); err != nil {
+			return err
+		}
+	}
+	for _, a := range r.Then {
+		if err := check("consequent "+a.String(), a.Args); err != nil {
+			return err
+		}
+	}
+	for _, a := range r.ThenFalse {
+		if err := check("negative consequent "+a.String(), a.Args); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the rule.
+func (r Rule) String() string {
+	var b strings.Builder
+	b.WriteString(r.Name)
+	b.WriteString(": if ")
+	parts := make([]string, 0, len(r.If)+len(r.Guards))
+	for _, l := range r.If {
+		parts = append(parts, l.String())
+	}
+	for _, g := range r.Guards {
+		parts = append(parts, g.String())
+	}
+	b.WriteString(strings.Join(parts, " and "))
+	b.WriteString(" then ")
+	outs := make([]string, 0, len(r.Then)+len(r.ThenFalse))
+	for _, a := range r.Then {
+		outs = append(outs, a.String())
+	}
+	for _, a := range r.ThenFalse {
+		outs = append(outs, "not "+a.String())
+	}
+	b.WriteString(strings.Join(outs, " and "))
+	return b.String()
+}
+
+// Base is a knowledge base: a named collection of rules. Bases compose per
+// DESIRE's knowledge composition (Compose).
+type Base struct {
+	Name  string
+	Rules []Rule
+}
+
+// NewBase validates all rules and constructs a Base.
+func NewBase(name string, rules ...Rule) (*Base, error) {
+	for _, r := range rules {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &Base{Name: name, Rules: append([]Rule(nil), rules...)}, nil
+}
+
+// Compose concatenates several knowledge bases into one, preserving rule
+// order (earlier bases' rules fire first within each fixpoint pass).
+func Compose(name string, bases ...*Base) *Base {
+	var rules []Rule
+	for _, b := range bases {
+		rules = append(rules, b.Rules...)
+	}
+	return &Base{Name: name, Rules: rules}
+}
+
+// Engine evaluates a knowledge base against a store by forward chaining.
+type Engine struct {
+	base *Base
+	// MaxPasses bounds fixpoint iteration as a defence against pathological
+	// rule sets; 0 means the default.
+	MaxPasses int
+}
+
+// NewEngine returns an engine for the given base.
+func NewEngine(base *Base) *Engine { return &Engine{base: base} }
+
+const defaultMaxPasses = 64
+
+// Infer applies the rules to the store until no pass derives a new fact,
+// returning the facts derived (in derivation order). Positive consequents are
+// asserted True, negative consequents False. A consequent never downgrades an
+// existing value: once a store holds True or False for an atom, conflicting
+// derivations are reported as an error, matching DESIRE's consistency
+// requirement on information states.
+func (e *Engine) Infer(s *Store) ([]Fact, error) {
+	maxPasses := e.MaxPasses
+	if maxPasses <= 0 {
+		maxPasses = defaultMaxPasses
+	}
+	var derived []Fact
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		for _, r := range e.base.Rules {
+			bindings, err := e.antecedentBindings(s, r)
+			if err != nil {
+				return derived, err
+			}
+			for _, b := range bindings {
+				ok, err := e.applyConsequents(s, r, b, &derived)
+				if err != nil {
+					return derived, err
+				}
+				if ok {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return derived, nil
+		}
+	}
+	return derived, fmt.Errorf("kb: base %q did not reach a fixpoint within %d passes", e.base.Name, maxPasses)
+}
+
+// antecedentBindings enumerates all bindings satisfying a rule's antecedent.
+func (e *Engine) antecedentBindings(s *Store, r Rule) ([]Binding, error) {
+	bindings := []Binding{{}}
+	for _, l := range r.If {
+		if l.Negated {
+			var keep []Binding
+			for _, b := range bindings {
+				g := SubstituteAtom(l.Atom, b)
+				if !g.IsGround() {
+					return nil, fmt.Errorf("kb: rule %q: negated literal %s not ground at evaluation", r.Name, l.Atom)
+				}
+				if s.TruthOf(g) != True {
+					keep = append(keep, b)
+				}
+			}
+			bindings = keep
+		} else {
+			var next []Binding
+			for _, b := range bindings {
+				next = append(next, s.Match(l.Atom, b)...)
+			}
+			bindings = next
+		}
+		if len(bindings) == 0 {
+			return nil, nil
+		}
+	}
+	var keep []Binding
+	for _, b := range bindings {
+		ok := true
+		for _, g := range r.Guards {
+			if !g.Eval(b) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			keep = append(keep, b)
+		}
+	}
+	return keep, nil
+}
+
+// applyConsequents asserts a rule's consequents under one binding. It returns
+// whether any store change occurred.
+func (e *Engine) applyConsequents(s *Store, r Rule, b Binding, derived *[]Fact) (bool, error) {
+	changed := false
+	apply := func(a Atom, tv Truth) error {
+		g := SubstituteAtom(a, b)
+		if !g.IsGround() {
+			return fmt.Errorf("kb: rule %q: consequent %s not ground", r.Name, a)
+		}
+		switch cur := s.TruthOf(g); cur {
+		case tv:
+			return nil
+		case Unknown:
+			if err := s.Assert(g, tv); err != nil {
+				return fmt.Errorf("kb: rule %q: %w", r.Name, err)
+			}
+			*derived = append(*derived, Fact{Atom: g, Truth: tv})
+			changed = true
+			return nil
+		default:
+			return fmt.Errorf("kb: rule %q derives %s = %s but store holds %s", r.Name, g, tv, cur)
+		}
+	}
+	for _, a := range r.Then {
+		if err := apply(a, True); err != nil {
+			return changed, err
+		}
+	}
+	for _, a := range r.ThenFalse {
+		if err := apply(a, False); err != nil {
+			return changed, err
+		}
+	}
+	return changed, nil
+}

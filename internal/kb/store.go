@@ -1,0 +1,175 @@
+package kb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Store holds ground facts under a three-valued reading: each atom is True,
+// False, or Unknown (absent). A Store is the executable form of a DESIRE
+// information state. Stores are not safe for concurrent use; each agent
+// component owns its stores and all cross-component traffic flows through
+// information links (see internal/desire).
+type Store struct {
+	ont   *Ontology
+	facts map[string]Fact
+}
+
+// NewStore returns an empty store. If ont is non-nil, every asserted fact is
+// validated against it.
+func NewStore(ont *Ontology) *Store {
+	return &Store{ont: ont, facts: make(map[string]Fact)}
+}
+
+// Assert records the truth value of a ground atom, overwriting any previous
+// value. Asserting Unknown removes the fact.
+func (s *Store) Assert(a Atom, tv Truth) error {
+	if !a.IsGround() {
+		return fmt.Errorf("%w: %s", ErrNotGround, a)
+	}
+	if s.ont != nil {
+		if err := s.ont.CheckAtom(a); err != nil {
+			return err
+		}
+	}
+	k := a.key()
+	if tv == Unknown {
+		delete(s.facts, k)
+		return nil
+	}
+	s.facts[k] = Fact{Atom: a, Truth: tv}
+	return nil
+}
+
+// AssertTrue is shorthand for Assert(a, True).
+func (s *Store) AssertTrue(a Atom) error { return s.Assert(a, True) }
+
+// Retract removes any recorded truth value for the atom.
+func (s *Store) Retract(a Atom) { delete(s.facts, a.key()) }
+
+// TruthOf returns the truth value recorded for a ground atom (Unknown when
+// absent).
+func (s *Store) TruthOf(a Atom) Truth {
+	f, ok := s.facts[a.key()]
+	if !ok {
+		return Unknown
+	}
+	return f.Truth
+}
+
+// Holds reports whether the atom is explicitly True.
+func (s *Store) Holds(a Atom) bool { return s.TruthOf(a) == True }
+
+// Len returns the number of explicitly-valued facts.
+func (s *Store) Len() int { return len(s.facts) }
+
+// Facts returns all facts in deterministic (key-sorted) order.
+func (s *Store) Facts() []Fact {
+	keys := make([]string, 0, len(s.facts))
+	for k := range s.facts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Fact, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, s.facts[k])
+	}
+	return out
+}
+
+// Clear removes every fact.
+func (s *Store) Clear() {
+	s.facts = make(map[string]Fact)
+}
+
+// Clone returns a deep copy sharing the ontology.
+func (s *Store) Clone() *Store {
+	c := NewStore(s.ont)
+	for k, f := range s.facts {
+		c.facts[k] = f
+	}
+	return c
+}
+
+// Binding maps variable names to ground terms.
+type Binding map[string]Term
+
+// clone copies a binding.
+func (b Binding) clone() Binding {
+	c := make(Binding, len(b)+1)
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// substitute applies a binding to a term.
+func substitute(t Term, b Binding) Term {
+	if t.Kind == KindVar {
+		if g, ok := b[t.Name]; ok {
+			return g
+		}
+	}
+	return t
+}
+
+// SubstituteAtom applies a binding to every argument of an atom.
+func SubstituteAtom(a Atom, b Binding) Atom {
+	out := Atom{Pred: a.Pred, Args: make([]Term, len(a.Args))}
+	for i, t := range a.Args {
+		out.Args[i] = substitute(t, b)
+	}
+	return out
+}
+
+// unify extends binding b so the pattern term matches the ground term, or
+// reports failure. The ground side must be ground.
+func unify(pattern, ground Term, b Binding) (Binding, bool) {
+	pattern = substitute(pattern, b)
+	if pattern.Kind == KindVar {
+		nb := b.clone()
+		nb[pattern.Name] = ground
+		return nb, true
+	}
+	if pattern.Equal(ground) {
+		return b, true
+	}
+	return nil, false
+}
+
+// Match finds all bindings under which the pattern atom matches a True fact
+// in the store. Results are in deterministic order. A ground pattern yields a
+// single empty binding when it holds.
+func (s *Store) Match(pattern Atom, seed Binding) []Binding {
+	if seed == nil {
+		seed = Binding{}
+	}
+	var out []Binding
+	for _, f := range s.Facts() {
+		if f.Truth != True || f.Atom.Pred != pattern.Pred || len(f.Atom.Args) != len(pattern.Args) {
+			continue
+		}
+		b := seed
+		ok := true
+		for i := range pattern.Args {
+			b, ok = unify(pattern.Args[i], f.Atom.Args[i], b)
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Query returns the ground atoms of all True facts matching the pattern.
+func (s *Store) Query(pattern Atom) []Atom {
+	bindings := s.Match(pattern, nil)
+	out := make([]Atom, 0, len(bindings))
+	for _, b := range bindings {
+		out = append(out, SubstituteAtom(pattern, b))
+	}
+	return out
+}

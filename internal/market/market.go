@@ -1,0 +1,232 @@
+// Package market implements the computational-market approach to power load
+// management of Ygge & Akkermans (ICMAS'96, [12] in the paper's reference
+// list; the HOMEBOTS system of [1]). The paper's Discussion names it as the
+// alternative negotiation strategy "currently being explored"; implementing
+// it gives the reproduction its comparison baseline (experiment E12).
+//
+// Model: each customer agent submits a demand function — how much energy it
+// wants to consume at a given price — derived from the same device comfort
+// costs that drive the reward-table preferences. The utility's supply is the
+// merit-order production stack. A Walrasian auctioneer finds the
+// market-clearing price by bisection; customers consume their demand at that
+// price, which sheds exactly the load whose marginal comfort value is below
+// the clearing price.
+//
+// Where the reward-table protocol iterates announcements over rounds, the
+// market clears in one price-discovery pass; the comparison axes are the
+// same as E5's: reduction achieved, information exchanged and the transfer
+// paid.
+package market
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"loadbalance/internal/units"
+)
+
+// Errors reported by the package.
+var (
+	ErrBadDemand   = errors.New("market: invalid demand function")
+	ErrNoAgents    = errors.New("market: no demand agents")
+	ErrNoClearing  = errors.New("market: bisection failed to bracket a clearing price")
+	ErrBadCapacity = errors.New("market: capacity must be positive")
+)
+
+// DemandSegment is one step of a customer's demand function: Energy that the
+// customer values at Value per kWh. The customer consumes the segment iff
+// the price is at most its value.
+type DemandSegment struct {
+	Energy units.Energy
+	Value  float64 // willingness to pay per kWh
+}
+
+// Demand is a customer's full demand function: segments sorted by
+// descending value (essential load first).
+type Demand struct {
+	Customer string
+	Segments []DemandSegment
+}
+
+// NewDemand validates and normalises a demand function.
+func NewDemand(customer string, segments []DemandSegment) (Demand, error) {
+	if customer == "" {
+		return Demand{}, fmt.Errorf("%w: empty customer", ErrBadDemand)
+	}
+	if len(segments) == 0 {
+		return Demand{}, fmt.Errorf("%w: no segments", ErrBadDemand)
+	}
+	segs := append([]DemandSegment(nil), segments...)
+	for _, s := range segs {
+		if s.Energy <= 0 {
+			return Demand{}, fmt.Errorf("%w: non-positive segment energy", ErrBadDemand)
+		}
+		if s.Value < 0 || math.IsNaN(s.Value) || math.IsInf(s.Value, 0) {
+			return Demand{}, fmt.Errorf("%w: segment value %v", ErrBadDemand, s.Value)
+		}
+	}
+	sort.SliceStable(segs, func(i, j int) bool { return segs[i].Value > segs[j].Value })
+	return Demand{Customer: customer, Segments: segs}, nil
+}
+
+// At returns the energy the customer demands at a price.
+func (d Demand) At(price float64) units.Energy {
+	var total units.Energy
+	for _, s := range d.Segments {
+		if s.Value >= price {
+			total = total.Add(s.Energy)
+		}
+	}
+	return total
+}
+
+// Total returns the customer's demand at price zero (everything).
+func (d Demand) Total() units.Energy {
+	var total units.Energy
+	for _, s := range d.Segments {
+		total = total.Add(s.Energy)
+	}
+	return total
+}
+
+// FromComfortCosts derives a demand function from the reward-table world's
+// inputs: the customer's total expected use, the sheddable tranches with
+// their comfort costs, and the base retail price. The inflexible remainder
+// is valued at essentialValue (effectively price-insensitive); each
+// sheddable tranche is valued at base price + its comfort cost per kWh —
+// the price above which shedding beats consuming.
+func FromComfortCosts(customer string, totalUse units.Energy, sheddable []DemandSegment, basePrice, essentialValue float64) (Demand, error) {
+	var flexible units.Energy
+	segs := make([]DemandSegment, 0, len(sheddable)+1)
+	for _, s := range sheddable {
+		flexible = flexible.Add(s.Energy)
+		segs = append(segs, DemandSegment{Energy: s.Energy, Value: basePrice + s.Value})
+	}
+	if flexible.KWhs() > totalUse.KWhs()+1e-9 {
+		return Demand{}, fmt.Errorf("%w: sheddable %v exceeds total %v", ErrBadDemand, flexible, totalUse)
+	}
+	if essential := totalUse.Sub(flexible); essential > 0 {
+		segs = append(segs, DemandSegment{Energy: essential, Value: essentialValue})
+	}
+	return NewDemand(customer, segs)
+}
+
+// Clearing is the auction result.
+type Clearing struct {
+	Price       float64
+	TotalDemand units.Energy
+	Capacity    units.Energy
+	// Allocations maps each customer to its consumption at the price.
+	Allocations map[string]units.Energy
+	// Shed is the total energy priced out of the market.
+	Shed units.Energy
+	// Iterations is the number of bisection steps used.
+	Iterations int
+}
+
+// Auctioneer clears a single-interval electricity market.
+type Auctioneer struct {
+	// MaxIterations bounds the bracketing and bisection loops (default 64
+	// each; 64 bisections give ~1e-19 relative price precision).
+	MaxIterations int
+}
+
+// Clear finds the lowest price at which aggregate demand fits within
+// capacity. When even the highest segment value cannot push demand below
+// capacity (all load essential), the clearing price settles above every
+// value and customers keep only what fits — the auctioneer reports the
+// overflow in TotalDemand vs Capacity.
+func (a Auctioneer) Clear(demands []Demand, capacity units.Energy) (Clearing, error) {
+	if len(demands) == 0 {
+		return Clearing{}, ErrNoAgents
+	}
+	if capacity <= 0 {
+		return Clearing{}, ErrBadCapacity
+	}
+	maxIter := a.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 64
+	}
+
+	aggregate := func(price float64) units.Energy {
+		var total units.Energy
+		for _, d := range demands {
+			total = total.Add(d.At(price))
+		}
+		return total
+	}
+
+	// At price 0 everyone demands everything.
+	lo, hi := 0.0, 1.0
+	if aggregate(lo) <= capacity {
+		return a.result(demands, capacity, lo, 0), nil // no scarcity at all
+	}
+	// Find an upper bracket: a price high enough to clear.
+	iter := 0
+	for aggregate(hi) > capacity {
+		hi *= 2
+		iter++
+		if iter > maxIter {
+			// Demand is perfectly inelastic above capacity.
+			return Clearing{}, fmt.Errorf("%w: demand %v never fits capacity %v",
+				ErrNoClearing, aggregate(hi), capacity)
+		}
+	}
+	// Bisect to the lowest clearing price. The invariant is that hi always
+	// clears (demand at hi fits capacity) while lo does not.
+	for i := 0; i < maxIter && hi-lo > 1e-9; i++ {
+		iter++
+		mid := (lo + hi) / 2
+		if aggregate(mid) > capacity {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return a.result(demands, capacity, hi, iter), nil
+}
+
+// result assembles the clearing at a given price.
+func (a Auctioneer) result(demands []Demand, capacity units.Energy, price float64, iterations int) Clearing {
+	c := Clearing{
+		Price:       price,
+		Capacity:    capacity,
+		Allocations: make(map[string]units.Energy, len(demands)),
+		Iterations:  iterations,
+	}
+	var total, shed units.Energy
+	for _, d := range demands {
+		take := d.At(price)
+		c.Allocations[d.Customer] = take
+		total = total.Add(take)
+		shed = shed.Add(d.Total().Sub(take))
+	}
+	c.TotalDemand = total
+	c.Shed = shed
+	return c
+}
+
+// ConsumerSurplus returns the aggregate surplus at the clearing: the value
+// consumers place on their allocation minus what they pay.
+func (c Clearing) ConsumerSurplus(demands []Demand) float64 {
+	surplus := 0.0
+	for _, d := range demands {
+		for _, s := range d.Segments {
+			if s.Value >= c.Price {
+				surplus += (s.Value - c.Price) * s.Energy.KWhs()
+			}
+		}
+	}
+	return surplus
+}
+
+// OveruseRatio reports the residual overuse after clearing, relative to
+// capacity — directly comparable to the protocol sessions' ratio.
+func (c Clearing) OveruseRatio() float64 {
+	if c.Capacity == 0 {
+		return 0
+	}
+	return (c.TotalDemand.KWhs() - c.Capacity.KWhs()) / c.Capacity.KWhs()
+}

@@ -1,0 +1,221 @@
+package market
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"loadbalance/internal/units"
+)
+
+func TestNewDemandValidation(t *testing.T) {
+	tests := []struct {
+		name     string
+		customer string
+		segments []DemandSegment
+	}{
+		{name: "empty customer", segments: []DemandSegment{{Energy: 1, Value: 1}}},
+		{name: "no segments", customer: "c"},
+		{name: "zero energy", customer: "c", segments: []DemandSegment{{Energy: 0, Value: 1}}},
+		{name: "negative value", customer: "c", segments: []DemandSegment{{Energy: 1, Value: -1}}},
+		{name: "nan value", customer: "c", segments: []DemandSegment{{Energy: 1, Value: math.NaN()}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewDemand(tt.customer, tt.segments); !errors.Is(err, ErrBadDemand) {
+				t.Fatalf("error = %v, want ErrBadDemand", err)
+			}
+		})
+	}
+}
+
+func TestDemandAtIsMonotoneStep(t *testing.T) {
+	d, err := NewDemand("c", []DemandSegment{
+		{Energy: 5, Value: 10}, // essential
+		{Energy: 3, Value: 2},  // comfort
+		{Energy: 2, Value: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		price float64
+		want  float64
+	}{
+		{0, 10},
+		{0.5, 10}, // value >= price keeps the 0.5 segment
+		{0.51, 8},
+		{2, 8},
+		{2.1, 5},
+		{10, 5},
+		{10.1, 0},
+	}
+	for _, tt := range tests {
+		if got := d.At(tt.price); !units.NearlyEqual(got.KWhs(), tt.want, 1e-12) {
+			t.Fatalf("At(%v) = %v, want %v", tt.price, got, tt.want)
+		}
+	}
+	if got := d.Total(); got != 10 {
+		t.Fatalf("Total = %v", got)
+	}
+}
+
+func TestFromComfortCosts(t *testing.T) {
+	d, err := FromComfortCosts("c", 10, []DemandSegment{
+		{Energy: 4, Value: 1}, // sheddable at comfort cost 1/kWh
+		{Energy: 2, Value: 3},
+	}, 1.0 /* base price */, 100 /* essential value */)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Essential 4 kWh at value 100; sheddables valued base+comfort.
+	if got := d.At(150); got != 0 {
+		t.Fatalf("demand above essential value = %v", got)
+	}
+	if got := d.At(50); got != 4 {
+		t.Fatalf("essential-only demand = %v, want 4", got)
+	}
+	if got := d.At(3.5); got != 6 {
+		t.Fatalf("demand at 3.5 = %v, want 6 (essential + costly tranche)", got)
+	}
+	if got := d.At(1.5); got != 10 {
+		t.Fatalf("demand at 1.5 = %v, want all 10", got)
+	}
+	if _, err := FromComfortCosts("c", 3, []DemandSegment{{Energy: 5, Value: 1}}, 1, 100); !errors.Is(err, ErrBadDemand) {
+		t.Fatal("sheddable above total should fail")
+	}
+}
+
+func fleetDemands(t *testing.T) []Demand {
+	t.Helper()
+	var out []Demand
+	for i := 0; i < 10; i++ {
+		comfort := 0.5 + float64(i)*0.3
+		d, err := FromComfortCosts(
+			string(rune('a'+i)), 13.5,
+			[]DemandSegment{{Energy: 5.4, Value: comfort}}, // 40% flexible
+			1.0, 1000,
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func TestClearFindsPriceThatFitsCapacity(t *testing.T) {
+	demands := fleetDemands(t)
+	clearing, err := Auctioneer{}.Clear(demands, 100) // total demand 135
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clearing.TotalDemand.KWhs() > 100+1e-6 {
+		t.Fatalf("cleared demand %v exceeds capacity", clearing.TotalDemand)
+	}
+	if clearing.Price <= 1 {
+		t.Fatalf("price %v should exceed the base price under scarcity", clearing.Price)
+	}
+	if clearing.Shed <= 0 {
+		t.Fatal("scarcity must shed something")
+	}
+	// Cheapest-comfort customers shed first: customer a (comfort 0.5) must
+	// be shed before customer j (comfort 3.2).
+	if clearing.Allocations["a"] >= clearing.Allocations["j"] {
+		t.Fatalf("allocations: a=%v j=%v; cheap flexibility should shed first",
+			clearing.Allocations["a"], clearing.Allocations["j"])
+	}
+	if clearing.OveruseRatio() > 1e-6 {
+		t.Fatalf("overuse ratio = %v, want <= 0", clearing.OveruseRatio())
+	}
+}
+
+func TestClearNoScarcity(t *testing.T) {
+	demands := fleetDemands(t)
+	clearing, err := Auctioneer{}.Clear(demands, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clearing.Price != 0 {
+		t.Fatalf("price = %v, want 0 without scarcity", clearing.Price)
+	}
+	if clearing.TotalDemand != 135 {
+		t.Fatalf("demand = %v, want everything", clearing.TotalDemand)
+	}
+	if clearing.Shed != 0 {
+		t.Fatalf("shed = %v, want 0", clearing.Shed)
+	}
+}
+
+func TestClearValidation(t *testing.T) {
+	if _, err := (Auctioneer{}).Clear(nil, 100); !errors.Is(err, ErrNoAgents) {
+		t.Fatal("no agents should fail")
+	}
+	demands := fleetDemands(t)
+	if _, err := (Auctioneer{}).Clear(demands, 0); !errors.Is(err, ErrBadCapacity) {
+		t.Fatal("zero capacity should fail")
+	}
+}
+
+func TestClearInelasticDemandFails(t *testing.T) {
+	// All load essential at an effectively infinite value: no price clears.
+	d, err := NewDemand("c", []DemandSegment{{Energy: 10, Value: math.MaxFloat64 / 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Auctioneer{MaxIterations: 16}).Clear([]Demand{d}, 5); !errors.Is(err, ErrNoClearing) {
+		t.Fatalf("error = %v, want ErrNoClearing", err)
+	}
+}
+
+func TestConsumerSurplus(t *testing.T) {
+	d, err := NewDemand("c", []DemandSegment{
+		{Energy: 2, Value: 10},
+		{Energy: 3, Value: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Clearing{Price: 5}
+	// Only the value-10 segment consumes: surplus (10-5)×2 = 10.
+	if got := c.ConsumerSurplus([]Demand{d}); !units.NearlyEqual(got, 10, 1e-9) {
+		t.Fatalf("surplus = %v, want 10", got)
+	}
+}
+
+// Property: clearing never over-allocates and a higher capacity never raises
+// the price.
+func TestClearProperties(t *testing.T) {
+	f := func(capRaw uint8, seed uint8) bool {
+		capacity := units.Energy(60 + float64(capRaw%80))
+		var demands []Demand
+		for i := 0; i < 8; i++ {
+			comfort := 0.2 + float64((int(seed)+i*13)%30)/10
+			d, err := FromComfortCosts(
+				string(rune('a'+i)), 13.5,
+				[]DemandSegment{{Energy: 6, Value: comfort}},
+				1.0, 1000,
+			)
+			if err != nil {
+				return false
+			}
+			demands = append(demands, d)
+		}
+		c1, err := Auctioneer{}.Clear(demands, capacity)
+		if err != nil {
+			return false
+		}
+		if c1.TotalDemand.KWhs() > capacity.KWhs()+1e-6 {
+			return false
+		}
+		c2, err := Auctioneer{}.Clear(demands, capacity+20)
+		if err != nil {
+			return false
+		}
+		return c2.Price <= c1.Price+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,452 @@
+// Package message defines the wire-level vocabulary of the negotiation: the
+// announcements a Utility Agent sends, the bids Customer Agents return, the
+// awards closing a negotiation, and the information exchanges with Producer
+// Agents. Messages marshal to JSON so the same types serve the in-process
+// bus and the TCP transport.
+//
+// The three announcement payloads correspond one-to-one to the paper's three
+// methods (Section 3.2): OfferTerms, BidRequest and RewardTable.
+package message
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"loadbalance/internal/units"
+)
+
+// Kind tags the payload type carried by an Envelope.
+type Kind string
+
+// Message kinds.
+const (
+	KindOffer       Kind = "offer"        // take-it-or-leave-it offer (3.2.1)
+	KindBidRequest  Kind = "bid_request"  // request for bids (3.2.2)
+	KindRewardTable Kind = "reward_table" // announce reward tables (3.2.3)
+	KindOfferReply  Kind = "offer_reply"  // yes/no answer to an offer
+	KindEnergyBid   Kind = "energy_bid"   // ymin bid in the RFB method
+	KindCutDownBid  Kind = "cutdown_bid"  // chosen cut-down in the RT method
+	KindAward       Kind = "award"        // UA accepts bids / ends session
+	KindInfoRequest Kind = "info_request" // UA asks producer/world for info
+	KindInfoReply   Kind = "info_reply"   // answer to an info request
+	KindSessionEnd  Kind = "session_end"  // UA terminates a negotiation
+)
+
+// Validation errors.
+var (
+	ErrEmptyField  = errors.New("message: required field is empty")
+	ErrBadFraction = errors.New("message: fraction out of range")
+	ErrBadValue    = errors.New("message: value must be finite and non-negative")
+	ErrBadInterval = errors.New("message: interval end must be after start")
+	ErrUnknownKind = errors.New("message: unknown kind")
+	ErrEmptyTable  = errors.New("message: reward table has no entries")
+	ErrTableOrder  = errors.New("message: reward table cut-downs must be strictly increasing")
+)
+
+// Payload is implemented by every message body.
+type Payload interface {
+	Kind() Kind
+	Validate() error
+}
+
+// Window is the JSON-friendly form of a units.Interval.
+type Window struct {
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+}
+
+// FromInterval converts a units.Interval.
+func FromInterval(iv units.Interval) Window {
+	return Window{Start: iv.Start, End: iv.End}
+}
+
+// Interval converts back to a units.Interval.
+func (w Window) Interval() (units.Interval, error) {
+	return units.NewInterval(w.Start, w.End)
+}
+
+// validateWindow reports whether the window is well-formed.
+func (w Window) validate() error {
+	if !w.End.After(w.Start) {
+		return ErrBadInterval
+	}
+	return nil
+}
+
+// OfferTerms is the one-shot offer of Section 3.2.1: stay below
+// XMax × Allowance during the window and pay LowPrice for that energy;
+// exceed it and pay HighPrice for the excess. Declining means NormalPrice.
+type OfferTerms struct {
+	Window       Window  `json:"window"`
+	XMax         float64 `json:"xMax"` // fraction of allowance, in (0,1]
+	AllowanceKWh float64 `json:"allowanceKWh"`
+	LowPrice     float64 `json:"lowPrice"`
+	NormalPrice  float64 `json:"normalPrice"`
+	HighPrice    float64 `json:"highPrice"`
+}
+
+// Kind implements Payload.
+func (OfferTerms) Kind() Kind { return KindOffer }
+
+// Validate implements Payload.
+func (o OfferTerms) Validate() error {
+	if err := o.Window.validate(); err != nil {
+		return err
+	}
+	if o.XMax <= 0 || o.XMax > 1 {
+		return fmt.Errorf("%w: xMax %v", ErrBadFraction, o.XMax)
+	}
+	for _, v := range []float64{o.AllowanceKWh, o.LowPrice, o.NormalPrice, o.HighPrice} {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: %v", ErrBadValue, v)
+		}
+	}
+	if !(o.LowPrice <= o.NormalPrice && o.NormalPrice <= o.HighPrice) {
+		return fmt.Errorf("%w: prices must satisfy low <= normal <= high", ErrBadValue)
+	}
+	return nil
+}
+
+// BidRequest asks every Customer Agent how much energy it really needs
+// (Section 3.2.2). Round counts from 1; later rounds ask customers to stand
+// still or step forward.
+type BidRequest struct {
+	Window Window `json:"window"`
+	Round  int    `json:"round"`
+	// LowPrice/HighPrice communicate the price regime for awarded bids.
+	LowPrice    float64 `json:"lowPrice"`
+	NormalPrice float64 `json:"normalPrice"`
+	HighPrice   float64 `json:"highPrice"`
+}
+
+// Kind implements Payload.
+func (BidRequest) Kind() Kind { return KindBidRequest }
+
+// Validate implements Payload.
+func (r BidRequest) Validate() error {
+	if err := r.Window.validate(); err != nil {
+		return err
+	}
+	if r.Round < 1 {
+		return fmt.Errorf("%w: round %d", ErrBadValue, r.Round)
+	}
+	if !(r.LowPrice <= r.NormalPrice && r.NormalPrice <= r.HighPrice) {
+		return fmt.Errorf("%w: prices must satisfy low <= normal <= high", ErrBadValue)
+	}
+	return nil
+}
+
+// RewardEntry is one row of a reward table: save CutDown × allowed use
+// during the window and receive Reward.
+type RewardEntry struct {
+	CutDown float64 `json:"cutDown"`
+	Reward  float64 `json:"reward"`
+}
+
+// RewardTable is the announcement of Section 3.2.3.
+type RewardTable struct {
+	Window  Window        `json:"window"`
+	Round   int           `json:"round"`
+	Entries []RewardEntry `json:"entries"`
+}
+
+// Kind implements Payload.
+func (RewardTable) Kind() Kind { return KindRewardTable }
+
+// Validate implements Payload.
+func (t RewardTable) Validate() error {
+	if err := t.Window.validate(); err != nil {
+		return err
+	}
+	if t.Round < 1 {
+		return fmt.Errorf("%w: round %d", ErrBadValue, t.Round)
+	}
+	if len(t.Entries) == 0 {
+		return ErrEmptyTable
+	}
+	prev := -1.0
+	for _, e := range t.Entries {
+		if e.CutDown < 0 || e.CutDown > 1 || math.IsNaN(e.CutDown) {
+			return fmt.Errorf("%w: cutDown %v", ErrBadFraction, e.CutDown)
+		}
+		if e.Reward < 0 || math.IsNaN(e.Reward) || math.IsInf(e.Reward, 0) {
+			return fmt.Errorf("%w: reward %v", ErrBadValue, e.Reward)
+		}
+		if e.CutDown <= prev {
+			return ErrTableOrder
+		}
+		prev = e.CutDown
+	}
+	return nil
+}
+
+// RewardFor returns the reward offered at exactly the given cut-down level.
+func (t RewardTable) RewardFor(cutDown float64) (float64, bool) {
+	for _, e := range t.Entries {
+		if e.CutDown == cutDown {
+			return e.Reward, true
+		}
+	}
+	return 0, false
+}
+
+// OfferReply answers an Offer announcement: yes or no (Section 3.2.1:
+// "Customer Agents may only answer 'yes' or 'no'").
+type OfferReply struct {
+	Round  int  `json:"round"`
+	Accept bool `json:"accept"`
+}
+
+// Kind implements Payload.
+func (OfferReply) Kind() Kind { return KindOfferReply }
+
+// Validate implements Payload.
+func (r OfferReply) Validate() error {
+	if r.Round < 1 {
+		return fmt.Errorf("%w: round %d", ErrBadValue, r.Round)
+	}
+	return nil
+}
+
+// EnergyBid states how much energy the customer really needs when a reward
+// is promised (ymin, Section 3.2.2).
+type EnergyBid struct {
+	Round   int     `json:"round"`
+	YMinKWh float64 `json:"yMinKWh"`
+}
+
+// Kind implements Payload.
+func (EnergyBid) Kind() Kind { return KindEnergyBid }
+
+// Validate implements Payload.
+func (b EnergyBid) Validate() error {
+	if b.Round < 1 {
+		return fmt.Errorf("%w: round %d", ErrBadValue, b.Round)
+	}
+	if b.YMinKWh < 0 || math.IsNaN(b.YMinKWh) || math.IsInf(b.YMinKWh, 0) {
+		return fmt.Errorf("%w: yMin %v", ErrBadValue, b.YMinKWh)
+	}
+	return nil
+}
+
+// CutDownBid is the customer's answer to a reward table: "prepared to make a
+// cut-down x during interval I" (Section 3.2.3). CutDown 0 means no saving.
+type CutDownBid struct {
+	Round   int     `json:"round"`
+	CutDown float64 `json:"cutDown"`
+}
+
+// Kind implements Payload.
+func (CutDownBid) Kind() Kind { return KindCutDownBid }
+
+// Validate implements Payload.
+func (b CutDownBid) Validate() error {
+	if b.Round < 1 {
+		return fmt.Errorf("%w: round %d", ErrBadValue, b.Round)
+	}
+	if b.CutDown < 0 || b.CutDown > 1 || math.IsNaN(b.CutDown) {
+		return fmt.Errorf("%w: cutDown %v", ErrBadFraction, b.CutDown)
+	}
+	return nil
+}
+
+// Award confirms to a customer that its bid has been accepted, carrying the
+// agreed cut-down and reward.
+type Award struct {
+	Round   int     `json:"round"`
+	CutDown float64 `json:"cutDown"`
+	Reward  float64 `json:"reward"`
+}
+
+// Kind implements Payload.
+func (Award) Kind() Kind { return KindAward }
+
+// Validate implements Payload.
+func (a Award) Validate() error {
+	if a.Round < 1 {
+		return fmt.Errorf("%w: round %d", ErrBadValue, a.Round)
+	}
+	if a.CutDown < 0 || a.CutDown > 1 || math.IsNaN(a.CutDown) {
+		return fmt.Errorf("%w: cutDown %v", ErrBadFraction, a.CutDown)
+	}
+	if a.Reward < 0 || math.IsNaN(a.Reward) || math.IsInf(a.Reward, 0) {
+		return fmt.Errorf("%w: reward %v", ErrBadValue, a.Reward)
+	}
+	return nil
+}
+
+// InfoRequest asks an information-providing agent (Producer Agent, External
+// World) a named question about a window.
+type InfoRequest struct {
+	Topic  string `json:"topic"`
+	Window Window `json:"window"`
+}
+
+// Kind implements Payload.
+func (InfoRequest) Kind() Kind { return KindInfoRequest }
+
+// Validate implements Payload.
+func (r InfoRequest) Validate() error {
+	if r.Topic == "" {
+		return fmt.Errorf("%w: topic", ErrEmptyField)
+	}
+	return r.Window.validate()
+}
+
+// InfoReply answers an InfoRequest with named numeric values.
+type InfoReply struct {
+	Topic  string             `json:"topic"`
+	Values map[string]float64 `json:"values"`
+}
+
+// Kind implements Payload.
+func (InfoReply) Kind() Kind { return KindInfoReply }
+
+// Validate implements Payload.
+func (r InfoReply) Validate() error {
+	if r.Topic == "" {
+		return fmt.Errorf("%w: topic", ErrEmptyField)
+	}
+	for k, v := range r.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: %s=%v", ErrBadValue, k, v)
+		}
+	}
+	return nil
+}
+
+// SessionEnd tells customers the negotiation is over. Reason is free text
+// ("converged", "max reward reached", "aborted").
+type SessionEnd struct {
+	Round  int    `json:"round"`
+	Reason string `json:"reason"`
+}
+
+// Kind implements Payload.
+func (SessionEnd) Kind() Kind { return KindSessionEnd }
+
+// Validate implements Payload.
+func (e SessionEnd) Validate() error {
+	if e.Round < 0 {
+		return fmt.Errorf("%w: round %d", ErrBadValue, e.Round)
+	}
+	if e.Reason == "" {
+		return fmt.Errorf("%w: reason", ErrEmptyField)
+	}
+	return nil
+}
+
+// Envelope wraps a payload with routing metadata.
+type Envelope struct {
+	From    string          `json:"from"`
+	To      string          `json:"to"` // "" means broadcast
+	Session string          `json:"session"`
+	Kind    Kind            `json:"kind"`
+	Body    json.RawMessage `json:"body"`
+}
+
+// NewEnvelope validates the payload and wraps it.
+func NewEnvelope(from, to, session string, p Payload) (Envelope, error) {
+	if from == "" {
+		return Envelope{}, fmt.Errorf("%w: from", ErrEmptyField)
+	}
+	if session == "" {
+		return Envelope{}, fmt.Errorf("%w: session", ErrEmptyField)
+	}
+	if err := p.Validate(); err != nil {
+		return Envelope{}, err
+	}
+	body, err := json.Marshal(p)
+	if err != nil {
+		return Envelope{}, fmt.Errorf("message: marshal body: %w", err)
+	}
+	return Envelope{From: from, To: to, Session: session, Kind: p.Kind(), Body: body}, nil
+}
+
+// Decode unmarshals and validates the payload according to the envelope's
+// kind tag.
+func (e Envelope) Decode() (Payload, error) {
+	var p Payload
+	switch e.Kind {
+	case KindOffer:
+		p = &OfferTerms{}
+	case KindBidRequest:
+		p = &BidRequest{}
+	case KindRewardTable:
+		p = &RewardTable{}
+	case KindOfferReply:
+		p = &OfferReply{}
+	case KindEnergyBid:
+		p = &EnergyBid{}
+	case KindCutDownBid:
+		p = &CutDownBid{}
+	case KindAward:
+		p = &Award{}
+	case KindInfoRequest:
+		p = &InfoRequest{}
+	case KindInfoReply:
+		p = &InfoReply{}
+	case KindSessionEnd:
+		p = &SessionEnd{}
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownKind, e.Kind)
+	}
+	if err := json.Unmarshal(e.Body, p); err != nil {
+		return nil, fmt.Errorf("message: decode %s: %w", e.Kind, err)
+	}
+	val := deref(p)
+	if err := val.Validate(); err != nil {
+		return nil, err
+	}
+	return val, nil
+}
+
+// deref converts the pointer targets used for unmarshalling back to the
+// value types the rest of the system passes around.
+func deref(p Payload) Payload {
+	switch v := p.(type) {
+	case *OfferTerms:
+		return *v
+	case *BidRequest:
+		return *v
+	case *RewardTable:
+		return *v
+	case *OfferReply:
+		return *v
+	case *EnergyBid:
+		return *v
+	case *CutDownBid:
+		return *v
+	case *Award:
+		return *v
+	case *InfoRequest:
+		return *v
+	case *InfoReply:
+		return *v
+	case *SessionEnd:
+		return *v
+	default:
+		return p
+	}
+}
+
+// Marshal renders the envelope as a single JSON document.
+func (e Envelope) Marshal() ([]byte, error) {
+	return json.Marshal(e)
+}
+
+// Unmarshal parses an envelope from JSON and checks the kind tag is known
+// and the body decodes.
+func Unmarshal(data []byte) (Envelope, error) {
+	var e Envelope
+	if err := json.Unmarshal(data, &e); err != nil {
+		return Envelope{}, fmt.Errorf("message: unmarshal envelope: %w", err)
+	}
+	if _, err := e.Decode(); err != nil {
+		return Envelope{}, err
+	}
+	return e, nil
+}

@@ -1,0 +1,230 @@
+// Package prediction implements the statistical models the Utility Agent
+// uses to predict the balance between consumption and production: "available
+// information is analysed and predictions are calculated on the basis of
+// statistical models" (Section 5.1.2).
+//
+// Three classical estimators are provided — moving average, exponential
+// smoothing and seasonal-naive — plus a one-feature ordinary least squares
+// regression for weather-driven demand (heating degree → load), and the
+// accuracy metrics used to choose between them.
+package prediction
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors reported by predictors.
+var (
+	ErrNoData      = errors.New("prediction: no data")
+	ErrBadWindow   = errors.New("prediction: window must be positive")
+	ErrBadAlpha    = errors.New("prediction: alpha must lie in (0,1]")
+	ErrBadPeriod   = errors.New("prediction: period must be positive")
+	ErrShortSeries = errors.New("prediction: series shorter than required")
+	ErrSingular    = errors.New("prediction: regression is singular")
+)
+
+// Predictor forecasts the next value of a scalar series.
+type Predictor interface {
+	// Predict returns the one-step-ahead forecast for the series.
+	Predict(series []float64) (float64, error)
+	// Name identifies the estimator in experiment reports.
+	Name() string
+}
+
+// MovingAverage predicts the mean of the last Window observations.
+type MovingAverage struct {
+	Window int
+}
+
+// Name implements Predictor.
+func (m MovingAverage) Name() string { return fmt.Sprintf("ma(%d)", m.Window) }
+
+// Predict implements Predictor.
+func (m MovingAverage) Predict(series []float64) (float64, error) {
+	if m.Window <= 0 {
+		return 0, ErrBadWindow
+	}
+	if len(series) == 0 {
+		return 0, ErrNoData
+	}
+	n := m.Window
+	if n > len(series) {
+		n = len(series)
+	}
+	sum := 0.0
+	for _, v := range series[len(series)-n:] {
+		sum += v
+	}
+	return sum / float64(n), nil
+}
+
+// ExpSmoothing is simple exponential smoothing with factor Alpha.
+type ExpSmoothing struct {
+	Alpha float64
+}
+
+// Name implements Predictor.
+func (e ExpSmoothing) Name() string { return fmt.Sprintf("ses(%.2f)", e.Alpha) }
+
+// Predict implements Predictor.
+func (e ExpSmoothing) Predict(series []float64) (float64, error) {
+	if e.Alpha <= 0 || e.Alpha > 1 {
+		return 0, ErrBadAlpha
+	}
+	if len(series) == 0 {
+		return 0, ErrNoData
+	}
+	level := series[0]
+	for _, v := range series[1:] {
+		level = e.Alpha*v + (1-e.Alpha)*level
+	}
+	return level, nil
+}
+
+// SeasonalNaive predicts the value observed Period steps ago — the natural
+// estimator for daily load patterns ("same slot yesterday").
+type SeasonalNaive struct {
+	Period int
+}
+
+// Name implements Predictor.
+func (s SeasonalNaive) Name() string { return fmt.Sprintf("snaive(%d)", s.Period) }
+
+// Predict implements Predictor.
+func (s SeasonalNaive) Predict(series []float64) (float64, error) {
+	if s.Period <= 0 {
+		return 0, ErrBadPeriod
+	}
+	if len(series) < s.Period {
+		return 0, fmt.Errorf("%w: have %d, need %d", ErrShortSeries, len(series), s.Period)
+	}
+	return series[len(series)-s.Period], nil
+}
+
+// OLS is a one-feature least-squares regression y = Intercept + Slope·x,
+// used to regress demand on weather drivers (heating degree).
+type OLS struct {
+	Intercept float64
+	Slope     float64
+	n         int
+}
+
+// FitOLS estimates the regression from paired observations.
+func FitOLS(xs, ys []float64) (*OLS, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("prediction: len(xs)=%d != len(ys)=%d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return nil, ErrShortSeries
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if math.Abs(den) < 1e-12 {
+		return nil, ErrSingular
+	}
+	slope := (n*sxy - sx*sy) / den
+	return &OLS{
+		Intercept: (sy - slope*sx) / n,
+		Slope:     slope,
+		n:         len(xs),
+	}, nil
+}
+
+// At evaluates the fitted regression at x.
+func (o *OLS) At(x float64) float64 { return o.Intercept + o.Slope*x }
+
+// N returns the number of fitted observations.
+func (o *OLS) N() int { return o.n }
+
+// RMSE is the root-mean-square error between forecasts and actuals.
+func RMSE(forecast, actual []float64) (float64, error) {
+	if len(forecast) != len(actual) {
+		return 0, fmt.Errorf("prediction: len mismatch %d vs %d", len(forecast), len(actual))
+	}
+	if len(forecast) == 0 {
+		return 0, ErrNoData
+	}
+	sum := 0.0
+	for i := range forecast {
+		d := forecast[i] - actual[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(forecast))), nil
+}
+
+// MAPE is the mean absolute percentage error; zero actuals are skipped, and
+// all-zero actuals are an error.
+func MAPE(forecast, actual []float64) (float64, error) {
+	if len(forecast) != len(actual) {
+		return 0, fmt.Errorf("prediction: len mismatch %d vs %d", len(forecast), len(actual))
+	}
+	sum, n := 0.0, 0
+	for i := range forecast {
+		if actual[i] == 0 {
+			continue
+		}
+		sum += math.Abs((forecast[i] - actual[i]) / actual[i])
+		n++
+	}
+	if n == 0 {
+		return 0, ErrNoData
+	}
+	return sum / float64(n), nil
+}
+
+// Backtest runs a predictor over a series one step at a time (expanding
+// window, starting after warmup observations) and returns forecasts aligned
+// with actual[warmup:].
+func Backtest(p Predictor, series []float64, warmup int) (forecast, actual []float64, err error) {
+	if warmup < 1 || warmup >= len(series) {
+		return nil, nil, fmt.Errorf("%w: warmup %d of %d", ErrShortSeries, warmup, len(series))
+	}
+	for i := warmup; i < len(series); i++ {
+		f, err := p.Predict(series[:i])
+		if err != nil {
+			return nil, nil, err
+		}
+		forecast = append(forecast, f)
+		actual = append(actual, series[i])
+	}
+	return forecast, actual, nil
+}
+
+// Best backtests several predictors and returns the one with the lowest
+// RMSE, with its score. The UA's "determine general negotiation strategy"
+// task uses this to pick its prediction model.
+func Best(ps []Predictor, series []float64, warmup int) (Predictor, float64, error) {
+	if len(ps) == 0 {
+		return nil, 0, ErrNoData
+	}
+	var (
+		best      Predictor
+		bestScore = math.Inf(1)
+	)
+	for _, p := range ps {
+		f, a, err := Backtest(p, series, warmup)
+		if err != nil {
+			continue // a predictor needing more data than available just loses
+		}
+		score, err := RMSE(f, a)
+		if err != nil {
+			continue
+		}
+		if score < bestScore {
+			best, bestScore = p, score
+		}
+	}
+	if best == nil {
+		return nil, 0, fmt.Errorf("%w: no predictor could run", ErrShortSeries)
+	}
+	return best, bestScore, nil
+}

@@ -1,0 +1,267 @@
+package prediction
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"loadbalance/internal/units"
+)
+
+func TestMovingAverage(t *testing.T) {
+	tests := []struct {
+		name    string
+		window  int
+		series  []float64
+		want    float64
+		wantErr error
+	}{
+		{name: "full window", window: 3, series: []float64{1, 2, 3, 4, 5}, want: 4},
+		{name: "window larger than series", window: 10, series: []float64{2, 4}, want: 3},
+		{name: "single", window: 1, series: []float64{7, 9}, want: 9},
+		{name: "empty", window: 3, series: nil, wantErr: ErrNoData},
+		{name: "bad window", window: 0, series: []float64{1}, wantErr: ErrBadWindow},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := MovingAverage{Window: tt.window}.Predict(tt.series)
+			if !errors.Is(err, tt.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tt.wantErr)
+			}
+			if err == nil && !units.NearlyEqual(got, tt.want, 1e-12) {
+				t.Fatalf("Predict = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestExpSmoothing(t *testing.T) {
+	// Alpha 1 reduces to the last observation.
+	got, err := ExpSmoothing{Alpha: 1}.Predict([]float64{1, 2, 9})
+	if err != nil || got != 9 {
+		t.Fatalf("alpha=1 Predict = %v, %v", got, err)
+	}
+	// Constant series predicts the constant for any alpha.
+	got, err = ExpSmoothing{Alpha: 0.3}.Predict([]float64{5, 5, 5, 5})
+	if err != nil || !units.NearlyEqual(got, 5, 1e-12) {
+		t.Fatalf("constant series Predict = %v, %v", got, err)
+	}
+	if _, err := (ExpSmoothing{Alpha: 0}).Predict([]float64{1}); !errors.Is(err, ErrBadAlpha) {
+		t.Fatal("alpha 0 should fail")
+	}
+	if _, err := (ExpSmoothing{Alpha: 1.2}).Predict([]float64{1}); !errors.Is(err, ErrBadAlpha) {
+		t.Fatal("alpha > 1 should fail")
+	}
+	if _, err := (ExpSmoothing{Alpha: 0.5}).Predict(nil); !errors.Is(err, ErrNoData) {
+		t.Fatal("empty series should fail")
+	}
+}
+
+func TestSeasonalNaive(t *testing.T) {
+	// Period 3 on [1 2 3 4 5] predicts series[len-3] = 3.
+	got, err := SeasonalNaive{Period: 3}.Predict([]float64{1, 2, 3, 4, 5})
+	if err != nil || got != 3 {
+		t.Fatalf("Predict = %v, %v", got, err)
+	}
+	if _, err := (SeasonalNaive{Period: 9}).Predict([]float64{1, 2}); !errors.Is(err, ErrShortSeries) {
+		t.Fatal("short series should fail")
+	}
+	if _, err := (SeasonalNaive{Period: 0}).Predict([]float64{1}); !errors.Is(err, ErrBadPeriod) {
+		t.Fatal("period 0 should fail")
+	}
+}
+
+func TestFitOLSRecoversLine(t *testing.T) {
+	// y = 2 + 3x exactly.
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2 + 3*x
+	}
+	m, err := FitOLS(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.NearlyEqual(m.Intercept, 2, 1e-9) || !units.NearlyEqual(m.Slope, 3, 1e-9) {
+		t.Fatalf("fit = %+v", m)
+	}
+	if !units.NearlyEqual(m.At(10), 32, 1e-9) {
+		t.Fatalf("At(10) = %v", m.At(10))
+	}
+	if m.N() != 5 {
+		t.Fatalf("N = %d", m.N())
+	}
+}
+
+func TestFitOLSErrors(t *testing.T) {
+	if _, err := FitOLS([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := FitOLS([]float64{1}, []float64{1}); !errors.Is(err, ErrShortSeries) {
+		t.Fatal("single point should fail")
+	}
+	if _, err := FitOLS([]float64{2, 2, 2}, []float64{1, 2, 3}); !errors.Is(err, ErrSingular) {
+		t.Fatal("constant x should be singular")
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	rmse, err := RMSE([]float64{1, 2}, []float64{1, 4})
+	if err != nil || !units.NearlyEqual(rmse, math.Sqrt(2), 1e-12) {
+		t.Fatalf("RMSE = %v, %v", rmse, err)
+	}
+	if _, err := RMSE([]float64{1}, []float64{}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := RMSE(nil, nil); !errors.Is(err, ErrNoData) {
+		t.Fatal("empty should fail")
+	}
+	mape, err := MAPE([]float64{110}, []float64{100})
+	if err != nil || !units.NearlyEqual(mape, 0.1, 1e-12) {
+		t.Fatalf("MAPE = %v, %v", mape, err)
+	}
+	// Zero actuals are skipped.
+	mape, err = MAPE([]float64{5, 110}, []float64{0, 100})
+	if err != nil || !units.NearlyEqual(mape, 0.1, 1e-12) {
+		t.Fatalf("MAPE with zero actual = %v, %v", mape, err)
+	}
+	if _, err := MAPE([]float64{5}, []float64{0}); !errors.Is(err, ErrNoData) {
+		t.Fatal("all-zero actuals should fail")
+	}
+}
+
+func TestBacktest(t *testing.T) {
+	series := []float64{10, 10, 10, 10, 10}
+	f, a, err := Backtest(MovingAverage{Window: 2}, series, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != 3 || len(a) != 3 {
+		t.Fatalf("lens = %d, %d", len(f), len(a))
+	}
+	for i := range f {
+		if f[i] != 10 || a[i] != 10 {
+			t.Fatalf("backtest[%d] = %v, %v", i, f[i], a[i])
+		}
+	}
+	if _, _, err := Backtest(MovingAverage{Window: 2}, series, 0); !errors.Is(err, ErrShortSeries) {
+		t.Fatal("warmup 0 should fail")
+	}
+	if _, _, err := Backtest(MovingAverage{Window: 2}, series, 5); !errors.Is(err, ErrShortSeries) {
+		t.Fatal("warmup = len should fail")
+	}
+}
+
+func TestBestPrefersSeasonalOnPeriodicSeries(t *testing.T) {
+	// Period-4 sawtooth: seasonal naive is exact, others are not.
+	var series []float64
+	for i := 0; i < 40; i++ {
+		series = append(series, float64(i%4))
+	}
+	ps := []Predictor{
+		MovingAverage{Window: 4},
+		ExpSmoothing{Alpha: 0.5},
+		SeasonalNaive{Period: 4},
+	}
+	best, score, err := Best(ps, series, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Name() != "snaive(4)" {
+		t.Fatalf("best = %s (score %v), want snaive(4)", best.Name(), score)
+	}
+	if score != 0 {
+		t.Fatalf("seasonal naive score = %v, want 0", score)
+	}
+}
+
+func TestBestSkipsFailingPredictors(t *testing.T) {
+	series := []float64{1, 2, 3, 4}
+	ps := []Predictor{
+		SeasonalNaive{Period: 100}, // cannot run on 4 points
+		MovingAverage{Window: 2},
+	}
+	best, _, err := Best(ps, series, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Name() != "ma(2)" {
+		t.Fatalf("best = %s", best.Name())
+	}
+	if _, _, err := Best(nil, series, 2); !errors.Is(err, ErrNoData) {
+		t.Fatal("no predictors should fail")
+	}
+	if _, _, err := Best([]Predictor{SeasonalNaive{Period: 100}}, series, 2); !errors.Is(err, ErrShortSeries) {
+		t.Fatal("all-failing predictors should fail")
+	}
+}
+
+// Property: the moving-average forecast always lies within [min, max] of the
+// observed window.
+func TestMovingAverageBoundsProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		series := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, v := range raw {
+			series[i] = float64(v)
+		}
+		w := 3
+		start := len(series) - w
+		if start < 0 {
+			start = 0
+		}
+		for _, v := range series[start:] {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		got, err := MovingAverage{Window: w}.Predict(series)
+		if err != nil {
+			return false
+		}
+		return got >= lo-1e-9 && got <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: OLS residual mean is ~0 (normal equations) for noisy lines.
+func TestOLSResidualProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		xs := make([]float64, 20)
+		ys := make([]float64, 20)
+		for i := range xs {
+			xs[i] = float64(i)
+			noise := float64((int(seed)+i*37)%11) - 5
+			ys[i] = 1 + 2*xs[i] + noise
+		}
+		m, err := FitOLS(xs, ys)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for i := range xs {
+			sum += ys[i] - m.At(xs[i])
+		}
+		return math.Abs(sum/float64(len(xs))) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (MovingAverage{Window: 3}).Name() != "ma(3)" {
+		t.Fatal("ma name")
+	}
+	if (ExpSmoothing{Alpha: 0.25}).Name() != "ses(0.25)" {
+		t.Fatal("ses name")
+	}
+	if (SeasonalNaive{Period: 96}).Name() != "snaive(96)" {
+		t.Fatal("snaive name")
+	}
+}

@@ -1,0 +1,168 @@
+// Package producer models the Producer Agent: the Utility Agent's source of
+// information about "availability of electricity and cost" (Section 5.1).
+// Negotiation between the Utility Agent and Producer Agents is out of the
+// paper's scope; what the UA needs is a queryable model of normal production
+// capacity and the marginal cost of exceeding it — the "normal production
+// costs" vs "expensive production costs" split of Figure 1.
+package producer
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"loadbalance/internal/message"
+	"loadbalance/internal/units"
+)
+
+// Errors reported by the package.
+var (
+	ErrBadCapacity  = errors.New("producer: capacity must be positive")
+	ErrBadCost      = errors.New("producer: costs must be non-negative and peak >= base")
+	ErrNoBlocks     = errors.New("producer: no capacity blocks")
+	ErrUnknownTopic = errors.New("producer: unknown info topic")
+)
+
+// Topics the producer answers.
+const (
+	TopicCapacity = "production_capacity"
+	TopicCost     = "production_cost"
+)
+
+// Block is one production tranche: Capacity kWh available in the window at
+// CostPerKWh. Blocks stack: base load plants first, peakers last.
+type Block struct {
+	Name       string
+	Capacity   units.Energy
+	CostPerKWh float64
+}
+
+// Agent is a Producer Agent with a merit-order production stack.
+type Agent struct {
+	name   string
+	blocks []Block
+}
+
+// New validates the stack and constructs the agent. Blocks are sorted into
+// merit order (ascending cost).
+func New(name string, blocks []Block) (*Agent, error) {
+	if name == "" {
+		return nil, errors.New("producer: empty agent name")
+	}
+	if len(blocks) == 0 {
+		return nil, ErrNoBlocks
+	}
+	bs := append([]Block(nil), blocks...)
+	for _, b := range bs {
+		if b.Capacity <= 0 {
+			return nil, fmt.Errorf("%w: block %q", ErrBadCapacity, b.Name)
+		}
+		if b.CostPerKWh < 0 {
+			return nil, fmt.Errorf("%w: block %q", ErrBadCost, b.Name)
+		}
+	}
+	sort.SliceStable(bs, func(i, j int) bool { return bs[i].CostPerKWh < bs[j].CostPerKWh })
+	return &Agent{name: name, blocks: bs}, nil
+}
+
+// Standard builds the canonical two-tranche producer used in experiments:
+// normalCapacity kWh of cheap base production and a peaker tranche at
+// peakCost. This is exactly the Figure 1 cost structure.
+func Standard(normalCapacity units.Energy, baseCost, peakCost float64, peakCapacity units.Energy) (*Agent, error) {
+	if peakCost < baseCost {
+		return nil, ErrBadCost
+	}
+	return New("producer", []Block{
+		{Name: "base", Capacity: normalCapacity, CostPerKWh: baseCost},
+		{Name: "peak", Capacity: peakCapacity, CostPerKWh: peakCost},
+	})
+}
+
+// Name returns the agent's name.
+func (a *Agent) Name() string { return a.name }
+
+// NormalCapacity returns the capacity of the cheapest tranche — the
+// "normal_use" the Utility Agent balances against.
+func (a *Agent) NormalCapacity() units.Energy {
+	return a.blocks[0].Capacity
+}
+
+// TotalCapacity returns the stack's total capacity.
+func (a *Agent) TotalCapacity() units.Energy {
+	var total units.Energy
+	for _, b := range a.blocks {
+		total = total.Add(b.Capacity)
+	}
+	return total
+}
+
+// CostOf returns the total production cost of supplying the given demand
+// through the merit order. Demand beyond the stack is priced at the most
+// expensive block's cost (emergency imports).
+func (a *Agent) CostOf(demand units.Energy) float64 {
+	remaining := demand.KWhs()
+	cost := 0.0
+	for _, b := range a.blocks {
+		if remaining <= 0 {
+			break
+		}
+		take := b.Capacity.KWhs()
+		if take > remaining {
+			take = remaining
+		}
+		cost += take * b.CostPerKWh
+		remaining -= take
+	}
+	if remaining > 0 {
+		cost += remaining * a.blocks[len(a.blocks)-1].CostPerKWh
+	}
+	return cost
+}
+
+// MarginalCostAt returns the cost of the next kWh at the given demand.
+func (a *Agent) MarginalCostAt(demand units.Energy) float64 {
+	cum := units.Energy(0)
+	for _, b := range a.blocks {
+		cum = cum.Add(b.Capacity)
+		if demand < cum {
+			return b.CostPerKWh
+		}
+	}
+	return a.blocks[len(a.blocks)-1].CostPerKWh
+}
+
+// PeakPremium returns the extra cost of serving demand versus serving it at
+// base cost only — the money the UA can spend on rewards and still win.
+func (a *Agent) PeakPremium(demand units.Energy) float64 {
+	base := demand.KWhs() * a.blocks[0].CostPerKWh
+	return a.CostOf(demand) - base
+}
+
+// HandleInfoRequest answers the UA's information requests (the paper's
+// "interaction with the Producer Agent is essential to acquire information
+// about the availability of electricity and the cost involved").
+func (a *Agent) HandleInfoRequest(req message.InfoRequest) (message.InfoReply, error) {
+	if err := req.Validate(); err != nil {
+		return message.InfoReply{}, err
+	}
+	switch req.Topic {
+	case TopicCapacity:
+		return message.InfoReply{
+			Topic: TopicCapacity,
+			Values: map[string]float64{
+				"normal_kwh": a.NormalCapacity().KWhs(),
+				"total_kwh":  a.TotalCapacity().KWhs(),
+			},
+		}, nil
+	case TopicCost:
+		return message.InfoReply{
+			Topic: TopicCost,
+			Values: map[string]float64{
+				"base_cost_per_kwh": a.blocks[0].CostPerKWh,
+				"peak_cost_per_kwh": a.blocks[len(a.blocks)-1].CostPerKWh,
+			},
+		}, nil
+	default:
+		return message.InfoReply{}, fmt.Errorf("%w: %q", ErrUnknownTopic, req.Topic)
+	}
+}

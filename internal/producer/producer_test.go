@@ -1,0 +1,129 @@
+package producer
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"loadbalance/internal/message"
+	"loadbalance/internal/units"
+)
+
+func standard(t *testing.T) *Agent {
+	t.Helper()
+	a, err := Standard(100, 1, 4, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("", []Block{{Name: "b", Capacity: 1}}); err == nil {
+		t.Fatal("empty name should fail")
+	}
+	if _, err := New("p", nil); !errors.Is(err, ErrNoBlocks) {
+		t.Fatal("no blocks should fail")
+	}
+	if _, err := New("p", []Block{{Name: "b", Capacity: 0}}); !errors.Is(err, ErrBadCapacity) {
+		t.Fatal("zero capacity should fail")
+	}
+	if _, err := New("p", []Block{{Name: "b", Capacity: 1, CostPerKWh: -1}}); !errors.Is(err, ErrBadCost) {
+		t.Fatal("negative cost should fail")
+	}
+	if _, err := Standard(100, 5, 1, 60); !errors.Is(err, ErrBadCost) {
+		t.Fatal("peak below base should fail")
+	}
+}
+
+func TestMeritOrderSorting(t *testing.T) {
+	a, err := New("p", []Block{
+		{Name: "peaker", Capacity: 50, CostPerKWh: 4},
+		{Name: "hydro", Capacity: 100, CostPerKWh: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.NormalCapacity(); got != 100 {
+		t.Fatalf("normal capacity = %v, want cheapest block 100", got)
+	}
+	if got := a.TotalCapacity(); got != 150 {
+		t.Fatalf("total = %v, want 150", got)
+	}
+}
+
+func TestCostOf(t *testing.T) {
+	a := standard(t)
+	tests := []struct {
+		name   string
+		demand units.Energy
+		want   float64
+	}{
+		{name: "zero", demand: 0, want: 0},
+		{name: "within base", demand: 80, want: 80},
+		{name: "exactly base", demand: 100, want: 100},
+		{name: "into peak", demand: 135, want: 100 + 35*4},
+		{name: "beyond stack", demand: 200, want: 100 + 60*4 + 40*4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := a.CostOf(tt.demand); !units.NearlyEqual(got, tt.want, 1e-9) {
+				t.Fatalf("CostOf(%v) = %v, want %v", tt.demand, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMarginalCostAt(t *testing.T) {
+	a := standard(t)
+	if got := a.MarginalCostAt(50); got != 1 {
+		t.Fatalf("marginal at 50 = %v, want base 1", got)
+	}
+	if got := a.MarginalCostAt(100); got != 4 {
+		t.Fatalf("marginal at 100 = %v, want peak 4", got)
+	}
+	if got := a.MarginalCostAt(999); got != 4 {
+		t.Fatalf("marginal beyond stack = %v, want 4", got)
+	}
+}
+
+func TestPeakPremium(t *testing.T) {
+	a := standard(t)
+	// Serving 135: peak part 35 kWh costs 4 instead of 1 → premium 105.
+	if got := a.PeakPremium(135); !units.NearlyEqual(got, 105, 1e-9) {
+		t.Fatalf("premium = %v, want 105", got)
+	}
+	if got := a.PeakPremium(90); got != 0 {
+		t.Fatalf("premium below capacity = %v, want 0", got)
+	}
+}
+
+func TestHandleInfoRequest(t *testing.T) {
+	a := standard(t)
+	start := time.Date(1998, 1, 20, 17, 0, 0, 0, time.UTC)
+	win := message.Window{Start: start, End: start.Add(2 * time.Hour)}
+
+	reply, err := a.HandleInfoRequest(message.InfoRequest{Topic: TopicCapacity, Window: win})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Values["normal_kwh"] != 100 || reply.Values["total_kwh"] != 160 {
+		t.Fatalf("capacity reply = %+v", reply)
+	}
+	reply, err = a.HandleInfoRequest(message.InfoRequest{Topic: TopicCost, Window: win})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Values["base_cost_per_kwh"] != 1 || reply.Values["peak_cost_per_kwh"] != 4 {
+		t.Fatalf("cost reply = %+v", reply)
+	}
+	if _, err := a.HandleInfoRequest(message.InfoRequest{Topic: "weather", Window: win}); !errors.Is(err, ErrUnknownTopic) {
+		t.Fatalf("unknown topic error = %v", err)
+	}
+	if _, err := a.HandleInfoRequest(message.InfoRequest{Window: win}); err == nil {
+		t.Fatal("invalid request should fail")
+	}
+	if err := reply.Validate(); err != nil {
+		t.Fatalf("reply invalid: %v", err)
+	}
+}

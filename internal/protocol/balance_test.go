@@ -1,0 +1,131 @@
+package protocol
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"loadbalance/internal/units"
+)
+
+func testWindow() units.Interval {
+	start := time.Date(1998, 1, 20, 17, 0, 0, 0, time.UTC)
+	return units.Interval{Start: start, End: start.Add(2 * time.Hour)}
+}
+
+func TestUseWithCutDown(t *testing.T) {
+	tests := []struct {
+		name string
+		give CustomerLoad
+		want float64
+	}{
+		{
+			// (1-0.4)*10 = 6 < 9: the cap binds.
+			name: "cap binds",
+			give: CustomerLoad{Predicted: 9, Allowed: 10, CutDown: 0.4},
+			want: 6,
+		},
+		{
+			// (1-0.1)*10 = 9 >= 8: prediction stands.
+			name: "cap does not bind",
+			give: CustomerLoad{Predicted: 8, Allowed: 10, CutDown: 0.1},
+			want: 8,
+		},
+		{
+			name: "zero cutdown",
+			give: CustomerLoad{Predicted: 13.5, Allowed: 13.5, CutDown: 0},
+			want: 13.5,
+		},
+		{
+			name: "full cutdown",
+			give: CustomerLoad{Predicted: 13.5, Allowed: 13.5, CutDown: 1},
+			want: 0,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := UseWithCutDown(tt.give); !units.NearlyEqual(got.KWhs(), tt.want, 1e-12) {
+				t.Fatalf("UseWithCutDown = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+// TestPaperBalanceNumbers pins the Figure 6 situation: normal capacity 100,
+// predicted usage 135, overuse 35 and ratio 0.35 before any cut-downs.
+func TestPaperBalanceNumbers(t *testing.T) {
+	loads := make(map[string]CustomerLoad, 10)
+	for i := 0; i < 10; i++ {
+		loads[string(rune('a'+i))] = CustomerLoad{Predicted: 13.5, Allowed: 13.5}
+	}
+	if got := PredictedOveruse(loads, 100); !units.NearlyEqual(got, 35, 1e-9) {
+		t.Fatalf("overuse = %v, want 35", got)
+	}
+	if got := OveruseRatio(loads, 100); !units.NearlyEqual(got, 0.35, 1e-12) {
+		t.Fatalf("ratio = %v, want 0.35", got)
+	}
+}
+
+func TestOveruseCanBeNegative(t *testing.T) {
+	loads := map[string]CustomerLoad{"a": {Predicted: 40, Allowed: 40}}
+	if got := PredictedOveruse(loads, 100); got != -60 {
+		t.Fatalf("overuse = %v, want -60", got)
+	}
+	if got := OveruseRatio(nil, 0); got != 0 {
+		t.Fatalf("ratio with zero base = %v, want 0", got)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	valid := Params{Beta: 1.95, MaxRewardSlope: 125, Epsilon: 1, AllowedOveruseRatio: 0.05}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid params: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{name: "zero beta", mutate: func(p *Params) { p.Beta = 0 }},
+		{name: "negative slope", mutate: func(p *Params) { p.MaxRewardSlope = -1 }},
+		{name: "negative epsilon", mutate: func(p *Params) { p.Epsilon = -0.1 }},
+		{name: "negative allowed overuse", mutate: func(p *Params) { p.AllowedOveruseRatio = -0.1 }},
+		{name: "negative rounds", mutate: func(p *Params) { p.MaxRounds = -1 }},
+		{name: "negative min responses", mutate: func(p *Params) { p.MinResponses = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := valid
+			tt.mutate(&p)
+			if err := p.Validate(); !errors.Is(err, ErrBadParams) {
+				t.Fatalf("Validate = %v, want ErrBadParams", err)
+			}
+		})
+	}
+}
+
+// Property: UseWithCutDown is bounded by both the prediction and the scaled
+// allowance, and is monotonically non-increasing in the cut-down.
+func TestUseWithCutDownProperties(t *testing.T) {
+	f := func(pRaw, aRaw uint16, c1Raw, c2Raw uint8) bool {
+		pred := units.Energy(float64(pRaw) / 100)
+		allowed := units.Energy(float64(aRaw) / 100)
+		c1 := float64(c1Raw%101) / 100
+		c2 := float64(c2Raw%101) / 100
+		if c1 > c2 {
+			c1, c2 = c2, c1
+		}
+		u1 := UseWithCutDown(CustomerLoad{Predicted: pred, Allowed: allowed, CutDown: c1})
+		u2 := UseWithCutDown(CustomerLoad{Predicted: pred, Allowed: allowed, CutDown: c2})
+		if u1 > pred || u2 > pred {
+			return false
+		}
+		if u1.KWhs() > allowed.KWhs()*(1-c1)+1e-9 {
+			return false
+		}
+		return u2 <= u1+1e-9 // more cut-down never increases use
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

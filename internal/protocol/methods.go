@@ -1,0 +1,366 @@
+package protocol
+
+import (
+	"fmt"
+
+	"loadbalance/internal/message"
+	"loadbalance/internal/units"
+)
+
+// This file implements the two other announcement methods of Section 3.2:
+// the one-shot offer (3.2.1) and the iterated request for bids (3.2.2). The
+// prototype in the paper uses reward tables; these methods exist so the
+// "evaluation of the methods" comparison (3.2.4, experiment E5) can be run
+// rather than discussed.
+
+// OfferSession is the one-round take-it-or-leave-it method. All customers
+// receive identical terms (Swedish law requires equal treatment; Section
+// 3.2.1 and 6.1).
+type OfferSession struct {
+	id        string
+	terms     message.OfferTerms
+	loads     map[string]CustomerLoad
+	normalUse units.Energy
+	replies   map[string]bool
+	closed    bool
+}
+
+// OfferOutcome summarises the single round.
+type OfferOutcome struct {
+	Accepted     int
+	Declined     int
+	Silent       int
+	OveruseKWh   float64
+	OveruseRatio float64
+	// DiscountCost is the revenue the utility forgoes by selling at the low
+	// price to accepting customers — the offer method's counterpart to the
+	// reward-table method's total reward paid.
+	DiscountCost float64
+}
+
+// NewOfferSession validates the terms and opens the session.
+func NewOfferSession(id string, terms message.OfferTerms, loads map[string]CustomerLoad, normalUse units.Energy) (*OfferSession, error) {
+	if id == "" {
+		return nil, fmt.Errorf("%w: empty session id", ErrBadParams)
+	}
+	if err := terms.Validate(); err != nil {
+		return nil, err
+	}
+	if len(loads) == 0 {
+		return nil, fmt.Errorf("%w: no customers", ErrBadParams)
+	}
+	ls := make(map[string]CustomerLoad, len(loads))
+	for n, l := range loads {
+		l.CutDown = 0
+		l.Responded = false
+		ls[n] = l
+	}
+	return &OfferSession{
+		id:        id,
+		terms:     terms,
+		loads:     ls,
+		normalUse: normalUse,
+		replies:   make(map[string]bool),
+	}, nil
+}
+
+// Announce returns the offer terms.
+func (s *OfferSession) Announce() (message.OfferTerms, error) {
+	if s.closed {
+		return message.OfferTerms{}, ErrSessionClosed
+	}
+	return s.terms, nil
+}
+
+// RecordReply stores a customer's yes/no. Duplicate replies overwrite
+// (a customer may change its mind until the round closes).
+func (s *OfferSession) RecordReply(customer string, r message.OfferReply) error {
+	if s.closed {
+		return ErrSessionClosed
+	}
+	if _, ok := s.loads[customer]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownCustomer, customer)
+	}
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	s.replies[customer] = r.Accept
+	return nil
+}
+
+// ResponseCount returns the number of replies received.
+func (s *OfferSession) ResponseCount() int { return len(s.replies) }
+
+// Close evaluates the offer's effect: accepting customers cap their usage at
+// XMax × allowance; everyone else keeps their predicted usage.
+func (s *OfferSession) Close() (OfferOutcome, error) {
+	if s.closed {
+		return OfferOutcome{}, ErrSessionClosed
+	}
+	s.closed = true
+	var out OfferOutcome
+	total := 0.0
+	for name, load := range s.loads {
+		accept, replied := s.replies[name]
+		switch {
+		case !replied:
+			out.Silent++
+			total += load.Predicted.KWhs()
+		case !accept:
+			out.Declined++
+			total += load.Predicted.KWhs()
+		default:
+			out.Accepted++
+			cap := load.Allowed.KWhs() * s.terms.XMax
+			use := load.Predicted.KWhs()
+			if cap < use {
+				use = cap
+			}
+			total += use
+			out.DiscountCost += (s.terms.NormalPrice - s.terms.LowPrice) * use
+		}
+	}
+	out.OveruseKWh = total - s.normalUse.KWhs()
+	if s.normalUse > 0 {
+		out.OveruseRatio = out.OveruseKWh / s.normalUse.KWhs()
+	}
+	return out, nil
+}
+
+// RFBParams parameterises the request-for-bids method.
+type RFBParams struct {
+	LowPrice    float64
+	NormalPrice float64
+	HighPrice   float64
+	// AllowedOveruseRatio mirrors the reward-table parameter.
+	AllowedOveruseRatio float64
+	// MaxRounds bounds the negotiation; 0 means the default.
+	MaxRounds int
+}
+
+// Validate reports whether the parameters are usable.
+func (p RFBParams) Validate() error {
+	if !(p.LowPrice <= p.NormalPrice && p.NormalPrice <= p.HighPrice) || p.LowPrice < 0 {
+		return fmt.Errorf("%w: prices must satisfy 0 <= low <= normal <= high", ErrBadParams)
+	}
+	if p.AllowedOveruseRatio < 0 {
+		return fmt.Errorf("%w: allowed overuse %v", ErrBadParams, p.AllowedOveruseRatio)
+	}
+	if p.MaxRounds < 0 {
+		return fmt.Errorf("%w: max rounds %d", ErrBadParams, p.MaxRounds)
+	}
+	return nil
+}
+
+func (p RFBParams) maxRounds() int {
+	if p.MaxRounds <= 0 {
+		return defaultMaxRounds
+	}
+	return p.MaxRounds
+}
+
+// RFBOutcome classifies a request-for-bids round.
+type RFBOutcome int
+
+// RFB outcomes.
+const (
+	// RFBContinue means the UA requests another round of bids.
+	RFBContinue RFBOutcome = iota + 1
+	// RFBConverged means predicted overuse is acceptable.
+	RFBConverged
+	// RFBStalled means no customer improved its bid ("stand still" across
+	// the board), so further rounds cannot help.
+	RFBStalled
+	// RFBMaxRounds means the round bound was hit.
+	RFBMaxRounds
+)
+
+// Terminal reports whether the outcome ends the session.
+func (o RFBOutcome) Terminal() bool { return o != RFBContinue }
+
+// String renders the outcome.
+func (o RFBOutcome) String() string {
+	switch o {
+	case RFBContinue:
+		return "continue"
+	case RFBConverged:
+		return "converged"
+	case RFBStalled:
+		return "stalled"
+	case RFBMaxRounds:
+		return "max rounds reached"
+	default:
+		return fmt.Sprintf("rfb_outcome(%d)", int(o))
+	}
+}
+
+// RFBRound records one completed request-for-bids round.
+type RFBRound struct {
+	Round        int
+	Bids         map[string]float64 // yMin per customer
+	Responses    int
+	Improved     int // customers that stepped forward this round
+	OveruseKWh   float64
+	OveruseRatio float64
+	Outcome      RFBOutcome
+}
+
+// RFBSession is the UA state machine for the request-for-bids method. Each
+// customer bids the energy it "really needs" (yMin); across rounds a bid may
+// stand still or improve (decrease), per the monotonic concession reading.
+type RFBSession struct {
+	id        string
+	window    units.Interval
+	params    RFBParams
+	loads     map[string]CustomerLoad
+	normalUse units.Energy
+
+	round   int
+	yMin    map[string]float64 // committed from previous rounds
+	bids    map[string]float64 // this round
+	history []RFBRound
+	closed  bool
+	outcome RFBOutcome
+}
+
+// NewRFBSession opens a request-for-bids negotiation.
+func NewRFBSession(id string, window units.Interval, p RFBParams, loads map[string]CustomerLoad, normalUse units.Energy) (*RFBSession, error) {
+	if id == "" {
+		return nil, fmt.Errorf("%w: empty session id", ErrBadParams)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(loads) == 0 {
+		return nil, fmt.Errorf("%w: no customers", ErrBadParams)
+	}
+	ls := make(map[string]CustomerLoad, len(loads))
+	yMin := make(map[string]float64, len(loads))
+	for n, l := range loads {
+		l.Responded = false
+		ls[n] = l
+		yMin[n] = l.Predicted.KWhs() // before bidding, need = prediction
+	}
+	return &RFBSession{
+		id:        id,
+		window:    window,
+		params:    p,
+		loads:     ls,
+		normalUse: normalUse,
+		round:     1,
+		yMin:      yMin,
+		bids:      make(map[string]float64),
+	}, nil
+}
+
+// Round returns the current round (1-based).
+func (s *RFBSession) Round() int { return s.round }
+
+// Closed reports whether the session terminated.
+func (s *RFBSession) Closed() bool { return s.closed }
+
+// FinalOutcome returns the terminal outcome (zero before termination).
+func (s *RFBSession) FinalOutcome() RFBOutcome { return s.outcome }
+
+// History returns completed round records.
+func (s *RFBSession) History() []RFBRound {
+	return append([]RFBRound(nil), s.history...)
+}
+
+// Announce returns the request message for the current round.
+func (s *RFBSession) Announce() (message.BidRequest, error) {
+	if s.closed {
+		return message.BidRequest{}, ErrSessionClosed
+	}
+	return message.BidRequest{
+		Window:      message.FromInterval(s.window),
+		Round:       s.round,
+		LowPrice:    s.params.LowPrice,
+		NormalPrice: s.params.NormalPrice,
+		HighPrice:   s.params.HighPrice,
+	}, nil
+}
+
+// RecordBid stores a customer's yMin bid. Monotonicity: a bid may not exceed
+// the customer's previously committed yMin ("the same bid again ('stand
+// still') or ... a (slightly) better bid ('one step forward')").
+func (s *RFBSession) RecordBid(customer string, bid message.EnergyBid) error {
+	if s.closed {
+		return ErrSessionClosed
+	}
+	prev, ok := s.yMin[customer]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownCustomer, customer)
+	}
+	if bid.Round != s.round {
+		return fmt.Errorf("%w: got %d, want %d", ErrWrongRound, bid.Round, s.round)
+	}
+	if err := bid.Validate(); err != nil {
+		return err
+	}
+	if bid.YMinKWh > prev+1e-12 {
+		return fmt.Errorf("%w: %q bid %v kWh after %v kWh", ErrNonMonotonicBid, customer, bid.YMinKWh, prev)
+	}
+	s.bids[customer] = bid.YMinKWh
+	return nil
+}
+
+// ResponseCount returns the number of bids this round.
+func (s *RFBSession) ResponseCount() int { return len(s.bids) }
+
+// CloseRound merges bids, recomputes the balance and applies termination.
+func (s *RFBSession) CloseRound() (RFBRound, error) {
+	if s.closed {
+		return RFBRound{}, ErrSessionClosed
+	}
+	rec := RFBRound{Round: s.round, Bids: s.bids, Responses: len(s.bids)}
+	for customer, y := range s.bids {
+		if y < s.yMin[customer]-1e-12 {
+			rec.Improved++
+		}
+		s.yMin[customer] = y
+		load := s.loads[customer]
+		load.Responded = true
+		s.loads[customer] = load
+	}
+	s.bids = make(map[string]float64)
+
+	total := 0.0
+	for name, load := range s.loads {
+		use := load.Predicted.KWhs()
+		if y := s.yMin[name]; load.Responded && y < use {
+			use = y
+		}
+		total += use
+	}
+	rec.OveruseKWh = total - s.normalUse.KWhs()
+	if s.normalUse > 0 {
+		rec.OveruseRatio = rec.OveruseKWh / s.normalUse.KWhs()
+	}
+
+	switch {
+	case rec.OveruseRatio <= s.params.AllowedOveruseRatio:
+		rec.Outcome = RFBConverged
+	case rec.Responses > 0 && rec.Improved == 0 && s.round > 1:
+		rec.Outcome = RFBStalled
+	case s.round >= s.params.maxRounds():
+		rec.Outcome = RFBMaxRounds
+	default:
+		rec.Outcome = RFBContinue
+	}
+
+	s.history = append(s.history, rec)
+	if rec.Outcome.Terminal() {
+		s.closed = true
+		s.outcome = rec.Outcome
+	} else {
+		s.round++
+	}
+	return rec, nil
+}
+
+// CommittedYMin returns the customer's currently committed need.
+func (s *RFBSession) CommittedYMin(customer string) (float64, bool) {
+	y, ok := s.yMin[customer]
+	return y, ok
+}

@@ -1,0 +1,318 @@
+package protocol
+
+import (
+	"errors"
+	"testing"
+
+	"loadbalance/internal/message"
+	"loadbalance/internal/units"
+)
+
+func offerTerms() message.OfferTerms {
+	return message.OfferTerms{
+		Window:       message.FromInterval(testWindow()),
+		XMax:         0.8,
+		AllowanceKWh: 13.5,
+		LowPrice:     0.5,
+		NormalPrice:  1,
+		HighPrice:    2,
+	}
+}
+
+func TestNewOfferSessionValidation(t *testing.T) {
+	if _, err := NewOfferSession("", offerTerms(), tenCustomers(), 100); !errors.Is(err, ErrBadParams) {
+		t.Fatal("empty id should fail")
+	}
+	bad := offerTerms()
+	bad.XMax = 0
+	if _, err := NewOfferSession("s", bad, tenCustomers(), 100); err == nil {
+		t.Fatal("invalid terms should fail")
+	}
+	if _, err := NewOfferSession("s", offerTerms(), nil, 100); !errors.Is(err, ErrBadParams) {
+		t.Fatal("no customers should fail")
+	}
+}
+
+func TestOfferSessionLifecycle(t *testing.T) {
+	s, err := NewOfferSession("s", offerTerms(), tenCustomers(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Announce(); err != nil {
+		t.Fatal(err)
+	}
+	// 7 accept, 2 decline, 1 silent.
+	accepts := []string{"a", "b", "c", "d", "e", "f", "g"}
+	for _, c := range accepts {
+		if err := s.RecordReply(c, message.OfferReply{Round: 1, Accept: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range []string{"h", "i"} {
+		if err := s.RecordReply(c, message.OfferReply{Round: 1, Accept: false}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.ResponseCount(); got != 9 {
+		t.Fatalf("responses = %d, want 9", got)
+	}
+	out, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Accepted != 7 || out.Declined != 2 || out.Silent != 1 {
+		t.Fatalf("outcome = %+v", out)
+	}
+	// Accepting customers cap at 0.8×13.5 = 10.8; usage 7×10.8 + 3×13.5 =
+	// 116.1 → overuse 16.1.
+	if !units.NearlyEqual(out.OveruseKWh, 16.1, 1e-9) {
+		t.Fatalf("overuse = %v, want 16.1", out.OveruseKWh)
+	}
+	if !units.NearlyEqual(out.OveruseRatio, 0.161, 1e-12) {
+		t.Fatalf("ratio = %v, want 0.161", out.OveruseRatio)
+	}
+	// Post-close operations fail.
+	if err := s.RecordReply("a", message.OfferReply{Round: 1, Accept: true}); !errors.Is(err, ErrSessionClosed) {
+		t.Fatal("reply after close should fail")
+	}
+	if _, err := s.Close(); !errors.Is(err, ErrSessionClosed) {
+		t.Fatal("double close should fail")
+	}
+}
+
+func TestOfferRecordReplyValidation(t *testing.T) {
+	s, err := NewOfferSession("s", offerTerms(), tenCustomers(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordReply("ghost", message.OfferReply{Round: 1, Accept: true}); !errors.Is(err, ErrUnknownCustomer) {
+		t.Fatal("unknown customer should fail")
+	}
+	if err := s.RecordReply("a", message.OfferReply{Round: 0}); err == nil {
+		t.Fatal("invalid reply should fail")
+	}
+	// Changing one's mind before close is allowed.
+	if err := s.RecordReply("a", message.OfferReply{Round: 1, Accept: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordReply("a", message.OfferReply{Round: 1, Accept: false}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Accepted != 0 || out.Declined != 1 {
+		t.Fatalf("outcome = %+v", out)
+	}
+}
+
+func rfbParams() RFBParams {
+	return RFBParams{LowPrice: 0.5, NormalPrice: 1, HighPrice: 2, AllowedOveruseRatio: 0.15}
+}
+
+func TestNewRFBSessionValidation(t *testing.T) {
+	if _, err := NewRFBSession("", testWindow(), rfbParams(), tenCustomers(), 100); !errors.Is(err, ErrBadParams) {
+		t.Fatal("empty id should fail")
+	}
+	bad := rfbParams()
+	bad.LowPrice = 5
+	if _, err := NewRFBSession("s", testWindow(), bad, tenCustomers(), 100); !errors.Is(err, ErrBadParams) {
+		t.Fatal("bad prices should fail")
+	}
+	if _, err := NewRFBSession("s", testWindow(), rfbParams(), nil, 100); !errors.Is(err, ErrBadParams) {
+		t.Fatal("no customers should fail")
+	}
+}
+
+func TestRFBMonotonicBids(t *testing.T) {
+	p := rfbParams()
+	p.AllowedOveruseRatio = 0.0001
+	s, err := NewRFBSession("s", testWindow(), p, tenCustomers(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordBid("a", message.EnergyBid{Round: 1, YMinKWh: 12}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CloseRound(); err != nil {
+		t.Fatal(err)
+	}
+	// Round 2: bidding more energy than committed is a regression.
+	if err := s.RecordBid("a", message.EnergyBid{Round: 2, YMinKWh: 13}); !errors.Is(err, ErrNonMonotonicBid) {
+		t.Fatalf("regressing bid error = %v", err)
+	}
+	// Stand still and step forward are legal.
+	if err := s.RecordBid("a", message.EnergyBid{Round: 2, YMinKWh: 12}); err != nil {
+		t.Fatalf("stand still rejected: %v", err)
+	}
+	if err := s.RecordBid("a", message.EnergyBid{Round: 2, YMinKWh: 11}); err != nil {
+		t.Fatalf("step forward rejected: %v", err)
+	}
+	// First bid may not exceed the prediction either.
+	if err := s.RecordBid("b", message.EnergyBid{Round: 2, YMinKWh: 14}); !errors.Is(err, ErrNonMonotonicBid) {
+		t.Fatalf("bid above prediction error = %v", err)
+	}
+}
+
+func TestRFBRecordBidValidation(t *testing.T) {
+	s, err := NewRFBSession("s", testWindow(), rfbParams(), tenCustomers(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordBid("ghost", message.EnergyBid{Round: 1, YMinKWh: 10}); !errors.Is(err, ErrUnknownCustomer) {
+		t.Fatal("unknown customer should fail")
+	}
+	if err := s.RecordBid("a", message.EnergyBid{Round: 9, YMinKWh: 10}); !errors.Is(err, ErrWrongRound) {
+		t.Fatal("wrong round should fail")
+	}
+	if err := s.RecordBid("a", message.EnergyBid{Round: 1, YMinKWh: -1}); err == nil {
+		t.Fatal("negative bid should fail")
+	}
+}
+
+func TestRFBConvergence(t *testing.T) {
+	s, err := NewRFBSession("s", testWindow(), rfbParams(), tenCustomers(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everyone bids 11 kWh: usage 110, ratio 0.10 ≤ 0.15 → converged.
+	for c := range tenCustomers() {
+		if err := s.RecordBid(c, message.EnergyBid{Round: 1, YMinKWh: 11}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec, err := s.CloseRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Outcome != RFBConverged {
+		t.Fatalf("outcome = %v, want converged", rec.Outcome)
+	}
+	if !units.NearlyEqual(rec.OveruseKWh, 10, 1e-9) {
+		t.Fatalf("overuse = %v, want 10", rec.OveruseKWh)
+	}
+	if !s.Closed() || s.FinalOutcome() != RFBConverged {
+		t.Fatal("session should be closed")
+	}
+}
+
+func TestRFBStallDetection(t *testing.T) {
+	p := rfbParams()
+	p.AllowedOveruseRatio = 0.0001
+	s, err := NewRFBSession("s", testWindow(), p, tenCustomers(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 1: everyone steps to 13 kWh. Not enough; continue.
+	for c := range tenCustomers() {
+		if err := s.RecordBid(c, message.EnergyBid{Round: 1, YMinKWh: 13}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec, err := s.CloseRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Outcome != RFBContinue {
+		t.Fatalf("round 1 outcome = %v", rec.Outcome)
+	}
+	if rec.Improved != 10 {
+		t.Fatalf("improved = %d, want 10", rec.Improved)
+	}
+	// Round 2: all stand still → stalled.
+	for c := range tenCustomers() {
+		if err := s.RecordBid(c, message.EnergyBid{Round: 2, YMinKWh: 13}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec, err = s.CloseRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Outcome != RFBStalled {
+		t.Fatalf("round 2 outcome = %v, want stalled", rec.Outcome)
+	}
+	if s.FinalOutcome() != RFBStalled {
+		t.Fatal("session should be stalled")
+	}
+}
+
+func TestRFBMaxRounds(t *testing.T) {
+	p := rfbParams()
+	p.AllowedOveruseRatio = 0.0001
+	p.MaxRounds = 2
+	s, err := NewRFBSession("s", testWindow(), p, tenCustomers(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One customer keeps improving slightly so no stall fires.
+	if err := s.RecordBid("a", message.EnergyBid{Round: 1, YMinKWh: 13}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CloseRound(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordBid("a", message.EnergyBid{Round: 2, YMinKWh: 12.5}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.CloseRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Outcome != RFBMaxRounds {
+		t.Fatalf("outcome = %v, want max rounds", rec.Outcome)
+	}
+}
+
+func TestRFBAnnounceAndCommitted(t *testing.T) {
+	s, err := NewRFBSession("s", testWindow(), rfbParams(), tenCustomers(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := s.Announce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Round != 1 || req.LowPrice != 0.5 {
+		t.Fatalf("request = %+v", req)
+	}
+	if err := req.Validate(); err != nil {
+		t.Fatalf("request invalid: %v", err)
+	}
+	y, ok := s.CommittedYMin("a")
+	if !ok || y != 13.5 {
+		t.Fatalf("committed = %v, %v; want prediction 13.5", y, ok)
+	}
+	if _, ok := s.CommittedYMin("ghost"); ok {
+		t.Fatal("ghost should miss")
+	}
+	if err := s.RecordBid("a", message.EnergyBid{Round: 1, YMinKWh: 11}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CloseRound(); err != nil {
+		t.Fatal(err)
+	}
+	if y, _ := s.CommittedYMin("a"); y != 11 {
+		t.Fatalf("committed after round = %v, want 11", y)
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	for _, o := range []Outcome{OutcomeContinue, OutcomeConverged, OutcomeCeiling, OutcomeMaxRounds} {
+		if o.String() == "" {
+			t.Fatal("empty outcome string")
+		}
+	}
+	if OutcomeContinue.Terminal() {
+		t.Fatal("continue should not be terminal")
+	}
+	for _, o := range []RFBOutcome{RFBContinue, RFBConverged, RFBStalled, RFBMaxRounds} {
+		if o.String() == "" {
+			t.Fatal("empty rfb outcome string")
+		}
+	}
+	if RFBContinue.Terminal() {
+		t.Fatal("rfb continue should not be terminal")
+	}
+}

@@ -1,0 +1,323 @@
+package protocol
+
+import (
+	"fmt"
+	"sort"
+
+	"loadbalance/internal/message"
+	"loadbalance/internal/units"
+)
+
+// Outcome classifies how a reward-table negotiation round ended.
+type Outcome int
+
+// Outcomes.
+const (
+	// OutcomeContinue means another round follows with an improved table.
+	OutcomeContinue Outcome = iota + 1
+	// OutcomeConverged means the predicted overuse is at most the allowed
+	// overuse — the paper's condition (1).
+	OutcomeConverged
+	// OutcomeCeiling means the reward step fell to Epsilon or the table
+	// reached max_reward — the paper's condition (2).
+	OutcomeCeiling
+	// OutcomeMaxRounds means the safety bound on rounds was hit.
+	OutcomeMaxRounds
+)
+
+// String renders the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeContinue:
+		return "continue"
+	case OutcomeConverged:
+		return "converged"
+	case OutcomeCeiling:
+		return "reward ceiling reached"
+	case OutcomeMaxRounds:
+		return "max rounds reached"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// Terminal reports whether the outcome ends the session.
+func (o Outcome) Terminal() bool { return o != OutcomeContinue }
+
+// RoundRecord captures one completed round for tracing and verification —
+// the data behind Figures 6-9.
+type RoundRecord struct {
+	Round        int
+	Table        Table              // table announced this round
+	Bids         map[string]float64 // cut-down bids received this round
+	Responses    int
+	OveruseKWh   float64 // predicted overuse after merging bids
+	OveruseRatio float64
+	MaxDelta     float64 // largest reward increase when advancing the table
+	BetaUsed     float64 // effective beta for the table update (adaptive runs)
+	Outcome      Outcome
+}
+
+// RTSession is the Utility Agent's state machine for one negotiation using
+// the announce-reward-tables method (Section 3.2.3). It is not safe for
+// concurrent use; the owning agent goroutine drives it.
+type RTSession struct {
+	id        string
+	window    units.Interval
+	params    Params
+	normalUse units.Energy
+
+	loads     map[string]CustomerLoad
+	table     Table
+	round     int
+	bids      map[string]float64
+	history   []RoundRecord
+	outcome   Outcome
+	closed    bool
+	betaScale float64 // adaptive-beta multiplier (Section 7 extension)
+}
+
+// NewRTSession starts a reward-table negotiation. initial is the round-1
+// table; loads maps every addressed customer to the UA's model of it.
+func NewRTSession(id string, window units.Interval, p Params, initial Table, loads map[string]CustomerLoad, normalUse units.Energy) (*RTSession, error) {
+	if id == "" {
+		return nil, fmt.Errorf("%w: empty session id", ErrBadParams)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(initial.Entries) == 0 {
+		return nil, fmt.Errorf("%w: empty initial table", ErrBadTable)
+	}
+	if len(loads) == 0 {
+		return nil, fmt.Errorf("%w: no customers", ErrBadParams)
+	}
+	ls := make(map[string]CustomerLoad, len(loads))
+	for name, l := range loads {
+		l.CutDown = 0
+		l.Responded = false
+		ls[name] = l
+	}
+	return &RTSession{
+		id:        id,
+		window:    window,
+		params:    p,
+		normalUse: normalUse,
+		loads:     ls,
+		table:     initial.Clone(),
+		round:     1,
+		bids:      make(map[string]float64),
+		betaScale: 1,
+	}, nil
+}
+
+// ID returns the session identifier.
+func (s *RTSession) ID() string { return s.id }
+
+// Round returns the current round number (1-based).
+func (s *RTSession) Round() int { return s.round }
+
+// Table returns a copy of the current reward table.
+func (s *RTSession) Table() Table { return s.table.Clone() }
+
+// Window returns the negotiation window.
+func (s *RTSession) Window() units.Interval { return s.window }
+
+// Closed reports whether the session has terminated.
+func (s *RTSession) Closed() bool { return s.closed }
+
+// FinalOutcome returns the terminal outcome (zero before termination).
+func (s *RTSession) FinalOutcome() Outcome { return s.outcome }
+
+// History returns the completed round records.
+func (s *RTSession) History() []RoundRecord {
+	return append([]RoundRecord(nil), s.history...)
+}
+
+// Announce returns the wire form of the current round's table.
+func (s *RTSession) Announce() (message.RewardTable, error) {
+	if s.closed {
+		return message.RewardTable{}, ErrSessionClosed
+	}
+	return s.table.Message(s.window, s.round), nil
+}
+
+// RecordBid validates and stores a customer's cut-down bid for the current
+// round. The monotonic concession protocol requires the bid to be "a new bid
+// or the same bid again" — the cut-down may never decrease across rounds —
+// and the level must appear in the announced table.
+func (s *RTSession) RecordBid(customer string, bid message.CutDownBid) error {
+	if s.closed {
+		return ErrSessionClosed
+	}
+	load, ok := s.loads[customer]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownCustomer, customer)
+	}
+	if bid.Round != s.round {
+		return fmt.Errorf("%w: got %d, want %d", ErrWrongRound, bid.Round, s.round)
+	}
+	if err := bid.Validate(); err != nil {
+		return err
+	}
+	if _, ok := s.table.RewardFor(bid.CutDown); !ok {
+		return fmt.Errorf("%w: cut-down %v not in announced table", ErrBadTable, bid.CutDown)
+	}
+	if bid.CutDown < load.CutDown {
+		return fmt.Errorf("%w: %q bid %v after %v", ErrNonMonotonicBid, customer, bid.CutDown, load.CutDown)
+	}
+	s.bids[customer] = bid.CutDown
+	return nil
+}
+
+// ResponseCount returns how many customers have bid this round.
+func (s *RTSession) ResponseCount() int { return len(s.bids) }
+
+// QuorumReached reports whether the "acceptable number of bids" has been
+// collected (all customers when MinResponses is 0).
+func (s *RTSession) QuorumReached() bool {
+	need := s.params.MinResponses
+	if need <= 0 || need > len(s.loads) {
+		need = len(s.loads)
+	}
+	return len(s.bids) >= need
+}
+
+// CloseRound merges the round's bids into the customer models, predicts the
+// new balance and applies the termination rules. It returns the completed
+// round record; when record.Outcome is terminal the session is closed.
+func (s *RTSession) CloseRound() (RoundRecord, error) {
+	if s.closed {
+		return RoundRecord{}, ErrSessionClosed
+	}
+	for customer, cd := range s.bids {
+		load := s.loads[customer]
+		load.CutDown = cd
+		load.Responded = true
+		s.loads[customer] = load
+	}
+	rec := RoundRecord{
+		Round:     s.round,
+		Table:     s.table.Clone(),
+		Bids:      s.bids,
+		Responses: len(s.bids),
+	}
+	s.bids = make(map[string]float64)
+
+	rec.OveruseKWh = PredictedOveruse(s.loads, s.normalUse)
+	rec.OveruseRatio = OveruseRatio(s.loads, s.normalUse)
+
+	effective := s.params
+	effective.Beta *= s.betaScale
+	rec.BetaUsed = effective.Beta
+	next, maxDelta := s.table.Update(rec.OveruseRatio, effective)
+	rec.MaxDelta = maxDelta
+
+	// Section 7 extension: scale beta up when the round made little
+	// progress on the overuse.
+	if s.params.AdaptiveBeta && len(s.history) > 0 {
+		prev := s.history[len(s.history)-1].OveruseKWh
+		if prev > 0 {
+			reduction := (prev - rec.OveruseKWh) / prev
+			if reduction < s.params.adaptThreshold() {
+				s.betaScale *= s.params.adaptFactor()
+				if s.betaScale > maxBetaScale {
+					s.betaScale = maxBetaScale
+				}
+			}
+		}
+	}
+
+	switch {
+	case rec.OveruseRatio <= s.params.AllowedOveruseRatio:
+		rec.Outcome = OutcomeConverged
+	case maxDelta <= s.params.Epsilon || next.AtCeiling(s.params, s.params.Epsilon):
+		rec.Outcome = OutcomeCeiling
+	case s.round >= s.params.maxRounds():
+		rec.Outcome = OutcomeMaxRounds
+	default:
+		rec.Outcome = OutcomeContinue
+	}
+
+	s.history = append(s.history, rec)
+	if rec.Outcome.Terminal() {
+		s.closed = true
+		s.outcome = rec.Outcome
+	} else {
+		s.table = next
+		s.round++
+	}
+	return rec, nil
+}
+
+// AwardFor returns the award message for one customer at session end: the
+// cut-down it last bid and the reward the final table pays for it.
+func (s *RTSession) AwardFor(customer string) (message.Award, error) {
+	if !s.closed {
+		return message.Award{}, fmt.Errorf("protocol: session %q still open", s.id)
+	}
+	load, ok := s.loads[customer]
+	if !ok {
+		return message.Award{}, fmt.Errorf("%w: %q", ErrUnknownCustomer, customer)
+	}
+	reward, ok := s.table.RewardFor(load.CutDown)
+	if !ok {
+		reward = 0
+	}
+	return message.Award{Round: s.round, CutDown: load.CutDown, Reward: reward}, nil
+}
+
+// Awards returns the award for every responding customer, sorted by name.
+func (s *RTSession) Awards() ([]CustomerAward, error) {
+	if !s.closed {
+		return nil, fmt.Errorf("protocol: session %q still open", s.id)
+	}
+	names := make([]string, 0, len(s.loads))
+	for n, l := range s.loads {
+		if l.Responded {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	out := make([]CustomerAward, 0, len(names))
+	for _, n := range names {
+		a, err := s.AwardFor(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CustomerAward{Customer: n, Award: a})
+	}
+	return out, nil
+}
+
+// CustomerAward pairs a customer with its award.
+type CustomerAward struct {
+	Customer string
+	Award    message.Award
+}
+
+// TotalRewardPaid sums the rewards of all awards — the UA's cost of the
+// negotiation, used by experiment E6.
+func TotalRewardPaid(awards []CustomerAward) float64 {
+	total := 0.0
+	for _, a := range awards {
+		total += a.Award.Reward
+	}
+	return total
+}
+
+// LoadOf exposes the UA's current model of a customer (for tracing).
+func (s *RTSession) LoadOf(customer string) (CustomerLoad, bool) {
+	l, ok := s.loads[customer]
+	return l, ok
+}
+
+// Customers returns the customer names in the session, sorted.
+func (s *RTSession) Customers() []string {
+	out := make([]string, 0, len(s.loads))
+	for n := range s.loads {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

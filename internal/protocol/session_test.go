@@ -1,0 +1,384 @@
+package protocol
+
+import (
+	"errors"
+	"testing"
+
+	"loadbalance/internal/message"
+	"loadbalance/internal/units"
+)
+
+// tenCustomers builds the Figure 6 population: ten identical customers with
+// predicted and allowed use 13.5 against a normal capacity of 100.
+func tenCustomers() map[string]CustomerLoad {
+	loads := make(map[string]CustomerLoad, 10)
+	for i := 0; i < 10; i++ {
+		loads[string(rune('a'+i))] = CustomerLoad{Predicted: 13.5, Allowed: 13.5}
+	}
+	return loads
+}
+
+func newSession(t *testing.T, p Params) *RTSession {
+	t.Helper()
+	tab, err := StandardTable(42.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewRTSession("s1", testWindow(), p, tab, tenCustomers(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewRTSessionValidation(t *testing.T) {
+	tab, err := StandardTable(42.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRTSession("", testWindow(), paperParams(), tab, tenCustomers(), 100); !errors.Is(err, ErrBadParams) {
+		t.Fatal("empty id should fail")
+	}
+	if _, err := NewRTSession("s", testWindow(), Params{}, tab, tenCustomers(), 100); !errors.Is(err, ErrBadParams) {
+		t.Fatal("invalid params should fail")
+	}
+	if _, err := NewRTSession("s", testWindow(), paperParams(), Table{}, tenCustomers(), 100); !errors.Is(err, ErrBadTable) {
+		t.Fatal("empty table should fail")
+	}
+	if _, err := NewRTSession("s", testWindow(), paperParams(), tab, nil, 100); !errors.Is(err, ErrBadParams) {
+		t.Fatal("no customers should fail")
+	}
+}
+
+func TestAnnounceCarriesRoundAndTable(t *testing.T) {
+	s := newSession(t, paperParams())
+	msg, err := s.Announce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Round != 1 {
+		t.Fatalf("round = %d, want 1", msg.Round)
+	}
+	if r, ok := msg.RewardFor(0.4); !ok || !units.NearlyEqual(r, 17, 1e-9) {
+		t.Fatalf("announced reward(0.4) = %v, want 17", r)
+	}
+	if err := msg.Validate(); err != nil {
+		t.Fatalf("announcement invalid: %v", err)
+	}
+}
+
+func TestRecordBidValidation(t *testing.T) {
+	s := newSession(t, paperParams())
+	tests := []struct {
+		name     string
+		customer string
+		bid      message.CutDownBid
+		wantErr  error
+	}{
+		{name: "ok", customer: "a", bid: message.CutDownBid{Round: 1, CutDown: 0.2}},
+		{name: "unknown customer", customer: "zz", bid: message.CutDownBid{Round: 1, CutDown: 0.2}, wantErr: ErrUnknownCustomer},
+		{name: "wrong round", customer: "b", bid: message.CutDownBid{Round: 2, CutDown: 0.2}, wantErr: ErrWrongRound},
+		{name: "level not announced", customer: "b", bid: message.CutDownBid{Round: 1, CutDown: 0.25}, wantErr: ErrBadTable},
+		{name: "invalid payload", customer: "b", bid: message.CutDownBid{Round: 1, CutDown: 1.5}, wantErr: message.ErrBadFraction},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := s.RecordBid(tt.customer, tt.bid); !errors.Is(err, tt.wantErr) {
+				t.Fatalf("RecordBid = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestMonotonicConcessionEnforced(t *testing.T) {
+	p := paperParams()
+	p.AllowedOveruseRatio = 0.0001 // keep negotiating
+	s := newSession(t, p)
+	if err := s.RecordBid("a", message.CutDownBid{Round: 1, CutDown: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CloseRound(); err != nil {
+		t.Fatal(err)
+	}
+	// Round 2: lowering the bid to 0.2 violates monotonic concession.
+	if err := s.RecordBid("a", message.CutDownBid{Round: 2, CutDown: 0.2}); !errors.Is(err, ErrNonMonotonicBid) {
+		t.Fatalf("regressing bid error = %v, want ErrNonMonotonicBid", err)
+	}
+	// Standing still and stepping forward are both legal.
+	if err := s.RecordBid("a", message.CutDownBid{Round: 2, CutDown: 0.3}); err != nil {
+		t.Fatalf("stand still rejected: %v", err)
+	}
+	if err := s.RecordBid("a", message.CutDownBid{Round: 2, CutDown: 0.4}); err != nil {
+		t.Fatalf("step forward rejected: %v", err)
+	}
+}
+
+func TestCloseRoundComputesOveruse(t *testing.T) {
+	s := newSession(t, paperParams())
+	// Five customers bid 0.2: usage 5×10.8 + 5×13.5 = 121.5, overuse 21.5.
+	for _, c := range []string{"a", "b", "c", "d", "e"} {
+		if err := s.RecordBid(c, message.CutDownBid{Round: 1, CutDown: 0.2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec, err := s.CloseRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.NearlyEqual(rec.OveruseKWh, 21.5, 1e-9) {
+		t.Fatalf("overuse = %v, want 21.5", rec.OveruseKWh)
+	}
+	if !units.NearlyEqual(rec.OveruseRatio, 0.215, 1e-12) {
+		t.Fatalf("ratio = %v, want 0.215", rec.OveruseRatio)
+	}
+	if rec.Outcome != OutcomeContinue {
+		t.Fatalf("outcome = %v, want continue", rec.Outcome)
+	}
+	if s.Round() != 2 {
+		t.Fatalf("round = %d, want 2", s.Round())
+	}
+	// The next announcement must dominate the first (monotonic concession).
+	if !s.Table().DominatesOrEqual(rec.Table) {
+		t.Fatal("round-2 table must dominate round-1 table")
+	}
+}
+
+func TestConvergenceOnAllowedOveruse(t *testing.T) {
+	p := paperParams()
+	p.AllowedOveruseRatio = 0.15
+	s := newSession(t, p)
+	// All ten bid 0.3: usage 10×9.45 = 94.5, overuse −5.5 → converged.
+	for c := range tenCustomers() {
+		if err := s.RecordBid(c, message.CutDownBid{Round: 1, CutDown: 0.3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec, err := s.CloseRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Outcome != OutcomeConverged {
+		t.Fatalf("outcome = %v, want converged", rec.Outcome)
+	}
+	if !s.Closed() || s.FinalOutcome() != OutcomeConverged {
+		t.Fatal("session should be closed as converged")
+	}
+	if _, err := s.Announce(); !errors.Is(err, ErrSessionClosed) {
+		t.Fatal("announce after close should fail")
+	}
+	if _, err := s.CloseRound(); !errors.Is(err, ErrSessionClosed) {
+		t.Fatal("close after close should fail")
+	}
+}
+
+func TestCeilingTermination(t *testing.T) {
+	p := paperParams()
+	p.AllowedOveruseRatio = 0 // unreachable: demand always above capacity
+	p.MaxRounds = 50
+	s := newSession(t, p)
+	// Nobody ever bids: overuse stays 0.35 and the table must eventually
+	// saturate, ending the session by the epsilon/ceiling rule.
+	rounds := 0
+	for !s.Closed() {
+		if _, err := s.CloseRound(); err != nil {
+			t.Fatal(err)
+		}
+		rounds++
+		if rounds > 60 {
+			t.Fatal("session never terminated")
+		}
+	}
+	if got := s.FinalOutcome(); got != OutcomeCeiling {
+		t.Fatalf("outcome = %v, want ceiling", got)
+	}
+}
+
+func TestMaxRoundsSafetyNet(t *testing.T) {
+	p := paperParams()
+	p.AllowedOveruseRatio = 0
+	p.Epsilon = 0 // never triggers the delta rule
+	p.MaxRounds = 3
+	s := newSession(t, p)
+	for !s.Closed() {
+		if _, err := s.CloseRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Epsilon 0 means the ceiling rule can only fire exactly at the cap;
+	// the round bound must end the session first.
+	if got := s.FinalOutcome(); got != OutcomeMaxRounds {
+		t.Fatalf("outcome = %v, want max rounds", got)
+	}
+	if got := len(s.History()); got != 3 {
+		t.Fatalf("history length = %d, want 3", got)
+	}
+}
+
+func TestQuorum(t *testing.T) {
+	p := paperParams()
+	p.MinResponses = 3
+	s := newSession(t, p)
+	if s.QuorumReached() {
+		t.Fatal("no bids yet")
+	}
+	for i, c := range []string{"a", "b", "c"} {
+		if err := s.RecordBid(c, message.CutDownBid{Round: 1, CutDown: 0.1}); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := s.QuorumReached(), i == 2; got != want {
+			t.Fatalf("quorum after %d bids = %v", i+1, got)
+		}
+	}
+	// MinResponses 0 means everyone.
+	s2 := newSession(t, paperParams())
+	if err := s2.RecordBid("a", message.CutDownBid{Round: 1, CutDown: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if s2.QuorumReached() {
+		t.Fatal("quorum should require all 10 customers")
+	}
+}
+
+func TestAwards(t *testing.T) {
+	p := paperParams()
+	p.AllowedOveruseRatio = 0.15
+	s := newSession(t, p)
+	for c := range tenCustomers() {
+		cd := 0.2
+		if c == "a" {
+			cd = 0.4
+		}
+		if err := s.RecordBid(c, message.CutDownBid{Round: 1, CutDown: cd}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Awards(); err == nil {
+		t.Fatal("awards before close should fail")
+	}
+	if _, err := s.CloseRound(); err != nil {
+		t.Fatal(err)
+	}
+	awards, err := s.Awards()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(awards) != 10 {
+		t.Fatalf("awards = %d, want 10", len(awards))
+	}
+	if awards[0].Customer != "a" || !units.NearlyEqual(awards[0].Award.CutDown, 0.4, 1e-12) {
+		t.Fatalf("award[0] = %+v", awards[0])
+	}
+	if !units.NearlyEqual(awards[0].Award.Reward, 17, 1e-9) {
+		t.Fatalf("award reward = %v, want 17", awards[0].Award.Reward)
+	}
+	// 1×17 + 9×8.5 = 93.5.
+	if got := TotalRewardPaid(awards); !units.NearlyEqual(got, 93.5, 1e-9) {
+		t.Fatalf("total reward = %v, want 93.5", got)
+	}
+	if _, err := s.AwardFor("ghost"); !errors.Is(err, ErrUnknownCustomer) {
+		t.Fatal("award for unknown customer should fail")
+	}
+}
+
+func TestLoadOfAndCustomers(t *testing.T) {
+	s := newSession(t, paperParams())
+	if got := s.Customers(); len(got) != 10 || got[0] != "a" {
+		t.Fatalf("Customers = %v", got)
+	}
+	l, ok := s.LoadOf("a")
+	if !ok || l.Predicted != 13.5 {
+		t.Fatalf("LoadOf(a) = %+v, %v", l, ok)
+	}
+	if _, ok := s.LoadOf("ghost"); ok {
+		t.Fatal("LoadOf(ghost) should miss")
+	}
+}
+
+// TestSilentCustomersKeepPrediction verifies the robustness rule: customers
+// that never bid are modelled at full predicted use, so the UA concedes more
+// (experiment E9's liveness base case).
+func TestSilentCustomersKeepPrediction(t *testing.T) {
+	p := paperParams()
+	p.AllowedOveruseRatio = 0.0001
+	s := newSession(t, p)
+	for _, c := range []string{"a", "b"} {
+		if err := s.RecordBid(c, message.CutDownBid{Round: 1, CutDown: 0.4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec, err := s.CloseRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2×8.1 + 8×13.5 = 124.2 → overuse 24.2.
+	if !units.NearlyEqual(rec.OveruseKWh, 24.2, 1e-9) {
+		t.Fatalf("overuse = %v, want 24.2", rec.OveruseKWh)
+	}
+}
+
+// TestAdaptiveBetaAcceleratesStalledNegotiation exercises the Section 7
+// extension: with nobody conceding, the adaptive session escalates beta and
+// reaches the reward ceiling in fewer rounds than the constant-beta session.
+func TestAdaptiveBetaAcceleratesStalledNegotiation(t *testing.T) {
+	run := func(adaptive bool) int {
+		p := paperParams()
+		p.Beta = 0.3 // slow base concession
+		p.AllowedOveruseRatio = 0
+		p.MaxRounds = 200
+		p.AdaptiveBeta = adaptive
+		s := newSession(t, p)
+		rounds := 0
+		for !s.Closed() {
+			if _, err := s.CloseRound(); err != nil {
+				t.Fatal(err)
+			}
+			rounds++
+		}
+		return rounds
+	}
+	constant := run(false)
+	adaptive := run(true)
+	if adaptive >= constant {
+		t.Fatalf("adaptive (%d rounds) should beat constant (%d rounds)", adaptive, constant)
+	}
+}
+
+// TestAdaptiveBetaRecordsEscalation checks BetaUsed grows when stalled.
+func TestAdaptiveBetaRecordsEscalation(t *testing.T) {
+	p := paperParams()
+	p.AllowedOveruseRatio = 0
+	p.AdaptiveBeta = true
+	p.MaxRounds = 10
+	p.Epsilon = 0.0001
+	s := newSession(t, p)
+	if _, err := s.CloseRound(); err != nil { // round 1: no baseline yet
+		t.Fatal(err)
+	}
+	rec2, err := s.CloseRound() // still no progress: escalate after this
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.BetaUsed != p.Beta {
+		t.Fatalf("round-2 beta = %v, want base %v", rec2.BetaUsed, p.Beta)
+	}
+	rec3, err := s.CloseRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec3.BetaUsed <= rec2.BetaUsed {
+		t.Fatalf("round-3 beta = %v, want escalated above %v", rec3.BetaUsed, rec2.BetaUsed)
+	}
+}
+
+func TestParamsAdaptValidation(t *testing.T) {
+	p := paperParams()
+	p.AdaptThreshold = -1
+	if err := p.Validate(); !errors.Is(err, ErrBadParams) {
+		t.Fatal("negative adapt threshold should fail")
+	}
+	p = paperParams()
+	p.AdaptFactor = -1
+	if err := p.Validate(); !errors.Is(err, ErrBadParams) {
+		t.Fatal("negative adapt factor should fail")
+	}
+}

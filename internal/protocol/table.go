@@ -1,0 +1,182 @@
+package protocol
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"loadbalance/internal/message"
+	"loadbalance/internal/units"
+)
+
+// Entry is one reward-table row.
+type Entry struct {
+	CutDown float64
+	Reward  float64
+}
+
+// Table is the Utility Agent's internal reward table: rewards indexed by
+// strictly increasing cut-down levels.
+type Table struct {
+	Entries []Entry
+}
+
+// NewLinearTable builds the paper's initial table shape: a reward
+// proportional to the cut-down (Figure 6 shows 4.25 per 0.1 step, i.e.
+// slope 42.5). cutDowns must be strictly increasing fractions.
+func NewLinearTable(cutDowns []float64, slope float64) (Table, error) {
+	if len(cutDowns) == 0 {
+		return Table{}, fmt.Errorf("%w: no cut-down levels", ErrBadTable)
+	}
+	if slope < 0 {
+		return Table{}, fmt.Errorf("%w: negative slope %v", ErrBadTable, slope)
+	}
+	t := Table{Entries: make([]Entry, 0, len(cutDowns))}
+	prev := -1.0
+	for _, cd := range cutDowns {
+		if cd < 0 || cd > 1 || math.IsNaN(cd) {
+			return Table{}, fmt.Errorf("%w: cut-down %v", ErrBadTable, cd)
+		}
+		if cd <= prev {
+			return Table{}, fmt.Errorf("%w: cut-downs must be strictly increasing", ErrBadTable)
+		}
+		prev = cd
+		t.Entries = append(t.Entries, Entry{CutDown: cd, Reward: slope * cd})
+	}
+	return t, nil
+}
+
+// StandardTable builds the prototype's table over cut-downs 0.0 … 0.9.
+func StandardTable(slope float64) (Table, error) {
+	cds := units.StandardCutDowns()
+	raw := make([]float64, len(cds))
+	for i, cd := range cds {
+		raw[i] = cd.Float()
+	}
+	return NewLinearTable(raw, slope)
+}
+
+// Clone deep-copies the table.
+func (t Table) Clone() Table {
+	return Table{Entries: append([]Entry(nil), t.Entries...)}
+}
+
+// RewardFor returns the reward at an exact cut-down level.
+func (t Table) RewardFor(cutDown float64) (float64, bool) {
+	for _, e := range t.Entries {
+		if e.CutDown == cutDown {
+			return e.Reward, true
+		}
+	}
+	return 0, false
+}
+
+// Levels returns the cut-down levels in order.
+func (t Table) Levels() []float64 {
+	out := make([]float64, len(t.Entries))
+	for i, e := range t.Entries {
+		out[i] = e.CutDown
+	}
+	return out
+}
+
+// Update applies the paper's reward update rule to every entry:
+//
+//	new_reward = reward + beta · overuse · (1 − reward/max_reward) · reward
+//
+// where max_reward is the per-level ceiling from Params. It returns the new
+// table and the largest reward increase across entries (the quantity the
+// termination rule compares against Epsilon). Entries with reward 0 (the
+// cut-down 0 row) stay 0, as in the prototype. A non-positive overuse leaves
+// the table unchanged: the UA never concedes downwards (monotonic
+// concession) and has no reason to concede upwards without a peak.
+func (t Table) Update(overuse float64, p Params) (Table, float64) {
+	next := t.Clone()
+	if overuse <= 0 {
+		return next, 0
+	}
+	maxDelta := 0.0
+	for i, e := range next.Entries {
+		maxR := p.MaxRewardAt(e.CutDown)
+		if maxR <= 0 || e.Reward <= 0 {
+			continue
+		}
+		logistic := 1 - e.Reward/maxR
+		if logistic < 0 {
+			logistic = 0
+		}
+		delta := p.Beta * overuse * logistic * e.Reward
+		next.Entries[i].Reward = e.Reward + delta
+		if next.Entries[i].Reward > maxR {
+			next.Entries[i].Reward = maxR
+		}
+		if d := next.Entries[i].Reward - e.Reward; d > maxDelta {
+			maxDelta = d
+		}
+	}
+	return next, maxDelta
+}
+
+// DominatesOrEqual reports whether every reward in t is at least the reward
+// at the same level in prev — the monotonic concession invariant between
+// consecutive announcements. Tables with different levels do not compare.
+func (t Table) DominatesOrEqual(prev Table) bool {
+	if len(t.Entries) != len(prev.Entries) {
+		return false
+	}
+	for i := range t.Entries {
+		if t.Entries[i].CutDown != prev.Entries[i].CutDown {
+			return false
+		}
+		if t.Entries[i].Reward < prev.Entries[i].Reward-1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// AtCeiling reports whether every positive-cut-down entry has reached its
+// ceiling within epsilon — the paper's second termination condition ("the
+// reward values ... have (almost) reached the maximum value").
+func (t Table) AtCeiling(p Params, epsilon float64) bool {
+	for _, e := range t.Entries {
+		if e.CutDown == 0 {
+			continue
+		}
+		if p.MaxRewardAt(e.CutDown)-e.Reward > epsilon {
+			return false
+		}
+	}
+	return true
+}
+
+// Message converts the table to its wire form for a given window and round.
+func (t Table) Message(window units.Interval, round int) message.RewardTable {
+	entries := make([]message.RewardEntry, len(t.Entries))
+	for i, e := range t.Entries {
+		entries[i] = message.RewardEntry{CutDown: e.CutDown, Reward: e.Reward}
+	}
+	return message.RewardTable{
+		Window:  message.FromInterval(window),
+		Round:   round,
+		Entries: entries,
+	}
+}
+
+// TableFromMessage converts a wire reward table to the internal form.
+func TableFromMessage(m message.RewardTable) Table {
+	entries := make([]Entry, len(m.Entries))
+	for i, e := range m.Entries {
+		entries[i] = Entry{CutDown: e.CutDown, Reward: e.Reward}
+	}
+	return Table{Entries: entries}
+}
+
+// String renders the table as "cutdown:reward" pairs.
+func (t Table) String() string {
+	parts := make([]string, len(t.Entries))
+	for i, e := range t.Entries {
+		parts[i] = fmt.Sprintf("%.1f:%.2f", e.CutDown, e.Reward)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

@@ -1,0 +1,226 @@
+package protocol
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"loadbalance/internal/units"
+)
+
+func paperParams() Params {
+	return Params{
+		Beta:                1.95,
+		MaxRewardSlope:      125, // max_reward(0.4) = 50
+		Epsilon:             1,
+		AllowedOveruseRatio: 0.15,
+	}
+}
+
+func TestNewLinearTableMatchesFigure6(t *testing.T) {
+	// Figure 6: rewards 0, 4.25, 8.5, 12.75, 17 for cut-downs 0 … 0.4.
+	tab, err := StandardTable(42.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := map[float64]float64{0: 0, 0.1: 4.25, 0.2: 8.5, 0.3: 12.75, 0.4: 17}
+	for cd, want := range wants {
+		got, ok := tab.RewardFor(cd)
+		if !ok || !units.NearlyEqual(got, want, 1e-9) {
+			t.Fatalf("reward(%v) = %v/%v, want %v", cd, got, ok, want)
+		}
+	}
+	if len(tab.Entries) != 10 {
+		t.Fatalf("entries = %d, want 10", len(tab.Entries))
+	}
+}
+
+func TestNewLinearTableValidation(t *testing.T) {
+	if _, err := NewLinearTable(nil, 1); !errors.Is(err, ErrBadTable) {
+		t.Fatal("empty levels should fail")
+	}
+	if _, err := NewLinearTable([]float64{0.2, 0.1}, 1); !errors.Is(err, ErrBadTable) {
+		t.Fatal("unordered levels should fail")
+	}
+	if _, err := NewLinearTable([]float64{0.1, 0.1}, 1); !errors.Is(err, ErrBadTable) {
+		t.Fatal("duplicate levels should fail")
+	}
+	if _, err := NewLinearTable([]float64{1.2}, 1); !errors.Is(err, ErrBadTable) {
+		t.Fatal("level above 1 should fail")
+	}
+	if _, err := NewLinearTable([]float64{0.1}, -3); !errors.Is(err, ErrBadTable) {
+		t.Fatal("negative slope should fail")
+	}
+}
+
+// TestUpdateFormula pins a hand-computed application of the paper's rule:
+// reward 17, beta 1.95, overuse 0.35, max_reward 50 gives
+// 17 + 1.95·0.35·(1 − 17/50)·17 = 17 + 7.6577… ≈ 24.658.
+func TestUpdateFormula(t *testing.T) {
+	tab := Table{Entries: []Entry{{CutDown: 0.4, Reward: 17}}}
+	next, delta := tab.Update(0.35, paperParams())
+	got, _ := next.RewardFor(0.4)
+	want := 17 + 1.95*0.35*(1-17.0/50)*17
+	if !units.NearlyEqual(got, want, 1e-9) {
+		t.Fatalf("updated reward = %v, want %v", got, want)
+	}
+	if !units.NearlyEqual(delta, want-17, 1e-9) {
+		t.Fatalf("delta = %v, want %v", delta, want-17)
+	}
+}
+
+func TestUpdateZeroRewardStaysZero(t *testing.T) {
+	tab := Table{Entries: []Entry{{CutDown: 0, Reward: 0}, {CutDown: 0.1, Reward: 0}}}
+	next, delta := tab.Update(0.5, paperParams())
+	for _, e := range next.Entries {
+		if e.Reward != 0 {
+			t.Fatalf("zero reward grew to %v", e.Reward)
+		}
+	}
+	if delta != 0 {
+		t.Fatalf("delta = %v, want 0", delta)
+	}
+}
+
+func TestUpdateNeverExceedsCeiling(t *testing.T) {
+	p := paperParams()
+	tab := Table{Entries: []Entry{{CutDown: 0.4, Reward: 49.9}}}
+	next, _ := tab.Update(5, p) // huge overuse
+	got, _ := next.RewardFor(0.4)
+	if got > p.MaxRewardAt(0.4)+1e-12 {
+		t.Fatalf("reward %v exceeded ceiling %v", got, p.MaxRewardAt(0.4))
+	}
+}
+
+func TestUpdateNonPositiveOveruseIsIdentity(t *testing.T) {
+	tab, err := StandardTable(42.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, overuse := range []float64{0, -0.2} {
+		next, delta := tab.Update(overuse, paperParams())
+		if !next.DominatesOrEqual(tab) || !tab.DominatesOrEqual(next) {
+			t.Fatalf("overuse %v changed the table", overuse)
+		}
+		if delta != 0 {
+			t.Fatalf("delta = %v, want 0", delta)
+		}
+	}
+}
+
+func TestDominatesOrEqual(t *testing.T) {
+	base, err := StandardTable(42.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, _ := base.Update(0.35, paperParams())
+	if !up.DominatesOrEqual(base) {
+		t.Fatal("updated table must dominate the original")
+	}
+	if base.DominatesOrEqual(up) {
+		t.Fatal("original must not dominate the updated table")
+	}
+	other := Table{Entries: []Entry{{CutDown: 0.5, Reward: 1}}}
+	if base.DominatesOrEqual(other) {
+		t.Fatal("tables with different levels must not compare")
+	}
+}
+
+func TestAtCeiling(t *testing.T) {
+	p := paperParams()
+	low, err := StandardTable(42.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.AtCeiling(p, 1) {
+		t.Fatal("fresh table should not be at ceiling")
+	}
+	full := low.Clone()
+	for i, e := range full.Entries {
+		full.Entries[i].Reward = p.MaxRewardAt(e.CutDown)
+	}
+	if !full.AtCeiling(p, 1) {
+		t.Fatal("maxed table should be at ceiling")
+	}
+}
+
+func TestTableMessageRoundTrip(t *testing.T) {
+	tab, err := StandardTable(42.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := tab.Message(testWindow(), 3)
+	if err := msg.Validate(); err != nil {
+		t.Fatalf("wire table invalid: %v", err)
+	}
+	if msg.Round != 3 {
+		t.Fatalf("round = %d", msg.Round)
+	}
+	back := TableFromMessage(msg)
+	if !back.DominatesOrEqual(tab) || !tab.DominatesOrEqual(back) {
+		t.Fatal("round trip changed the table")
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tab := Table{Entries: []Entry{{CutDown: 0.4, Reward: 24.8}}}
+	if got := tab.String(); !strings.Contains(got, "0.4:24.80") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// Property: for any non-negative overuse the update yields a table that
+// dominates the original (monotonic concession) and never exceeds ceilings.
+func TestUpdateMonotoneProperty(t *testing.T) {
+	p := paperParams()
+	base, err := StandardTable(42.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(overuseRaw uint16, rounds uint8) bool {
+		overuse := float64(overuseRaw) / 1000 // 0 … 65.5
+		cur := base.Clone()
+		for i := 0; i < int(rounds%8)+1; i++ {
+			next, _ := cur.Update(overuse, p)
+			if !next.DominatesOrEqual(cur) {
+				return false
+			}
+			for _, e := range next.Entries {
+				if e.Reward > p.MaxRewardAt(e.CutDown)+1e-9 {
+					return false
+				}
+			}
+			cur = next
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: repeated updates with constant positive overuse converge — the
+// deltas shrink to (at or below) epsilon in bounded rounds, which is the
+// paper's convergence guarantee.
+func TestUpdateConvergesProperty(t *testing.T) {
+	p := paperParams()
+	f := func(overuseRaw uint16) bool {
+		overuse := 0.05 + float64(overuseRaw%400)/100 // 0.05 … 4.04
+		tab, err := StandardTable(42.5)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 500; i++ {
+			next, delta := tab.Update(overuse, p)
+			if delta <= p.Epsilon {
+				return true
+			}
+			tab = next
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

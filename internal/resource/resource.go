@@ -1,0 +1,233 @@
+// Package resource implements the Resource Consumer Agents (RCAs) of the
+// paper: device-level agents that tell their Customer Agent how much
+// electricity can be saved in a given time interval and at what comfort
+// cost. Section 3.2.3: "Based on information received from its Resource
+// Consumer Agents on the amount of electricity that can be saved in a given
+// time interval, a Customer Agent examines and evaluates the rewards for the
+// different cut-down values."
+//
+// The paper leaves CA↔RCA negotiation out of scope; here RCAs answer
+// savable-load queries and the Customer Agent aggregates their answers into
+// its private cut-down-reward table: for each cut-down level, the cheapest
+// combination of device curtailments that achieves the saving determines the
+// reward the customer requires.
+package resource
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"loadbalance/internal/units"
+	"loadbalance/internal/world"
+)
+
+// Errors reported by the package.
+var (
+	ErrNoDevices  = errors.New("resource: household has no devices")
+	ErrBadLevels  = errors.New("resource: cut-down levels must be increasing fractions")
+	ErrBadSamples = errors.New("resource: sample count must be positive")
+)
+
+// Infeasible marks cut-down levels the household physically cannot honour
+// (not enough flexible load). Required rewards at such levels are +Inf.
+var Infeasible = math.Inf(1)
+
+// Savable is one RCA's answer: how much energy its device can shed during
+// the interval and the comfort cost per shed kWh.
+type Savable struct {
+	Device     world.DeviceKind
+	Energy     units.Energy
+	CostPerKWh float64
+}
+
+// ConsumerAgent is one RCA: it owns a single device of a household.
+type ConsumerAgent struct {
+	household *world.Household
+	device    world.Device
+}
+
+// AgentsFor builds one RCA per device of the household.
+func AgentsFor(h *world.Household) ([]*ConsumerAgent, error) {
+	if len(h.Devices) == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrNoDevices, h.ID)
+	}
+	out := make([]*ConsumerAgent, 0, len(h.Devices))
+	for _, d := range h.Devices {
+		out = append(out, &ConsumerAgent{household: h, device: d})
+	}
+	return out, nil
+}
+
+// Device returns the device this agent manages.
+func (a *ConsumerAgent) Device() world.Device { return a.device }
+
+// ReportSavable estimates the device's sheddable energy over the interval by
+// sampling its expected draw at n points and applying the device's
+// flexibility factor. It answers the CA's "determine needs of resource
+// consumers" query (Figure 5).
+func (a *ConsumerAgent) ReportSavable(iv units.Interval, wm *world.WeatherModel, n int) (Savable, error) {
+	if n <= 0 {
+		return Savable{}, ErrBadSamples
+	}
+	slots, err := iv.Split(n)
+	if err != nil {
+		return Savable{}, err
+	}
+	var total units.Energy
+	for _, slot := range slots {
+		mid := slot.Start.Add(slot.Duration() / 2)
+		byDev := a.household.DemandByDevice(mid, wm.At(mid))
+		total = total.Add(byDev[a.device.Kind].For(slot.Duration()))
+	}
+	return Savable{
+		Device:     a.device.Kind,
+		Energy:     total.Scale(a.device.Flexible),
+		CostPerKWh: a.device.ComfortCost,
+	}, nil
+}
+
+// Report aggregates every RCA answer for a household over an interval,
+// sorted by ascending comfort cost, together with the household's total
+// expected energy in the interval.
+type Report struct {
+	Savables []Savable
+	TotalUse units.Energy
+}
+
+// BuildReport queries every RCA of the household. Sampling uses n points
+// per device across the interval; the household total uses the same grid so
+// shares are consistent.
+func BuildReport(h *world.Household, iv units.Interval, wm *world.WeatherModel, n int) (Report, error) {
+	agents, err := AgentsFor(h)
+	if err != nil {
+		return Report{}, err
+	}
+	if n <= 0 {
+		return Report{}, ErrBadSamples
+	}
+	slots, err := iv.Split(n)
+	if err != nil {
+		return Report{}, err
+	}
+
+	// One pass over the grid collects both totals and per-device energy, so
+	// every device sees the same stochastic draw.
+	perKind := make(map[world.DeviceKind]units.Energy, len(h.Devices))
+	var total units.Energy
+	for _, slot := range slots {
+		mid := slot.Start.Add(slot.Duration() / 2)
+		byDev := h.DemandByDevice(mid, wm.At(mid))
+		for kind, p := range byDev {
+			e := p.For(slot.Duration())
+			perKind[kind] = perKind[kind].Add(e)
+			total = total.Add(e)
+		}
+	}
+
+	rep := Report{TotalUse: total, Savables: make([]Savable, 0, len(agents))}
+	for _, a := range agents {
+		rep.Savables = append(rep.Savables, Savable{
+			Device:     a.device.Kind,
+			Energy:     perKind[a.device.Kind].Scale(a.device.Flexible),
+			CostPerKWh: a.device.ComfortCost,
+		})
+	}
+	sort.Slice(rep.Savables, func(i, j int) bool {
+		if rep.Savables[i].CostPerKWh != rep.Savables[j].CostPerKWh {
+			return rep.Savables[i].CostPerKWh < rep.Savables[j].CostPerKWh
+		}
+		return rep.Savables[i].Device < rep.Savables[j].Device
+	})
+	return rep, nil
+}
+
+// MaxCutDown returns the largest feasible cut-down fraction: total savable
+// energy over total use.
+func (r Report) MaxCutDown() float64 {
+	if r.TotalUse == 0 {
+		return 0
+	}
+	var savable units.Energy
+	for _, s := range r.Savables {
+		savable = savable.Add(s.Energy)
+	}
+	f := savable.KWhs() / r.TotalUse.KWhs()
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// RequiredRewards computes the customer's private cut-down-reward table: for
+// each requested cut-down level, the minimum reward the customer requires to
+// shed that fraction of its total use. The requirement is the greedy
+// cheapest-first sum of comfort costs over the shed energy, scaled by
+// (1 + margin) — the customer wants to come out ahead, not break even.
+// Infeasible levels map to +Inf.
+//
+// The resulting table is the knowledge shown in Figures 8-9 ("this specific
+// customer requires a reward of at least 10 for a cut-down of 0.3, at least
+// 21 for a cut-down of 0.4, and so on").
+func (r Report) RequiredRewards(levels []float64, margin float64) (map[float64]float64, error) {
+	if err := validateLevels(levels); err != nil {
+		return nil, err
+	}
+	if margin < 0 {
+		return nil, fmt.Errorf("resource: margin %v must be non-negative", margin)
+	}
+	out := make(map[float64]float64, len(levels))
+	for _, level := range levels {
+		if level == 0 {
+			out[0] = 0
+			continue
+		}
+		need := r.TotalUse.KWhs() * level
+		cost := 0.0
+		remaining := need
+		for _, s := range r.Savables {
+			if remaining <= 0 {
+				break
+			}
+			take := s.Energy.KWhs()
+			if take > remaining {
+				take = remaining
+			}
+			cost += take * s.CostPerKWh
+			remaining -= take
+		}
+		if remaining > 1e-9 {
+			out[level] = Infeasible
+			continue
+		}
+		out[level] = cost * (1 + margin)
+	}
+	return out, nil
+}
+
+// validateLevels checks a strictly increasing fraction grid.
+func validateLevels(levels []float64) error {
+	if len(levels) == 0 {
+		return ErrBadLevels
+	}
+	prev := -1.0
+	for _, l := range levels {
+		if l < 0 || l > 1 || math.IsNaN(l) || l <= prev {
+			return fmt.Errorf("%w: %v", ErrBadLevels, levels)
+		}
+		prev = l
+	}
+	return nil
+}
+
+// DefaultSampleCount is the per-device sampling grid used by callers that
+// do not need custom resolution: one sample per 15 minutes, minimum 4.
+func DefaultSampleCount(iv units.Interval) int {
+	n := int(iv.Duration() / (15 * time.Minute))
+	if n < 4 {
+		n = 4
+	}
+	return n
+}

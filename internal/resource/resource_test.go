@@ -1,0 +1,266 @@
+package resource
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"loadbalance/internal/units"
+	"loadbalance/internal/world"
+)
+
+func eveningPeak() units.Interval {
+	start := time.Date(1998, 1, 20, 17, 0, 0, 0, time.UTC)
+	return units.Interval{Start: start, End: start.Add(2 * time.Hour)}
+}
+
+func testHousehold(t *testing.T) *world.Household {
+	t.Helper()
+	h, err := world.NewHousehold("h1", 3, true, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestAgentsFor(t *testing.T) {
+	h := testHousehold(t)
+	agents, err := AgentsFor(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agents) != len(h.Devices) {
+		t.Fatalf("agents = %d, want %d", len(agents), len(h.Devices))
+	}
+	empty := &world.Household{ID: "empty"}
+	if _, err := AgentsFor(empty); !errors.Is(err, ErrNoDevices) {
+		t.Fatalf("empty household error = %v", err)
+	}
+}
+
+func TestReportSavable(t *testing.T) {
+	h := testHousehold(t)
+	wm := world.NewWeatherModel(42)
+	agents, err := AgentsFor(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range agents {
+		s, err := a.ReportSavable(eveningPeak(), wm, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Device().Kind, err)
+		}
+		if s.Energy < 0 {
+			t.Fatalf("%s: negative savable energy", s.Device)
+		}
+		if s.CostPerKWh <= 0 {
+			t.Fatalf("%s: non-positive comfort cost", s.Device)
+		}
+	}
+	if _, err := agents[0].ReportSavable(eveningPeak(), wm, 0); !errors.Is(err, ErrBadSamples) {
+		t.Fatal("zero samples should fail")
+	}
+}
+
+func TestBuildReportSortedAndBounded(t *testing.T) {
+	h := testHousehold(t)
+	wm := world.NewWeatherModel(42)
+	rep, err := BuildReport(h, eveningPeak(), wm, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalUse <= 0 {
+		t.Fatal("total use should be positive during the evening peak")
+	}
+	var savable units.Energy
+	for i, s := range rep.Savables {
+		savable = savable.Add(s.Energy)
+		if i > 0 && s.CostPerKWh < rep.Savables[i-1].CostPerKWh {
+			t.Fatal("savables must be sorted by comfort cost")
+		}
+	}
+	if savable.KWhs() > rep.TotalUse.KWhs()+1e-9 {
+		t.Fatalf("savable %.3f exceeds total %.3f", savable.KWhs(), rep.TotalUse.KWhs())
+	}
+	mc := rep.MaxCutDown()
+	if mc <= 0 || mc > 1 {
+		t.Fatalf("max cut-down = %v", mc)
+	}
+	if _, err := BuildReport(h, eveningPeak(), wm, 0); !errors.Is(err, ErrBadSamples) {
+		t.Fatal("zero samples should fail")
+	}
+}
+
+func TestRequiredRewardsShape(t *testing.T) {
+	h := testHousehold(t)
+	wm := world.NewWeatherModel(42)
+	rep, err := BuildReport(h, eveningPeak(), wm, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	req, err := rep.RequiredRewards(levels, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req[0] != 0 {
+		t.Fatalf("required(0) = %v, want 0", req[0])
+	}
+	// Monotone non-decreasing in the cut-down and convex in spirit: the
+	// marginal cost of deeper cuts cannot decrease (greedy cheapest-first).
+	prev := 0.0
+	prevMarginal := 0.0
+	for i := 1; i < len(levels); i++ {
+		cur := req[levels[i]]
+		if math.IsInf(cur, 1) {
+			continue // infeasible tail
+		}
+		if cur < prev {
+			t.Fatalf("required(%v)=%v < required(%v)=%v", levels[i], cur, levels[i-1], prev)
+		}
+		marginal := cur - prev
+		if marginal+1e-9 < prevMarginal {
+			t.Fatalf("marginal cost decreased at level %v: %v < %v", levels[i], marginal, prevMarginal)
+		}
+		prev, prevMarginal = cur, marginal
+	}
+	// Deep cut-downs beyond the flexible share must be infeasible.
+	mc := rep.MaxCutDown()
+	for _, l := range levels {
+		if l > mc+1e-9 && !math.IsInf(req[l], 1) {
+			t.Fatalf("level %v beyond max %v should be infeasible, got %v", l, mc, req[l])
+		}
+		if l <= mc && math.IsInf(req[l], 1) {
+			t.Fatalf("level %v within max %v should be feasible", l, mc)
+		}
+	}
+}
+
+func TestRequiredRewardsValidation(t *testing.T) {
+	rep := Report{TotalUse: 10, Savables: []Savable{{Device: world.KindWaterHeater, Energy: 5, CostPerKWh: 1}}}
+	if _, err := rep.RequiredRewards(nil, 0); !errors.Is(err, ErrBadLevels) {
+		t.Fatal("empty levels should fail")
+	}
+	if _, err := rep.RequiredRewards([]float64{0.2, 0.1}, 0); !errors.Is(err, ErrBadLevels) {
+		t.Fatal("unordered levels should fail")
+	}
+	if _, err := rep.RequiredRewards([]float64{0.1, 1.5}, 0); !errors.Is(err, ErrBadLevels) {
+		t.Fatal("level above 1 should fail")
+	}
+	if _, err := rep.RequiredRewards([]float64{0.1}, -0.5); err == nil {
+		t.Fatal("negative margin should fail")
+	}
+}
+
+func TestRequiredRewardsHandComputed(t *testing.T) {
+	// Total use 10 kWh; two devices: 4 kWh sheddable at cost 1, 2 kWh at 3.
+	rep := Report{
+		TotalUse: 10,
+		Savables: []Savable{
+			{Device: world.KindWaterHeater, Energy: 4, CostPerKWh: 1},
+			{Device: world.KindLighting, Energy: 2, CostPerKWh: 3},
+		},
+	}
+	req, err := rep.RequiredRewards([]float64{0, 0.2, 0.4, 0.5, 0.6, 0.7}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.2 → shed 2 kWh from the cheap device: cost 2.
+	if !units.NearlyEqual(req[0.2], 2, 1e-9) {
+		t.Fatalf("required(0.2) = %v, want 2", req[0.2])
+	}
+	// 0.4 → shed 4 kWh, all cheap: cost 4.
+	if !units.NearlyEqual(req[0.4], 4, 1e-9) {
+		t.Fatalf("required(0.4) = %v, want 4", req[0.4])
+	}
+	// 0.5 → 4 cheap + 1 expensive: 4 + 3 = 7.
+	if !units.NearlyEqual(req[0.5], 7, 1e-9) {
+		t.Fatalf("required(0.5) = %v, want 7", req[0.5])
+	}
+	// 0.6 → 4 + 2×3 = 10.
+	if !units.NearlyEqual(req[0.6], 10, 1e-9) {
+		t.Fatalf("required(0.6) = %v, want 10", req[0.6])
+	}
+	// 0.7 → needs 7 kWh, only 6 savable: infeasible.
+	if !math.IsInf(req[0.7], 1) {
+		t.Fatalf("required(0.7) = %v, want +Inf", req[0.7])
+	}
+
+	// Margin scales feasible requirements.
+	req, err = rep.RequiredRewards([]float64{0.4}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.NearlyEqual(req[0.4], 5, 1e-9) {
+		t.Fatalf("required(0.4) with margin = %v, want 5", req[0.4])
+	}
+}
+
+func TestMaxCutDownEdgeCases(t *testing.T) {
+	if got := (Report{}).MaxCutDown(); got != 0 {
+		t.Fatalf("empty report max = %v", got)
+	}
+	over := Report{TotalUse: 1, Savables: []Savable{{Energy: 5, CostPerKWh: 1}}}
+	if got := over.MaxCutDown(); got != 1 {
+		t.Fatalf("over-flexible report max = %v, want clamped 1", got)
+	}
+}
+
+func TestDefaultSampleCount(t *testing.T) {
+	if got := DefaultSampleCount(eveningPeak()); got != 8 {
+		t.Fatalf("2h window samples = %d, want 8", got)
+	}
+	short := units.Interval{Start: eveningPeak().Start, End: eveningPeak().Start.Add(10 * time.Minute)}
+	if got := DefaultSampleCount(short); got != 4 {
+		t.Fatalf("short window samples = %d, want minimum 4", got)
+	}
+}
+
+// Property: required rewards are monotone in the level and scale linearly
+// with the margin, for arbitrary two-device reports.
+func TestRequiredRewardsProperties(t *testing.T) {
+	f := func(e1Raw, e2Raw, c1Raw, c2Raw uint8) bool {
+		rep := Report{
+			TotalUse: 10,
+			Savables: []Savable{
+				{Device: world.KindWaterHeater, Energy: units.Energy(float64(e1Raw%60) / 10), CostPerKWh: 0.1 + float64(c1Raw%40)/10},
+				{Device: world.KindLighting, Energy: units.Energy(float64(e2Raw%60) / 10), CostPerKWh: 0.1 + float64(c2Raw%40)/10},
+			},
+		}
+		// Savables must be cost-sorted for the greedy walk.
+		if rep.Savables[0].CostPerKWh > rep.Savables[1].CostPerKWh {
+			rep.Savables[0], rep.Savables[1] = rep.Savables[1], rep.Savables[0]
+		}
+		levels := []float64{0.1, 0.2, 0.3, 0.4}
+		base, err := rep.RequiredRewards(levels, 0)
+		if err != nil {
+			return false
+		}
+		scaled, err := rep.RequiredRewards(levels, 1)
+		if err != nil {
+			return false
+		}
+		prev := -1.0
+		for _, l := range levels {
+			if math.IsInf(base[l], 1) {
+				if !math.IsInf(scaled[l], 1) {
+					return false
+				}
+				continue
+			}
+			if base[l] < prev {
+				return false
+			}
+			if !units.NearlyEqual(scaled[l], 2*base[l], 1e-9) {
+				return false
+			}
+			prev = base[l]
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

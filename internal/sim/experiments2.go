@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"loadbalance/internal/core"
+	"loadbalance/internal/customeragent"
+	"loadbalance/internal/market"
+	"loadbalance/internal/resource"
+	"loadbalance/internal/units"
+	"loadbalance/internal/utilityagent"
+	"loadbalance/internal/world"
+)
+
+// e11Window carries one negotiation window's fleet model.
+type e11Window struct {
+	window    units.Interval
+	specs     []core.CustomerSpec
+	predicted units.Energy
+}
+
+// E11DayPeakShaving runs dynamic load management across a whole day: the
+// Utility Agent inspects every 2-hour window of the Figure 1 demand curve,
+// negotiates wherever the predicted demand exceeds the normal capacity, and
+// the resulting cut-downs flatten the curve — the purpose Figure 1
+// motivates ("smoothen the total peak load").
+func E11DayPeakShaving(n int, seed int64) (*Table, error) {
+	data, err := e11Fleet(n, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Constant capacity: 5% above the day's mean window demand, so only the
+	// morning/evening peaks overload.
+	var sum units.Energy
+	for _, wd := range data {
+		sum = sum.Add(wd.predicted)
+	}
+	capacity := sum.Scale(1.05 / float64(len(data)))
+
+	t := &Table{
+		Name:    fmt.Sprintf("E11: day-long peak shaving, %d households", n),
+		Columns: []string{"window", "predicted_kwh", "capacity_kwh", "negotiated", "after_kwh", "rounds"},
+	}
+	params := core.PaperParams()
+	peakBefore, peakAfter := 0.0, 0.0
+	for _, wd := range data {
+		before := wd.predicted.KWhs()
+		after := before
+		negotiated := "no"
+		rounds := 0
+		ratio := (before - capacity.KWhs()) / capacity.KWhs()
+		if ratio > params.AllowedOveruseRatio {
+			s := core.Scenario{
+				SessionID:    "day-" + wd.window.Start.Format("15:04"),
+				Window:       wd.window,
+				NormalUse:    capacity,
+				Method:       utilityagent.MethodRewardTable,
+				Params:       params,
+				InitialSlope: 42.5,
+				Customers:    wd.specs,
+				Timeout:      60 * time.Second,
+			}
+			calibrateRewards(&s)
+			res, err := core.Run(s)
+			if err != nil {
+				return nil, err
+			}
+			negotiated = "yes"
+			rounds = res.Rounds
+			after = capacity.KWhs() + res.FinalOveruseKWh
+		}
+		peakBefore = math.Max(peakBefore, before)
+		peakAfter = math.Max(peakAfter, after)
+		t.AddRowF(wd.window.Start.Format("15:04"), before, capacity.KWhs(), negotiated, after, rounds)
+	}
+	t.Notes = fmt.Sprintf("peak %0.1f → %0.1f kWh per window (%.1f%% shaved)",
+		peakBefore, peakAfter, 100*(peakBefore-peakAfter)/peakBefore)
+	return t, nil
+}
+
+// e11Fleet builds per-window customer models for the whole day.
+func e11Fleet(n int, seed int64) ([]e11Window, error) {
+	pop, err := world.NewPopulation(world.PopulationConfig{N: n, Seed: seed, EVShare: 0.2})
+	if err != nil {
+		return nil, err
+	}
+	day := units.Interval{
+		Start: time.Date(1998, 1, 20, 0, 0, 0, 0, time.UTC),
+		End:   time.Date(1998, 1, 21, 0, 0, 0, 0, time.UTC),
+	}
+	windows, err := day.Split(12)
+	if err != nil {
+		return nil, err
+	}
+	levels := paperLevels()
+	out := make([]e11Window, 0, len(windows))
+	for _, w := range windows {
+		wd := e11Window{window: w}
+		samples := resource.DefaultSampleCount(w)
+		for _, h := range pop.Households {
+			rep, err := resource.BuildReport(h, w, pop.Weather, samples)
+			if err != nil {
+				return nil, err
+			}
+			prefs, err := customeragent.FromReport(rep, levels, 0.2)
+			if err != nil {
+				return nil, err
+			}
+			wd.specs = append(wd.specs, core.CustomerSpec{
+				Name:      h.ID,
+				Predicted: rep.TotalUse,
+				Allowed:   rep.TotalUse,
+				Prefs:     prefs,
+				Strategy:  customeragent.StrategyGreedy,
+			})
+			wd.predicted = wd.predicted.Add(rep.TotalUse)
+		}
+		out = append(out, wd)
+	}
+	return out, nil
+}
+
+// paperLevels mirrors core's cut-down grid.
+func paperLevels() []float64 {
+	cds := units.StandardCutDowns()
+	out := make([]float64, len(cds))
+	for i, cd := range cds {
+		out[i] = cd.Float()
+	}
+	return out
+}
+
+// calibrateRewards rescales the reward table to the fleet's requirements,
+// the same calibration core.PopulationScenario applies.
+func calibrateRewards(s *core.Scenario) {
+	var req []float64
+	for _, c := range s.Customers {
+		if r := c.Prefs.RequiredFor(0.4); !math.IsInf(r, 1) {
+			req = append(req, r)
+		}
+	}
+	if len(req) == 0 {
+		return
+	}
+	// Median without sorting the caller's data.
+	sorted := append([]float64(nil), req...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	median := sorted[len(sorted)/2]
+	if median <= 0 {
+		return
+	}
+	s.InitialSlope = 0.5 * median / 0.4
+	s.Params.MaxRewardSlope = 3 * median / 0.4
+	s.Params.Epsilon = 0.02 * median
+}
+
+// E12MarketComparison compares the reward-table protocol against the
+// computational-market baseline of Ygge & Akkermans ([12]; the strategy the
+// paper's Discussion says is "currently being explored"). Both mechanisms
+// face the same fleet, the same flexibility and the same capacity.
+func E12MarketComparison(n int, seed int64) (*Table, error) {
+	s, err := core.PopulationScenario(core.PopulationConfig{
+		N: n, Seed: seed, Margin: 0.2, Method: utilityagent.MethodRewardTable,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Run(s)
+	if err != nil {
+		return nil, err
+	}
+
+	const basePrice = 1.0
+	demands := make([]market.Demand, 0, len(s.Customers))
+	for _, c := range s.Customers {
+		d, err := demandFromPreferences(c.Name, c.Prefs, basePrice)
+		if err != nil {
+			return nil, err
+		}
+		demands = append(demands, d)
+	}
+	clearing, err := market.Auctioneer{}.Clear(demands, s.NormalUse)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Name:    fmt.Sprintf("E12 (refs [1],[12]): reward tables vs computational market, %d customers", n),
+		Columns: []string{"mechanism", "rounds_or_iters", "messages", "final_overuse_ratio", "shed_kwh", "transfer"},
+		Notes: "transfer: rewards the utility pays (tables) vs scarcity premium customers pay (market price " +
+			fmt.Sprintf("%.3f/kWh)", clearing.Price),
+	}
+	shedRT := res.InitialOveruseKWh - res.FinalOveruseKWh
+	t.AddRowF("reward_table", res.Rounds, res.Bus.Sent, res.FinalOveruseRatio, shedRT, res.TotalReward)
+	premium := (clearing.Price - basePrice) * clearing.TotalDemand.KWhs()
+	if premium < 0 {
+		premium = 0
+	}
+	t.AddRowF("market", clearing.Iterations, 2*n /* one bid + one allocation per customer */, clearing.OveruseRatio(), clearing.Shed.KWhs(), premium)
+	return t, nil
+}
+
+// demandFromPreferences converts a cut-down-reward table into a step demand
+// function: each grid step from level l1 to l2 is a tranche of
+// (l2−l1)·ExpectedUse kWh whose per-kWh value is the base price plus the
+// marginal required reward over that tranche.
+func demandFromPreferences(name string, prefs customeragent.Preferences, basePrice float64) (market.Demand, error) {
+	const essentialValue = 1e6
+	use := prefs.ExpectedUse.KWhs()
+	if use <= 0 {
+		return market.Demand{}, fmt.Errorf("market: customer %q has no expected use", name)
+	}
+	var sheddable []market.DemandSegment
+	prevLevel, prevReq := 0.0, 0.0
+	for _, l := range prefs.Levels {
+		if l == 0 {
+			continue
+		}
+		r := prefs.RequiredFor(l)
+		if math.IsInf(r, 1) {
+			break
+		}
+		energy := (l - prevLevel) * use
+		if energy <= 0 {
+			continue
+		}
+		marginal := (r - prevReq) / energy
+		sheddable = append(sheddable, market.DemandSegment{
+			Energy: units.Energy(energy),
+			Value:  marginal,
+		})
+		prevLevel, prevReq = l, r
+	}
+	return market.FromComfortCosts(name, prefs.ExpectedUse, sheddable, basePrice, essentialValue)
+}

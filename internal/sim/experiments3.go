@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"loadbalance/internal/core"
+	"loadbalance/internal/customeragent"
+	"loadbalance/internal/resource"
+	"loadbalance/internal/units"
+	"loadbalance/internal/utilityagent"
+	"loadbalance/internal/world"
+)
+
+// E13ForecastDrivenNegotiation exercises the UA's statistical prediction
+// task (Section 5.1.2) end to end: instead of an oracle reading of each
+// customer's upcoming use, the UA forecasts it from fourteen days of metered
+// history for the same evening window, then negotiates on the forecast. The
+// table compares the oracle-driven and forecast-driven runs; the forecast
+// MAPE quantifies the model error the negotiation absorbs.
+func E13ForecastDrivenNegotiation(n int, seed int64) (*Table, error) {
+	pop, err := world.NewPopulation(world.PopulationConfig{N: n, Seed: seed, EVShare: 0.2})
+	if err != nil {
+		return nil, err
+	}
+	const historyDays = 14
+	target := units.Interval{
+		Start: time.Date(1998, 1, 20, 17, 0, 0, 0, time.UTC),
+		End:   time.Date(1998, 1, 20, 19, 0, 0, 0, time.UTC),
+	}
+	levels := paperLevels()
+
+	// Metered history: the same window on each of the preceding days.
+	histories := make(map[string][]float64, n)
+	for _, h := range pop.Households {
+		series := make([]float64, 0, historyDays)
+		for d := historyDays; d >= 1; d-- {
+			w := units.Interval{
+				Start: target.Start.AddDate(0, 0, -d),
+				End:   target.End.AddDate(0, 0, -d),
+			}
+			rep, err := resource.BuildReport(h, w, pop.Weather, resource.DefaultSampleCount(w))
+			if err != nil {
+				return nil, err
+			}
+			series = append(series, rep.TotalUse.KWhs())
+		}
+		histories[h.ID] = series
+	}
+	loads, fcReport, err := utilityagent.Forecaster{}.LoadsFromHistory(histories)
+	if err != nil {
+		return nil, err
+	}
+
+	// Oracle truth for the target window, which also drives the customers'
+	// actual preferences (the customers know themselves).
+	actual := make(map[string]units.Energy, n)
+	specs := make([]core.CustomerSpec, 0, n)
+	var totalActual units.Energy
+	for _, h := range pop.Households {
+		rep, err := resource.BuildReport(h, target, pop.Weather, resource.DefaultSampleCount(target))
+		if err != nil {
+			return nil, err
+		}
+		prefs, err := customeragent.FromReport(rep, levels, 0.2)
+		if err != nil {
+			return nil, err
+		}
+		actual[h.ID] = rep.TotalUse
+		totalActual = totalActual.Add(rep.TotalUse)
+		specs = append(specs, core.CustomerSpec{
+			Name:      h.ID,
+			Predicted: rep.TotalUse, // oracle run value; overwritten below for the forecast run
+			Allowed:   rep.TotalUse,
+			Prefs:     prefs,
+			Strategy:  customeragent.StrategyGreedy,
+		})
+	}
+	mape, err := utilityagent.ForecastError(loads, actual)
+	if err != nil {
+		return nil, err
+	}
+	capacity := totalActual.Scale(1 / 1.35) // the paper's 35% overuse
+
+	run := func(label string, useForecast bool) ([]string, error) {
+		s := core.Scenario{
+			SessionID:    "e13-" + label,
+			Window:       target,
+			NormalUse:    capacity,
+			Method:       utilityagent.MethodRewardTable,
+			Params:       core.PaperParams(),
+			InitialSlope: 42.5,
+			Customers:    make([]core.CustomerSpec, len(specs)),
+			Timeout:      60 * time.Second,
+		}
+		copy(s.Customers, specs)
+		if useForecast {
+			for i := range s.Customers {
+				l := loads[s.Customers[i].Name]
+				s.Customers[i].Predicted = l.Predicted
+				s.Customers[i].Allowed = l.Allowed
+			}
+		}
+		calibrateRewards(&s)
+		res, err := core.Run(s)
+		if err != nil {
+			return nil, err
+		}
+		return []string{
+			label,
+			fmt.Sprintf("%.2f", res.InitialOveruseKWh),
+			fmt.Sprintf("%d", res.Rounds),
+			fmt.Sprintf("%.4f", res.FinalOveruseRatio),
+			res.Outcome,
+		}, nil
+	}
+
+	t := &Table{
+		Name:    fmt.Sprintf("E13 (Section 5.1.2): oracle vs forecast-driven negotiation, %d customers", n),
+		Columns: []string{"ua_model", "initial_overuse_kwh", "rounds", "final_overuse_ratio", "outcome"},
+		Notes: fmt.Sprintf("fleet forecast MAPE %.1f%% over %d days of history; forecast total %.1f vs actual %.1f kWh",
+			100*mape, historyDays, fcReport.TotalPredicted.KWhs(), totalActual.KWhs()),
+	}
+	for _, cfg := range []struct {
+		label       string
+		useForecast bool
+	}{{"oracle", false}, {"forecast", true}} {
+		row, err := run(cfg.label, cfg.useForecast)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

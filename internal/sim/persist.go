@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"loadbalance/internal/bus"
+	"loadbalance/internal/core"
+	"loadbalance/internal/utilityagent"
+)
+
+// SavedResult is the on-disk form of a negotiation result: identical to
+// core.Result except that agent errors become strings (error values do not
+// marshal) and the elapsed time is explicit nanoseconds.
+type SavedResult struct {
+	utilityagent.Result
+	Bus         bus.Stats          `json:"bus"`
+	FinalBids   map[string]float64 `json:"finalBids"`
+	ElapsedNS   int64              `json:"elapsedNs"`
+	AgentErrors []string           `json:"agentErrors,omitempty"`
+}
+
+// ToSaved converts a live result.
+func ToSaved(res *core.Result) SavedResult {
+	out := SavedResult{
+		Result:    res.Result,
+		Bus:       res.Bus,
+		FinalBids: res.FinalBids,
+		ElapsedNS: res.Elapsed.Nanoseconds(),
+	}
+	for _, err := range res.AgentErrors {
+		out.AgentErrors = append(out.AgentErrors, err.Error())
+	}
+	return out
+}
+
+// FromSaved converts back to the in-memory form (agent errors stay strings
+// inside the saved form and are not reconstructed as error values).
+func (s SavedResult) FromSaved() *core.Result {
+	return &core.Result{
+		Result:    s.Result,
+		Bus:       s.Bus,
+		FinalBids: s.FinalBids,
+		Elapsed:   time.Duration(s.ElapsedNS),
+	}
+}
+
+// SaveResult writes a result as indented JSON.
+func SaveResult(res *core.Result, path string) error {
+	data, err := json.MarshalIndent(ToSaved(res), "", "  ")
+	if err != nil {
+		return fmt.Errorf("sim: marshal result: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("sim: write result: %w", err)
+	}
+	return nil
+}
+
+// LoadResult reads a result saved by SaveResult.
+func LoadResult(path string) (*core.Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("sim: read result: %w", err)
+	}
+	var saved SavedResult
+	if err := json.Unmarshal(data, &saved); err != nil {
+		return nil, fmt.Errorf("sim: parse result: %w", err)
+	}
+	return saved.FromSaved(), nil
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"loadbalance/internal/core"
+	"loadbalance/internal/utilityagent"
+)
+
+// RenderResult formats a finished negotiation as the textual counterpart of
+// the prototype's GUI (Figures 6-9): per-round reward tables, bids and the
+// predicted balance, followed by the awards.
+func RenderResult(res *core.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "session %s — method %s\n", res.SessionID, res.Method)
+	fmt.Fprintf(&b, "initial predicted overuse: %.2f kWh\n", res.InitialOveruseKWh)
+
+	switch res.Method {
+	case utilityagent.MethodRewardTable:
+		for _, rec := range res.History {
+			fmt.Fprintf(&b, "\nround %d\n", rec.Round)
+			tbl := Table{Columns: []string{"cut_down", "reward"}}
+			for _, e := range rec.Table.Entries {
+				tbl.AddRowF(e.CutDown, e.Reward)
+			}
+			b.WriteString(tbl.String())
+			fmt.Fprintf(&b, "bids: %s\n", renderBids(rec.Bids))
+			fmt.Fprintf(&b, "predicted overuse after bids: %.2f kWh (ratio %.3f) → %s\n",
+				rec.OveruseKWh, rec.OveruseRatio, rec.Outcome)
+		}
+	case utilityagent.MethodRequestForBids:
+		for _, rec := range res.RFBHistory {
+			fmt.Fprintf(&b, "\nround %d: %d bids, %d improved, overuse %.2f kWh → %s\n",
+				rec.Round, rec.Responses, rec.Improved, rec.OveruseKWh, rec.Outcome)
+		}
+	case utilityagent.MethodOffer:
+		if res.Offer != nil {
+			fmt.Fprintf(&b, "\noffer: %d accepted, %d declined, %d silent; discount cost %.2f\n",
+				res.Offer.Accepted, res.Offer.Declined, res.Offer.Silent, res.Offer.DiscountCost)
+		}
+	}
+
+	fmt.Fprintf(&b, "\noutcome: %s after %d round(s)\n", res.Outcome, res.Rounds)
+	fmt.Fprintf(&b, "final predicted overuse: %.2f kWh (ratio %.3f)\n", res.FinalOveruseKWh, res.FinalOveruseRatio)
+	if len(res.Awards) > 0 {
+		fmt.Fprintf(&b, "total reward paid: %.2f\n", res.TotalReward)
+		tbl := Table{Columns: []string{"customer", "cut_down", "reward"}}
+		for _, aw := range res.Awards {
+			tbl.AddRowF(aw.Customer, aw.Award.CutDown, aw.Award.Reward)
+		}
+		b.WriteString(tbl.String())
+	}
+	fmt.Fprintf(&b, "bus: %d sent, %d delivered, %d dropped; elapsed %v\n",
+		res.Bus.Sent, res.Bus.Delivered, res.Bus.Dropped, res.Elapsed.Round(1e6))
+	return b.String()
+}
+
+// renderBids formats a bid map deterministically.
+func renderBids(bids map[string]float64) string {
+	names := make([]string, 0, len(bids))
+	for n := range bids {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%s=%.1f", n, bids[n]))
+	}
+	if len(parts) == 0 {
+		return "(none)"
+	}
+	return strings.Join(parts, " ")
+}

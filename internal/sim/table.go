@@ -1,0 +1,100 @@
+// Package sim is the experiment harness: it runs the scenarios that
+// regenerate every figure of the paper (and the parameter studies its
+// Discussion calls for) and renders the results as aligned text or CSV.
+// cmd/experiments and the repository's benchmarks are thin wrappers around
+// the E1…E10 functions in this package; EXPERIMENTS.md records their output.
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple rectangular result set with named columns.
+type Table struct {
+	Name    string
+	Columns []string
+	Rows    [][]string
+	Notes   string
+}
+
+// AddRow appends a row, padding or truncating to the column count.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowF appends a row of formatted values; float64 renders with %.4g,
+// everything else with %v.
+func (t *Table) AddRowF(cells ...interface{}) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row = append(row, fmt.Sprintf("%.4g", v))
+		case string:
+			row = append(row, v)
+		default:
+			row = append(row, fmt.Sprintf("%v", v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// String renders the table aligned for terminals, with name and notes.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Name != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Name)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Notes)
+	}
+	return b.String()
+}

@@ -1,0 +1,256 @@
+// Package units defines the domain quantities used throughout the load
+// balancing system: energy, power, money, dimensionless fractions and time
+// intervals.
+//
+// The paper (Brazier et al., ICDCS 1998) expresses cut-downs as fractions of
+// allowed use, rewards as scalar money amounts and consumption either "in
+// percentages or in kWh's" (Section 3.2.3). Keeping these as distinct types
+// prevents the classic unit-confusion bugs (a kW where a kWh was meant, a
+// percentage where a fraction was meant) that plain float64 invites.
+package units
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Energy is an amount of electric energy in kilowatt-hours.
+type Energy float64
+
+// Power is an instantaneous rate of consumption in kilowatts.
+type Power float64
+
+// Money is a scalar reward/price amount. The paper never names a currency;
+// rewards are abstract "reward values" (e.g. 17 for a cut-down of 0.4).
+type Money float64
+
+// Fraction is a dimensionless value normally in [0,1], used for cut-down
+// fractions and overuse ratios. Overuse ratios may legitimately exceed 1.
+type Fraction float64
+
+// Sentinel errors reported by validation helpers.
+var (
+	ErrNegativeEnergy   = errors.New("units: energy must be non-negative")
+	ErrNegativePower    = errors.New("units: power must be non-negative")
+	ErrNegativeMoney    = errors.New("units: money must be non-negative")
+	ErrFractionRange    = errors.New("units: fraction must lie in [0,1]")
+	ErrIntervalInverted = errors.New("units: interval end must be after start")
+	ErrNotFinite        = errors.New("units: value must be finite")
+)
+
+// KWh constructs an Energy value, validating that it is finite and
+// non-negative.
+func KWh(v float64) (Energy, error) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, ErrNotFinite
+	}
+	if v < 0 {
+		return 0, ErrNegativeEnergy
+	}
+	return Energy(v), nil
+}
+
+// KWhs returns the underlying float64 kilowatt-hour amount.
+func (e Energy) KWhs() float64 { return float64(e) }
+
+// Add returns the sum of two energies.
+func (e Energy) Add(o Energy) Energy { return e + o }
+
+// Sub returns e − o, floored at zero: negative energy is meaningless in this
+// domain (consumption cannot be negative).
+func (e Energy) Sub(o Energy) Energy {
+	if o >= e {
+		return 0
+	}
+	return e - o
+}
+
+// Scale multiplies an energy by a dimensionless factor.
+func (e Energy) Scale(f float64) Energy { return Energy(float64(e) * f) }
+
+// Over returns e expressed as a ratio of base (e/base). A zero base yields a
+// zero ratio, which matches the paper's convention that overuse against an
+// empty grid is not meaningful.
+func (e Energy) Over(base Energy) Fraction {
+	if base == 0 {
+		return 0
+	}
+	return Fraction(float64(e) / float64(base))
+}
+
+// String renders the energy with the kWh suffix.
+func (e Energy) String() string { return fmt.Sprintf("%.3f kWh", float64(e)) }
+
+// KW constructs a Power value, validating that it is finite and non-negative.
+func KW(v float64) (Power, error) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, ErrNotFinite
+	}
+	if v < 0 {
+		return 0, ErrNegativePower
+	}
+	return Power(v), nil
+}
+
+// KWs returns the underlying float64 kilowatt amount.
+func (p Power) KWs() float64 { return float64(p) }
+
+// For converts a constant power draw over a duration into energy.
+func (p Power) For(d time.Duration) Energy {
+	return Energy(float64(p) * d.Hours())
+}
+
+// String renders the power with the kW suffix.
+func (p Power) String() string { return fmt.Sprintf("%.3f kW", float64(p)) }
+
+// Amount constructs a Money value, validating that it is finite and
+// non-negative. Rewards in the paper are always non-negative.
+func Amount(v float64) (Money, error) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, ErrNotFinite
+	}
+	if v < 0 {
+		return 0, ErrNegativeMoney
+	}
+	return Money(v), nil
+}
+
+// Value returns the underlying float64 amount.
+func (m Money) Value() float64 { return float64(m) }
+
+// Add returns the sum of two amounts.
+func (m Money) Add(o Money) Money { return m + o }
+
+// Scale multiplies an amount by a dimensionless factor.
+func (m Money) Scale(f float64) Money { return Money(float64(m) * f) }
+
+// String renders the amount to two decimals.
+func (m Money) String() string { return fmt.Sprintf("%.2f", float64(m)) }
+
+// Frac constructs a Fraction, validating it lies within [0,1].
+func Frac(v float64) (Fraction, error) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, ErrNotFinite
+	}
+	if v < 0 || v > 1 {
+		return 0, ErrFractionRange
+	}
+	return Fraction(v), nil
+}
+
+// Ratio constructs a Fraction that may exceed 1 (used for overuse ratios).
+func Ratio(v float64) (Fraction, error) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, ErrNotFinite
+	}
+	if v < 0 {
+		return 0, ErrFractionRange
+	}
+	return Fraction(v), nil
+}
+
+// Float returns the underlying float64 value.
+func (f Fraction) Float() float64 { return float64(f) }
+
+// Complement returns 1 − f, floored at zero.
+func (f Fraction) Complement() Fraction {
+	if f >= 1 {
+		return 0
+	}
+	return 1 - f
+}
+
+// Clamp01 limits the fraction to [0,1].
+func (f Fraction) Clamp01() Fraction {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// String renders the fraction to three decimals.
+func (f Fraction) String() string { return fmt.Sprintf("%.3f", float64(f)) }
+
+// Interval is a half-open time window [Start, End) during which a cut-down
+// or a prediction applies. Reward tables always carry "a time interval"
+// (Section 3.2.3).
+type Interval struct {
+	Start time.Time
+	End   time.Time
+}
+
+// NewInterval validates and constructs an Interval.
+func NewInterval(start, end time.Time) (Interval, error) {
+	if !end.After(start) {
+		return Interval{}, ErrIntervalInverted
+	}
+	return Interval{Start: start, End: end}, nil
+}
+
+// Duration returns the length of the interval.
+func (iv Interval) Duration() time.Duration { return iv.End.Sub(iv.Start) }
+
+// Contains reports whether t lies within [Start, End).
+func (iv Interval) Contains(t time.Time) bool {
+	return !t.Before(iv.Start) && t.Before(iv.End)
+}
+
+// Overlaps reports whether two intervals share any instant.
+func (iv Interval) Overlaps(o Interval) bool {
+	return iv.Start.Before(o.End) && o.Start.Before(iv.End)
+}
+
+// Split divides the interval into n equal sub-intervals. n must be positive.
+func (iv Interval) Split(n int) ([]Interval, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("units: split count %d must be positive", n)
+	}
+	step := iv.Duration() / time.Duration(n)
+	if step <= 0 {
+		return nil, fmt.Errorf("units: interval %v too short to split into %d", iv.Duration(), n)
+	}
+	out := make([]Interval, 0, n)
+	cur := iv.Start
+	for i := 0; i < n; i++ {
+		next := cur.Add(step)
+		if i == n-1 {
+			next = iv.End
+		}
+		out = append(out, Interval{Start: cur, End: next})
+		cur = next
+	}
+	return out, nil
+}
+
+// String renders the interval in RFC 3339.
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%s, %s)", iv.Start.Format(time.RFC3339), iv.End.Format(time.RFC3339))
+}
+
+// CutDown is a discrete cut-down level: a fraction of allowed use that a
+// customer agrees to save during an interval. The prototype uses the levels
+// 0.0, 0.1, ..., 0.9 (Figures 6-9).
+type CutDown = Fraction
+
+// StandardCutDowns returns the paper's cut-down grid 0.0, 0.1, …, 0.9.
+func StandardCutDowns() []CutDown {
+	out := make([]CutDown, 10)
+	for i := range out {
+		out[i] = CutDown(float64(i) / 10)
+	}
+	return out
+}
+
+// NearlyEqual reports whether two float64 values agree within tol. It is the
+// single comparison helper used by tests and golden assertions.
+func NearlyEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol
+}

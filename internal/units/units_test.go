@@ -1,0 +1,289 @@
+package units
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKWhValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		give    float64
+		wantErr error
+	}{
+		{name: "zero", give: 0},
+		{name: "positive", give: 13.5},
+		{name: "negative", give: -1, wantErr: ErrNegativeEnergy},
+		{name: "nan", give: math.NaN(), wantErr: ErrNotFinite},
+		{name: "inf", give: math.Inf(1), wantErr: ErrNotFinite},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			e, err := KWh(tt.give)
+			if !errors.Is(err, tt.wantErr) {
+				t.Fatalf("KWh(%v) error = %v, want %v", tt.give, err, tt.wantErr)
+			}
+			if err == nil && e.KWhs() != tt.give {
+				t.Fatalf("KWh(%v) = %v", tt.give, e)
+			}
+		})
+	}
+}
+
+func TestKWValidation(t *testing.T) {
+	if _, err := KW(-0.1); !errors.Is(err, ErrNegativePower) {
+		t.Fatalf("KW(-0.1) error = %v, want ErrNegativePower", err)
+	}
+	if _, err := KW(math.NaN()); !errors.Is(err, ErrNotFinite) {
+		t.Fatalf("KW(NaN) error = %v, want ErrNotFinite", err)
+	}
+	p, err := KW(2.5)
+	if err != nil {
+		t.Fatalf("KW(2.5) error = %v", err)
+	}
+	if p.KWs() != 2.5 {
+		t.Fatalf("KWs = %v, want 2.5", p.KWs())
+	}
+}
+
+func TestAmountValidation(t *testing.T) {
+	if _, err := Amount(-3); !errors.Is(err, ErrNegativeMoney) {
+		t.Fatalf("Amount(-3) error = %v, want ErrNegativeMoney", err)
+	}
+	m, err := Amount(17)
+	if err != nil {
+		t.Fatalf("Amount(17) error = %v", err)
+	}
+	if got := m.Add(7.8).Value(); got != 24.8 {
+		t.Fatalf("Add = %v, want 24.8", got)
+	}
+}
+
+func TestEnergySubFloorsAtZero(t *testing.T) {
+	if got := Energy(3).Sub(5); got != 0 {
+		t.Fatalf("3-5 kWh = %v, want 0", got)
+	}
+	if got := Energy(5).Sub(3); got != 2 {
+		t.Fatalf("5-3 kWh = %v, want 2", got)
+	}
+}
+
+func TestEnergyOver(t *testing.T) {
+	if got := Energy(35).Over(100); got.Float() != 0.35 {
+		t.Fatalf("35/100 = %v, want 0.35", got)
+	}
+	if got := Energy(35).Over(0); got != 0 {
+		t.Fatalf("35/0 = %v, want 0", got)
+	}
+}
+
+func TestPowerFor(t *testing.T) {
+	// 2 kW for 90 minutes is 3 kWh.
+	got := Power(2).For(90 * time.Minute)
+	if !NearlyEqual(got.KWhs(), 3, 1e-12) {
+		t.Fatalf("2kW for 90m = %v, want 3 kWh", got)
+	}
+}
+
+func TestFracValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		give    float64
+		wantErr error
+	}{
+		{name: "zero", give: 0},
+		{name: "one", give: 1},
+		{name: "mid", give: 0.4},
+		{name: "below", give: -0.01, wantErr: ErrFractionRange},
+		{name: "above", give: 1.01, wantErr: ErrFractionRange},
+		{name: "nan", give: math.NaN(), wantErr: ErrNotFinite},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Frac(tt.give); !errors.Is(err, tt.wantErr) {
+				t.Fatalf("Frac(%v) error = %v, want %v", tt.give, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestRatioAllowsAboveOne(t *testing.T) {
+	r, err := Ratio(1.35)
+	if err != nil {
+		t.Fatalf("Ratio(1.35) error = %v", err)
+	}
+	if r.Float() != 1.35 {
+		t.Fatalf("Ratio = %v, want 1.35", r)
+	}
+	if _, err := Ratio(-0.2); err == nil {
+		t.Fatal("Ratio(-0.2) should fail")
+	}
+}
+
+func TestFractionComplementAndClamp(t *testing.T) {
+	if got := Fraction(0.4).Complement(); !NearlyEqual(got.Float(), 0.6, 1e-12) {
+		t.Fatalf("1-0.4 = %v, want 0.6", got)
+	}
+	if got := Fraction(1.5).Complement(); got != 0 {
+		t.Fatalf("complement above 1 = %v, want 0", got)
+	}
+	if got := Fraction(1.5).Clamp01(); got != 1 {
+		t.Fatalf("clamp(1.5) = %v, want 1", got)
+	}
+	if got := Fraction(-0.5).Clamp01(); got != 0 {
+		t.Fatalf("clamp(-0.5) = %v, want 0", got)
+	}
+}
+
+func TestNewIntervalRejectsInverted(t *testing.T) {
+	now := time.Date(1998, 5, 26, 17, 0, 0, 0, time.UTC)
+	if _, err := NewInterval(now, now); !errors.Is(err, ErrIntervalInverted) {
+		t.Fatalf("empty interval error = %v, want ErrIntervalInverted", err)
+	}
+	if _, err := NewInterval(now.Add(time.Hour), now); !errors.Is(err, ErrIntervalInverted) {
+		t.Fatalf("inverted interval error = %v, want ErrIntervalInverted", err)
+	}
+	iv, err := NewInterval(now, now.Add(2*time.Hour))
+	if err != nil {
+		t.Fatalf("NewInterval error = %v", err)
+	}
+	if iv.Duration() != 2*time.Hour {
+		t.Fatalf("Duration = %v, want 2h", iv.Duration())
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	start := time.Date(1998, 5, 26, 17, 0, 0, 0, time.UTC)
+	iv := Interval{Start: start, End: start.Add(time.Hour)}
+	tests := []struct {
+		name string
+		give time.Time
+		want bool
+	}{
+		{name: "start inclusive", give: start, want: true},
+		{name: "mid", give: start.Add(30 * time.Minute), want: true},
+		{name: "end exclusive", give: start.Add(time.Hour), want: false},
+		{name: "before", give: start.Add(-time.Second), want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := iv.Contains(tt.give); got != tt.want {
+				t.Fatalf("Contains(%v) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIntervalOverlaps(t *testing.T) {
+	start := time.Date(1998, 5, 26, 17, 0, 0, 0, time.UTC)
+	a := Interval{Start: start, End: start.Add(time.Hour)}
+	b := Interval{Start: start.Add(30 * time.Minute), End: start.Add(90 * time.Minute)}
+	c := Interval{Start: start.Add(time.Hour), End: start.Add(2 * time.Hour)}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Fatal("a and b should overlap")
+	}
+	if a.Overlaps(c) {
+		t.Fatal("adjacent half-open intervals must not overlap")
+	}
+}
+
+func TestIntervalSplit(t *testing.T) {
+	start := time.Date(1998, 5, 26, 0, 0, 0, 0, time.UTC)
+	iv := Interval{Start: start, End: start.Add(24 * time.Hour)}
+	parts, err := iv.Split(96)
+	if err != nil {
+		t.Fatalf("Split error = %v", err)
+	}
+	if len(parts) != 96 {
+		t.Fatalf("len(parts) = %d, want 96", len(parts))
+	}
+	if !parts[0].Start.Equal(iv.Start) || !parts[95].End.Equal(iv.End) {
+		t.Fatal("split must cover the whole interval")
+	}
+	for i := 1; i < len(parts); i++ {
+		if !parts[i].Start.Equal(parts[i-1].End) {
+			t.Fatalf("gap between parts %d and %d", i-1, i)
+		}
+	}
+	if _, err := iv.Split(0); err == nil {
+		t.Fatal("Split(0) should fail")
+	}
+}
+
+func TestStandardCutDowns(t *testing.T) {
+	cds := StandardCutDowns()
+	if len(cds) != 10 {
+		t.Fatalf("len = %d, want 10", len(cds))
+	}
+	for i, cd := range cds {
+		if !NearlyEqual(cd.Float(), float64(i)/10, 1e-12) {
+			t.Fatalf("cds[%d] = %v, want %v", i, cd, float64(i)/10)
+		}
+	}
+}
+
+// Property: Sub never yields negative energy and Add/Sub round-trips when the
+// subtrahend is not larger.
+func TestEnergyArithmeticProperties(t *testing.T) {
+	f := func(a, b float64) bool {
+		ea := Energy(math.Abs(math.Mod(a, 1e6)))
+		eb := Energy(math.Abs(math.Mod(b, 1e6)))
+		if ea.Sub(eb) < 0 {
+			return false
+		}
+		return ea.Add(eb).Sub(eb) >= ea-1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Clamp01 is idempotent and always yields a valid Frac.
+func TestClampProperty(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		c := Fraction(v).Clamp01()
+		if c != c.Clamp01() {
+			return false
+		}
+		_, err := Frac(c.Float())
+		return err == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Complement is an involution on [0,1] up to float error.
+func TestComplementProperty(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		c := Fraction(v).Clamp01()
+		return NearlyEqual(c.Complement().Complement().Float(), c.Float(), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if got := Energy(1.5).String(); got != "1.500 kWh" {
+		t.Fatalf("Energy.String = %q", got)
+	}
+	if got := Power(2).String(); got != "2.000 kW" {
+		t.Fatalf("Power.String = %q", got)
+	}
+	if got := Money(24.8).String(); got != "24.80" {
+		t.Fatalf("Money.String = %q", got)
+	}
+	if got := Fraction(0.4).String(); got != "0.400" {
+		t.Fatalf("Fraction.String = %q", got)
+	}
+}

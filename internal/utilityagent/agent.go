@@ -1,0 +1,505 @@
+package utilityagent
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"loadbalance/internal/agent"
+	"loadbalance/internal/message"
+	"loadbalance/internal/protocol"
+	"loadbalance/internal/units"
+)
+
+// Config parameterises one Utility Agent negotiation.
+type Config struct {
+	// Name is the UA's bus name (default "ua").
+	Name string
+	// SessionID identifies the negotiation.
+	SessionID string
+	// Window is the peak interval being negotiated.
+	Window units.Interval
+	// NormalUse is the normal production capacity for the window.
+	NormalUse units.Energy
+	// Loads is the UA's prediction per customer.
+	Loads map[string]protocol.CustomerLoad
+	// Method selects the announcement method (MethodAuto to let the UA pick).
+	Method Method
+	// LeadTime is the horizon before the window (used by MethodAuto).
+	LeadTime time.Duration
+
+	// Params drives the reward-table method.
+	Params protocol.Params
+	// InitialSlope is the slope of the round-1 linear reward table.
+	InitialSlope float64
+
+	// Offer holds the terms for MethodOffer; zero values get defaults
+	// derived from the loads.
+	Offer message.OfferTerms
+	// RFB drives the request-for-bids method.
+	RFB protocol.RFBParams
+
+	// RoundTimeout closes a round even without quorum; 0 disables timeouts
+	// (quorum only — the deterministic mode used by most tests).
+	RoundTimeout time.Duration
+	// WarrantRatio is the overuse ratio below which no negotiation starts.
+	WarrantRatio float64
+}
+
+// Result is the UA's "evaluate negotiation process" output.
+type Result struct {
+	SessionID string
+	Method    Method
+	Outcome   string
+	Rounds    int
+
+	// History holds per-round records for the reward-table method.
+	History []protocol.RoundRecord
+	// RFBHistory holds per-round records for the request-for-bids method.
+	RFBHistory []protocol.RFBRound
+	// Offer holds the outcome of the offer method.
+	Offer *protocol.OfferOutcome
+
+	Awards            []protocol.CustomerAward
+	TotalReward       float64
+	InitialOveruseKWh float64
+	FinalOveruseKWh   float64
+	FinalOveruseRatio float64
+}
+
+// Agent is the Utility Agent. All mutable state is confined to the hosting
+// runtime goroutine.
+type Agent struct {
+	cfg   Config
+	model *agent.Model
+
+	rts     *protocol.RTSession
+	offer   *protocol.OfferSession
+	rfb     *protocol.RFBSession
+	method  Method
+	initial float64 // initial overuse kWh
+
+	done chan Result
+}
+
+// New validates the configuration and constructs the agent.
+func New(cfg Config) (*Agent, error) {
+	if cfg.Name == "" {
+		cfg.Name = "ua"
+	}
+	if cfg.SessionID == "" {
+		return nil, fmt.Errorf("%w: empty session id", ErrBadConfig)
+	}
+	if len(cfg.Loads) == 0 {
+		return nil, fmt.Errorf("%w: no customer loads", ErrBadConfig)
+	}
+	if cfg.NormalUse <= 0 {
+		return nil, fmt.Errorf("%w: normal use must be positive", ErrBadConfig)
+	}
+	if cfg.InitialSlope == 0 {
+		cfg.InitialSlope = 42.5 // the prototype's Figure 6 table
+	}
+	if cfg.InitialSlope < 0 {
+		return nil, fmt.Errorf("%w: negative initial slope", ErrBadConfig)
+	}
+	m, err := agent.NewModel()
+	if err != nil {
+		return nil, err
+	}
+	return &Agent{
+		cfg:   cfg,
+		model: m,
+		done:  make(chan Result, 1),
+	}, nil
+}
+
+// Done returns the channel carrying the negotiation result.
+func (a *Agent) Done() <-chan Result { return a.done }
+
+// OnStart implements agent.Handler: the UA's pro-active opening. It
+// evaluates the predicted balance and, when warranted, opens the session
+// with the chosen announcement method.
+func (a *Agent) OnStart(rt *agent.Runtime) error {
+	ratio, negotiate := EvaluatePrediction(a.cfg.Loads, a.cfg.NormalUse, a.cfg.WarrantRatio)
+	a.initial = protocol.PredictedOveruse(a.cfg.Loads, a.cfg.NormalUse)
+	if err := a.model.SetWorldValue("predicted_overuse_ratio", ratio); err != nil {
+		return err
+	}
+	if !negotiate {
+		a.finish(Result{
+			SessionID:         a.cfg.SessionID,
+			Method:            a.cfg.Method,
+			Outcome:           "no negotiation needed",
+			InitialOveruseKWh: a.initial,
+			FinalOveruseKWh:   a.initial,
+			FinalOveruseRatio: ratio,
+		})
+		return nil
+	}
+
+	a.method = a.cfg.Method
+	if a.method == MethodAuto {
+		rate, _ := a.model.OverallResponseRate()
+		a.method = ChooseMethod(Situation{
+			LeadTime:     a.cfg.LeadTime,
+			OveruseRatio: ratio,
+			Customers:    len(a.cfg.Loads),
+			ResponseRate: rate,
+		})
+	}
+
+	switch a.method {
+	case MethodRewardTable:
+		return a.openRewardTable(rt)
+	case MethodOffer:
+		return a.openOffer(rt)
+	case MethodRequestForBids:
+		return a.openRFB(rt)
+	default:
+		return fmt.Errorf("%w: method %v", ErrBadConfig, a.method)
+	}
+}
+
+// openRewardTable starts the prototype's method.
+func (a *Agent) openRewardTable(rt *agent.Runtime) error {
+	table, err := protocol.StandardTable(a.cfg.InitialSlope)
+	if err != nil {
+		return err
+	}
+	s, err := protocol.NewRTSession(a.cfg.SessionID, a.cfg.Window, a.cfg.Params, table, a.cfg.Loads, a.cfg.NormalUse)
+	if err != nil {
+		return err
+	}
+	a.rts = s
+	return a.announceRT(rt)
+}
+
+// announceRT broadcasts the current table and arms the round timeout.
+func (a *Agent) announceRT(rt *agent.Runtime) error {
+	msg, err := a.rts.Announce()
+	if err != nil {
+		return err
+	}
+	if err := rt.Broadcast(a.cfg.SessionID, msg); err != nil {
+		return err
+	}
+	a.armTimeout(rt, a.rts.Round())
+	return nil
+}
+
+// openOffer starts the one-shot offer method.
+func (a *Agent) openOffer(rt *agent.Runtime) error {
+	terms := a.cfg.Offer
+	if terms.AllowanceKWh == 0 && terms.XMax == 0 {
+		terms = a.defaultOfferTerms()
+	}
+	s, err := protocol.NewOfferSession(a.cfg.SessionID, terms, a.cfg.Loads, a.cfg.NormalUse)
+	if err != nil {
+		return err
+	}
+	a.offer = s
+	announce, err := s.Announce()
+	if err != nil {
+		return err
+	}
+	if err := rt.Broadcast(a.cfg.SessionID, announce); err != nil {
+		return err
+	}
+	a.armTimeout(rt, 1)
+	return nil
+}
+
+// defaultOfferTerms derives offer terms from the prediction: cap everyone at
+// the fraction that would clear the peak if all accepted.
+func (a *Agent) defaultOfferTerms() message.OfferTerms {
+	var predicted, allowed float64
+	for _, l := range a.cfg.Loads {
+		predicted += l.Predicted.KWhs()
+		allowed += l.Allowed.KWhs()
+	}
+	xmax := 1.0
+	if allowed > 0 {
+		xmax = a.cfg.NormalUse.KWhs() / allowed
+	}
+	if xmax > 1 {
+		xmax = 1
+	}
+	if xmax < 0.1 {
+		xmax = 0.1
+	}
+	return message.OfferTerms{
+		Window:       message.FromInterval(a.cfg.Window),
+		XMax:         xmax,
+		AllowanceKWh: allowed / float64(len(a.cfg.Loads)),
+		LowPrice:     0.5,
+		NormalPrice:  1,
+		HighPrice:    2,
+	}
+}
+
+// openRFB starts the request-for-bids method.
+func (a *Agent) openRFB(rt *agent.Runtime) error {
+	p := a.cfg.RFB
+	if p.HighPrice == 0 {
+		p = protocol.RFBParams{
+			LowPrice:            0.5,
+			NormalPrice:         1,
+			HighPrice:           2,
+			AllowedOveruseRatio: a.cfg.Params.AllowedOveruseRatio,
+			MaxRounds:           a.cfg.Params.MaxRounds,
+		}
+	}
+	s, err := protocol.NewRFBSession(a.cfg.SessionID, a.cfg.Window, p, a.cfg.Loads, a.cfg.NormalUse)
+	if err != nil {
+		return err
+	}
+	a.rfb = s
+	return a.announceRFB(rt)
+}
+
+// announceRFB broadcasts the current bid request and arms the timeout.
+func (a *Agent) announceRFB(rt *agent.Runtime) error {
+	req, err := a.rfb.Announce()
+	if err != nil {
+		return err
+	}
+	if err := rt.Broadcast(a.cfg.SessionID, req); err != nil {
+		return err
+	}
+	a.armTimeout(rt, a.rfb.Round())
+	return nil
+}
+
+// timeoutTopic marks self-addressed round timeout nudges.
+const timeoutTopic = "round_timeout:"
+
+// armTimeout schedules a self-message that closes the round after the
+// configured timeout, so negotiations survive silent customers (E9).
+func (a *Agent) armTimeout(rt *agent.Runtime, round int) {
+	if a.cfg.RoundTimeout <= 0 {
+		return
+	}
+	name := a.cfg.Name
+	session := a.cfg.SessionID
+	window := message.FromInterval(a.cfg.Window)
+	time.AfterFunc(a.cfg.RoundTimeout, func() {
+		// Delivery failure just means the agent already stopped.
+		_ = rt.Send(name, session, message.InfoRequest{
+			Topic:  timeoutTopic + strconv.Itoa(round),
+			Window: window,
+		})
+	})
+}
+
+// OnMessage implements agent.Handler: cooperation management per inbound
+// payload kind.
+func (a *Agent) OnMessage(rt *agent.Runtime, env message.Envelope) error {
+	if env.Session != a.cfg.SessionID {
+		return nil // other sessions are not ours to handle
+	}
+	p, err := env.Decode()
+	if err != nil {
+		return err
+	}
+	switch m := p.(type) {
+	case message.CutDownBid:
+		return a.handleCutDownBid(rt, env.From, m)
+	case message.OfferReply:
+		return a.handleOfferReply(rt, env.From, m)
+	case message.EnergyBid:
+		return a.handleEnergyBid(rt, env.From, m)
+	case message.InfoRequest:
+		if env.From == a.cfg.Name && strings.HasPrefix(m.Topic, timeoutTopic) {
+			round, err := strconv.Atoi(strings.TrimPrefix(m.Topic, timeoutTopic))
+			if err != nil {
+				return err
+			}
+			return a.handleTimeout(rt, round)
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// handleCutDownBid records a reward-table bid and closes the round when the
+// quorum is in.
+func (a *Agent) handleCutDownBid(rt *agent.Runtime, from string, bid message.CutDownBid) error {
+	if a.rts == nil || a.rts.Closed() {
+		return nil
+	}
+	if bid.Round != a.rts.Round() {
+		return nil // stale bid from a slower customer; the model keeps its last commitment
+	}
+	if err := a.rts.RecordBid(from, bid); err != nil {
+		// A malformed or regressing bid is the customer's problem, not a
+		// protocol-stopping event: note it and move on.
+		return err
+	}
+	if err := a.model.RecordResponse(from, bid.CutDown > 0); err != nil {
+		return err
+	}
+	if a.rts.QuorumReached() {
+		return a.closeRTRound(rt)
+	}
+	return nil
+}
+
+// closeRTRound advances or terminates the reward-table session.
+func (a *Agent) closeRTRound(rt *agent.Runtime) error {
+	rec, err := a.rts.CloseRound()
+	if err != nil {
+		return err
+	}
+	if !rec.Outcome.Terminal() {
+		return a.announceRT(rt)
+	}
+	awards, err := a.rts.Awards()
+	if err != nil {
+		return err
+	}
+	for _, aw := range awards {
+		if err := rt.Send(aw.Customer, a.cfg.SessionID, aw.Award); err != nil {
+			return err
+		}
+	}
+	if err := rt.Broadcast(a.cfg.SessionID, message.SessionEnd{
+		Round:  rec.Round,
+		Reason: rec.Outcome.String(),
+	}); err != nil {
+		return err
+	}
+	history := a.rts.History()
+	a.finish(Result{
+		SessionID:         a.cfg.SessionID,
+		Method:            MethodRewardTable,
+		Outcome:           rec.Outcome.String(),
+		Rounds:            len(history),
+		History:           history,
+		Awards:            awards,
+		TotalReward:       protocol.TotalRewardPaid(awards),
+		InitialOveruseKWh: a.initial,
+		FinalOveruseKWh:   rec.OveruseKWh,
+		FinalOveruseRatio: rec.OveruseRatio,
+	})
+	return nil
+}
+
+// handleOfferReply records a yes/no and closes once everyone answered.
+func (a *Agent) handleOfferReply(rt *agent.Runtime, from string, reply message.OfferReply) error {
+	if a.offer == nil {
+		return nil
+	}
+	if err := a.offer.RecordReply(from, reply); err != nil {
+		if errors.Is(err, protocol.ErrSessionClosed) {
+			return nil // reply raced a timeout close; harmless
+		}
+		return err
+	}
+	if err := a.model.RecordResponse(from, reply.Accept); err != nil {
+		return err
+	}
+	if a.offer.ResponseCount() >= len(a.cfg.Loads) {
+		return a.closeOffer(rt)
+	}
+	return nil
+}
+
+// closeOffer finishes the offer session.
+func (a *Agent) closeOffer(rt *agent.Runtime) error {
+	out, err := a.offer.Close()
+	if err != nil {
+		return err
+	}
+	if err := rt.Broadcast(a.cfg.SessionID, message.SessionEnd{Round: 1, Reason: "offer closed"}); err != nil {
+		return err
+	}
+	a.finish(Result{
+		SessionID:         a.cfg.SessionID,
+		Method:            MethodOffer,
+		Outcome:           "offer closed",
+		Rounds:            1,
+		Offer:             &out,
+		TotalReward:       out.DiscountCost,
+		InitialOveruseKWh: a.initial,
+		FinalOveruseKWh:   out.OveruseKWh,
+		FinalOveruseRatio: out.OveruseRatio,
+	})
+	return nil
+}
+
+// handleEnergyBid records an RFB bid and closes the round on quorum.
+func (a *Agent) handleEnergyBid(rt *agent.Runtime, from string, bid message.EnergyBid) error {
+	if a.rfb == nil || a.rfb.Closed() {
+		return nil
+	}
+	if bid.Round != a.rfb.Round() {
+		return nil
+	}
+	if err := a.rfb.RecordBid(from, bid); err != nil {
+		return err
+	}
+	if a.rfb.ResponseCount() >= len(a.cfg.Loads) {
+		return a.closeRFBRound(rt)
+	}
+	return nil
+}
+
+// closeRFBRound advances or terminates the request-for-bids session.
+func (a *Agent) closeRFBRound(rt *agent.Runtime) error {
+	rec, err := a.rfb.CloseRound()
+	if err != nil {
+		return err
+	}
+	if !rec.Outcome.Terminal() {
+		return a.announceRFB(rt)
+	}
+	if err := rt.Broadcast(a.cfg.SessionID, message.SessionEnd{
+		Round:  rec.Round,
+		Reason: rec.Outcome.String(),
+	}); err != nil {
+		return err
+	}
+	history := a.rfb.History()
+	a.finish(Result{
+		SessionID:         a.cfg.SessionID,
+		Method:            MethodRequestForBids,
+		Outcome:           rec.Outcome.String(),
+		Rounds:            len(history),
+		RFBHistory:        history,
+		InitialOveruseKWh: a.initial,
+		FinalOveruseKWh:   rec.OveruseKWh,
+		FinalOveruseRatio: rec.OveruseRatio,
+	})
+	return nil
+}
+
+// handleTimeout closes the round the timeout was armed for, if it is still
+// the current one.
+func (a *Agent) handleTimeout(rt *agent.Runtime, round int) error {
+	switch {
+	case a.rts != nil && !a.rts.Closed() && a.rts.Round() == round:
+		return a.closeRTRound(rt)
+	case a.offer != nil && round == 1:
+		if a.offer.ResponseCount() < len(a.cfg.Loads) {
+			return a.closeOffer(rt)
+		}
+		return nil
+	case a.rfb != nil && !a.rfb.Closed() && a.rfb.Round() == round:
+		return a.closeRFBRound(rt)
+	default:
+		return nil // stale timeout for an already-advanced round
+	}
+}
+
+// finish publishes the result exactly once.
+func (a *Agent) finish(r Result) {
+	select {
+	case a.done <- r:
+	default: // result already published (e.g. timeout racing quorum)
+	}
+}
+
+var _ agent.Handler = (*Agent)(nil)

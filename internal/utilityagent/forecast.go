@@ -1,0 +1,124 @@
+package utilityagent
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"loadbalance/internal/prediction"
+	"loadbalance/internal/protocol"
+	"loadbalance/internal/units"
+)
+
+// This file implements the UA's agent-specific task "determine predicted
+// balance consumption/production" (Section 5.1.2): "available information is
+// analysed and predictions are calculated on the basis of statistical
+// models". The Forecaster turns per-customer consumption history (what the
+// meter recorded in the same window on previous days) into the CustomerLoad
+// models a negotiation starts from, selecting the best statistical model per
+// customer by backtest.
+
+// ErrNoHistory is returned when a customer has too little history.
+var ErrNoHistory = errors.New("utilityagent: insufficient consumption history")
+
+// Forecaster selects among candidate predictors per customer.
+type Forecaster struct {
+	// Candidates are the statistical models considered; nil means the
+	// default set (moving averages, exponential smoothing, naive).
+	Candidates []prediction.Predictor
+	// Warmup is the number of observations reserved before backtesting
+	// (default 3).
+	Warmup int
+}
+
+// DefaultCandidates returns the standard model set for daily window series.
+func DefaultCandidates() []prediction.Predictor {
+	return []prediction.Predictor{
+		prediction.MovingAverage{Window: 3},
+		prediction.MovingAverage{Window: 7},
+		prediction.ExpSmoothing{Alpha: 0.3},
+		prediction.ExpSmoothing{Alpha: 0.6},
+		prediction.SeasonalNaive{Period: 1}, // yesterday's value
+	}
+}
+
+// Forecast predicts the next value of one customer's series and reports the
+// chosen model's name.
+func (f Forecaster) Forecast(series []float64) (float64, string, error) {
+	candidates := f.Candidates
+	if candidates == nil {
+		candidates = DefaultCandidates()
+	}
+	warmup := f.Warmup
+	if warmup <= 0 {
+		warmup = 3
+	}
+	if len(series) <= warmup {
+		return 0, "", fmt.Errorf("%w: %d observations, need > %d", ErrNoHistory, len(series), warmup)
+	}
+	best, _, err := prediction.Best(candidates, series, warmup)
+	if err != nil {
+		return 0, "", err
+	}
+	v, err := best.Predict(series)
+	if err != nil {
+		return 0, "", err
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v, best.Name(), nil
+}
+
+// ForecastReport describes the fleet forecast.
+type ForecastReport struct {
+	// ModelByCustomer names the model chosen per customer.
+	ModelByCustomer map[string]string
+	// TotalPredicted is the fleet prediction for the window.
+	TotalPredicted units.Energy
+}
+
+// LoadsFromHistory builds the negotiation's customer models from metered
+// history: histories maps each customer to its per-day energy use in the
+// target window (oldest first). The allowance is set to the prediction, as
+// in the prototype (allowed_use = typical use).
+func (f Forecaster) LoadsFromHistory(histories map[string][]float64) (map[string]protocol.CustomerLoad, ForecastReport, error) {
+	if len(histories) == 0 {
+		return nil, ForecastReport{}, fmt.Errorf("%w: no customers", ErrNoHistory)
+	}
+	loads := make(map[string]protocol.CustomerLoad, len(histories))
+	rep := ForecastReport{ModelByCustomer: make(map[string]string, len(histories))}
+
+	// Deterministic iteration keeps reports reproducible.
+	names := make([]string, 0, len(histories))
+	for n := range histories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v, model, err := f.Forecast(histories[name])
+		if err != nil {
+			return nil, ForecastReport{}, fmt.Errorf("customer %q: %w", name, err)
+		}
+		e := units.Energy(v)
+		loads[name] = protocol.CustomerLoad{Predicted: e, Allowed: e}
+		rep.ModelByCustomer[name] = model
+		rep.TotalPredicted = rep.TotalPredicted.Add(e)
+	}
+	return loads, rep, nil
+}
+
+// ForecastError quantifies fleet-level forecast quality against the actual
+// outcomes: mean absolute percentage error across customers.
+func ForecastError(loads map[string]protocol.CustomerLoad, actual map[string]units.Energy) (float64, error) {
+	var forecasts, actuals []float64
+	for name, l := range loads {
+		a, ok := actual[name]
+		if !ok {
+			continue
+		}
+		forecasts = append(forecasts, l.Predicted.KWhs())
+		actuals = append(actuals, a.KWhs())
+	}
+	return prediction.MAPE(forecasts, actuals)
+}

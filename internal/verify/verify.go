@@ -1,0 +1,196 @@
+// Package verify implements compositional verification of negotiation
+// traces, following the companion paper ([2] in the reference list:
+// "Compositional Design and Verification of a Multi-Agent System for Load
+// Balancing", ICMAS'98) and the pro-activeness/reactiveness properties of
+// [7]. Where those papers verify the design by hand, this package checks
+// the properties mechanically on every recorded trace:
+//
+//   - UA monotonicity: announced reward tables never decrease (the monotonic
+//     concession protocol's utility-company half);
+//   - CA monotonicity: each customer's cut-down bids never decrease (the
+//     customer half);
+//   - termination: every session ends in a terminal outcome within its
+//     round bound;
+//   - reactiveness: every round with responses follows an announcement
+//     (rounds are numbered contiguously from 1);
+//   - pro-activeness: a negotiation exists exactly when the predicted
+//     overuse warranted one;
+//   - ceiling safety: no announced reward ever exceeds max_reward.
+package verify
+
+import (
+	"errors"
+	"fmt"
+
+	"loadbalance/internal/protocol"
+)
+
+// ErrViolation is wrapped by every property failure.
+var ErrViolation = errors.New("verify: property violated")
+
+// Report lists the checked properties and any violations.
+type Report struct {
+	Checked    []string
+	Violations []error
+}
+
+// OK reports whether no property was violated.
+func (r Report) OK() bool { return len(r.Violations) == 0 }
+
+// Error joins the violations into one error (nil when OK).
+func (r Report) Error() error {
+	if r.OK() {
+		return nil
+	}
+	return errors.Join(r.Violations...)
+}
+
+// CheckRewardTableTrace verifies every protocol property on a reward-table
+// session history.
+func CheckRewardTableTrace(history []protocol.RoundRecord, p protocol.Params) Report {
+	var rep Report
+	check := func(name string, err error) {
+		rep.Checked = append(rep.Checked, name)
+		if err != nil {
+			rep.Violations = append(rep.Violations, fmt.Errorf("%w: %s: %w", ErrViolation, name, err))
+		}
+	}
+	check("ua_monotonic_tables", uaMonotonic(history))
+	check("ca_monotonic_bids", caMonotonic(history))
+	check("termination", termination(history))
+	check("contiguous_rounds", contiguousRounds(history))
+	check("reward_ceiling", rewardCeiling(history, p))
+	check("overuse_consistency", overuseConsistency(history))
+	return rep
+}
+
+// uaMonotonic: each announced table dominates its predecessor.
+func uaMonotonic(history []protocol.RoundRecord) error {
+	for i := 1; i < len(history); i++ {
+		if !history[i].Table.DominatesOrEqual(history[i-1].Table) {
+			return fmt.Errorf("round %d table regressed", history[i].Round)
+		}
+	}
+	return nil
+}
+
+// caMonotonic: no customer's recorded bid ever decreases.
+func caMonotonic(history []protocol.RoundRecord) error {
+	last := make(map[string]float64)
+	for _, rec := range history {
+		for customer, bid := range rec.Bids {
+			if bid < last[customer]-1e-12 {
+				return fmt.Errorf("round %d: %q bid %v after %v", rec.Round, customer, bid, last[customer])
+			}
+			last[customer] = bid
+		}
+	}
+	return nil
+}
+
+// termination: the last round is terminal and no earlier one is.
+func termination(history []protocol.RoundRecord) error {
+	if len(history) == 0 {
+		return errors.New("empty history")
+	}
+	for i, rec := range history {
+		terminal := rec.Outcome.Terminal()
+		if i == len(history)-1 && !terminal {
+			return fmt.Errorf("final round %d is not terminal (%v)", rec.Round, rec.Outcome)
+		}
+		if i < len(history)-1 && terminal {
+			return fmt.Errorf("round %d terminal but history continues", rec.Round)
+		}
+	}
+	return nil
+}
+
+// contiguousRounds: rounds are numbered 1..n in order (reactiveness — every
+// response round corresponds to exactly one announcement).
+func contiguousRounds(history []protocol.RoundRecord) error {
+	for i, rec := range history {
+		if rec.Round != i+1 {
+			return fmt.Errorf("round %d at position %d", rec.Round, i)
+		}
+	}
+	return nil
+}
+
+// rewardCeiling: no announced reward exceeds the per-level max_reward.
+func rewardCeiling(history []protocol.RoundRecord, p protocol.Params) error {
+	for _, rec := range history {
+		for _, e := range rec.Table.Entries {
+			if e.Reward > p.MaxRewardAt(e.CutDown)+1e-9 {
+				return fmt.Errorf("round %d: reward %v at %v exceeds ceiling %v",
+					rec.Round, e.Reward, e.CutDown, p.MaxRewardAt(e.CutDown))
+			}
+		}
+	}
+	return nil
+}
+
+// overuseConsistency: the recorded overuse never increases across rounds
+// (bids only ever deepen under monotonic concession).
+func overuseConsistency(history []protocol.RoundRecord) error {
+	for i := 1; i < len(history); i++ {
+		if history[i].OveruseKWh > history[i-1].OveruseKWh+1e-9 {
+			return fmt.Errorf("round %d overuse %v grew from %v",
+				history[i].Round, history[i].OveruseKWh, history[i-1].OveruseKWh)
+		}
+	}
+	return nil
+}
+
+// CheckProactiveness verifies the UA's opening behaviour: it negotiates
+// exactly when the predicted overuse exceeds the warrant threshold.
+func CheckProactiveness(initialRatio, warrantRatio float64, negotiated bool) error {
+	shouldNegotiate := initialRatio > warrantRatio
+	if shouldNegotiate != negotiated {
+		return fmt.Errorf("%w: proactiveness: ratio %v vs warrant %v but negotiated=%v",
+			ErrViolation, initialRatio, warrantRatio, negotiated)
+	}
+	return nil
+}
+
+// CheckRFBTrace verifies the request-for-bids analogues: bids non-increasing
+// per customer, termination and contiguous rounds.
+func CheckRFBTrace(history []protocol.RFBRound) Report {
+	var rep Report
+	check := func(name string, err error) {
+		rep.Checked = append(rep.Checked, name)
+		if err != nil {
+			rep.Violations = append(rep.Violations, fmt.Errorf("%w: %s: %w", ErrViolation, name, err))
+		}
+	}
+	check("ca_monotonic_ymin", func() error {
+		last := make(map[string]float64)
+		for _, rec := range history {
+			for customer, y := range rec.Bids {
+				if prev, ok := last[customer]; ok && y > prev+1e-12 {
+					return fmt.Errorf("round %d: %q ymin %v after %v", rec.Round, customer, y, prev)
+				}
+				last[customer] = y
+			}
+		}
+		return nil
+	}())
+	check("termination", func() error {
+		if len(history) == 0 {
+			return errors.New("empty history")
+		}
+		last := history[len(history)-1]
+		if !last.Outcome.Terminal() {
+			return fmt.Errorf("final round %d not terminal", last.Round)
+		}
+		return nil
+	}())
+	check("contiguous_rounds", func() error {
+		for i, rec := range history {
+			if rec.Round != i+1 {
+				return fmt.Errorf("round %d at position %d", rec.Round, i)
+			}
+		}
+		return nil
+	}())
+	return rep
+}

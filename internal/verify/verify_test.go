@@ -1,0 +1,243 @@
+package verify
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"loadbalance/internal/core"
+	"loadbalance/internal/protocol"
+	"loadbalance/internal/utilityagent"
+)
+
+func params() protocol.Params {
+	return core.PaperParams()
+}
+
+// goodHistory builds a legal two-round history.
+func goodHistory() []protocol.RoundRecord {
+	t1, _ := protocol.StandardTable(42.5)
+	t2, _ := t1.Update(0.215, params())
+	return []protocol.RoundRecord{
+		{Round: 1, Table: t1, Bids: map[string]float64{"a": 0.2}, OveruseKWh: 21.5, Outcome: protocol.OutcomeContinue},
+		{Round: 2, Table: t2, Bids: map[string]float64{"a": 0.4}, OveruseKWh: 12, Outcome: protocol.OutcomeConverged},
+	}
+}
+
+func TestCheckRewardTableTraceAcceptsLegalTrace(t *testing.T) {
+	rep := CheckRewardTableTrace(goodHistory(), params())
+	if !rep.OK() {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	if len(rep.Checked) != 6 {
+		t.Fatalf("checked %d properties, want 6", len(rep.Checked))
+	}
+	if rep.Error() != nil {
+		t.Fatal("Error should be nil for a clean report")
+	}
+}
+
+func TestUAMonotonicityViolation(t *testing.T) {
+	h := goodHistory()
+	// Regress the round-2 table.
+	h[1].Table.Entries[4].Reward = 1
+	rep := CheckRewardTableTrace(h, params())
+	if rep.OK() {
+		t.Fatal("regressed table must be flagged")
+	}
+	if err := rep.Error(); !errors.Is(err, ErrViolation) || !strings.Contains(err.Error(), "ua_monotonic_tables") {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestCAMonotonicityViolation(t *testing.T) {
+	h := goodHistory()
+	h[1].Bids = map[string]float64{"a": 0.1} // regressed bid
+	rep := CheckRewardTableTrace(h, params())
+	if rep.OK() || !strings.Contains(rep.Error().Error(), "ca_monotonic_bids") {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestTerminationViolations(t *testing.T) {
+	h := goodHistory()
+	h[1].Outcome = protocol.OutcomeContinue // never terminates
+	rep := CheckRewardTableTrace(h, params())
+	if rep.OK() || !strings.Contains(rep.Error().Error(), "termination") {
+		t.Fatalf("report = %+v", rep)
+	}
+
+	h = goodHistory()
+	h[0].Outcome = protocol.OutcomeConverged // terminal mid-history
+	rep = CheckRewardTableTrace(h, params())
+	if rep.OK() {
+		t.Fatal("terminal mid-history must be flagged")
+	}
+
+	rep = CheckRewardTableTrace(nil, params())
+	if rep.OK() {
+		t.Fatal("empty history must be flagged")
+	}
+}
+
+func TestContiguousRoundsViolation(t *testing.T) {
+	h := goodHistory()
+	h[1].Round = 5
+	rep := CheckRewardTableTrace(h, params())
+	if rep.OK() || !strings.Contains(rep.Error().Error(), "contiguous_rounds") {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestRewardCeilingViolation(t *testing.T) {
+	h := goodHistory()
+	h[1].Table.Entries[4].Reward = 500 // way above 125×0.4
+	rep := CheckRewardTableTrace(h, params())
+	if rep.OK() || !strings.Contains(rep.Error().Error(), "reward_ceiling") {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestOveruseConsistencyViolation(t *testing.T) {
+	h := goodHistory()
+	h[1].OveruseKWh = 40 // grew
+	rep := CheckRewardTableTrace(h, params())
+	if rep.OK() || !strings.Contains(rep.Error().Error(), "overuse_consistency") {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestCheckProactiveness(t *testing.T) {
+	if err := CheckProactiveness(0.35, 0.13, true); err != nil {
+		t.Fatalf("warranted negotiation flagged: %v", err)
+	}
+	if err := CheckProactiveness(0.05, 0.13, false); err != nil {
+		t.Fatalf("unwarranted idle flagged: %v", err)
+	}
+	if err := CheckProactiveness(0.35, 0.13, false); !errors.Is(err, ErrViolation) {
+		t.Fatal("missed negotiation must be flagged")
+	}
+	if err := CheckProactiveness(0.05, 0.13, true); !errors.Is(err, ErrViolation) {
+		t.Fatal("overeager negotiation must be flagged")
+	}
+}
+
+func TestCheckRFBTrace(t *testing.T) {
+	good := []protocol.RFBRound{
+		{Round: 1, Bids: map[string]float64{"a": 12}, Outcome: protocol.RFBContinue},
+		{Round: 2, Bids: map[string]float64{"a": 11}, Outcome: protocol.RFBConverged},
+	}
+	if rep := CheckRFBTrace(good); !rep.OK() {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	bad := []protocol.RFBRound{
+		{Round: 1, Bids: map[string]float64{"a": 11}, Outcome: protocol.RFBContinue},
+		{Round: 2, Bids: map[string]float64{"a": 12}, Outcome: protocol.RFBConverged}, // grew
+	}
+	if rep := CheckRFBTrace(bad); rep.OK() {
+		t.Fatal("growing ymin must be flagged")
+	}
+	if rep := CheckRFBTrace(nil); rep.OK() {
+		t.Fatal("empty history must be flagged")
+	}
+}
+
+// TestPaperScenarioTraceVerifies runs the canonical scenario end to end and
+// verifies every protocol property on the real trace — the mechanised
+// version of the companion paper's verification (E8).
+func TestPaperScenarioTraceVerifies(t *testing.T) {
+	s, err := core.PaperScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := CheckRewardTableTrace(res.History, s.Params)
+	if !rep.OK() {
+		t.Fatalf("violations on the paper trace: %v", rep.Violations)
+	}
+	if err := CheckProactiveness(0.35, s.Params.AllowedOveruseRatio, res.Rounds > 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomScenarioTracesVerify is the E8 property harness: random
+// populations and parameters always produce traces satisfying every
+// protocol property.
+func TestRandomScenarioTracesVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full runs are slow")
+	}
+	f := func(seedRaw uint8, nRaw uint8, betaRaw uint8) bool {
+		n := int(nRaw%15) + 3
+		beta := 0.5 + float64(betaRaw%40)/10
+		s, err := core.PopulationScenario(core.PopulationConfig{
+			N:      n,
+			Seed:   int64(seedRaw),
+			Margin: 0.2,
+			Method: utilityagent.MethodRewardTable,
+		})
+		if err != nil {
+			return false
+		}
+		s.Params.Beta = beta
+		s.Timeout = 20 * time.Second
+		res, err := core.Run(s)
+		if err != nil {
+			return false
+		}
+		if len(res.History) == 0 {
+			// Population happened to be below the warrant threshold.
+			return res.Outcome == "no negotiation needed"
+		}
+		return CheckRewardTableTrace(res.History, s.Params).OK()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLossyTraceStillVerifies: even with message loss the recorded trace
+// satisfies monotonicity and termination (the session model is the source
+// of truth, not the lossy wire).
+func TestLossyTraceStillVerifies(t *testing.T) {
+	s, err := core.PaperScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.DropRate = 0.15
+	s.Seed = 99
+	s.RoundTimeout = 25 * time.Millisecond
+	s.Timeout = 20 * time.Second
+	res, err := core.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	rep := CheckRewardTableTrace(res.History, s.Params)
+	if !rep.OK() {
+		t.Fatalf("violations under loss: %v", rep.Violations)
+	}
+}
+
+func TestReportErrorAggregation(t *testing.T) {
+	h := goodHistory()
+	h[1].Table.Entries[4].Reward = 1 // breaks monotonicity AND consistency checks may cascade
+	rep := CheckRewardTableTrace(h, params())
+	if rep.OK() {
+		t.Fatal("want violations")
+	}
+	if len(rep.Checked) != 6 {
+		t.Fatalf("all properties must still be checked, got %d", len(rep.Checked))
+	}
+	var viol error = rep.Error()
+	if viol == nil || !errors.Is(viol, ErrViolation) {
+		t.Fatalf("aggregated error = %v", viol)
+	}
+}

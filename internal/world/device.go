@@ -1,0 +1,135 @@
+package world
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// DeviceKind enumerates the domestic device categories the simulator models.
+// The mix follows the paper's framing that customers "all have devices that
+// consume electricity to various degrees" (Section 2), with flexibility
+// concentrated in thermal storage (heating, hot water) and deferrable white
+// goods — the loads demand-response programmes actually shift.
+type DeviceKind int
+
+// Device kinds.
+const (
+	KindSpaceHeating DeviceKind = iota + 1
+	KindWaterHeater
+	KindWhiteGoods // washing machine, dryer, dishwasher
+	KindCooking
+	KindLighting
+	KindRefrigeration
+	KindElectronics
+	KindEVCharger
+)
+
+// String renders the kind name.
+func (k DeviceKind) String() string {
+	switch k {
+	case KindSpaceHeating:
+		return "space_heating"
+	case KindWaterHeater:
+		return "water_heater"
+	case KindWhiteGoods:
+		return "white_goods"
+	case KindCooking:
+		return "cooking"
+	case KindLighting:
+		return "lighting"
+	case KindRefrigeration:
+		return "refrigeration"
+	case KindElectronics:
+		return "electronics"
+	case KindEVCharger:
+		return "ev_charger"
+	default:
+		return fmt.Sprintf("device_kind(%d)", int(k))
+	}
+}
+
+// Device is one electric load in a household.
+type Device struct {
+	Kind DeviceKind
+	// RatedKW is the peak draw of the device.
+	RatedKW float64
+	// Flexible is the fraction of the device's draw that can be shed or
+	// deferred during a peak without hard loss (thermal inertia, deferral).
+	Flexible float64
+	// ComfortCost is the customer's subjective cost (money-equivalent per
+	// shed kWh) of cutting this device; it drives required rewards.
+	ComfortCost float64
+}
+
+// standardDevices returns the device fleet for a household with the given
+// occupant count; rng perturbs the ratings so households differ.
+func standardDevices(occupants int, hasEV bool, rng *rand.Rand) []Device {
+	jitter := func(v, rel float64) float64 {
+		return v * (1 + rel*(rng.Float64()*2-1))
+	}
+	occ := float64(occupants)
+	devices := []Device{
+		{Kind: KindSpaceHeating, RatedKW: jitter(1.2+0.5*occ, 0.25), Flexible: 0.6, ComfortCost: jitter(1.2, 0.4)},
+		{Kind: KindWaterHeater, RatedKW: jitter(1.5+0.3*occ, 0.2), Flexible: 0.8, ComfortCost: jitter(0.6, 0.4)},
+		{Kind: KindWhiteGoods, RatedKW: jitter(0.4+0.2*occ, 0.3), Flexible: 0.9, ComfortCost: jitter(0.4, 0.4)},
+		{Kind: KindCooking, RatedKW: jitter(0.5+0.25*occ, 0.3), Flexible: 0.1, ComfortCost: jitter(3.0, 0.3)},
+		{Kind: KindLighting, RatedKW: jitter(0.15+0.08*occ, 0.3), Flexible: 0.3, ComfortCost: jitter(1.5, 0.3)},
+		{Kind: KindRefrigeration, RatedKW: jitter(0.15, 0.2), Flexible: 0.25, ComfortCost: jitter(0.8, 0.3)},
+		{Kind: KindElectronics, RatedKW: jitter(0.1+0.1*occ, 0.4), Flexible: 0.2, ComfortCost: jitter(2.0, 0.3)},
+	}
+	if hasEV {
+		devices = append(devices, Device{
+			Kind: KindEVCharger, RatedKW: jitter(3.3, 0.15), Flexible: 0.95, ComfortCost: jitter(0.3, 0.4),
+		})
+	}
+	return devices
+}
+
+// usageFactor returns the fraction of rated power a device draws at the
+// given time under the given weather — the behavioural load shape.
+func usageFactor(kind DeviceKind, t time.Time, w Weather, rng *rand.Rand) float64 {
+	h := float64(t.Hour()) + float64(t.Minute())/60
+	noise := 1 + 0.08*rng.NormFloat64()
+	base := 0.0
+	switch kind {
+	case KindSpaceHeating:
+		// Proportional to heating degree; thermostat setback overnight.
+		base = w.HeatingDegree() / 25
+		if h < 6 || h >= 23 {
+			base *= 0.6
+		}
+	case KindWaterHeater:
+		// Morning showers and evening dishes.
+		base = 0.15 + 0.55*bump(h, 7, 1.4) + 0.45*bump(h, 19, 2.0)
+	case KindWhiteGoods:
+		// Evening-heavy, some daytime running.
+		base = 0.05 + 0.35*bump(h, 18.5, 2.5) + 0.10*bump(h, 11, 3)
+	case KindCooking:
+		base = 0.7*bump(h, 17.8, 1.0) + 0.3*bump(h, 7.5, 0.8) + 0.15*bump(h, 12.3, 0.8)
+	case KindLighting:
+		// On when dark: early morning and evening, amplified by cloud.
+		dark := bump(h, 7, 1.5) + bump(h, 20, 3)
+		base = (0.1 + 0.9*dark) * (0.6 + 0.4*w.CloudCover)
+	case KindRefrigeration:
+		base = 0.55 + 0.05*math.Sin(2*math.Pi*h/24)
+	case KindElectronics:
+		base = 0.15 + 0.55*bump(h, 20.5, 2.5)
+	case KindEVCharger:
+		// Plug-in on arriving home.
+		base = 0.9 * bump(h, 18.5, 1.8)
+	}
+	v := base * noise
+	return clamp01(v)
+}
+
+// bump is a smooth unimodal pulse centred at c (hours) with width w (hours),
+// wrapping around midnight.
+func bump(h, c, w float64) float64 {
+	d := math.Abs(h - c)
+	if d > 12 {
+		d = 24 - d
+	}
+	return math.Exp(-(d * d) / (2 * w * w))
+}

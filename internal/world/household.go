@@ -1,0 +1,128 @@
+package world
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"loadbalance/internal/units"
+)
+
+// Household is one domestic consumer: a set of devices plus behavioural
+// parameters. Households are the physical substrate behind Customer Agents.
+type Household struct {
+	ID        string
+	Occupants int
+	Devices   []Device
+
+	rng *rand.Rand
+}
+
+// NewHousehold creates a household with a deterministic per-household random
+// stream derived from the seed and index.
+func NewHousehold(id string, occupants int, hasEV bool, seed int64) (*Household, error) {
+	if occupants <= 0 {
+		return nil, fmt.Errorf("world: household %q: occupants %d must be positive", id, occupants)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &Household{
+		ID:        id,
+		Occupants: occupants,
+		Devices:   standardDevices(occupants, hasEV, rng),
+		rng:       rng,
+	}, nil
+}
+
+// DemandAt returns the household's aggregate power draw at an instant.
+func (h *Household) DemandAt(t time.Time, w Weather) units.Power {
+	total := 0.0
+	for _, d := range h.Devices {
+		total += d.RatedKW * usageFactor(d.Kind, t, w, h.rng)
+	}
+	return units.Power(total)
+}
+
+// DemandByDevice returns per-device power draw at an instant; the sum equals
+// a DemandAt sample drawn from the same stream position.
+func (h *Household) DemandByDevice(t time.Time, w Weather) map[DeviceKind]units.Power {
+	out := make(map[DeviceKind]units.Power, len(h.Devices))
+	for _, d := range h.Devices {
+		out[d.Kind] += units.Power(d.RatedKW * usageFactor(d.Kind, t, w, h.rng))
+	}
+	return out
+}
+
+// FlexibleShareAt returns the fraction of the household's current draw that
+// is sheddable at an instant: Σ flexible load / Σ load. This is the physical
+// ceiling on any cut-down the household's agent can honestly bid.
+func (h *Household) FlexibleShareAt(t time.Time, w Weather) units.Fraction {
+	total, flex := 0.0, 0.0
+	for _, d := range h.Devices {
+		draw := d.RatedKW * usageFactor(d.Kind, t, w, h.rng)
+		total += draw
+		flex += draw * d.Flexible
+	}
+	if total == 0 {
+		return 0
+	}
+	return units.Fraction(flex / total)
+}
+
+// Population is a fleet of households plus the weather they share.
+type Population struct {
+	Households []*Household
+	Weather    *WeatherModel
+}
+
+// PopulationConfig parameterises population synthesis.
+type PopulationConfig struct {
+	// N is the number of households.
+	N int
+	// Seed drives all randomness.
+	Seed int64
+	// EVShare is the fraction of households with an EV charger.
+	EVShare float64
+	// MeanOccupants sets the average household size (clamped to [1, 6]).
+	MeanOccupants float64
+}
+
+// NewPopulation synthesises a household fleet. Occupant counts follow a
+// clamped rounded normal around MeanOccupants.
+func NewPopulation(cfg PopulationConfig) (*Population, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("world: population size %d must be positive", cfg.N)
+	}
+	if cfg.MeanOccupants == 0 {
+		cfg.MeanOccupants = 2.3
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	hh := make([]*Household, 0, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		occ := int(cfg.MeanOccupants + rng.NormFloat64() + 0.5)
+		if occ < 1 {
+			occ = 1
+		}
+		if occ > 6 {
+			occ = 6
+		}
+		h, err := NewHousehold(fmt.Sprintf("h%04d", i), occ, rng.Float64() < cfg.EVShare, cfg.Seed+int64(i)*7919)
+		if err != nil {
+			return nil, err
+		}
+		hh = append(hh, h)
+	}
+	return &Population{
+		Households: hh,
+		Weather:    NewWeatherModel(cfg.Seed),
+	}, nil
+}
+
+// DemandAt returns the fleet's aggregate power draw at an instant.
+func (p *Population) DemandAt(t time.Time) units.Power {
+	w := p.Weather.At(t)
+	total := units.Power(0)
+	for _, h := range p.Households {
+		total += h.DemandAt(t, w)
+	}
+	return total
+}

@@ -1,0 +1,329 @@
+package world
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"loadbalance/internal/units"
+)
+
+// winterDay returns a January evening-peak-prone day.
+func winterDay() units.Interval {
+	start := time.Date(1998, 1, 20, 0, 0, 0, 0, time.UTC)
+	return units.Interval{Start: start, End: start.Add(24 * time.Hour)}
+}
+
+func TestWeatherDeterminism(t *testing.T) {
+	m1 := NewWeatherModel(42)
+	m2 := NewWeatherModel(42)
+	at := time.Date(1998, 1, 20, 7, 30, 0, 0, time.UTC)
+	if m1.At(at) != m2.At(at) {
+		t.Fatal("same seed and instant must give identical weather")
+	}
+	m3 := NewWeatherModel(43)
+	if m1.At(at) == m3.At(at) {
+		t.Fatal("different seeds should give different weather")
+	}
+}
+
+func TestWeatherSeasons(t *testing.T) {
+	m := NewWeatherModel(1)
+	jan := m.At(time.Date(1998, 1, 20, 14, 0, 0, 0, time.UTC))
+	jul := m.At(time.Date(1998, 7, 20, 14, 0, 0, 0, time.UTC))
+	if jan.TemperatureC >= jul.TemperatureC {
+		t.Fatalf("January (%.1f) should be colder than July (%.1f)", jan.TemperatureC, jul.TemperatureC)
+	}
+}
+
+func TestHeatingDegree(t *testing.T) {
+	tests := []struct {
+		name string
+		give Weather
+		want func(float64) bool
+	}{
+		{name: "warm no heating", give: Weather{TemperatureC: 25}, want: func(v float64) bool { return v == 0 }},
+		{name: "cold heating", give: Weather{TemperatureC: -5}, want: func(v float64) bool { return v == 22 }},
+		{name: "wind chill adds demand", give: Weather{TemperatureC: 10, WindSpeedMS: 10}, want: func(v float64) bool { return v == 10 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.give.HeatingDegree(); !tt.want(got) {
+				t.Fatalf("HeatingDegree = %v", got)
+			}
+		})
+	}
+}
+
+func TestNewHouseholdValidation(t *testing.T) {
+	if _, err := NewHousehold("h", 0, false, 1); err == nil {
+		t.Fatal("zero occupants should fail")
+	}
+	h, err := NewHousehold("h", 3, true, 1)
+	if err != nil {
+		t.Fatalf("NewHousehold: %v", err)
+	}
+	hasEV := false
+	for _, d := range h.Devices {
+		if d.Kind == KindEVCharger {
+			hasEV = true
+		}
+	}
+	if !hasEV {
+		t.Fatal("hasEV household lacks EV charger")
+	}
+}
+
+func TestHouseholdDemandPositiveAndBounded(t *testing.T) {
+	h, err := NewHousehold("h", 4, true, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWeatherModel(7)
+	rated := 0.0
+	for _, d := range h.Devices {
+		rated += d.RatedKW
+	}
+	day := winterDay()
+	for hr := 0; hr < 24; hr++ {
+		at := day.Start.Add(time.Duration(hr) * time.Hour)
+		p := h.DemandAt(at, w.At(at))
+		if p < 0 {
+			t.Fatalf("negative demand at %v", at)
+		}
+		if p.KWs() > rated {
+			t.Fatalf("demand %.2f exceeds rated %.2f at %v", p.KWs(), rated, at)
+		}
+	}
+}
+
+func TestFlexibleShareWithinBounds(t *testing.T) {
+	h, err := NewHousehold("h", 2, false, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWeatherModel(3)
+	at := winterDay().Start.Add(18 * time.Hour)
+	share := h.FlexibleShareAt(at, w.At(at))
+	if share <= 0 || share >= 1 {
+		t.Fatalf("flexible share = %v, want in (0,1)", share)
+	}
+}
+
+func TestPopulationConfigValidation(t *testing.T) {
+	if _, err := NewPopulation(PopulationConfig{N: 0}); err == nil {
+		t.Fatal("empty population should fail")
+	}
+	p, err := NewPopulation(PopulationConfig{N: 25, Seed: 5, EVShare: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Households) != 25 {
+		t.Fatalf("households = %d, want 25", len(p.Households))
+	}
+	for _, h := range p.Households {
+		if h.Occupants < 1 || h.Occupants > 6 {
+			t.Fatalf("occupants %d out of range", h.Occupants)
+		}
+	}
+}
+
+func TestPopulationDeterminism(t *testing.T) {
+	cfg := PopulationConfig{N: 10, Seed: 99, EVShare: 0.3}
+	p1, err := NewPopulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewPopulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := winterDay().Start.Add(18 * time.Hour)
+	if p1.DemandAt(at) != p2.DemandAt(at) {
+		t.Fatal("same config must give identical demand")
+	}
+}
+
+// TestFigure1DemandCurve is the E1 shape check: a winter-day residential
+// profile has at least a morning and an evening local peak, with the global
+// peak in the evening block (17:00-21:00) and a meaningful peak-to-mean
+// ratio. This is the qualitative content of Figure 1.
+func TestFigure1DemandCurve(t *testing.T) {
+	p, err := NewPopulation(PopulationConfig{N: 200, Seed: 1, EVShare: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := GenerateProfile(p, winterDay(), 15*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Samples) != 96 {
+		t.Fatalf("samples = %d, want 96", len(prof.Samples))
+	}
+	peak, ok := prof.Peak()
+	if !ok {
+		t.Fatal("no peak")
+	}
+	if h := peak.Interval.Start.Hour(); h < 16 || h > 21 {
+		t.Fatalf("global peak at %02d:00, want evening (16-21)", h)
+	}
+	if ptm := prof.PeakToMean(); ptm < 1.2 {
+		t.Fatalf("peak-to-mean = %.2f, want >= 1.2", ptm)
+	}
+	peaks := prof.LocalPeaks(1.05)
+	morning, evening := false, false
+	for _, i := range peaks {
+		switch h := prof.Samples[i].Interval.Start.Hour(); {
+		case h >= 6 && h <= 10:
+			morning = true
+		case h >= 16 && h <= 21:
+			evening = true
+		}
+	}
+	if !morning || !evening {
+		t.Fatalf("peaks at %v: want both a morning and an evening local peak", peaks)
+	}
+}
+
+func TestGenerateProfileValidation(t *testing.T) {
+	p, err := NewPopulation(PopulationConfig{N: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenerateProfile(p, winterDay(), 0); err == nil {
+		t.Fatal("zero resolution should fail")
+	}
+	short := units.Interval{Start: winterDay().Start, End: winterDay().Start.Add(time.Minute)}
+	if _, err := GenerateProfile(p, short, time.Hour); err == nil {
+		t.Fatal("interval shorter than resolution should fail")
+	}
+}
+
+func TestProfileEnergyAccounting(t *testing.T) {
+	start := winterDay().Start
+	prof := &Profile{Samples: []Sample{
+		{Interval: units.Interval{Start: start, End: start.Add(time.Hour)}, Power: 2},
+		{Interval: units.Interval{Start: start.Add(time.Hour), End: start.Add(2 * time.Hour)}, Power: 4},
+	}}
+	if got := prof.TotalEnergy(); !units.NearlyEqual(got.KWhs(), 6, 1e-9) {
+		t.Fatalf("TotalEnergy = %v, want 6", got)
+	}
+	iv := units.Interval{Start: start, End: start.Add(time.Hour)}
+	if got := prof.EnergyIn(iv); !units.NearlyEqual(got.KWhs(), 2, 1e-9) {
+		t.Fatalf("EnergyIn = %v, want 2", got)
+	}
+	if got := prof.Mean(); !units.NearlyEqual(got.KWs(), 3, 1e-9) {
+		t.Fatalf("Mean = %v, want 3", got)
+	}
+}
+
+func TestProfileEmptyEdgeCases(t *testing.T) {
+	var prof Profile
+	if _, ok := prof.Peak(); ok {
+		t.Fatal("empty profile should have no peak")
+	}
+	if prof.Mean() != 0 || prof.PeakToMean() != 0 {
+		t.Fatal("empty profile stats should be zero")
+	}
+	if got := prof.ASCII(40); !strings.Contains(got, "empty") {
+		t.Fatalf("ASCII of empty profile = %q", got)
+	}
+}
+
+func TestProfileRenderers(t *testing.T) {
+	start := winterDay().Start
+	prof := &Profile{Samples: []Sample{
+		{Interval: units.Interval{Start: start, End: start.Add(time.Hour)}, Power: 2},
+		{Interval: units.Interval{Start: start.Add(time.Hour), End: start.Add(2 * time.Hour)}, Power: 4},
+	}}
+	csv := prof.CSV()
+	if !strings.HasPrefix(csv, "slot_start,kw\n") || !strings.Contains(csv, "2.0000") {
+		t.Fatalf("CSV = %q", csv)
+	}
+	ascii := prof.ASCII(10)
+	if !strings.Contains(ascii, "#") {
+		t.Fatalf("ASCII = %q", ascii)
+	}
+}
+
+func TestMeter(t *testing.T) {
+	m := NewMeter()
+	start := winterDay().Start
+	slot := units.Interval{Start: start, End: start.Add(time.Hour)}
+	m.Record("c1", Sample{Interval: slot, Power: 3})
+	m.Record("c1", Sample{Interval: units.Interval{Start: slot.End, End: slot.End.Add(time.Hour)}, Power: 1})
+	m.Record("c2", Sample{Interval: slot, Power: 5})
+
+	day := winterDay()
+	if got := m.EnergyOf("c1", day); !units.NearlyEqual(got.KWhs(), 4, 1e-9) {
+		t.Fatalf("c1 energy = %v, want 4", got)
+	}
+	if got := m.EnergyOf("c1", slot); !units.NearlyEqual(got.KWhs(), 3, 1e-9) {
+		t.Fatalf("c1 slot energy = %v, want 3", got)
+	}
+	if got := m.EnergyOf("ghost", day); got != 0 {
+		t.Fatalf("unknown customer energy = %v, want 0", got)
+	}
+	if cs := m.Customers(); len(cs) != 2 || cs[0] != "c1" || cs[1] != "c2" {
+		t.Fatalf("Customers = %v", cs)
+	}
+}
+
+// Property: demand is always non-negative and flexible share in [0,1] for
+// arbitrary instants.
+func TestDemandProperties(t *testing.T) {
+	h, err := NewHousehold("h", 3, true, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm := NewWeatherModel(11)
+	base := time.Date(1998, 1, 1, 0, 0, 0, 0, time.UTC)
+	f := func(minutes uint32) bool {
+		at := base.Add(time.Duration(minutes%525600) * time.Minute)
+		w := wm.At(at)
+		if h.DemandAt(at, w) < 0 {
+			return false
+		}
+		share := h.FlexibleShareAt(at, w)
+		return share >= 0 && share <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviceKindString(t *testing.T) {
+	if KindSpaceHeating.String() != "space_heating" {
+		t.Fatal("kind string mismatch")
+	}
+	if !strings.Contains(DeviceKind(99).String(), "99") {
+		t.Fatal("unknown kind string should include the number")
+	}
+}
+
+func TestDemandByDeviceSumsToHousehold(t *testing.T) {
+	// The per-device breakdown must use the same stochastic stream shape:
+	// verify totals are close (each call advances the RNG, so compare two
+	// separately-seeded identical households).
+	h1, err := NewHousehold("h", 3, false, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := NewHousehold("h", 3, false, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm := NewWeatherModel(21)
+	at := winterDay().Start.Add(18 * time.Hour)
+	w := wm.At(at)
+	total := h1.DemandAt(at, w)
+	byDev := h2.DemandByDevice(at, w)
+	sum := 0.0
+	for _, p := range byDev {
+		sum += p.KWs()
+	}
+	if !units.NearlyEqual(sum, total.KWs(), 1e-9) {
+		t.Fatalf("device sum %.4f != household total %.4f", sum, total.KWs())
+	}
+}
