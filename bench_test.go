@@ -6,11 +6,13 @@ package loadbalance_test
 // reference run.
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	"loadbalance"
 	"loadbalance/internal/bus"
+	"loadbalance/internal/cluster"
 	"loadbalance/internal/core"
 	"loadbalance/internal/message"
 	"loadbalance/internal/protocol"
@@ -97,18 +99,7 @@ func BenchmarkE7Scalability(b *testing.B) {
 	}
 }
 
-func sizeName(n int) string {
-	switch {
-	case n >= 1000:
-		return "n1000"
-	case n >= 500:
-		return "n500"
-	case n >= 100:
-		return "n100"
-	default:
-		return "n10"
-	}
-}
+func sizeName(n int) string { return fmt.Sprintf("n%d", n) }
 
 // BenchmarkE8ProtocolProperties verifies the protocol properties on
 // randomized runs.
@@ -134,6 +125,37 @@ func BenchmarkE10RewardTableSeries(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.E10RewardTableSeries(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterScale compares one complete negotiation flat against the
+// hierarchical concentrator tree on the same synthetic fleet. At n10000 the
+// sharded tree's round wall-time beats flat: the root handles K aggregated
+// bids instead of N, per-bid decoding spreads across the concentrators, and
+// the shards' buses remove the single-mutex bottleneck.
+func BenchmarkClusterScale(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		s, err := core.SyntheticScenario(core.SyntheticConfig{N: n, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Timeout = 10 * time.Minute
+		b.Run("flat/"+sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for _, shards := range []int{16} {
+			b.Run(fmt.Sprintf("shards%d/%s", shards, sizeName(n)), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := cluster.Run(cluster.Config{Scenario: s, Shards: shards}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

@@ -7,6 +7,7 @@
 //	experiments                 # run everything into ./results
 //	experiments -exp e5 -n 100  # one experiment
 //	experiments -exp e7 -sizes 10,100,1000
+//	experiments -exp e11c -cluster-sizes 1000,10000,100000 -shards 16,64,256
 package main
 
 import (
@@ -30,13 +31,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		exp   = fs.String("exp", "all", "experiment id: e1..e10 or all")
-		out   = fs.String("out", "results", "output directory for CSV files")
-		n     = fs.Int("n", 100, "population size (e1, e5)")
-		seed  = fs.Int64("seed", 1, "random seed")
-		sizes = fs.String("sizes", "10,50,200,1000", "fleet sizes for e7")
-		betas = fs.String("betas", "0.5,1,1.85,3,5,8", "beta values for e6")
-		runs  = fs.Int("runs", 10, "randomized runs for e8")
+		exp    = fs.String("exp", "all", "experiment id: e1..e13, e11c (cluster scale) or all")
+		out    = fs.String("out", "results", "output directory for CSV files")
+		n      = fs.Int("n", 100, "population size (e1, e5)")
+		seed   = fs.Int64("seed", 1, "random seed")
+		sizes  = fs.String("sizes", "10,50,200,1000", "fleet sizes for e7")
+		betas  = fs.String("betas", "0.5,1,1.85,3,5,8", "beta values for e6")
+		runs   = fs.Int("runs", 10, "randomized runs for e8")
+		csizes = fs.String("cluster-sizes", "1000,5000", "fleet sizes for e11c (the full sweep is 1000,10000,100000)")
+		shards = fs.String("shards", "4,16,64", "concentrator counts for e11c")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,6 +55,14 @@ func run(args []string) error {
 	betaList, err := parseFloats(*betas)
 	if err != nil {
 		return fmt.Errorf("-betas: %w", err)
+	}
+	clusterSizes, err := parseInts(*csizes)
+	if err != nil {
+		return fmt.Errorf("-cluster-sizes: %w", err)
+	}
+	shardList, err := parseInts(*shards)
+	if err != nil {
+		return fmt.Errorf("-shards: %w", err)
 	}
 
 	type experiment struct {
@@ -85,6 +96,7 @@ func run(args []string) error {
 		{"e11", func() (*sim.Table, error) { return sim.E11DayPeakShaving(min(*n, 40), *seed) }},
 		{"e12", func() (*sim.Table, error) { return sim.E12MarketComparison(*n, *seed) }},
 		{"e13", func() (*sim.Table, error) { return sim.E13ForecastDrivenNegotiation(min(*n, 40), *seed) }},
+		{"e11c", func() (*sim.Table, error) { return sim.E11ClusterScale(clusterSizes, shardList, *seed) }},
 	}
 
 	ran := 0

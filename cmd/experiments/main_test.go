@@ -51,6 +51,25 @@ func TestRunSmallSweeps(t *testing.T) {
 	}
 }
 
+func TestRunClusterScale(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-exp", "e11c", "-out", dir, "-cluster-sizes", "30", "-shards", "3"}
+	if err := run(args); err != nil {
+		t.Fatalf("e11c: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "e11c.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := string(data)
+	if !strings.HasPrefix(csv, "customers,shards,") {
+		t.Fatalf("csv header = %q", csv)
+	}
+	if !strings.Contains(csv, "30,flat,") || !strings.Contains(csv, "30,3,") {
+		t.Fatalf("csv missing flat/sharded rows:\n%s", csv)
+	}
+}
+
 func TestRunRejectsBadInput(t *testing.T) {
 	dir := t.TempDir()
 	if err := run([]string{"-exp", "e99", "-out", dir}); err == nil {
@@ -61,6 +80,12 @@ func TestRunRejectsBadInput(t *testing.T) {
 	}
 	if err := run([]string{"-betas", "x", "-out", dir}); err == nil {
 		t.Fatal("bad betas should fail")
+	}
+	if err := run([]string{"-cluster-sizes", "many", "-out", dir}); err == nil {
+		t.Fatal("bad cluster sizes should fail")
+	}
+	if err := run([]string{"-shards", "x", "-out", dir}); err == nil {
+		t.Fatal("bad shards should fail")
 	}
 }
 

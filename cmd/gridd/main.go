@@ -7,6 +7,11 @@
 //
 //	gridd -serve :9340 -customers 10
 //
+// Sharded server (4 Concentrator Agents front the fleet, so the Utility
+// Agent sees 4 aggregated bidders instead of 100):
+//
+//	gridd -serve :9340 -customers 100 -shards 4
+//
 // Clients (one per customer; names must be c01..cNN):
 //
 //	gridd -connect localhost:9340 -name c01 -seed 1
@@ -20,6 +25,7 @@ import (
 
 	agentrt "loadbalance/internal/agent"
 	"loadbalance/internal/bus"
+	"loadbalance/internal/cluster"
 	"loadbalance/internal/core"
 	"loadbalance/internal/customeragent"
 	"loadbalance/internal/message"
@@ -41,6 +47,7 @@ func run(args []string) error {
 	var (
 		serve     = fs.String("serve", "", "listen address for the Utility Agent daemon")
 		customers = fs.Int("customers", 10, "customer count the daemon waits for")
+		shards    = fs.Int("shards", 1, "concentrator agents fronting the fleet (server mode; 1 = flat)")
 		connect   = fs.String("connect", "", "daemon address to join as a Customer Agent")
 		name      = fs.String("name", "", "customer name (client mode)")
 		seed      = fs.Int64("seed", 1, "preference randomisation seed (client mode)")
@@ -53,7 +60,10 @@ func run(args []string) error {
 	case *serve != "" && *connect != "":
 		return fmt.Errorf("-serve and -connect are mutually exclusive")
 	case *serve != "":
-		return runServer(*serve, *customers, *timeout)
+		if *shards < 1 {
+			return fmt.Errorf("-shards must be at least 1")
+		}
+		return runServer(*serve, *customers, *shards, *timeout)
 	case *connect != "":
 		if *name == "" {
 			return fmt.Errorf("-connect requires -name")
@@ -65,13 +75,17 @@ func run(args []string) error {
 }
 
 // runServer hosts the UA and bridges remote customers onto a local bus.
-func runServer(addr string, customers int, timeout time.Duration) error {
-	return serve(addr, customers, timeout, nil)
+func runServer(addr string, customers, shards int, timeout time.Duration) error {
+	return serve(addr, customers, shards, timeout, nil)
 }
 
 // serve is runServer with an optional ready channel that receives the bound
-// address (used by tests binding to :0).
-func serve(addr string, customers int, timeout time.Duration, ready chan<- string) error {
+// address (used by tests binding to :0). With shards > 1 it interposes that
+// many Concentrator Agents between the Utility Agent and the TCP-bridged
+// fleet: the UA negotiates with the concentrators on a private root bus,
+// while each concentrator fans out to its shard of remote customers over the
+// shared bridged bus by targeted send.
+func serve(addr string, customers, shards int, timeout time.Duration, ready chan<- string) error {
 	inner, err := bus.NewInProc(bus.Config{})
 	if err != nil {
 		return err
@@ -104,21 +118,58 @@ func serve(addr string, customers int, timeout time.Duration, ready chan<- strin
 		loads[n] = protocol.CustomerLoad{Predicted: 13.5, Allowed: 13.5}
 		totalPredicted += 13.5
 	}
+
+	const session = "gridd"
+	// The UA's round timeout; concentrators must answer upward well inside
+	// it, so their own shard timeout is half of it.
+	const roundTimeout = 5 * time.Second
+	params := core.PaperParams()
+	uaBus := bus.Bus(inner)
+	uaLoads := loads
+	var parent *bus.InProc
+	if shards > 1 {
+		// Root tier: the UA talks to concentrators on a private bus; the
+		// concentrators reach their remote shards over the bridged bus.
+		var err error
+		parent, err = bus.NewInProc(bus.Config{})
+		if err != nil {
+			return err
+		}
+		defer parent.Close()
+		topo, err := cluster.NewTopology(loads, shards)
+		if err != nil {
+			return err
+		}
+		tier, err := cluster.StartTier(parent, func(int) bus.Bus { return inner }, topo, cluster.TierConfig{
+			SessionID:    session,
+			RoundTimeout: roundTimeout / 2,
+			InboxSize:    4 * customers,
+		})
+		if err != nil {
+			return err
+		}
+		defer tier.Stop()
+		params = cluster.RootParams(params)
+		uaBus = parent
+		uaLoads = topo.AggregateLoads()
+		fmt.Printf("gridd: fronting the fleet with %d concentrators\n", topo.Shards())
+	}
+
 	ua, err := utilityagent.New(utilityagent.Config{
-		SessionID: "gridd",
+		SessionID: session,
 		Window:    windowNow(),
 		// Capacity set for the paper's 35% initial overuse.
 		NormalUse:    totalPredicted.Scale(1 / 1.35),
-		Loads:        loads,
+		Loads:        uaLoads,
 		Method:       utilityagent.MethodRewardTable,
-		Params:       core.PaperParams(),
+		Params:       params,
 		InitialSlope: 42.5,
-		RoundTimeout: 5 * time.Second,
+		RoundTimeout: roundTimeout,
 	})
 	if err != nil {
 		return err
 	}
-	rt, err := agentrt.Start("ua", inner, ua, 4*customers)
+	rt, err := agentrt.Start("ua", uaBus, ua, 4*customers)
 	if err != nil {
 		return err
 	}
@@ -130,7 +181,17 @@ func serve(addr string, customers int, timeout time.Duration, ready chan<- strin
 		// the session-end broadcast before the deferred teardown cuts the
 		// TCP connections.
 		time.Sleep(300 * time.Millisecond)
-		full := &core.Result{Result: res, Bus: inner.Stats()}
+		stats := inner.Stats()
+		if parent != nil {
+			// Count both tiers, so flat and sharded runs compare fairly.
+			p := parent.Stats()
+			stats.Sent += p.Sent
+			stats.Delivered += p.Delivered
+			stats.Dropped += p.Dropped
+			stats.Rejected += p.Rejected
+			fmt.Printf("note: awards below are per-concentrator aggregates; each customer's own award was delivered to its process\n")
+		}
+		full := &core.Result{Result: res, Bus: stats}
 		fmt.Print(sim.RenderResult(full))
 		return nil
 	case <-time.After(timeout):
@@ -187,16 +248,7 @@ func runClient(addr, name string, seed int64) error {
 // clientPreferences derives a deterministic preference table from the seed:
 // the paper customer's table scaled by a seed-dependent factor in [0.8, 1.6].
 func clientPreferences(seed int64) (customeragent.Preferences, error) {
-	factor := 0.8 + float64(seed%9)/10
-	levels := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
-	required := map[float64]float64{
-		0: 0, 0.1: 4 * factor, 0.2: 8 * factor, 0.3: 13 * factor, 0.4: 21 * factor,
-	}
-	p, err := customeragent.NewPreferences(levels, required)
-	if err != nil {
-		return customeragent.Preferences{}, err
-	}
-	return p.WithExpectedUse(13.5), nil
+	return core.ScaledPaperPreferences(0.8 + float64(seed%9)/10)
 }
 
 // windowNow returns a 2-hour negotiation window starting one hour from now.

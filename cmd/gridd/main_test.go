@@ -67,7 +67,7 @@ func TestServerClientEndToEnd(t *testing.T) {
 	ready := make(chan string, 1)
 	serverErr := make(chan error, 1)
 	go func() {
-		serverErr <- serve("127.0.0.1:0", 3, 30*time.Second, ready)
+		serverErr <- serve("127.0.0.1:0", 3, 1, 30*time.Second, ready)
 	}()
 	var addr string
 	select {
@@ -98,5 +98,55 @@ func TestServerClientEndToEnd(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("server never finished")
+	}
+}
+
+// TestShardedServerEndToEnd runs the daemon with -shards 2 and four TCP
+// clients: the fleet negotiates through concentrators and every client must
+// still see its session end.
+func TestShardedServerEndToEnd(t *testing.T) {
+	ready := make(chan string, 1)
+	serverErr := make(chan error, 1)
+	go func() {
+		serverErr <- serve("127.0.0.1:0", 4, 2, 30*time.Second, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	names := []string{"c01", "c02", "c03", "c04"}
+	var wg sync.WaitGroup
+	clientErrs := make([]error, len(names))
+	for i := range names {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			clientErrs[i] = runClient(addr, names[i], int64(i+1))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range clientErrs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	select {
+	case err := <-serverErr:
+		if err != nil {
+			t.Fatalf("server: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never finished")
+	}
+}
+
+// TestShardsFlagValidation rejects nonsensical shard counts.
+func TestShardsFlagValidation(t *testing.T) {
+	err := run([]string{"-serve", ":0", "-shards", "0"})
+	if err == nil || !strings.Contains(err.Error(), "-shards") {
+		t.Fatalf("error = %v, want -shards validation", err)
 	}
 }

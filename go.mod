@@ -1,0 +1,3 @@
+module loadbalance
+
+go 1.22

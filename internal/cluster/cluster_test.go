@@ -1,0 +1,273 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"loadbalance/internal/core"
+	"loadbalance/internal/protocol"
+	"loadbalance/internal/utilityagent"
+)
+
+// paperScenario fetches the seeded Figures 6-9 scenario.
+func paperScenario(t *testing.T) core.Scenario {
+	t.Helper()
+	s, err := core.PaperScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestFlatVsShardedEquivalence is the acceptance gate: the seeded paper
+// scenario negotiated flat and through 2-level concentrator trees of several
+// widths reaches the same terminal outcome in the same number of rounds, with
+// the aggregate predicted overuse matching within float tolerance.
+func TestFlatVsShardedEquivalence(t *testing.T) {
+	flat, err := core.Run(paperScenario(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 3, 5} {
+		res, err := Run(Config{Scenario: paperScenario(t), Shards: shards})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		for _, e := range res.AgentErrors {
+			t.Errorf("shards=%d: agent error: %v", shards, e)
+		}
+		if res.Outcome != flat.Outcome {
+			t.Fatalf("shards=%d: outcome %q, flat %q", shards, res.Outcome, flat.Outcome)
+		}
+		if res.Rounds != flat.Rounds {
+			t.Fatalf("shards=%d: rounds %d, flat %d", shards, res.Rounds, flat.Rounds)
+		}
+		if d := math.Abs(res.FinalOveruseKWh - flat.FinalOveruseKWh); d > 1e-6 {
+			t.Fatalf("shards=%d: final overuse %v, flat %v (Δ %v)", shards, res.FinalOveruseKWh, flat.FinalOveruseKWh, d)
+		}
+		if d := math.Abs(res.InitialOveruseKWh - flat.InitialOveruseKWh); d > 1e-6 {
+			t.Fatalf("shards=%d: initial overuse %v, flat %v", shards, res.InitialOveruseKWh, flat.InitialOveruseKWh)
+		}
+		// Every customer's final commitment must match its flat bid: the
+		// concentrators forward the identical tables, so the identical
+		// deciders make the identical choices.
+		for name, bid := range flat.FinalBids {
+			if got := res.FinalBids[name]; got != bid {
+				t.Fatalf("shards=%d: %s final bid %v, flat %v", shards, name, got, bid)
+			}
+		}
+		// The root sees K concentrators, so its announcements fan out K
+		// envelopes per round instead of N.
+		if shards < len(paperScenario(t).Customers) && res.ParentBus.Sent >= flat.Bus.Sent {
+			t.Fatalf("shards=%d: parent traffic %d not below flat %d", shards, res.ParentBus.Sent, flat.Bus.Sent)
+		}
+	}
+}
+
+// TestShardedAwardsMatchFlat checks the concentrators pay members exactly
+// what the flat Utility Agent would have paid them.
+func TestShardedAwardsMatchFlat(t *testing.T) {
+	flat, err := core.Run(paperScenario(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatRewards := make(map[string]float64, len(flat.Awards))
+	for _, aw := range flat.Awards {
+		flatRewards[aw.Customer] = aw.Award.Reward
+	}
+	res, err := Run(Config{Scenario: paperScenario(t), Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FinalBids) != len(flatRewards) {
+		t.Fatalf("customers = %d, want %d", len(res.FinalBids), len(flatRewards))
+	}
+	// Member awards are delivered to the customer agents; FinalBids carries
+	// the commitments the rewards were computed from.
+	for name, bid := range res.FinalBids {
+		if bid != flat.FinalBids[name] {
+			t.Fatalf("%s: bid %v, flat %v", name, bid, flat.FinalBids[name])
+		}
+	}
+}
+
+// TestEmptyShard runs more shards than customers: the surplus concentrators
+// front empty shards and must answer 0 upward without stalling the session.
+func TestEmptyShard(t *testing.T) {
+	s := paperScenario(t)
+	s.Customers = s.Customers[:3]
+	s.NormalUse = 30 // keep the paper's ≈35% overuse for the 3×13.5 kWh fleet
+	res, err := Run(Config{Scenario: s, Shards: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 5 {
+		t.Fatalf("shards = %d", res.Shards)
+	}
+	if res.Outcome == "" || res.Rounds == 0 {
+		t.Fatalf("no negotiation ran: %+v", res.Result)
+	}
+}
+
+// TestSingleCustomerShards runs one customer per shard: the effective
+// cut-down of a singleton shard reproduces (or dominates, when the cap does
+// not bind) the member's own bid, and the outcome still matches flat.
+func TestSingleCustomerShards(t *testing.T) {
+	flat, err := core.Run(paperScenario(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := paperScenario(t)
+	res, err := Run(Config{Scenario: s, Shards: len(s.Customers)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != flat.Outcome || res.Rounds != flat.Rounds {
+		t.Fatalf("outcome %q in %d rounds, flat %q in %d", res.Outcome, res.Rounds, flat.Outcome, flat.Rounds)
+	}
+	if d := math.Abs(res.FinalOveruseKWh - flat.FinalOveruseKWh); d > 1e-6 {
+		t.Fatalf("final overuse %v, flat %v", res.FinalOveruseKWh, flat.FinalOveruseKWh)
+	}
+}
+
+// TestLossyShards injects message loss on the shard buses: the concentrators'
+// round timeouts implement the "acceptable number of bids" rule, so the
+// negotiation must still terminate with a terminal outcome.
+func TestLossyShards(t *testing.T) {
+	s := paperScenario(t)
+	s.DropRate = 0.15
+	s.Seed = 7
+	s.RoundTimeout = 50 * time.Millisecond
+	s.Timeout = 60 * time.Second
+	res, err := Run(Config{
+		Scenario:          s,
+		Shards:            3,
+		ShardRoundTimeout: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch res.Outcome {
+	case protocol.OutcomeConverged.String(), protocol.OutcomeCeiling.String(), protocol.OutcomeMaxRounds.String():
+	default:
+		t.Fatalf("non-terminal outcome %q", res.Outcome)
+	}
+	dropped := 0
+	for _, b := range res.ShardBuses {
+		dropped += b.Dropped
+	}
+	if dropped == 0 {
+		t.Fatal("expected injected loss on the shard buses")
+	}
+}
+
+// TestSilentMembers puts silent customers in the shards and leaves
+// ShardRoundTimeout at its default (half the root's RoundTimeout): the shard
+// timeouts must fire inside the root's round window, so the live members'
+// bids still count toward the root's balance prediction.
+func TestSilentMembers(t *testing.T) {
+	s := paperScenario(t)
+	s.Customers[0].Silent = true
+	s.Customers[5].Silent = true
+	s.RoundTimeout = 100 * time.Millisecond
+	s.Timeout = 60 * time.Second
+	res, err := Run(Config{Scenario: s, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds == 0 {
+		t.Fatal("negotiation never ran")
+	}
+	if _, ok := res.FinalBids[s.Customers[0].Name]; ok {
+		t.Fatal("silent customer should have no recorded bid")
+	}
+	// The eight live customers concede; if the shards' forced answers were
+	// arriving after the root closed its rounds, no bid would ever land and
+	// the overuse would stay at its initial 35 kWh.
+	if res.FinalOveruseKWh >= res.InitialOveruseKWh {
+		t.Fatalf("live members' bids never reached the root: overuse %v → %v",
+			res.InitialOveruseKWh, res.FinalOveruseKWh)
+	}
+}
+
+// TestTopologyPartitions checks determinism, balance and aggregate sums.
+func TestTopologyPartitions(t *testing.T) {
+	loads := map[string]protocol.CustomerLoad{
+		"a": {Predicted: 10, Allowed: 12},
+		"b": {Predicted: 20, Allowed: 22},
+		"c": {Predicted: 30, Allowed: 32},
+		"d": {Predicted: 40, Allowed: 42},
+		"e": {Predicted: 50, Allowed: 52},
+	}
+	topo, err := NewTopology(loads, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.Members(0); len(got) != 3 || got[0] != "a" {
+		t.Fatalf("shard 0 = %v", got)
+	}
+	if got := topo.Members(1); len(got) != 2 || got[0] != "d" {
+		t.Fatalf("shard 1 = %v", got)
+	}
+	agg := topo.AggregateLoads()
+	if len(agg) != 2 {
+		t.Fatalf("aggregates = %v", agg)
+	}
+	var pred float64
+	for _, l := range agg {
+		pred += l.Predicted.KWhs()
+	}
+	if pred != 150 {
+		t.Fatalf("aggregate predicted = %v", pred)
+	}
+	if _, err := NewTopology(loads, 0); err == nil {
+		t.Fatal("zero shards should fail")
+	}
+}
+
+// TestConcentratorConfigValidation covers the constructor's rejections.
+func TestConcentratorConfigValidation(t *testing.T) {
+	valid := ConcentratorConfig{Name: "cc", SessionID: "s"}
+	if _, err := NewConcentrator(valid); err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []ConcentratorConfig{
+		{SessionID: "s"},
+		{Name: "cc"},
+		{Name: "cc", SessionID: "s", MinResponses: 1},
+		{Name: "cc", SessionID: "s", Members: map[string]protocol.CustomerLoad{"cc": {}}},
+	} {
+		if _, err := NewConcentrator(cfg); err == nil {
+			t.Fatalf("config %+v should fail", cfg)
+		}
+	}
+}
+
+// TestRunRejectsNonRewardTableMethods documents the cluster's scope.
+func TestRunRejectsNonRewardTableMethods(t *testing.T) {
+	s := paperScenario(t)
+	s.Method = utilityagent.MethodOffer
+	if _, err := Run(Config{Scenario: s, Shards: 2}); err == nil {
+		t.Fatal("offer method through a cluster should fail")
+	}
+}
+
+// TestShardQuorum checks the proportional scaling rounds up.
+func TestShardQuorum(t *testing.T) {
+	tests := []struct {
+		fleetMin, fleetSize, shardSize, want int
+	}{
+		{0, 10, 5, 0},
+		{10, 10, 5, 5},
+		{5, 10, 4, 2},
+		{1, 10, 3, 1},
+		{9, 10, 1, 1},
+		{3, 9, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := shardQuorum(tt.fleetMin, tt.fleetSize, tt.shardSize); got != tt.want {
+			t.Fatalf("shardQuorum(%d,%d,%d) = %d, want %d", tt.fleetMin, tt.fleetSize, tt.shardSize, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,411 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"loadbalance/internal/agent"
+	"loadbalance/internal/bus"
+	"loadbalance/internal/message"
+	"loadbalance/internal/protocol"
+)
+
+// ConcentratorConfig parameterises one Concentrator Agent.
+type ConcentratorConfig struct {
+	// Name is the concentrator's bus name on both tiers.
+	Name string
+	// SessionID identifies the negotiation the concentrator relays.
+	SessionID string
+	// Members models the shard's customers the way a Utility Agent would
+	// (predicted and allowed use per name). May be empty.
+	Members map[string]protocol.CustomerLoad
+	// MinResponses is the shard's "acceptable number of bids" before the
+	// concentrator answers upward without waiting for stragglers; 0 means
+	// all members.
+	MinResponses int
+	// RoundTimeout answers upward even without quorum, so lossy or silent
+	// shards cannot stall the root session; 0 disables the timeout.
+	RoundTimeout time.Duration
+}
+
+// Concentrator fronts one shard of Customer Agents in a hierarchical
+// negotiation. Downward it plays the Utility Agent's role — it fans announced
+// reward tables out to its members, collects their cut-down bids and
+// distributes their awards. Upward it plays a Customer Agent's role — it
+// answers each announcement with a single aggregated bid: the effective
+// cut-down at which the shard's capped predicted use equals
+// (1−bid)·allowed_use. Because predicted use, savable load and allowance are
+// additive across customers, the root session's balance prediction over K
+// concentrators equals the flat prediction over all N customers, preserving
+// the paper's convergence conditions (1) and (2) end to end.
+//
+// Two runtimes host a concentrator (one per bus tier), so its state is
+// mutex-guarded: the upward-facing runtime handles root traffic, the
+// downward-facing one handles member bids, and shard round timeouts fire on
+// timer goroutines.
+type Concentrator struct {
+	cfg     ConcentratorConfig
+	members []string // sorted member names; immutable after construction
+
+	mu       sync.Mutex
+	upRT     *agent.Runtime // registered on the parent (root) bus
+	downRT   *agent.Runtime // registered on the shard's bus
+	upstream string         // root agent name, learned from the announcement
+
+	table     protocol.Table // last announced table (for award lookups)
+	round     int            // current root round being relayed
+	replied   bool           // upward bid already sent for this round
+	heard     map[string]bool
+	lastBids  map[string]float64
+	responded map[string]bool
+	lastUp    float64 // last upward bid (monotonic floor)
+	ended     bool
+	awarded   bool
+}
+
+// NewConcentrator validates the configuration and constructs the agent.
+func NewConcentrator(cfg ConcentratorConfig) (*Concentrator, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("%w: empty concentrator name", ErrBadConfig)
+	}
+	if cfg.SessionID == "" {
+		return nil, fmt.Errorf("%w: empty session id", ErrBadConfig)
+	}
+	if cfg.MinResponses < 0 || cfg.MinResponses > len(cfg.Members) {
+		return nil, fmt.Errorf("%w: min responses %d for %d members", ErrBadConfig, cfg.MinResponses, len(cfg.Members))
+	}
+	members := make([]string, 0, len(cfg.Members))
+	for n := range cfg.Members {
+		if n == cfg.Name {
+			return nil, fmt.Errorf("%w: member %q shadows the concentrator", ErrBadConfig, n)
+		}
+		members = append(members, n)
+	}
+	sort.Strings(members) // deterministic fan-out order, sorted once
+	return &Concentrator{
+		cfg:       cfg,
+		members:   members,
+		heard:     make(map[string]bool),
+		lastBids:  make(map[string]float64),
+		responded: make(map[string]bool),
+	}, nil
+}
+
+// Start registers the concentrator on both tiers: parent is the bus the root
+// Utility Agent announces on, shard is the bus its members answer on. The
+// two must be distinct buses (each registers the concentrator under its
+// name), but several concentrators may share one downward bus — the TCP
+// deployment bridges every remote customer onto a single bus — so member
+// fan-out is always by targeted send, never broadcast.
+func (c *Concentrator) Start(parent, shard bus.Bus, inboxSize int) error {
+	up, err := agent.Start(c.cfg.Name, parent, upSide{c}, inboxSize)
+	if err != nil {
+		return err
+	}
+	down, err := agent.Start(c.cfg.Name, shard, downSide{c}, inboxSize)
+	if err != nil {
+		up.Stop()
+		return err
+	}
+	// Both handles are stored before Start returns; callers start the root
+	// Utility Agent only afterwards, so no announcement can race them.
+	c.mu.Lock()
+	c.upRT, c.downRT = up, down
+	c.mu.Unlock()
+	return nil
+}
+
+// Stop tears down both runtimes.
+func (c *Concentrator) Stop() {
+	c.mu.Lock()
+	up, down := c.upRT, c.downRT
+	c.mu.Unlock()
+	if up != nil {
+		up.Stop()
+	}
+	if down != nil {
+		down.Stop()
+	}
+}
+
+// Errors returns handler errors from both runtimes.
+func (c *Concentrator) Errors() []error {
+	c.mu.Lock()
+	up, down := c.upRT, c.downRT
+	c.mu.Unlock()
+	var out []error
+	if up != nil {
+		out = append(out, up.Errors()...)
+	}
+	if down != nil {
+		out = append(out, down.Errors()...)
+	}
+	return out
+}
+
+// Done reports whether the concentrator has seen the session end and, when an
+// aggregate award was due, distributed the member awards.
+func (c *Concentrator) Done() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ended
+}
+
+// MemberBids returns each member's current cut-down commitment.
+func (c *Concentrator) MemberBids() map[string]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]float64, len(c.lastBids))
+	for n, b := range c.lastBids {
+		out[n] = b
+	}
+	return out
+}
+
+// RespondedMembers returns the members that have bid at least once, in no
+// particular order. The engine's teardown drain polls this every
+// millisecond, so it stays a plain snapshot — no sorting under the mutex.
+func (c *Concentrator) RespondedMembers() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.responded))
+	for n := range c.responded {
+		out = append(out, n)
+	}
+	return out
+}
+
+// upSide is the root-facing half: it receives announcements, awards and the
+// session end from the parent tier.
+type upSide struct{ c *Concentrator }
+
+func (h upSide) OnStart(rt *agent.Runtime) error { return nil }
+
+func (h upSide) OnMessage(rt *agent.Runtime, env message.Envelope) error {
+	c := h.c
+	if env.Session != c.cfg.SessionID {
+		return nil
+	}
+	p, err := env.Decode()
+	if err != nil {
+		return err
+	}
+	switch m := p.(type) {
+	case message.RewardTable:
+		return c.relayAnnouncement(env.From, m)
+	case message.Award:
+		return c.distributeAwards(m)
+	case message.SessionEnd:
+		return c.forwardSessionEnd(m)
+	default:
+		return nil
+	}
+}
+
+// downSide is the shard-facing half: it receives member bids.
+type downSide struct{ c *Concentrator }
+
+func (h downSide) OnStart(rt *agent.Runtime) error { return nil }
+
+func (h downSide) OnMessage(rt *agent.Runtime, env message.Envelope) error {
+	c := h.c
+	if env.Session != c.cfg.SessionID {
+		return nil
+	}
+	p, err := env.Decode()
+	if err != nil {
+		return err
+	}
+	bid, ok := p.(message.CutDownBid)
+	if !ok {
+		return nil
+	}
+	return c.recordMemberBid(env.From, bid)
+}
+
+// relayAnnouncement opens a new shard round: it notes the table, fans it out
+// to every member and arms the shard timeout. An empty shard answers upward
+// immediately.
+func (c *Concentrator) relayAnnouncement(from string, m message.RewardTable) error {
+	c.mu.Lock()
+	if c.ended {
+		c.mu.Unlock()
+		return nil
+	}
+	c.upstream = from
+	c.table = protocol.TableFromMessage(m)
+	c.round = m.Round
+	c.replied = false
+	c.heard = make(map[string]bool, len(c.cfg.Members))
+	down := c.downRT
+	c.mu.Unlock()
+	members := c.members
+
+	for _, n := range members {
+		// A failed targeted send (member gone, inbox full) is equivalent to
+		// a lost announcement: the quorum/timeout rules absorb it.
+		_ = down.Send(n, c.cfg.SessionID, m)
+	}
+	if c.cfg.RoundTimeout > 0 {
+		round := m.Round
+		time.AfterFunc(c.cfg.RoundTimeout, func() {
+			_ = c.closeShardRound(round)
+		})
+	}
+	return c.maybeReplyUpward(m.Round, false)
+}
+
+// recordMemberBid merges one member's bid for the current round and answers
+// upward once the acceptable number of bids is in.
+func (c *Concentrator) recordMemberBid(from string, bid message.CutDownBid) error {
+	c.mu.Lock()
+	if c.ended {
+		c.mu.Unlock()
+		return nil
+	}
+	if _, ok := c.cfg.Members[from]; !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: bid from %q outside shard", protocol.ErrUnknownCustomer, from)
+	}
+	if bid.Round != c.round || c.replied {
+		// Stale bid, or a straggler arriving after the aggregate went
+		// upward: the member's last commitment stands, exactly as the flat
+		// Utility Agent discards bids for a closed round. Folding it in
+		// here would pay the member for a cut-down the root never counted.
+		c.mu.Unlock()
+		return nil
+	}
+	// Monotonic concession: a member may stand still or step forward, never
+	// regress. A regressing bid keeps the previous commitment.
+	if bid.CutDown > c.lastBids[from] {
+		c.lastBids[from] = bid.CutDown
+	}
+	c.heard[from] = true
+	c.responded[from] = true
+	round := c.round
+	c.mu.Unlock()
+	return c.maybeReplyUpward(round, false)
+}
+
+// closeShardRound is the timeout path: answer upward with whatever bids are
+// in (the "acceptable number of bids" rule of Section 3.2.2).
+func (c *Concentrator) closeShardRound(round int) error {
+	return c.maybeReplyUpward(round, true)
+}
+
+// maybeReplyUpward sends the aggregated bid for the round when quorum is
+// reached (or force is set) and it has not been sent yet.
+func (c *Concentrator) maybeReplyUpward(round int, force bool) error {
+	c.mu.Lock()
+	if c.ended || c.replied || round != c.round {
+		c.mu.Unlock()
+		return nil
+	}
+	need := c.cfg.MinResponses
+	if need <= 0 {
+		need = len(c.cfg.Members)
+	}
+	if !force && len(c.heard) < need {
+		c.mu.Unlock()
+		return nil
+	}
+	cut := c.effectiveCutDownLocked()
+	if cut < c.lastUp {
+		cut = c.lastUp // float guard: the aggregate never regresses
+	}
+	c.lastUp = cut
+	c.replied = true
+	up, upstream := c.upRT, c.upstream
+	c.mu.Unlock()
+	return up.Send(upstream, c.cfg.SessionID, message.CutDownBid{Round: round, CutDown: cut})
+}
+
+// effectiveCutDownLocked computes the shard's aggregated bid: the cut-down x
+// at which (1−x)·allowed_use equals the shard's capped predicted use under
+// the members' current commitments. The root's use_with_cutdown then
+// reproduces the shard's true aggregate use exactly, so hierarchical and flat
+// balance predictions coincide.
+func (c *Concentrator) effectiveCutDownLocked() float64 {
+	var use, allowed float64
+	for name, l := range c.cfg.Members {
+		l.CutDown = c.lastBids[name]
+		use += protocol.UseWithCutDown(l).KWhs()
+		allowed += l.Allowed.KWhs()
+	}
+	if allowed <= 0 {
+		return 0
+	}
+	x := 1 - use/allowed
+	if x < 0 {
+		x = 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	return x
+}
+
+// distributeAwards converts the root's aggregate award into per-member
+// awards: each member that ever responded is paid the final table's reward at
+// its own committed cut-down, exactly as the flat Utility Agent would.
+func (c *Concentrator) distributeAwards(m message.Award) error {
+	c.mu.Lock()
+	if c.awarded {
+		c.mu.Unlock()
+		return nil
+	}
+	c.awarded = true
+	table := c.table
+	down := c.downRT
+	type memberAward struct {
+		name  string
+		award message.Award
+	}
+	awards := make([]memberAward, 0, len(c.responded))
+	for _, n := range c.members {
+		if !c.responded[n] {
+			continue
+		}
+		cut := c.lastBids[n]
+		reward, ok := table.RewardFor(cut)
+		if !ok {
+			reward = table.InterpolatedReward(cut)
+		}
+		awards = append(awards, memberAward{n, message.Award{Round: m.Round, CutDown: cut, Reward: reward}})
+	}
+	c.mu.Unlock()
+
+	var firstErr error
+	for _, a := range awards {
+		if err := down.Send(a.name, c.cfg.SessionID, a.award); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// forwardSessionEnd relays the termination downward and closes the shard.
+func (c *Concentrator) forwardSessionEnd(m message.SessionEnd) error {
+	c.mu.Lock()
+	if c.ended {
+		c.mu.Unlock()
+		return nil
+	}
+	c.ended = true
+	down := c.downRT
+	c.mu.Unlock()
+	var firstErr error
+	for _, n := range c.members {
+		if err := down.Send(n, c.cfg.SessionID, m); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+var (
+	_ agent.Handler = upSide{}
+	_ agent.Handler = downSide{}
+)

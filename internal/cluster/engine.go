@@ -1,0 +1,286 @@
+// Package cluster scales the paper's single Utility-Agent ↔ N Customer-Agent
+// negotiation to large fleets by interposing an aggregation tier: a
+// hierarchical negotiation tree in which each Concentrator Agent fronts a
+// shard of Customer Agents. The root Utility Agent announces reward tables to
+// K concentrators instead of N customers; each concentrator fans the
+// announcement out to its shard, collects the shard's bids concurrently on
+// its own bus, and answers upward with one aggregated bid. Per-round work at
+// the root drops from O(N) to O(K), shards negotiate in parallel, and —
+// because predicted use, savable load and allowance are additive across
+// customers — the root's balance prediction, reward-table updates and the
+// paper's convergence conditions (1) and (2) are preserved exactly.
+//
+// The aggregated bid is continuous (a capacity-weighted effective cut-down),
+// so the root session runs with protocol.Params.ContinuousBids: bids may land
+// between grid levels and rewards interpolate linearly. Customers themselves
+// still bid grid levels against the very same tables they would see flat, so
+// a seeded scenario negotiated flat and negotiated through the tree reaches
+// the same terminal outcome with the same aggregate predicted overuse (up to
+// floating-point rounding).
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	agentrt "loadbalance/internal/agent"
+	"loadbalance/internal/bus"
+	"loadbalance/internal/core"
+	"loadbalance/internal/customeragent"
+	"loadbalance/internal/utilityagent"
+)
+
+// Config parameterises a hierarchical negotiation run.
+type Config struct {
+	// Scenario is the flat scenario to negotiate through the tree. Only the
+	// reward-table method is supported (the prototype's method; the offer
+	// and request-for-bids methods have no additive aggregate).
+	Scenario core.Scenario
+	// Shards is the number of concentrators (default 4).
+	Shards int
+	// ShardRoundTimeout closes a shard round without full quorum; it must
+	// be comfortably shorter than the scenario's RoundTimeout so a forced
+	// shard answer still reaches the root inside the root's round window
+	// (defaults to half the scenario's RoundTimeout). Required, like the
+	// flat engine's, whenever the scenario is lossy or has silent
+	// customers.
+	ShardRoundTimeout time.Duration
+}
+
+// Result is the outcome of one hierarchical negotiation run.
+type Result struct {
+	utilityagent.Result
+	// Shards is the concentrator count used.
+	Shards int
+	// ParentBus holds the root-tier transport counters.
+	ParentBus bus.Stats
+	// ShardBuses holds each shard bus's counters.
+	ShardBuses []bus.Stats
+	// FinalBids maps each non-silent customer to its last cut-down bid.
+	FinalBids map[string]float64
+	// Elapsed is the wall time of the run.
+	Elapsed time.Duration
+	// AgentErrors collects handler errors from every runtime.
+	AgentErrors []error
+}
+
+// Messages sums the traffic across both tiers.
+func (r *Result) Messages() int {
+	total := r.ParentBus.Sent
+	for _, s := range r.ShardBuses {
+		total += s.Sent
+	}
+	return total
+}
+
+// Run executes a scenario through a 2-level concentrator tree: a root bus
+// carrying the Utility Agent and K concentrators, and K independent
+// in-process shard buses each carrying one concentrator and its customers.
+func Run(cfg Config) (*Result, error) {
+	s := cfg.Scenario
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if s.Method != utilityagent.MethodRewardTable {
+		return nil, fmt.Errorf("%w: cluster negotiation requires the reward-table method, got %v", ErrBadConfig, s.Method)
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("%w: shard count %d", ErrBadConfig, cfg.Shards)
+	}
+	if cfg.ShardRoundTimeout <= 0 {
+		cfg.ShardRoundTimeout = s.RoundTimeout / 2
+	}
+	timeout := s.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+
+	topo, err := NewTopology(s.Loads(), cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	specs := make(map[string]core.CustomerSpec, len(s.Customers))
+	for _, spec := range s.Customers {
+		specs[spec.Name] = spec
+	}
+
+	// The root tier is lossless: concentrator links model the utility's own
+	// backbone, while the scenario's DropRate injects loss on the customer
+	// links, one seeded stream per shard.
+	parent, err := bus.NewInProc(bus.Config{})
+	if err != nil {
+		return nil, err
+	}
+	defer parent.Close()
+
+	start := time.Now()
+
+	var runtimes []*agentrt.Runtime
+	var tier *Tier
+	var shardBuses []*bus.InProc
+	defer func() {
+		if tier != nil {
+			tier.Stop()
+		}
+		for _, rt := range runtimes {
+			rt.Stop()
+		}
+		for _, b := range shardBuses {
+			b.Close()
+		}
+	}()
+
+	maxShardSize := 0
+	cas := make(map[string]*customeragent.Agent, len(s.Customers))
+	for i := 0; i < topo.Shards(); i++ {
+		members := topo.Members(i)
+		if len(members) > maxShardSize {
+			maxShardSize = len(members)
+		}
+		shardBus, err := bus.NewInProc(bus.Config{DropRate: s.DropRate, Seed: s.Seed + int64(i) + 1})
+		if err != nil {
+			return nil, err
+		}
+		shardBuses = append(shardBuses, shardBus)
+
+		for _, name := range members {
+			spec := specs[name]
+			var handler agentrt.Handler
+			if spec.Silent {
+				handler = agentrt.HandlerFuncs{}
+			} else {
+				ca, err := customeragent.New(spec.Name, spec.Prefs, spec.Strategy)
+				if err != nil {
+					return nil, fmt.Errorf("cluster: customer %q: %w", spec.Name, err)
+				}
+				cas[spec.Name] = ca
+				handler = ca
+			}
+			rt, err := agentrt.Start(spec.Name, shardBus, handler, 64)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: start %q: %w", spec.Name, err)
+			}
+			runtimes = append(runtimes, rt)
+		}
+	}
+
+	tier, err = StartTier(parent, func(i int) bus.Bus { return shardBuses[i] }, topo, TierConfig{
+		SessionID:         s.SessionID,
+		FleetMinResponses: s.Params.MinResponses,
+		RoundTimeout:      cfg.ShardRoundTimeout,
+		InboxSize:         4 * max(maxShardSize, 16),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// The root negotiates with the K concentrators over aggregated loads.
+	ua, err := utilityagent.New(utilityagent.Config{
+		Name:         "ua",
+		SessionID:    s.SessionID,
+		Window:       s.Window,
+		NormalUse:    s.NormalUse,
+		Loads:        topo.AggregateLoads(),
+		Method:       utilityagent.MethodRewardTable,
+		Params:       RootParams(s.Params),
+		LeadTime:     s.LeadTime,
+		InitialSlope: s.InitialSlope,
+		RoundTimeout: s.RoundTimeout,
+		WarrantRatio: s.Params.AllowedOveruseRatio,
+	})
+	if err != nil {
+		return nil, err
+	}
+	uaRT, err := agentrt.Start("ua", parent, ua, 4*max(topo.Shards(), 16))
+	if err != nil {
+		return nil, err
+	}
+	runtimes = append(runtimes, uaRT)
+
+	var uaResult utilityagent.Result
+	select {
+	case uaResult = <-ua.Done():
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("%w after %v", ErrTimeout, timeout)
+	}
+
+	// Let awards and session-end relays propagate down the tree before
+	// teardown, so member awards are consistent. A below-warrant prediction
+	// ends without any announcement, so there is nothing to relay.
+	if len(uaResult.History) > 0 {
+		drainDeadline := time.Now().Add(200 * time.Millisecond)
+		for time.Now().Before(drainDeadline) {
+			if allRelayed(tier.Concentrators) && allAwarded(tier.Concentrators, cas, s.SessionID) {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	res := &Result{
+		Result:    uaResult,
+		Shards:    topo.Shards(),
+		ParentBus: parent.Stats(),
+		FinalBids: make(map[string]float64, len(cas)),
+		Elapsed:   time.Since(start),
+	}
+	for name, ca := range cas {
+		res.FinalBids[name] = ca.LastBid(s.SessionID)
+	}
+	for _, b := range shardBuses {
+		res.ShardBuses = append(res.ShardBuses, b.Stats())
+	}
+	for _, rt := range runtimes {
+		res.AgentErrors = append(res.AgentErrors, rt.Errors()...)
+	}
+	res.AgentErrors = append(res.AgentErrors, tier.Errors()...)
+	return res, nil
+}
+
+// allRelayed reports whether every concentrator has forwarded the session
+// end to its shard.
+func allRelayed(ccs []*Concentrator) bool {
+	for _, c := range ccs {
+		if !c.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// allAwarded reports whether every responding member hosted in-process has
+// seen its award. Lossy shard buses may legitimately drop awards, so this
+// only gates the drain loop, never the result.
+func allAwarded(ccs []*Concentrator, cas map[string]*customeragent.Agent, session string) bool {
+	for _, c := range ccs {
+		for _, name := range c.RespondedMembers() {
+			ca, ok := cas[name]
+			if !ok {
+				continue
+			}
+			if _, got := ca.AwardFor(session); !got {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// shardQuorum scales the fleet-level "acceptable number of bids" to one
+// shard, rounding up so shards are never laxer than the flat session.
+func shardQuorum(fleetMin, fleetSize, shardSize int) int {
+	if fleetMin <= 0 || fleetSize <= 0 || shardSize == 0 {
+		return 0
+	}
+	q := (fleetMin*shardSize + fleetSize - 1) / fleetSize
+	if q > shardSize {
+		q = shardSize
+	}
+	if q < 1 {
+		q = 1
+	}
+	return q
+}

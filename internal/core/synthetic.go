@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"loadbalance/internal/customeragent"
+	"loadbalance/internal/units"
+	"loadbalance/internal/utilityagent"
+)
+
+// SyntheticConfig parameterises a scale-test scenario.
+type SyntheticConfig struct {
+	// N is the number of customers.
+	N int
+	// Seed drives the preference randomisation.
+	Seed int64
+	// TargetOveruse sets normal capacity so predicted demand exceeds it by
+	// this ratio; must be positive (0 means the default 0.35, the paper's
+	// situation — a fleet with no peak has nothing to negotiate).
+	TargetOveruse float64
+}
+
+// ScaledPaperPreferences builds the paper customer's private requirement
+// table scaled by factor, with the prototype's 13.5 kWh expected use. This
+// is the one definition of the canonical synthetic customer; the scale-test
+// generator below and cmd/gridd's TCP clients both derive their fleets from
+// it.
+func ScaledPaperPreferences(factor float64) (customeragent.Preferences, error) {
+	prefs, err := customeragent.NewPreferences(paperLevels(), map[float64]float64{
+		0: 0, 0.1: 4 * factor, 0.2: 8 * factor, 0.3: 13 * factor, 0.4: 21 * factor,
+	})
+	if err != nil {
+		return customeragent.Preferences{}, err
+	}
+	return prefs.WithExpectedUse(13.5), nil
+}
+
+// SyntheticScenario builds an N-customer scenario without the household
+// simulator: every customer is a seeded variation of the paper's 13.5 kWh
+// customer (its requirement table scaled by a factor in [0.8, 1.6]). The
+// world-model synthesis behind PopulationScenario costs seconds per thousand
+// households, which would dominate any scale measurement; this generator is
+// O(N) map fills, so experiments and benchmarks at 10k-100k customers
+// measure the negotiation engine, not the workload generator.
+func SyntheticScenario(cfg SyntheticConfig) (Scenario, error) {
+	if cfg.N <= 0 {
+		return Scenario{}, fmt.Errorf("%w: population size %d", ErrBadScenario, cfg.N)
+	}
+	if cfg.TargetOveruse < 0 {
+		return Scenario{}, fmt.Errorf("%w: target overuse %v must be positive", ErrBadScenario, cfg.TargetOveruse)
+	}
+	if cfg.TargetOveruse == 0 {
+		cfg.TargetOveruse = 0.35
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := Scenario{
+		SessionID:    fmt.Sprintf("synth-%d-%d", cfg.N, cfg.Seed),
+		Window:       paperWindow(),
+		Method:       utilityagent.MethodRewardTable,
+		Params:       PaperParams(),
+		InitialSlope: 42.5,
+		Customers:    make([]CustomerSpec, 0, cfg.N),
+	}
+	var total float64
+	for i := 0; i < cfg.N; i++ {
+		prefs, err := ScaledPaperPreferences(0.8 + 0.8*rng.Float64())
+		if err != nil {
+			return Scenario{}, err
+		}
+		s.Customers = append(s.Customers, CustomerSpec{
+			Name:      fmt.Sprintf("c%06d", i),
+			Predicted: 13.5,
+			Allowed:   13.5,
+			Prefs:     prefs,
+			Strategy:  customeragent.StrategyGreedy,
+		})
+		total += 13.5
+	}
+	s.NormalUse = units.Energy(total / (1 + cfg.TargetOveruse))
+	return s, nil
+}

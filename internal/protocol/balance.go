@@ -103,6 +103,13 @@ type Params struct {
 	// AdaptFactor multiplies beta after a stalled round (default 1.5,
 	// compounded, capped at 8× the base beta).
 	AdaptFactor float64
+	// ContinuousBids accepts cut-down bids at any fraction in [0,1] rather
+	// than only at the announced table's levels, with rewards linearly
+	// interpolated between rows. Concentrator Agents in a hierarchical
+	// (sharded) negotiation bid the effective cut-down of a whole shard,
+	// which is a capacity-weighted aggregate and rarely lands on a grid
+	// level; direct customers keep bidding grid levels.
+	ContinuousBids bool
 }
 
 const defaultMaxRounds = 64

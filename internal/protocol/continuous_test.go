@@ -1,0 +1,92 @@
+package protocol
+
+import (
+	"errors"
+	"testing"
+
+	"loadbalance/internal/message"
+	"loadbalance/internal/units"
+)
+
+func TestInterpolatedReward(t *testing.T) {
+	tab, err := StandardTable(42.5) // linear: reward = 42.5 × cut-down
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		cut, want float64
+	}{
+		{0, 0},
+		{0.1, 4.25},           // exact grid level
+		{0.25, 42.5 * 0.25},   // between levels
+		{0.137, 42.5 * 0.137}, // arbitrary fraction
+		{0.95, 42.5 * 0.9},    // above the top level: clamp to last reward
+		{1.0, 42.5 * 0.9},     // ditto
+		{0.05, 42.5 * 0.05},   // below the first positive level
+	}
+	for _, tt := range tests {
+		if got := tab.InterpolatedReward(tt.cut); !units.NearlyEqual(got, tt.want, 1e-9) {
+			t.Fatalf("InterpolatedReward(%v) = %v, want %v", tt.cut, got, tt.want)
+		}
+	}
+	if got := (Table{}).InterpolatedReward(0.4); got != 0 {
+		t.Fatalf("empty table pays %v", got)
+	}
+	// Interpolation between non-linear rows.
+	nl := Table{Entries: []Entry{{CutDown: 0.2, Reward: 10}, {CutDown: 0.4, Reward: 30}}}
+	if got := nl.InterpolatedReward(0.3); !units.NearlyEqual(got, 20, 1e-9) {
+		t.Fatalf("midpoint = %v, want 20", got)
+	}
+	if got := nl.InterpolatedReward(0.1); !units.NearlyEqual(got, 5, 1e-9) {
+		t.Fatalf("below first row = %v, want 5 (ramp from origin)", got)
+	}
+}
+
+// TestContinuousBids covers the concentrator-facing session mode: off-grid
+// bids are accepted, stay monotonic, and are awarded interpolated rewards.
+func TestContinuousBids(t *testing.T) {
+	p := paperParams()
+	p.ContinuousBids = true
+	s := newSession(t, p)
+
+	if err := s.RecordBid("a", message.CutDownBid{Round: 1, CutDown: 0.137}); err != nil {
+		t.Fatalf("off-grid bid rejected: %v", err)
+	}
+	// Monotonic concession still applies to continuous bids.
+	if _, err := s.CloseRound(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordBid("a", message.CutDownBid{Round: 2, CutDown: 0.12}); !errors.Is(err, ErrNonMonotonicBid) {
+		t.Fatalf("regressing bid: err = %v", err)
+	}
+	if err := s.RecordBid("a", message.CutDownBid{Round: 2, CutDown: 0.55}); err != nil {
+		t.Fatal(err)
+	}
+	for s.Round() > 0 && !s.Closed() {
+		if _, err := s.CloseRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	aw, err := s.AwardFor("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aw.CutDown != 0.55 {
+		t.Fatalf("award cut-down = %v", aw.CutDown)
+	}
+	want := s.Table().InterpolatedReward(0.55)
+	if !units.NearlyEqual(aw.Reward, want, 1e-9) {
+		t.Fatalf("award reward = %v, want interpolated %v", aw.Reward, want)
+	}
+	if aw.Reward <= 0 {
+		t.Fatal("interpolated award should be positive")
+	}
+}
+
+// TestDiscreteSessionsStillRejectOffGridBids pins the default behaviour.
+func TestDiscreteSessionsStillRejectOffGridBids(t *testing.T) {
+	s := newSession(t, paperParams())
+	if err := s.RecordBid("a", message.CutDownBid{Round: 1, CutDown: 0.137}); !errors.Is(err, ErrBadTable) {
+		t.Fatalf("off-grid bid on a discrete session: err = %v", err)
+	}
+}

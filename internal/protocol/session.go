@@ -160,8 +160,10 @@ func (s *RTSession) RecordBid(customer string, bid message.CutDownBid) error {
 	if err := bid.Validate(); err != nil {
 		return err
 	}
-	if _, ok := s.table.RewardFor(bid.CutDown); !ok {
-		return fmt.Errorf("%w: cut-down %v not in announced table", ErrBadTable, bid.CutDown)
+	if !s.params.ContinuousBids {
+		if _, ok := s.table.RewardFor(bid.CutDown); !ok {
+			return fmt.Errorf("%w: cut-down %v not in announced table", ErrBadTable, bid.CutDown)
+		}
 	}
 	if bid.CutDown < load.CutDown {
 		return fmt.Errorf("%w: %q bid %v after %v", ErrNonMonotonicBid, customer, bid.CutDown, load.CutDown)
@@ -262,7 +264,11 @@ func (s *RTSession) AwardFor(customer string) (message.Award, error) {
 	}
 	reward, ok := s.table.RewardFor(load.CutDown)
 	if !ok {
-		reward = 0
+		if s.params.ContinuousBids {
+			reward = s.table.InterpolatedReward(load.CutDown)
+		} else {
+			reward = 0
+		}
 	}
 	return message.Award{Round: s.round, CutDown: load.CutDown, Reward: reward}, nil
 }

@@ -117,6 +117,30 @@ func (t Table) Update(overuse float64, p Params) (Table, float64) {
 	return next, maxDelta
 }
 
+// InterpolatedReward returns the reward at an arbitrary cut-down fraction by
+// linear interpolation between the bracketing table rows. Below the first row
+// it interpolates from (0, 0); above the last row the last reward applies
+// (the table promises nothing extra beyond its top level). An empty table
+// pays 0.
+func (t Table) InterpolatedReward(cutDown float64) float64 {
+	if len(t.Entries) == 0 {
+		return 0
+	}
+	prev := Entry{CutDown: 0, Reward: 0}
+	for _, e := range t.Entries {
+		if cutDown <= e.CutDown {
+			span := e.CutDown - prev.CutDown
+			if span <= 0 {
+				return e.Reward
+			}
+			frac := (cutDown - prev.CutDown) / span
+			return prev.Reward + frac*(e.Reward-prev.Reward)
+		}
+		prev = e
+	}
+	return prev.Reward
+}
+
 // DominatesOrEqual reports whether every reward in t is at least the reward
 // at the same level in prev — the monotonic concession invariant between
 // consecutive announcements. Tables with different levels do not compare.

@@ -26,11 +26,19 @@
 //	})
 //	res, _ := loadbalance.Run(s)
 //
+// Large fleets negotiate hierarchically: Concentrator Agents each front a
+// shard of customers and bid their shard's aggregated cut-down upward, so
+// the Utility Agent sees K concentrators instead of N customers:
+//
+//	s, _ := loadbalance.SyntheticScenario(loadbalance.SyntheticConfig{N: 100000, Seed: 1})
+//	res, _ := loadbalance.RunSharded(loadbalance.ClusterConfig{Scenario: s, Shards: 64})
+//
 // Every negotiation trace can be verified against the protocol's formal
 // properties (monotonicity, termination, ceilings) with VerifyTrace.
 package loadbalance
 
 import (
+	"loadbalance/internal/cluster"
 	"loadbalance/internal/core"
 	"loadbalance/internal/customeragent"
 	"loadbalance/internal/protocol"
@@ -104,6 +112,30 @@ func PopulationScenario(cfg PopulationConfig) (Scenario, error) {
 // Run executes a scenario: one goroutine per agent, message passing on an
 // in-process bus, and a full trace in the result.
 func Run(s Scenario) (*Result, error) { return core.Run(s) }
+
+// ClusterConfig parameterises a hierarchical (sharded) negotiation: the flat
+// scenario plus the number of Concentrator Agents fronting it.
+type ClusterConfig = cluster.Config
+
+// ClusterResult is a finished hierarchical negotiation, including per-tier
+// transport statistics.
+type ClusterResult = cluster.Result
+
+// SyntheticConfig parameterises the O(N) scale-test fleet generator.
+type SyntheticConfig = core.SyntheticConfig
+
+// RunSharded executes a scenario through a 2-level concentrator tree: the
+// Utility Agent negotiates with K Concentrator Agents, each fronting a shard
+// of Customer Agents on its own bus. A seeded scenario reaches the same
+// terminal outcome as Run, with per-round root work dropping from O(N) to
+// O(K) and shards running in parallel.
+func RunSharded(cfg ClusterConfig) (*ClusterResult, error) { return cluster.Run(cfg) }
+
+// SyntheticScenario builds an N-customer scale-test fleet (seeded variations
+// of the paper's customer) without the cost of the household simulator.
+func SyntheticScenario(cfg SyntheticConfig) (Scenario, error) {
+	return core.SyntheticScenario(cfg)
+}
 
 // NewPreferences builds a customer preference table from explicit minimum
 // rewards per cut-down level (missing levels are infeasible).

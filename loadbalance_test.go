@@ -70,6 +70,29 @@ func TestPublicAPICustomScenario(t *testing.T) {
 	}
 }
 
+// TestPublicAPISharded drives the hierarchical facade: the same scenario run
+// flat and through concentrators agrees on outcome and overuse.
+func TestPublicAPISharded(t *testing.T) {
+	s, err := loadbalance.SyntheticScenario(loadbalance.SyntheticConfig{N: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := loadbalance.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := loadbalance.RunSharded(loadbalance.ClusterConfig{Scenario: s, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != flat.Outcome {
+		t.Fatalf("outcome %q, flat %q", res.Outcome, flat.Outcome)
+	}
+	if res.Messages() == 0 || res.Shards != 4 {
+		t.Fatalf("bad cluster result: %+v", res)
+	}
+}
+
 // TestPublicAPIPopulation exercises the synthetic-fleet path.
 func TestPublicAPIPopulation(t *testing.T) {
 	s, err := loadbalance.PopulationScenario(loadbalance.PopulationConfig{
