@@ -11,12 +11,14 @@ import (
 	"time"
 
 	"loadbalance"
+	"loadbalance/internal/agent"
 	"loadbalance/internal/bus"
 	"loadbalance/internal/cluster"
 	"loadbalance/internal/core"
 	"loadbalance/internal/message"
 	"loadbalance/internal/protocol"
 	"loadbalance/internal/sim"
+	"loadbalance/internal/telemetry"
 	"loadbalance/internal/utilityagent"
 )
 
@@ -269,4 +271,82 @@ func BenchmarkE13ForecastDriven(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkTelemetryIngest measures the live metering hot path: a fleet of
+// meters publishing batched readings over one in-process bus into the
+// collector agent, per-tick. The reported readings/s metric is the sustained
+// ingest rate through the whole pipeline (sample, envelope-encode, bus
+// delivery, decode, shard aggregation); the live loop needs ≥100k/s to meter
+// a 100k-customer grid at 1-second ticks.
+func BenchmarkTelemetryIngest(b *testing.B) {
+	const fleetSize = 512
+	meters := make([]*telemetry.Meter, 0, fleetSize)
+	shardOf := make(map[string]int, fleetSize)
+	for i := 0; i < fleetSize; i++ {
+		name := fmt.Sprintf("c%06d", i)
+		m, err := telemetry.NewMeter(telemetry.MeterConfig{Customer: name, BaseKWh: 1.5, Jitter: 0.02, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		meters = append(meters, m)
+		shardOf[name] = i % 16
+	}
+	fleet, err := telemetry.NewFleet(meters, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	col, err := telemetry.NewCollector(telemetry.CollectorConfig{ShardOf: shardOf, Shards: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ib, err := bus.NewInProc(bus.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ib.Close()
+	rt, err := agent.Start("collector", ib, col.Handler(), 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Stop()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := fleet.PublishTick(ib, "metering", "collector", "bench", i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := col.WaitTick(i, n, 10*time.Second); err != nil {
+			b.Fatal(err)
+		}
+		col.CloseTick(i)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(fleetSize*b.N)/b.Elapsed().Seconds(), "readings/s")
+}
+
+// BenchmarkLiveDeviationDetect measures the per-tick deviation screen across
+// a sharded fleet — the O(shards) work the live loop does every tick before
+// deciding whether anything re-negotiates.
+func BenchmarkLiveDeviationDetect(b *testing.B) {
+	const shards = 64
+	det, err := telemetry.NewDeviationDetector(shards, telemetry.DeviationConfig{AbsKWh: 0.5, Rel: 0.25})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// One shard drifts periodically; the rest hold their profile.
+		for s := 0; s < shards; s++ {
+			measured := 10.0
+			if s == i%shards && i%3 != 0 {
+				measured = 25
+			}
+			det.Observe(s, measured, 10)
+		}
+	}
+	b.ReportMetric(float64(shards*b.N)/b.Elapsed().Seconds(), "observations/s")
 }

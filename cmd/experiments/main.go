@@ -8,6 +8,7 @@
 //	experiments -exp e5 -n 100  # one experiment
 //	experiments -exp e7 -sizes 10,100,1000
 //	experiments -exp e11c -cluster-sizes 1000,10000,100000 -shards 16,64,256
+//	experiments -exp e14 -n 64 -ticks 20  # live grid with spike injection
 package main
 
 import (
@@ -31,7 +32,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "all", "experiment id: e1..e13, e11c (cluster scale) or all")
+		exp    = fs.String("exp", "all", "experiment id: e1..e14, e11c (cluster scale) or all")
 		out    = fs.String("out", "results", "output directory for CSV files")
 		n      = fs.Int("n", 100, "population size (e1, e5)")
 		seed   = fs.Int64("seed", 1, "random seed")
@@ -40,6 +41,7 @@ func run(args []string) error {
 		runs   = fs.Int("runs", 10, "randomized runs for e8")
 		csizes = fs.String("cluster-sizes", "1000,5000", "fleet sizes for e11c (the full sweep is 1000,10000,100000)")
 		shards = fs.String("shards", "4,16,64", "concentrator counts for e11c")
+		ticks  = fs.Int("ticks", 15, "live ticks for e14")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,6 +99,7 @@ func run(args []string) error {
 		{"e12", func() (*sim.Table, error) { return sim.E12MarketComparison(*n, *seed) }},
 		{"e13", func() (*sim.Table, error) { return sim.E13ForecastDrivenNegotiation(min(*n, 40), *seed) }},
 		{"e11c", func() (*sim.Table, error) { return sim.E11ClusterScale(clusterSizes, shardList, *seed) }},
+		{"e14", func() (*sim.Table, error) { return sim.E14LiveGrid(min(*n, 64), 8, *ticks, *seed) }},
 	}
 
 	ran := 0

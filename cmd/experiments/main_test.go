@@ -41,7 +41,7 @@ func TestRunSmallSweeps(t *testing.T) {
 	dir := t.TempDir()
 	args := []string{"-out", dir, "-n", "8", "-runs", "2",
 		"-sizes", "5,10", "-betas", "1,3"}
-	for _, exp := range []string{"e5", "e6", "e7", "e8", "e12"} {
+	for _, exp := range []string{"e5", "e6", "e7", "e8", "e12", "e14"} {
 		if err := run(append([]string{"-exp", exp}, args...)); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}

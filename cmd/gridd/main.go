@@ -12,15 +12,31 @@
 //
 //	gridd -serve :9340 -customers 100 -shards 4
 //
+// Live server (a continuously operating grid: an in-process fleet is
+// negotiated once, then metered every -tick; drifting shards re-negotiate
+// incrementally while -serve's address answers HTTP /healthz and /metrics):
+//
+//	gridd -serve :8080 -live -customers 64 -shards 16 -tick 1s
+//
 // Clients (one per customer; names must be c01..cNN):
 //
 //	gridd -connect localhost:9340 -name c01 -seed 1
+//
+// The daemon shuts down cleanly on SIGINT/SIGTERM: serve loops unwind, the
+// HTTP listener drains and in-flight live ticks finish.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 	"time"
 
 	agentrt "loadbalance/internal/agent"
@@ -31,61 +47,66 @@ import (
 	"loadbalance/internal/message"
 	"loadbalance/internal/protocol"
 	"loadbalance/internal/sim"
+	"loadbalance/internal/telemetry"
 	"loadbalance/internal/units"
 	"loadbalance/internal/utilityagent"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "gridd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("gridd", flag.ContinueOnError)
 	var (
-		serve     = fs.String("serve", "", "listen address for the Utility Agent daemon")
-		customers = fs.Int("customers", 10, "customer count the daemon waits for")
+		serveAddr = fs.String("serve", "", "listen address for the Utility Agent daemon")
+		customers = fs.Int("customers", 10, "customer count (daemon waits for this many; live mode synthesises them)")
 		shards    = fs.Int("shards", 1, "concentrator agents fronting the fleet (server mode; 1 = flat)")
+		live      = fs.Bool("live", false, "run the live grid: negotiate once, then meter, detect drift and re-negotiate incrementally; -serve's address answers HTTP /healthz and /metrics")
+		tick      = fs.Duration("tick", time.Second, "live metering interval")
+		liveTicks = fs.Int("live-ticks", 0, "stop the live grid after this many ticks (0 = run until SIGINT/SIGTERM)")
 		connect   = fs.String("connect", "", "daemon address to join as a Customer Agent")
 		name      = fs.String("name", "", "customer name (client mode)")
-		seed      = fs.Int64("seed", 1, "preference randomisation seed (client mode)")
+		seed      = fs.Int64("seed", 1, "preference randomisation seed (client and live modes)")
 		timeout   = fs.Duration("timeout", 2*time.Minute, "overall negotiation timeout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	switch {
-	case *serve != "" && *connect != "":
+	case *serveAddr != "" && *connect != "":
 		return fmt.Errorf("-serve and -connect are mutually exclusive")
-	case *serve != "":
+	case *serveAddr != "":
 		if *shards < 1 {
 			return fmt.Errorf("-shards must be at least 1")
 		}
-		return runServer(*serve, *customers, *shards, *timeout)
+		if *live {
+			return runLive(ctx, *serveAddr, *customers, *shards, *tick, *liveTicks, *seed, nil)
+		}
+		return serve(ctx, *serveAddr, *customers, *shards, *timeout, nil)
 	case *connect != "":
 		if *name == "" {
 			return fmt.Errorf("-connect requires -name")
 		}
-		return runClient(*connect, *name, *seed)
+		return runClient(ctx, *connect, *name, *seed)
 	default:
 		return fmt.Errorf("pass -serve ADDR or -connect ADDR")
 	}
 }
 
-// runServer hosts the UA and bridges remote customers onto a local bus.
-func runServer(addr string, customers, shards int, timeout time.Duration) error {
-	return serve(addr, customers, shards, timeout, nil)
-}
-
-// serve is runServer with an optional ready channel that receives the bound
-// address (used by tests binding to :0). With shards > 1 it interposes that
-// many Concentrator Agents between the Utility Agent and the TCP-bridged
-// fleet: the UA negotiates with the concentrators on a private root bus,
-// while each concentrator fans out to its shard of remote customers over the
-// shared bridged bus by targeted send.
-func serve(addr string, customers, shards int, timeout time.Duration, ready chan<- string) error {
+// serve hosts the UA, bridges remote customers onto a local bus and
+// negotiates once. The optional ready channel receives the bound address
+// (used by tests binding to :0). With shards > 1 it interposes that many
+// Concentrator Agents between the Utility Agent and the TCP-bridged fleet:
+// the UA negotiates with the concentrators on a private root bus, while each
+// concentrator fans out to its shard of remote customers over the shared
+// bridged bus by targeted send. Cancelling ctx aborts cleanly at any phase.
+func serve(ctx context.Context, addr string, customers, shards int, timeout time.Duration, ready chan<- string) error {
 	inner, err := bus.NewInProc(bus.Config{})
 	if err != nil {
 		return err
@@ -104,6 +125,10 @@ func serve(addr string, customers, shards int, timeout time.Duration, ready chan
 	// Wait for the fleet to dial in.
 	deadline := time.Now().Add(timeout)
 	for len(inner.Agents()) < customers {
+		if err := ctx.Err(); err != nil {
+			fmt.Println("gridd: interrupted while waiting for customers")
+			return nil
+		}
 		if time.Now().After(deadline) {
 			return fmt.Errorf("only %d of %d customers connected", len(inner.Agents()), customers)
 		}
@@ -194,18 +219,162 @@ func serve(addr string, customers, shards int, timeout time.Duration, ready chan
 		full := &core.Result{Result: res, Bus: stats}
 		fmt.Print(sim.RenderResult(full))
 		return nil
+	case <-ctx.Done():
+		fmt.Println("gridd: interrupted, abandoning negotiation")
+		return nil
 	case <-time.After(timeout):
 		return fmt.Errorf("negotiation timed out after %v", timeout)
 	}
 }
 
-// runClient joins as one Customer Agent and reacts until the session ends.
-func runClient(addr, name string, seed int64) error {
+// runLive operates the grid continuously: an in-process elastic fleet is
+// negotiated once through the concentrator tier, then metered every tick
+// with incremental re-negotiation on drift. addr answers HTTP /healthz and
+// /metrics (lbfeedback-style: the live load/deviation state a balancer or
+// scraper consumes). maxTicks 0 runs until ctx is cancelled.
+func runLive(ctx context.Context, addr string, customers, shards int, tick time.Duration, maxTicks int, seed int64, ready chan<- string) error {
+	if tick <= 0 {
+		return fmt.Errorf("-tick must be positive")
+	}
+	s, err := telemetry.ElasticFleetScenario(customers, seed)
+	if err != nil {
+		return err
+	}
+	eng, err := telemetry.NewLiveEngine(telemetry.LiveConfig{
+		Scenario: s,
+		Shards:   shards,
+		Jitter:   0.02,
+		Seed:     seed,
+	})
+	if err != nil {
+		return err
+	}
+	if err := eng.Start(); err != nil {
+		return err
+	}
+	defer eng.Stop()
+
+	// The engine is single-threaded; the HTTP handlers read snapshots the
+	// tick loop publishes under a lock.
+	var snapMu sync.Mutex
+	latest := eng.Snapshot()
+	updateLatest := func(s telemetry.Snapshot) {
+		snapMu.Lock()
+		latest = s
+		snapMu.Unlock()
+	}
+	readLatest := func() telemetry.Snapshot {
+		snapMu.Lock()
+		defer snapMu.Unlock()
+		return latest
+	}
+
+	start := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		snap := readLatest()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":         "ok",
+			"tick":           snap.Tick,
+			"uptimeSeconds":  time.Since(start).Seconds(),
+			"renegotiations": snap.Renegotiations,
+		})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		writeMetrics(w, readLatest())
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: mux}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- httpSrv.Serve(ln) }()
+	defer func() {
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	fmt.Printf("gridd: live grid of %d customers in %d shards; /healthz and /metrics on %s\n",
+		customers, shards, ln.Addr())
+
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	ticks := 0
+	for {
+		select {
+		case <-ctx.Done():
+			fmt.Println("gridd: interrupted, live grid shutting down")
+			return nil
+		case err := <-httpErr:
+			if err != nil && err != http.ErrServerClosed {
+				return err
+			}
+			return nil
+		case <-ticker.C:
+			rep, err := eng.Tick()
+			if err != nil {
+				return err
+			}
+			if rep.Renegotiated != nil {
+				fmt.Printf("gridd: tick %d: shards %v re-negotiated (%s, %d members)\n",
+					rep.Tick, rep.Renegotiated.Shards, rep.Renegotiated.Outcome, rep.Renegotiated.Members)
+			}
+			updateLatest(eng.Snapshot())
+			ticks++
+			if maxTicks > 0 && ticks >= maxTicks {
+				fmt.Printf("gridd: live grid finished %d ticks\n", ticks)
+				return nil
+			}
+		}
+	}
+}
+
+// writeMetrics renders a snapshot in Prometheus text exposition format.
+func writeMetrics(w http.ResponseWriter, snap telemetry.Snapshot) {
+	fmt.Fprintf(w, "# TYPE grid_tick counter\ngrid_tick %d\n", snap.Tick)
+	fmt.Fprintf(w, "# TYPE grid_readings_total counter\ngrid_readings_total %d\n", snap.Readings)
+	fmt.Fprintf(w, "# TYPE grid_renegotiations_total counter\ngrid_renegotiations_total %d\n", snap.Renegotiations)
+	fmt.Fprintf(w, "# TYPE grid_fleet_load_kwh gauge\ngrid_fleet_load_kwh %g\n", snap.FleetKWh)
+	fmt.Fprintf(w, "# TYPE grid_fleet_target_kwh gauge\ngrid_fleet_target_kwh %g\n", snap.TargetKWh)
+	for i := range snap.ShardMeasured {
+		fmt.Fprintf(w, "grid_shard_load_kwh{shard=\"%d\"} %g\n", i, snap.ShardMeasured[i])
+		fmt.Fprintf(w, "grid_shard_expected_kwh{shard=\"%d\"} %g\n", i, snap.ShardExpected[i])
+		breached := 0
+		if snap.ShardBreached[i] {
+			breached = 1
+		}
+		fmt.Fprintf(w, "grid_shard_breached{shard=\"%d\"} %d\n", i, breached)
+		fmt.Fprintf(w, "grid_shard_renegotiations_total{shard=\"%d\"} %d\n", i, snap.ShardRenegotiations[i])
+	}
+}
+
+// runClient joins as one Customer Agent and reacts until the session ends
+// or ctx is cancelled.
+func runClient(ctx context.Context, addr, name string, seed int64) error {
 	cli, err := bus.Dial(addr, name)
 	if err != nil {
 		return err
 	}
 	defer cli.Close()
+
+	// A cancelled context closes the connection, which unblocks the inbox
+	// loop below; done stops this watcher on normal return.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			cli.Close()
+		case <-done:
+		}
+	}()
 
 	prefs, err := clientPreferences(seed)
 	if err != nil {
@@ -241,6 +410,10 @@ func runClient(addr, name string, seed int64) error {
 			}
 			return nil
 		}
+	}
+	if ctx.Err() != nil {
+		fmt.Printf("gridd: %s interrupted\n", name)
+		return nil
 	}
 	return fmt.Errorf("connection closed before session end")
 }

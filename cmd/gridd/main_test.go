@@ -1,6 +1,9 @@
 package main
 
 import (
+	"context"
+	"io"
+	"net/http"
 	"strings"
 	"sync"
 	"testing"
@@ -19,7 +22,7 @@ func TestRunFlagValidation(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			err := run(tt.args)
+			err := run(context.Background(), tt.args)
 			if err == nil || !strings.Contains(err.Error(), tt.want) {
 				t.Fatalf("error = %v, want %q", err, tt.want)
 			}
@@ -64,10 +67,11 @@ func TestWindowNow(t *testing.T) {
 // TestServerClientEndToEnd runs the daemon and three customer processes'
 // worth of clients inside one test over real TCP.
 func TestServerClientEndToEnd(t *testing.T) {
+	ctx := context.Background()
 	ready := make(chan string, 1)
 	serverErr := make(chan error, 1)
 	go func() {
-		serverErr <- serve("127.0.0.1:0", 3, 1, 30*time.Second, ready)
+		serverErr <- serve(ctx, "127.0.0.1:0", 3, 1, 30*time.Second, ready)
 	}()
 	var addr string
 	select {
@@ -82,7 +86,7 @@ func TestServerClientEndToEnd(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			clientErrs[i] = runClient(addr, []string{"c01", "c02", "c03"}[i], int64(i+1))
+			clientErrs[i] = runClient(ctx, addr, []string{"c01", "c02", "c03"}[i], int64(i+1))
 		}(i)
 	}
 	wg.Wait()
@@ -105,10 +109,11 @@ func TestServerClientEndToEnd(t *testing.T) {
 // clients: the fleet negotiates through concentrators and every client must
 // still see its session end.
 func TestShardedServerEndToEnd(t *testing.T) {
+	ctx := context.Background()
 	ready := make(chan string, 1)
 	serverErr := make(chan error, 1)
 	go func() {
-		serverErr <- serve("127.0.0.1:0", 4, 2, 30*time.Second, ready)
+		serverErr <- serve(ctx, "127.0.0.1:0", 4, 2, 30*time.Second, ready)
 	}()
 	var addr string
 	select {
@@ -124,7 +129,7 @@ func TestShardedServerEndToEnd(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			clientErrs[i] = runClient(addr, names[i], int64(i+1))
+			clientErrs[i] = runClient(ctx, addr, names[i], int64(i+1))
 		}(i)
 	}
 	wg.Wait()
@@ -145,8 +150,109 @@ func TestShardedServerEndToEnd(t *testing.T) {
 
 // TestShardsFlagValidation rejects nonsensical shard counts.
 func TestShardsFlagValidation(t *testing.T) {
-	err := run([]string{"-serve", ":0", "-shards", "0"})
+	err := run(context.Background(), []string{"-serve", ":0", "-shards", "0"})
 	if err == nil || !strings.Contains(err.Error(), "-shards") {
 		t.Fatalf("error = %v, want -shards validation", err)
+	}
+}
+
+// TestServeShutsDownOnCancel covers graceful shutdown: a cancelled context
+// unwinds the daemon while it waits for customers, with a nil error.
+func TestServeShutsDownOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	serverErr := make(chan error, 1)
+	go func() {
+		serverErr <- serve(ctx, "127.0.0.1:0", 3, 1, 30*time.Second, ready)
+	}()
+	select {
+	case <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	cancel()
+	select {
+	case err := <-serverErr:
+		if err != nil {
+			t.Fatalf("interrupted serve returned %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down on cancellation")
+	}
+}
+
+// TestLiveGridServesHealthAndMetrics boots the live grid, scrapes both HTTP
+// endpoints while it ticks, and shuts it down via context cancellation.
+func TestLiveGridServesHealthAndMetrics(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	liveErr := make(chan error, 1)
+	go func() {
+		liveErr <- runLive(ctx, "127.0.0.1:0", 16, 4, 20*time.Millisecond, 0, 1, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("live grid never became ready")
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	health := get("/healthz")
+	if !strings.Contains(health, `"status":"ok"`) {
+		t.Fatalf("healthz = %s", health)
+	}
+
+	// Let a few ticks elapse so the gauges carry real measurements.
+	time.Sleep(150 * time.Millisecond)
+	metrics := get("/metrics")
+	for _, want := range []string{
+		"grid_tick ",
+		"grid_readings_total ",
+		"grid_renegotiations_total 0",
+		"grid_fleet_load_kwh ",
+		"grid_fleet_target_kwh ",
+		`grid_shard_load_kwh{shard="0"}`,
+		`grid_shard_breached{shard="3"} 0`,
+		`grid_shard_renegotiations_total{shard="0"} 0`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-liveErr:
+		if err != nil {
+			t.Fatalf("live grid returned %v, want nil on cancellation", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("live grid did not shut down on cancellation")
+	}
+}
+
+// TestLiveGridBoundedTicks runs the live grid to its -live-ticks limit.
+func TestLiveGridBoundedTicks(t *testing.T) {
+	err := runLive(context.Background(), "127.0.0.1:0", 8, 2, time.Millisecond, 3, 1, nil)
+	if err != nil {
+		t.Fatalf("bounded live run: %v", err)
 	}
 }

@@ -33,6 +33,7 @@ const (
 	KindInfoRequest Kind = "info_request" // UA asks producer/world for info
 	KindInfoReply   Kind = "info_reply"   // answer to an info request
 	KindSessionEnd  Kind = "session_end"  // UA terminates a negotiation
+	KindMeterBatch  Kind = "meter_batch"  // batched live consumption readings
 )
 
 // Validation errors.
@@ -339,6 +340,56 @@ func (e SessionEnd) Validate() error {
 	return nil
 }
 
+// MeterReading is one customer's measured consumption during one live tick.
+// Ticks count from 0 inside the operating window; KWh is the energy actually
+// consumed during the tick.
+type MeterReading struct {
+	Customer string  `json:"customer"`
+	Tick     int     `json:"tick"`
+	KWh      float64 `json:"kWh"`
+}
+
+// validate checks a single reading.
+func (r MeterReading) validate() error {
+	if r.Customer == "" {
+		return fmt.Errorf("%w: customer", ErrEmptyField)
+	}
+	if r.Tick < 0 {
+		return fmt.Errorf("%w: tick %d", ErrBadValue, r.Tick)
+	}
+	if r.KWh < 0 || math.IsNaN(r.KWh) || math.IsInf(r.KWh, 0) {
+		return fmt.Errorf("%w: kWh %v", ErrBadValue, r.KWh)
+	}
+	return nil
+}
+
+// MeterBatch carries a compact batch of live meter readings to a telemetry
+// collector. Batching keeps the reading rate the bus must sustain decoupled
+// from the envelope rate (one envelope per fleet chunk, not per customer).
+type MeterBatch struct {
+	Tick     int            `json:"tick"`
+	Readings []MeterReading `json:"readings"`
+}
+
+// Kind implements Payload.
+func (MeterBatch) Kind() Kind { return KindMeterBatch }
+
+// Validate implements Payload.
+func (b MeterBatch) Validate() error {
+	if b.Tick < 0 {
+		return fmt.Errorf("%w: tick %d", ErrBadValue, b.Tick)
+	}
+	if len(b.Readings) == 0 {
+		return fmt.Errorf("%w: readings", ErrEmptyField)
+	}
+	for _, r := range b.Readings {
+		if err := r.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Envelope wraps a payload with routing metadata.
 type Envelope struct {
 	From    string          `json:"from"`
@@ -391,6 +442,8 @@ func (e Envelope) Decode() (Payload, error) {
 		p = &InfoReply{}
 	case KindSessionEnd:
 		p = &SessionEnd{}
+	case KindMeterBatch:
+		p = &MeterBatch{}
 	default:
 		return nil, fmt.Errorf("%w: %q", ErrUnknownKind, e.Kind)
 	}
@@ -427,6 +480,8 @@ func deref(p Payload) Payload {
 	case *InfoReply:
 		return *v
 	case *SessionEnd:
+		return *v
+	case *MeterBatch:
 		return *v
 	default:
 		return p

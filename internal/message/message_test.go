@@ -166,6 +166,30 @@ func TestSessionEndValidation(t *testing.T) {
 	}
 }
 
+func TestMeterBatchValidation(t *testing.T) {
+	ok := MeterBatch{Tick: 2, Readings: []MeterReading{{Customer: "c1", Tick: 2, KWh: 1.5}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid batch: %v", err)
+	}
+	if err := (MeterBatch{Tick: 2}).Validate(); !errors.Is(err, ErrEmptyField) {
+		t.Fatal("empty batch should fail")
+	}
+	if err := (MeterBatch{Tick: -1, Readings: ok.Readings}).Validate(); !errors.Is(err, ErrBadValue) {
+		t.Fatal("negative batch tick should fail")
+	}
+	bad := []MeterReading{
+		{Customer: "", Tick: 0, KWh: 1},
+		{Customer: "c", Tick: -1, KWh: 1},
+		{Customer: "c", Tick: 0, KWh: -1},
+		{Customer: "c", Tick: 0, KWh: math.NaN()},
+	}
+	for i, r := range bad {
+		if err := (MeterBatch{Readings: []MeterReading{r}}).Validate(); err == nil {
+			t.Errorf("bad reading %d passed validation", i)
+		}
+	}
+}
+
 func TestEnvelopeRoundTrip(t *testing.T) {
 	payloads := []Payload{
 		OfferTerms{Window: window(), XMax: 0.8, AllowanceKWh: 10, LowPrice: 1, NormalPrice: 2, HighPrice: 3},

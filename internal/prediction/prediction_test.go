@@ -197,6 +197,62 @@ func TestBestSkipsFailingPredictors(t *testing.T) {
 	}
 }
 
+// TestPredictorEdgeCases pins the remaining error-path boundaries: hostile
+// inputs must come back as errors, never as panics or silent zeros. The live
+// telemetry collector feeds these estimators whatever its rings hold —
+// including empty and one-sample series right after start-up — so every
+// boundary here is reachable in production.
+func TestPredictorEdgeCases(t *testing.T) {
+	// Moving average: negative window, and a window of 1 on an empty series.
+	if _, err := (MovingAverage{Window: -3}).Predict([]float64{1, 2}); !errors.Is(err, ErrBadWindow) {
+		t.Fatalf("negative window err = %v", err)
+	}
+	if _, err := (MovingAverage{Window: 1}).Predict([]float64{}); !errors.Is(err, ErrNoData) {
+		t.Fatalf("empty series err = %v", err)
+	}
+	// A single-sample series (the collector's first closed tick) predicts
+	// itself for any window.
+	if got, err := (MovingAverage{Window: 8}).Predict([]float64{4.2}); err != nil || got != 4.2 {
+		t.Fatalf("single sample = %v, %v", got, err)
+	}
+
+	// Seasonal naive: the period-equals-length boundary is the oldest
+	// sample, not an error; one short of that fails; empty fails.
+	if got, err := (SeasonalNaive{Period: 3}).Predict([]float64{7, 8, 9}); err != nil || got != 7 {
+		t.Fatalf("period==len = %v, %v", got, err)
+	}
+	if _, err := (SeasonalNaive{Period: 3}).Predict([]float64{8, 9}); !errors.Is(err, ErrShortSeries) {
+		t.Fatalf("period>len err = %v", err)
+	}
+	if _, err := (SeasonalNaive{Period: 1}).Predict(nil); !errors.Is(err, ErrShortSeries) {
+		t.Fatalf("empty seasonal err = %v", err)
+	}
+	if _, err := (SeasonalNaive{Period: -1}).Predict([]float64{1}); !errors.Is(err, ErrBadPeriod) {
+		t.Fatalf("negative period err = %v", err)
+	}
+
+	// RMSE/MAPE: mismatched lengths in both directions, with data on each
+	// side, are errors — not truncation.
+	if _, err := RMSE([]float64{1, 2, 3}, []float64{1, 2}); err == nil {
+		t.Fatal("RMSE longer forecast must fail")
+	}
+	if _, err := RMSE([]float64{1}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("RMSE longer actual must fail")
+	}
+	if _, err := MAPE([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("MAPE length mismatch must fail")
+	}
+
+	// Backtest: a negative warmup is rejected like warmup 0.
+	if _, _, err := Backtest(MovingAverage{Window: 2}, []float64{1, 2, 3}, -1); !errors.Is(err, ErrShortSeries) {
+		t.Fatalf("negative warmup err = %v", err)
+	}
+	// Best over an empty series: every predictor fails, so Best reports it.
+	if _, _, err := Best([]Predictor{MovingAverage{Window: 2}, ExpSmoothing{Alpha: 0.5}}, nil, 1); !errors.Is(err, ErrShortSeries) {
+		t.Fatalf("Best on empty series err = %v", err)
+	}
+}
+
 // Property: the moving-average forecast always lies within [min, max] of the
 // observed window.
 func TestMovingAverageBoundsProperty(t *testing.T) {

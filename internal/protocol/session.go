@@ -18,8 +18,10 @@ const (
 	// OutcomeConverged means the predicted overuse is at most the allowed
 	// overuse — the paper's condition (1).
 	OutcomeConverged
-	// OutcomeCeiling means the reward step fell to Epsilon or the table
-	// reached max_reward — the paper's condition (2).
+	// OutcomeCeiling means the reward step fell to Epsilon with the table at
+	// (or asymptotically near) max_reward — the paper's condition (2). The
+	// saturated table is always announced before the session ends, so the
+	// final bids were made against the best offer the UA can make.
 	OutcomeCeiling
 	// OutcomeMaxRounds means the safety bound on rounds was hit.
 	OutcomeMaxRounds
@@ -233,7 +235,14 @@ func (s *RTSession) CloseRound() (RoundRecord, error) {
 	switch {
 	case rec.OveruseRatio <= s.params.AllowedOveruseRatio:
 		rec.Outcome = OutcomeConverged
-	case maxDelta <= s.params.Epsilon || next.AtCeiling(s.params, s.params.Epsilon):
+	case maxDelta <= s.params.Epsilon:
+		// The table could not improve by more than Epsilon — it has reached
+		// (or can no longer meaningfully approach) max_reward. Note the
+		// ceiling table itself was announced and bid on before this fires: a
+		// jump straight to the ceiling still gets one more round, so
+		// customers always see the best offer the UA will ever make. An
+		// urgent re-negotiation over a small residual capacity relies on
+		// this — its first update typically saturates the table.
 		rec.Outcome = OutcomeCeiling
 	case s.round >= s.params.maxRounds():
 		rec.Outcome = OutcomeMaxRounds

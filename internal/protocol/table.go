@@ -160,7 +160,10 @@ func (t Table) DominatesOrEqual(prev Table) bool {
 }
 
 // AtCeiling reports whether every positive-cut-down entry has reached its
-// ceiling within epsilon — the paper's second termination condition ("the
+// ceiling within epsilon — a diagnostic for the paper's second termination
+// condition. RTSession.CloseRound no longer consults it: the session
+// terminates via the maxDelta <= Epsilon rule alone, one round after the
+// saturated table was announced, so customers always get to bid on it ("the
 // reward values ... have (almost) reached the maximum value").
 func (t Table) AtCeiling(p Params, epsilon float64) bool {
 	for _, e := range t.Entries {

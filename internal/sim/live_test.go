@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE14LiveGrid(t *testing.T) {
+	tab, err := E14LiveGrid(32, 8, 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12 ticks", len(tab.Rows))
+	}
+	// The spike must trigger at least one incremental re-negotiation, and
+	// the counter must not run away (one event per injected excursion).
+	last := tab.Rows[len(tab.Rows)-1]
+	total := last[len(last)-1]
+	if total != "1" {
+		t.Fatalf("final renegotiation total = %q, want 1\n%s", total, tab)
+	}
+	// Some tick recorded the breaching shards re-bidding.
+	found := false
+	for _, row := range tab.Rows {
+		if strings.HasPrefix(row[6], "shards 0+4") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no row records the re-negotiation of shards 0 and 4:\n%s", tab)
+	}
+	// The run ends back under target.
+	if last[3] != "no" {
+		t.Fatalf("fleet still over target at the final tick:\n%s", tab)
+	}
+	if !strings.Contains(tab.CSV(), "tick,fleet_kwh") {
+		t.Fatal("CSV header missing")
+	}
+}

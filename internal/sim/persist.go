@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"loadbalance/internal/bus"
@@ -47,14 +48,40 @@ func (s SavedResult) FromSaved() *core.Result {
 	}
 }
 
-// SaveResult writes a result as indented JSON.
+// SaveResult writes a result as indented JSON. The write is atomic (a temp
+// file in the destination directory renamed over the target), so a live run
+// interrupted mid-save can never leave a truncated result behind — readers
+// see either the previous complete file or the new one.
 func SaveResult(res *core.Result, path string) error {
 	data, err := json.MarshalIndent(ToSaved(res), "", "  ")
 	if err != nil {
 		return fmt.Errorf("sim: marshal result: %w", err)
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".result-*.json")
+	if err != nil {
+		return fmt.Errorf("sim: temp result: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
 		return fmt.Errorf("sim: write result: %w", err)
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		return fmt.Errorf("sim: chmod result: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("sim: close result: %w", err)
+	}
+	name := tmp.Name()
+	tmp = nil // the deferred cleanup no longer applies
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("sim: publish result: %w", err)
 	}
 	return nil
 }

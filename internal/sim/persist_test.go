@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"loadbalance/internal/bus"
+	"loadbalance/internal/core"
+	"loadbalance/internal/utilityagent"
+)
+
+// persistResult builds a small result for persistence tests.
+func persistResult() *core.Result {
+	return &core.Result{
+		Result:    utilityagent.Result{SessionID: "s", Outcome: "converged", Rounds: 2},
+		Bus:       bus.Stats{Sent: 10, Delivered: 10},
+		FinalBids: map[string]float64{"c01": 0.2},
+	}
+}
+
+func TestSaveResultAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "result.json")
+
+	// Overwriting an existing file replaces it completely.
+	if err := os.WriteFile(path, []byte("old partial garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveResult(persistResult(), path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadResult(path)
+	if err != nil {
+		t.Fatalf("load after overwrite: %v", err)
+	}
+	if back.Outcome != "converged" || back.FinalBids["c01"] != 0.2 {
+		t.Fatalf("round trip = %+v", back)
+	}
+
+	// No temp files survive a successful save.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".result-") {
+			t.Fatalf("temp file %q left behind", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("dir = %v, want only result.json", entries)
+	}
+}
+
+func TestSaveResultFailureLeavesTargetIntact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "result.json")
+	if err := SaveResult(persistResult(), path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A save into an unwritable directory fails before touching the target.
+	if err := SaveResult(persistResult(), filepath.Join(dir, "missing", "result.json")); err == nil {
+		t.Fatal("save into a missing directory must fail")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("failed save corrupted an unrelated existing file")
+	}
+}

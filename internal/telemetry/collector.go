@@ -1,0 +1,207 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"loadbalance/internal/agent"
+	"loadbalance/internal/message"
+	"loadbalance/internal/prediction"
+)
+
+// CollectorConfig parameterises a collector.
+type CollectorConfig struct {
+	// ShardOf maps every metered customer to its shard index in [0,Shards).
+	ShardOf map[string]int
+	// Shards is the shard count.
+	Shards int
+	// RingTicks is the per-shard time-series capacity (how much history the
+	// forecasters see); default 64.
+	RingTicks int
+}
+
+// Collector is the utility-side sink of the metering stream: it ingests
+// MeterBatch messages (directly or via its bus Handler), accumulates each
+// tick's readings into per-shard running loads, and maintains a ring-buffer
+// time series per shard that prediction estimators forecast from. It is safe
+// for concurrent use — the bus handler runs on the collector agent's
+// goroutine while the live engine reads from its own.
+type Collector struct {
+	mu      sync.Mutex
+	shardOf map[string]int
+	rings   []*Ring
+	// acc accumulates per-shard energy and reading counts for ticks that are
+	// still open (readings may arrive interleaved across batches).
+	acc      map[int]*tickAcc
+	readings int64
+	batches  int64
+	rejected int64 // readings from unknown customers
+}
+
+// tickAcc is one open tick's accumulation.
+type tickAcc struct {
+	perShard []float64
+	readings int
+}
+
+// NewCollector validates the configuration and constructs the collector.
+func NewCollector(cfg CollectorConfig) (*Collector, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("%w: shard count %d", ErrBadConfig, cfg.Shards)
+	}
+	if len(cfg.ShardOf) == 0 {
+		return nil, fmt.Errorf("%w: no customers", ErrBadConfig)
+	}
+	if cfg.RingTicks <= 0 {
+		cfg.RingTicks = 64
+	}
+	c := &Collector{
+		shardOf: make(map[string]int, len(cfg.ShardOf)),
+		rings:   make([]*Ring, cfg.Shards),
+		acc:     make(map[int]*tickAcc),
+	}
+	for name, s := range cfg.ShardOf {
+		if s < 0 || s >= cfg.Shards {
+			return nil, fmt.Errorf("%w: customer %q in shard %d of %d", ErrBadConfig, name, s, cfg.Shards)
+		}
+		c.shardOf[name] = s
+	}
+	for i := range c.rings {
+		r, err := NewRing(cfg.RingTicks)
+		if err != nil {
+			return nil, err
+		}
+		c.rings[i] = r
+	}
+	return c, nil
+}
+
+// Shards returns the shard count.
+func (c *Collector) Shards() int { return len(c.rings) }
+
+// Ingest merges one batch of readings into the open ticks.
+func (c *Collector) Ingest(b message.MeterBatch) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.batches++
+	for _, r := range b.Readings {
+		shard, ok := c.shardOf[r.Customer]
+		if !ok {
+			c.rejected++
+			continue
+		}
+		acc, ok := c.acc[r.Tick]
+		if !ok {
+			acc = &tickAcc{perShard: make([]float64, len(c.rings))}
+			c.acc[r.Tick] = acc
+		}
+		acc.perShard[shard] += r.KWh
+		acc.readings++
+		c.readings++
+	}
+	return nil
+}
+
+// Handler adapts the collector to the agent runtime: MeterBatch envelopes
+// are ingested, everything else is ignored (the collector may share a bus
+// with negotiation traffic).
+func (c *Collector) Handler() agent.Handler {
+	return agent.HandlerFuncs{
+		Message: func(rt *agent.Runtime, env message.Envelope) error {
+			if env.Kind != message.KindMeterBatch {
+				return nil
+			}
+			p, err := env.Decode()
+			if err != nil {
+				return err
+			}
+			return c.Ingest(p.(message.MeterBatch))
+		},
+	}
+}
+
+// ReadingsAt returns how many readings have arrived for a still-open tick.
+func (c *Collector) ReadingsAt(tick int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if acc, ok := c.acc[tick]; ok {
+		return acc.readings
+	}
+	return 0
+}
+
+// WaitTick blocks until want readings have arrived for the tick or the
+// deadline passes — the live engine's barrier between publishing a tick and
+// closing it, which keeps the loop deterministic over the asynchronous bus.
+func (c *Collector) WaitTick(tick, want int, deadline time.Duration) error {
+	limit := time.Now().Add(deadline)
+	for {
+		if c.ReadingsAt(tick) >= want {
+			return nil
+		}
+		if time.Now().After(limit) {
+			return fmt.Errorf("telemetry: tick %d: %d of %d readings after %v", tick, c.ReadingsAt(tick), want, deadline)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// CloseTick finalises a tick: its per-shard energies are pushed into the
+// ring series and returned. Closing an unseen tick pushes zeros (a tick in
+// which nothing was measured is a measurement of zero, e.g. a total outage).
+func (c *Collector) CloseTick(tick int) []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	perShard := make([]float64, len(c.rings))
+	if acc, ok := c.acc[tick]; ok {
+		copy(perShard, acc.perShard)
+		delete(c.acc, tick)
+	}
+	for i, v := range perShard {
+		c.rings[i].Push(v)
+	}
+	return perShard
+}
+
+// ShardSeries copies shard i's closed-tick series, oldest first.
+func (c *Collector) ShardSeries(i int) []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rings[i].Series()
+}
+
+// ShardLast returns shard i's newest closed-tick energy without copying the
+// series — the O(1) read the metrics snapshot takes every tick.
+func (c *Collector) ShardLast(i int) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rings[i].Last()
+}
+
+// ForecastShard feeds shard i's series to a prediction estimator and returns
+// the one-tick-ahead forecast of the shard's load.
+func (c *Collector) ForecastShard(i int, p prediction.Predictor) (float64, error) {
+	series := c.ShardSeries(i)
+	if len(series) == 0 {
+		return 0, ErrNoData
+	}
+	return p.Predict(series)
+}
+
+// CollectorStats is a snapshot of the ingestion counters.
+type CollectorStats struct {
+	Readings int64
+	Batches  int64
+	Rejected int64
+}
+
+// Stats returns the cumulative ingestion counters.
+func (c *Collector) Stats() CollectorStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CollectorStats{Readings: c.readings, Batches: c.batches, Rejected: c.rejected}
+}

@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+)
+
+// DeviationConfig parameterises breach detection.
+type DeviationConfig struct {
+	// AbsKWh is the minimum absolute per-tick deviation (|measured −
+	// expected|) considered significant; guards against relative triggers on
+	// near-zero expectations.
+	AbsKWh float64
+	// Rel is the minimum relative deviation (fraction of the expected load)
+	// considered significant.
+	Rel float64
+	// BreachTicks is the hysteresis going up: the deviation must persist
+	// this many consecutive ticks before a breach fires (default 2), so a
+	// single jittery sample never triggers a re-negotiation.
+	BreachTicks int
+	// ClearTicks is the hysteresis going down: a fired shard re-arms after
+	// this many consecutive in-threshold ticks even without a re-negotiation
+	// reset (default 2).
+	ClearTicks int
+}
+
+// withDefaults fills the hysteresis defaults.
+func (c DeviationConfig) withDefaults() DeviationConfig {
+	if c.BreachTicks <= 0 {
+		c.BreachTicks = 2
+	}
+	if c.ClearTicks <= 0 {
+		c.ClearTicks = 2
+	}
+	return c
+}
+
+// validate checks the thresholds.
+func (c DeviationConfig) validate() error {
+	if c.AbsKWh < 0 || math.IsNaN(c.AbsKWh) {
+		return fmt.Errorf("%w: abs threshold %v", ErrBadConfig, c.AbsKWh)
+	}
+	if c.Rel < 0 || math.IsNaN(c.Rel) {
+		return fmt.Errorf("%w: rel threshold %v", ErrBadConfig, c.Rel)
+	}
+	if c.AbsKWh == 0 && c.Rel == 0 {
+		return fmt.Errorf("%w: both deviation thresholds zero", ErrBadConfig)
+	}
+	return nil
+}
+
+// DeviationDetector watches each shard's measured load against its
+// negotiated expectation and fires when a significant deviation persists.
+// Hysteresis in both directions keeps the live loop stable: short noise
+// never re-negotiates, and a shard that just re-negotiated starts from a
+// clean slate via Reset.
+type DeviationDetector struct {
+	cfg      DeviationConfig
+	over     []int  // consecutive out-of-threshold ticks per shard
+	under    []int  // consecutive in-threshold ticks per breached shard
+	breached []bool // latched breach state per shard
+}
+
+// NewDeviationDetector constructs a detector over the given shard count.
+func NewDeviationDetector(shards int, cfg DeviationConfig) (*DeviationDetector, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("%w: shard count %d", ErrBadConfig, shards)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	return &DeviationDetector{
+		cfg:      cfg,
+		over:     make([]int, shards),
+		under:    make([]int, shards),
+		breached: make([]bool, shards),
+	}, nil
+}
+
+// Significant reports whether a measured/expected pair deviates beyond both
+// thresholds.
+func (d *DeviationDetector) Significant(measured, expected float64) bool {
+	dev := math.Abs(measured - expected)
+	if dev <= d.cfg.AbsKWh {
+		return false
+	}
+	if expected > 0 && dev <= d.cfg.Rel*expected {
+		return false
+	}
+	return true
+}
+
+// Observe records one shard-tick observation and reports whether a breach
+// fires on it (the transition into the latched state, exactly once per
+// excursion).
+func (d *DeviationDetector) Observe(shard int, measured, expected float64) bool {
+	if d.Significant(measured, expected) {
+		d.over[shard]++
+		d.under[shard] = 0
+		if !d.breached[shard] && d.over[shard] >= d.cfg.BreachTicks {
+			d.breached[shard] = true
+			return true
+		}
+		return false
+	}
+	d.over[shard] = 0
+	if d.breached[shard] {
+		d.under[shard]++
+		if d.under[shard] >= d.cfg.ClearTicks {
+			d.breached[shard] = false
+			d.under[shard] = 0
+		}
+	}
+	return false
+}
+
+// Breached reports a shard's latched breach state.
+func (d *DeviationDetector) Breached(shard int) bool { return d.breached[shard] }
+
+// Reset clears a shard's state after a re-negotiation: the new agreement is
+// the new baseline, so detection starts over.
+func (d *DeviationDetector) Reset(shard int) {
+	d.over[shard] = 0
+	d.under[shard] = 0
+	d.breached[shard] = false
+}

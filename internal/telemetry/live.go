@@ -1,0 +1,582 @@
+package telemetry
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"loadbalance/internal/agent"
+	"loadbalance/internal/bus"
+	"loadbalance/internal/cluster"
+	"loadbalance/internal/core"
+	"loadbalance/internal/customeragent"
+	"loadbalance/internal/prediction"
+	"loadbalance/internal/protocol"
+	"loadbalance/internal/units"
+	"loadbalance/internal/utilityagent"
+)
+
+// Names on the live engine's telemetry bus.
+const (
+	collectorName = "collector"
+	meteringName  = "metering"
+)
+
+// ingestDeadline bounds the wait for one tick's readings to cross the bus.
+const ingestDeadline = 10 * time.Second
+
+// LiveConfig parameterises a live grid.
+type LiveConfig struct {
+	// Scenario is the fleet to operate: it is negotiated once at start and
+	// re-negotiated incrementally when shards drift. Reward-table method
+	// only (the cluster tier's requirement).
+	Scenario core.Scenario
+	// Shards is the concentrator count fronting the fleet (default 4).
+	Shards int
+	// TicksPerWindow divides the scenario window into live ticks; a meter's
+	// per-tick baseline is its predicted window use over this count
+	// (default 16).
+	TicksPerWindow int
+	// RingTicks is the collector's per-shard history depth (default 64).
+	RingTicks int
+	// Jitter is the meters' stochastic measurement noise amplitude.
+	Jitter float64
+	// Seed drives all randomness (meter jitter streams).
+	Seed int64
+	// Detector holds the deviation thresholds; zero thresholds default to
+	// Rel 0.25 with an absolute floor of 5% of an average shard's share of
+	// the per-tick normal use.
+	Detector DeviationConfig
+	// Forecast estimates a shard's next-tick load from its measured series
+	// when re-negotiating (default: moving average over the breach window,
+	// so the estimate sees only post-change samples).
+	Forecast prediction.Predictor
+	// ShardEvents injects demand disturbances into every meter of a shard.
+	ShardEvents map[int][]Event
+	// BatchSize caps readings per published envelope (default 128).
+	BatchSize int
+}
+
+// Award is a customer's current standing agreement in the live grid.
+type Award struct {
+	CutDown float64 `json:"cutDown"`
+	Reward  float64 `json:"reward"`
+}
+
+// RenegotiateEvent records one incremental re-negotiation.
+type RenegotiateEvent struct {
+	// Tick is the live tick the breach fired on.
+	Tick int
+	// Shards lists the breaching shard indices, ascending.
+	Shards []int
+	// SessionID is the partial session's id.
+	SessionID string
+	// Members is the re-bidding customer count.
+	Members int
+	// Outcome is the partial negotiation's terminal outcome.
+	Outcome string
+	// Factors holds the demand factor estimated per breaching shard.
+	Factors map[int]float64
+}
+
+// TickReport is one live tick's outcome.
+type TickReport struct {
+	Tick          int
+	ShardMeasured []float64 // measured kWh per shard this tick
+	ShardExpected []float64 // negotiated expectation per shard this tick
+	FleetKWh      float64   // Σ measured
+	TargetKWh     float64   // (1+allowed_overuse)·normal_use per tick
+	Breached      []int     // shards whose breach fired this tick
+	Renegotiated  *RenegotiateEvent
+}
+
+// Snapshot is the engine's observable state for health/metrics endpoints.
+type Snapshot struct {
+	Tick                int
+	FleetKWh            float64
+	TargetKWh           float64
+	ShardMeasured       []float64
+	ShardExpected       []float64
+	ShardBreached       []bool
+	ShardRenegotiations []int
+	Renegotiations      int
+	Readings            int64
+	Batches             int64
+}
+
+// LiveEngine runs a grid continuously: negotiate once, then meter every
+// tick, detect sustained deviation per shard, and re-negotiate only the
+// breaching shards — unaffected shards keep their awards untouched.
+type LiveEngine struct {
+	cfg  LiveConfig
+	topo cluster.Topology
+
+	bus       *bus.InProc
+	fleet     *Fleet
+	collector *Collector
+	colRT     *agent.Runtime
+	det       *DeviationDetector
+
+	// origLoads is the scenario's demand model (never rescaled); the live
+	// demand estimate is origLoads × shardFactor.
+	origLoads   map[string]protocol.CustomerLoad
+	bids        map[string]float64 // current committed cut-down per customer
+	awards      map[string]Award   // current standing award per customer
+	shardFactor []float64          // estimated demand factor per shard
+
+	tick        int
+	sessionSeq  int
+	renegs      int
+	shardRenegs []int
+	events      []RenegotiateEvent
+	started     bool
+
+	normalPerTick float64
+	targetPerTick float64
+}
+
+// NewLiveEngine validates the configuration and builds the grid (buses,
+// meters, collector, detector). Start runs the initial negotiation.
+func NewLiveEngine(cfg LiveConfig) (*LiveEngine, error) {
+	if err := cfg.Scenario.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("%w: shard count %d", ErrBadConfig, cfg.Shards)
+	}
+	if cfg.TicksPerWindow == 0 {
+		cfg.TicksPerWindow = 16
+	}
+	if cfg.TicksPerWindow < 1 {
+		return nil, fmt.Errorf("%w: ticks per window %d", ErrBadConfig, cfg.TicksPerWindow)
+	}
+	topo, err := cluster.NewTopology(cfg.Scenario.Loads(), cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+
+	normalPerTick := cfg.Scenario.NormalUse.KWhs() / float64(cfg.TicksPerWindow)
+	if cfg.Detector.AbsKWh == 0 && cfg.Detector.Rel == 0 {
+		// The absolute floor guards against relative triggers on near-zero
+		// expectations, so it must be small against a SHARD's load, not the
+		// fleet's — at 256 shards a fleet-scaled floor would swallow even a
+		// whole-shard outage.
+		cfg.Detector.Rel = 0.25
+		cfg.Detector.AbsKWh = 0.05 * normalPerTick / float64(cfg.Shards)
+	}
+	cfg.Detector = cfg.Detector.withDefaults()
+	det, err := NewDeviationDetector(cfg.Shards, cfg.Detector)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Forecast == nil {
+		cfg.Forecast = prediction.MovingAverage{Window: cfg.Detector.BreachTicks}
+	}
+
+	shardOf := make(map[string]int, topo.FleetSize())
+	for i := 0; i < topo.Shards(); i++ {
+		for _, n := range topo.Members(i) {
+			shardOf[n] = i
+		}
+	}
+
+	meters := make([]*Meter, 0, len(cfg.Scenario.Customers))
+	for i, spec := range cfg.Scenario.Customers {
+		m, err := NewMeter(MeterConfig{
+			Customer: spec.Name,
+			BaseKWh:  spec.Predicted.KWhs() / float64(cfg.TicksPerWindow),
+			Jitter:   cfg.Jitter,
+			Seed:     cfg.Seed + int64(i) + 1,
+			Events:   cfg.ShardEvents[shardOf[spec.Name]],
+		})
+		if err != nil {
+			return nil, err
+		}
+		meters = append(meters, m)
+	}
+	fleet, err := NewFleet(meters, cfg.BatchSize)
+	if err != nil {
+		return nil, err
+	}
+
+	col, err := NewCollector(CollectorConfig{ShardOf: shardOf, Shards: cfg.Shards, RingTicks: cfg.RingTicks})
+	if err != nil {
+		return nil, err
+	}
+	b, err := bus.NewInProc(bus.Config{})
+	if err != nil {
+		return nil, err
+	}
+
+	factors := make([]float64, cfg.Shards)
+	for i := range factors {
+		factors[i] = 1
+	}
+	return &LiveEngine{
+		cfg:           cfg,
+		topo:          topo,
+		bus:           b,
+		fleet:         fleet,
+		collector:     col,
+		det:           det,
+		origLoads:     cfg.Scenario.Loads(),
+		bids:          make(map[string]float64, topo.FleetSize()),
+		awards:        make(map[string]Award, topo.FleetSize()),
+		shardFactor:   factors,
+		shardRenegs:   make([]int, cfg.Shards),
+		normalPerTick: normalPerTick,
+		targetPerTick: normalPerTick * (1 + cfg.Scenario.Params.AllowedOveruseRatio),
+	}, nil
+}
+
+// Start negotiates the whole fleet once through the cluster tier, actuates
+// the awards into the meters and opens the telemetry stream.
+func (e *LiveEngine) Start() error {
+	if e.started {
+		return fmt.Errorf("%w: engine already started", ErrBadConfig)
+	}
+	res, err := cluster.Run(cluster.Config{Scenario: e.cfg.Scenario, Shards: e.cfg.Shards})
+	if err != nil {
+		return fmt.Errorf("telemetry: initial negotiation: %w", err)
+	}
+	e.applyOutcome(allMembers(e.topo), res)
+
+	// Collector inbox sized for several ticks of batches in flight.
+	batchesPerTick := (e.fleet.Size() + defaultBatchSize - 1) / defaultBatchSize
+	if e.cfg.BatchSize > 0 {
+		batchesPerTick = (e.fleet.Size() + e.cfg.BatchSize - 1) / e.cfg.BatchSize
+	}
+	rt, err := agent.Start(collectorName, e.bus, e.collector.Handler(), max(64, 8*batchesPerTick))
+	if err != nil {
+		return err
+	}
+	e.colRT = rt
+	e.started = true
+	return nil
+}
+
+// Stop tears the telemetry stream down.
+func (e *LiveEngine) Stop() {
+	if e.colRT != nil {
+		e.colRT.Stop()
+		e.colRT = nil
+	}
+	e.bus.Close()
+	e.started = false
+}
+
+// allMembers flattens a topology into one member list.
+func allMembers(t cluster.Topology) []string {
+	out := make([]string, 0, t.FleetSize())
+	for i := 0; i < t.Shards(); i++ {
+		out = append(out, t.Members(i)...)
+	}
+	return out
+}
+
+// applyOutcome merges a negotiation result over the given members into the
+// standing state: committed bids, awards (reward interpolated from the final
+// table) and meter actuation.
+func (e *LiveEngine) applyOutcome(members []string, res *cluster.Result) {
+	var table protocol.Table
+	haveTable := len(res.History) > 0
+	if haveTable {
+		table = res.History[len(res.History)-1].Table
+	}
+	changed := make(map[string]float64, len(members))
+	for _, name := range members {
+		cd := res.FinalBids[name] // 0 when the member never bid (or no negotiation was warranted)
+		reward := 0.0
+		if haveTable && cd > 0 {
+			var ok bool
+			reward, ok = table.RewardFor(cd)
+			if !ok {
+				reward = table.InterpolatedReward(cd)
+			}
+		}
+		e.bids[name] = cd
+		e.awards[name] = Award{CutDown: cd, Reward: reward}
+		changed[name] = cd
+	}
+	e.fleet.Actuate(changed)
+}
+
+// expectedTick returns shard i's negotiated per-tick expectation: the
+// members' predicted-use-with-cutdown under the current demand factor,
+// spread over the window's ticks.
+func (e *LiveEngine) expectedTick(i int) float64 {
+	var sum float64
+	for _, n := range e.topo.Members(i) {
+		l := e.origLoads[n]
+		l.Predicted = l.Predicted.Scale(e.shardFactor[i])
+		l.Allowed = l.Allowed.Scale(e.shardFactor[i])
+		l.CutDown = e.bids[n]
+		sum += protocol.UseWithCutDown(l).KWhs()
+	}
+	return sum / float64(e.cfg.TicksPerWindow)
+}
+
+// Tick runs one live iteration: meters publish, the collector closes the
+// tick, deviations are screened, and any fired shards re-negotiate.
+func (e *LiveEngine) Tick() (TickReport, error) {
+	if !e.started {
+		return TickReport{}, fmt.Errorf("%w: engine not started", ErrBadConfig)
+	}
+	t := e.tick
+	e.tick++
+
+	n, err := e.fleet.PublishTick(e.bus, meteringName, collectorName, e.cfg.Scenario.SessionID, t)
+	if err != nil {
+		return TickReport{}, err
+	}
+	if err := e.collector.WaitTick(t, n, ingestDeadline); err != nil {
+		return TickReport{}, err
+	}
+	measured := e.collector.CloseTick(t)
+
+	rep := TickReport{
+		Tick:          t,
+		ShardMeasured: measured,
+		ShardExpected: make([]float64, e.topo.Shards()),
+		TargetKWh:     e.targetPerTick,
+	}
+	var fired []int
+	for i := 0; i < e.topo.Shards(); i++ {
+		rep.ShardExpected[i] = e.expectedTick(i)
+		rep.FleetKWh += measured[i]
+		if e.det.Observe(i, measured[i], rep.ShardExpected[i]) {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) > 0 {
+		rep.Breached = fired
+		ev, err := e.renegotiate(t, fired)
+		if err != nil {
+			return rep, err
+		}
+		rep.Renegotiated = ev
+	}
+	return rep, nil
+}
+
+// Run executes ticks iterations and returns their reports.
+func (e *LiveEngine) Run(ticks int) ([]TickReport, error) {
+	out := make([]TickReport, 0, ticks)
+	for i := 0; i < ticks; i++ {
+		rep, err := e.Tick()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// renegotiate runs the incremental partial negotiation for the fired
+// shards: their demand factors are re-estimated from the measured series,
+// a sub-scenario over only their members is negotiated through the cluster
+// tier against the fleet's residual capacity, and the resulting awards
+// replace theirs — every other shard's award is untouched.
+func (e *LiveEngine) renegotiate(tick int, shards []int) (*RenegotiateEvent, error) {
+	sort.Ints(shards)
+
+	// Estimate each breaching shard's demand factor: forecast of the
+	// measured series over the shard's baseline intent (original demand
+	// under current cut-downs). The meter model makes this the event factor.
+	factors := make(map[int]float64, len(shards))
+	var members []string
+	scale := make(map[string]float64)
+	for _, i := range shards {
+		ms := e.topo.Members(i)
+		if len(ms) == 0 {
+			continue // an empty shard has nobody to re-bid
+		}
+		forecast, err := e.collector.ForecastShard(i, e.cfg.Forecast)
+		if err != nil {
+			return nil, err
+		}
+		var baseTick float64
+		for _, n := range ms {
+			l := e.origLoads[n]
+			l.CutDown = e.bids[n]
+			baseTick += protocol.UseWithCutDown(l).KWhs()
+		}
+		baseTick /= float64(e.cfg.TicksPerWindow)
+		f := 0.0
+		if baseTick > 0 {
+			f = forecast / baseTick
+		}
+		if f < 0 {
+			f = 0
+		}
+		factors[i] = f
+		for _, n := range ms {
+			scale[n] = f
+		}
+		members = append(members, ms...)
+	}
+	if len(members) == 0 {
+		return nil, nil
+	}
+
+	// The residual capacity holds every customer outside the partial fleet
+	// at its current expected use.
+	subset := make(map[string]bool, len(members))
+	for _, n := range members {
+		subset[n] = true
+	}
+	current := make(map[string]protocol.CustomerLoad, len(e.origLoads))
+	for i := 0; i < e.topo.Shards(); i++ {
+		for _, n := range e.topo.Members(i) {
+			l := e.origLoads[n]
+			l.Predicted = l.Predicted.Scale(e.shardFactor[i])
+			l.Allowed = l.Allowed.Scale(e.shardFactor[i])
+			l.CutDown = e.bids[n]
+			current[n] = l
+		}
+	}
+	residual := protocol.ResidualNormalUse(current, e.cfg.Scenario.NormalUse, subset)
+
+	e.sessionSeq++
+	sessionID := fmt.Sprintf("%s-renego-%d", e.cfg.Scenario.SessionID, e.sessionSeq)
+	sub, err := cluster.SubScenario(e.cfg.Scenario, members, scale, residual, sessionID)
+	if err != nil {
+		return nil, err
+	}
+	res, err := cluster.Run(cluster.Config{Scenario: sub, Shards: len(shards)})
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: renegotiate %s: %w", sessionID, err)
+	}
+
+	e.applyOutcome(members, res)
+	for i, f := range factors {
+		e.shardFactor[i] = f
+		e.det.Reset(i)
+		e.shardRenegs[i]++
+	}
+	e.renegs++
+	ev := RenegotiateEvent{
+		Tick:      tick,
+		Shards:    shards,
+		SessionID: sessionID,
+		Members:   len(members),
+		Outcome:   res.Outcome,
+		Factors:   factors,
+	}
+	e.events = append(e.events, ev)
+	return &ev, nil
+}
+
+// Events returns the re-negotiation history.
+func (e *LiveEngine) Events() []RenegotiateEvent {
+	return append([]RenegotiateEvent(nil), e.events...)
+}
+
+// Renegotiations returns the number of re-negotiation events so far.
+func (e *LiveEngine) Renegotiations() int { return e.renegs }
+
+// AwardOf returns a customer's current standing award.
+func (e *LiveEngine) AwardOf(name string) (Award, bool) {
+	a, ok := e.awards[name]
+	return a, ok
+}
+
+// ShardAwards returns shard i's standing awards keyed by member name.
+func (e *LiveEngine) ShardAwards(i int) map[string]Award {
+	out := make(map[string]Award)
+	for _, n := range e.topo.Members(i) {
+		out[n] = e.awards[n]
+	}
+	return out
+}
+
+// Topology returns the engine's shard partition.
+func (e *LiveEngine) Topology() cluster.Topology { return e.topo }
+
+// NormalPerTick returns the fleet's per-tick normal capacity in kWh.
+func (e *LiveEngine) NormalPerTick() float64 { return e.normalPerTick }
+
+// Snapshot captures the observable state for health/metrics endpoints.
+func (e *LiveEngine) Snapshot() Snapshot {
+	s := Snapshot{
+		Tick:                e.tick,
+		TargetKWh:           e.targetPerTick,
+		ShardMeasured:       make([]float64, e.topo.Shards()),
+		ShardExpected:       make([]float64, e.topo.Shards()),
+		ShardBreached:       make([]bool, e.topo.Shards()),
+		ShardRenegotiations: append([]int(nil), e.shardRenegs...),
+		Renegotiations:      e.renegs,
+	}
+	for i := 0; i < e.topo.Shards(); i++ {
+		if last, ok := e.collector.ShardLast(i); ok {
+			s.ShardMeasured[i] = last
+			s.FleetKWh += last
+		}
+		s.ShardExpected[i] = e.expectedTick(i)
+		s.ShardBreached[i] = e.det.Breached(i)
+	}
+	st := e.collector.Stats()
+	s.Readings, s.Batches = st.Readings, st.Batches
+	return s
+}
+
+// ElasticFleetScenario builds an N-customer live-operation fleet: every
+// customer is a seeded variation of a 13.5 kWh customer whose requirement
+// table stays finite through cut-down 0.9, so an incremental re-negotiation
+// under a demand spike always has concession headroom (the paper's
+// calibrated customer tops out at 0.4, which caps how much load a live spike
+// can shed). Capacity is set for the paper's 35% initial overuse.
+func ElasticFleetScenario(n int, seed int64) (core.Scenario, error) {
+	if n <= 0 {
+		return core.Scenario{}, fmt.Errorf("%w: fleet size %d", ErrBadConfig, n)
+	}
+	levels := make([]float64, 0, 10)
+	for _, cd := range units.StandardCutDowns() {
+		levels = append(levels, cd.Float())
+	}
+	baseReq := map[float64]float64{
+		0: 0, 0.1: 4, 0.2: 9, 0.3: 15, 0.4: 22, 0.5: 30, 0.6: 39, 0.7: 49, 0.8: 60, 0.9: 72,
+	}
+	window, err := units.NewInterval(
+		time.Date(1998, 1, 20, 17, 0, 0, 0, time.UTC),
+		time.Date(1998, 1, 20, 19, 0, 0, 0, time.UTC),
+	)
+	if err != nil {
+		return core.Scenario{}, err
+	}
+	s := core.Scenario{
+		SessionID:    fmt.Sprintf("live-%d-%d", n, seed),
+		Window:       window,
+		Method:       utilityagent.MethodRewardTable,
+		Params:       core.PaperParams(),
+		InitialSlope: 42.5,
+		Customers:    make([]core.CustomerSpec, 0, n),
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var total float64
+	for i := 0; i < n; i++ {
+		factor := 0.8 + 0.8*rng.Float64()
+		req := make(map[float64]float64, len(baseReq))
+		for l, r := range baseReq {
+			req[l] = r * factor
+		}
+		prefs, err := customeragent.NewPreferences(levels, req)
+		if err != nil {
+			return core.Scenario{}, err
+		}
+		s.Customers = append(s.Customers, core.CustomerSpec{
+			Name:      fmt.Sprintf("c%06d", i),
+			Predicted: 13.5,
+			Allowed:   13.5,
+			Prefs:     prefs.WithExpectedUse(13.5),
+			Strategy:  customeragent.StrategyGreedy,
+		})
+		total += 13.5
+	}
+	s.NormalUse = units.Energy(total / 1.35)
+	return s, nil
+}

@@ -1,0 +1,206 @@
+package telemetry
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"loadbalance/internal/bus"
+	"loadbalance/internal/message"
+)
+
+// Event is an injectable demand disturbance on one meter: between StartTick
+// and EndTick (inclusive) the meter's underlying demand is multiplied by
+// Factor. Factor > 1 models a load spike (cold snap, EV charging wave),
+// Factor 0 an outage. Overlapping events multiply.
+type Event struct {
+	StartTick int
+	EndTick   int
+	Factor    float64
+}
+
+// validate checks one event.
+func (e Event) validate() error {
+	if e.StartTick < 0 || e.EndTick < e.StartTick {
+		return fmt.Errorf("%w: event ticks [%d,%d]", ErrBadConfig, e.StartTick, e.EndTick)
+	}
+	if e.Factor < 0 {
+		return fmt.Errorf("%w: event factor %v", ErrBadConfig, e.Factor)
+	}
+	return nil
+}
+
+// MeterConfig parameterises one customer meter.
+type MeterConfig struct {
+	// Customer is the metered customer's name.
+	Customer string
+	// BaseKWh is the customer's demand per tick before cut-downs and events
+	// (its negotiated-window prediction divided over the window's ticks). A
+	// per-tick series from a world profile may replace it via Series.
+	BaseKWh float64
+	// Series optionally replaces the flat BaseKWh with a per-tick baseline
+	// (e.g. world.Profile.TickSeries()); ticks beyond its length wrap around.
+	Series []float64
+	// Jitter is the relative amplitude of the stochastic measurement noise:
+	// each sample is scaled by 1 + Jitter·u with u uniform in [-1,1].
+	Jitter float64
+	// Seed drives the jitter stream (per meter, so fleets are deterministic
+	// under any sampling order).
+	Seed int64
+	// Events are the demand disturbances to replay.
+	Events []Event
+}
+
+// Meter samples one customer's actual consumption per live tick: baseline
+// demand, scaled by the cut-down the customer currently honours, by any
+// active events, and by stochastic jitter. Samples are deterministic for a
+// given seed and tick sequence.
+type Meter struct {
+	cfg     MeterConfig
+	rng     *rand.Rand
+	cutDown float64
+}
+
+// NewMeter validates the configuration and constructs the meter.
+func NewMeter(cfg MeterConfig) (*Meter, error) {
+	if cfg.Customer == "" {
+		return nil, fmt.Errorf("%w: empty customer name", ErrBadConfig)
+	}
+	if cfg.BaseKWh < 0 || (cfg.BaseKWh == 0 && len(cfg.Series) == 0) {
+		return nil, fmt.Errorf("%w: base %v kWh/tick", ErrBadConfig, cfg.BaseKWh)
+	}
+	if cfg.Jitter < 0 || cfg.Jitter >= 1 {
+		return nil, fmt.Errorf("%w: jitter %v out of [0,1)", ErrBadConfig, cfg.Jitter)
+	}
+	for _, e := range cfg.Events {
+		if err := e.validate(); err != nil {
+			return nil, fmt.Errorf("%s: %w", cfg.Customer, err)
+		}
+	}
+	return &Meter{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// SetCutDown actuates an awarded cut-down: subsequent samples honour it.
+func (m *Meter) SetCutDown(cd float64) {
+	if cd < 0 {
+		cd = 0
+	}
+	if cd > 1 {
+		cd = 1
+	}
+	m.cutDown = cd
+}
+
+// CutDown returns the currently honoured cut-down.
+func (m *Meter) CutDown() float64 { return m.cutDown }
+
+// factorAt multiplies the active events' factors at a tick.
+func (m *Meter) factorAt(tick int) float64 {
+	f := 1.0
+	for _, e := range m.cfg.Events {
+		if tick >= e.StartTick && tick <= e.EndTick {
+			f *= e.Factor
+		}
+	}
+	return f
+}
+
+// baseAt returns the baseline demand for a tick.
+func (m *Meter) baseAt(tick int) float64 {
+	if len(m.cfg.Series) > 0 {
+		return m.cfg.Series[tick%len(m.cfg.Series)]
+	}
+	return m.cfg.BaseKWh
+}
+
+// Sample measures the tick's actual consumption. Consuming a sample advances
+// the meter's jitter stream, so each tick must be sampled exactly once.
+func (m *Meter) Sample(tick int) message.MeterReading {
+	jit := 1.0
+	if m.cfg.Jitter > 0 {
+		jit = 1 + m.cfg.Jitter*(2*m.rng.Float64()-1)
+	}
+	kwh := m.baseAt(tick) * m.factorAt(tick) * (1 - m.cutDown) * jit
+	if kwh < 0 {
+		kwh = 0
+	}
+	return message.MeterReading{Customer: m.cfg.Customer, Tick: tick, KWh: kwh}
+}
+
+// defaultBatchSize bounds readings per published envelope: envelopes stay a
+// few KB, and the bus carries fleet_size/batch envelopes per tick rather
+// than one per customer.
+const defaultBatchSize = 128
+
+// Fleet is the set of meters attached to one customer fleet.
+type Fleet struct {
+	meters    []*Meter
+	byName    map[string]*Meter
+	batchSize int
+}
+
+// NewFleet assembles meters into a fleet. batchSize ≤ 0 uses the default.
+func NewFleet(meters []*Meter, batchSize int) (*Fleet, error) {
+	if len(meters) == 0 {
+		return nil, fmt.Errorf("%w: empty fleet", ErrBadConfig)
+	}
+	if batchSize <= 0 {
+		batchSize = defaultBatchSize
+	}
+	f := &Fleet{meters: meters, byName: make(map[string]*Meter, len(meters)), batchSize: batchSize}
+	for _, m := range meters {
+		if _, dup := f.byName[m.cfg.Customer]; dup {
+			return nil, fmt.Errorf("%w: duplicate meter %q", ErrBadConfig, m.cfg.Customer)
+		}
+		f.byName[m.cfg.Customer] = m
+	}
+	// Deterministic sampling order regardless of construction order.
+	sort.Slice(f.meters, func(i, j int) bool { return f.meters[i].cfg.Customer < f.meters[j].cfg.Customer })
+	return f, nil
+}
+
+// Size returns the number of meters.
+func (f *Fleet) Size() int { return len(f.meters) }
+
+// Actuate pushes awarded cut-downs into the named meters.
+func (f *Fleet) Actuate(bids map[string]float64) {
+	for name, cd := range bids {
+		if m, ok := f.byName[name]; ok {
+			m.SetCutDown(cd)
+		}
+	}
+}
+
+// SampleTick measures every meter once and packs the readings into batches.
+func (f *Fleet) SampleTick(tick int) []message.MeterBatch {
+	batches := make([]message.MeterBatch, 0, (len(f.meters)+f.batchSize-1)/f.batchSize)
+	cur := message.MeterBatch{Tick: tick, Readings: make([]message.MeterReading, 0, f.batchSize)}
+	for _, m := range f.meters {
+		cur.Readings = append(cur.Readings, m.Sample(tick))
+		if len(cur.Readings) == f.batchSize {
+			batches = append(batches, cur)
+			cur = message.MeterBatch{Tick: tick, Readings: make([]message.MeterReading, 0, f.batchSize)}
+		}
+	}
+	if len(cur.Readings) > 0 {
+		batches = append(batches, cur)
+	}
+	return batches
+}
+
+// PublishTick samples the fleet and streams the batches over the bus to the
+// collector agent. It returns the number of readings published.
+func (f *Fleet) PublishTick(b bus.Bus, from, to, session string, tick int) (int, error) {
+	published := 0
+	for _, batch := range f.SampleTick(tick) {
+		env, err := message.NewEnvelope(from, to, session, batch)
+		if err != nil {
+			return published, err
+		}
+		if err := b.Send(env); err != nil {
+			return published, err
+		}
+		published += len(batch.Readings)
+	}
+	return published, nil
+}

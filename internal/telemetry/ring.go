@@ -1,0 +1,93 @@
+// Package telemetry is the live-grid feedback loop: meters stream measured
+// consumption over the bus, a collector aggregates it into per-shard time
+// series, a deviation detector compares measured against negotiated profiles,
+// and a live engine reacts to sustained drift by re-negotiating only the
+// breaching shards through the cluster tier — the pattern of feedback agents
+// streaming health measurements to a load balancer that adjusts weights
+// online, brought to the agent grid.
+//
+// The paper's negotiation (Brazier et al., ICDCS '98) balances a *predicted*
+// profile once per period; this package closes the loop for continuous
+// operation, where actual consumption drifts from the agreement and the
+// system must notice and react without re-running the fleet negotiation.
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors reported by the package.
+var (
+	ErrBadConfig = errors.New("telemetry: invalid configuration")
+	ErrNoData    = errors.New("telemetry: no data")
+)
+
+// Ring is a fixed-capacity ring buffer of float64 samples — the collector's
+// per-shard time series. Pushing beyond capacity overwrites the oldest
+// sample; memory use is constant regardless of how long the grid runs.
+type Ring struct {
+	buf  []float64
+	head int // index of the next write
+	n    int // samples held, ≤ cap
+}
+
+// NewRing allocates a ring holding up to capacity samples.
+func NewRing(capacity int) (*Ring, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("%w: ring capacity %d", ErrBadConfig, capacity)
+	}
+	return &Ring{buf: make([]float64, capacity)}, nil
+}
+
+// Push appends a sample, evicting the oldest when full.
+func (r *Ring) Push(v float64) {
+	r.buf[r.head] = v
+	r.head = (r.head + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// Len returns the number of samples held.
+func (r *Ring) Len() int { return r.n }
+
+// Cap returns the ring's capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Last returns the newest sample.
+func (r *Ring) Last() (float64, bool) {
+	if r.n == 0 {
+		return 0, false
+	}
+	return r.buf[(r.head-1+len(r.buf))%len(r.buf)], true
+}
+
+// Series copies the held samples oldest-first — the form the prediction
+// package's estimators consume.
+func (r *Ring) Series() []float64 {
+	out := make([]float64, r.n)
+	start := (r.head - r.n + len(r.buf)) % len(r.buf)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Sum returns the sum of the held samples.
+func (r *Ring) Sum() float64 {
+	total := 0.0
+	start := (r.head - r.n + len(r.buf)) % len(r.buf)
+	for i := 0; i < r.n; i++ {
+		total += r.buf[(start+i)%len(r.buf)]
+	}
+	return total
+}
+
+// Mean returns the average of the held samples (0 when empty).
+func (r *Ring) Mean() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.Sum() / float64(r.n)
+}

@@ -1,0 +1,320 @@
+package telemetry
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"loadbalance/internal/bus"
+	"loadbalance/internal/message"
+	"loadbalance/internal/prediction"
+)
+
+func TestRing(t *testing.T) {
+	if _, err := NewRing(0); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("zero capacity err = %v", err)
+	}
+	r, err := NewRing(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Last(); ok {
+		t.Fatal("empty ring has no last")
+	}
+	for i := 1; i <= 5; i++ {
+		r.Push(float64(i))
+	}
+	if r.Len() != 3 || r.Cap() != 3 {
+		t.Fatalf("len/cap = %d/%d", r.Len(), r.Cap())
+	}
+	got := r.Series()
+	want := []float64{3, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("series = %v, want %v", got, want)
+		}
+	}
+	if last, _ := r.Last(); last != 5 {
+		t.Fatalf("last = %v", last)
+	}
+	if r.Sum() != 12 || r.Mean() != 4 {
+		t.Fatalf("sum/mean = %v/%v", r.Sum(), r.Mean())
+	}
+}
+
+func TestMeterDeterministicAndEventful(t *testing.T) {
+	mk := func() *Meter {
+		m, err := NewMeter(MeterConfig{
+			Customer: "c1", BaseKWh: 2, Jitter: 0.05, Seed: 7,
+			Events: []Event{{StartTick: 3, EndTick: 4, Factor: 2}, {StartTick: 6, EndTick: 6, Factor: 0}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := mk(), mk()
+	for tick := 0; tick < 8; tick++ {
+		ra, rb := a.Sample(tick), b.Sample(tick)
+		if ra != rb {
+			t.Fatalf("tick %d: same seed diverged: %v vs %v", tick, ra, rb)
+		}
+		switch {
+		case tick == 3 || tick == 4:
+			if ra.KWh < 2*2*0.95 || ra.KWh > 2*2*1.05 {
+				t.Fatalf("spike tick %d = %v kWh, want ≈4", tick, ra.KWh)
+			}
+		case tick == 6:
+			if ra.KWh != 0 {
+				t.Fatalf("outage tick = %v kWh, want 0", ra.KWh)
+			}
+		default:
+			if ra.KWh < 2*0.95 || ra.KWh > 2*1.05 {
+				t.Fatalf("normal tick %d = %v kWh, want ≈2", tick, ra.KWh)
+			}
+		}
+	}
+	// Actuated cut-downs scale subsequent samples.
+	a.SetCutDown(0.5)
+	if r := a.Sample(10); r.KWh < 0.95 || r.KWh > 1.05 {
+		t.Fatalf("cut-down sample = %v kWh, want ≈1", r.KWh)
+	}
+}
+
+func TestMeterSeriesBaseline(t *testing.T) {
+	m, err := NewMeter(MeterConfig{Customer: "c1", Series: []float64{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick, want := range []float64{1, 2, 3, 1, 2} {
+		if got := m.Sample(tick).KWh; got != want {
+			t.Fatalf("tick %d = %v, want %v (series wraps)", tick, got, want)
+		}
+	}
+}
+
+func TestMeterConfigValidation(t *testing.T) {
+	cases := []MeterConfig{
+		{Customer: "", BaseKWh: 1},
+		{Customer: "c", BaseKWh: -1},
+		{Customer: "c"},
+		{Customer: "c", BaseKWh: 1, Jitter: 1},
+		{Customer: "c", BaseKWh: 1, Events: []Event{{StartTick: 2, EndTick: 1, Factor: 1}}},
+		{Customer: "c", BaseKWh: 1, Events: []Event{{Factor: -1}}},
+	}
+	for i, cfg := range cases {
+		if _, err := NewMeter(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("case %d: err = %v, want ErrBadConfig", i, err)
+		}
+	}
+}
+
+func TestFleetBatchesAndPublishes(t *testing.T) {
+	meters := make([]*Meter, 0, 5)
+	for _, name := range []string{"c3", "c1", "c2", "c5", "c4"} {
+		m, err := NewMeter(MeterConfig{Customer: name, BaseKWh: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		meters = append(meters, m)
+	}
+	fleet, err := NewFleet(meters, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := fleet.SampleTick(0)
+	if len(batches) != 3 {
+		t.Fatalf("batches = %d, want 3 (5 meters, batch size 2)", len(batches))
+	}
+	if got := batches[0].Readings[0].Customer; got != "c1" {
+		t.Fatalf("first reading from %q, want c1 (sorted order)", got)
+	}
+
+	b, err := bus.NewInProc(bus.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	col, err := NewCollector(CollectorConfig{
+		ShardOf: map[string]int{"c1": 0, "c2": 0, "c3": 1, "c4": 1, "c5": 1},
+		Shards:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inbox, err := b.Register(collectorName, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := fleet.PublishTick(b, meteringName, collectorName, "s", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("published %d readings, want 5", n)
+	}
+	for i := 0; i < 3; i++ {
+		env := <-inbox
+		p, err := env.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := col.Ingest(p.(message.MeterBatch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	per := col.CloseTick(1)
+	if math.Abs(per[0]-2) > 1e-9 || math.Abs(per[1]-3) > 1e-9 {
+		t.Fatalf("per-shard = %v, want [2 3]", per)
+	}
+}
+
+func TestCollectorRingsAndForecast(t *testing.T) {
+	col, err := NewCollector(CollectorConfig{ShardOf: map[string]int{"a": 0}, Shards: 1, RingTicks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := 0; tick < 3; tick++ {
+		if err := col.Ingest(message.MeterBatch{Tick: tick, Readings: []message.MeterReading{
+			{Customer: "a", Tick: tick, KWh: float64(tick + 1)},
+			{Customer: "ghost", Tick: tick, KWh: 99}, // unknown: counted as rejected
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		col.CloseTick(tick)
+	}
+	series := col.ShardSeries(0)
+	if len(series) != 3 || series[2] != 3 {
+		t.Fatalf("series = %v", series)
+	}
+	got, err := col.ForecastShard(0, prediction.MovingAverage{Window: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("forecast = %v, want 2.5", got)
+	}
+	st := col.Stats()
+	if st.Readings != 3 || st.Batches != 3 || st.Rejected != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCollectorWaitTick(t *testing.T) {
+	col, err := NewCollector(CollectorConfig{ShardOf: map[string]int{"a": 0}, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.WaitTick(0, 1, 5*time.Millisecond); err == nil {
+		t.Fatal("want deadline error with no readings")
+	}
+	if err := col.Ingest(message.MeterBatch{Tick: 0, Readings: []message.MeterReading{{Customer: "a", KWh: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.WaitTick(0, 1, time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviationDetectorHysteresis(t *testing.T) {
+	d, err := NewDeviationDetector(2, DeviationConfig{AbsKWh: 0.1, Rel: 0.2, BreachTicks: 2, ClearTicks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One out-of-threshold tick never fires.
+	if d.Observe(0, 2, 1) {
+		t.Fatal("fired on first deviating tick despite BreachTicks=2")
+	}
+	// An in-threshold tick resets the streak.
+	if d.Observe(0, 1.05, 1) || d.Observe(0, 2, 1) {
+		t.Fatal("streak should have reset")
+	}
+	// Two consecutive deviating ticks fire exactly once.
+	if !d.Observe(0, 2, 1) {
+		t.Fatal("want breach on second consecutive deviating tick")
+	}
+	if !d.Breached(0) {
+		t.Fatal("breach not latched")
+	}
+	if d.Observe(0, 2, 1) {
+		t.Fatal("latched breach fired again")
+	}
+	// The other shard is independent.
+	if d.Breached(1) {
+		t.Fatal("shard 1 never deviated")
+	}
+	// ClearTicks in-threshold ticks re-arm without a reset.
+	d.Observe(0, 1, 1)
+	d.Observe(0, 1, 1)
+	if d.Breached(0) {
+		t.Fatal("breach should have cleared after ClearTicks")
+	}
+	// Reset clears immediately.
+	d.Observe(1, 5, 1)
+	d.Observe(1, 5, 1)
+	if !d.Breached(1) {
+		t.Fatal("shard 1 should be breached")
+	}
+	d.Reset(1)
+	if d.Breached(1) {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestDeviationSignificance(t *testing.T) {
+	d, err := NewDeviationDetector(1, DeviationConfig{AbsKWh: 0.5, Rel: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Significant(1.3, 1) {
+		t.Fatal("0.3 deviation under the 0.5 kWh absolute floor must be insignificant")
+	}
+	if d.Significant(10.8, 10) {
+		t.Fatal("8% deviation under the 10% relative floor must be insignificant")
+	}
+	if !d.Significant(12, 10) {
+		t.Fatal("20% / 2 kWh deviation must be significant")
+	}
+	if !d.Significant(1, 0) {
+		t.Fatal("deviation against a zero expectation is judged on the absolute floor alone")
+	}
+}
+
+func TestDeviationConfigValidation(t *testing.T) {
+	if _, err := NewDeviationDetector(0, DeviationConfig{Rel: 0.1}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("shards=0 err = %v", err)
+	}
+	if _, err := NewDeviationDetector(1, DeviationConfig{}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("all-zero thresholds err = %v", err)
+	}
+	if _, err := NewDeviationDetector(1, DeviationConfig{AbsKWh: -1}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("negative abs err = %v", err)
+	}
+}
+
+func TestMeterBatchRoundTripOnBus(t *testing.T) {
+	batch := message.MeterBatch{Tick: 3, Readings: []message.MeterReading{
+		{Customer: "c1", Tick: 3, KWh: 1.25},
+	}}
+	env, err := message.NewEnvelope("metering", "collector", "s", batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := env.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := message.Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := back.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.(message.MeterBatch)
+	if got.Tick != 3 || len(got.Readings) != 1 || got.Readings[0] != batch.Readings[0] {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
