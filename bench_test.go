@@ -6,6 +6,7 @@ package loadbalance_test
 // reference run.
 
 import (
+	"encoding/json"
 	"fmt"
 	"testing"
 	"time"
@@ -244,6 +245,100 @@ func BenchmarkEnvelopeCodec(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// legacyWireFrame is the v1 TCP framing (an envelope nested in a JSON union
+// frame, newline-delimited), kept here as the baseline BenchmarkWireCodec
+// measures the v2 binary framing against.
+type legacyWireFrame struct {
+	Hello    string            `json:"hello,omitempty"`
+	Envelope *message.Envelope `json:"envelope,omitempty"`
+}
+
+// wireCodecEnvelopes are the two shapes that dominate transport traffic: the
+// UA's reward-table announcement (largest frame on the wire) and a
+// customer's cut-down bid (smallest, highest count).
+func wireCodecEnvelopes(b *testing.B) map[string]message.Envelope {
+	b.Helper()
+	tab, err := protocol.StandardTable(42.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := loadbalance.PaperScenario()
+	if err != nil {
+		b.Fatal(err)
+	}
+	table, err := message.NewEnvelope("ua", "", "s", tab.Message(s.Window, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	bid, err := message.NewEnvelope("c01", "ua", "s", message.CutDownBid{Round: 1, CutDown: 0.2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return map[string]message.Envelope{"table": table, "bid": bid}
+}
+
+// BenchmarkWireCodec measures one encode+decode round trip through each TCP
+// framing: the v1 newline-JSON union frame against the v2 varint-length
+// binary frame. The v2 codec is the acceptance gate for the transport
+// change: it must deliver at least 2x the v1 throughput.
+func BenchmarkWireCodec(b *testing.B) {
+	for _, name := range []string{"table", "bid"} {
+		env := wireCodecEnvelopes(b)[name]
+		b.Run("json/"+name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				data, err := json.Marshal(legacyWireFrame{Envelope: &env})
+				if err != nil {
+					b.Fatal(err)
+				}
+				data = append(data, '\n')
+				var f legacyWireFrame
+				if err := json.Unmarshal(data[:len(data)-1], &f); err != nil || f.Envelope == nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(int64(len(data)))
+			}
+		})
+		b.Run("binary/"+name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				data := bus.EncodeEnvelopeFrame(nil, env)
+				got, n, err := bus.DecodeEnvelopeFrame(data)
+				if err != nil || n != len(data) || got.Kind != env.Kind {
+					b.Fatalf("decode: %v (%d of %d bytes)", err, n, len(data))
+				}
+				b.SetBytes(int64(len(data)))
+			}
+		})
+	}
+}
+
+// BenchmarkDistributedNegotiation compares one complete negotiation through
+// the in-process concentrator tree against the same tree with every
+// concentrator behind its own pair of TCP connections — the real cost of
+// moving the tier out of process.
+func BenchmarkDistributedNegotiation(b *testing.B) {
+	s, err := core.SyntheticScenario(core.SyntheticConfig{N: 64, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Timeout = time.Minute
+	b.Run("inproc/shards4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cluster.Run(cluster.Config{Scenario: s, Shards: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tcp/shards4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cluster.RunDistributed(cluster.DistributedConfig{Scenario: s, Shards: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkE11DayPeakShaving runs a full day of rolling negotiations.

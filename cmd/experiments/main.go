@@ -9,6 +9,7 @@
 //	experiments -exp e7 -sizes 10,100,1000
 //	experiments -exp e11c -cluster-sizes 1000,10000,100000 -shards 16,64,256
 //	experiments -exp e14 -n 64 -ticks 20  # live grid with spike injection
+//	experiments -exp e15 -n 32            # distributed negotiation over TCP
 package main
 
 import (
@@ -32,7 +33,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "all", "experiment id: e1..e14, e11c (cluster scale) or all")
+		exp    = fs.String("exp", "all", "experiment id: e1..e15, e11c (cluster scale) or all")
 		out    = fs.String("out", "results", "output directory for CSV files")
 		n      = fs.Int("n", 100, "population size (e1, e5)")
 		seed   = fs.Int64("seed", 1, "random seed")
@@ -100,6 +101,7 @@ func run(args []string) error {
 		{"e13", func() (*sim.Table, error) { return sim.E13ForecastDrivenNegotiation(min(*n, 40), *seed) }},
 		{"e11c", func() (*sim.Table, error) { return sim.E11ClusterScale(clusterSizes, shardList, *seed) }},
 		{"e14", func() (*sim.Table, error) { return sim.E14LiveGrid(min(*n, 64), 8, *ticks, *seed) }},
+		{"e15", func() (*sim.Table, error) { return sim.E15DistributedNegotiation(min(*n, 64), 4, *seed) }},
 	}
 
 	ran := 0

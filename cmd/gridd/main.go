@@ -18,9 +18,23 @@
 //
 //	gridd -serve :8080 -live -customers 64 -shards 16 -tick 1s
 //
+// Distributed sharded server (the concentrators run as separate OS
+// processes; the root tier listens on -root-addr and waits for them):
+//
+//	gridd -serve :9340 -root-addr :9341 -customers 100 -shards 4
+//
+// Concentrator worker (one per shard; derives its member list from the
+// c01..cNN naming convention shared with the root):
+//
+//	gridd -role concentrator -up localhost:9341 -down localhost:9340 \
+//	      -shard 0 -shards 4 -customers 100
+//
 // Clients (one per customer; names must be c01..cNN):
 //
 //	gridd -connect localhost:9340 -name c01 -seed 1
+//
+// With -metrics ADDR the server also answers HTTP /healthz and /metrics,
+// exposing the wire transport's frame/drop/reject counters.
 //
 // The daemon shuts down cleanly on SIGINT/SIGTERM: serve loops unwind, the
 // HTTP listener drains and in-flight live ticks finish.
@@ -35,6 +49,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -67,6 +82,8 @@ func run(ctx context.Context, args []string) error {
 		serveAddr = fs.String("serve", "", "listen address for the Utility Agent daemon")
 		customers = fs.Int("customers", 10, "customer count (daemon waits for this many; live mode synthesises them)")
 		shards    = fs.Int("shards", 1, "concentrator agents fronting the fleet (server mode; 1 = flat)")
+		rootAddr  = fs.String("root-addr", "", "listen address for the root tier: concentrators run as separate worker processes that dial in (requires -shards > 1)")
+		metrics   = fs.String("metrics", "", "optional HTTP listen address answering /healthz and /metrics with wire transport counters (server mode)")
 		live      = fs.Bool("live", false, "run the live grid: negotiate once, then meter, detect drift and re-negotiate incrementally; -serve's address answers HTTP /healthz and /metrics")
 		tick      = fs.Duration("tick", time.Second, "live metering interval")
 		liveTicks = fs.Int("live-ticks", 0, "stop the live grid after this many ticks (0 = run until SIGINT/SIGTERM)")
@@ -74,21 +91,49 @@ func run(ctx context.Context, args []string) error {
 		name      = fs.String("name", "", "customer name (client mode)")
 		seed      = fs.Int64("seed", 1, "preference randomisation seed (client and live modes)")
 		timeout   = fs.Duration("timeout", 2*time.Minute, "overall negotiation timeout")
+		role      = fs.String("role", "", "process role: empty (server/client) or \"concentrator\" (worker process)")
+		upAddr    = fs.String("up", "", "root-tier server address (concentrator role)")
+		downAddr  = fs.String("down", "", "member-tier server address (concentrator role)")
+		shard     = fs.Int("shard", 0, "shard index this worker fronts (concentrator role)")
+		session   = fs.String("session", "gridd", "negotiation session id (concentrator role)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	switch {
+	case *role == "concentrator":
+		if *upAddr == "" || *downAddr == "" {
+			return fmt.Errorf("-role concentrator requires -up and -down")
+		}
+		if *shard < 0 || *shard >= *shards {
+			return fmt.Errorf("-shard %d out of range for %d shards", *shard, *shards)
+		}
+		return runConcentrator(ctx, *upAddr, *downAddr, *shard, *shards, *customers, *session)
+	case *role != "":
+		return fmt.Errorf("unknown -role %q (want \"concentrator\")", *role)
 	case *serveAddr != "" && *connect != "":
 		return fmt.Errorf("-serve and -connect are mutually exclusive")
 	case *serveAddr != "":
 		if *shards < 1 {
 			return fmt.Errorf("-shards must be at least 1")
 		}
+		if *rootAddr != "" && *shards < 2 {
+			return fmt.Errorf("-root-addr requires -shards > 1")
+		}
 		if *live {
+			if *rootAddr != "" || *metrics != "" {
+				return fmt.Errorf("-live runs in-process and serves its own /healthz and /metrics on -serve; it cannot combine with -root-addr or -metrics")
+			}
 			return runLive(ctx, *serveAddr, *customers, *shards, *tick, *liveTicks, *seed, nil)
 		}
-		return serve(ctx, *serveAddr, *customers, *shards, *timeout, nil)
+		return serve(ctx, serveConfig{
+			addr:        *serveAddr,
+			rootAddr:    *rootAddr,
+			metricsAddr: *metrics,
+			customers:   *customers,
+			shards:      *shards,
+			timeout:     *timeout,
+		}, nil)
 	case *connect != "":
 		if *name == "" {
 			return fmt.Errorf("-connect requires -name")
@@ -99,76 +144,247 @@ func run(ctx context.Context, args []string) error {
 	}
 }
 
+// customerAgents filters a bridged bus's agent list down to customers,
+// dropping worker concentrators (cluster.Topology names them cc-NNN), which
+// share the member-tier bus with the fleet they front.
+func customerAgents(agents []string) []string {
+	out := agents[:0:0]
+	for _, n := range agents {
+		if !strings.HasPrefix(n, "cc-") {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// fleetNames returns the daemon's conventional customer names c01..cNN —
+// the contract that lets worker processes derive their shard membership
+// without any exchange with the root.
+func fleetNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("c%02d", i+1)
+	}
+	return names
+}
+
+// fleetLoads returns the daemon's uniform load model over the fleet.
+func fleetLoads(names []string) map[string]protocol.CustomerLoad {
+	loads := make(map[string]protocol.CustomerLoad, len(names))
+	for _, n := range names {
+		loads[n] = protocol.CustomerLoad{Predicted: 13.5, Allowed: 13.5}
+	}
+	return loads
+}
+
+// runConcentrator is the worker process: it fronts one shard of the fleet,
+// dialing the root tier upward and the member tier downward. Membership is
+// derived from the shared c01..cNN convention, so the worker and the root
+// compute identical topologies independently.
+func runConcentrator(ctx context.Context, up, down string, shard, shards, customers int, session string) error {
+	topo, err := cluster.NewTopology(fleetLoads(fleetNames(customers)), shards)
+	if err != nil {
+		return err
+	}
+	name := topo.ConcentratorName(shard)
+	fmt.Printf("gridd: concentrator %s fronting %d customers, up %s, down %s\n",
+		name, len(topo.Members(shard)), up, down)
+	err = cluster.RunWorker(ctx, cluster.WorkerConfig{
+		UpAddr:   up,
+		DownAddr: down,
+		Concentrator: cluster.ConcentratorConfig{
+			Name:         name,
+			SessionID:    session,
+			Members:      topo.MemberLoads(shard),
+			RoundTimeout: serveRoundTimeout / 2,
+		},
+	})
+	if err != nil && ctx.Err() != nil {
+		fmt.Printf("gridd: %s interrupted\n", name)
+		return nil
+	}
+	if err == nil {
+		fmt.Printf("gridd: %s relayed session end, shutting down\n", name)
+	}
+	return err
+}
+
+// serveRoundTimeout is the UA's round timeout; concentrators must answer
+// upward well inside it, so their own shard timeout is half of it. Worker
+// processes share the constant through runConcentrator.
+const serveRoundTimeout = 5 * time.Second
+
+// serveConfig parameterises one negotiation daemon.
+type serveConfig struct {
+	addr        string // member-tier listen address
+	rootAddr    string // non-empty: concentrators are separate worker processes dialing in here
+	metricsAddr string // non-empty: HTTP /healthz and /metrics
+	customers   int
+	shards      int
+	timeout     time.Duration
+}
+
+// serveAddrs reports the daemon's bound addresses to tests using ":0".
+type serveAddrs struct {
+	member  string
+	root    string
+	metrics string
+}
+
 // serve hosts the UA, bridges remote customers onto a local bus and
-// negotiates once. The optional ready channel receives the bound address
+// negotiates once. The optional ready channel receives the bound addresses
 // (used by tests binding to :0). With shards > 1 it interposes that many
 // Concentrator Agents between the Utility Agent and the TCP-bridged fleet:
 // the UA negotiates with the concentrators on a private root bus, while each
 // concentrator fans out to its shard of remote customers over the shared
-// bridged bus by targeted send. Cancelling ctx aborts cleanly at any phase.
-func serve(ctx context.Context, addr string, customers, shards int, timeout time.Duration, ready chan<- string) error {
+// bridged bus by targeted send. With rootAddr set the root bus is itself a
+// TCP server and the concentrators are separate gridd worker processes that
+// dial in before the negotiation starts. Cancelling ctx aborts cleanly at
+// any phase.
+func serve(ctx context.Context, cfg serveConfig, ready chan<- serveAddrs) error {
 	inner, err := bus.NewInProc(bus.Config{})
 	if err != nil {
 		return err
 	}
 	defer inner.Close()
-	srv, err := bus.ListenAndServe(addr, inner)
+	srv, err := bus.ListenAndServe(cfg.addr, inner)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
-	if ready != nil {
-		ready <- srv.Addr()
-	}
-	fmt.Printf("gridd: listening on %s, waiting for %d customers\n", srv.Addr(), customers)
 
-	// Wait for the fleet to dial in.
-	deadline := time.Now().Add(timeout)
-	for len(inner.Agents()) < customers {
+	var addrs serveAddrs
+	addrs.member = srv.Addr()
+
+	// Distributed root tier: a second TCP server the worker concentrators
+	// dial into.
+	var rootInner *bus.InProc
+	var rootSrv *bus.Server
+	if cfg.rootAddr != "" {
+		rootInner, err = bus.NewInProc(bus.Config{})
+		if err != nil {
+			return err
+		}
+		defer rootInner.Close()
+		rootSrv, err = bus.ListenAndServe(cfg.rootAddr, rootInner)
+		if err != nil {
+			return err
+		}
+		defer rootSrv.Close()
+		addrs.root = rootSrv.Addr()
+	}
+
+	// Transport observability: /healthz and /metrics with the wire counters
+	// of every server this daemon runs.
+	if cfg.metricsAddr != "" {
+		ln, err := net.Listen("tcp", cfg.metricsAddr)
+		if err != nil {
+			return err
+		}
+		addrs.metrics = ln.Addr().String()
+		mux := http.NewServeMux()
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(map[string]any{"status": "ok", "customers": len(customerAgents(inner.Agents()))})
+		})
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			transports := map[string]bus.WireStats{"member": srv.WireStats()}
+			if rootSrv != nil {
+				transports["root"] = rootSrv.WireStats()
+			}
+			telemetry.WriteWireMetrics(w, transports)
+		})
+		httpSrv := &http.Server{Handler: mux}
+		go func() { _ = httpSrv.Serve(ln) }()
+		defer func() {
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = httpSrv.Shutdown(shutdownCtx)
+		}()
+	}
+
+	if ready != nil {
+		ready <- addrs
+	}
+	fmt.Printf("gridd: listening on %s, waiting for %d customers\n", srv.Addr(), cfg.customers)
+
+	// Wait for the fleet to dial in. Worker concentrators register their
+	// cc-NNN names on this same bridged bus (their downward connection), so
+	// only non-concentrator names count toward — and model — the fleet.
+	deadline := time.Now().Add(cfg.timeout)
+	for len(customerAgents(inner.Agents())) < cfg.customers {
 		if err := ctx.Err(); err != nil {
 			fmt.Println("gridd: interrupted while waiting for customers")
 			return nil
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("only %d of %d customers connected", len(inner.Agents()), customers)
+			return fmt.Errorf("only %d of %d customers connected", len(customerAgents(inner.Agents())), cfg.customers)
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
-	names := inner.Agents()
+	names := customerAgents(inner.Agents())
 	fmt.Printf("gridd: customers connected: %v\n", names)
-
-	loads := make(map[string]protocol.CustomerLoad, len(names))
-	var totalPredicted units.Energy
-	for _, n := range names {
-		loads[n] = protocol.CustomerLoad{Predicted: 13.5, Allowed: 13.5}
-		totalPredicted += 13.5
+	if cfg.rootAddr != "" {
+		// Workers derive their shard membership from the c01..cNN naming
+		// convention; a fleet dialed in under other names would negotiate
+		// against nonexistent members. Fail fast instead of timing out.
+		expected := fleetNames(cfg.customers)
+		for i, n := range names {
+			if i >= len(expected) || n != expected[i] {
+				return fmt.Errorf("distributed mode requires customers named c01..c%02d (the workers' membership convention); got %v", cfg.customers, names)
+			}
+		}
 	}
 
+	loads := fleetLoads(names)
+	totalPredicted := units.Energy(13.5 * float64(len(names)))
+
 	const session = "gridd"
-	// The UA's round timeout; concentrators must answer upward well inside
-	// it, so their own shard timeout is half of it.
-	const roundTimeout = 5 * time.Second
 	params := core.PaperParams()
 	uaBus := bus.Bus(inner)
 	uaLoads := loads
 	var parent *bus.InProc
-	if shards > 1 {
-		// Root tier: the UA talks to concentrators on a private bus; the
-		// concentrators reach their remote shards over the bridged bus.
+	switch {
+	case rootInner != nil:
+		// Worker concentrators: wait until every shard's worker has dialed
+		// the root tier, then negotiate with them over TCP.
+		topo, err := cluster.NewTopology(loads, cfg.shards)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("gridd: root tier on %s, waiting for %d concentrator workers\n", rootSrv.Addr(), cfg.shards)
+		for len(rootInner.Agents()) < cfg.shards {
+			if err := ctx.Err(); err != nil {
+				fmt.Println("gridd: interrupted while waiting for concentrators")
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("only %d of %d concentrators connected", len(rootInner.Agents()), cfg.shards)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		fmt.Printf("gridd: concentrators connected: %v\n", rootInner.Agents())
+		params = cluster.RootParams(params)
+		uaBus = rootInner
+		uaLoads = topo.AggregateLoads()
+	case cfg.shards > 1:
+		// In-process tier: the UA talks to concentrators on a private bus;
+		// the concentrators reach their remote shards over the bridged bus.
 		var err error
 		parent, err = bus.NewInProc(bus.Config{})
 		if err != nil {
 			return err
 		}
 		defer parent.Close()
-		topo, err := cluster.NewTopology(loads, shards)
+		topo, err := cluster.NewTopology(loads, cfg.shards)
 		if err != nil {
 			return err
 		}
 		tier, err := cluster.StartTier(parent, func(int) bus.Bus { return inner }, topo, cluster.TierConfig{
 			SessionID:    session,
-			RoundTimeout: roundTimeout / 2,
-			InboxSize:    4 * customers,
+			RoundTimeout: serveRoundTimeout / 2,
+			InboxSize:    4 * cfg.customers,
 		})
 		if err != nil {
 			return err
@@ -189,12 +405,12 @@ func serve(ctx context.Context, addr string, customers, shards int, timeout time
 		Method:       utilityagent.MethodRewardTable,
 		Params:       params,
 		InitialSlope: 42.5,
-		RoundTimeout: roundTimeout,
+		RoundTimeout: serveRoundTimeout,
 	})
 	if err != nil {
 		return err
 	}
-	rt, err := agentrt.Start("ua", uaBus, ua, 4*customers)
+	rt, err := agentrt.Start("ua", uaBus, ua, 4*cfg.customers)
 	if err != nil {
 		return err
 	}
@@ -207,9 +423,14 @@ func serve(ctx context.Context, addr string, customers, shards int, timeout time
 		// TCP connections.
 		time.Sleep(300 * time.Millisecond)
 		stats := inner.Stats()
-		if parent != nil {
+		if parent != nil || rootInner != nil {
 			// Count both tiers, so flat and sharded runs compare fairly.
-			p := parent.Stats()
+			var p bus.Stats
+			if parent != nil {
+				p = parent.Stats()
+			} else {
+				p = rootInner.Stats()
+			}
 			stats.Sent += p.Sent
 			stats.Delivered += p.Delivered
 			stats.Dropped += p.Dropped
@@ -218,12 +439,20 @@ func serve(ctx context.Context, addr string, customers, shards int, timeout time
 		}
 		full := &core.Result{Result: res, Bus: stats}
 		fmt.Print(sim.RenderResult(full))
+		ws := srv.WireStats()
+		fmt.Printf("wire: member tier %d frames in / %d out, %d dropped, %d rejected\n",
+			ws.FramesIn, ws.FramesOut, ws.Dropped, ws.Rejected)
+		if rootSrv != nil {
+			rs := rootSrv.WireStats()
+			fmt.Printf("wire: root tier %d frames in / %d out, %d dropped, %d rejected\n",
+				rs.FramesIn, rs.FramesOut, rs.Dropped, rs.Rejected)
+		}
 		return nil
 	case <-ctx.Done():
 		fmt.Println("gridd: interrupted, abandoning negotiation")
 		return nil
-	case <-time.After(timeout):
-		return fmt.Errorf("negotiation timed out after %v", timeout)
+	case <-time.After(cfg.timeout):
+		return fmt.Errorf("negotiation timed out after %v", cfg.timeout)
 	}
 }
 

@@ -2,13 +2,32 @@ package main
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 )
+
+// TestMain doubles as the worker-process entry point: spawned copies of the
+// test binary with GRIDD_HELPER=1 run gridd's real main path instead of the
+// test suite, which is how the multi-process tests exercise true os/exec
+// concentrator workers without building the binary first.
+func TestMain(m *testing.M) {
+	if os.Getenv("GRIDD_HELPER") == "1" {
+		if err := run(context.Background(), os.Args[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "gridd helper:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
 
 func TestRunFlagValidation(t *testing.T) {
 	tests := []struct {
@@ -68,14 +87,15 @@ func TestWindowNow(t *testing.T) {
 // worth of clients inside one test over real TCP.
 func TestServerClientEndToEnd(t *testing.T) {
 	ctx := context.Background()
-	ready := make(chan string, 1)
+	ready := make(chan serveAddrs, 1)
 	serverErr := make(chan error, 1)
 	go func() {
-		serverErr <- serve(ctx, "127.0.0.1:0", 3, 1, 30*time.Second, ready)
+		serverErr <- serve(ctx, serveConfig{addr: "127.0.0.1:0", customers: 3, shards: 1, timeout: 30 * time.Second}, ready)
 	}()
 	var addr string
 	select {
-	case addr = <-ready:
+	case a := <-ready:
+		addr = a.member
 	case <-time.After(5 * time.Second):
 		t.Fatal("server never became ready")
 	}
@@ -110,14 +130,15 @@ func TestServerClientEndToEnd(t *testing.T) {
 // still see its session end.
 func TestShardedServerEndToEnd(t *testing.T) {
 	ctx := context.Background()
-	ready := make(chan string, 1)
+	ready := make(chan serveAddrs, 1)
 	serverErr := make(chan error, 1)
 	go func() {
-		serverErr <- serve(ctx, "127.0.0.1:0", 4, 2, 30*time.Second, ready)
+		serverErr <- serve(ctx, serveConfig{addr: "127.0.0.1:0", customers: 4, shards: 2, timeout: 30 * time.Second}, ready)
 	}()
 	var addr string
 	select {
-	case addr = <-ready:
+	case a := <-ready:
+		addr = a.member
 	case <-time.After(5 * time.Second):
 		t.Fatal("server never became ready")
 	}
@@ -148,6 +169,155 @@ func TestShardedServerEndToEnd(t *testing.T) {
 	}
 }
 
+// TestDistributedServerEndToEnd is the full multi-process deployment: the
+// daemon hosts the member and root tiers, four concentrator workers run as
+// separate OS processes (exec'd copies of this binary), and eight customers
+// dial in over TCP. Every client must see its session end, every worker must
+// exit cleanly, and the /metrics endpoint must account for the four worker
+// handshakes on the root tier.
+func TestDistributedServerEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	const (
+		customers = 8
+		shards    = 4
+	)
+	ctx := context.Background()
+	ready := make(chan serveAddrs, 1)
+	serverErr := make(chan error, 1)
+	go func() {
+		serverErr <- serve(ctx, serveConfig{
+			addr:        "127.0.0.1:0",
+			rootAddr:    "127.0.0.1:0",
+			metricsAddr: "127.0.0.1:0",
+			customers:   customers,
+			shards:      shards,
+			timeout:     60 * time.Second,
+		}, ready)
+	}()
+	var addrs serveAddrs
+	select {
+	case addrs = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	// Concentrator workers: separate OS processes.
+	workers := make([]*exec.Cmd, shards)
+	for i := range workers {
+		cmd := exec.Command(os.Args[0],
+			"-role", "concentrator",
+			"-up", addrs.root,
+			"-down", addrs.member,
+			"-shard", strconv.Itoa(i),
+			"-shards", strconv.Itoa(shards),
+			"-customers", strconv.Itoa(customers),
+		)
+		cmd.Env = append(os.Environ(), "GRIDD_HELPER=1")
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+		workers[i] = cmd
+	}
+	defer func() {
+		for _, w := range workers {
+			if w.Process != nil {
+				_ = w.Process.Kill()
+			}
+		}
+	}()
+
+	// The workers dial the root tier immediately; /metrics must account for
+	// all four handshakes while the daemon is still waiting for customers.
+	scrape := func() string {
+		resp, err := http.Get("http://" + addrs.metrics + "/metrics")
+		if err != nil {
+			return ""
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+	metricsDeadline := time.Now().Add(10 * time.Second)
+	var metrics string
+	for {
+		metrics = scrape()
+		if strings.Contains(metrics, `bus_wire_hellos_total{transport="root"} 4`) {
+			break
+		}
+		if time.Now().After(metricsDeadline) {
+			t.Fatalf("root tier never saw 4 worker handshakes:\n%s", metrics)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for _, want := range []string{
+		`bus_wire_hellos_total{transport="member"}`,
+		`bus_wire_rejected_total{transport="root"} 0`,
+		`bus_wire_frames_out_total{transport="member"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// Customers: in-process clients over real TCP.
+	var wg sync.WaitGroup
+	clientErrs := make([]error, customers)
+	for i := 0; i < customers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			clientErrs[i] = runClient(ctx, addrs.member, fmt.Sprintf("c%02d", i+1), int64(i+1))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range clientErrs {
+		if err != nil {
+			t.Errorf("client %d: %v", i, err)
+		}
+	}
+	select {
+	case err := <-serverErr:
+		if err != nil {
+			t.Fatalf("server: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never finished")
+	}
+	for i, w := range workers {
+		done := make(chan error, 1)
+		go func(w *exec.Cmd) { done <- w.Wait() }(w)
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("worker %d exited: %v", i, err)
+			}
+		case <-time.After(15 * time.Second):
+			_ = w.Process.Kill()
+			t.Errorf("worker %d never exited", i)
+		}
+	}
+}
+
+// TestCustomerAgentsFiltersConcentrators guards the distributed serve path:
+// worker concentrators share the member-tier bus with the fleet, and must
+// never count toward — or be modelled in — the customer quorum.
+func TestCustomerAgentsFiltersConcentrators(t *testing.T) {
+	agents := []string{"c01", "c02", "cc-000", "cc-001", "c03"}
+	got := customerAgents(agents)
+	if len(got) != 3 {
+		t.Fatalf("customerAgents = %v, want the 3 customers", got)
+	}
+	for _, n := range got {
+		if strings.HasPrefix(n, "cc-") {
+			t.Fatalf("concentrator %q leaked into the fleet model", n)
+		}
+	}
+}
+
 // TestShardsFlagValidation rejects nonsensical shard counts.
 func TestShardsFlagValidation(t *testing.T) {
 	err := run(context.Background(), []string{"-serve", ":0", "-shards", "0"})
@@ -160,10 +330,10 @@ func TestShardsFlagValidation(t *testing.T) {
 // unwinds the daemon while it waits for customers, with a nil error.
 func TestServeShutsDownOnCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
-	ready := make(chan string, 1)
+	ready := make(chan serveAddrs, 1)
 	serverErr := make(chan error, 1)
 	go func() {
-		serverErr <- serve(ctx, "127.0.0.1:0", 3, 1, 30*time.Second, ready)
+		serverErr <- serve(ctx, serveConfig{addr: "127.0.0.1:0", customers: 3, shards: 1, timeout: 30 * time.Second}, ready)
 	}()
 	select {
 	case <-ready:

@@ -9,6 +9,8 @@
 //	loadsim -method offer            # compare announcement methods
 //	loadsim -beta 3 -adaptive        # negotiation-speed experiments
 //	loadsim -drop 0.1 -round-timeout 50ms
+//	loadsim -shards 4                # hierarchical (concentrator) negotiation
+//	loadsim -shards 4 -tcp           # concentrators behind TCP connections
 package main
 
 import (
@@ -41,6 +43,8 @@ func run(args []string) error {
 		roundTimeout = fs.Duration("round-timeout", 0, "close rounds on timeout (required with -drop)")
 		margin       = fs.Float64("margin", 0.2, "customer profit margin (population scenario)")
 		verifyTrace  = fs.Bool("verify", true, "verify the trace against the protocol properties")
+		shards       = fs.Int("shards", 0, "negotiate through this many Concentrator Agents (0 = flat)")
+		tcp          = fs.Bool("tcp", false, "place each concentrator behind its own TCP connections (requires -shards)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,6 +89,13 @@ func run(args []string) error {
 	s.RoundTimeout = *roundTimeout
 	s.Seed = *seed
 
+	if *tcp && *shards < 1 {
+		return fmt.Errorf("-tcp requires -shards")
+	}
+	if *shards > 0 {
+		return runSharded(s, *shards, *tcp)
+	}
+
 	res, err := loadbalance.Run(s)
 	if err != nil {
 		return err
@@ -100,4 +111,50 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// runSharded negotiates the scenario through a concentrator tree, in-process
+// or (with tcp) with every concentrator behind its own TCP connection pair,
+// and prints the root-session trace plus the transport's counters.
+func runSharded(s loadbalance.Scenario, shards int, tcp bool) error {
+	if !tcp {
+		res, err := loadbalance.RunSharded(loadbalance.ClusterConfig{Scenario: s, Shards: shards})
+		if err != nil {
+			return err
+		}
+		for _, e := range res.AgentErrors {
+			return fmt.Errorf("agent error: %w", e)
+		}
+		fmt.Print(loadbalance.Render(&loadbalance.Result{Result: res.Result, Bus: sumShardStats(res)}))
+		fmt.Printf("\nsharded over %d concentrators; awards above are per-concentrator aggregates\n", res.Shards)
+		return nil
+	}
+	res, err := loadbalance.RunDistributed(loadbalance.DistributedConfig{Scenario: s, Shards: shards})
+	if err != nil {
+		return err
+	}
+	for _, e := range res.AgentErrors {
+		return fmt.Errorf("agent error: %w", e)
+	}
+	fmt.Print(loadbalance.Render(&loadbalance.Result{Result: res.Result.Result, Bus: sumShardStats(&res.Result)}))
+	fmt.Printf("\ndistributed over %d concentrator connection pairs (wire protocol v2)\n", res.Shards)
+	fmt.Printf("wire: root %d frames in / %d out; member %d in / %d out; %d dropped, %d malformed\n",
+		res.RootWire.FramesIn, res.RootWire.FramesOut,
+		res.MemberWire.FramesIn, res.MemberWire.FramesOut,
+		res.RootWire.Dropped+res.MemberWire.Dropped,
+		res.RootWire.Malformed+res.MemberWire.Malformed)
+	return nil
+}
+
+// sumShardStats folds both tiers' bus counters into one, so flat and
+// sharded renders compare fairly.
+func sumShardStats(res *loadbalance.ClusterResult) loadbalance.BusStats {
+	total := res.ParentBus
+	for _, s := range res.ShardBuses {
+		total.Sent += s.Sent
+		total.Delivered += s.Delivered
+		total.Dropped += s.Dropped
+		total.Rejected += s.Rejected
+	}
+	return total
 }

@@ -4,26 +4,61 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"loadbalance/internal/message"
 )
 
-// The TCP transport frames messages as newline-delimited JSON. A connection
-// opens with a hello frame naming the remote agent; afterwards both sides
-// exchange message envelopes. The server bridges remote agents onto a local
-// Bus, so the rest of the system cannot tell remote agents from local ones.
+// The TCP transport bridges remote agents onto a local Bus, so the rest of
+// the system cannot tell remote agents from local ones. v2 connections speak
+// the binary frame protocol of wire.go; v1 connections (newline-delimited
+// JSON) are detected by their first byte and served by the legacy codec for
+// the connection's lifetime. A connection opens with a hello naming the
+// remote agent; the server answers with a hello-ack (v2) or, on rejection, a
+// terminal error frame, then both sides exchange message envelopes.
 
-// helloFrame is the first frame a client sends.
+// helloFrame is the first v1 frame a client sends.
 type helloFrame struct {
 	Hello string `json:"hello"`
 }
 
-// frame is the union wire frame: exactly one field is set.
+// frame is the v1 union wire frame: exactly one field is set.
 type frame struct {
 	Hello    string            `json:"hello,omitempty"`
+	Error    string            `json:"error,omitempty"`
 	Envelope *message.Envelope `json:"envelope,omitempty"`
+}
+
+// ServerConfig tunes the TCP server's overload behaviour.
+type ServerConfig struct {
+	// WriteTimeout bounds each frame write to a client, so one stalled peer
+	// cannot wedge its writer goroutine (default 10s).
+	WriteTimeout time.Duration
+	// OutboundQueue is the per-connection bounded queue of encoded frames
+	// awaiting transmission; envelopes arriving at a full queue are shed and
+	// counted in WireStats.Dropped (default 256).
+	OutboundQueue int
+	// MaxFrame bounds one inbound frame in bytes (default DefaultMaxFrame).
+	MaxFrame int
+}
+
+// withDefaults fills unset fields.
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.OutboundQueue <= 0 {
+		c.OutboundQueue = 256
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	return c
 }
 
 // Server accepts TCP connections and bridges each remote agent onto the
@@ -31,21 +66,29 @@ type frame struct {
 type Server struct {
 	bus Bus
 	ln  net.Listener
+	cfg ServerConfig
 
 	mu     sync.Mutex
 	conns  map[string]net.Conn
 	closed bool
 	wg     sync.WaitGroup
+
+	stats wireCounters
 }
 
-// ListenAndServe starts a server on addr, bridging onto bus. Callers must
-// Close the returned server.
+// ListenAndServe starts a server on addr with default tuning, bridging onto
+// bus. Callers must Close the returned server.
 func ListenAndServe(addr string, b Bus) (*Server, error) {
+	return ListenAndServeConfig(addr, b, ServerConfig{})
+}
+
+// ListenAndServeConfig starts a server with explicit overload tuning.
+func ListenAndServeConfig(addr string, b Bus, cfg ServerConfig) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("bus: listen %s: %w", addr, err)
 	}
-	s := &Server{bus: b, ln: ln, conns: make(map[string]net.Conn)}
+	s := &Server{bus: b, ln: ln, cfg: cfg.withDefaults(), conns: make(map[string]net.Conn)}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -53,6 +96,9 @@ func ListenAndServe(addr string, b Bus) (*Server, error) {
 
 // Addr returns the listening address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// WireStats returns a snapshot of the server's transport counters.
+func (s *Server) WireStats() WireStats { return s.stats.snapshot() }
 
 // acceptLoop accepts connections until the listener closes.
 func (s *Server) acceptLoop() {
@@ -67,12 +113,172 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// handle serves one client connection for its lifetime.
+// handle serves one client connection for its lifetime, sniffing the
+// protocol version from the first byte.
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
 
 	r := bufio.NewReader(conn)
+	first, err := r.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == '{' {
+		s.stats.legacyConn.Add(1)
+		s.handleLegacy(conn, r)
+		return
+	}
+	s.handleBinary(conn, r)
+}
+
+// writeRaw writes buf to conn under the server's write deadline.
+func (s *Server) writeRaw(conn net.Conn, buf []byte) error {
+	_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	_, err := conn.Write(buf)
+	_ = conn.SetWriteDeadline(time.Time{})
+	if err == nil {
+		s.stats.framesOut.Add(1)
+		s.stats.bytesOut.Add(uint64(len(buf)))
+	}
+	return err
+}
+
+// rejectBinary sends a terminal error frame and gives up on the connection.
+func (s *Server) rejectBinary(conn net.Conn, reason string) {
+	s.stats.rejected.Add(1)
+	_ = s.writeRaw(conn, appendFrame(nil, frameError, []byte(reason)))
+}
+
+// handleBinary speaks wire protocol v2 on the connection.
+func (s *Server) handleBinary(conn net.Conn, r *bufio.Reader) {
+	// Preamble: magic + the client's highest supported version. The server
+	// answers with the negotiated version (currently always 2) in the ack.
+	var preamble [2]byte
+	if _, err := io.ReadFull(r, preamble[:]); err != nil {
+		return
+	}
+	if preamble[0] != wireMagic {
+		return // not this protocol; nothing safe to answer
+	}
+	if preamble[1] < WireVersion {
+		s.rejectBinary(conn, fmt.Sprintf("unsupported protocol version %d (server speaks %d)", preamble[1], WireVersion))
+		return
+	}
+	kind, payload, n, err := readFrame(r, s.cfg.MaxFrame)
+	if err != nil || kind != frameHello {
+		s.rejectBinary(conn, "expected hello frame")
+		return
+	}
+	s.stats.framesIn.Add(1)
+	s.stats.bytesIn.Add(uint64(n))
+	name := string(payload)
+
+	inbox, err := s.bus.Register(name, 0)
+	if err != nil {
+		// A duplicate or invalid hello is answered, not silently dropped:
+		// the dialer learns its fate instead of hanging on the first read.
+		s.rejectBinary(conn, err.Error())
+		return
+	}
+	s.stats.hellos.Add(1)
+	if err := s.writeRaw(conn, appendFrame(nil, frameHelloAck, []byte{WireVersion})); err != nil {
+		s.bus.Unregister(name)
+		return
+	}
+
+	if !s.track(name, conn) {
+		s.bus.Unregister(name)
+		return
+	}
+	defer s.untrack(name)
+
+	// Outbound pipeline: the forwarder moves bus inbox envelopes into a
+	// bounded queue of encoded frames (shedding on overflow), the writer
+	// drains the queue onto the wire under a per-frame deadline. Unregister
+	// closes the inbox, which unwinds both in order.
+	out := make(chan []byte, s.cfg.OutboundQueue)
+	writerDone := make(chan struct{})
+	forwarderDone := make(chan struct{})
+	go func() {
+		defer close(forwarderDone)
+		defer close(out)
+		for env := range inbox {
+			// Shedding at a full queue must skip the encode too — overload
+			// is the one time shedding needs to be cheap. The reader may
+			// also enqueue a terminal error frame, so the capacity check is
+			// a fast path, not a guarantee; the non-blocking send decides.
+			if len(out) == cap(out) {
+				s.stats.dropped.Add(1)
+				continue
+			}
+			select {
+			case out <- EncodeEnvelopeFrame(nil, env):
+			default:
+				s.stats.dropped.Add(1)
+			}
+		}
+	}()
+	go func() {
+		defer close(writerDone)
+		for buf := range out {
+			if err := s.writeRaw(conn, buf); err != nil {
+				// A dead or stalled peer: cut the connection so the reader
+				// unblocks, then keep draining so the forwarder never does.
+				_ = conn.Close()
+				for range out {
+					s.stats.dropped.Add(1)
+				}
+				return
+			}
+		}
+	}()
+	defer func() {
+		// Single teardown path: unregistering closes the inbox, the
+		// forwarder closes the queue, the writer drains and exits.
+		s.bus.Unregister(name)
+		<-forwarderDone
+		<-writerDone
+	}()
+
+	// Reader: forward connection envelopes to the bus.
+	for {
+		kind, payload, n, err := readFrame(r, s.cfg.MaxFrame)
+		if err != nil {
+			if err == ErrFrameTooLarge || (err != io.EOF && err != io.ErrUnexpectedEOF) {
+				// The writer goroutine owns the connection now; enqueue the
+				// terminal error so it cannot interleave with an in-flight
+				// envelope frame. The deferred teardown closes the queue
+				// behind it.
+				s.stats.protoErrs.Add(1)
+				select {
+				case out <- appendFrame(nil, frameError, []byte(fmt.Sprintf("closing: %v", err))):
+				default:
+				}
+			}
+			return
+		}
+		s.stats.framesIn.Add(1)
+		s.stats.bytesIn.Add(uint64(n))
+		if kind != frameEnvelope {
+			continue // unknown frame kinds are ignored for forward compatibility
+		}
+		env, err := message.UnmarshalBinary(payload)
+		if err != nil {
+			s.stats.malformed.Add(1)
+			continue // skip malformed frames rather than killing the session
+		}
+		env.From = name // trust boundary: the connection owns its identity
+		if _, err := env.Decode(); err != nil {
+			s.stats.malformed.Add(1)
+			continue
+		}
+		_ = s.bus.Send(env) // delivery errors are the protocol layer's concern
+	}
+}
+
+// handleLegacy speaks the v1 newline-JSON protocol on the connection.
+func (s *Server) handleLegacy(conn net.Conn, r *bufio.Reader) {
 	line, err := r.ReadBytes('\n')
 	if err != nil {
 		return
@@ -85,56 +291,84 @@ func (s *Server) handle(conn net.Conn) {
 
 	inbox, err := s.bus.Register(name, 0)
 	if err != nil {
+		s.stats.rejected.Add(1)
+		if buf, merr := json.Marshal(frame{Error: err.Error()}); merr == nil {
+			_ = s.writeRaw(conn, append(buf, '\n'))
+		}
 		return
 	}
-	defer s.bus.Unregister(name)
-
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if !s.track(name, conn) {
+		s.bus.Unregister(name)
 		return
 	}
-	s.conns[name] = conn
-	s.mu.Unlock()
-	defer func() {
-		s.mu.Lock()
-		delete(s.conns, name)
-		s.mu.Unlock()
-	}()
+	defer s.untrack(name)
 
-	// Writer: forward bus inbox to the connection.
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
-		enc := json.NewEncoder(conn)
 		for env := range inbox {
 			e := env
-			if err := enc.Encode(frame{Envelope: &e}); err != nil {
+			buf, err := json.Marshal(frame{Envelope: &e})
+			if err != nil {
+				continue
+			}
+			if err := s.writeRaw(conn, append(buf, '\n')); err != nil {
+				// Cut the connection so the reader unblocks, then drain the
+				// inbox so Unregister's close is all that remains.
+				_ = conn.Close()
+				for range inbox {
+					s.stats.dropped.Add(1)
+				}
 				return
 			}
 		}
 	}()
+	defer func() {
+		// Unregister closes the inbox, which stops the writer; one site, so
+		// the old double-Unregister path is gone.
+		s.bus.Unregister(name)
+		<-writerDone
+	}()
 
-	// Reader: forward connection frames to the bus.
 	for {
 		line, err := r.ReadBytes('\n')
 		if err != nil {
-			break
+			return
 		}
+		s.stats.framesIn.Add(1)
+		s.stats.bytesIn.Add(uint64(len(line)))
 		var f frame
 		if err := json.Unmarshal(line, &f); err != nil || f.Envelope == nil {
+			s.stats.malformed.Add(1)
 			continue // skip malformed frames rather than killing the session
 		}
 		env := *f.Envelope
 		env.From = name // trust boundary: the connection owns its identity
 		if _, err := env.Decode(); err != nil {
+			s.stats.malformed.Add(1)
 			continue
 		}
-		_ = s.bus.Send(env) // delivery errors are the protocol layer's concern
+		_ = s.bus.Send(env)
 	}
-	// Unregister closes the inbox, which stops the writer.
-	s.bus.Unregister(name)
-	<-writerDone
+}
+
+// track records a live connection; it reports false when the server is
+// already closing.
+func (s *Server) track(name string, conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[name] = conn
+	return true
+}
+
+// untrack forgets a connection.
+func (s *Server) untrack(name string) {
+	s.mu.Lock()
+	delete(s.conns, name)
+	s.mu.Unlock()
 }
 
 // Close stops accepting, drops all connections and waits for handlers.
@@ -158,24 +392,81 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// Client is a remote agent's connection to a Server.
+// ClientConfig tunes a client connection.
+type ClientConfig struct {
+	// InboxSize buffers inbound envelopes (default 64). Envelopes arriving
+	// at a full inbox are dropped and counted, matching InProc overload
+	// semantics.
+	InboxSize int
+	// WriteTimeout bounds each Send's network write (default 10s).
+	WriteTimeout time.Duration
+	// HelloTimeout bounds the dial handshake round trip (default 5s).
+	HelloTimeout time.Duration
+	// MaxFrame bounds one inbound frame in bytes (default DefaultMaxFrame).
+	MaxFrame int
+}
+
+// withDefaults fills unset fields.
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.InboxSize <= 0 {
+		c.InboxSize = 64
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.HelloTimeout <= 0 {
+		c.HelloTimeout = 5 * time.Second
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	return c
+}
+
+// ClientStats counts a client connection's traffic.
+type ClientStats struct {
+	Received uint64 // envelopes decoded off the wire
+	Dropped  uint64 // envelopes discarded at a full inbox
+	Sent     uint64 // envelopes written to the wire
+}
+
+// Client is a remote agent's connection to a Server. It speaks wire
+// protocol v2.
 type Client struct {
-	name string
-	conn net.Conn
-	enc  *json.Encoder
+	name    string
+	conn    net.Conn
+	cfg     ClientConfig
+	version int
+	reader  *bufio.Reader
 
 	inbox chan message.Envelope
 	done  chan struct{}
 
-	mu     sync.Mutex
+	mu     sync.Mutex // guards closed
+	wmu    sync.Mutex // serialises connection writes
 	closed bool
+
+	statReceived, statDropped, statSent atomic.Uint64
+	dropOnce                            sync.Once
+
+	errMu   sync.Mutex
+	termErr error
 }
 
-// Dial connects to a server and identifies as the named agent.
+// Dial connects to a server with default tuning and identifies as the named
+// agent. It returns once the server has acknowledged the hello, so a
+// rejected name (already registered, say) fails here instead of stalling
+// the first read.
 func Dial(addr, name string) (*Client, error) {
+	return DialConfig(addr, name, ClientConfig{})
+}
+
+// DialConfig connects with explicit tuning.
+func DialConfig(addr, name string, cfg ClientConfig) (*Client, error) {
 	if name == "" {
 		return nil, fmt.Errorf("%w: empty name", ErrUnknownAgent)
 	}
+	cfg = cfg.withDefaults()
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("bus: dial %s: %w", addr, err)
@@ -183,36 +474,81 @@ func Dial(addr, name string) (*Client, error) {
 	c := &Client{
 		name:  name,
 		conn:  conn,
-		enc:   json.NewEncoder(conn),
-		inbox: make(chan message.Envelope, 64),
+		cfg:   cfg,
+		inbox: make(chan message.Envelope, cfg.InboxSize),
 		done:  make(chan struct{}),
 	}
-	if err := c.enc.Encode(helloFrame{Hello: name}); err != nil {
+	if err := c.handshake(); err != nil {
 		_ = conn.Close()
-		return nil, fmt.Errorf("bus: hello: %w", err)
+		return nil, err
 	}
 	go c.readLoop()
 	return c, nil
+}
+
+// handshake sends the preamble and hello, then waits for the ack.
+func (c *Client) handshake() error {
+	deadline := time.Now().Add(c.cfg.HelloTimeout)
+	_ = c.conn.SetDeadline(deadline)
+	defer c.conn.SetDeadline(time.Time{})
+
+	buf := appendFrame([]byte{wireMagic, WireVersion}, frameHello, []byte(c.name))
+	if _, err := c.conn.Write(buf); err != nil {
+		return fmt.Errorf("bus: hello: %w", err)
+	}
+	r := bufio.NewReader(c.conn)
+	kind, payload, _, err := readFrame(r, c.cfg.MaxFrame)
+	if err != nil {
+		return fmt.Errorf("%w: no hello ack: %v", ErrBadHandshake, err)
+	}
+	switch kind {
+	case frameHelloAck:
+		if len(payload) < 1 {
+			return fmt.Errorf("%w: empty hello ack", ErrBadHandshake)
+		}
+		c.version = int(payload[0])
+		if c.version != WireVersion {
+			return fmt.Errorf("%w: server negotiated version %d, client speaks %d", ErrBadHandshake, c.version, WireVersion)
+		}
+		c.reader = r
+		return nil
+	case frameError:
+		return fmt.Errorf("%w: %s", ErrRemote, payload)
+	default:
+		return fmt.Errorf("%w: unexpected frame kind %d", ErrBadHandshake, kind)
+	}
 }
 
 // readLoop pumps inbound frames into the inbox until the connection dies.
 func (c *Client) readLoop() {
 	defer close(c.inbox)
 	defer close(c.done)
-	r := bufio.NewReader(c.conn)
+	r := c.reader
 	for {
-		line, err := r.ReadBytes('\n')
+		kind, payload, _, err := readFrame(r, c.cfg.MaxFrame)
 		if err != nil {
 			return
 		}
-		var f frame
-		if err := json.Unmarshal(line, &f); err != nil || f.Envelope == nil {
-			continue
-		}
-		select {
-		case c.inbox <- *f.Envelope:
-		default:
-			// Inbox full: drop, matching InProc semantics under overload.
+		switch kind {
+		case frameEnvelope:
+			env, err := message.UnmarshalBinary(payload)
+			if err != nil {
+				continue
+			}
+			select {
+			case c.inbox <- env:
+				c.statReceived.Add(1)
+			default:
+				// Inbox full: shed, matching InProc semantics under
+				// overload — but never silently.
+				c.statDropped.Add(1)
+				c.dropOnce.Do(func() {
+					log.Printf("bus: client %q inbox full, dropping inbound envelopes (counted in Stats)", c.name)
+				})
+			}
+		case frameError:
+			c.setTermErr(fmt.Errorf("%w: %s", ErrRemote, payload))
+			return
 		}
 	}
 }
@@ -221,21 +557,63 @@ func (c *Client) readLoop() {
 // connection ends.
 func (c *Client) Inbox() <-chan message.Envelope { return c.inbox }
 
-// Send transmits an envelope. From is forced to the client's identity.
+// Version returns the negotiated wire protocol version.
+func (c *Client) Version() int { return c.version }
+
+// Stats returns a snapshot of the connection's traffic counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Received: c.statReceived.Load(),
+		Dropped:  c.statDropped.Load(),
+		Sent:     c.statSent.Load(),
+	}
+}
+
+// Err returns the terminal error frame received from the server, if any.
+func (c *Client) Err() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.termErr
+}
+
+// setTermErr records the first terminal error.
+func (c *Client) setTermErr(err error) {
+	c.errMu.Lock()
+	if c.termErr == nil {
+		c.termErr = err
+	}
+	c.errMu.Unlock()
+}
+
+// Send transmits an envelope. From is forced to the client's identity. The
+// envelope is encoded outside any lock and written under a deadline, so a
+// stalled peer delays Send by at most WriteTimeout and never blocks Close.
 func (c *Client) Send(env message.Envelope) error {
 	env.From = c.name
+	buf := EncodeEnvelopeFrame(nil, env)
+
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
 		return ErrClosed
 	}
-	if err := c.enc.Encode(frame{Envelope: &env}); err != nil {
+
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	_ = c.conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+	_, err := c.conn.Write(buf)
+	_ = c.conn.SetWriteDeadline(time.Time{})
+	if err != nil {
 		return fmt.Errorf("bus: send: %w", err)
 	}
+	c.statSent.Add(1)
 	return nil
 }
 
-// Close tears down the connection and waits for the read loop to exit.
+// Close tears down the connection and waits for the read loop to exit. It
+// does not wait on the write path: closing the connection aborts any
+// in-flight write.
 func (c *Client) Close() {
 	c.mu.Lock()
 	if c.closed {

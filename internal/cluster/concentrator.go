@@ -145,6 +145,18 @@ func (c *Concentrator) Errors() []error {
 	return out
 }
 
+// WaitUp blocks until the root-facing runtime exits — its bus closed the
+// inbox, e.g. the TCP connection to the root died. Worker processes use it
+// as a liveness signal so a vanished root cannot strand them.
+func (c *Concentrator) WaitUp() {
+	c.mu.Lock()
+	up := c.upRT
+	c.mu.Unlock()
+	if up != nil {
+		up.Wait()
+	}
+}
+
 // Done reports whether the concentrator has seen the session end and, when an
 // aggregate award was due, distributed the member awards.
 func (c *Concentrator) Done() bool {
@@ -328,8 +340,12 @@ func (c *Concentrator) maybeReplyUpward(round int, force bool) error {
 // reproduces the shard's true aggregate use exactly, so hierarchical and flat
 // balance predictions coincide.
 func (c *Concentrator) effectiveCutDownLocked() float64 {
+	// Sum over the sorted member list, not the map: float addition is not
+	// associative, so map-iteration order would make the aggregated bid —
+	// and everything the root derives from it — vary between runs.
 	var use, allowed float64
-	for name, l := range c.cfg.Members {
+	for _, name := range c.members {
+		l := c.cfg.Members[name]
 		l.CutDown = c.lastBids[name]
 		use += protocol.UseWithCutDown(l).KWhs()
 		allowed += l.Allowed.KWhs()

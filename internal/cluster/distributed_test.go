@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"sort"
+	"testing"
+	"time"
+
+	"loadbalance/internal/bus"
+	"loadbalance/internal/core"
+	"loadbalance/internal/message"
+	"loadbalance/internal/protocol"
+)
+
+// awardsJSON renders customer awards as canonical JSON (sorted by name) so
+// two runs can be compared byte for byte.
+func awardsJSON(t *testing.T, awards []protocol.CustomerAward) []byte {
+	t.Helper()
+	b, err := json.Marshal(awards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// memberAwardsJSON renders a distributed run's member awards in the same
+// canonical shape as a flat run's award list.
+func memberAwardsJSON(t *testing.T, awards map[string]message.Award) []byte {
+	t.Helper()
+	names := make([]string, 0, len(awards))
+	for n := range awards {
+		names = append(names, n)
+	}
+	// Match protocol.RTSession.Awards ordering (sorted by customer name).
+	sort.Strings(names)
+	out := make([]protocol.CustomerAward, 0, len(names))
+	for _, n := range names {
+		out = append(out, protocol.CustomerAward{Customer: n, Award: awards[n]})
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestDistributedByteIdenticalAwards is the acceptance gate for the
+// distributed tier: the seeded paper scenario negotiated across 4
+// concentrators — each behind its own pair of TCP connections — must
+// produce awards byte-identical to the flat in-process run.
+func TestDistributedByteIdenticalAwards(t *testing.T) {
+	flat, err := core.Run(paperScenario(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatJSON := awardsJSON(t, flat.Awards)
+
+	res, err := RunDistributed(DistributedConfig{Scenario: paperScenario(t), Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.AgentErrors {
+		t.Errorf("agent error: %v", e)
+	}
+	if res.Outcome != flat.Outcome || res.Rounds != flat.Rounds {
+		t.Fatalf("outcome %q in %d rounds, flat %q in %d", res.Outcome, res.Rounds, flat.Outcome, flat.Rounds)
+	}
+	distJSON := memberAwardsJSON(t, res.MemberAwards)
+	if string(distJSON) != string(flatJSON) {
+		t.Fatalf("awards differ:\ndistributed %s\nflat        %s", distJSON, flatJSON)
+	}
+
+	// The tier really ran over TCP: 4 concentrator connections on each
+	// server, with envelope frames flowing both ways.
+	if res.RootWire.Hellos != 4 {
+		t.Fatalf("root server handshakes = %d, want 4", res.RootWire.Hellos)
+	}
+	if res.MemberWire.Hellos != 4 {
+		t.Fatalf("member server handshakes = %d, want 4", res.MemberWire.Hellos)
+	}
+	for _, ws := range []bus.WireStats{res.RootWire, res.MemberWire} {
+		if ws.FramesIn == 0 || ws.FramesOut == 0 {
+			t.Fatalf("no frames crossed the wire: %+v", ws)
+		}
+		if ws.Malformed != 0 || ws.Rejected != 0 {
+			t.Fatalf("transport errors: %+v", ws)
+		}
+	}
+}
+
+// TestDistributedDeterministic runs the distributed negotiation twice and
+// expects bitwise-equal award sets — the reproducibility the sorted float
+// summation fix buys.
+func TestDistributedDeterministic(t *testing.T) {
+	run := func() []byte {
+		res, err := RunDistributed(DistributedConfig{Scenario: paperScenario(t), Shards: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return memberAwardsJSON(t, res.MemberAwards)
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Fatalf("two distributed runs differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestDistributedRejectsLossyScenario documents the lossless contract.
+func TestDistributedRejectsLossyScenario(t *testing.T) {
+	s := paperScenario(t)
+	s.DropRate = 0.1
+	s.RoundTimeout = 50 * time.Millisecond
+	if _, err := RunDistributed(DistributedConfig{Scenario: s}); err == nil {
+		t.Fatal("lossy scenario should be rejected")
+	}
+}
+
+// TestRunWorker hosts one shard's concentrator through the worker entry
+// point (the cmd/gridd -role concentrator path) against in-test servers,
+// while the remaining shards run through DialTier.
+func TestRunWorker(t *testing.T) {
+	s := paperScenario(t)
+	topo, err := NewTopology(s.Loads(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	memberBus, err := bus.NewInProc(bus.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer memberBus.Close()
+	memberSrv, err := bus.ListenAndServe("127.0.0.1:0", memberBus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer memberSrv.Close()
+	rootBus, err := bus.NewInProc(bus.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rootBus.Close()
+	rootSrv, err := bus.ListenAndServe("127.0.0.1:0", rootBus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rootSrv.Close()
+
+	// The shard's members must exist on the member bus for the relay's
+	// targeted sends to land; dummy mailboxes are enough.
+	for _, name := range topo.Members(0) {
+		if _, err := memberBus.Register(name, 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	workerErr := make(chan error, 1)
+	go func() {
+		workerErr <- RunWorker(ctx, WorkerConfig{
+			UpAddr:   rootSrv.Addr(),
+			DownAddr: memberSrv.Addr(),
+			Concentrator: ConcentratorConfig{
+				Name:      topo.ConcentratorName(0),
+				SessionID: s.SessionID,
+				Members:   topo.MemberLoads(0),
+			},
+		})
+	}()
+
+	// Wait for the worker's upward connection to register, then hand it a
+	// session end so it unwinds; its members are silent, which is fine — the
+	// worker only needs the relay to complete.
+	deadline := time.After(5 * time.Second)
+	for len(rootBus.Agents()) < 1 {
+		select {
+		case <-deadline:
+			t.Fatalf("worker never registered upward: %v", rootBus.Agents())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	end, err := message.NewEnvelope("ua", topo.ConcentratorName(0), s.SessionID, message.SessionEnd{Round: 1, Reason: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rootBus.Send(end); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-workerErr:
+		if err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+	case <-time.After(8 * time.Second):
+		t.Fatal("worker never finished")
+	}
+}

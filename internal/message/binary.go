@@ -1,0 +1,112 @@
+package message
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary envelope codec for the TCP transport's v2 wire format. The JSON
+// codec (Marshal/Unmarshal) stays the interchange format for persistence and
+// for v1 connections; the binary codec exists so an envelope crossing the
+// network is encoded in a single pass — five length-prefixed byte strings —
+// instead of being re-marshalled as a JSON document inside a JSON frame.
+//
+// Layout (all lengths are unsigned varints):
+//
+//	uvarint(len(From))    From bytes
+//	uvarint(len(To))      To bytes
+//	uvarint(len(Session)) Session bytes
+//	uvarint(len(Kind))    Kind bytes
+//	uvarint(len(Body))    Body bytes (the payload's JSON document, verbatim)
+//
+// The Body stays JSON: payload schemas evolve faster than routing metadata,
+// and the frame-level decoder never needs to look inside it.
+
+// ErrTruncated reports a binary envelope that ends mid-field.
+var ErrTruncated = errors.New("message: truncated binary envelope")
+
+// BinarySize returns the exact encoded size of the envelope in bytes.
+func (e Envelope) BinarySize() int {
+	return varintStringSize(len(e.From)) +
+		varintStringSize(len(e.To)) +
+		varintStringSize(len(e.Session)) +
+		varintStringSize(len(string(e.Kind))) +
+		varintStringSize(len(e.Body))
+}
+
+// varintStringSize is the encoded size of one length-prefixed byte string.
+func varintStringSize(n int) int {
+	var tmp [binary.MaxVarintLen64]byte
+	return binary.PutUvarint(tmp[:], uint64(n)) + n
+}
+
+// AppendBinary appends the binary encoding of the envelope to dst and
+// returns the extended slice.
+func (e Envelope) AppendBinary(dst []byte) []byte {
+	dst = appendVarintString(dst, e.From)
+	dst = appendVarintString(dst, e.To)
+	dst = appendVarintString(dst, e.Session)
+	dst = appendVarintString(dst, string(e.Kind))
+	return appendVarintString(dst, string(e.Body))
+}
+
+// MarshalBinary renders the envelope in the v2 binary layout.
+func (e Envelope) MarshalBinary() ([]byte, error) {
+	return e.AppendBinary(make([]byte, 0, e.BinarySize())), nil
+}
+
+// appendVarintString appends one length-prefixed byte string.
+func appendVarintString(dst []byte, s string) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(s)))
+	dst = append(dst, tmp[:n]...)
+	return append(dst, s...)
+}
+
+// UnmarshalBinary parses a binary envelope. It checks structure only (five
+// well-formed fields consuming exactly data); callers validate content with
+// Envelope.Decode, mirroring the JSON transport's split between framing and
+// payload validation.
+func UnmarshalBinary(data []byte) (Envelope, error) {
+	var e Envelope
+	var err error
+	if e.From, data, err = readVarintString(data); err != nil {
+		return Envelope{}, fmt.Errorf("%w: from", err)
+	}
+	if e.To, data, err = readVarintString(data); err != nil {
+		return Envelope{}, fmt.Errorf("%w: to", err)
+	}
+	if e.Session, data, err = readVarintString(data); err != nil {
+		return Envelope{}, fmt.Errorf("%w: session", err)
+	}
+	var kind string
+	if kind, data, err = readVarintString(data); err != nil {
+		return Envelope{}, fmt.Errorf("%w: kind", err)
+	}
+	e.Kind = Kind(kind)
+	var body string
+	if body, data, err = readVarintString(data); err != nil {
+		return Envelope{}, fmt.Errorf("%w: body", err)
+	}
+	if len(body) > 0 {
+		e.Body = []byte(body)
+	}
+	if len(data) != 0 {
+		return Envelope{}, fmt.Errorf("message: %d trailing bytes after binary envelope", len(data))
+	}
+	return e, nil
+}
+
+// readVarintString consumes one length-prefixed byte string.
+func readVarintString(data []byte) (string, []byte, error) {
+	n, used := binary.Uvarint(data)
+	if used <= 0 {
+		return "", nil, ErrTruncated
+	}
+	data = data[used:]
+	if uint64(len(data)) < n {
+		return "", nil, ErrTruncated
+	}
+	return string(data[:n]), data[n:], nil
+}

@@ -1,0 +1,117 @@
+package message
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// binEnv builds a validated envelope for codec tests.
+func binEnv(t *testing.T, p Payload) Envelope {
+	t.Helper()
+	e, err := NewEnvelope("ua", "c1", "s1", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// binWindow is a valid test window.
+func binWindow() Window {
+	start := time.Date(2026, 7, 29, 18, 0, 0, 0, time.UTC)
+	return Window{Start: start, End: start.Add(2 * time.Hour)}
+}
+
+func TestBinaryRoundTripAllKinds(t *testing.T) {
+	payloads := []Payload{
+		OfferTerms{Window: binWindow(), XMax: 0.8, AllowanceKWh: 13.5, LowPrice: 1, NormalPrice: 2, HighPrice: 3},
+		BidRequest{Window: binWindow(), Round: 1, LowPrice: 1, NormalPrice: 2, HighPrice: 3},
+		RewardTable{Window: binWindow(), Round: 2, Entries: []RewardEntry{{0, 0}, {0.1, 4.25}, {0.2, 8.5}}},
+		CutDownBid{Round: 2, CutDown: 0.2},
+		Award{Round: 3, CutDown: 0.2, Reward: 8.5},
+		SessionEnd{Round: 3, Reason: "converged"},
+	}
+	for _, p := range payloads {
+		e := binEnv(t, p)
+		data, err := e.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) != e.BinarySize() {
+			t.Fatalf("%s: encoded %d bytes, BinarySize says %d", p.Kind(), len(data), e.BinarySize())
+		}
+		got, err := UnmarshalBinary(data)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Kind(), err)
+		}
+		if got.From != e.From || got.To != e.To || got.Session != e.Session || got.Kind != e.Kind {
+			t.Fatalf("%s: metadata mismatch: %+v vs %+v", p.Kind(), got, e)
+		}
+		if !bytes.Equal(got.Body, e.Body) {
+			t.Fatalf("%s: body mismatch", p.Kind())
+		}
+		if _, err := got.Decode(); err != nil {
+			t.Fatalf("%s: decode after round trip: %v", p.Kind(), err)
+		}
+	}
+}
+
+func TestBinaryRoundTripEmptyFields(t *testing.T) {
+	// Broadcast envelopes carry an empty To; the codec must preserve it.
+	e, err := NewEnvelope("ua", "", "s1", SessionEnd{Round: 1, Reason: "done"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.To != "" {
+		t.Fatalf("To = %q, want empty", got.To)
+	}
+}
+
+func TestBinaryTruncation(t *testing.T) {
+	e := binEnv(t, CutDownBid{Round: 1, CutDown: 0.2})
+	data, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := UnmarshalBinary(data[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut at %d: error = %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestBinaryTrailingBytes(t *testing.T) {
+	e := binEnv(t, CutDownBid{Round: 1, CutDown: 0.2})
+	data, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalBinary(append(data, 0x00)); err == nil {
+		t.Fatal("trailing bytes must be rejected")
+	}
+}
+
+func TestBinaryAppendUsesPrefix(t *testing.T) {
+	e := binEnv(t, CutDownBid{Round: 1, CutDown: 0.2})
+	prefix := []byte("hdr")
+	out := e.AppendBinary(prefix)
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatal("AppendBinary must extend the given slice")
+	}
+	got, err := UnmarshalBinary(out[len(prefix):])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Session != "s1" {
+		t.Fatalf("session = %q", got.Session)
+	}
+}

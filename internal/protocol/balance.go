@@ -12,6 +12,7 @@ package protocol
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"loadbalance/internal/units"
 )
@@ -53,11 +54,19 @@ func UseWithCutDown(c CustomerLoad) units.Energy {
 
 // PredictedOveruse evaluates predicted_overuse = Σ_c use_with_cutdown(c) −
 // normal_use, in kWh. The value is negative when predicted demand sits below
-// normal capacity.
+// normal capacity. The sum runs in sorted-name order: float addition is not
+// associative, so summing in map-iteration order makes two runs of the same
+// seeded scenario disagree in the last ulp — and every reward table derived
+// from the overuse with them.
 func PredictedOveruse(loads map[string]CustomerLoad, normalUse units.Energy) float64 {
+	names := make([]string, 0, len(loads))
+	for n := range loads {
+		names = append(names, n)
+	}
+	sort.Strings(names)
 	total := 0.0
-	for _, c := range loads {
-		total += UseWithCutDown(c).KWhs()
+	for _, n := range names {
+		total += UseWithCutDown(loads[n]).KWhs()
 	}
 	return total - normalUse.KWhs()
 }

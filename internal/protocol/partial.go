@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"fmt"
+	"sort"
 
 	"loadbalance/internal/units"
 )
@@ -59,12 +60,18 @@ const minResidualFraction = 0.01
 // (1+allowed_overuse)·normal_use, because the complement's use is already
 // accounted for.
 func ResidualNormalUse(loads map[string]CustomerLoad, normalUse units.Energy, subset map[string]bool) units.Energy {
-	var complement units.Energy
-	for name, l := range loads {
-		if subset[name] {
-			continue
+	// Sorted-name summation, like PredictedOveruse: keeps repeated runs of a
+	// seeded live loop bitwise reproducible.
+	names := make([]string, 0, len(loads))
+	for name := range loads {
+		if !subset[name] {
+			names = append(names, name)
 		}
-		complement = complement.Add(UseWithCutDown(l))
+	}
+	sort.Strings(names)
+	var complement units.Energy
+	for _, name := range names {
+		complement = complement.Add(UseWithCutDown(loads[name]))
 	}
 	residual := normalUse.Sub(complement)
 	if floor := normalUse.Scale(minResidualFraction); residual < floor {

@@ -1,0 +1,36 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE15DistributedNegotiation(t *testing.T) {
+	tab, err := E15DistributedNegotiation(16, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	if !strings.Contains(out, "byte-identical") {
+		t.Fatalf("distributed awards not byte-identical to flat:\n%s", out)
+	}
+	for _, mode := range []string{"flat", "sharded", "distributed"} {
+		if !strings.Contains(out, mode) {
+			t.Fatalf("missing %q row:\n%s", mode, out)
+		}
+	}
+	if strings.Count(out, "converged") != 3 {
+		t.Fatalf("all three modes must converge:\n%s", out)
+	}
+}
+
+func TestE15ShardDefaulting(t *testing.T) {
+	// n below the shard count is raised to it; zero shards falls to 4.
+	tab, err := E15DistributedNegotiation(1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.Name, "4 concentrators") {
+		t.Fatalf("shard default not applied: %s", tab.Name)
+	}
+}

@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"loadbalance/internal/bus"
+)
+
+// WriteWireMetrics renders TCP transport endpoints' frame counters in
+// Prometheus text exposition format, one series per transport label. gridd's
+// /metrics endpoint passes one entry per server (member tier, root tier), so
+// a scraper sees queue-overflow drops and hello rejections the moment a peer
+// goes slow or a name collides.
+func WriteWireMetrics(w io.Writer, transports map[string]bus.WireStats) {
+	names := make([]string, 0, len(transports))
+	for n := range transports {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	metrics := []struct {
+		name string
+		get  func(bus.WireStats) uint64
+	}{
+		{"bus_wire_frames_in_total", func(s bus.WireStats) uint64 { return s.FramesIn }},
+		{"bus_wire_frames_out_total", func(s bus.WireStats) uint64 { return s.FramesOut }},
+		{"bus_wire_bytes_in_total", func(s bus.WireStats) uint64 { return s.BytesIn }},
+		{"bus_wire_bytes_out_total", func(s bus.WireStats) uint64 { return s.BytesOut }},
+		{"bus_wire_dropped_total", func(s bus.WireStats) uint64 { return s.Dropped }},
+		{"bus_wire_hellos_total", func(s bus.WireStats) uint64 { return s.Hellos }},
+		{"bus_wire_legacy_conns_total", func(s bus.WireStats) uint64 { return s.LegacyConn }},
+		{"bus_wire_rejected_total", func(s bus.WireStats) uint64 { return s.Rejected }},
+		{"bus_wire_malformed_total", func(s bus.WireStats) uint64 { return s.Malformed }},
+		{"bus_wire_protocol_errors_total", func(s bus.WireStats) uint64 { return s.ProtoErrs }},
+	}
+	for _, m := range metrics {
+		fmt.Fprintf(w, "# TYPE %s counter\n", m.name)
+		for _, n := range names {
+			fmt.Fprintf(w, "%s{transport=%q} %d\n", m.name, n, m.get(transports[n]))
+		}
+	}
+}

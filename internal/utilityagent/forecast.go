@@ -109,15 +109,21 @@ func (f Forecaster) LoadsFromHistory(histories map[string][]float64) (map[string
 }
 
 // ForecastError quantifies fleet-level forecast quality against the actual
-// outcomes: mean absolute percentage error across customers.
+// outcomes: mean absolute percentage error across customers. Customers are
+// visited in sorted order so the float accumulation is reproducible.
 func ForecastError(loads map[string]protocol.CustomerLoad, actual map[string]units.Energy) (float64, error) {
+	names := make([]string, 0, len(loads))
+	for name := range loads {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var forecasts, actuals []float64
-	for name, l := range loads {
+	for _, name := range names {
 		a, ok := actual[name]
 		if !ok {
 			continue
 		}
-		forecasts = append(forecasts, l.Predicted.KWhs())
+		forecasts = append(forecasts, loads[name].Predicted.KWhs())
 		actuals = append(actuals, a.KWhs())
 	}
 	return prediction.MAPE(forecasts, actuals)

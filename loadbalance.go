@@ -38,6 +38,7 @@
 package loadbalance
 
 import (
+	"loadbalance/internal/bus"
 	"loadbalance/internal/cluster"
 	"loadbalance/internal/core"
 	"loadbalance/internal/customeragent"
@@ -130,6 +131,25 @@ type SyntheticConfig = core.SyntheticConfig
 // terminal outcome as Run, with per-round root work dropping from O(N) to
 // O(K) and shards running in parallel.
 func RunSharded(cfg ClusterConfig) (*ClusterResult, error) { return cluster.Run(cfg) }
+
+// BusStats holds one transport's cumulative message counters.
+type BusStats = bus.Stats
+
+// DistributedConfig parameterises a negotiation whose concentrator tier runs
+// behind TCP connections — the multi-process deployment.
+type DistributedConfig = cluster.DistributedConfig
+
+// DistributedResult extends ClusterResult with the transport's frame
+// counters and the awards exactly as delivered over the tree.
+type DistributedResult = cluster.DistributedResult
+
+// RunDistributed executes a scenario through a concentrator tree whose tiers
+// are joined by TCP on the binary wire protocol: root bus ⇄ root server ⇄ K
+// concentrator connections ⇄ member server ⇄ the customers. A seeded
+// scenario produces awards byte-identical to Run's.
+func RunDistributed(cfg DistributedConfig) (*DistributedResult, error) {
+	return cluster.RunDistributed(cfg)
+}
 
 // SyntheticScenario builds an N-customer scale-test fleet (seeded variations
 // of the paper's customer) without the cost of the household simulator.
