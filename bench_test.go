@@ -19,6 +19,7 @@ import (
 	"loadbalance/internal/message"
 	"loadbalance/internal/protocol"
 	"loadbalance/internal/sim"
+	"loadbalance/internal/store"
 	"loadbalance/internal/telemetry"
 	"loadbalance/internal/utilityagent"
 )
@@ -366,6 +367,42 @@ func BenchmarkE13ForecastDriven(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkJournalAppend measures the durability hot path: meter-batch
+// checkpoint records (16-shard tick vectors, the record the live loop
+// appends every tick) encoded and appended to the write-ahead journal, with
+// the loop's commit cadence (one buffer flush per 64 records) and a final
+// fsync. The acceptance gate for the store is ≥500k records/s — journaling
+// must never bottleneck the telemetry floor of 100k readings/s.
+func BenchmarkJournalAppend(b *testing.B) {
+	st, _, err := store.Open(b.TempDir(), store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	cp := store.TickCheckpoint{Readings: 512, Batches: 4, Shard: make([]float64, 16)}
+	for i := range cp.Shard {
+		cp.Shard[i] = 10 + float64(i)/16
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp.Tick = i
+		if err := st.AppendTick(cp); err != nil {
+			b.Fatal(err)
+		}
+		if i%64 == 63 {
+			if err := st.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := st.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/s")
 }
 
 // BenchmarkTelemetryIngest measures the live metering hot path: a fleet of

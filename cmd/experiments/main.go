@@ -10,9 +10,16 @@
 //	experiments -exp e11c -cluster-sizes 1000,10000,100000 -shards 16,64,256
 //	experiments -exp e14 -n 64 -ticks 20  # live grid with spike injection
 //	experiments -exp e15 -n 32            # distributed negotiation over TCP
+//	experiments -exp e16 -n 32 -ticks 14  # crash/recover a durable live grid
+//	experiments -data-dir ./runs          # resumable: completed ids skip
+//
+// With -data-dir each completed experiment is journaled; re-running the same
+// command resumes where the previous invocation stopped instead of
+// recomputing finished experiments.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +28,7 @@ import (
 	"strings"
 
 	"loadbalance/internal/sim"
+	"loadbalance/internal/store"
 )
 
 func main() {
@@ -33,16 +41,17 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "all", "experiment id: e1..e15, e11c (cluster scale) or all")
-		out    = fs.String("out", "results", "output directory for CSV files")
-		n      = fs.Int("n", 100, "population size (e1, e5)")
-		seed   = fs.Int64("seed", 1, "random seed")
-		sizes  = fs.String("sizes", "10,50,200,1000", "fleet sizes for e7")
-		betas  = fs.String("betas", "0.5,1,1.85,3,5,8", "beta values for e6")
-		runs   = fs.Int("runs", 10, "randomized runs for e8")
-		csizes = fs.String("cluster-sizes", "1000,5000", "fleet sizes for e11c (the full sweep is 1000,10000,100000)")
-		shards = fs.String("shards", "4,16,64", "concentrator counts for e11c")
-		ticks  = fs.Int("ticks", 15, "live ticks for e14")
+		exp     = fs.String("exp", "all", "experiment id: e1..e16, e11c (cluster scale) or all")
+		out     = fs.String("out", "results", "output directory for CSV files")
+		n       = fs.Int("n", 100, "population size (e1, e5)")
+		seed    = fs.Int64("seed", 1, "random seed")
+		sizes   = fs.String("sizes", "10,50,200,1000", "fleet sizes for e7")
+		betas   = fs.String("betas", "0.5,1,1.85,3,5,8", "beta values for e6")
+		runs    = fs.Int("runs", 10, "randomized runs for e8")
+		csizes  = fs.String("cluster-sizes", "1000,5000", "fleet sizes for e11c (the full sweep is 1000,10000,100000)")
+		shards  = fs.String("shards", "4,16,64", "concentrator counts for e11c")
+		ticks   = fs.Int("ticks", 15, "live ticks for e14 and e16")
+		dataDir = fs.String("data-dir", "", "journal completed experiments under this directory; re-running skips them (e16 also keeps its grid journals there)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,11 +111,64 @@ func run(args []string) error {
 		{"e11c", func() (*sim.Table, error) { return sim.E11ClusterScale(clusterSizes, shardList, *seed) }},
 		{"e14", func() (*sim.Table, error) { return sim.E14LiveGrid(min(*n, 64), 8, *ticks, *seed) }},
 		{"e15", func() (*sim.Table, error) { return sim.E15DistributedNegotiation(min(*n, 64), 4, *seed) }},
+		{"e16", func() (*sim.Table, error) {
+			gridDir := ""
+			if *dataDir != "" {
+				gridDir = filepath.Join(*dataDir, "e16")
+			}
+			tab, rep, err := sim.E16CrashRecovery(min(*n, 48), 8, *ticks, *seed, gridDir)
+			if err != nil {
+				return nil, err
+			}
+			// The recovery latency and verdict go to a result JSON next to
+			// the CSV.
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				return nil, err
+			}
+			file := filepath.Join(*out, "e16_recovery.json")
+			if err := os.WriteFile(file, data, 0o644); err != nil {
+				return nil, err
+			}
+			fmt.Printf("wrote %s\n", file)
+			return tab, nil
+		}},
+	}
+
+	// With a data dir, completed experiment ids are journaled and skipped on
+	// re-runs, so a long -exp all invocation is resumable. The fingerprint
+	// covers the parameter flags: an id only skips when it completed under
+	// the parameters of this invocation.
+	fingerprint := fmt.Sprintf("n=%d seed=%d ticks=%d runs=%d sizes=%s betas=%s cluster-sizes=%s shards=%s",
+		*n, *seed, *ticks, *runs, *sizes, *betas, *csizes, *shards)
+	var journal *store.Store
+	done := make(map[string]string) // experiment id -> fingerprint it completed under
+	if *dataDir != "" {
+		var rec *store.Recovered
+		var err error
+		journal, rec, err = store.Open(*dataDir, store.Options{})
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		for _, r := range rec.Records {
+			if r.Kind != store.KindSession {
+				continue
+			}
+			if o, err := store.DecodeSession(r); err == nil {
+				done[o.SessionID] = o.Config
+			}
+		}
 	}
 
 	ran := 0
 	for _, e := range experiments {
 		if *exp != "all" && *exp != e.id {
+			continue
+		}
+		ran++
+		if fp, ok := done[e.id]; ok && fp == fingerprint {
+			fmt.Printf("%s already completed in %s with these parameters, skipping (delete the directory to re-run)\n\n", e.id, *dataDir)
 			continue
 		}
 		tab, err := e.run()
@@ -119,7 +181,18 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n\n", file)
-		ran++
+		if journal != nil {
+			rec, err := store.NewSessionRecord(store.SessionOutcome{SessionID: e.id, Outcome: "completed", Config: fingerprint})
+			if err != nil {
+				return err
+			}
+			if err := journal.Append(rec); err != nil {
+				return err
+			}
+			if err := journal.Sync(); err != nil {
+				return err
+			}
+		}
 	}
 	if ran == 0 {
 		return fmt.Errorf("unknown experiment %q", *exp)

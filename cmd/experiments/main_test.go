@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -97,5 +98,84 @@ func TestParseHelpers(t *testing.T) {
 	floats, err := parseFloats("0.5,1.85")
 	if err != nil || len(floats) != 2 || floats[1] != 1.85 {
 		t.Fatalf("parseFloats = %v, %v", floats, err)
+	}
+}
+
+// TestRunE16WritesRecoveryJSON runs the crash-recovery experiment and
+// checks both artifacts: the CSV table and the result JSON carrying the
+// recovery latency and verdict.
+func TestRunE16WritesRecoveryJSON(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-exp", "e16", "-out", dir, "-n", "16", "-ticks", "10"}); err != nil {
+		t.Fatalf("e16: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "e16_recovery.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		RecoveryLatencyNS int64 `json:"recoveryLatencyNs"`
+		AwardsMatch       bool  `json:"awardsMatch"`
+		ReplayedRecords   int   `json:"replayedRecords"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AwardsMatch || rep.RecoveryLatencyNS <= 0 {
+		t.Fatalf("recovery report = %+v", rep)
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "e16.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(csv), "recovered") {
+		t.Fatalf("e16 csv missing the recovered row:\n%s", csv)
+	}
+}
+
+// TestRunDataDirSkipsCompleted covers the resumable runner: the second
+// invocation of the same experiment against the same data dir skips it.
+func TestRunDataDirSkipsCompleted(t *testing.T) {
+	out := t.TempDir()
+	dataDir := t.TempDir()
+	args := []string{"-exp", "e2", "-out", out, "-data-dir", dataDir}
+	if err := run(args); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	csvPath := filepath.Join(out, "e2.csv")
+	if _, err := os.Stat(csvPath); err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with the CSV: a true skip must not rewrite it.
+	if err := os.WriteFile(csvPath, []byte("tampered"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil || string(data) != "tampered" {
+		t.Fatalf("skipped experiment rewrote its CSV (err %v): %q", err, data)
+	}
+}
+
+// TestRunDataDirReRunsOnChangedParameters: a completed id only skips when
+// the parameter fingerprint matches; changing -seed re-runs it.
+func TestRunDataDirReRunsOnChangedParameters(t *testing.T) {
+	out := t.TempDir()
+	dataDir := t.TempDir()
+	if err := run([]string{"-exp", "e2", "-out", out, "-data-dir", dataDir, "-seed", "1"}); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	csvPath := filepath.Join(out, "e2.csv")
+	if err := os.WriteFile(csvPath, []byte("tampered"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "e2", "-out", out, "-data-dir", dataDir, "-seed", "2"}); err != nil {
+		t.Fatalf("re-run with new seed: %v", err)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil || string(data) == "tampered" {
+		t.Fatalf("changed parameters did not re-run the experiment (err %v)", err)
 	}
 }

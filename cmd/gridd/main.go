@@ -14,9 +14,17 @@
 //
 // Live server (a continuously operating grid: an in-process fleet is
 // negotiated once, then metered every -tick; drifting shards re-negotiate
-// incrementally while -serve's address answers HTTP /healthz and /metrics):
+// incrementally while -serve's address answers HTTP /healthz, /metrics and
+// /awards):
 //
 //	gridd -serve :8080 -live -customers 64 -shards 16 -tick 1s
+//
+// Durable live server (negotiated state, telemetry series and demand factors
+// survive restarts: every decision is journaled under -data-dir and a
+// restart recovers the run mid-flight, resuming at the next tick with awards
+// byte-identical to an uninterrupted run):
+//
+//	gridd -serve :8080 -live -customers 64 -shards 16 -data-dir /var/lib/gridd
 //
 // Distributed sharded server (the concentrators run as separate OS
 // processes; the root tier listens on -root-addr and waits for them):
@@ -37,7 +45,11 @@
 // exposing the wire transport's frame/drop/reject counters.
 //
 // The daemon shuts down cleanly on SIGINT/SIGTERM: serve loops unwind, the
-// HTTP listener drains and in-flight live ticks finish.
+// HTTP listener drains, in-flight live ticks finish and the journal is
+// sealed. A serve-mode daemon interrupted mid-negotiation drains the fleet
+// with an aborting session end (and journals the session as aborted when
+// -data-dir is set) so no client hangs and recovery never replays a
+// half-committed session.
 package main
 
 import (
@@ -49,6 +61,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -62,10 +76,30 @@ import (
 	"loadbalance/internal/message"
 	"loadbalance/internal/protocol"
 	"loadbalance/internal/sim"
+	"loadbalance/internal/store"
 	"loadbalance/internal/telemetry"
 	"loadbalance/internal/units"
 	"loadbalance/internal/utilityagent"
 )
+
+// parseShardList parses a comma-separated list of shard indices.
+func parseShardList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("shard index %d", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -84,9 +118,14 @@ func run(ctx context.Context, args []string) error {
 		shards    = fs.Int("shards", 1, "concentrator agents fronting the fleet (server mode; 1 = flat)")
 		rootAddr  = fs.String("root-addr", "", "listen address for the root tier: concentrators run as separate worker processes that dial in (requires -shards > 1)")
 		metrics   = fs.String("metrics", "", "optional HTTP listen address answering /healthz and /metrics with wire transport counters (server mode)")
-		live      = fs.Bool("live", false, "run the live grid: negotiate once, then meter, detect drift and re-negotiate incrementally; -serve's address answers HTTP /healthz and /metrics")
+		live      = fs.Bool("live", false, "run the live grid: negotiate once, then meter, detect drift and re-negotiate incrementally; -serve's address answers HTTP /healthz, /metrics and /awards")
 		tick      = fs.Duration("tick", time.Second, "live metering interval")
-		liveTicks = fs.Int("live-ticks", 0, "stop the live grid after this many ticks (0 = run until SIGINT/SIGTERM)")
+		liveTicks = fs.Int("live-ticks", 0, "stop once the grid's tick counter reaches this (0 = run until SIGINT/SIGTERM); a recovered run counts the ticks already journaled")
+		dataDir   = fs.String("data-dir", "", "journal negotiated state and telemetry under this directory; a restart recovers the run mid-flight (live and serve modes)")
+		snapEvery = fs.Int("snapshot-every", 0, "ticks between snapshots in the data dir (0 = the engine default)")
+		spikeSh   = fs.String("spike-shards", "", "comma-separated shard indices to hit with a demand spike (live mode; for demos and recovery drills)")
+		spikeTick = fs.Int("spike-tick", -1, "tick the demand spike starts on (-1 = no spike)")
+		spikeFac  = fs.Float64("spike-factor", 2.5, "demand multiplier of the injected spike")
 		connect   = fs.String("connect", "", "daemon address to join as a Customer Agent")
 		name      = fs.String("name", "", "customer name (client mode)")
 		seed      = fs.Int64("seed", 1, "preference randomisation seed (client and live modes)")
@@ -124,7 +163,23 @@ func run(ctx context.Context, args []string) error {
 			if *rootAddr != "" || *metrics != "" {
 				return fmt.Errorf("-live runs in-process and serves its own /healthz and /metrics on -serve; it cannot combine with -root-addr or -metrics")
 			}
-			return runLive(ctx, *serveAddr, *customers, *shards, *tick, *liveTicks, *seed, nil)
+			spikeShards, err := parseShardList(*spikeSh)
+			if err != nil {
+				return fmt.Errorf("-spike-shards: %w", err)
+			}
+			return runLive(ctx, liveOptions{
+				addr:          *serveAddr,
+				customers:     *customers,
+				shards:        *shards,
+				tick:          *tick,
+				maxTicks:      *liveTicks,
+				seed:          *seed,
+				dataDir:       *dataDir,
+				snapshotEvery: *snapEvery,
+				spikeShards:   spikeShards,
+				spikeTick:     *spikeTick,
+				spikeFactor:   *spikeFac,
+			}, nil)
 		}
 		return serve(ctx, serveConfig{
 			addr:        *serveAddr,
@@ -133,6 +188,7 @@ func run(ctx context.Context, args []string) error {
 			customers:   *customers,
 			shards:      *shards,
 			timeout:     *timeout,
+			dataDir:     *dataDir,
 		}, nil)
 	case *connect != "":
 		if *name == "" {
@@ -222,6 +278,7 @@ type serveConfig struct {
 	customers   int
 	shards      int
 	timeout     time.Duration
+	dataDir     string // non-empty: journal the session outcome (or its abort)
 }
 
 // serveAddrs reports the daemon's bound addresses to tests using ":0".
@@ -242,6 +299,15 @@ type serveAddrs struct {
 // dial in before the negotiation starts. Cancelling ctx aborts cleanly at
 // any phase.
 func serve(ctx context.Context, cfg serveConfig, ready chan<- serveAddrs) error {
+	var journal *store.Store
+	if cfg.dataDir != "" {
+		var err error
+		journal, _, err = store.Open(cfg.dataDir, store.Options{})
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+	}
 	inner, err := bus.NewInProc(bus.Config{})
 	if err != nil {
 		return err
@@ -307,6 +373,7 @@ func serve(ctx context.Context, cfg serveConfig, ready chan<- serveAddrs) error 
 	if ready != nil {
 		ready <- addrs
 	}
+	const session = "gridd"
 	fmt.Printf("gridd: listening on %s, waiting for %d customers\n", srv.Addr(), cfg.customers)
 
 	// Wait for the fleet to dial in. Worker concentrators register their
@@ -316,7 +383,7 @@ func serve(ctx context.Context, cfg serveConfig, ready chan<- serveAddrs) error 
 	for len(customerAgents(inner.Agents())) < cfg.customers {
 		if err := ctx.Err(); err != nil {
 			fmt.Println("gridd: interrupted while waiting for customers")
-			return nil
+			return abortServe(journal, session, "interrupted before negotiation", inner)
 		}
 		if time.Now().After(deadline) {
 			return fmt.Errorf("only %d of %d customers connected", len(customerAgents(inner.Agents())), cfg.customers)
@@ -340,7 +407,6 @@ func serve(ctx context.Context, cfg serveConfig, ready chan<- serveAddrs) error 
 	loads := fleetLoads(names)
 	totalPredicted := units.Energy(13.5 * float64(len(names)))
 
-	const session = "gridd"
 	params := core.PaperParams()
 	uaBus := bus.Bus(inner)
 	uaLoads := loads
@@ -357,7 +423,7 @@ func serve(ctx context.Context, cfg serveConfig, ready chan<- serveAddrs) error 
 		for len(rootInner.Agents()) < cfg.shards {
 			if err := ctx.Err(); err != nil {
 				fmt.Println("gridd: interrupted while waiting for concentrators")
-				return nil
+				return abortServe(journal, session, "interrupted before negotiation", inner, rootInner)
 			}
 			if time.Now().After(deadline) {
 				return fmt.Errorf("only %d of %d concentrators connected", len(rootInner.Agents()), cfg.shards)
@@ -447,61 +513,196 @@ func serve(ctx context.Context, cfg serveConfig, ready chan<- serveAddrs) error 
 			fmt.Printf("wire: root tier %d frames in / %d out, %d dropped, %d rejected\n",
 				rs.FramesIn, rs.FramesOut, rs.Dropped, rs.Rejected)
 		}
+		if journal != nil {
+			if err := journalServeOutcome(journal, session, res); err != nil {
+				return err
+			}
+		}
 		return nil
 	case <-ctx.Done():
-		fmt.Println("gridd: interrupted, abandoning negotiation")
-		return nil
+		// Drain before teardown: the fleet (and any worker concentrators)
+		// get an aborting session end so no client hangs on a dead TCP
+		// connection, and the journal records the session as aborted so
+		// recovery never replays it as half-committed.
+		fmt.Println("gridd: interrupted, draining in-flight session")
+		drained := []bus.Bus{inner}
+		if rootInner != nil {
+			drained = append(drained, rootInner)
+		}
+		return abortServe(journal, session, "interrupted", drained...)
 	case <-time.After(cfg.timeout):
 		return fmt.Errorf("negotiation timed out after %v", cfg.timeout)
 	}
 }
 
+// abortServe broadcasts an aborting session end on each bus, waits for the
+// per-connection writers to flush it, and journals the abort.
+func abortServe(journal *store.Store, session, reason string, buses ...bus.Bus) error {
+	for _, b := range buses {
+		env, err := message.NewEnvelope("ua", "", session, message.SessionEnd{Round: 0, Reason: "aborted: " + reason})
+		if err == nil {
+			_ = b.Send(env)
+		}
+	}
+	// Give the per-connection writers a moment to flush the broadcast
+	// before the deferred teardown cuts the TCP connections.
+	time.Sleep(300 * time.Millisecond)
+	if journal == nil {
+		return nil
+	}
+	rec, err := store.NewAbortRecord(store.AbortInfo{SessionID: session, Reason: reason})
+	if err != nil {
+		return err
+	}
+	if err := journal.Append(rec); err != nil {
+		return err
+	}
+	return journal.Sync()
+}
+
+// journalServeOutcome records the daemon's one-shot negotiation outcome and
+// seals the journal (the daemon exits after one session).
+func journalServeOutcome(journal *store.Store, session string, res utilityagent.Result) error {
+	out := store.SessionOutcome{
+		SessionID: session,
+		Outcome:   res.Outcome,
+		Rounds:    res.Rounds,
+		Bids:      make(map[string]float64, len(res.Awards)),
+		Awards:    make(map[string]store.AwardEntry, len(res.Awards)),
+	}
+	for _, a := range res.Awards {
+		out.Bids[a.Customer] = a.Award.CutDown
+		out.Awards[a.Customer] = store.AwardEntry{CutDown: a.Award.CutDown, Reward: a.Award.Reward}
+	}
+	rec, err := store.NewSessionRecord(out)
+	if err != nil {
+		return err
+	}
+	if err := journal.Append(rec); err != nil {
+		return err
+	}
+	return journal.Seal()
+}
+
+// liveOptions parameterises one live grid daemon.
+type liveOptions struct {
+	addr          string
+	customers     int
+	shards        int
+	tick          time.Duration
+	maxTicks      int // stop once the grid's tick counter reaches this; 0 = run until cancelled
+	seed          int64
+	dataDir       string // non-empty: durable operation with crash recovery
+	snapshotEvery int
+	spikeShards   []int
+	spikeTick     int // -1 = no spike
+	spikeFactor   float64
+}
+
+// liveConfig derives the engine configuration. It must be identical on
+// every start against the same data dir — recovery validates it against the
+// journal's scenario registration.
+func (o liveOptions) liveConfig() (telemetry.LiveConfig, error) {
+	s, err := telemetry.ElasticFleetScenario(o.customers, o.seed)
+	if err != nil {
+		return telemetry.LiveConfig{}, err
+	}
+	cfg := telemetry.LiveConfig{
+		Scenario: s,
+		Shards:   o.shards,
+		Jitter:   0.02,
+		Seed:     o.seed,
+	}
+	if o.spikeTick >= 0 && len(o.spikeShards) > 0 {
+		cfg.ShardEvents = make(map[int][]telemetry.Event, len(o.spikeShards))
+		for _, i := range o.spikeShards {
+			cfg.ShardEvents[i] = []telemetry.Event{{StartTick: o.spikeTick, EndTick: 1 << 30, Factor: o.spikeFactor}}
+		}
+	}
+	return cfg, nil
+}
+
 // runLive operates the grid continuously: an in-process elastic fleet is
 // negotiated once through the concentrator tier, then metered every tick
-// with incremental re-negotiation on drift. addr answers HTTP /healthz and
-// /metrics (lbfeedback-style: the live load/deviation state a balancer or
-// scraper consumes). maxTicks 0 runs until ctx is cancelled.
-func runLive(ctx context.Context, addr string, customers, shards int, tick time.Duration, maxTicks int, seed int64, ready chan<- string) error {
-	if tick <= 0 {
+// with incremental re-negotiation on drift. addr answers HTTP /healthz,
+// /metrics and /awards (lbfeedback-style: the live load/deviation state a
+// balancer or scraper consumes). maxTicks 0 runs until ctx is cancelled.
+//
+// With a data dir the run is durable: every decision is journaled, restarts
+// recover mid-flight (the tick counter continues where the journal ends),
+// graceful exits seal the journal, and the canonical grid profile lands in
+// <data-dir>/awards.json on exit.
+func runLive(ctx context.Context, opts liveOptions, ready chan<- string) error {
+	if opts.tick <= 0 {
 		return fmt.Errorf("-tick must be positive")
 	}
-	s, err := telemetry.ElasticFleetScenario(customers, seed)
+	cfg, err := opts.liveConfig()
 	if err != nil {
 		return err
 	}
-	eng, err := telemetry.NewLiveEngine(telemetry.LiveConfig{
-		Scenario: s,
-		Shards:   shards,
-		Jitter:   0.02,
-		Seed:     seed,
-	})
-	if err != nil {
+	var eng *telemetry.LiveEngine
+	if opts.dataDir != "" {
+		var info *telemetry.RecoveryInfo
+		eng, info, err = telemetry.OpenDurable(cfg, telemetry.DurableConfig{
+			Dir:           opts.dataDir,
+			SnapshotEvery: opts.snapshotEvery,
+		})
+		if err != nil {
+			return err
+		}
+		if info.Recovered {
+			how := "crash"
+			if info.CleanStart {
+				how = "sealed journal"
+			}
+			fmt.Printf("gridd: recovered from %s in %v (snapshot seq %d + %d records), resuming at tick %d\n",
+				how, info.Elapsed.Round(time.Millisecond), info.SnapshotSeq, info.Replayed, info.ResumeTick)
+		}
+	} else {
+		eng, err = telemetry.NewLiveEngine(cfg)
+		if err != nil {
+			return err
+		}
+		if err := eng.Start(); err != nil {
+			return err
+		}
+	}
+	st := eng.Store() // stable handle for the metrics goroutine; nil when volatile
+	shutdown := func() error {
+		err := eng.Shutdown()
+		if opts.dataDir == "" {
+			return err
+		}
+		if werr := writeAwardsFile(opts.dataDir, eng); werr != nil && err == nil {
+			err = werr
+		}
 		return err
 	}
-	if err := eng.Start(); err != nil {
-		return err
-	}
-	defer eng.Stop()
 
-	// The engine is single-threaded; the HTTP handlers read snapshots the
-	// tick loop publishes under a lock.
+	// The engine is single-threaded; the HTTP handlers read snapshots and
+	// the profile document the tick loop publishes under a lock.
 	var snapMu sync.Mutex
 	latest := eng.Snapshot()
-	updateLatest := func(s telemetry.Snapshot) {
+	profile, err := json.Marshal(eng.Profile())
+	if err != nil {
+		_ = shutdown()
+		return err
+	}
+	updateLatest := func(s telemetry.Snapshot, p []byte) {
 		snapMu.Lock()
-		latest = s
+		latest, profile = s, p
 		snapMu.Unlock()
 	}
-	readLatest := func() telemetry.Snapshot {
+	readLatest := func() (telemetry.Snapshot, []byte) {
 		snapMu.Lock()
 		defer snapMu.Unlock()
-		return latest
+		return latest, profile
 	}
 
 	start := time.Now()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		snap := readLatest()
+		snap, _ := readLatest()
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(map[string]any{
 			"status":         "ok",
@@ -512,11 +713,21 @@ func runLive(ctx context.Context, addr string, customers, shards int, tick time.
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		writeMetrics(w, readLatest())
+		snap, _ := readLatest()
+		writeMetrics(w, snap)
+		if st != nil {
+			store.WriteMetrics(w, st.Stats())
+		}
+	})
+	mux.HandleFunc("/awards", func(w http.ResponseWriter, r *http.Request) {
+		_, p := readLatest()
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(p)
 	})
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
+		_ = shutdown()
 		return err
 	}
 	httpSrv := &http.Server{Handler: mux}
@@ -530,18 +741,26 @@ func runLive(ctx context.Context, addr string, customers, shards int, tick time.
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
-	fmt.Printf("gridd: live grid of %d customers in %d shards; /healthz and /metrics on %s\n",
-		customers, shards, ln.Addr())
+	fmt.Printf("gridd: live grid of %d customers in %d shards; /healthz, /metrics and /awards on %s\n",
+		opts.customers, opts.shards, ln.Addr())
 
-	ticker := time.NewTicker(tick)
+	// A recovered run may already have reached the tick target.
+	if done, ok := liveDone(eng.Snapshot().Tick, opts.maxTicks); ok {
+		fmt.Println(done)
+		return shutdown()
+	}
+	ticker := time.NewTicker(opts.tick)
 	defer ticker.Stop()
-	ticks := 0
 	for {
 		select {
 		case <-ctx.Done():
-			fmt.Println("gridd: interrupted, live grid shutting down")
-			return nil
+			// The select only fires between ticks, so any in-flight tick —
+			// including its incremental re-negotiation — has fully
+			// committed; sealing the journal is all that remains.
+			fmt.Println("gridd: interrupted, live grid sealing journal and shutting down")
+			return shutdown()
 		case err := <-httpErr:
+			_ = shutdown()
 			if err != nil && err != http.ErrServerClosed {
 				return err
 			}
@@ -549,20 +768,57 @@ func runLive(ctx context.Context, addr string, customers, shards int, tick time.
 		case <-ticker.C:
 			rep, err := eng.Tick()
 			if err != nil {
+				_ = shutdown()
 				return err
 			}
 			if rep.Renegotiated != nil {
 				fmt.Printf("gridd: tick %d: shards %v re-negotiated (%s, %d members)\n",
 					rep.Tick, rep.Renegotiated.Shards, rep.Renegotiated.Outcome, rep.Renegotiated.Members)
 			}
-			updateLatest(eng.Snapshot())
-			ticks++
-			if maxTicks > 0 && ticks >= maxTicks {
-				fmt.Printf("gridd: live grid finished %d ticks\n", ticks)
-				return nil
+			p, err := json.Marshal(eng.Profile())
+			if err != nil {
+				_ = shutdown()
+				return err
+			}
+			updateLatest(eng.Snapshot(), p)
+			if done, ok := liveDone(rep.Tick+1, opts.maxTicks); ok {
+				fmt.Println(done)
+				return shutdown()
 			}
 		}
 	}
+}
+
+// liveDone reports whether the grid reached its tick target.
+func liveDone(tick, maxTicks int) (string, bool) {
+	if maxTicks > 0 && tick >= maxTicks {
+		return fmt.Sprintf("gridd: live grid reached tick %d", tick), true
+	}
+	return "", false
+}
+
+// writeAwardsFile atomically publishes the engine's canonical profile as
+// <dir>/awards.json. Call it after the engine has stopped ticking.
+func writeAwardsFile(dir string, eng *telemetry.LiveEngine) error {
+	data, err := json.Marshal(eng.Profile())
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".awards-*.json")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, filepath.Join(dir, "awards.json"))
 }
 
 // writeMetrics renders a snapshot in Prometheus text exposition format.

@@ -1,17 +1,22 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"loadbalance/internal/store"
 )
 
 // TestMain doubles as the worker-process entry point: spawned copies of the
@@ -359,7 +364,10 @@ func TestLiveGridServesHealthAndMetrics(t *testing.T) {
 	ready := make(chan string, 1)
 	liveErr := make(chan error, 1)
 	go func() {
-		liveErr <- runLive(ctx, "127.0.0.1:0", 16, 4, 20*time.Millisecond, 0, 1, ready)
+		liveErr <- runLive(ctx, liveOptions{
+			addr: "127.0.0.1:0", customers: 16, shards: 4,
+			tick: 20 * time.Millisecond, seed: 1, spikeTick: -1,
+		}, ready)
 	}()
 	var addr string
 	select {
@@ -419,9 +427,240 @@ func TestLiveGridServesHealthAndMetrics(t *testing.T) {
 	}
 }
 
+// liveArgs renders the durable live-grid flag set the recovery test runs
+// three times (reference, victim, recovery) — identical every time, which is
+// the recovery contract.
+func liveArgs(dataDir string) []string {
+	return []string{
+		"-serve", "127.0.0.1:0", "-live",
+		"-customers", "16", "-shards", "4",
+		"-tick", "25ms", "-live-ticks", "20", "-seed", "3",
+		"-data-dir", dataDir,
+		"-spike-shards", "1,2", "-spike-tick", "4", "-spike-factor", "2.5",
+		"-snapshot-every", "6",
+	}
+}
+
+// TestRecoveryByteIdenticalAwards is the durability headline: a gridd
+// killed (SIGKILL, no chance to flush or seal) in the middle of its live
+// loop and restarted from the same -data-dir finishes the run with awards
+// and shard profiles byte-identical to an uninterrupted run's.
+func TestRecoveryByteIdenticalAwards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a victim process")
+	}
+	base := t.TempDir()
+	dirU := filepath.Join(base, "uninterrupted")
+	dirC := filepath.Join(base, "crashed")
+
+	// Reference: the same run, uninterrupted.
+	if err := run(context.Background(), liveArgs(dirU)); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	want, err := os.ReadFile(filepath.Join(dirU, "awards.json"))
+	if err != nil {
+		t.Fatalf("reference awards: %v", err)
+	}
+	var wantProfile struct {
+		Tick           int `json:"tick"`
+		Renegotiations int `json:"renegotiations"`
+	}
+	if err := json.Unmarshal(want, &wantProfile); err != nil {
+		t.Fatal(err)
+	}
+	if wantProfile.Tick != 20 || wantProfile.Renegotiations == 0 {
+		t.Fatalf("reference run reached tick %d with %d renegotiations; the spike must force at least one",
+			wantProfile.Tick, wantProfile.Renegotiations)
+	}
+
+	// Victim: the same run as a separate OS process, killed mid-loop.
+	cmd := exec.Command(os.Args[0], liveArgs(dirC)...)
+	cmd.Env = append(os.Environ(), "GRIDD_HELPER=1")
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until at least 8 ticks are durable (registration is 2 records,
+	// the initial session 1, then one record per tick), then SIGKILL.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		rec, err := store.ReadDir(dirC)
+		if err == nil && rec.LastSeq >= 11 {
+			break
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			t.Fatal("victim never journaled 8 ticks")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err == nil {
+		t.Fatal("victim exited cleanly; the test needed to kill it mid-loop")
+	}
+	if _, err := os.Stat(filepath.Join(dirC, "awards.json")); !os.IsNotExist(err) {
+		t.Fatalf("killed victim left awards.json (err %v); it must only appear after a completed run", err)
+	}
+
+	// Recovery: restart from the same data dir and let it finish.
+	if err := run(context.Background(), liveArgs(dirC)); err != nil {
+		t.Fatalf("recovery run: %v", err)
+	}
+	got, err := os.ReadFile(filepath.Join(dirC, "awards.json"))
+	if err != nil {
+		t.Fatalf("recovered awards: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("recovered run diverged from the uninterrupted run\n got: %s\nwant: %s", got, want)
+	}
+	// The recovered journal must now be sealed.
+	rec, err := store.ReadDir(dirC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Sealed {
+		t.Fatal("recovered run did not seal the journal on exit")
+	}
+}
+
+// TestServeDrainsClientsOnInterrupt covers the SIGTERM drain fix: a daemon
+// interrupted with customers connected broadcasts an aborting session end —
+// every client exits cleanly instead of erroring on a dead TCP connection —
+// and journals the session as aborted.
+func TestServeDrainsClientsOnInterrupt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	dataDir := t.TempDir()
+	ready := make(chan serveAddrs, 1)
+	serverErr := make(chan error, 1)
+	go func() {
+		serverErr <- serve(ctx, serveConfig{
+			addr: "127.0.0.1:0", customers: 3, shards: 1,
+			timeout: 30 * time.Second, dataDir: dataDir,
+		}, ready)
+	}()
+	var addr string
+	select {
+	case a := <-ready:
+		addr = a.member
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	// Two of three expected customers connect; the negotiation never starts.
+	clientErrs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			clientErrs <- runClient(context.Background(), addr, fmt.Sprintf("c%02d", i+1), int64(i+1))
+		}(i)
+	}
+	// Let the clients register, then interrupt the daemon.
+	time.Sleep(500 * time.Millisecond)
+	cancel()
+
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-clientErrs:
+			if err != nil {
+				t.Fatalf("client saw %v; the drain must deliver a session end", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("client hung after server interrupt")
+		}
+	}
+	select {
+	case err := <-serverErr:
+		if err != nil {
+			t.Fatalf("interrupted serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	rec, err := store.ReadDir(dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aborted bool
+	for _, r := range rec.Records {
+		if r.Kind == store.KindAborted {
+			aborted = true
+		}
+	}
+	if !aborted {
+		t.Fatalf("journal holds no aborted-session record (got %d records)", len(rec.Records))
+	}
+}
+
+// TestServeJournalsOutcome checks the one-shot daemon journals its session
+// outcome and seals the journal.
+func TestServeJournalsOutcome(t *testing.T) {
+	dataDir := t.TempDir()
+	ctx := context.Background()
+	ready := make(chan serveAddrs, 1)
+	serverErr := make(chan error, 1)
+	go func() {
+		serverErr <- serve(ctx, serveConfig{
+			addr: "127.0.0.1:0", customers: 2, shards: 1,
+			timeout: 30 * time.Second, dataDir: dataDir,
+		}, ready)
+	}()
+	var addr string
+	select {
+	case a := <-ready:
+		addr = a.member
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := runClient(ctx, addr, fmt.Sprintf("c%02d", i+1), int64(i+1)); err != nil {
+				t.Errorf("client %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-serverErr:
+		if err != nil {
+			t.Fatalf("server: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never finished")
+	}
+	rec, err := store.ReadDir(dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Sealed {
+		t.Fatal("journal not sealed after a completed session")
+	}
+	var outcome *store.SessionOutcome
+	for _, r := range rec.Records {
+		if r.Kind == store.KindSession {
+			o, err := store.DecodeSession(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outcome = &o
+		}
+	}
+	if outcome == nil || outcome.SessionID != "gridd" || len(outcome.Awards) == 0 {
+		t.Fatalf("journaled outcome = %+v, want the gridd session with awards", outcome)
+	}
+}
+
 // TestLiveGridBoundedTicks runs the live grid to its -live-ticks limit.
 func TestLiveGridBoundedTicks(t *testing.T) {
-	err := runLive(context.Background(), "127.0.0.1:0", 8, 2, time.Millisecond, 3, 1, nil)
+	err := runLive(context.Background(), liveOptions{
+		addr: "127.0.0.1:0", customers: 8, shards: 2,
+		tick: time.Millisecond, maxTicks: 3, seed: 1, spikeTick: -1,
+	}, nil)
 	if err != nil {
 		t.Fatalf("bounded live run: %v", err)
 	}

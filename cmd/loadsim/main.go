@@ -11,15 +11,26 @@
 //	loadsim -drop 0.1 -round-timeout 50ms
 //	loadsim -shards 4                # hierarchical (concentrator) negotiation
 //	loadsim -shards 4 -tcp           # concentrators behind TCP connections
+//	loadsim -scenario population -n 5000 -data-dir ./run1   # resumable
+//
+// With -data-dir the negotiation outcome is journaled; re-running the same
+// scenario against the same directory resumes from the journal instead of
+// negotiating again — a long population run interrupted before its outcome
+// was durable restarts from scratch, one interrupted after it replays
+// instantly.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"loadbalance"
+	"loadbalance/internal/sim"
+	"loadbalance/internal/store"
 	"loadbalance/internal/utilityagent"
 )
 
@@ -45,6 +56,7 @@ func run(args []string) error {
 		verifyTrace  = fs.Bool("verify", true, "verify the trace against the protocol properties")
 		shards       = fs.Int("shards", 0, "negotiate through this many Concentrator Agents (0 = flat)")
 		tcp          = fs.Bool("tcp", false, "place each concentrator behind its own TCP connections (requires -shards)")
+		dataDir      = fs.String("data-dir", "", "journal the outcome under this directory; re-running the same scenario resumes from the journal")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,8 +104,33 @@ func run(args []string) error {
 	if *tcp && *shards < 1 {
 		return fmt.Errorf("-tcp requires -shards")
 	}
+	var journal *store.Store
+	// The fingerprint covers every flag that changes the outcome, so a
+	// resume can never replay an outcome negotiated under other parameters.
+	fingerprint := fmt.Sprintf("scenario=%s n=%d seed=%d method=%s beta=%g adaptive=%t drop=%g round-timeout=%s margin=%g shards=%d",
+		*scenario, *n, *seed, *method, s.Params.Beta, *adaptive, *drop, *roundTimeout, *margin, *shards)
+	if *dataDir != "" {
+		if *tcp {
+			return fmt.Errorf("-data-dir does not combine with -tcp (the distributed runner owns its own processes)")
+		}
+		var rec *store.Recovered
+		journal, rec, err = store.Open(*dataDir, store.Options{})
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		done, err := resumeFromJournal(rec, s.SessionID, fingerprint)
+		if err != nil {
+			return err
+		}
+		if done {
+			fmt.Printf("\nresumed from journal at %s: session %q already negotiated; delete the directory to re-run\n",
+				*dataDir, s.SessionID)
+			return nil
+		}
+	}
 	if *shards > 0 {
-		return runSharded(s, *shards, *tcp)
+		return runSharded(s, *shards, *tcp, journal, fingerprint)
 	}
 
 	res, err := loadbalance.Run(s)
@@ -110,15 +147,93 @@ func run(args []string) error {
 			return fmt.Errorf("trace violates protocol properties: %w", rep.Error())
 		}
 	}
+	if journal != nil {
+		if err := journalFlatResult(journal, s.SessionID, fingerprint, res); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// journalFlatResult appends the flat run's outcome — including the full
+// saved result document, so a resume can re-render the complete trace — and
+// seals the journal.
+func journalFlatResult(journal *store.Store, session, fingerprint string, res *loadbalance.Result) error {
+	saved, err := json.Marshal(sim.ToSaved(res))
+	if err != nil {
+		return err
+	}
+	out := store.SessionOutcome{
+		SessionID: session,
+		Outcome:   res.Outcome,
+		Rounds:    res.Rounds,
+		Config:    fingerprint,
+		Bids:      res.FinalBids,
+		Awards:    make(map[string]store.AwardEntry, len(res.Awards)),
+		Result:    saved,
+	}
+	for _, a := range res.Awards {
+		out.Awards[a.Customer] = store.AwardEntry{CutDown: a.Award.CutDown, Reward: a.Award.Reward}
+	}
+	rec, err := store.NewSessionRecord(out)
+	if err != nil {
+		return err
+	}
+	if err := journal.Append(rec); err != nil {
+		return err
+	}
+	return journal.Seal()
+}
+
+// resumeFromJournal looks for the session's outcome in the recovered
+// journal and, when present, renders it instead of negotiating: the full
+// trace when the record carries the saved result (flat runs), an award
+// summary otherwise (sharded runs journaled by the cluster engine). An
+// outcome fingerprinted with different parameters is refused, never
+// silently replayed.
+func resumeFromJournal(rec *store.Recovered, session, fingerprint string) (bool, error) {
+	for i := len(rec.Records) - 1; i >= 0; i-- {
+		r := rec.Records[i]
+		if r.Kind != store.KindSession {
+			continue
+		}
+		out, err := store.DecodeSession(r)
+		if err != nil || out.SessionID != session {
+			continue
+		}
+		if out.Config != "" && out.Config != fingerprint {
+			return false, fmt.Errorf("journal holds session %q negotiated under different parameters\n  journal: %s\n  current: %s\ndelete the data directory to re-run", session, out.Config, fingerprint)
+		}
+		if len(out.Result) > 0 {
+			var saved sim.SavedResult
+			if err := json.Unmarshal(out.Result, &saved); err == nil {
+				fmt.Print(loadbalance.Render(saved.FromSaved()))
+				return true, nil
+			}
+		}
+		fmt.Printf("session %s: %s after %d rounds\n", out.SessionID, out.Outcome, out.Rounds)
+		names := make([]string, 0, len(out.Awards))
+		for n := range out.Awards {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			a := out.Awards[n]
+			fmt.Printf("  %-10s cut-down %.2f reward %.2f\n", n, a.CutDown, a.Reward)
+		}
+		return true, nil
+	}
+	return false, nil
 }
 
 // runSharded negotiates the scenario through a concentrator tree, in-process
 // or (with tcp) with every concentrator behind its own TCP connection pair,
-// and prints the root-session trace plus the transport's counters.
-func runSharded(s loadbalance.Scenario, shards int, tcp bool) error {
+// and prints the root-session trace plus the transport's counters. A
+// non-nil journal makes the in-process run resumable: the cluster engine
+// records the outcome at its decision point.
+func runSharded(s loadbalance.Scenario, shards int, tcp bool, journal *store.Store, fingerprint string) error {
 	if !tcp {
-		res, err := loadbalance.RunSharded(loadbalance.ClusterConfig{Scenario: s, Shards: shards})
+		res, err := loadbalance.RunSharded(loadbalance.ClusterConfig{Scenario: s, Shards: shards, Journal: journal, JournalConfig: fingerprint})
 		if err != nil {
 			return err
 		}
@@ -127,6 +242,9 @@ func runSharded(s loadbalance.Scenario, shards int, tcp bool) error {
 		}
 		fmt.Print(loadbalance.Render(&loadbalance.Result{Result: res.Result, Bus: sumShardStats(res)}))
 		fmt.Printf("\nsharded over %d concentrators; awards above are per-concentrator aggregates\n", res.Shards)
+		if journal != nil {
+			return journal.Seal()
+		}
 		return nil
 	}
 	res, err := loadbalance.RunDistributed(loadbalance.DistributedConfig{Scenario: s, Shards: shards})

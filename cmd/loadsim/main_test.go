@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"loadbalance/internal/store"
 )
 
 func TestRunPaperScenario(t *testing.T) {
@@ -53,5 +55,98 @@ func TestRunRejectsBadFlags(t *testing.T) {
 				t.Fatalf("error = %v, want %q", err, tt.want)
 			}
 		})
+	}
+}
+
+// TestRunDataDirResumes covers -data-dir: the first run journals its
+// outcome, the second resumes from the journal, and the journal holds one
+// sealed session record with the full saved result.
+func TestRunDataDirResumes(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-scenario", "population", "-n", "6", "-seed", "3", "-data-dir", dir}
+	if err := run(args); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	rec, err := store.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Sealed {
+		t.Fatal("journal not sealed after the run")
+	}
+	var sessions int
+	for _, r := range rec.Records {
+		if r.Kind != store.KindSession {
+			continue
+		}
+		sessions++
+		out, err := store.DecodeSession(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Result) == 0 {
+			t.Fatal("flat run journaled no saved result document")
+		}
+	}
+	if sessions != 1 {
+		t.Fatalf("journal holds %d session records, want 1", sessions)
+	}
+	// The resume path must not append a second session record.
+	if err := run(args); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	rec, err = store.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions = 0
+	for _, r := range rec.Records {
+		if r.Kind == store.KindSession {
+			sessions++
+		}
+	}
+	if sessions != 1 {
+		t.Fatalf("resume re-negotiated: %d session records", sessions)
+	}
+}
+
+// TestRunDataDirSharded journals an in-process sharded run through the
+// cluster engine's decision point and resumes from the award summary.
+func TestRunDataDirSharded(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-scenario", "population", "-n", "8", "-seed", "5", "-shards", "2", "-data-dir", dir}
+	if err := run(args); err != nil {
+		t.Fatalf("sharded run: %v", err)
+	}
+	rec, err := store.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Sealed {
+		t.Fatal("sharded journal not sealed")
+	}
+	if err := run(args); err != nil {
+		t.Fatalf("sharded resume: %v", err)
+	}
+}
+
+// TestRunDataDirRejectsTCP keeps the unsupported combination loud.
+func TestRunDataDirRejectsTCP(t *testing.T) {
+	err := run([]string{"-shards", "2", "-tcp", "-data-dir", t.TempDir()})
+	if err == nil || !strings.Contains(err.Error(), "-data-dir") {
+		t.Fatalf("error = %v, want the -data-dir/-tcp rejection", err)
+	}
+}
+
+// TestRunDataDirRefusesChangedParameters pins the fingerprint check: a
+// journal written under one beta must not replay as another beta's result.
+func TestRunDataDirRefusesChangedParameters(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-beta", "1.85", "-data-dir", dir}); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	err := run([]string{"-beta", "5", "-data-dir", dir})
+	if err == nil || !strings.Contains(err.Error(), "different parameters") {
+		t.Fatalf("error = %v, want the stale-parameters refusal", err)
 	}
 }

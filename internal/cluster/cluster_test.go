@@ -7,6 +7,7 @@ import (
 
 	"loadbalance/internal/core"
 	"loadbalance/internal/protocol"
+	"loadbalance/internal/store"
 	"loadbalance/internal/utilityagent"
 )
 
@@ -269,5 +270,48 @@ func TestShardQuorum(t *testing.T) {
 		if got := shardQuorum(tt.fleetMin, tt.fleetSize, tt.shardSize); got != tt.want {
 			t.Fatalf("shardQuorum(%d,%d,%d) = %d, want %d", tt.fleetMin, tt.fleetSize, tt.shardSize, got, tt.want)
 		}
+	}
+}
+
+// TestRunJournalsOutcome checks the engine's decision-point journaling: a
+// run with a Journal leaves a durable session record carrying every member's
+// final bid and delivered award.
+func TestRunJournalsOutcome(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Scenario: paperScenario(t), Shards: 2, Journal: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := store.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 1 || rec.Records[0].Kind != store.KindSession {
+		t.Fatalf("journal holds %d records, want 1 session record", len(rec.Records))
+	}
+	out, err := store.DecodeSession(rec.Records[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Outcome != res.Outcome || out.Rounds != res.Rounds {
+		t.Fatalf("journaled outcome %q/%d, run said %q/%d", out.Outcome, out.Rounds, res.Outcome, res.Rounds)
+	}
+	if len(out.Bids) != len(res.FinalBids) {
+		t.Fatalf("journaled %d bids, run had %d", len(out.Bids), len(res.FinalBids))
+	}
+	for name, bid := range res.FinalBids {
+		if out.Bids[name] != bid {
+			t.Fatalf("bid %q: journal %v, run %v", name, out.Bids[name], bid)
+		}
+	}
+	if len(out.Awards) == 0 {
+		t.Fatal("no awards journaled")
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"loadbalance/internal/bus"
 	"loadbalance/internal/core"
 	"loadbalance/internal/customeragent"
+	"loadbalance/internal/store"
 	"loadbalance/internal/utilityagent"
 )
 
@@ -45,6 +46,14 @@ type Config struct {
 	// flat engine's, whenever the scenario is lossy or has silent
 	// customers.
 	ShardRoundTimeout time.Duration
+	// Journal optionally records the negotiation's terminal outcome — the
+	// per-member bids and awards — as a durable session record before Run
+	// returns, making a long scenario run resumable from its data dir.
+	Journal *store.Store
+	// JournalConfig fingerprints the parameters this run executes under;
+	// it is copied into the session record so a resume can refuse an
+	// outcome computed under different parameters.
+	JournalConfig string
 }
 
 // Result is the outcome of one hierarchical negotiation run.
@@ -237,7 +246,43 @@ func Run(cfg Config) (*Result, error) {
 		res.AgentErrors = append(res.AgentErrors, rt.Errors()...)
 	}
 	res.AgentErrors = append(res.AgentErrors, tier.Errors()...)
+	if cfg.Journal != nil {
+		if err := journalOutcome(cfg.Journal, s.SessionID, cfg.JournalConfig, res, cas); err != nil {
+			return res, err
+		}
+	}
 	return res, nil
+}
+
+// journalOutcome appends the session's terminal record: every in-process
+// member's final bid and delivered award. A journaling failure surfaces as
+// the run's error — durable mode must never report success for an outcome
+// that is not on disk.
+func journalOutcome(j *store.Store, session, config string, res *Result, cas map[string]*customeragent.Agent) error {
+	out := store.SessionOutcome{
+		SessionID: session,
+		Outcome:   res.Outcome,
+		Rounds:    res.Rounds,
+		Config:    config,
+		Bids:      make(map[string]float64, len(res.FinalBids)),
+		Awards:    make(map[string]store.AwardEntry, len(cas)),
+	}
+	for name, bid := range res.FinalBids {
+		out.Bids[name] = bid
+	}
+	for name, ca := range cas {
+		if award, ok := ca.AwardFor(session); ok {
+			out.Awards[name] = store.AwardEntry{CutDown: award.CutDown, Reward: award.Reward}
+		}
+	}
+	rec, err := store.NewSessionRecord(out)
+	if err != nil {
+		return err
+	}
+	if err := j.Append(rec); err != nil {
+		return err
+	}
+	return j.Sync()
 }
 
 // allRelayed reports whether every concentrator has forwarded the session

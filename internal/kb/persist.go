@@ -1,0 +1,140 @@
+package kb
+
+// Persistence for information states: a Store's facts round-trip through a
+// deterministic JSON document, so an agent's knowledge survives restarts
+// alongside the grid's negotiation journal. The format is explicit about
+// term kinds (a constant and a string are different terms even when they
+// print alike) and loading validates every fact — against the ontology when
+// one is supplied — so a damaged or hand-edited document can never smuggle
+// ill-formed facts into an information state.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrBadDocument reports a persisted information state that cannot be
+// decoded.
+var ErrBadDocument = errors.New("kb: bad information-state document")
+
+// savedTerm is one term's on-disk form.
+type savedTerm struct {
+	Kind string  `json:"kind"` // "const" | "number" | "string"
+	Name string  `json:"name,omitempty"`
+	Num  float64 `json:"num,omitempty"`
+	Str  string  `json:"str,omitempty"`
+}
+
+// savedFact is one fact's on-disk form.
+type savedFact struct {
+	Pred  string      `json:"pred"`
+	Args  []savedTerm `json:"args"`
+	Truth string      `json:"truth"` // "true" | "false"
+}
+
+// savedState is the document: a format tag plus the facts in deterministic
+// (key-sorted) order.
+type savedState struct {
+	Format string      `json:"format"`
+	Facts  []savedFact `json:"facts"`
+}
+
+// stateFormat tags the document so future layouts can coexist.
+const stateFormat = "kb-state-1"
+
+// saveTerm converts a ground term.
+func saveTerm(t Term) (savedTerm, error) {
+	switch t.Kind {
+	case KindConst:
+		return savedTerm{Kind: "const", Name: t.Name}, nil
+	case KindNumber:
+		return savedTerm{Kind: "number", Num: t.Num}, nil
+	case KindString:
+		return savedTerm{Kind: "string", Str: t.Str}, nil
+	default:
+		return savedTerm{}, fmt.Errorf("%w: variable %q in stored fact", ErrNotGround, t.Name)
+	}
+}
+
+// loadTerm converts back.
+func (s savedTerm) term() (Term, error) {
+	switch s.Kind {
+	case "const":
+		if s.Name == "" {
+			return Term{}, fmt.Errorf("%w: constant with no name", ErrBadDocument)
+		}
+		return C(s.Name), nil
+	case "number":
+		return N(s.Num), nil
+	case "string":
+		return S(s.Str), nil
+	default:
+		return Term{}, fmt.Errorf("%w: term kind %q", ErrBadDocument, s.Kind)
+	}
+}
+
+// Save renders the store's facts as one JSON document. The encoding is
+// deterministic: facts appear in the store's key-sorted order.
+func (s *Store) Save(w io.Writer) error {
+	doc := savedState{Format: stateFormat}
+	for _, f := range s.Facts() {
+		sf := savedFact{Pred: f.Atom.Pred, Truth: f.Truth.String()}
+		for _, t := range f.Atom.Args {
+			st, err := saveTerm(t)
+			if err != nil {
+				return err
+			}
+			sf.Args = append(sf.Args, st)
+		}
+		doc.Facts = append(doc.Facts, sf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadStore loads an information state written by Save. With a non-nil
+// ontology every fact is validated against it, exactly as a live Assert
+// would be; ill-typed facts fail the load rather than entering the state.
+func ReadStore(r io.Reader, ont *Ontology) (*Store, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("kb: read state: %w", err)
+	}
+	var doc savedState
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadDocument, err)
+	}
+	if doc.Format != stateFormat {
+		return nil, fmt.Errorf("%w: format %q", ErrBadDocument, doc.Format)
+	}
+	out := NewStore(ont)
+	for _, sf := range doc.Facts {
+		if sf.Pred == "" {
+			return nil, fmt.Errorf("%w: fact with no predicate", ErrBadDocument)
+		}
+		var tv Truth
+		switch sf.Truth {
+		case True.String():
+			tv = True
+		case False.String():
+			tv = False
+		default:
+			return nil, fmt.Errorf("%w: truth value %q", ErrBadDocument, sf.Truth)
+		}
+		a := Atom{Pred: sf.Pred}
+		for _, st := range sf.Args {
+			t, err := st.term()
+			if err != nil {
+				return nil, err
+			}
+			a.Args = append(a.Args, t)
+		}
+		if err := out.Assert(a, tv); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

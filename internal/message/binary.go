@@ -110,3 +110,31 @@ func readVarintString(data []byte) (string, []byte, error) {
 	}
 	return string(data[:n]), data[n:], nil
 }
+
+// AppendLenPrefixed appends one uvarint-length-prefixed byte string — the
+// primitive the envelope codec above is built from, exported so other binary
+// formats (the durability journal's record frames) share the exact encoding.
+func AppendLenPrefixed(dst, val []byte) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(val)))
+	dst = append(dst, tmp[:n]...)
+	return append(dst, val...)
+}
+
+// LenPrefixedSize returns the encoded size of a length-prefixed byte string
+// of n bytes.
+func LenPrefixedSize(n int) int { return varintStringSize(n) }
+
+// ReadLenPrefixed consumes one uvarint-length-prefixed byte string and
+// returns it alongside the remaining data. The returned value aliases data.
+func ReadLenPrefixed(data []byte) (val, rest []byte, err error) {
+	n, used := binary.Uvarint(data)
+	if used <= 0 {
+		return nil, nil, ErrTruncated
+	}
+	data = data[used:]
+	if uint64(len(data)) < n {
+		return nil, nil, ErrTruncated
+	}
+	return data[:n], data[n:], nil
+}

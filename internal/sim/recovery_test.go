@@ -1,0 +1,35 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE16CrashRecovery(t *testing.T) {
+	tab, rep, err := E16CrashRecovery(24, 4, 12, 5, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want uninterrupted/crashed/recovered", len(tab.Rows))
+	}
+	if !rep.AwardsMatch {
+		t.Fatalf("recovered awards diverged:\n%s", tab)
+	}
+	if rep.Renegotiations == 0 {
+		t.Fatal("the spiked run never re-negotiated; recovery was not exercised across a decision point")
+	}
+	if rep.ResumeTick != rep.CrashTick {
+		t.Fatalf("resumed at tick %d, crashed at %d", rep.ResumeTick, rep.CrashTick)
+	}
+	if rep.RecoveryLatencyNS <= 0 {
+		t.Fatal("recovery latency not recorded")
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if !strings.Contains(last[len(last)-1], "byte-identical") {
+		t.Fatalf("verdict row: %v", last)
+	}
+	if !strings.Contains(tab.CSV(), "phase,ticks") {
+		t.Fatal("CSV header missing")
+	}
+}

@@ -1,0 +1,46 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteMetrics renders the store counters in Prometheus text exposition
+// format — the store_* series gridd's /metrics endpoint exports next to the
+// grid_* and bus_wire_* families.
+func WriteMetrics(w io.Writer, st Stats) {
+	counters := []struct {
+		name string
+		v    uint64
+	}{
+		{"store_appends_total", st.Appends},
+		{"store_commits_total", st.Commits},
+		{"store_fsyncs_total", st.Fsyncs},
+		{"store_segment_rotations_total", st.Rotations},
+		{"store_snapshots_total", st.Snapshots},
+		{"store_bytes_written_total", st.BytesWritten},
+	}
+	for _, c := range counters {
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.v)
+	}
+	fmt.Fprintf(w, "# TYPE store_last_seq gauge\nstore_last_seq %d\n", st.LastSeq)
+	fmt.Fprintf(w, "# TYPE store_snapshot_seq gauge\nstore_snapshot_seq %d\n", st.SnapshotSeq)
+	age := -1.0
+	if !st.SnapshotTime.IsZero() {
+		age = time.Since(st.SnapshotTime).Seconds()
+	}
+	fmt.Fprintf(w, "# TYPE store_snapshot_age_seconds gauge\nstore_snapshot_age_seconds %g\n", age)
+	fmt.Fprintf(w, "# TYPE store_replayed_records gauge\nstore_replayed_records %d\n", st.Replayed)
+	fmt.Fprintf(w, "# TYPE store_recovered gauge\nstore_recovered %d\n", boolGauge(st.Recovered))
+	fmt.Fprintf(w, "# TYPE store_clean_start gauge\nstore_clean_start %d\n", boolGauge(st.CleanStart))
+	fmt.Fprintf(w, "# TYPE store_torn_tail_bytes gauge\nstore_torn_tail_bytes %d\n", st.TornBytes)
+}
+
+// boolGauge renders a boolean as 0/1.
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

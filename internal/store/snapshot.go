@@ -1,0 +1,187 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"loadbalance/internal/message"
+)
+
+// Snapshot file layout: a 5-byte magic, a version byte, the uvarint journal
+// position the blob covers, the uvarint-length-prefixed blob, and a CRC32C
+// over everything after the magic. Snapshots are written to a temp file and
+// renamed into place, so a crash mid-write can never damage an existing one.
+const (
+	snapMagic   = "LBSNP"
+	snapVersion = byte(1)
+)
+
+// snapshotName renders the file name of the snapshot at a journal position.
+func snapshotName(seq uint64) string {
+	return fmt.Sprintf("snap-%016x.snp", seq)
+}
+
+// snapshotSeq parses a snapshot file name back into its journal position.
+func snapshotSeq(path string) (uint64, bool) {
+	name := filepath.Base(path)
+	if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".snp") {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snp"), 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// writeSnapshot atomically publishes a snapshot of the application state at
+// journal position seq.
+func writeSnapshot(dir string, seq uint64, blob []byte) error {
+	payload := make([]byte, 0, len(snapMagic)+1+binary.MaxVarintLen64+message.LenPrefixedSize(len(blob))+4)
+	payload = append(payload, snapMagic...)
+	payload = append(payload, snapVersion)
+	payload = binary.AppendUvarint(payload, seq)
+	payload = message.AppendLenPrefixed(payload, blob)
+	sum := crc32.Checksum(payload[len(snapMagic):], crcTable)
+	payload = binary.LittleEndian.AppendUint32(payload, sum)
+
+	tmp, err := os.CreateTemp(dir, ".snap-*")
+	if err != nil {
+		return fmt.Errorf("store: temp snapshot: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(payload); err != nil {
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		return fmt.Errorf("store: chmod snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("store: fsync snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: close snapshot: %w", err)
+	}
+	name := tmp.Name()
+	tmp = nil
+	if err := os.Rename(name, filepath.Join(dir, snapshotName(seq))); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("store: publish snapshot: %w", err)
+	}
+	// Make the rename itself durable: without the directory fsync a machine
+	// crash can forget the entry even though the file data was synced.
+	return syncDir(dir)
+}
+
+// readSnapshot loads and validates one snapshot file.
+func readSnapshot(path string) (seq uint64, blob []byte, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, fmt.Errorf("store: read snapshot: %w", err)
+	}
+	if len(data) < len(snapMagic)+1 || string(data[:len(snapMagic)]) != snapMagic {
+		return 0, nil, fmt.Errorf("%w: snapshot magic", ErrCorrupt)
+	}
+	if data[len(snapMagic)] != snapVersion {
+		return 0, nil, fmt.Errorf("%w: snapshot version %d", ErrCorrupt, data[len(snapMagic)])
+	}
+	if len(data) < len(snapMagic)+1+4 {
+		return 0, nil, fmt.Errorf("%w: snapshot", ErrTruncated)
+	}
+	body, trailer := data[len(snapMagic):len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(trailer) {
+		return 0, nil, fmt.Errorf("%w: snapshot checksum", ErrCorrupt)
+	}
+	body = body[1:] // version byte
+	seq, n := binary.Uvarint(body)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: snapshot position", ErrCorrupt)
+	}
+	blob, rest, err := message.ReadLenPrefixed(body[n:])
+	if err != nil || len(rest) != 0 {
+		return 0, nil, fmt.Errorf("%w: snapshot blob", ErrCorrupt)
+	}
+	return seq, blob, nil
+}
+
+// snapshotPaths lists the directory's snapshots, newest first.
+func snapshotPaths(dir string) []string {
+	names, _ := filepath.Glob(filepath.Join(dir, "snap-*.snp"))
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	return names
+}
+
+// latestSnapshot returns the newest snapshot that validates, skipping (but
+// not deleting) damaged ones.
+func latestSnapshot(dir string) (seq uint64, blob []byte, ok bool) {
+	for _, path := range snapshotPaths(dir) {
+		s, b, err := readSnapshot(path)
+		if err != nil {
+			continue
+		}
+		return s, b, true
+	}
+	return 0, nil, false
+}
+
+// snapshotTime returns the modification time of the snapshot at seq.
+func snapshotTime(dir string, seq uint64) (time.Time, bool) {
+	fi, err := os.Stat(filepath.Join(dir, snapshotName(seq)))
+	if err != nil {
+		return time.Time{}, false
+	}
+	return fi.ModTime(), true
+}
+
+// pruneSnapshots deletes all but the newest keep snapshots and returns the
+// journal position of the oldest survivor (0 when none).
+func pruneSnapshots(dir string, keep int) uint64 {
+	paths := snapshotPaths(dir)
+	var oldestKept uint64
+	for i, path := range paths {
+		if i < keep {
+			if s, ok := snapshotSeq(path); ok {
+				oldestKept = s
+			}
+			continue
+		}
+		_ = os.Remove(path)
+	}
+	return oldestKept
+}
+
+// pruneSegments deletes journal segments whose every record lies at or below
+// coveredSeq (the oldest kept snapshot's position), never touching the
+// segment currently being written. A segment's record range ends where the
+// next segment begins, so only segments with a successor are candidates.
+func pruneSegments(dir string, coveredSeq uint64, activePath string) {
+	if coveredSeq == 0 {
+		return
+	}
+	segs := segmentGlob(dir)
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i] == activePath {
+			continue
+		}
+		nextFirst, ok := segmentFirstSeq(segs[i+1])
+		if !ok {
+			continue
+		}
+		// Last record of segs[i] is nextFirst-1.
+		if nextFirst-1 <= coveredSeq {
+			_ = os.Remove(segs[i])
+		}
+	}
+}

@@ -167,6 +167,45 @@ func (c *Collector) CloseTick(tick int) []float64 {
 	return perShard
 }
 
+// RestoreTick replays one closed tick into the collector during recovery:
+// the per-shard energies enter the ring series and the counters advance as
+// if the readings had crossed the bus.
+func (c *Collector) RestoreTick(perShard []float64, readings, batches int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(perShard) != len(c.rings) {
+		return fmt.Errorf("%w: restoring %d shards into %d", ErrBadConfig, len(perShard), len(c.rings))
+	}
+	for i, v := range perShard {
+		c.rings[i].Push(v)
+	}
+	c.readings += readings
+	c.batches += batches
+	return nil
+}
+
+// RestoreState replaces the collector's series and counters with a
+// snapshot's — the starting point recovery replays the journal tail onto.
+func (c *Collector) RestoreState(series [][]float64, stats CollectorStats) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(series) != len(c.rings) {
+		return fmt.Errorf("%w: restoring %d shard series into %d", ErrBadConfig, len(series), len(c.rings))
+	}
+	for i, s := range series {
+		r, err := NewRing(c.rings[i].Cap())
+		if err != nil {
+			return err
+		}
+		for _, v := range s {
+			r.Push(v)
+		}
+		c.rings[i] = r
+	}
+	c.readings, c.batches, c.rejected = stats.Readings, stats.Batches, stats.Rejected
+	return nil
+}
+
 // ShardSeries copies shard i's closed-tick series, oldest first.
 func (c *Collector) ShardSeries(i int) []float64 {
 	c.mu.Lock()

@@ -118,6 +118,34 @@ func (d *DeviationDetector) Observe(shard int, measured, expected float64) bool 
 // Breached reports a shard's latched breach state.
 func (d *DeviationDetector) Breached(shard int) bool { return d.breached[shard] }
 
+// DetectorState is the detector's full hysteresis state, exported for
+// durability snapshots.
+type DetectorState struct {
+	Over     []int  `json:"over"`
+	Under    []int  `json:"under"`
+	Breached []bool `json:"breached"`
+}
+
+// State copies the detector's hysteresis state.
+func (d *DeviationDetector) State() DetectorState {
+	return DetectorState{
+		Over:     append([]int(nil), d.over...),
+		Under:    append([]int(nil), d.under...),
+		Breached: append([]bool(nil), d.breached...),
+	}
+}
+
+// Restore replaces the detector's hysteresis state with a snapshot's.
+func (d *DeviationDetector) Restore(st DetectorState) error {
+	if len(st.Over) != len(d.over) || len(st.Under) != len(d.under) || len(st.Breached) != len(d.breached) {
+		return fmt.Errorf("%w: restoring detector state over %d shards into %d", ErrBadConfig, len(st.Over), len(d.over))
+	}
+	copy(d.over, st.Over)
+	copy(d.under, st.Under)
+	copy(d.breached, st.Breached)
+	return nil
+}
+
 // Reset clears a shard's state after a re-negotiation: the new agreement is
 // the new baseline, so detection starts over.
 func (d *DeviationDetector) Reset(shard int) {

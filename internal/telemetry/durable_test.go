@@ -1,0 +1,244 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// durableCfg builds the spiked live-grid configuration the durability tests
+// share: demand doubles on two shards from tick 4, so every run contains an
+// initial negotiation, breach detection and one incremental re-negotiation.
+func durableCfg(t *testing.T, n, shards int, seed int64) LiveConfig {
+	t.Helper()
+	s, err := ElasticFleetScenario(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return LiveConfig{
+		Scenario:       s,
+		Shards:         shards,
+		TicksPerWindow: 8,
+		Jitter:         0.01,
+		Seed:           seed,
+		ShardEvents: map[int][]Event{
+			0:          {{StartTick: 4, EndTick: 1 << 20, Factor: 2.5}},
+			shards / 2: {{StartTick: 4, EndTick: 1 << 20, Factor: 2.5}},
+		},
+	}
+}
+
+// profileJSON renders the canonical outcome.
+func profileJSON(t *testing.T, e *LiveEngine) []byte {
+	t.Helper()
+	b, err := json.Marshal(e.Profile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// runTicks advances the engine n ticks.
+func runTicks(t *testing.T, e *LiveEngine, n int) {
+	t.Helper()
+	if _, err := e.Run(n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableCrashReplayByteIdentical is the engine-level recovery
+// guarantee: crash a durable live engine at any tick, recover from the data
+// directory, finish the run — the final awards, demand factors and measured
+// series are byte-identical to an uninterrupted run's.
+func TestDurableCrashReplayByteIdentical(t *testing.T) {
+	const total = 12
+	cfg := durableCfg(t, 24, 4, 7)
+
+	engU, infoU, err := OpenDurable(cfg, DurableConfig{Dir: t.TempDir(), SnapshotEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infoU.Recovered {
+		t.Fatal("fresh directory reported recovered")
+	}
+	runTicks(t, engU, total)
+	want := profileJSON(t, engU)
+	if err := engU.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if engU.Renegotiations() == 0 {
+		t.Fatal("reference run never re-negotiated; the spike config is broken")
+	}
+
+	// Crash at ticks spanning before, at and after the re-negotiation.
+	for _, crashAt := range []int{3, 5, 7} {
+		dir := t.TempDir()
+		eng1, _, err := OpenDurable(cfg, DurableConfig{Dir: dir, SnapshotEvery: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runTicks(t, eng1, crashAt)
+		// Crash: tear down telemetry and close the journal without sealing
+		// it — on disk this is indistinguishable from the process dying.
+		eng1.Stop()
+		if err := eng1.Store().Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		eng2, info, err := OpenDurable(cfg, DurableConfig{Dir: dir, SnapshotEvery: 5})
+		if err != nil {
+			t.Fatalf("crashAt %d: recover: %v", crashAt, err)
+		}
+		if !info.Recovered || info.CleanStart {
+			t.Fatalf("crashAt %d: info = %+v, want a crash recovery", crashAt, info)
+		}
+		if info.ResumeTick != crashAt {
+			t.Fatalf("crashAt %d: resumed at tick %d", crashAt, info.ResumeTick)
+		}
+		runTicks(t, eng2, total-crashAt)
+		got := profileJSON(t, eng2)
+		if err := eng2.Shutdown(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("crashAt %d: recovered run diverged from the uninterrupted run\n got: %s\nwant: %s", crashAt, got, want)
+		}
+	}
+}
+
+// TestDurableTornTailReplaysOneTickEarlier loses the last committed tick to
+// a torn write: recovery resumes one tick earlier, the meters re-sample the
+// lost tick from the same RNG position, and the final state is still
+// byte-identical.
+func TestDurableTornTailReplaysOneTickEarlier(t *testing.T) {
+	const total = 10
+	cfg := durableCfg(t, 16, 4, 11)
+
+	engU, _, err := OpenDurable(cfg, DurableConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runTicks(t, engU, total)
+	want := profileJSON(t, engU)
+	if err := engU.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	eng1, _, err := OpenDurable(cfg, DurableConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runTicks(t, eng1, 7)
+	eng1.Stop()
+	if err := eng1.Store().Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail: the tick-6 record loses its checksum.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v, %v", segs, err)
+	}
+	seg := segs[len(segs)-1]
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	eng2, info, err := OpenDurable(cfg, DurableConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ResumeTick != 6 {
+		t.Fatalf("resumed at tick %d, want 6 (the torn tick replays live)", info.ResumeTick)
+	}
+	runTicks(t, eng2, total-6)
+	got := profileJSON(t, eng2)
+	if err := eng2.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("torn-tail recovery diverged\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestDurableSealedResume continues a cleanly shut down grid: recovery
+// reports the seal and the run picks up at the next tick.
+func TestDurableSealedResume(t *testing.T) {
+	cfg := durableCfg(t, 16, 4, 3)
+	dir := t.TempDir()
+	eng1, _, err := OpenDurable(cfg, DurableConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runTicks(t, eng1, 6)
+	if err := eng1.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	eng2, info, err := OpenDurable(cfg, DurableConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Shutdown()
+	if !info.Recovered || !info.CleanStart || info.ResumeTick != 6 {
+		t.Fatalf("info = %+v, want a clean resume at tick 6", info)
+	}
+	rep, err := eng2.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tick != 6 {
+		t.Fatalf("first tick after resume = %d, want 6", rep.Tick)
+	}
+}
+
+// TestDurableRejectsMismatchedScenario refuses to replay a journal into a
+// differently-parameterised grid.
+func TestDurableRejectsMismatchedScenario(t *testing.T) {
+	cfg := durableCfg(t, 16, 4, 3)
+	dir := t.TempDir()
+	eng, _, err := OpenDurable(cfg, DurableConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runTicks(t, eng, 2)
+	if err := eng.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	other := durableCfg(t, 16, 4, 99) // different seed, different run
+	if _, _, err := OpenDurable(other, DurableConfig{Dir: dir}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("mismatched scenario error = %v, want ErrBadConfig", err)
+	}
+}
+
+// TestDurableStoreMetricsAdvance checks the journal counters the /metrics
+// endpoint exports actually move with the loop.
+func TestDurableStoreMetricsAdvance(t *testing.T) {
+	cfg := durableCfg(t, 16, 4, 5)
+	eng, _, err := OpenDurable(cfg, DurableConfig{Dir: t.TempDir(), SnapshotEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runTicks(t, eng, 7)
+	st := eng.Store().Stats()
+	if st.Appends < 10 { // registration + session + 7 ticks
+		t.Fatalf("appends = %d", st.Appends)
+	}
+	if st.Snapshots != 2 { // after ticks 3 and 6
+		t.Fatalf("snapshots = %d, want 2", st.Snapshots)
+	}
+	if st.SnapshotTime.IsZero() {
+		t.Fatal("snapshot time not recorded")
+	}
+	if err := eng.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}

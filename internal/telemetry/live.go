@@ -13,6 +13,7 @@ import (
 	"loadbalance/internal/customeragent"
 	"loadbalance/internal/prediction"
 	"loadbalance/internal/protocol"
+	"loadbalance/internal/store"
 	"loadbalance/internal/units"
 	"loadbalance/internal/utilityagent"
 )
@@ -134,6 +135,11 @@ type LiveEngine struct {
 
 	normalPerTick float64
 	targetPerTick float64
+
+	// Durability (nil st = volatile engine, the pre-journal behaviour).
+	st             *store.Store
+	snapshotEvery  int
+	batchesPerTick int64
 }
 
 // NewLiveEngine validates the configuration and builds the grid (buses,
@@ -244,12 +250,23 @@ func (e *LiveEngine) Start() error {
 		return fmt.Errorf("telemetry: initial negotiation: %w", err)
 	}
 	e.applyOutcome(allMembers(e.topo), res)
+	if e.st != nil {
+		if err := e.journalSession(res); err != nil {
+			return err
+		}
+	}
+	return e.openTelemetry()
+}
 
+// openTelemetry starts the collector runtime over the metering bus — the
+// part of Start shared with recovery, which must not re-negotiate.
+func (e *LiveEngine) openTelemetry() error {
 	// Collector inbox sized for several ticks of batches in flight.
 	batchesPerTick := (e.fleet.Size() + defaultBatchSize - 1) / defaultBatchSize
 	if e.cfg.BatchSize > 0 {
 		batchesPerTick = (e.fleet.Size() + e.cfg.BatchSize - 1) / e.cfg.BatchSize
 	}
+	e.batchesPerTick = int64(batchesPerTick)
 	rt, err := agent.Start(collectorName, e.bus, e.collector.Handler(), max(64, 8*batchesPerTick))
 	if err != nil {
 		return err
@@ -259,7 +276,9 @@ func (e *LiveEngine) Start() error {
 	return nil
 }
 
-// Stop tears the telemetry stream down.
+// Stop tears the telemetry stream down. A durable engine's journal is left
+// exactly as the last tick committed it — indistinguishable from a crash,
+// which is what crash tests rely on; a clean exit goes through Shutdown.
 func (e *LiveEngine) Stop() {
 	if e.colRT != nil {
 		e.colRT.Stop()
@@ -267,6 +286,27 @@ func (e *LiveEngine) Stop() {
 	}
 	e.bus.Close()
 	e.started = false
+}
+
+// Shutdown is the graceful exit of a durable engine: a final snapshot, the
+// seal record, a sealed journal on disk, then the telemetry teardown. On a
+// volatile engine it is just Stop.
+func (e *LiveEngine) Shutdown() error {
+	var err error
+	if e.st != nil {
+		if serr := e.st.Snapshot(e.snapshotBlob()); serr != nil {
+			err = serr
+		}
+		if serr := e.st.Seal(); serr != nil && err == nil {
+			err = serr
+		}
+		if serr := e.st.Close(); serr != nil && err == nil {
+			err = serr
+		}
+		e.st = nil
+	}
+	e.Stop()
+	return err
 }
 
 // allMembers flattens a topology into one member list.
@@ -359,6 +399,11 @@ func (e *LiveEngine) Tick() (TickReport, error) {
 			return rep, err
 		}
 		rep.Renegotiated = ev
+	}
+	if e.st != nil {
+		if err := e.journalTick(t, measured, int64(n), rep.Renegotiated); err != nil {
+			return rep, err
+		}
 	}
 	return rep, nil
 }

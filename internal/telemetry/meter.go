@@ -127,6 +127,19 @@ func (m *Meter) Sample(tick int) message.MeterReading {
 	return message.MeterReading{Customer: m.cfg.Customer, Tick: tick, KWh: kwh}
 }
 
+// SkipTicks advances the jitter stream past n already-sampled ticks without
+// producing readings — how a recovering grid fast-forwards its meters so the
+// post-recovery samples are bit-identical to an uninterrupted run's. It
+// draws exactly what Sample would have drawn.
+func (m *Meter) SkipTicks(n int) {
+	if m.cfg.Jitter <= 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		m.rng.Float64()
+	}
+}
+
 // defaultBatchSize bounds readings per published envelope: envelopes stay a
 // few KB, and the bus carries fleet_size/batch envelopes per tick rather
 // than one per customer.
@@ -161,6 +174,13 @@ func NewFleet(meters []*Meter, batchSize int) (*Fleet, error) {
 
 // Size returns the number of meters.
 func (f *Fleet) Size() int { return len(f.meters) }
+
+// SkipTicks fast-forwards every meter's jitter stream past n sampled ticks.
+func (f *Fleet) SkipTicks(n int) {
+	for _, m := range f.meters {
+		m.SkipTicks(n)
+	}
+}
 
 // Actuate pushes awarded cut-downs into the named meters.
 func (f *Fleet) Actuate(bids map[string]float64) {
