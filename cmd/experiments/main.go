@@ -11,6 +11,7 @@
 //	experiments -exp e14 -n 64 -ticks 20  # live grid with spike injection
 //	experiments -exp e15 -n 32            # distributed negotiation over TCP
 //	experiments -exp e16 -n 32 -ticks 14  # crash/recover a durable live grid
+//	experiments -exp e17 -n 32 -ticks 14  # kill a replicated primary, fail over to its hot standby
 //	experiments -data-dir ./runs          # resumable: completed ids skip
 //
 // With -data-dir each completed experiment is journaled; re-running the same
@@ -41,7 +42,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "all", "experiment id: e1..e16, e11c (cluster scale) or all")
+		exp     = fs.String("exp", "all", "experiment id: e1..e17, e11c (cluster scale) or all")
 		out     = fs.String("out", "results", "output directory for CSV files")
 		n       = fs.Int("n", 100, "population size (e1, e5)")
 		seed    = fs.Int64("seed", 1, "random seed")
@@ -50,7 +51,7 @@ func run(args []string) error {
 		runs    = fs.Int("runs", 10, "randomized runs for e8")
 		csizes  = fs.String("cluster-sizes", "1000,5000", "fleet sizes for e11c (the full sweep is 1000,10000,100000)")
 		shards  = fs.String("shards", "4,16,64", "concentrator counts for e11c")
-		ticks   = fs.Int("ticks", 15, "live ticks for e14 and e16")
+		ticks   = fs.Int("ticks", 15, "live ticks for e14, e16 and e17")
 		dataDir = fs.String("data-dir", "", "journal completed experiments under this directory; re-running skips them (e16 also keeps its grid journals there)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -127,6 +128,28 @@ func run(args []string) error {
 				return nil, err
 			}
 			file := filepath.Join(*out, "e16_recovery.json")
+			if err := os.WriteFile(file, data, 0o644); err != nil {
+				return nil, err
+			}
+			fmt.Printf("wrote %s\n", file)
+			return tab, nil
+		}},
+		{"e17", func() (*sim.Table, error) {
+			gridDir := ""
+			if *dataDir != "" {
+				gridDir = filepath.Join(*dataDir, "e17")
+			}
+			tab, rep, err := sim.E17Failover(min(*n, 48), 8, *ticks, *seed, gridDir)
+			if err != nil {
+				return nil, err
+			}
+			// The availability gap and continuity verdict go to a result
+			// JSON next to the CSV.
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				return nil, err
+			}
+			file := filepath.Join(*out, "e17_failover.json")
 			if err := os.WriteFile(file, data, 0o644); err != nil {
 				return nil, err
 			}

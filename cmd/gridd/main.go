@@ -26,6 +26,20 @@
 //
 //	gridd -serve :8080 -live -customers 64 -shards 16 -data-dir /var/lib/gridd
 //
+// Replicated live server (the journal streams to hot standbys on -repl-addr;
+// the bound address is published as <data-dir>/repl-addr):
+//
+//	gridd -serve :8080 -live -customers 64 -shards 16 -data-dir /var/lib/gridd \
+//	      -repl-addr :9400
+//
+// Hot standby (replays the primary's WAL stream into live in-memory state,
+// serves /healthz, /metrics, /replication and /awards read-only, and — if it
+// holds the lowest id among -peers — promotes itself to primary when the
+// stream goes silent past -failover-timeout):
+//
+//	gridd -serve :8081 -live -customers 64 -shards 16 -data-dir /var/lib/gridd-s1 \
+//	      -replica-of host:9400 -replica-id r1 -peers r1,r2 -repl-addr :9401
+//
 // Distributed sharded server (the concentrators run as separate OS
 // processes; the root tier listens on -root-addr and waits for them):
 //
@@ -75,6 +89,7 @@ import (
 	"loadbalance/internal/customeragent"
 	"loadbalance/internal/message"
 	"loadbalance/internal/protocol"
+	"loadbalance/internal/replica"
 	"loadbalance/internal/sim"
 	"loadbalance/internal/store"
 	"loadbalance/internal/telemetry"
@@ -118,7 +133,12 @@ func run(ctx context.Context, args []string) error {
 		shards    = fs.Int("shards", 1, "concentrator agents fronting the fleet (server mode; 1 = flat)")
 		rootAddr  = fs.String("root-addr", "", "listen address for the root tier: concentrators run as separate worker processes that dial in (requires -shards > 1)")
 		metrics   = fs.String("metrics", "", "optional HTTP listen address answering /healthz and /metrics with wire transport counters (server mode)")
-		live      = fs.Bool("live", false, "run the live grid: negotiate once, then meter, detect drift and re-negotiate incrementally; -serve's address answers HTTP /healthz, /metrics and /awards")
+		live      = fs.Bool("live", false, "run the live grid: negotiate once, then meter, detect drift and re-negotiate incrementally; -serve's address answers HTTP /healthz, /metrics, /replication and /awards")
+		replAddr  = fs.String("repl-addr", "", "replication listen address: stream the journal to hot standbys (live mode; requires -data-dir); the bound address is written to <data-dir>/repl-addr")
+		replicaOf = fs.String("replica-of", "", "run as a hot standby replicating from this comma-separated dial list of replication addresses (live mode; requires -data-dir)")
+		replicaID = fs.String("replica-id", "r0", "this standby's replica id — the lowest id among -peers promotes on primary loss")
+		peers     = fs.String("peers", "", "comma-separated standby ids in the replica set (promotion rule input; empty = this standby always promotes)")
+		failover  = fs.Duration("failover-timeout", 3*time.Second, "how long the primary may be silent before a standby promotes")
 		tick      = fs.Duration("tick", time.Second, "live metering interval")
 		liveTicks = fs.Int("live-ticks", 0, "stop once the grid's tick counter reaches this (0 = run until SIGINT/SIGTERM); a recovered run counts the ticks already journaled")
 		dataDir   = fs.String("data-dir", "", "journal negotiated state and telemetry under this directory; a restart recovers the run mid-flight (live and serve modes)")
@@ -126,7 +146,7 @@ func run(ctx context.Context, args []string) error {
 		spikeSh   = fs.String("spike-shards", "", "comma-separated shard indices to hit with a demand spike (live mode; for demos and recovery drills)")
 		spikeTick = fs.Int("spike-tick", -1, "tick the demand spike starts on (-1 = no spike)")
 		spikeFac  = fs.Float64("spike-factor", 2.5, "demand multiplier of the injected spike")
-		connect   = fs.String("connect", "", "daemon address to join as a Customer Agent")
+		connect   = fs.String("connect", "", "daemon address (or comma-separated failover dial list) to join as a Customer Agent")
 		name      = fs.String("name", "", "customer name (client mode)")
 		seed      = fs.Int64("seed", 1, "preference randomisation seed (client and live modes)")
 		timeout   = fs.Duration("timeout", 2*time.Minute, "overall negotiation timeout")
@@ -163,23 +183,40 @@ func run(ctx context.Context, args []string) error {
 			if *rootAddr != "" || *metrics != "" {
 				return fmt.Errorf("-live runs in-process and serves its own /healthz and /metrics on -serve; it cannot combine with -root-addr or -metrics")
 			}
+			if *replAddr != "" && *dataDir == "" {
+				return fmt.Errorf("-repl-addr streams the journal and requires -data-dir")
+			}
+			if *replicaOf != "" && *dataDir == "" {
+				return fmt.Errorf("-replica-of persists the replicated journal and requires -data-dir")
+			}
 			spikeShards, err := parseShardList(*spikeSh)
 			if err != nil {
 				return fmt.Errorf("-spike-shards: %w", err)
 			}
 			return runLive(ctx, liveOptions{
-				addr:          *serveAddr,
-				customers:     *customers,
-				shards:        *shards,
-				tick:          *tick,
-				maxTicks:      *liveTicks,
-				seed:          *seed,
-				dataDir:       *dataDir,
-				snapshotEvery: *snapEvery,
-				spikeShards:   spikeShards,
-				spikeTick:     *spikeTick,
-				spikeFactor:   *spikeFac,
+				addr:            *serveAddr,
+				customers:       *customers,
+				shards:          *shards,
+				tick:            *tick,
+				maxTicks:        *liveTicks,
+				seed:            *seed,
+				dataDir:         *dataDir,
+				snapshotEvery:   *snapEvery,
+				spikeShards:     spikeShards,
+				spikeTick:       *spikeTick,
+				spikeFactor:     *spikeFac,
+				replAddr:        *replAddr,
+				replicaOf:       bus.SplitAddrList(*replicaOf),
+				replicaID:       *replicaID,
+				peers:           bus.SplitAddrList(*peers),
+				failoverTimeout: *failover,
 			}, nil)
+		}
+		if *replicaOf != "" {
+			return fmt.Errorf("-replica-of requires -live")
+		}
+		if *replAddr != "" {
+			return fmt.Errorf("-repl-addr streams the live journal and requires -live")
 		}
 		return serve(ctx, serveConfig{
 			addr:        *serveAddr,
@@ -351,7 +388,11 @@ func serve(ctx context.Context, cfg serveConfig, ready chan<- serveAddrs) error 
 		mux := http.NewServeMux()
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
-			_ = json.NewEncoder(w).Encode(map[string]any{"status": "ok", "customers": len(customerAgents(inner.Agents()))})
+			doc := map[string]any{"status": "ok", "role": "primary", "customers": len(customerAgents(inner.Agents()))}
+			if journal != nil {
+				doc["lastAppliedSeq"] = journal.Stats().LastSeq
+			}
+			_ = json.NewEncoder(w).Encode(doc)
 		})
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -597,6 +638,13 @@ type liveOptions struct {
 	spikeShards   []int
 	spikeTick     int // -1 = no spike
 	spikeFactor   float64
+
+	// Replication (requires dataDir).
+	replAddr        string   // non-empty: stream the journal to standbys here
+	replicaOf       []string // non-empty: run as a hot standby following this dial list
+	replicaID       string
+	peers           []string
+	failoverTimeout time.Duration
 }
 
 // liveConfig derives the engine configuration. It must be identical on
@@ -622,16 +670,188 @@ func (o liveOptions) liveConfig() (telemetry.LiveConfig, error) {
 	return cfg, nil
 }
 
+// gridState is what the live HTTP endpoints serve, shared between the tick
+// loop (or the replication receiver) and the handlers, and swapped in place
+// when a standby promotes — the HTTP server itself survives the role change.
+type gridState struct {
+	mu       sync.Mutex
+	role     string // "primary" | "standby"
+	start    time.Time
+	snap     telemetry.Snapshot
+	profile  []byte
+	recovery *telemetry.RecoveryInfo
+	st       *store.Store     // primary journal (nil when volatile)
+	sender   *replica.Sender  // non-nil when streaming to standbys
+	stby     *replica.Standby // non-nil while role == standby
+}
+
+// view reads the endpoint-visible state in one consistent snapshot. A
+// standby's snapshot and profile come from the replica engine on demand (the
+// receiver applies records between HTTP requests, not between ticks).
+func (g *gridState) view() (role string, snap telemetry.Snapshot, profile []byte, stby *replica.Standby, sender *replica.Sender) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.stby != nil {
+		return g.role, g.stby.Eng.ReplicaSnapshot(), nil, g.stby, g.sender
+	}
+	return g.role, g.snap, g.profile, nil, g.sender
+}
+
+// publish stores a tick's outcome for the handlers.
+func (g *gridState) publish(snap telemetry.Snapshot, profile []byte) {
+	g.mu.Lock()
+	g.snap, g.profile = snap, profile
+	g.mu.Unlock()
+}
+
+// promote swaps the state holder from standby to serving primary.
+func (g *gridState) promote(st *store.Store, sender *replica.Sender, snap telemetry.Snapshot, profile []byte) {
+	g.mu.Lock()
+	g.role, g.stby = "primary", nil
+	g.st, g.sender = st, sender
+	g.snap, g.profile = snap, profile
+	g.mu.Unlock()
+}
+
+// healthDoc renders the /healthz body: role, recovery state, replication
+// state and the last applied/committed journal position — the operator
+// contract an external health checker (or a failover drill) consumes.
+func (g *gridState) healthDoc() map[string]any {
+	role, snap, _, stby, sender := g.view()
+	g.mu.Lock()
+	rec := g.recovery
+	st := g.st
+	start := g.start
+	g.mu.Unlock()
+	doc := map[string]any{
+		"status":         "ok",
+		"role":           role,
+		"tick":           snap.Tick,
+		"uptimeSeconds":  time.Since(start).Seconds(),
+		"renegotiations": snap.Renegotiations,
+	}
+	if rec != nil {
+		doc["recovery"] = map[string]any{
+			"recovered":  rec.Recovered,
+			"cleanStart": rec.CleanStart,
+			"resumeTick": rec.ResumeTick,
+			"replayed":   rec.Replayed,
+		}
+	}
+	switch {
+	case stby != nil:
+		rst := stby.Receiver().Status()
+		doc["lastAppliedSeq"] = stby.Eng.LastSeq()
+		doc["replication"] = map[string]any{
+			"id":         rst.ID,
+			"sourceUp":   rst.Connected,
+			"sourceAddr": rst.Addr,
+			"appliedSeq": rst.AppliedSeq,
+			"promotable": stby.Promotable(),
+			"peers":      stby.PeerList(),
+		}
+	case st != nil:
+		stats := st.Stats()
+		doc["lastAppliedSeq"] = stats.LastSeq
+		if sender != nil {
+			sst := sender.Status()
+			doc["replication"] = map[string]any{
+				"addr":     sst.Addr,
+				"standbys": len(sst.Standbys),
+			}
+		}
+	}
+	return doc
+}
+
+// liveMux builds the live daemon's HTTP surface over the state holder.
+func liveMux(state *gridState) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(state.healthDoc())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_, snap, _, stby, sender := state.view()
+		writeMetrics(w, snap)
+		switch {
+		case stby != nil:
+			store.WriteMetrics(w, stby.Eng.StoreStats())
+			replica.WriteReceiverMetrics(w, stby.Receiver().Status())
+		default:
+			state.mu.Lock()
+			st := state.st
+			state.mu.Unlock()
+			if st != nil {
+				store.WriteMetrics(w, st.Stats())
+			}
+			if sender != nil {
+				replica.WriteSenderMetrics(w, sender.Status())
+			}
+		}
+	})
+	mux.HandleFunc("/replication", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		role, _, _, stby, sender := state.view()
+		doc := map[string]any{"role": role}
+		if stby != nil {
+			doc["receiver"] = stby.Receiver().Status()
+			doc["promotable"] = stby.Promotable()
+			doc["peers"] = stby.PeerList()
+		}
+		if sender != nil {
+			doc["sender"] = sender.Status()
+		}
+		_ = json.NewEncoder(w).Encode(doc)
+	})
+	mux.HandleFunc("/awards", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _, profile, stby, _ := state.view()
+		if stby != nil {
+			// Read replica: the profile is computed from the replica state
+			// at request time.
+			p, err := json.Marshal(stby.Eng.Profile())
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			_, _ = w.Write(p)
+			return
+		}
+		_, _ = w.Write(profile)
+	})
+	return mux
+}
+
+// startLiveHTTP binds the live daemon's endpoint address.
+func startLiveHTTP(addr string, state *gridState) (net.Listener, *http.Server, chan error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	httpSrv := &http.Server{Handler: liveMux(state)}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- httpSrv.Serve(ln) }()
+	return ln, httpSrv, httpErr, nil
+}
+
 // runLive operates the grid continuously: an in-process elastic fleet is
 // negotiated once through the concentrator tier, then metered every tick
 // with incremental re-negotiation on drift. addr answers HTTP /healthz,
-// /metrics and /awards (lbfeedback-style: the live load/deviation state a
-// balancer or scraper consumes). maxTicks 0 runs until ctx is cancelled.
+// /metrics, /replication and /awards (lbfeedback-style: the live
+// load/deviation state a balancer or scraper consumes). maxTicks 0 runs
+// until ctx is cancelled.
 //
 // With a data dir the run is durable: every decision is journaled, restarts
 // recover mid-flight (the tick counter continues where the journal ends),
 // graceful exits seal the journal, and the canonical grid profile lands in
 // <data-dir>/awards.json on exit.
+//
+// With -repl-addr the journal streams to hot standbys; with -replica-of the
+// daemon IS a hot standby: it serves its replica state read-only and
+// promotes itself into this same live loop when the primary goes silent (if
+// it holds the lowest id among -peers).
 func runLive(ctx context.Context, opts liveOptions, ready chan<- string) error {
 	if opts.tick <= 0 {
 		return fmt.Errorf("-tick must be positive")
@@ -640,6 +860,11 @@ func runLive(ctx context.Context, opts liveOptions, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
+	if len(opts.replicaOf) > 0 {
+		return runStandby(ctx, opts, cfg, ready)
+	}
+
+	state := &gridState{role: "primary", start: time.Now()}
 	var eng *telemetry.LiveEngine
 	if opts.dataDir != "" {
 		var info *telemetry.RecoveryInfo
@@ -650,6 +875,7 @@ func runLive(ctx context.Context, opts liveOptions, ready chan<- string) error {
 		if err != nil {
 			return err
 		}
+		state.recovery = info
 		if info.Recovered {
 			how := "crash"
 			if info.CleanStart {
@@ -667,9 +893,66 @@ func runLive(ctx context.Context, opts liveOptions, ready chan<- string) error {
 			return err
 		}
 	}
-	st := eng.Store() // stable handle for the metrics goroutine; nil when volatile
+	state.st = eng.Store() // stable handle for the handlers; nil when volatile
+
+	if opts.replAddr != "" {
+		sender, err := replica.StartSender(replica.SenderConfig{Dir: opts.dataDir, Addr: opts.replAddr})
+		if err != nil {
+			_ = eng.Shutdown()
+			return err
+		}
+		state.sender = sender
+		if err := writeReplAddrFile(opts.dataDir, sender.Addr()); err != nil {
+			sender.Close()
+			_ = eng.Shutdown()
+			return err
+		}
+		fmt.Printf("gridd: replicating the journal to standbys on %s\n", sender.Addr())
+	}
+
+	profile, err := json.Marshal(eng.Profile())
+	if err != nil {
+		_ = eng.Shutdown()
+		return err
+	}
+	state.publish(eng.Snapshot(), profile)
+
+	ln, httpSrv, httpErr, err := startLiveHTTP(opts.addr, state)
+	if err != nil {
+		if state.sender != nil {
+			state.sender.Close()
+		}
+		_ = eng.Shutdown()
+		return err
+	}
+	defer func() {
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	fmt.Printf("gridd: live grid of %d customers in %d shards; /healthz, /metrics, /replication and /awards on %s\n",
+		opts.customers, opts.shards, ln.Addr())
+	return tickLoop(ctx, eng, opts, state, httpErr)
+}
+
+// tickLoop is the serving primary's main loop — entered at start by a
+// primary daemon and after promotion by a standby.
+func tickLoop(ctx context.Context, eng *telemetry.LiveEngine, opts liveOptions, state *gridState, httpErr <-chan error) error {
+	st := eng.Store()
 	shutdown := func() error {
 		err := eng.Shutdown()
+		if state.sender != nil {
+			// The seal is in the journal; give the standbys a moment to
+			// apply it so they follow the primary down instead of promoting
+			// over a clean exit.
+			if st != nil {
+				state.sender.WaitDrain(st.Stats().LastSeq, 2*time.Second)
+			}
+			state.sender.Close()
+		}
 		if opts.dataDir == "" {
 			return err
 		}
@@ -679,72 +962,7 @@ func runLive(ctx context.Context, opts liveOptions, ready chan<- string) error {
 		return err
 	}
 
-	// The engine is single-threaded; the HTTP handlers read snapshots and
-	// the profile document the tick loop publishes under a lock.
-	var snapMu sync.Mutex
-	latest := eng.Snapshot()
-	profile, err := json.Marshal(eng.Profile())
-	if err != nil {
-		_ = shutdown()
-		return err
-	}
-	updateLatest := func(s telemetry.Snapshot, p []byte) {
-		snapMu.Lock()
-		latest, profile = s, p
-		snapMu.Unlock()
-	}
-	readLatest := func() (telemetry.Snapshot, []byte) {
-		snapMu.Lock()
-		defer snapMu.Unlock()
-		return latest, profile
-	}
-
-	start := time.Now()
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		snap, _ := readLatest()
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(map[string]any{
-			"status":         "ok",
-			"tick":           snap.Tick,
-			"uptimeSeconds":  time.Since(start).Seconds(),
-			"renegotiations": snap.Renegotiations,
-		})
-	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		snap, _ := readLatest()
-		writeMetrics(w, snap)
-		if st != nil {
-			store.WriteMetrics(w, st.Stats())
-		}
-	})
-	mux.HandleFunc("/awards", func(w http.ResponseWriter, r *http.Request) {
-		_, p := readLatest()
-		w.Header().Set("Content-Type", "application/json")
-		_, _ = w.Write(p)
-	})
-
-	ln, err := net.Listen("tcp", opts.addr)
-	if err != nil {
-		_ = shutdown()
-		return err
-	}
-	httpSrv := &http.Server{Handler: mux}
-	httpErr := make(chan error, 1)
-	go func() { httpErr <- httpSrv.Serve(ln) }()
-	defer func() {
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-		defer cancel()
-		_ = httpSrv.Shutdown(shutdownCtx)
-	}()
-	if ready != nil {
-		ready <- ln.Addr().String()
-	}
-	fmt.Printf("gridd: live grid of %d customers in %d shards; /healthz, /metrics and /awards on %s\n",
-		opts.customers, opts.shards, ln.Addr())
-
-	// A recovered run may already have reached the tick target.
+	// A recovered (or just-promoted) run may already be at the tick target.
 	if done, ok := liveDone(eng.Snapshot().Tick, opts.maxTicks); ok {
 		fmt.Println(done)
 		return shutdown()
@@ -780,13 +998,143 @@ func runLive(ctx context.Context, opts liveOptions, ready chan<- string) error {
 				_ = shutdown()
 				return err
 			}
-			updateLatest(eng.Snapshot(), p)
+			state.publish(eng.Snapshot(), p)
 			if done, ok := liveDone(rep.Tick+1, opts.maxTicks); ok {
 				fmt.Println(done)
 				return shutdown()
 			}
 		}
 	}
+}
+
+// runStandby runs the daemon as a hot standby: the replica state is served
+// read-only on the HTTP endpoints while the receiver applies the primary's
+// stream; on primary silence the lowest-id standby promotes in place and
+// continues the run as the serving primary.
+func runStandby(ctx context.Context, opts liveOptions, cfg telemetry.LiveConfig, ready chan<- string) error {
+	state := &gridState{role: "standby", start: time.Now()}
+	stby, info, err := replica.StartStandby(replica.StandbyConfig{
+		ID:              opts.replicaID,
+		Peers:           opts.peers,
+		PrimaryAddrs:    opts.replicaOf,
+		Live:            cfg,
+		Durable:         telemetry.DurableConfig{Dir: opts.dataDir, SnapshotEvery: opts.snapshotEvery},
+		FailoverTimeout: opts.failoverTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	state.stby = stby
+	state.recovery = info
+	if info.Recovered {
+		fmt.Printf("gridd: standby %s resuming replication from local seq %d (tick %d)\n",
+			opts.replicaID, stby.Eng.LastSeq(), info.ResumeTick)
+	}
+
+	ln, httpSrv, httpErr, err := startLiveHTTP(opts.addr, state)
+	if err != nil {
+		_ = stby.Close()
+		return err
+	}
+	defer func() {
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	fmt.Printf("gridd: hot standby %s following %v; read-only /healthz, /metrics, /replication and /awards on %s\n",
+		opts.replicaID, opts.replicaOf, ln.Addr())
+
+	type result struct {
+		outcome replica.Outcome
+		err     error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		o, err := stby.Run(ctx)
+		resCh <- result{o, err}
+	}()
+	var res result
+	select {
+	case res = <-resCh:
+	case err := <-httpErr:
+		_ = stby.Close()
+		if err != nil && err != http.ErrServerClosed {
+			return err
+		}
+		return nil
+	}
+	switch {
+	case res.err != nil:
+		_ = stby.Close()
+		if ctx.Err() != nil {
+			fmt.Printf("gridd: standby %s interrupted\n", opts.replicaID)
+			return nil
+		}
+		return res.err
+	case res.outcome.CleanShutdown:
+		fmt.Printf("gridd: primary sealed its journal; standby %s shutting down cleanly\n", opts.replicaID)
+		return stby.Close()
+	}
+
+	// Promoted: continue the run as the serving primary on the same HTTP
+	// address. The availability gap is detect + promote.
+	eng := res.outcome.Engine
+	pinfo := res.outcome.Promotion
+	fmt.Printf("gridd: standby %s promoted to primary at journal seq %d (detect %v + promote %v), resuming at tick %d\n",
+		opts.replicaID, pinfo.FromSeq,
+		res.outcome.DetectLatency.Round(time.Millisecond), pinfo.Elapsed.Round(time.Millisecond),
+		pinfo.ResumeTick)
+	var sender *replica.Sender
+	if opts.replAddr != "" {
+		sender, err = replica.StartSender(replica.SenderConfig{Dir: opts.dataDir, Addr: opts.replAddr})
+		if err != nil {
+			_ = eng.Shutdown()
+			return err
+		}
+		if err := writeReplAddrFile(opts.dataDir, sender.Addr()); err != nil {
+			sender.Close()
+			_ = eng.Shutdown()
+			return err
+		}
+		fmt.Printf("gridd: promoted primary replicating to standbys on %s\n", sender.Addr())
+	}
+	profile, err := json.Marshal(eng.Profile())
+	if err != nil {
+		_ = eng.Shutdown()
+		return err
+	}
+	state.promote(eng.Store(), sender, eng.Snapshot(), profile)
+	return tickLoop(ctx, eng, opts, state, httpErr)
+}
+
+// writeReplAddrFile publishes the replication listener's bound address as
+// <dir>/repl-addr (atomically), so operators and tests using ":0" can find
+// it.
+func writeReplAddrFile(dir, addr string) error {
+	return atomicWriteFile(dir, "repl-addr", []byte(addr))
+}
+
+// atomicWriteFile publishes <dir>/<name> via temp file + rename, so a
+// reader can never observe a partial write.
+func atomicWriteFile(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, "."+name+"-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return os.Rename(tmpName, filepath.Join(dir, name))
 }
 
 // liveDone reports whether the grid reached its tick target.
@@ -804,21 +1152,7 @@ func writeAwardsFile(dir string, eng *telemetry.LiveEngine) error {
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(dir, ".awards-*.json")
-	if err != nil {
-		return err
-	}
-	name := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(name)
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(name)
-		return err
-	}
-	return os.Rename(name, filepath.Join(dir, "awards.json"))
+	return atomicWriteFile(dir, "awards.json", data)
 }
 
 // writeMetrics renders a snapshot in Prometheus text exposition format.
@@ -841,9 +1175,11 @@ func writeMetrics(w http.ResponseWriter, snap telemetry.Snapshot) {
 }
 
 // runClient joins as one Customer Agent and reacts until the session ends
-// or ctx is cancelled.
+// or ctx is cancelled. addr may be a comma-separated dial list (the primary
+// grid head first, standbys after it); the connection re-dials through the
+// list and resumes if the serving head dies mid-session.
 func runClient(ctx context.Context, addr, name string, seed int64) error {
-	cli, err := bus.Dial(addr, name)
+	cli, err := bus.DialReconnecting(bus.SplitAddrList(addr), name, bus.ReconnConfig{})
 	if err != nil {
 		return err
 	}

@@ -394,8 +394,10 @@ func TestLiveGridServesHealthAndMetrics(t *testing.T) {
 	}
 
 	health := get("/healthz")
-	if !strings.Contains(health, `"status":"ok"`) {
-		t.Fatalf("healthz = %s", health)
+	for _, want := range []string{`"status":"ok"`, `"role":"primary"`, `"tick"`} {
+		if !strings.Contains(health, want) {
+			t.Fatalf("healthz missing %s: %s", want, health)
+		}
 	}
 
 	// Let a few ticks elapse so the gauges carry real measurements.
@@ -652,6 +654,268 @@ func TestServeJournalsOutcome(t *testing.T) {
 	}
 	if outcome == nil || outcome.SessionID != "gridd" || len(outcome.Awards) == 0 {
 		t.Fatalf("journaled outcome = %+v, want the gridd session with awards", outcome)
+	}
+}
+
+// failoverArgs renders the replicated live-grid flag set shared by the
+// reference, victim-primary and standby runs of the failover tests. The grid
+// parameters are identical everywhere (the recovery contract); only the
+// replication role flags differ per process.
+func failoverArgs(dataDir string, extra ...string) []string {
+	args := []string{
+		"-serve", "127.0.0.1:0", "-live",
+		"-customers", "16", "-shards", "4",
+		"-tick", "50ms", "-live-ticks", "30", "-seed", "5",
+		"-data-dir", dataDir,
+		"-spike-shards", "1,2", "-spike-tick", "4", "-spike-factor", "2.5",
+		"-snapshot-every", "8",
+	}
+	return append(args, extra...)
+}
+
+// waitReplAddr polls for the <data-dir>/repl-addr file a replicating daemon
+// publishes once its stream listener is bound.
+func waitReplAddr(t *testing.T, dataDir string, d time.Duration) string {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for {
+		if b, err := os.ReadFile(filepath.Join(dataDir, "repl-addr")); err == nil && len(b) > 0 {
+			return string(b)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replication address file never appeared")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestFailoverByteIdenticalAwards is the high-availability headline: a
+// primary gridd streaming its journal to a hot standby is SIGKILLed in the
+// middle of its live loop; the standby detects the silence, promotes, and
+// finishes the run with awards and shard profiles byte-identical to an
+// uninterrupted single-node run — no committed negotiation outcome is lost
+// across the failover.
+func TestFailoverByteIdenticalAwards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a victim process")
+	}
+	base := t.TempDir()
+	dirU := filepath.Join(base, "uninterrupted")
+	dirP := filepath.Join(base, "primary")
+	dirS := filepath.Join(base, "standby")
+
+	// Reference: the same run, uninterrupted, unreplicated.
+	if err := run(context.Background(), failoverArgs(dirU)); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	want, err := os.ReadFile(filepath.Join(dirU, "awards.json"))
+	if err != nil {
+		t.Fatalf("reference awards: %v", err)
+	}
+	var wantProfile struct {
+		Tick           int `json:"tick"`
+		Renegotiations int `json:"renegotiations"`
+	}
+	if err := json.Unmarshal(want, &wantProfile); err != nil {
+		t.Fatal(err)
+	}
+	if wantProfile.Tick != 30 || wantProfile.Renegotiations == 0 {
+		t.Fatalf("reference run reached tick %d with %d renegotiations; the spike must force at least one",
+			wantProfile.Tick, wantProfile.Renegotiations)
+	}
+
+	// Victim primary: a separate OS process streaming its journal.
+	if err := os.MkdirAll(dirP, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0], failoverArgs(dirP, "-repl-addr", "127.0.0.1:0")...)
+	cmd.Env = append(os.Environ(), "GRIDD_HELPER=1")
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+		}
+	}()
+	replAddr := waitReplAddr(t, dirP, 30*time.Second)
+
+	// Hot standby in this process, with a short failover timeout.
+	standbyErr := make(chan error, 1)
+	go func() {
+		standbyErr <- run(context.Background(), failoverArgs(dirS,
+			"-replica-of", replAddr, "-replica-id", "r0", "-failover-timeout", "750ms"))
+	}()
+
+	// Wait until the standby has replicated at least 8 ticks (registration
+	// is 2 records, the initial session 1, then one per tick), then SIGKILL
+	// the primary mid-loop.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		rec, err := store.ReadDir(dirS)
+		if err == nil && rec.LastSeq >= 11 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("standby never replicated 8 ticks")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err == nil {
+		t.Fatal("victim exited cleanly; the test needed to kill it mid-loop")
+	}
+
+	// The promoted standby must finish the run and write its awards.
+	select {
+	case err := <-standbyErr:
+		if err != nil {
+			t.Fatalf("standby run: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("standby never finished after the primary was killed")
+	}
+	got, err := os.ReadFile(filepath.Join(dirS, "awards.json"))
+	if err != nil {
+		t.Fatalf("promoted standby awards: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("failed-over run diverged from the uninterrupted run\n got: %s\nwant: %s", got, want)
+	}
+
+	// The standby journal seals the divergence point and the final state.
+	rec, err := store.ReadDir(dirS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Sealed {
+		t.Fatal("promoted standby did not seal its journal on exit")
+	}
+}
+
+// TestFailoverDrillServesAwards is the CI failover drill: kill the primary,
+// assert the standby's /healthz flips from standby to primary and /awards
+// keeps answering, all within 5 seconds of the kill.
+func TestFailoverDrillServesAwards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a victim process")
+	}
+	base := t.TempDir()
+	dirP := filepath.Join(base, "primary")
+	dirS := filepath.Join(base, "standby")
+	if err := os.MkdirAll(dirP, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0], failoverArgs(dirP, "-repl-addr", "127.0.0.1:0", "-live-ticks", "0")...)
+	cmd.Env = append(os.Environ(), "GRIDD_HELPER=1")
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+		}
+	}()
+	replAddr := waitReplAddr(t, dirP, 30*time.Second)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	standbyErr := make(chan error, 1)
+	go func() {
+		standbyErr <- runLive(ctx, liveOptions{
+			addr: "127.0.0.1:0", customers: 16, shards: 4,
+			tick: 50 * time.Millisecond, maxTicks: 0, seed: 5,
+			dataDir: dirS, snapshotEvery: 8,
+			spikeShards: []int{1, 2}, spikeTick: 4, spikeFactor: 2.5,
+			replicaOf: []string{replAddr}, replicaID: "r0",
+			failoverTimeout: 750 * time.Millisecond,
+		}, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("standby never became ready")
+	}
+
+	get := func(path string) (string, error) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return string(body), err
+	}
+
+	// Read replica: /healthz reports the standby role and replication
+	// state; /awards answers from the replica state. Wait until the initial
+	// negotiation outcome has replicated (registration is 2 records, the
+	// session outcome the 3rd) so the kill lands on a standby that holds
+	// committed state.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		health, err := get("/healthz")
+		if err == nil && strings.Contains(health, `"role":"standby"`) && strings.Contains(health, `"sourceUp":true`) {
+			var doc struct {
+				LastAppliedSeq uint64 `json:"lastAppliedSeq"`
+			}
+			if jerr := json.Unmarshal([]byte(health), &doc); jerr != nil {
+				t.Fatalf("standby healthz not JSON: %v\n%s", jerr, health)
+			}
+			if doc.LastAppliedSeq >= 3 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("standby healthz never reported a caught-up stream: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if awards, err := get("/awards"); err != nil || !strings.Contains(awards, `"awards"`) {
+		t.Fatalf("read replica /awards = %q, %v", awards, err)
+	}
+	if repl, err := get("/replication"); err != nil || !strings.Contains(repl, `"role":"standby"`) {
+		t.Fatalf("/replication = %q, %v", repl, err)
+	}
+
+	// Kill the primary; the standby must promote and serve /awards as
+	// primary within 5 seconds.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+	killAt := time.Now()
+	for {
+		health, err := get("/healthz")
+		if err == nil && strings.Contains(health, `"role":"primary"`) {
+			break
+		}
+		if time.Since(killAt) > 5*time.Second {
+			t.Fatalf("standby did not promote within 5s of the kill (healthz: %v %v)", health, err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if awards, err := get("/awards"); err != nil || !strings.Contains(awards, `"awards"`) {
+		t.Fatalf("promoted /awards = %q, %v", awards, err)
+	}
+	t.Logf("standby promoted and serving %v after the kill", time.Since(killAt).Round(time.Millisecond))
+
+	cancel()
+	select {
+	case err := <-standbyErr:
+		if err != nil {
+			t.Fatalf("promoted standby shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("promoted standby did not shut down on cancellation")
 	}
 }
 

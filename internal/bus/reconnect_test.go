@@ -1,0 +1,208 @@
+package bus
+
+import (
+	"testing"
+	"time"
+
+	"loadbalance/internal/message"
+)
+
+// ping builds a small valid envelope.
+func ping(from, to string, round int) message.Envelope {
+	env, err := message.NewEnvelope(from, to, "s", message.CutDownBid{Round: round, CutDown: 0.2})
+	if err != nil {
+		panic(err)
+	}
+	return env
+}
+
+// TestDialListFallsThrough: the first dead address is skipped, the live one
+// answers.
+func TestDialListFallsThrough(t *testing.T) {
+	inner, err := NewInProc(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close()
+	srv, err := ListenAndServe("127.0.0.1:0", inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := DialList([]string{"127.0.0.1:1", srv.Addr()}, "c1")
+	if err != nil {
+		t.Fatalf("DialList: %v", err)
+	}
+	defer cli.Close()
+	if got := cli.RemoteAddr(); got != srv.Addr() {
+		t.Fatalf("connected to %s, want %s", got, srv.Addr())
+	}
+
+	if _, err := DialList([]string{"127.0.0.1:1"}, "c2"); err == nil {
+		t.Fatal("DialList over only dead addresses must fail")
+	}
+}
+
+// TestReconnectFailoverResumesSession is the client side of grid-head
+// failover: two servers bridge the same bus (the stand-in for a primary and
+// its promoted standby serving the same fleet); the client's first server
+// dies mid-session, the Reconn client re-dials the list, re-registers under
+// its own name, and envelopes keep flowing both ways on the same Inbox.
+func TestReconnectFailoverResumesSession(t *testing.T) {
+	inner, err := NewInProc(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close()
+	srvA, err := ListenAndServe("127.0.0.1:0", inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvB, err := ListenAndServe("127.0.0.1:0", inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvB.Close()
+
+	// A local peer on the bridged bus plays the Utility Agent.
+	uaInbox, err := inner.Register("ua", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cli, err := DialReconnecting([]string{srvA.Addr(), srvB.Addr()}, "c1", ReconnConfig{
+		Redial: 20 * time.Millisecond,
+		GiveUp: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	exchange := func(round int) {
+		t.Helper()
+		if err := cli.Send(ping("c1", "ua", round)); err != nil {
+			t.Fatalf("round %d send: %v", round, err)
+		}
+		select {
+		case env := <-uaInbox:
+			if env.From != "c1" {
+				t.Fatalf("round %d: ua saw sender %q", round, env.From)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("round %d never reached the ua", round)
+		}
+		if err := inner.Send(ping("ua", "c1", round)); err != nil {
+			t.Fatalf("round %d reply: %v", round, err)
+		}
+		select {
+		case env := <-cli.Inbox():
+			if env.From != "ua" {
+				t.Fatalf("round %d: client saw sender %q", round, env.From)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("round %d reply never reached the client", round)
+		}
+	}
+
+	exchange(1)
+	if cli.Addr() != srvA.Addr() {
+		t.Fatalf("client on %s, want the primary %s", cli.Addr(), srvA.Addr())
+	}
+
+	// The primary dies. The client must resume on the standby under the
+	// same name and finish the session.
+	srvA.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for cli.Stats().Reconnects == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("client never reconnected")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Re-registration on the shared bus can race the old connection's
+	// unregister; the Reconn client keeps retrying through the list, so the
+	// session continues as soon as the name frees up.
+	waitDeadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := cli.Send(ping("c1", "ua", 2)); err == nil {
+			break
+		}
+		if time.Now().After(waitDeadline) {
+			t.Fatal("client never resumed sending after failover")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	select {
+	case <-uaInbox:
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-failover envelope never reached the ua")
+	}
+	exchange(3)
+	if cli.Addr() != srvB.Addr() {
+		t.Fatalf("client on %s after failover, want the standby %s", cli.Addr(), srvB.Addr())
+	}
+	if cli.Stats().Reconnects < 1 {
+		t.Fatalf("stats = %+v, want at least one reconnect", cli.Stats())
+	}
+}
+
+// TestReconnGivesUpWhenNobodyAnswers: a dead list ends the session instead
+// of spinning forever — the Inbox closes.
+func TestReconnGivesUpWhenNobodyAnswers(t *testing.T) {
+	inner, err := NewInProc(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ListenAndServe("127.0.0.1:0", inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := DialReconnecting([]string{srv.Addr()}, "c1", ReconnConfig{
+		Redial: 10 * time.Millisecond,
+		GiveUp: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	srv.Close()
+	inner.Close()
+	select {
+	case _, ok := <-waitClosed(cli.Inbox()):
+		if ok {
+			t.Fatal("inbox delivered instead of closing")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("inbox never closed after give-up")
+	}
+}
+
+// waitClosed drains a channel until it closes, forwarding the closed state.
+func waitClosed(in <-chan message.Envelope) <-chan message.Envelope {
+	out := make(chan message.Envelope)
+	go func() {
+		for range in {
+		}
+		close(out)
+	}()
+	return out
+}
+
+// TestSplitAddrList covers the flag-level dial list parser.
+func TestSplitAddrList(t *testing.T) {
+	got := SplitAddrList(" a:1, b:2 ,,c:3 ")
+	want := []string{"a:1", "b:2", "c:3"}
+	if len(got) != len(want) {
+		t.Fatalf("SplitAddrList = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SplitAddrList = %v, want %v", got, want)
+		}
+	}
+	if SplitAddrList("") != nil {
+		t.Fatal("empty list must parse to nil")
+	}
+}

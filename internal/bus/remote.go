@@ -15,8 +15,8 @@ import (
 // difference — which is how a concentrator tier is placed in a separate OS
 // process from the Utility Agent it negotiates with.
 type Remote struct {
-	addr string
-	cfg  ClientConfig
+	addrs []string
+	cfg   ClientConfig
 
 	mu      sync.Mutex
 	clients map[string]*Client
@@ -32,7 +32,14 @@ func NewRemote(addr string) *Remote {
 
 // NewRemoteConfig returns a Bus view with explicit connection tuning.
 func NewRemoteConfig(addr string, cfg ClientConfig) *Remote {
-	return &Remote{addr: addr, cfg: cfg, clients: make(map[string]*Client)}
+	return NewRemoteList([]string{addr}, cfg)
+}
+
+// NewRemoteList returns a Bus view over a dial list: each Register tries the
+// addresses in order until one answers — the high-availability form, where
+// the list names the primary grid head first and its standbys after it.
+func NewRemoteList(addrs []string, cfg ClientConfig) *Remote {
+	return &Remote{addrs: append([]string(nil), addrs...), cfg: cfg, clients: make(map[string]*Client)}
 }
 
 // Register implements Bus: it dials the server as name and returns the
@@ -57,7 +64,7 @@ func (r *Remote) Register(name string, inboxSize int) (<-chan message.Envelope, 
 	if inboxSize > 0 {
 		cfg.InboxSize = inboxSize
 	}
-	cli, err := DialConfig(r.addr, name, cfg)
+	cli, err := DialListConfig(r.addrs, name, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -560,6 +560,9 @@ func (c *Client) Inbox() <-chan message.Envelope { return c.inbox }
 // Version returns the negotiated wire protocol version.
 func (c *Client) Version() int { return c.version }
 
+// RemoteAddr returns the server address this client is connected to.
+func (c *Client) RemoteAddr() string { return c.conn.RemoteAddr().String() }
+
 // Stats returns a snapshot of the connection's traffic counters.
 func (c *Client) Stats() ClientStats {
 	return ClientStats{

@@ -28,8 +28,16 @@ import (
 // hood): upward to rootAddr, downward to memberAddr. The returned remotes
 // own the connections; Tier.Stop closes them via the runtimes.
 func DialTier(rootAddr, memberAddr string, topo Topology, cfg TierConfig) (*Tier, *bus.Remote, *bus.Remote, error) {
-	up := bus.NewRemote(rootAddr)
-	down := bus.NewRemote(memberAddr)
+	return DialTierList([]string{rootAddr}, []string{memberAddr}, topo, cfg)
+}
+
+// DialTierList is DialTier over dial lists: each tier names its primary
+// address first and failover addresses after it, so a worker tier started
+// against a replicated grid head finds whichever replica is serving. Every
+// Register tries the lists in order.
+func DialTierList(rootAddrs, memberAddrs []string, topo Topology, cfg TierConfig) (*Tier, *bus.Remote, *bus.Remote, error) {
+	up := bus.NewRemoteList(rootAddrs, bus.ClientConfig{})
+	down := bus.NewRemoteList(memberAddrs, bus.ClientConfig{})
 	tier, err := StartTier(up, func(int) bus.Bus { return down }, topo, cfg)
 	if err != nil {
 		up.Close()
@@ -42,9 +50,11 @@ func DialTier(rootAddr, memberAddr string, topo Topology, cfg TierConfig) (*Tier
 // WorkerConfig parameterises one concentrator worker (typically its own OS
 // process).
 type WorkerConfig struct {
-	// UpAddr is the root tier's TCP server (the Utility Agent's side).
+	// UpAddr is the root tier's TCP server (the Utility Agent's side). It
+	// may be a comma-separated dial list; addresses are tried in order.
 	UpAddr string
-	// DownAddr is the member tier's TCP server (the customers' side).
+	// DownAddr is the member tier's TCP server (the customers' side). It
+	// may be a comma-separated dial list.
 	DownAddr string
 	// Concentrator is the shard configuration.
 	Concentrator ConcentratorConfig
@@ -68,8 +78,8 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	if inbox <= 0 {
 		inbox = 4 * max(len(cfg.Concentrator.Members), 16)
 	}
-	up := bus.NewRemote(cfg.UpAddr)
-	down := bus.NewRemote(cfg.DownAddr)
+	up := bus.NewRemoteList(bus.SplitAddrList(cfg.UpAddr), bus.ClientConfig{})
+	down := bus.NewRemoteList(bus.SplitAddrList(cfg.DownAddr), bus.ClientConfig{})
 	defer up.Close()
 	defer down.Close()
 	if err := cc.Start(up, down, inbox); err != nil {

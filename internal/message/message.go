@@ -34,6 +34,14 @@ const (
 	KindInfoReply   Kind = "info_reply"   // answer to an info request
 	KindSessionEnd  Kind = "session_end"  // UA terminates a negotiation
 	KindMeterBatch  Kind = "meter_batch"  // batched live consumption readings
+
+	// Replication kinds: the WAL-streaming conversation between a primary
+	// grid head and its hot standbys (internal/replica).
+	KindReplSubscribe Kind = "repl_subscribe" // standby → primary: follow the journal
+	KindReplBatch     Kind = "repl_batch"     // primary → standby: raw journal frames
+	KindReplAck       Kind = "repl_ack"       // standby → primary: applied position
+	KindReplSnapshot  Kind = "repl_snapshot"  // primary → standby: snapshot bootstrap
+	KindReplHeartbeat Kind = "repl_heartbeat" // primary → standby: liveness + head position
 )
 
 // Validation errors.
@@ -390,6 +398,113 @@ func (b MeterBatch) Validate() error {
 	return nil
 }
 
+// ReplSubscribe asks a primary to stream its journal to the sending standby,
+// starting after FromSeq (0 = from the journal's beginning). A primary whose
+// journal no longer reaches back to FromSeq answers with a ReplSnapshot
+// bootstrap instead of a record batch.
+type ReplSubscribe struct {
+	// Replica is the subscribing standby's id — also the promotion tiebreak
+	// key (lowest id wins).
+	Replica string `json:"replica"`
+	// FromSeq is the standby's last applied journal sequence number.
+	FromSeq uint64 `json:"fromSeq"`
+}
+
+// Kind implements Payload.
+func (ReplSubscribe) Kind() Kind { return KindReplSubscribe }
+
+// Validate implements Payload.
+func (s ReplSubscribe) Validate() error {
+	if s.Replica == "" {
+		return fmt.Errorf("%w: replica", ErrEmptyField)
+	}
+	return nil
+}
+
+// ReplBatch carries a contiguous run of raw journal record frames (kind byte,
+// length-prefixed body, CRC32C trailer — the store's on-disk framing,
+// verbatim). The checksums travel with the frames, so a standby verifies the
+// primary's bytes end to end before persisting them unchanged.
+type ReplBatch struct {
+	// FirstSeq is the journal sequence number of the first frame.
+	FirstSeq uint64 `json:"firstSeq"`
+	// Count is the number of whole frames in Frames.
+	Count int `json:"count"`
+	// Frames holds the raw frames back to back.
+	Frames []byte `json:"frames"`
+}
+
+// Kind implements Payload.
+func (ReplBatch) Kind() Kind { return KindReplBatch }
+
+// Validate implements Payload.
+func (b ReplBatch) Validate() error {
+	if b.FirstSeq == 0 {
+		return fmt.Errorf("%w: firstSeq 0 (journal sequences count from 1)", ErrBadValue)
+	}
+	if b.Count < 1 {
+		return fmt.Errorf("%w: batch of %d frames", ErrBadValue, b.Count)
+	}
+	if len(b.Frames) == 0 {
+		return fmt.Errorf("%w: frames", ErrEmptyField)
+	}
+	return nil
+}
+
+// ReplAck reports how far a standby has applied the stream. The primary uses
+// it for lag accounting and flow control, never for correctness: the journal
+// itself is the source of truth.
+type ReplAck struct {
+	Replica    string `json:"replica"`
+	AppliedSeq uint64 `json:"appliedSeq"`
+}
+
+// Kind implements Payload.
+func (ReplAck) Kind() Kind { return KindReplAck }
+
+// Validate implements Payload.
+func (a ReplAck) Validate() error {
+	if a.Replica == "" {
+		return fmt.Errorf("%w: replica", ErrEmptyField)
+	}
+	return nil
+}
+
+// ReplSnapshot bootstraps a standby that subscribed below the primary's
+// pruned journal head: the full application state at journal position Seq.
+// The stream continues with frames from Seq+1.
+type ReplSnapshot struct {
+	Seq  uint64 `json:"seq"`
+	Blob []byte `json:"blob"`
+}
+
+// Kind implements Payload.
+func (ReplSnapshot) Kind() Kind { return KindReplSnapshot }
+
+// Validate implements Payload.
+func (s ReplSnapshot) Validate() error {
+	if s.Seq == 0 {
+		return fmt.Errorf("%w: snapshot at position 0", ErrBadValue)
+	}
+	if len(s.Blob) == 0 {
+		return fmt.Errorf("%w: blob", ErrEmptyField)
+	}
+	return nil
+}
+
+// ReplHeartbeat keeps the stream's liveness observable while the journal is
+// idle: the primary's head position, sent on a fixed cadence. A standby that
+// misses heartbeats past its failover timeout declares the primary dead.
+type ReplHeartbeat struct {
+	LastSeq uint64 `json:"lastSeq"`
+}
+
+// Kind implements Payload.
+func (ReplHeartbeat) Kind() Kind { return KindReplHeartbeat }
+
+// Validate implements Payload.
+func (ReplHeartbeat) Validate() error { return nil }
+
 // Envelope wraps a payload with routing metadata.
 type Envelope struct {
 	From    string          `json:"from"`
@@ -444,6 +559,16 @@ func (e Envelope) Decode() (Payload, error) {
 		p = &SessionEnd{}
 	case KindMeterBatch:
 		p = &MeterBatch{}
+	case KindReplSubscribe:
+		p = &ReplSubscribe{}
+	case KindReplBatch:
+		p = &ReplBatch{}
+	case KindReplAck:
+		p = &ReplAck{}
+	case KindReplSnapshot:
+		p = &ReplSnapshot{}
+	case KindReplHeartbeat:
+		p = &ReplHeartbeat{}
 	default:
 		return nil, fmt.Errorf("%w: %q", ErrUnknownKind, e.Kind)
 	}
@@ -482,6 +607,16 @@ func deref(p Payload) Payload {
 	case *SessionEnd:
 		return *v
 	case *MeterBatch:
+		return *v
+	case *ReplSubscribe:
+		return *v
+	case *ReplBatch:
+		return *v
+	case *ReplAck:
+		return *v
+	case *ReplSnapshot:
+		return *v
+	case *ReplHeartbeat:
 		return *v
 	default:
 		return p

@@ -1,0 +1,53 @@
+package replica
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteSenderMetrics renders a primary's replication counters in Prometheus
+// text exposition format — the replica_* series gridd's /metrics endpoint
+// exports next to the grid_*, store_* and bus_wire_* families.
+func WriteSenderMetrics(w io.Writer, st SenderStatus) {
+	fmt.Fprintf(w, "# TYPE replica_role gauge\nreplica_role 0\n") // 0 = primary
+	fmt.Fprintf(w, "# TYPE replica_standbys gauge\nreplica_standbys %d\n", len(st.Standbys))
+	fmt.Fprintf(w, "# TYPE replica_batches_shipped_total counter\nreplica_batches_shipped_total %d\n", st.Batches)
+	fmt.Fprintf(w, "# TYPE replica_records_shipped_total counter\nreplica_records_shipped_total %d\n", st.Records)
+	fmt.Fprintf(w, "# TYPE replica_bytes_shipped_total counter\nreplica_bytes_shipped_total %d\n", st.Bytes)
+	fmt.Fprintf(w, "# TYPE replica_snapshots_shipped_total counter\nreplica_snapshots_shipped_total %d\n", st.Snapshots)
+	fmt.Fprintf(w, "# TYPE replica_resyncs_total counter\nreplica_resyncs_total %d\n", st.Resyncs)
+	fmt.Fprintf(w, "# TYPE replica_standby_acked_seq gauge\n")
+	for _, sb := range st.Standbys {
+		fmt.Fprintf(w, "replica_standby_acked_seq{standby=%q} %d\n", sb.ID, sb.AckedSeq)
+	}
+	fmt.Fprintf(w, "# TYPE replica_standby_lag_records gauge\n")
+	for _, sb := range st.Standbys {
+		fmt.Fprintf(w, "replica_standby_lag_records{standby=%q} %d\n", sb.ID, sb.LagRecords)
+	}
+	fmt.Fprintf(w, "# TYPE replica_standby_last_ack_age_seconds gauge\n")
+	for _, sb := range st.Standbys {
+		fmt.Fprintf(w, "replica_standby_last_ack_age_seconds{standby=%q} %g\n", sb.ID, time.Since(sb.LastAck).Seconds())
+	}
+}
+
+// WriteReceiverMetrics renders a standby's replication counters.
+func WriteReceiverMetrics(w io.Writer, st ReceiverStatus) {
+	fmt.Fprintf(w, "# TYPE replica_role gauge\nreplica_role 1\n") // 1 = standby
+	fmt.Fprintf(w, "# TYPE replica_source_up gauge\nreplica_source_up %d\n", boolGauge(st.Connected))
+	fmt.Fprintf(w, "# TYPE replica_applied_seq gauge\nreplica_applied_seq %d\n", st.AppliedSeq)
+	fmt.Fprintf(w, "# TYPE replica_batches_applied_total counter\nreplica_batches_applied_total %d\n", st.Batches)
+	fmt.Fprintf(w, "# TYPE replica_records_applied_total counter\nreplica_records_applied_total %d\n", st.Records)
+	fmt.Fprintf(w, "# TYPE replica_snapshots_applied_total counter\nreplica_snapshots_applied_total %d\n", st.Snapshots)
+	fmt.Fprintf(w, "# TYPE replica_resyncs_total counter\nreplica_resyncs_total %d\n", st.Resyncs)
+	fmt.Fprintf(w, "# TYPE replica_dials_total counter\nreplica_dials_total %d\n", st.Dials)
+	fmt.Fprintf(w, "# TYPE replica_last_contact_age_seconds gauge\nreplica_last_contact_age_seconds %g\n", time.Since(st.LastContact).Seconds())
+}
+
+// boolGauge renders a boolean as 0/1.
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

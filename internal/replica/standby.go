@@ -1,0 +1,183 @@
+package replica
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"loadbalance/internal/store"
+	"loadbalance/internal/telemetry"
+)
+
+// StoreTap is a journal-only follower: replicated frames land in a local
+// store with no engine on top. It backs archival replicas and the
+// replication benchmark.
+type StoreTap struct {
+	St *store.Store
+}
+
+// LastSeq implements Tap.
+func (t *StoreTap) LastSeq() uint64 { return t.St.Stats().LastSeq }
+
+// ApplySnapshot implements Tap.
+func (t *StoreTap) ApplySnapshot(seq uint64, blob []byte) error {
+	return t.St.InstallSnapshot(seq, blob)
+}
+
+// ApplyFrames implements Tap.
+func (t *StoreTap) ApplyFrames(firstSeq uint64, frames []byte) (int, bool, error) {
+	recs, sealed, err := t.St.AppendFrames(firstSeq, frames)
+	return len(recs), sealed, err
+}
+
+// Promotable is the deterministic promotion rule: on primary loss, the
+// standby whose id sorts lowest among the configured replica set promotes;
+// every other standby keeps following the dial list until the promoted
+// peer's stream appears. peers lists every standby id in the set (with or
+// without self — self always counts).
+func Promotable(self string, peers []string) bool {
+	min := self
+	for _, p := range peers {
+		if p != "" && p < min {
+			min = p
+		}
+	}
+	return min == self
+}
+
+// StandbyConfig parameterises one hot standby.
+type StandbyConfig struct {
+	// ID is this standby's replica id — subscription identity and promotion
+	// tiebreak key (lowest id in Peers wins).
+	ID string
+	// PrimaryAddrs is the replication dial list: the primary's address
+	// first, then the peer standbys' (so a promoted peer is found).
+	PrimaryAddrs []string
+	// Peers lists every standby id in the replica set (self included or
+	// not); it drives the lowest-id-wins rule. Empty means self-only: this
+	// standby always promotes.
+	Peers []string
+	// Live is the grid configuration — it must match the primary's.
+	Live telemetry.LiveConfig
+	// Durable is the standby's own data directory configuration.
+	Durable telemetry.DurableConfig
+	// FailoverTimeout is how long the primary may be silent before
+	// promotion is considered (default 3s).
+	FailoverTimeout time.Duration
+	// Redial is the receiver's pause between dial rounds (default 200ms).
+	Redial time.Duration
+}
+
+// Outcome is how a standby's watch ended.
+type Outcome struct {
+	// Promoted is set when this standby took over; Engine is the live
+	// engine continuing the run and Promotion describes the takeover.
+	Promoted  bool
+	Engine    *telemetry.LiveEngine
+	Promotion *telemetry.PromotionInfo
+	// DetectLatency is the time from the last primary contact to the dead
+	// verdict; Promotion.Elapsed is the takeover itself. Their sum is the
+	// availability gap.
+	DetectLatency time.Duration
+	// CleanShutdown is set when the primary sealed its journal and the
+	// standby followed it down.
+	CleanShutdown bool
+}
+
+// Standby is a hot standby: a StandbyEngine holding live replica state, fed
+// by a Receiver, promoting itself by the lowest-id-wins rule when the
+// primary goes silent.
+type Standby struct {
+	cfg StandbyConfig
+	Eng *telemetry.StandbyEngine
+	rx  *Receiver
+}
+
+// StartStandby opens the local data directory (resuming any previous replica
+// prefix) and begins following the primary.
+func StartStandby(cfg StandbyConfig) (*Standby, *telemetry.RecoveryInfo, error) {
+	if cfg.ID == "" {
+		return nil, nil, fmt.Errorf("%w: standby needs an id", ErrBadConfig)
+	}
+	eng, info, err := telemetry.OpenStandby(cfg.Live, cfg.Durable)
+	if err != nil {
+		return nil, nil, err
+	}
+	rx, err := StartReceiver(ReceiverConfig{
+		ID:              cfg.ID,
+		Addrs:           cfg.PrimaryAddrs,
+		FailoverTimeout: cfg.FailoverTimeout,
+		Redial:          cfg.Redial,
+	}, eng)
+	if err != nil {
+		eng.Close()
+		return nil, nil, err
+	}
+	return &Standby{cfg: cfg, Eng: eng, rx: rx}, info, nil
+}
+
+// Receiver exposes the stream receiver (status endpoints).
+func (s *Standby) Receiver() *Receiver { return s.rx }
+
+// Promotable reports whether this standby wins the promotion tiebreak.
+func (s *Standby) Promotable() bool { return Promotable(s.cfg.ID, s.cfg.Peers) }
+
+// PeerList returns the configured replica set, sorted, self included.
+func (s *Standby) PeerList() []string {
+	set := map[string]bool{s.cfg.ID: true}
+	for _, p := range s.cfg.Peers {
+		if p != "" {
+			set[p] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run follows the stream until the primary dies (and this standby wins the
+// promotion), the primary shuts down cleanly, or ctx is cancelled (Outcome
+// zero, ctx.Err() returned). A standby that loses the tiebreak never
+// returns from a primary death: it keeps following the dial list and
+// resumes from the promoted peer.
+func (s *Standby) Run(ctx context.Context) (Outcome, error) {
+	for {
+		select {
+		case <-ctx.Done():
+			return Outcome{}, ctx.Err()
+		case ev := <-s.rx.Events():
+			switch ev.Kind {
+			case EventCleanShutdown:
+				return Outcome{CleanShutdown: true}, nil
+			case EventFallenBehind, EventDiverged, EventApplyFailed:
+				return Outcome{}, fmt.Errorf("replica: standby %s %s", s.cfg.ID, s.rx.Status().Fatal)
+			case EventPrimaryDead:
+				detect := time.Since(s.rx.Status().LastContact)
+				if !s.Promotable() {
+					continue // a peer with a lower id owns the takeover
+				}
+				s.rx.Close() // stop applying before the state diverges
+				eng, pinfo, err := s.Eng.Promote(s.cfg.ID, "primary contact lost")
+				if err != nil {
+					return Outcome{}, err
+				}
+				return Outcome{
+					Promoted:      true,
+					Engine:        eng,
+					Promotion:     pinfo,
+					DetectLatency: detect,
+				}, nil
+			}
+		}
+	}
+}
+
+// Close stops the standby without promoting.
+func (s *Standby) Close() error {
+	s.rx.Close()
+	return s.Eng.Close()
+}

@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"loadbalance/internal/replica"
+	"loadbalance/internal/telemetry"
+)
+
+// FailoverReport is E17's machine-readable result: the kill/promote timeline,
+// the availability gap and the award-continuity verdict, saved as JSON next
+// to the CSV.
+type FailoverReport struct {
+	Fleet            int    `json:"fleet"`
+	Shards           int    `json:"shards"`
+	Ticks            int    `json:"ticks"`
+	KillTick         int    `json:"killTick"`
+	ReplicatedSeq    uint64 `json:"replicatedSeq"`    // standby position at promotion
+	DetectLatencyNS  int64  `json:"detectLatencyNs"`  // last primary contact → dead verdict
+	PromoteLatencyNS int64  `json:"promoteLatencyNs"` // dead verdict → serving engine
+	ResumeTick       int    `json:"resumeTick"`
+	Renegotiations   int    `json:"renegotiations"`
+	AwardsBytes      int    `json:"awardsBytes"`
+	AwardsMatch      bool   `json:"awardsMatch"`
+}
+
+// E17Failover demonstrates hot-standby replication: one seeded spiked run is
+// executed twice — uninterrupted on a single node, and replicated over TCP to
+// a hot standby with the primary killed halfway. The standby detects the
+// silence, promotes by the lowest-id rule, and finishes the run; the table's
+// last row asserts the awards and shard profiles are byte-identical to the
+// uninterrupted run, and the report records the availability gap (failure
+// detection + promotion).
+//
+// dir hosts the data directories; empty uses a temp dir removed on return.
+func E17Failover(n, shards, ticks int, seed int64, dir string) (*Table, *FailoverReport, error) {
+	if n < shards {
+		n = shards
+	}
+	if ticks < 8 {
+		ticks = 8
+	}
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "e17-*")
+		if err != nil {
+			return nil, nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	killTick := ticks / 2
+	spikeAt := ticks / 3
+	cfg := func() (telemetry.LiveConfig, error) {
+		s, err := telemetry.ElasticFleetScenario(n, seed)
+		if err != nil {
+			return telemetry.LiveConfig{}, err
+		}
+		return telemetry.LiveConfig{
+			Scenario:       s,
+			Shards:         shards,
+			TicksPerWindow: 8,
+			Jitter:         0.01,
+			Seed:           seed,
+			ShardEvents: map[int][]telemetry.Event{
+				0:          {{StartTick: spikeAt, EndTick: ticks + 1, Factor: 2.5}},
+				shards / 2: {{StartTick: spikeAt, EndTick: ticks + 1, Factor: 2.5}},
+			},
+		}, nil
+	}
+	durable := func(sub string) telemetry.DurableConfig {
+		return telemetry.DurableConfig{Dir: filepath.Join(dir, sub), SnapshotEvery: 5}
+	}
+	profile := func(e *telemetry.LiveEngine) ([]byte, error) { return json.Marshal(e.Profile()) }
+
+	t := &Table{
+		Name:    fmt.Sprintf("E17Failover: %d customers, %d shards, primary killed at tick %d of %d", n, shards, killTick, ticks),
+		Columns: []string{"phase", "ticks", "renegs", "notes"},
+		Notes:   "a hot standby fed the primary's WAL stream promotes on primary death and converges byte-identically",
+	}
+
+	// Reference: uninterrupted single-node run.
+	c, err := cfg()
+	if err != nil {
+		return nil, nil, err
+	}
+	ref, _, err := telemetry.OpenDurable(c, durable("uninterrupted"))
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := ref.Run(ticks); err != nil {
+		return nil, nil, err
+	}
+	want, err := profile(ref)
+	if err != nil {
+		return nil, nil, err
+	}
+	refRenegs := ref.Renegotiations()
+	if err := ref.Shutdown(); err != nil {
+		return nil, nil, err
+	}
+	t.AddRowF("uninterrupted", ticks, refRenegs, "(reference)")
+
+	// Primary: same run, streaming its journal; a hot standby follows.
+	c, err = cfg()
+	if err != nil {
+		return nil, nil, err
+	}
+	prim, _, err := telemetry.OpenDurable(c, durable("primary"))
+	if err != nil {
+		return nil, nil, err
+	}
+	sender, err := replica.StartSender(replica.SenderConfig{
+		Dir:       filepath.Join(dir, "primary"),
+		Addr:      "127.0.0.1:0",
+		Heartbeat: 30 * time.Millisecond,
+		Poll:      5 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err = cfg()
+	if err != nil {
+		return nil, nil, err
+	}
+	stby, _, err := replica.StartStandby(replica.StandbyConfig{
+		ID:              "r0",
+		Peers:           []string{"r0", "r1"},
+		PrimaryAddrs:    []string{sender.Addr()},
+		Live:            c,
+		Durable:         durable("standby"),
+		FailoverTimeout: 250 * time.Millisecond,
+		Redial:          20 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	type result struct {
+		o   replica.Outcome
+		err error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		o, err := stby.Run(context.Background())
+		resCh <- result{o, err}
+	}()
+
+	if _, err := prim.Run(killTick); err != nil {
+		return nil, nil, err
+	}
+	// Wait for the stream to catch up, then kill the primary: engine torn
+	// down, journal left unsealed, replication listener gone.
+	primSeq := prim.Store().Stats().LastSeq
+	catchup := time.Now().Add(10 * time.Second)
+	for stby.Eng.LastSeq() < primSeq {
+		if time.Now().After(catchup) {
+			return nil, nil, fmt.Errorf("sim: e17 standby stuck at seq %d of %d", stby.Eng.LastSeq(), primSeq)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	prim.Stop()
+	if err := prim.Store().Close(); err != nil {
+		return nil, nil, err
+	}
+	sender.Close()
+	t.AddRowF("killed", killTick, prim.Renegotiations(), fmt.Sprintf("primary dead at seq %d, journal unsealed", primSeq))
+
+	var res result
+	select {
+	case res = <-resCh:
+	case <-time.After(30 * time.Second):
+		return nil, nil, fmt.Errorf("sim: e17 standby never promoted")
+	}
+	if res.err != nil {
+		return nil, nil, res.err
+	}
+	if !res.o.Promoted {
+		return nil, nil, fmt.Errorf("sim: e17 standby outcome %+v, want promotion", res.o)
+	}
+	eng, pinfo := res.o.Engine, res.o.Promotion
+	if _, err := eng.Run(ticks - pinfo.ResumeTick); err != nil {
+		return nil, nil, err
+	}
+	got, err := profile(eng)
+	if err != nil {
+		return nil, nil, err
+	}
+	recRenegs := eng.Renegotiations()
+	if err := eng.Shutdown(); err != nil {
+		return nil, nil, err
+	}
+
+	match := bytes.Equal(got, want)
+	verdict := "awards DIFFER from reference"
+	if match {
+		verdict = "awards byte-identical to reference"
+	}
+	t.AddRowF("failed over", ticks-pinfo.ResumeTick, recRenegs,
+		fmt.Sprintf("detect %v + promote %v from seq %d; %s",
+			res.o.DetectLatency.Round(time.Millisecond), pinfo.Elapsed.Round(10*time.Microsecond),
+			pinfo.FromSeq, verdict))
+
+	rep := &FailoverReport{
+		Fleet:            n,
+		Shards:           shards,
+		Ticks:            ticks,
+		KillTick:         killTick,
+		ReplicatedSeq:    pinfo.FromSeq,
+		DetectLatencyNS:  res.o.DetectLatency.Nanoseconds(),
+		PromoteLatencyNS: pinfo.Elapsed.Nanoseconds(),
+		ResumeTick:       pinfo.ResumeTick,
+		Renegotiations:   recRenegs,
+		AwardsBytes:      len(got),
+		AwardsMatch:      match,
+	}
+	if !match {
+		return t, rep, fmt.Errorf("sim: e17 failed-over awards diverged from the uninterrupted run")
+	}
+	return t, rep, nil
+}

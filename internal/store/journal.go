@@ -117,6 +117,25 @@ func (jw *journalWriter) append(r Record) (int, error) {
 	return len(jw.scratch), nil
 }
 
+// appendRaw writes one already-encoded frame (checksum verified by the
+// caller) into the segment, rotating first if the current segment is full —
+// the replica path, which persists a primary's frames byte-exactly.
+func (jw *journalWriter) appendRaw(frame []byte) error {
+	jw.didRot = false
+	if jw.bytes >= jw.opts.SegmentBytes {
+		if err := jw.rotate(); err != nil {
+			return err
+		}
+		jw.didRot = true
+	}
+	if _, err := jw.w.Write(frame); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	jw.bytes += int64(len(frame))
+	jw.nextSeq++
+	return nil
+}
+
 // rotated reports whether the last append opened a new segment.
 func (jw *journalWriter) rotated() bool { return jw.didRot }
 

@@ -38,6 +38,10 @@ const (
 	KindAborted Kind = 0x06
 	// KindSeal marks a clean shutdown: everything before it is complete.
 	KindSeal Kind = 0x07
+	// KindPromote seals the divergence point of a promoted standby: every
+	// record before it was replicated from the old primary; everything after
+	// it was produced by this journal's owner as the new primary.
+	KindPromote Kind = 0x08
 )
 
 // String names the kind for diagnostics.
@@ -57,6 +61,8 @@ func (k Kind) String() string {
 		return "aborted"
 	case KindSeal:
 		return "seal"
+	case KindPromote:
+		return "promote"
 	default:
 		return fmt.Sprintf("kind(0x%02x)", byte(k))
 	}
@@ -182,6 +188,14 @@ type AbortInfo struct {
 	Reason    string `json:"reason"`
 }
 
+// PromoteInfo records a standby's promotion to primary: the replica that
+// promoted, the replicated journal position it diverged from, and why.
+type PromoteInfo struct {
+	Replica string `json:"replica"`
+	FromSeq uint64 `json:"fromSeq"`
+	Reason  string `json:"reason"`
+}
+
 // newJSONRecord marshals a cold-path body.
 func newJSONRecord(k Kind, body any) (Record, error) {
 	b, err := json.Marshal(body)
@@ -205,6 +219,9 @@ func NewRenegRecord(o RenegOutcome) (Record, error) { return newJSONRecord(KindR
 
 // NewAbortRecord builds an aborted-session record.
 func NewAbortRecord(a AbortInfo) (Record, error) { return newJSONRecord(KindAborted, a) }
+
+// NewPromoteRecord builds a standby-promotion record.
+func NewPromoteRecord(p PromoteInfo) (Record, error) { return newJSONRecord(KindPromote, p) }
 
 // sealRecord is the clean-shutdown marker.
 func sealRecord() Record { return Record{Kind: KindSeal} }
@@ -287,6 +304,12 @@ func DecodeReneg(r Record) (RenegOutcome, error) {
 func DecodeAbort(r Record) (AbortInfo, error) {
 	var a AbortInfo
 	return a, decodeJSON(r, KindAborted, &a)
+}
+
+// DecodePromote parses a standby-promotion record body.
+func DecodePromote(r Record) (PromoteInfo, error) {
+	var p PromoteInfo
+	return p, decodeJSON(r, KindPromote, &p)
 }
 
 // DecodeTick parses a tick-checkpoint record.

@@ -225,6 +225,99 @@ func (s *Store) appendLocked(r Record) error {
 	return nil
 }
 
+// AppendFrames applies a contiguous run of already-encoded record frames
+// (a replication TailBatch's payload) to the journal: every frame's checksum
+// is verified, the run must start exactly one past the journal's newest
+// record, and the raw bytes are persisted unchanged, so a replica's journal
+// holds byte-identical frames to its primary's. The run is flushed as one
+// commit unit. It returns the decoded records it applied (their bodies alias
+// frames — the one decode pass serves persistence and replay both) and
+// whether the run ended with a seal record (the primary shut down cleanly;
+// the replica's journal is sealed too and refuses further appends).
+func (s *Store) AppendFrames(firstSeq uint64, frames []byte) (recs []Record, sealed bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, fmt.Errorf("store: append on closed store")
+	}
+	if s.sealed {
+		return nil, false, ErrSealed
+	}
+	if firstSeq != s.stats.LastSeq+1 {
+		return nil, false, fmt.Errorf("%w: frames start at %d, journal ends at %d", ErrCorrupt, firstSeq, s.stats.LastSeq)
+	}
+	for len(frames) > 0 {
+		r, size, err := decodeFrame(frames)
+		if err != nil {
+			return recs, false, fmt.Errorf("store: replicated frame %d: %w", firstSeq+uint64(len(recs)), err)
+		}
+		if err := s.jw.appendRaw(frames[:size]); err != nil {
+			return recs, false, err
+		}
+		s.stats.Appends++
+		s.stats.BytesWritten += uint64(size)
+		s.stats.LastSeq++
+		if s.jw.rotated() {
+			s.stats.Rotations++
+			s.stats.Fsyncs++
+		}
+		recs = append(recs, r)
+		if r.Kind == KindSeal {
+			sealed = true
+		}
+		frames = frames[size:]
+	}
+	if sealed {
+		s.sealed = true
+		return recs, true, s.syncLocked()
+	}
+	return recs, false, s.commitLocked()
+}
+
+// InstallSnapshot bootstraps an empty store from a snapshot shipped by a
+// remote primary: the blob is published at journal position seq and the
+// journal restarts at seq+1, exactly as if this directory had written the
+// snapshot itself and pruned everything under it. It refuses to run on a
+// store that already holds records or prior state — a follower that has
+// anything must catch up through AppendFrames, never skip ahead.
+func (s *Store) InstallSnapshot(seq uint64, blob []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: snapshot on closed store")
+	}
+	if s.sealed {
+		return ErrSealed
+	}
+	if s.stats.LastSeq != 0 || s.stats.Recovered || s.stats.Appends > 0 {
+		return fmt.Errorf("%w: snapshot install on a non-empty store (last seq %d)", ErrBadConfig, s.stats.LastSeq)
+	}
+	if seq == 0 {
+		return fmt.Errorf("%w: snapshot at position 0", ErrBadConfig)
+	}
+	if err := writeSnapshot(s.dir, seq, blob); err != nil {
+		return err
+	}
+	// Restart the journal at seq+1: retire the empty opening segment (its
+	// name claims sequence 1, which this journal will never hold) and open
+	// the segment the next replicated frame belongs in.
+	oldPath := s.jw.path()
+	if err := s.jw.close(); err != nil {
+		return err
+	}
+	_ = os.Remove(oldPath)
+	jw, err := newJournalWriter(s.dir, seq+1, s.opts)
+	if err != nil {
+		return err
+	}
+	s.jw = jw
+	s.stats.Snapshots++
+	s.stats.LastSeq = seq
+	s.stats.SnapshotSeq = seq
+	s.stats.SnapshotTime = time.Now()
+	return nil
+}
+
 // Commit flushes the append buffer to the journal file: everything appended
 // so far survives a process crash.
 func (s *Store) Commit() error {

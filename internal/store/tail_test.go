@@ -1,0 +1,393 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// tickRec builds a small deterministic tick record for streaming tests.
+func tickRec(i int) Record {
+	return NewTickRecord(TickCheckpoint{Tick: i, Shard: []float64{float64(i), float64(i) / 2}, Readings: int64(i), Batches: 1})
+}
+
+// drainTail reads everything currently flushed, batch by batch.
+func drainTail(t *testing.T, tl *Tailer, maxBytes int) []Record {
+	t.Helper()
+	var out []Record
+	for {
+		batch, err := tl.Next(maxBytes)
+		if err != nil {
+			t.Fatalf("tail: %v", err)
+		}
+		if batch.Count == 0 {
+			return out
+		}
+		recs, err := DecodeFrames(batch.Frames)
+		if err != nil {
+			t.Fatalf("decode frames: %v", err)
+		}
+		if len(recs) != batch.Count {
+			t.Fatalf("batch claims %d records, decoded %d", batch.Count, len(recs))
+		}
+		for _, r := range recs {
+			body := append([]byte(nil), r.Body...)
+			out = append(out, Record{Kind: r.Kind, Body: body})
+		}
+	}
+}
+
+// TestTailerStreamsAcrossRotation tails a journal whose tiny segments force
+// many rotations: the cursor must deliver every record exactly once, in
+// order, across segment boundaries.
+func TestTailerStreamsAcrossRotation(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir, Options{SegmentBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	tl, err := OpenTail(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+
+	const n = 500
+	var got []Record
+	for i := 0; i < n; i++ {
+		if err := st.Append(tickRec(i)); err != nil {
+			t.Fatal(err)
+		}
+		if i%37 == 0 {
+			if err := st.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, drainTail(t, tl, 512)...)
+		}
+	}
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, drainTail(t, tl, 512)...)
+
+	if len(got) != n {
+		t.Fatalf("tailed %d records, want %d", len(got), n)
+	}
+	if st.Stats().Rotations == 0 {
+		t.Fatal("test did not exercise rotation; shrink the segment size")
+	}
+	for i, r := range got {
+		cp, err := DecodeTick(r)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if cp.Tick != i {
+			t.Fatalf("record %d carries tick %d", i, cp.Tick)
+		}
+	}
+	if tl.Pos() != uint64(n+1) {
+		t.Fatalf("cursor at %d, want %d", tl.Pos(), n+1)
+	}
+}
+
+// TestTailerResumesMidJournal opens a cursor after a known sequence number
+// and must see only the records beyond it.
+func TestTailerResumesMidJournal(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir, Options{SegmentBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 100; i++ {
+		if err := st.Append(tickRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tl, err := OpenTail(dir, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	got := drainTail(t, tl, 0)
+	if len(got) != 40 {
+		t.Fatalf("tailed %d records after seq 60, want 40", len(got))
+	}
+	cp, err := DecodeTick(got[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Tick != 60 { // record seq 61 carries tick 60 (ticks count from 0)
+		t.Fatalf("first resumed record carries tick %d, want 60", cp.Tick)
+	}
+}
+
+// TestTailerGapAfterPrune pins the cursor contract the replication sender
+// depends on: a reader positioned at a rotated-away (pruned) segment gets a
+// clean ErrGap — not EOF, not garbage — both at open and mid-tail.
+func TestTailerGapAfterPrune(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir, Options{SegmentBytes: 1024, KeepSnapshots: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// A lagging follower holds its cursor at the very beginning.
+	lagging, err := OpenTail(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lagging.Close()
+
+	for i := 0; i < 400; i++ {
+		if err := st.Append(tickRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two snapshots: pruning keeps only the newest and removes every segment
+	// covered by it, so the journal's head moves past the lagging cursor.
+	if err := st.Snapshot([]byte("state-a")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 400; i < 500; i++ {
+		if err := st.Append(tickRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Snapshot([]byte("state-b")); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := OpenTail(dir, 0); !errors.Is(err, ErrGap) {
+		t.Fatalf("OpenTail at pruned position returned %v, want ErrGap", err)
+	}
+	if _, err := lagging.Next(0); !errors.Is(err, ErrGap) {
+		t.Fatalf("lagging cursor returned %v, want ErrGap", err)
+	}
+
+	// Recovery from the gap: bootstrap from the latest snapshot, then tail.
+	seq, blob, ok := LatestSnapshotData(dir)
+	if !ok {
+		t.Fatal("no snapshot after two Snapshot calls")
+	}
+	if string(blob) != "state-b" {
+		t.Fatalf("latest snapshot blob = %q", blob)
+	}
+	tl, err := OpenTail(dir, seq)
+	if err != nil {
+		t.Fatalf("OpenTail at snapshot position: %v", err)
+	}
+	defer tl.Close()
+	if err := st.Append(tickRec(500)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got := drainTail(t, tl, 0)
+	if len(got) != 1 {
+		t.Fatalf("tailed %d records beyond the snapshot, want 1", len(got))
+	}
+}
+
+// TestTailerBeyondEndIsGap: a cursor claiming records the journal never wrote
+// is divergence and must fail loudly, not deliver from a guessed position.
+func TestTailerBeyondEndIsGap(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 10; i++ {
+		if err := st.Append(tickRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenTail(dir, 25); !errors.Is(err, ErrGap) {
+		t.Fatalf("OpenTail beyond the journal end returned %v, want ErrGap", err)
+	}
+}
+
+// TestSnapshotKeepTwoPruningUnderConcurrentAppend hammers the snapshot
+// cadence from one goroutine while another appends: at every point at most
+// KeepSnapshots snapshots survive on disk, pruning never touches the active
+// segment, and the directory recovers cleanly afterwards.
+func TestSnapshotKeepTwoPruningUnderConcurrentAppend(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir, Options{SegmentBytes: 2048, KeepSnapshots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 2000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := st.Append(tickRec(i)); err != nil {
+				t.Errorf("append %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 40; i++ {
+		if err := st.Snapshot([]byte(fmt.Sprintf("state-%d", i))); err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		if got := len(snapshotPaths(dir)); got > 2 {
+			t.Fatalf("%d snapshots on disk after prune, want <= 2", got)
+		}
+	}
+	wg.Wait()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SnapshotSeq == 0 {
+		t.Fatal("no snapshot recovered")
+	}
+	if rec.LastSeq != n {
+		t.Fatalf("recovered last seq %d, want %d", rec.LastSeq, n)
+	}
+	if rec.TornBytes != 0 {
+		t.Fatalf("clean close left %d torn bytes", rec.TornBytes)
+	}
+}
+
+// TestInstallSnapshotBootstrapsEmptyStore covers the replica bootstrap path:
+// an empty store installs a remote snapshot at position seq, restarts its
+// journal at seq+1, accepts replicated frames from there, and recovers as if
+// it had written the snapshot itself.
+func TestInstallSnapshotBootstrapsEmptyStore(t *testing.T) {
+	dir := t.TempDir()
+	st, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Empty() {
+		t.Fatal("fresh dir reported prior state")
+	}
+	if err := st.InstallSnapshot(120, []byte("remote-state")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replicated frames continue at 121.
+	frames := EncodeFrame(nil, tickRec(120))
+	frames = EncodeFrame(frames, tickRec(121))
+	recs, sealed, err := st.AppendFrames(121, frames)
+	if err != nil || len(recs) != 2 || sealed {
+		t.Fatalf("AppendFrames = (%d, %v, %v), want (2, false, nil)", len(recs), sealed, err)
+	}
+	if cp, derr := DecodeTick(recs[0]); derr != nil || cp.Tick != 120 {
+		t.Fatalf("decoded record 0 = (%+v, %v), want tick 120", cp, derr)
+	}
+	// A non-contiguous run is refused.
+	if _, _, err := st.AppendFrames(200, EncodeFrame(nil, tickRec(0))); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("gap append = %v, want ErrCorrupt", err)
+	}
+	// A corrupted frame is refused before anything lands.
+	bad := EncodeFrame(nil, tickRec(122))
+	bad[len(bad)-1] ^= 0xFF
+	if _, _, err := st.AppendFrames(123, bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt append = %v, want ErrCorrupt", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SnapshotSeq != 120 || string(got.Snapshot) != "remote-state" {
+		t.Fatalf("recovered snapshot (%d, %q)", got.SnapshotSeq, got.Snapshot)
+	}
+	if got.LastSeq != 122 || len(got.Records) != 2 {
+		t.Fatalf("recovered last seq %d with %d tail records, want 122 with 2", got.LastSeq, len(got.Records))
+	}
+
+	// Install on a non-empty store must be refused.
+	st2, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if err := st2.InstallSnapshot(500, []byte("x")); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("install on non-empty store = %v, want ErrBadConfig", err)
+	}
+}
+
+// TestAppendFramesSealPropagates: a replicated seal record seals the replica
+// journal too — a clean primary shutdown is a clean replica shutdown.
+func TestAppendFramesSealPropagates(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	frames := EncodeFrame(nil, tickRec(0))
+	frames = EncodeFrame(frames, sealRecord())
+	recs, sealed, err := st.AppendFrames(1, frames)
+	if err != nil || len(recs) != 2 || !sealed {
+		t.Fatalf("AppendFrames = (%d, %v, %v), want (2, true, nil)", len(recs), sealed, err)
+	}
+	if err := st.Append(tickRec(1)); !errors.Is(err, ErrSealed) {
+		t.Fatalf("append after replicated seal = %v, want ErrSealed", err)
+	}
+	rec, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Sealed {
+		t.Fatal("replicated seal not visible to recovery")
+	}
+}
+
+// TestTailerSurvivesOrphanNames: non-segment files and stray names in the
+// directory never confuse the cursor.
+func TestTailerSurvivesOrphanNames(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 5; i++ {
+		if err := st.Append(tickRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "wal-notahexname.seg"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tl, err := OpenTail(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	if got := drainTail(t, tl, 0); len(got) != 5 {
+		t.Fatalf("tailed %d records, want 5", len(got))
+	}
+}

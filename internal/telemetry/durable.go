@@ -284,113 +284,144 @@ func (e *LiveEngine) snapshotBlob() []byte {
 // tail, record by record, exactly as the live loop produced it. It returns
 // whether an initial negotiation outcome is part of the restored state.
 func (e *LiveEngine) restore(rec *store.Recovered) (negotiated bool, err error) {
-	want := e.fingerprint()
 	if len(rec.Snapshot) > 0 {
-		var ls liveState
-		if err := json.Unmarshal(rec.Snapshot, &ls); err != nil {
-			return false, fmt.Errorf("telemetry: snapshot state: %w", err)
-		}
-		if ls.Scenario != want {
-			return false, fmt.Errorf("%w: journal at %s was written by scenario %+v, not %+v",
-				ErrBadConfig, e.st.Dir(), ls.Scenario, want)
-		}
-		if len(ls.ShardFactor) != e.topo.Shards() || len(ls.ShardRenegs) != e.topo.Shards() {
-			return false, fmt.Errorf("%w: snapshot shard vectors do not match the topology", ErrBadConfig)
-		}
-		e.tick = ls.Tick
-		e.sessionSeq = ls.SessionSeq
-		e.renegs = ls.Renegs
-		copy(e.shardRenegs, ls.ShardRenegs)
-		copy(e.shardFactor, ls.ShardFactor)
-		e.events = ls.Events
-		for n, b := range ls.Bids {
-			e.bids[n] = b
-		}
-		for n, a := range ls.Awards {
-			e.awards[n] = a
-		}
-		if err := e.det.Restore(ls.Detector); err != nil {
+		negotiated, err = e.applySnapshotState(rec.Snapshot)
+		if err != nil {
 			return false, err
 		}
-		if err := e.collector.RestoreState(ls.Rings, ls.Collector); err != nil {
-			return false, err
-		}
-		negotiated = ls.Negotiated
 	}
 	for _, r := range rec.Records {
-		switch r.Kind {
-		case store.KindScenario:
-			got, err := store.DecodeScenario(r)
-			if err != nil {
-				return false, err
-			}
-			if got != want {
-				return false, fmt.Errorf("%w: journal at %s was written by scenario %+v, not %+v",
-					ErrBadConfig, e.st.Dir(), got, want)
-			}
-		case store.KindTopology:
-			got, err := store.DecodeTopology(r)
-			if err != nil {
-				return false, err
-			}
-			if got.Shards != e.topo.Shards() || got.Fleet != e.topo.FleetSize() {
-				return false, fmt.Errorf("%w: journal topology %d shards over %d customers, engine has %d over %d",
-					ErrBadConfig, got.Shards, got.Fleet, e.topo.Shards(), e.topo.FleetSize())
-			}
-		case store.KindSession:
-			out, err := store.DecodeSession(r)
-			if err != nil {
-				return false, err
-			}
-			e.applyStored(out.Bids, out.Awards)
-			negotiated = true
-		case store.KindTick:
-			cp, err := store.DecodeTick(r)
-			if err != nil {
-				return false, err
-			}
-			if err := e.replayCheckpoint(cp); err != nil {
-				return false, err
-			}
-		case store.KindReneg:
-			out, err := store.DecodeReneg(r)
-			if err != nil {
-				return false, err
-			}
-			if err := e.replayCheckpoint(out.Checkpoint); err != nil {
-				return false, err
-			}
-			e.applyStored(out.Bids, out.Awards)
-			ev := RenegotiateEvent{
-				Tick:      out.Checkpoint.Tick,
-				Shards:    out.Shards,
-				SessionID: out.SessionID,
-				Members:   out.Members,
-				Outcome:   out.Outcome,
-				Factors:   out.Factors,
-			}
-			for i, f := range out.Factors {
-				if i < 0 || i >= e.topo.Shards() {
-					return false, fmt.Errorf("%w: re-negotiation record names shard %d of %d", ErrBadConfig, i, e.topo.Shards())
-				}
-				e.shardFactor[i] = f
-				e.det.Reset(i)
-				e.shardRenegs[i]++
-			}
-			e.sessionSeq = out.SessionSeq
-			e.renegs++
-			e.events = append(e.events, ev)
-		case store.KindAborted, store.KindSeal:
-			// Informational: an aborted session committed nothing, and the
-			// seal only marks the clean shutdown.
+		n, err := e.applyJournalRecord(r)
+		if err != nil {
+			return false, err
 		}
+		negotiated = negotiated || n
 	}
-	// The meters already produced e.tick samples in the previous life;
-	// fast-forward their jitter streams so the next sample continues the
-	// exact sequence an uninterrupted run would have produced.
+	e.finishReplay()
+	return negotiated, nil
+}
+
+// applySnapshotState restores the full engine + collector state from a
+// snapshot blob, validating it against this engine's configuration. It
+// returns whether the snapshot holds a negotiated outcome.
+func (e *LiveEngine) applySnapshotState(blob []byte) (negotiated bool, err error) {
+	want := e.fingerprint()
+	var ls liveState
+	if err := json.Unmarshal(blob, &ls); err != nil {
+		return false, fmt.Errorf("telemetry: snapshot state: %w", err)
+	}
+	if ls.Scenario != want {
+		return false, fmt.Errorf("%w: journal at %s was written by scenario %+v, not %+v",
+			ErrBadConfig, e.st.Dir(), ls.Scenario, want)
+	}
+	if len(ls.ShardFactor) != e.topo.Shards() || len(ls.ShardRenegs) != e.topo.Shards() {
+		return false, fmt.Errorf("%w: snapshot shard vectors do not match the topology", ErrBadConfig)
+	}
+	e.tick = ls.Tick
+	e.sessionSeq = ls.SessionSeq
+	e.renegs = ls.Renegs
+	copy(e.shardRenegs, ls.ShardRenegs)
+	copy(e.shardFactor, ls.ShardFactor)
+	e.events = ls.Events
+	for n, b := range ls.Bids {
+		e.bids[n] = b
+	}
+	for n, a := range ls.Awards {
+		e.awards[n] = a
+	}
+	if err := e.det.Restore(ls.Detector); err != nil {
+		return false, err
+	}
+	if err := e.collector.RestoreState(ls.Rings, ls.Collector); err != nil {
+		return false, err
+	}
+	return ls.Negotiated, nil
+}
+
+// applyJournalRecord replays one journal record into the engine — the unit
+// shared by crash recovery (a whole tail at once) and a hot standby (records
+// applied as the stream ships them). It reports whether the record commits a
+// negotiated outcome.
+func (e *LiveEngine) applyJournalRecord(r store.Record) (negotiated bool, err error) {
+	want := e.fingerprint()
+	switch r.Kind {
+	case store.KindScenario:
+		got, err := store.DecodeScenario(r)
+		if err != nil {
+			return false, err
+		}
+		if got != want {
+			return false, fmt.Errorf("%w: journal at %s was written by scenario %+v, not %+v",
+				ErrBadConfig, e.st.Dir(), got, want)
+		}
+	case store.KindTopology:
+		got, err := store.DecodeTopology(r)
+		if err != nil {
+			return false, err
+		}
+		if got.Shards != e.topo.Shards() || got.Fleet != e.topo.FleetSize() {
+			return false, fmt.Errorf("%w: journal topology %d shards over %d customers, engine has %d over %d",
+				ErrBadConfig, got.Shards, got.Fleet, e.topo.Shards(), e.topo.FleetSize())
+		}
+	case store.KindSession:
+		out, err := store.DecodeSession(r)
+		if err != nil {
+			return false, err
+		}
+		e.applyStored(out.Bids, out.Awards)
+		return true, nil
+	case store.KindTick:
+		cp, err := store.DecodeTick(r)
+		if err != nil {
+			return false, err
+		}
+		if err := e.replayCheckpoint(cp); err != nil {
+			return false, err
+		}
+	case store.KindReneg:
+		out, err := store.DecodeReneg(r)
+		if err != nil {
+			return false, err
+		}
+		if err := e.replayCheckpoint(out.Checkpoint); err != nil {
+			return false, err
+		}
+		e.applyStored(out.Bids, out.Awards)
+		ev := RenegotiateEvent{
+			Tick:      out.Checkpoint.Tick,
+			Shards:    out.Shards,
+			SessionID: out.SessionID,
+			Members:   out.Members,
+			Outcome:   out.Outcome,
+			Factors:   out.Factors,
+		}
+		for i, f := range out.Factors {
+			if i < 0 || i >= e.topo.Shards() {
+				return false, fmt.Errorf("%w: re-negotiation record names shard %d of %d", ErrBadConfig, i, e.topo.Shards())
+			}
+			e.shardFactor[i] = f
+			e.det.Reset(i)
+			e.shardRenegs[i]++
+		}
+		e.sessionSeq = out.SessionSeq
+		e.renegs++
+		e.events = append(e.events, ev)
+		return true, nil
+	case store.KindAborted, store.KindSeal, store.KindPromote:
+		// Informational: an aborted session committed nothing, the seal only
+		// marks the clean shutdown, and a promote record marks where a
+		// standby's replicated prefix ended.
+	}
+	return false, nil
+}
+
+// finishReplay completes a replay: the meters already produced e.tick samples
+// in the journal's life, so their jitter streams are fast-forwarded to make
+// the next sample continue the exact sequence an uninterrupted run would have
+// produced, and the standing bids are actuated into them.
+func (e *LiveEngine) finishReplay() {
 	e.fleet.SkipTicks(e.tick)
 	e.fleet.Actuate(e.bids)
-	return negotiated, nil
 }
 
 // applyStored merges a journaled outcome into the standing bids and awards.

@@ -1,0 +1,360 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"loadbalance/internal/store"
+)
+
+// standbyCfg is the seeded spiked scenario the standby tests replicate.
+func standbyCfg(t *testing.T, n, shards, ticks int) LiveConfig {
+	t.Helper()
+	s, err := ElasticFleetScenario(n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return LiveConfig{
+		Scenario:       s,
+		Shards:         shards,
+		TicksPerWindow: 8,
+		Jitter:         0.01,
+		Seed:           7,
+		ShardEvents: map[int][]Event{
+			1: {{StartTick: ticks / 3, EndTick: ticks + 1, Factor: 2.5}},
+		},
+	}
+}
+
+// feedStandby pumps everything currently flushed in the primary's journal
+// into the standby through the replication apply path.
+func feedStandby(t *testing.T, tl *store.Tailer, sb *StandbyEngine) {
+	t.Helper()
+	for {
+		batch, err := tl.Next(0)
+		if err != nil {
+			t.Fatalf("tail: %v", err)
+		}
+		if batch.Count == 0 {
+			return
+		}
+		if _, _, err := sb.ApplyFrames(batch.FirstSeq, batch.Frames); err != nil {
+			t.Fatalf("apply frames at %d: %v", batch.FirstSeq, err)
+		}
+	}
+}
+
+// TestStandbyReplayPromoteByteIdentical is the telemetry-level failover
+// guarantee: a standby fed the primary's journal records mid-run, promoted
+// after the primary "dies", finishes the run with a grid profile
+// byte-identical to an uninterrupted single-node run.
+func TestStandbyReplayPromoteByteIdentical(t *testing.T) {
+	const (
+		n      = 12
+		shards = 4
+		ticks  = 18
+		crash  = 9
+	)
+	base := t.TempDir()
+
+	// Reference: uninterrupted durable run.
+	ref, _, err := OpenDurable(standbyCfg(t, n, shards, ticks), DurableConfig{Dir: filepath.Join(base, "ref")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Run(ticks); err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(ref.Profile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Renegotiations() == 0 {
+		t.Fatal("reference run never renegotiated; the spike must force at least one")
+	}
+	if err := ref.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Primary: same run, streamed to a standby while it ticks, killed at
+	// the crash tick (no seal, no shutdown).
+	primaryDir := filepath.Join(base, "primary")
+	prim, _, err := OpenDurable(standbyCfg(t, n, shards, ticks), DurableConfig{Dir: primaryDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, info, err := OpenStandby(standbyCfg(t, n, shards, ticks), DurableConfig{Dir: filepath.Join(base, "standby")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Recovered {
+		t.Fatal("fresh standby reported recovered state")
+	}
+	tl, err := store.OpenTail(primaryDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+
+	for i := 0; i < crash; i++ {
+		if _, err := prim.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		feedStandby(t, tl, sb)
+	}
+	if sb.Tick() != crash {
+		t.Fatalf("standby replica at tick %d, want %d", sb.Tick(), crash)
+	}
+	// Crash the primary: telemetry torn down, journal closed unsealed.
+	prim.Stop()
+	if err := prim.Store().Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Promote the standby and finish the run.
+	eng, pinfo, err := sb.Promote("r0", "primary heartbeat lost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinfo.ResumeTick != crash {
+		t.Fatalf("promoted engine resumes at tick %d, want %d", pinfo.ResumeTick, crash)
+	}
+	if _, err := eng.Run(ticks - pinfo.ResumeTick); err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(eng.Profile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("promoted standby diverged from the uninterrupted run\n got: %s\nwant: %s", got, want)
+	}
+
+	// The standby's journal seals the divergence point with a promote record
+	// (scan the full journal: the shutdown snapshot hides it from ReadDir's
+	// tail view).
+	sbTail, err := store.OpenTail(filepath.Join(base, "standby"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sbTail.Close()
+	var promote *store.PromoteInfo
+	for {
+		batch, err := sbTail.Next(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch.Count == 0 {
+			break
+		}
+		recs, err := store.DecodeFrames(batch.Frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			if r.Kind == store.KindPromote {
+				p, err := store.DecodePromote(r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				promote = &p
+			}
+		}
+	}
+	rec, err := store.ReadDir(filepath.Join(base, "standby"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if promote == nil {
+		t.Fatal("promoted standby journal holds no promote record")
+	}
+	if promote.Replica != "r0" || promote.FromSeq != pinfo.FromSeq {
+		t.Fatalf("promote record = %+v, want replica r0 at seq %d", promote, pinfo.FromSeq)
+	}
+	if !rec.Sealed {
+		t.Fatal("promoted run did not seal its journal on shutdown")
+	}
+}
+
+// TestStandbyRestartResumesFromLocalJournal: a standby that crashes and
+// reopens its own data directory resumes replication from its local prefix
+// instead of starting over.
+func TestStandbyRestartResumesFromLocalJournal(t *testing.T) {
+	const (
+		n      = 8
+		shards = 2
+		ticks  = 12
+	)
+	base := t.TempDir()
+	primaryDir := filepath.Join(base, "primary")
+	standbyDir := filepath.Join(base, "standby")
+
+	prim, _, err := OpenDurable(standbyCfg(t, n, shards, ticks), DurableConfig{Dir: primaryDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, _, err := OpenStandby(standbyCfg(t, n, shards, ticks), DurableConfig{Dir: standbyDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := store.OpenTail(primaryDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := prim.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	feedStandby(t, tl, sb)
+	applied := sb.LastSeq()
+	if applied == 0 {
+		t.Fatal("standby applied nothing")
+	}
+	tl.Close()
+	if err := sb.Close(); err != nil { // standby crash/restart
+		t.Fatal(err)
+	}
+
+	sb2, info, err := OpenStandby(standbyCfg(t, n, shards, ticks), DurableConfig{Dir: standbyDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Recovered {
+		t.Fatal("restarted standby found no local state")
+	}
+	if sb2.LastSeq() != applied {
+		t.Fatalf("restarted standby at seq %d, want %d", sb2.LastSeq(), applied)
+	}
+	if sb2.Tick() != 5 {
+		t.Fatalf("restarted standby replica at tick %d, want 5", sb2.Tick())
+	}
+
+	// Resume the stream exactly where the local journal ends.
+	tl2, err := store.OpenTail(primaryDir, applied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl2.Close()
+	for i := 5; i < 8; i++ {
+		if _, err := prim.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	feedStandby(t, tl2, sb2)
+	if sb2.Tick() != 8 {
+		t.Fatalf("resumed standby at tick %d, want 8", sb2.Tick())
+	}
+	prim.Stop()
+	if err := prim.Store().Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStandbyPromotesBeforeOutcomeByNegotiatingFresh: a standby promoted
+// before any negotiated outcome replicated (the primary died during its
+// initial negotiation) starts the run itself — and because negotiation is
+// deterministic, it converges byte-identical to an uninterrupted run anyway.
+func TestStandbyPromotesBeforeOutcomeByNegotiatingFresh(t *testing.T) {
+	const (
+		n      = 6
+		shards = 2
+		ticks  = 6
+	)
+	base := t.TempDir()
+	ref, _, err := OpenDurable(standbyCfg(t, n, shards, ticks), DurableConfig{Dir: filepath.Join(base, "ref")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Run(ticks); err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(ref.Profile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	sb, _, err := OpenStandby(standbyCfg(t, n, shards, ticks), DurableConfig{Dir: filepath.Join(base, "standby")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, pinfo, err := sb.Promote("r0", "primary died before first outcome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinfo.FromSeq != 0 || pinfo.ResumeTick != 0 {
+		t.Fatalf("promotion info = %+v, want a from-scratch takeover", pinfo)
+	}
+	if _, err := eng.Run(ticks); err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(eng.Profile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("fresh-start promotion diverged\n got: %s\nwant: %s", got, want)
+	}
+	// Its journal must recover like any primary's.
+	rec, err := store.ReadDir(filepath.Join(base, "standby"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Sealed {
+		t.Fatal("promoted-from-scratch run did not seal its journal")
+	}
+}
+
+// TestStandbySealedStreamRefusesPromotion: after a clean primary shutdown the
+// seal replicates, and promotion is refused — there is no failure to recover
+// from, and the sealed replica journal must stay byte-faithful.
+func TestStandbySealedStreamRefusesPromotion(t *testing.T) {
+	base := t.TempDir()
+	primaryDir := filepath.Join(base, "primary")
+	cfg := standbyCfg(t, 6, 2, 8)
+
+	prim, _, err := OpenDurable(cfg, DurableConfig{Dir: primaryDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, _, err := OpenStandby(cfg, DurableConfig{Dir: filepath.Join(base, "standby")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sb.Close()
+	tl, err := store.OpenTail(primaryDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := prim.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := prim.Shutdown(); err != nil { // clean shutdown: snapshot + seal
+		t.Fatal(err)
+	}
+	feedStandby(t, tl, sb)
+	if !sb.Sealed() {
+		t.Fatal("standby did not observe the primary's seal")
+	}
+	if _, _, err := sb.Promote("r0", "test"); !errors.Is(err, ErrSealedStream) {
+		t.Fatalf("promotion over a sealed stream = %v, want ErrSealedStream", err)
+	}
+}
