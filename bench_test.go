@@ -13,6 +13,7 @@ import (
 
 	"loadbalance"
 	"loadbalance/internal/agent"
+	"loadbalance/internal/benchrun"
 	"loadbalance/internal/bus"
 	"loadbalance/internal/cluster"
 	"loadbalance/internal/core"
@@ -284,7 +285,9 @@ func wireCodecEnvelopes(b *testing.B) map[string]message.Envelope {
 // BenchmarkWireCodec measures one encode+decode round trip through each TCP
 // framing: the v1 newline-JSON union frame against the v2 varint-length
 // binary frame. The v2 codec is the acceptance gate for the transport
-// change: it must deliver at least 2x the v1 throughput.
+// change: it must deliver at least 2x the v1 throughput. The binary bodies
+// live in internal/benchrun so cmd/benchrec records the same floors into
+// BENCH_gridd.json.
 func BenchmarkWireCodec(b *testing.B) {
 	for _, name := range []string{"table", "bid"} {
 		env := wireCodecEnvelopes(b)[name]
@@ -303,18 +306,20 @@ func BenchmarkWireCodec(b *testing.B) {
 				b.SetBytes(int64(len(data)))
 			}
 		})
-		b.Run("binary/"+name, func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				data := bus.EncodeEnvelopeFrame(nil, env)
-				got, n, err := bus.DecodeEnvelopeFrame(data)
-				if err != nil || n != len(data) || got.Kind != env.Kind {
-					b.Fatalf("decode: %v (%d of %d bytes)", err, n, len(data))
-				}
-				b.SetBytes(int64(len(data)))
-			}
-		})
 	}
+	b.Run("binary/table", benchrun.WireCodecTable)
+	b.Run("binary/bid", benchrun.WireCodecBid)
+}
+
+// BenchmarkWireCodecTraced is the tracing tentpole's overhead gate on the
+// wire: the binary framing with the trace subsystem enabled and untraced
+// envelopes (must be free — the encoding is byte-identical), and with a
+// stamped trace context (the 18-byte-per-frame cost of actually tracing).
+func BenchmarkWireCodecTraced(b *testing.B) {
+	b.Run("enabled/table", benchrun.WireCodecTableTraced)
+	b.Run("enabled/bid", benchrun.WireCodecBidTraced)
+	b.Run("ctx/table", benchrun.WireCodecTableCtx)
+	b.Run("ctx/bid", benchrun.WireCodecBidCtx)
 }
 
 // BenchmarkDistributedNegotiation compares one complete negotiation through
@@ -447,36 +452,15 @@ func BenchmarkReplicationStream(b *testing.B) {
 // appends every tick) encoded and appended to the write-ahead journal, with
 // the loop's commit cadence (one buffer flush per 64 records) and a final
 // fsync. The acceptance gate for the store is ≥500k records/s — journaling
-// must never bottleneck the telemetry floor of 100k readings/s.
-func BenchmarkJournalAppend(b *testing.B) {
-	st, _, err := store.Open(b.TempDir(), store.Options{})
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer st.Close()
-	cp := store.TickCheckpoint{Readings: 512, Batches: 4, Shard: make([]float64, 16)}
-	for i := range cp.Shard {
-		cp.Shard[i] = 10 + float64(i)/16
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		cp.Tick = i
-		if err := st.AppendTick(cp); err != nil {
-			b.Fatal(err)
-		}
-		if i%64 == 63 {
-			if err := st.Commit(); err != nil {
-				b.Fatal(err)
-			}
-		}
-	}
-	if err := st.Sync(); err != nil {
-		b.Fatal(err)
-	}
-	b.StopTimer()
-	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/s")
-}
+// must never bottleneck the telemetry floor of 100k readings/s. The body
+// lives in internal/benchrun so cmd/benchrec records the same floor into
+// BENCH_gridd.json.
+func BenchmarkJournalAppend(b *testing.B) { benchrun.JournalAppend(b) }
+
+// BenchmarkJournalAppendTraced is the same workload with the trace
+// subsystem enabled — the tracing tentpole's overhead gate on the
+// durability path (budget: within 5% of BenchmarkJournalAppend).
+func BenchmarkJournalAppendTraced(b *testing.B) { benchrun.JournalAppendTraced(b) }
 
 // BenchmarkTelemetryIngest measures the live metering hot path: a fleet of
 // meters publishing batched readings over one in-process bus into the

@@ -23,13 +23,17 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"loadbalance/internal/sim"
 	"loadbalance/internal/store"
+	"loadbalance/internal/trace"
 )
 
 func main() {
@@ -53,12 +57,28 @@ func run(args []string) error {
 		shards  = fs.String("shards", "4,16,64", "concentrator counts for e11c")
 		ticks   = fs.Int("ticks", 15, "live ticks for e14, e16 and e17")
 		dataDir = fs.String("data-dir", "", "journal completed experiments under this directory; re-running skips them (e16 also keeps its grid journals there)")
+		metrics = fs.String("metrics", "", "optional HTTP listen address answering /metrics with per-experiment latency histograms while the run is in flight")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		return err
+	}
+	if *metrics != "" {
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			return err
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			trace.WriteMetrics(w)
+		})
+		srv := &http.Server{Handler: mux}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		fmt.Printf("serving /metrics on %s\n", ln.Addr())
 	}
 
 	sizeList, err := parseInts(*sizes)
@@ -194,16 +214,19 @@ func run(args []string) error {
 			fmt.Printf("%s already completed in %s with these parameters, skipping (delete the directory to re-run)\n\n", e.id, *dataDir)
 			continue
 		}
+		t0 := time.Now()
 		tab, err := e.run()
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.id, err)
 		}
+		elapsed := time.Since(t0)
+		trace.GetHistogramL("experiment_duration_seconds", "exp", e.id).Observe(elapsed)
 		fmt.Println(tab.String())
 		file := filepath.Join(*out, e.id+".csv")
 		if err := os.WriteFile(file, []byte(tab.CSV()), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n\n", file)
+		fmt.Printf("wrote %s (%s took %v)\n\n", file, e.id, elapsed.Round(time.Millisecond))
 		if journal != nil {
 			rec, err := store.NewSessionRecord(store.SessionOutcome{SessionID: e.id, Outcome: "completed", Config: fingerprint})
 			if err != nil {

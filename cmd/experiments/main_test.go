@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"loadbalance/internal/trace"
 )
 
 func TestRunSingleExperiment(t *testing.T) {
@@ -23,6 +25,26 @@ func TestRunSingleExperiment(t *testing.T) {
 	}
 	if !strings.Contains(csv, "0.4,17") {
 		t.Fatalf("csv missing the Figure 6 row:\n%s", csv)
+	}
+}
+
+// TestRunRecordsExperimentHistogram: each experiment's wall time lands in
+// the experiment_duration_seconds histogram under its id, served on -metrics.
+func TestRunRecordsExperimentHistogram(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-exp", "e3", "-out", dir}); err != nil {
+		t.Fatalf("e3: %v", err)
+	}
+	var buf strings.Builder
+	trace.WriteMetrics(&buf)
+	metrics := buf.String()
+	for _, want := range []string{
+		"# TYPE experiment_duration_seconds histogram",
+		`experiment_duration_seconds_count{exp="e3"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
 	}
 }
 

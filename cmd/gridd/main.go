@@ -67,12 +67,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -93,6 +95,7 @@ import (
 	"loadbalance/internal/sim"
 	"loadbalance/internal/store"
 	"loadbalance/internal/telemetry"
+	"loadbalance/internal/trace"
 	"loadbalance/internal/units"
 	"loadbalance/internal/utilityagent"
 )
@@ -134,7 +137,7 @@ func run(ctx context.Context, args []string) error {
 		rootAddr  = fs.String("root-addr", "", "listen address for the root tier: concentrators run as separate worker processes that dial in (requires -shards > 1)")
 		metrics   = fs.String("metrics", "", "optional HTTP listen address answering /healthz and /metrics with wire transport counters (server mode)")
 		live      = fs.Bool("live", false, "run the live grid: negotiate once, then meter, detect drift and re-negotiate incrementally; -serve's address answers HTTP /healthz, /metrics, /replication and /awards")
-		replAddr  = fs.String("repl-addr", "", "replication listen address: stream the journal to hot standbys (live mode; requires -data-dir); the bound address is written to <data-dir>/repl-addr")
+		replAddr  = fs.String("repl-addr", "", "replication listen address: stream the journal to hot standbys (live and serve modes; requires -data-dir); the bound address is written to <data-dir>/repl-addr")
 		replicaOf = fs.String("replica-of", "", "run as a hot standby replicating from this comma-separated dial list of replication addresses (live mode; requires -data-dir)")
 		replicaID = fs.String("replica-id", "r0", "this standby's replica id — the lowest id among -peers promotes on primary loss")
 		peers     = fs.String("peers", "", "comma-separated standby ids in the replica set (promotion rule input; empty = this standby always promotes)")
@@ -155,9 +158,19 @@ func run(ctx context.Context, args []string) error {
 		downAddr  = fs.String("down", "", "member-tier server address (concentrator role)")
 		shard     = fs.Int("shard", 0, "shard index this worker fronts (concentrator role)")
 		session   = fs.String("session", "gridd", "negotiation session id (concentrator role)")
+		traceOn   = fs.Bool("trace", false, "record negotiation spans in an in-process ring, served as JSON on /trace (?session=&shard=&trace=&limit=)")
+		traceRing = fs.Int("trace-ring", 4096, "trace ring capacity in spans; the oldest spans are dropped when it wraps")
+		traceDump = fs.String("trace-dump", "", "write the trace ring as JSON to this file on exit (implies -trace; the span-export path for processes without an HTTP endpoint)")
+		pprofOn   = fs.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/ on the HTTP endpoint")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *traceOn || *traceDump != "" {
+		trace.Enable(traceProc(*role, *shard, *serveAddr, *connect, *name, *live), *traceRing)
+		if *traceDump != "" {
+			defer dumpTraceFile(*traceDump)
+		}
 	}
 	switch {
 	case *role == "concentrator":
@@ -210,13 +223,14 @@ func run(ctx context.Context, args []string) error {
 				replicaID:       *replicaID,
 				peers:           bus.SplitAddrList(*peers),
 				failoverTimeout: *failover,
+				pprof:           *pprofOn,
 			}, nil)
 		}
 		if *replicaOf != "" {
 			return fmt.Errorf("-replica-of requires -live")
 		}
-		if *replAddr != "" {
-			return fmt.Errorf("-repl-addr streams the live journal and requires -live")
+		if *replAddr != "" && *dataDir == "" {
+			return fmt.Errorf("-repl-addr streams the journal and requires -data-dir")
 		}
 		return serve(ctx, serveConfig{
 			addr:        *serveAddr,
@@ -226,6 +240,8 @@ func run(ctx context.Context, args []string) error {
 			shards:      *shards,
 			timeout:     *timeout,
 			dataDir:     *dataDir,
+			replAddr:    *replAddr,
+			pprof:       *pprofOn,
 		}, nil)
 	case *connect != "":
 		if *name == "" {
@@ -234,6 +250,45 @@ func run(ctx context.Context, args []string) error {
 		return runClient(ctx, *connect, *name, *seed)
 	default:
 		return fmt.Errorf("pass -serve ADDR or -connect ADDR")
+	}
+}
+
+// traceProc derives the per-process label stamped on every span this process
+// records — what stitches a multi-process trace back together on inspection.
+func traceProc(role string, shard int, serveAddr, connect, name string, live bool) string {
+	switch {
+	case role == "concentrator":
+		return fmt.Sprintf("gridd-cc-%03d", shard)
+	case serveAddr != "" && live:
+		return "gridd-live"
+	case serveAddr != "":
+		return "gridd-serve"
+	case connect != "":
+		return "gridd-" + name
+	}
+	return "gridd"
+}
+
+// dumpTraceFile writes the trace ring as JSON — the export path for worker
+// and client processes that have no HTTP endpoint to serve /trace from.
+func dumpTraceFile(path string) {
+	var buf bytes.Buffer
+	trace.WriteDump(&buf, trace.Filter{})
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "gridd: trace dump: %v\n", err)
+	}
+}
+
+// mountObservability adds the trace endpoint (always; it reports disabled
+// until -trace) and, behind -pprof, the net/http/pprof handlers.
+func mountObservability(mux *http.ServeMux, pprofOn bool) {
+	mux.Handle("/trace", trace.Handler())
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 	}
 }
 
@@ -316,6 +371,8 @@ type serveConfig struct {
 	shards      int
 	timeout     time.Duration
 	dataDir     string // non-empty: journal the session outcome (or its abort)
+	replAddr    string // non-empty: stream the journal to hot standbys (requires dataDir)
+	pprof       bool   // mount /debug/pprof/ on the metrics endpoint
 }
 
 // serveAddrs reports the daemon's bound addresses to tests using ":0".
@@ -344,6 +401,30 @@ func serve(ctx context.Context, cfg serveConfig, ready chan<- serveAddrs) error 
 			return err
 		}
 		defer journal.Close()
+	}
+	// One-shot daemons stream their journal too: a standby tailing the
+	// session outcome is what lets a replica answer /awards after this
+	// process is gone.
+	var sender *replica.Sender
+	if cfg.replAddr != "" {
+		if journal == nil {
+			return fmt.Errorf("replAddr streams the journal and requires dataDir")
+		}
+		var err error
+		sender, err = replica.StartSender(replica.SenderConfig{Dir: cfg.dataDir, Addr: cfg.replAddr})
+		if err != nil {
+			return err
+		}
+		defer func() {
+			// Let connected standbys receive the outcome (and the seal, so
+			// they shut down cleanly) before the stream drops.
+			_ = sender.WaitDrain(journal.Stats().LastSeq, 5*time.Second)
+			sender.Close()
+		}()
+		if err := writeReplAddrFile(cfg.dataDir, sender.Addr()); err != nil {
+			return err
+		}
+		fmt.Printf("gridd: replicating the journal to standbys on %s\n", sender.Addr())
 	}
 	inner, err := bus.NewInProc(bus.Config{})
 	if err != nil {
@@ -390,7 +471,9 @@ func serve(ctx context.Context, cfg serveConfig, ready chan<- serveAddrs) error 
 			w.Header().Set("Content-Type", "application/json")
 			doc := map[string]any{"status": "ok", "role": "primary", "customers": len(customerAgents(inner.Agents()))}
 			if journal != nil {
-				doc["lastAppliedSeq"] = journal.Stats().LastSeq
+				stats := journal.Stats()
+				doc["lastAppliedSeq"] = stats.LastSeq
+				doc["lastAppliedAge"] = appliedAge(stats.LastAppend)
 			}
 			_ = json.NewEncoder(w).Encode(doc)
 		})
@@ -401,7 +484,12 @@ func serve(ctx context.Context, cfg serveConfig, ready chan<- serveAddrs) error 
 				transports["root"] = rootSrv.WireStats()
 			}
 			telemetry.WriteWireMetrics(w, transports)
+			if sender != nil {
+				replica.WriteSenderMetrics(w, sender.Status())
+			}
+			trace.WriteMetrics(w)
 		})
+		mountObservability(mux, cfg.pprof)
 		httpSrv := &http.Server{Handler: mux}
 		go func() { _ = httpSrv.Serve(ln) }()
 		defer func() {
@@ -645,6 +733,8 @@ type liveOptions struct {
 	replicaID       string
 	peers           []string
 	failoverTimeout time.Duration
+
+	pprof bool // mount /debug/pprof/ on the live endpoint
 }
 
 // liveConfig derives the engine configuration. It must be identical on
@@ -742,6 +832,7 @@ func (g *gridState) healthDoc() map[string]any {
 	case stby != nil:
 		rst := stby.Receiver().Status()
 		doc["lastAppliedSeq"] = stby.Eng.LastSeq()
+		doc["lastAppliedAge"] = appliedAge(rst.LastApplied)
 		doc["replication"] = map[string]any{
 			"id":         rst.ID,
 			"sourceUp":   rst.Connected,
@@ -753,6 +844,7 @@ func (g *gridState) healthDoc() map[string]any {
 	case st != nil:
 		stats := st.Stats()
 		doc["lastAppliedSeq"] = stats.LastSeq
+		doc["lastAppliedAge"] = appliedAge(stats.LastAppend)
 		if sender != nil {
 			sst := sender.Status()
 			doc["replication"] = map[string]any{
@@ -764,8 +856,17 @@ func (g *gridState) healthDoc() map[string]any {
 	return doc
 }
 
+// appliedAge renders a last-applied wall time as seconds of staleness for
+// /healthz; -1 means nothing has been applied (or committed) yet.
+func appliedAge(t time.Time) float64 {
+	if t.IsZero() {
+		return -1
+	}
+	return time.Since(t).Seconds()
+}
+
 // liveMux builds the live daemon's HTTP surface over the state holder.
-func liveMux(state *gridState) *http.ServeMux {
+func liveMux(state *gridState, pprofOn bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -790,6 +891,7 @@ func liveMux(state *gridState) *http.ServeMux {
 				replica.WriteSenderMetrics(w, sender.Status())
 			}
 		}
+		trace.WriteMetrics(w)
 	})
 	mux.HandleFunc("/replication", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -821,16 +923,17 @@ func liveMux(state *gridState) *http.ServeMux {
 		}
 		_, _ = w.Write(profile)
 	})
+	mountObservability(mux, pprofOn)
 	return mux
 }
 
 // startLiveHTTP binds the live daemon's endpoint address.
-func startLiveHTTP(addr string, state *gridState) (net.Listener, *http.Server, chan error, error) {
+func startLiveHTTP(addr string, state *gridState, pprofOn bool) (net.Listener, *http.Server, chan error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	httpSrv := &http.Server{Handler: liveMux(state)}
+	httpSrv := &http.Server{Handler: liveMux(state, pprofOn)}
 	httpErr := make(chan error, 1)
 	go func() { httpErr <- httpSrv.Serve(ln) }()
 	return ln, httpSrv, httpErr, nil
@@ -917,7 +1020,7 @@ func runLive(ctx context.Context, opts liveOptions, ready chan<- string) error {
 	}
 	state.publish(eng.Snapshot(), profile)
 
-	ln, httpSrv, httpErr, err := startLiveHTTP(opts.addr, state)
+	ln, httpSrv, httpErr, err := startLiveHTTP(opts.addr, state, opts.pprof)
 	if err != nil {
 		if state.sender != nil {
 			state.sender.Close()
@@ -1031,7 +1134,7 @@ func runStandby(ctx context.Context, opts liveOptions, cfg telemetry.LiveConfig,
 			opts.replicaID, stby.Eng.LastSeq(), info.ResumeTick)
 	}
 
-	ln, httpSrv, httpErr, err := startLiveHTTP(opts.addr, state)
+	ln, httpSrv, httpErr, err := startLiveHTTP(opts.addr, state, opts.pprof)
 	if err != nil {
 		_ = stby.Close()
 		return err
@@ -1155,21 +1258,33 @@ func writeAwardsFile(dir string, eng *telemetry.LiveEngine) error {
 	return atomicWriteFile(dir, "awards.json", data)
 }
 
-// writeMetrics renders a snapshot in Prometheus text exposition format.
+// writeMetrics renders a snapshot in Prometheus text exposition format. Every
+// family carries its # TYPE line, the per-shard series included, so a strict
+// exposition parser ingests the whole page.
 func writeMetrics(w http.ResponseWriter, snap telemetry.Snapshot) {
 	fmt.Fprintf(w, "# TYPE grid_tick counter\ngrid_tick %d\n", snap.Tick)
 	fmt.Fprintf(w, "# TYPE grid_readings_total counter\ngrid_readings_total %d\n", snap.Readings)
 	fmt.Fprintf(w, "# TYPE grid_renegotiations_total counter\ngrid_renegotiations_total %d\n", snap.Renegotiations)
 	fmt.Fprintf(w, "# TYPE grid_fleet_load_kwh gauge\ngrid_fleet_load_kwh %g\n", snap.FleetKWh)
 	fmt.Fprintf(w, "# TYPE grid_fleet_target_kwh gauge\ngrid_fleet_target_kwh %g\n", snap.TargetKWh)
+	fmt.Fprintf(w, "# TYPE grid_shard_load_kwh gauge\n")
 	for i := range snap.ShardMeasured {
 		fmt.Fprintf(w, "grid_shard_load_kwh{shard=\"%d\"} %g\n", i, snap.ShardMeasured[i])
+	}
+	fmt.Fprintf(w, "# TYPE grid_shard_expected_kwh gauge\n")
+	for i := range snap.ShardMeasured {
 		fmt.Fprintf(w, "grid_shard_expected_kwh{shard=\"%d\"} %g\n", i, snap.ShardExpected[i])
+	}
+	fmt.Fprintf(w, "# TYPE grid_shard_breached gauge\n")
+	for i := range snap.ShardMeasured {
 		breached := 0
 		if snap.ShardBreached[i] {
 			breached = 1
 		}
 		fmt.Fprintf(w, "grid_shard_breached{shard=\"%d\"} %d\n", i, breached)
+	}
+	fmt.Fprintf(w, "# TYPE grid_shard_renegotiations_total counter\n")
+	for i := range snap.ShardMeasured {
 		fmt.Fprintf(w, "grid_shard_renegotiations_total{shard=\"%d\"} %d\n", i, snap.ShardRenegotiations[i])
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"loadbalance/internal/store"
+	"loadbalance/internal/trace"
 )
 
 // TestMain doubles as the worker-process entry point: spawned copies of the
@@ -305,6 +307,267 @@ func TestDistributedServerEndToEnd(t *testing.T) {
 			t.Errorf("worker %d never exited", i)
 		}
 	}
+}
+
+// TestDistributedTraceStitch is the observability acceptance run: the full
+// distributed deployment — root tier, four concentrator worker processes,
+// eight TCP customers and a hot standby replicating the journal — with
+// tracing on everywhere. The workers export their rings via -trace-dump, the
+// daemon serves its ring on /trace, and the merged spans must stitch into
+// one tree per negotiation session: exactly one root, every parent id
+// resolving within the trace, across all processes.
+func TestDistributedTraceStitch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	tr := trace.Enable("gridd-test", 16384)
+	defer trace.Disable()
+
+	const (
+		customers = 8
+		shards    = 4
+	)
+	base := t.TempDir()
+	dirP := filepath.Join(base, "primary")
+	dirS := filepath.Join(base, "standby")
+	if err := os.MkdirAll(dirP, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	ready := make(chan serveAddrs, 1)
+	serverErr := make(chan error, 1)
+	go func() {
+		serverErr <- serve(ctx, serveConfig{
+			addr:        "127.0.0.1:0",
+			rootAddr:    "127.0.0.1:0",
+			metricsAddr: "127.0.0.1:0",
+			customers:   customers,
+			shards:      shards,
+			timeout:     60 * time.Second,
+			dataDir:     dirP,
+			replAddr:    "127.0.0.1:0",
+		}, ready)
+	}()
+	var addrs serveAddrs
+	select {
+	case addrs = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	replAddr := waitReplAddr(t, dirP, 30*time.Second)
+
+	// Hot standby following the daemon's journal stream. It never promotes
+	// (the primary seals cleanly); its replication.apply spans land in the
+	// shared in-process ring.
+	standbyErr := make(chan error, 1)
+	go func() {
+		standbyErr <- runLive(ctx, liveOptions{
+			addr: "127.0.0.1:0", customers: 16, shards: 4,
+			tick: 50 * time.Millisecond, seed: 1, spikeTick: -1,
+			dataDir: dirS, replicaOf: []string{replAddr}, replicaID: "r0",
+			failoverTimeout: time.Minute,
+		}, nil)
+	}()
+
+	// Concentrator workers: separate OS processes, each dumping its span
+	// ring to a file on exit.
+	dumps := make([]string, shards)
+	workers := make([]*exec.Cmd, shards)
+	for i := range workers {
+		dumps[i] = filepath.Join(base, fmt.Sprintf("cc-%d-trace.json", i))
+		cmd := exec.Command(os.Args[0],
+			"-role", "concentrator",
+			"-up", addrs.root,
+			"-down", addrs.member,
+			"-shard", strconv.Itoa(i),
+			"-shards", strconv.Itoa(shards),
+			"-customers", strconv.Itoa(customers),
+			"-trace", "-trace-ring", "16384",
+			"-trace-dump", dumps[i],
+		)
+		cmd.Env = append(os.Environ(), "GRIDD_HELPER=1")
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+		workers[i] = cmd
+	}
+	defer func() {
+		for _, w := range workers {
+			if w.Process != nil {
+				_ = w.Process.Kill()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	clientErrs := make([]error, customers)
+	for i := 0; i < customers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			clientErrs[i] = runClient(ctx, addrs.member, fmt.Sprintf("c%02d", i+1), int64(i+1))
+		}(i)
+	}
+
+	// While the session runs, /trace must answer with session-filtered spans.
+	traceDeadline := time.Now().Add(30 * time.Second)
+	for {
+		var dump trace.Dump
+		resp, err := http.Get("http://" + addrs.metrics + "/trace?session=gridd")
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if jerr := json.Unmarshal(body, &dump); jerr != nil {
+				t.Fatalf("/trace is not valid JSON: %v\n%s", jerr, body)
+			}
+		}
+		if dump.Enabled && len(dump.Spans) > 0 {
+			for _, sp := range dump.Spans {
+				if sp.Session != "gridd" {
+					t.Fatalf("/trace?session=gridd returned span %+v of session %q", sp, sp.Session)
+				}
+			}
+			break
+		}
+		if time.Now().After(traceDeadline) {
+			t.Fatal("/trace never served a session span while the negotiation ran")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	wg.Wait()
+	for i, err := range clientErrs {
+		if err != nil {
+			t.Errorf("client %d: %v", i, err)
+		}
+	}
+	select {
+	case err := <-serverErr:
+		if err != nil {
+			t.Fatalf("server: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never finished")
+	}
+	for i, w := range workers {
+		done := make(chan error, 1)
+		go func(w *exec.Cmd) { done <- w.Wait() }(w)
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("worker %d exited: %v", i, err)
+			}
+		case <-time.After(15 * time.Second):
+			_ = w.Process.Kill()
+			t.Errorf("worker %d never exited", i)
+		}
+	}
+	// The sealed journal reached the standby, which shuts down cleanly.
+	select {
+	case err := <-standbyErr:
+		if err != nil {
+			t.Fatalf("standby: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("standby never saw the sealed journal")
+	}
+	rec, err := store.ReadDir(dirS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Sealed || rec.LastSeq < 2 {
+		t.Fatalf("standby journal sealed=%v lastSeq=%d, want the replicated session", rec.Sealed, rec.LastSeq)
+	}
+
+	// Merge every process's spans: the in-process ring (daemon, customers,
+	// standby) plus the four worker dumps.
+	all := tr.Records(trace.Filter{})
+	var gotApply bool
+	for _, r := range all {
+		if r.Name == "replication.apply" {
+			gotApply = true
+		}
+	}
+	if !gotApply {
+		t.Error("standby recorded no replication.apply span")
+	}
+	for i, path := range dumps {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("worker %d dump: %v", i, err)
+		}
+		var d trace.Dump
+		if err := json.Unmarshal(data, &d); err != nil {
+			t.Fatalf("worker %d dump: %v", i, err)
+		}
+		want := fmt.Sprintf("gridd-cc-%03d", i)
+		if d.Proc != want || !d.Enabled {
+			t.Fatalf("worker %d dump proc=%q enabled=%v, want %q", i, d.Proc, d.Enabled, want)
+		}
+		if d.Dropped != 0 {
+			t.Fatalf("worker %d ring dropped %d spans; the stitch check needs the full tree", i, d.Dropped)
+		}
+		if len(d.Spans) == 0 {
+			t.Fatalf("worker %d recorded no spans", i)
+		}
+		all = append(all, d.Spans...)
+	}
+
+	// Stitch: every trace holding session spans forms one tree — a single
+	// root, every parent id resolving inside the trace, across processes.
+	byTrace := make(map[string][]trace.Record)
+	for _, r := range all {
+		byTrace[r.Trace] = append(byTrace[r.Trace], r)
+	}
+	sessionTraces := 0
+	for id, recs := range byTrace {
+		session := false
+		spanSet := make(map[string]bool, len(recs))
+		for _, r := range recs {
+			spanSet[r.Span] = true
+			if r.Session == "gridd" {
+				session = true
+			}
+		}
+		if !session {
+			continue
+		}
+		sessionTraces++
+		roots := 0
+		procs := make(map[string]bool)
+		for _, r := range recs {
+			procs[r.Proc] = true
+			if r.Parent == "" {
+				roots++
+			} else if !spanSet[r.Parent] {
+				t.Errorf("trace %s: span %s (%s in %s) has parent %s recorded in no process", id, r.Span, r.Name, r.Proc, r.Parent)
+			}
+		}
+		if roots != 1 {
+			t.Errorf("trace %s stitches into %d roots, want 1", id, roots)
+		}
+		// The session tree must cross every process: the daemon-side ring
+		// and all four workers.
+		if len(procs) != shards+1 {
+			t.Errorf("trace %s spans %d processes (%v), want %d", id, len(procs), procKeys(procs), shards+1)
+		}
+	}
+	if sessionTraces != 1 {
+		t.Errorf("got %d session traces, want exactly 1 tree for the gridd session", sessionTraces)
+	}
+}
+
+// procKeys lists a proc set for failure messages.
+func procKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // TestCustomerAgentsFiltersConcentrators guards the distributed serve path:

@@ -21,6 +21,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -31,6 +32,7 @@ import (
 	"loadbalance"
 	"loadbalance/internal/sim"
 	"loadbalance/internal/store"
+	"loadbalance/internal/trace"
 	"loadbalance/internal/utilityagent"
 )
 
@@ -57,9 +59,21 @@ func run(args []string) error {
 		shards       = fs.Int("shards", 0, "negotiate through this many Concentrator Agents (0 = flat)")
 		tcp          = fs.Bool("tcp", false, "place each concentrator behind its own TCP connections (requires -shards)")
 		dataDir      = fs.String("data-dir", "", "journal the outcome under this directory; re-running the same scenario resumes from the journal")
+		traceDump    = fs.String("trace-dump", "", "record negotiation spans and write the ring as JSON to this file on exit (the same document gridd serves on /trace)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *traceDump != "" {
+		trace.Enable("loadsim", 16384)
+		defer func() {
+			var buf bytes.Buffer
+			if err := trace.WriteDump(&buf, trace.Filter{}); err == nil {
+				if werr := os.WriteFile(*traceDump, buf.Bytes(), 0o644); werr != nil {
+					fmt.Fprintln(os.Stderr, "loadsim: trace dump:", werr)
+				}
+			}
+		}()
 	}
 
 	var (

@@ -21,9 +21,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"loadbalance/internal/bus"
 	"loadbalance/internal/message"
+	"loadbalance/internal/trace"
 )
 
 // Errors reported by the runtime.
@@ -53,6 +55,17 @@ type Runtime struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 	done     chan struct{}
+
+	// curTrace/curSpan hold the trace context of the work this agent is
+	// doing right now — the handling span of the envelope currently in
+	// OnMessage, or whatever the handler installed with SetTraceCtx.
+	// Send reads them to stamp outgoing envelopes. They are atomics, not
+	// plain fields, because timeout callbacks (time.AfterFunc) call Send
+	// from outside the agent goroutine; a racing reader then sees some
+	// recent context of the same agent, which is exactly the right
+	// attribution for a timeout-driven send.
+	curTrace atomic.Uint64
+	curSpan  atomic.Uint64
 
 	mu   sync.Mutex
 	errs []error
@@ -97,18 +110,60 @@ func (rt *Runtime) loop() {
 			if !ok {
 				return
 			}
-			if err := rt.handler.OnMessage(rt, env); err != nil {
+			if err := rt.dispatch(env); err != nil {
 				rt.recordErr(fmt.Errorf("agent %q: handle %s from %q: %w", rt.name, env.Kind, env.From, err))
 			}
 		}
 	}
 }
 
-// Send wraps a payload in an envelope from this agent and delivers it.
+// dispatch runs one envelope through the handler. A traced envelope is
+// wrapped in a handling span that becomes the parent of everything the
+// handler sends in response, which is how a negotiation's span tree
+// chains through every agent it crosses.
+func (rt *Runtime) dispatch(env message.Envelope) error {
+	if !env.Traced() || !trace.Enabled() {
+		return rt.handler.OnMessage(rt, env)
+	}
+	sp := trace.Child(trace.Context{Trace: env.TraceID, Span: env.SpanID}, "handle."+string(env.Kind))
+	sp.SetAgent(rt.name)
+	sp.SetSession(env.Session)
+	rt.SetTraceCtx(sp.Context())
+	err := rt.handler.OnMessage(rt, env)
+	sp.End()
+	return err
+}
+
+// TraceCtx returns the agent's current trace context (invalid when the
+// agent is not doing traced work).
+func (rt *Runtime) TraceCtx() trace.Context {
+	return trace.Context{Trace: rt.curTrace.Load(), Span: rt.curSpan.Load()}
+}
+
+// SetTraceCtx installs the context stamped onto subsequent Sends — used
+// by handlers that open their own root span (the UA starting a session).
+func (rt *Runtime) SetTraceCtx(tc trace.Context) {
+	rt.curTrace.Store(tc.Trace)
+	rt.curSpan.Store(tc.Span)
+}
+
+// Send wraps a payload in an envelope from this agent and delivers it,
+// stamped with the agent's current trace context.
 func (rt *Runtime) Send(to, session string, p message.Payload) error {
+	return rt.SendCtx(rt.TraceCtx(), to, session, p)
+}
+
+// SendCtx sends with an explicit trace context — for handlers that relay
+// between runtimes (the concentrator receives on one side and forwards on
+// the other, so the receiving runtime's context must travel with the
+// payload).
+func (rt *Runtime) SendCtx(tc trace.Context, to, session string, p message.Payload) error {
 	env, err := message.NewEnvelope(rt.name, to, session, p)
 	if err != nil {
 		return err
+	}
+	if tc.Valid() && trace.Enabled() {
+		env.TraceID, env.SpanID = tc.Trace, tc.Span
 	}
 	return rt.bus.Send(env)
 }

@@ -1,0 +1,126 @@
+package agent
+
+import (
+	"testing"
+	"time"
+
+	"loadbalance/internal/bus"
+	"loadbalance/internal/message"
+	"loadbalance/internal/trace"
+)
+
+// TestTracedEnvelopePropagatesThroughRuntime proves the choke point: a
+// traced envelope handled by one agent produces a handling span, and the
+// reply the handler sends carries that span as its parent.
+func TestTracedEnvelopePropagatesThroughRuntime(t *testing.T) {
+	tr := trace.Enable("test", 64)
+	t.Cleanup(trace.Disable)
+
+	b, err := bus.NewInProc(bus.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	replies, err := b.Register("sink", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	echo, err := Start("echo", b, HandlerFuncs{
+		Message: func(rt *Runtime, env message.Envelope) error {
+			return rt.Send("sink", env.Session, message.CutDownBid{Round: 1, CutDown: 0.1})
+		},
+	}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer echo.Stop()
+
+	root := tr.Root("session.open")
+	env, err := message.NewEnvelope("sink", "echo", "s1", message.SessionEnd{Round: 1, Reason: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.TraceID, env.SpanID = root.Context().Trace, root.Context().Span
+	if err := b.Send(env); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case got := <-replies:
+		if got.TraceID != root.Context().Trace {
+			t.Fatalf("reply trace id %x, want %x", got.TraceID, root.Context().Trace)
+		}
+		if got.SpanID == root.Context().Span || got.SpanID == 0 {
+			t.Fatalf("reply span id %x should be the handling span, not the root", got.SpanID)
+		}
+		// The handling span must be in the ring with the root as parent.
+		root.End()
+		recs := tr.Records(trace.Filter{})
+		var handle trace.Record
+		for _, r := range recs {
+			if r.Name == "handle.session_end" {
+				handle = r
+			}
+		}
+		if handle.Name == "" {
+			t.Fatalf("no handling span recorded; ring: %+v", recs)
+		}
+		if handle.Agent != "echo" || handle.Session != "s1" {
+			t.Fatalf("handling span labels wrong: %+v", handle)
+		}
+		var rootHex string
+		for _, r := range recs {
+			if r.Name == "session.open" {
+				rootHex = r.Span
+			}
+		}
+		if handle.Parent != rootHex {
+			t.Fatalf("handling span parent %q, want root %q", handle.Parent, rootHex)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no reply")
+	}
+}
+
+// TestUntracedEnvelopeStaysUntraced guards the overhead story: without a
+// trace context (or with tracing disabled) nothing is recorded or stamped.
+func TestUntracedEnvelopeStaysUntraced(t *testing.T) {
+	trace.Disable()
+
+	b, err := bus.NewInProc(bus.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	replies, err := b.Register("sink", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	echo, err := Start("echo", b, HandlerFuncs{
+		Message: func(rt *Runtime, env message.Envelope) error {
+			return rt.Send("sink", env.Session, message.CutDownBid{Round: 1, CutDown: 0.1})
+		},
+	}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer echo.Stop()
+
+	env, err := message.NewEnvelope("sink", "echo", "s1", message.SessionEnd{Round: 1, Reason: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(env); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-replies:
+		if got.Traced() {
+			t.Fatalf("untraced request produced traced reply %x/%x", got.TraceID, got.SpanID)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no reply")
+	}
+}

@@ -1,10 +1,12 @@
 package bus
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	"loadbalance/internal/message"
+	"loadbalance/internal/trace"
 )
 
 // ping builds a small valid envelope.
@@ -145,6 +147,139 @@ func TestReconnectFailoverResumesSession(t *testing.T) {
 	}
 	if cli.Stats().Reconnects < 1 {
 		t.Fatalf("stats = %+v, want at least one reconnect", cli.Stats())
+	}
+}
+
+// TestReconnectPropagatesTraceContext: a traced negotiation survives its
+// transport dying mid-session. Every send attempt — delivered, refused while
+// disconnected, or lost in flight when the primary dropped — is one child
+// span of the same session trace, ended exactly once; after the Reconn
+// client resumes on the standby, envelopes still carry the original trace id
+// (so /trace stitches the session into one tree across the failover) under a
+// fresh span id (a retry is a new attempt, not a replay of the old span).
+func TestReconnectPropagatesTraceContext(t *testing.T) {
+	tr := trace.Enable("bus-test", 256)
+	defer trace.Disable()
+
+	inner, err := NewInProc(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close()
+	srvA, err := ListenAndServe("127.0.0.1:0", inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvB, err := ListenAndServe("127.0.0.1:0", inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvB.Close()
+	uaInbox, err := inner.Register("ua", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := DialReconnecting([]string{srvA.Addr(), srvB.Addr()}, "c1", ReconnConfig{
+		Redial: 20 * time.Millisecond,
+		GiveUp: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	root := trace.Root("session.negotiate")
+	root.SetSession("s")
+	ctx := root.Context()
+
+	attempts := 0
+	sendTraced := func(round int) error {
+		attempts++
+		sp := trace.Child(ctx, "bus.send")
+		sp.SetAgent("c1")
+		env := ping("c1", "ua", round)
+		env.TraceID, env.SpanID = sp.Context().Trace, sp.Context().Span
+		err := cli.Send(env)
+		sp.End() // ended on failure too: a refused send must not leak its span
+		return err
+	}
+	recv := func(why string) message.Envelope {
+		t.Helper()
+		select {
+		case env := <-uaInbox:
+			return env
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s: envelope never reached the ua", why)
+			return message.Envelope{}
+		}
+	}
+
+	if err := sendTraced(1); err != nil {
+		t.Fatal(err)
+	}
+	env1 := recv("round 1")
+	if env1.TraceID != ctx.Trace || env1.SpanID == 0 {
+		t.Fatalf("round 1 arrived with trace %x span %x, want trace %x", env1.TraceID, env1.SpanID, ctx.Trace)
+	}
+
+	// The primary dies with the next frame in flight: this send races the
+	// close, so it is delivered, cut mid-frame, or refused — all three must
+	// leave exactly one ended span behind.
+	go srvA.Close()
+	if sendTraced(2) == nil {
+		select {
+		case <-uaInbox:
+		case <-time.After(200 * time.Millisecond):
+			// Accepted by the dying connection but never delivered.
+		}
+	}
+
+	// Resume on the standby: retry until a send is both accepted and
+	// delivered. Refused attempts still record their spans.
+	deadline := time.Now().Add(5 * time.Second)
+	var env2 message.Envelope
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("client never resumed traced sends after failover")
+		}
+		if sendTraced(3) != nil {
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		select {
+		case env2 = <-uaInbox:
+		case <-time.After(500 * time.Millisecond):
+			continue // accepted but lost in the failover window; retry
+		}
+		break
+	}
+	if env2.TraceID != ctx.Trace {
+		t.Fatalf("post-failover envelope carries trace %x, want %x: trace id lost across reconnect", env2.TraceID, ctx.Trace)
+	}
+	if env2.SpanID == env1.SpanID {
+		t.Fatalf("post-failover envelope reused span %x: a retry must be a fresh span", env2.SpanID)
+	}
+	root.End()
+
+	// Ring accounting: every attempt ended exactly once (attempts + the root;
+	// fewer = a leaked span, more = a double record), no span id twice.
+	recs := tr.Records(trace.Filter{Trace: fmt.Sprintf("%016x", ctx.Trace)})
+	if len(recs) != attempts+1 {
+		t.Fatalf("ring holds %d spans for the session trace, want %d (%d sends + root)", len(recs), attempts+1, attempts)
+	}
+	rootHex := fmt.Sprintf("%016x", ctx.Span)
+	seen := make(map[string]bool, len(recs))
+	for _, r := range recs {
+		if seen[r.Span] {
+			t.Fatalf("span %s recorded twice", r.Span)
+		}
+		seen[r.Span] = true
+		if r.Name == "bus.send" && r.Parent != rootHex {
+			t.Fatalf("send span %s has parent %s, want the session root %s", r.Span, r.Parent, rootHex)
+		}
+	}
+	if _, dropped := tr.Stats(); dropped != 0 {
+		t.Fatalf("trace ring dropped %d spans", dropped)
 	}
 }
 

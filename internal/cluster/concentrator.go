@@ -10,6 +10,7 @@ import (
 	"loadbalance/internal/bus"
 	"loadbalance/internal/message"
 	"loadbalance/internal/protocol"
+	"loadbalance/internal/trace"
 )
 
 // ConcentratorConfig parameterises one Concentrator Agent.
@@ -63,6 +64,11 @@ type Concentrator struct {
 	lastUp    float64 // last upward bid (monotonic floor)
 	ended     bool
 	awarded   bool
+
+	// tctx is the trace context of the last relayed announcement; timer
+	// goroutines (shard round timeouts) attribute their upward bids to it
+	// because no inbound envelope carries a context for them.
+	tctx trace.Context
 }
 
 // NewConcentrator validates the configuration and constructs the agent.
@@ -206,11 +212,11 @@ func (h upSide) OnMessage(rt *agent.Runtime, env message.Envelope) error {
 	}
 	switch m := p.(type) {
 	case message.RewardTable:
-		return c.relayAnnouncement(env.From, m)
+		return c.relayAnnouncement(rt.TraceCtx(), env.From, m)
 	case message.Award:
-		return c.distributeAwards(m)
+		return c.distributeAwards(rt.TraceCtx(), m)
 	case message.SessionEnd:
-		return c.forwardSessionEnd(m)
+		return c.forwardSessionEnd(rt.TraceCtx(), m)
 	default:
 		return nil
 	}
@@ -234,13 +240,13 @@ func (h downSide) OnMessage(rt *agent.Runtime, env message.Envelope) error {
 	if !ok {
 		return nil
 	}
-	return c.recordMemberBid(env.From, bid)
+	return c.recordMemberBid(rt.TraceCtx(), env.From, bid)
 }
 
 // relayAnnouncement opens a new shard round: it notes the table, fans it out
 // to every member and arms the shard timeout. An empty shard answers upward
 // immediately.
-func (c *Concentrator) relayAnnouncement(from string, m message.RewardTable) error {
+func (c *Concentrator) relayAnnouncement(tc trace.Context, from string, m message.RewardTable) error {
 	c.mu.Lock()
 	if c.ended {
 		c.mu.Unlock()
@@ -251,6 +257,7 @@ func (c *Concentrator) relayAnnouncement(from string, m message.RewardTable) err
 	c.round = m.Round
 	c.replied = false
 	c.heard = make(map[string]bool, len(c.cfg.Members))
+	c.tctx = tc
 	down := c.downRT
 	c.mu.Unlock()
 	members := c.members
@@ -258,7 +265,7 @@ func (c *Concentrator) relayAnnouncement(from string, m message.RewardTable) err
 	for _, n := range members {
 		// A failed targeted send (member gone, inbox full) is equivalent to
 		// a lost announcement: the quorum/timeout rules absorb it.
-		_ = down.Send(n, c.cfg.SessionID, m)
+		_ = down.SendCtx(tc, n, c.cfg.SessionID, m)
 	}
 	if c.cfg.RoundTimeout > 0 {
 		round := m.Round
@@ -266,12 +273,12 @@ func (c *Concentrator) relayAnnouncement(from string, m message.RewardTable) err
 			_ = c.closeShardRound(round)
 		})
 	}
-	return c.maybeReplyUpward(m.Round, false)
+	return c.maybeReplyUpward(tc, m.Round, false)
 }
 
 // recordMemberBid merges one member's bid for the current round and answers
 // upward once the acceptable number of bids is in.
-func (c *Concentrator) recordMemberBid(from string, bid message.CutDownBid) error {
+func (c *Concentrator) recordMemberBid(tc trace.Context, from string, bid message.CutDownBid) error {
 	c.mu.Lock()
 	if c.ended {
 		c.mu.Unlock()
@@ -298,18 +305,21 @@ func (c *Concentrator) recordMemberBid(from string, bid message.CutDownBid) erro
 	c.responded[from] = true
 	round := c.round
 	c.mu.Unlock()
-	return c.maybeReplyUpward(round, false)
+	return c.maybeReplyUpward(tc, round, false)
 }
 
 // closeShardRound is the timeout path: answer upward with whatever bids are
 // in (the "acceptable number of bids" rule of Section 3.2.2).
 func (c *Concentrator) closeShardRound(round int) error {
-	return c.maybeReplyUpward(round, true)
+	c.mu.Lock()
+	tc := c.tctx
+	c.mu.Unlock()
+	return c.maybeReplyUpward(tc, round, true)
 }
 
 // maybeReplyUpward sends the aggregated bid for the round when quorum is
 // reached (or force is set) and it has not been sent yet.
-func (c *Concentrator) maybeReplyUpward(round int, force bool) error {
+func (c *Concentrator) maybeReplyUpward(tc trace.Context, round int, force bool) error {
 	c.mu.Lock()
 	if c.ended || c.replied || round != c.round {
 		c.mu.Unlock()
@@ -331,7 +341,7 @@ func (c *Concentrator) maybeReplyUpward(round int, force bool) error {
 	c.replied = true
 	up, upstream := c.upRT, c.upstream
 	c.mu.Unlock()
-	return up.Send(upstream, c.cfg.SessionID, message.CutDownBid{Round: round, CutDown: cut})
+	return up.SendCtx(tc, upstream, c.cfg.SessionID, message.CutDownBid{Round: round, CutDown: cut})
 }
 
 // effectiveCutDownLocked computes the shard's aggregated bid: the cut-down x
@@ -366,7 +376,7 @@ func (c *Concentrator) effectiveCutDownLocked() float64 {
 // distributeAwards converts the root's aggregate award into per-member
 // awards: each member that ever responded is paid the final table's reward at
 // its own committed cut-down, exactly as the flat Utility Agent would.
-func (c *Concentrator) distributeAwards(m message.Award) error {
+func (c *Concentrator) distributeAwards(tc trace.Context, m message.Award) error {
 	c.mu.Lock()
 	if c.awarded {
 		c.mu.Unlock()
@@ -395,7 +405,7 @@ func (c *Concentrator) distributeAwards(m message.Award) error {
 
 	var firstErr error
 	for _, a := range awards {
-		if err := down.Send(a.name, c.cfg.SessionID, a.award); err != nil && firstErr == nil {
+		if err := down.SendCtx(tc, a.name, c.cfg.SessionID, a.award); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -403,7 +413,7 @@ func (c *Concentrator) distributeAwards(m message.Award) error {
 }
 
 // forwardSessionEnd relays the termination downward and closes the shard.
-func (c *Concentrator) forwardSessionEnd(m message.SessionEnd) error {
+func (c *Concentrator) forwardSessionEnd(tc trace.Context, m message.SessionEnd) error {
 	c.mu.Lock()
 	if c.ended {
 		c.mu.Unlock()
@@ -414,7 +424,7 @@ func (c *Concentrator) forwardSessionEnd(m message.SessionEnd) error {
 	c.mu.Unlock()
 	var firstErr error
 	for _, n := range c.members {
-		if err := down.Send(n, c.cfg.SessionID, m); err != nil && firstErr == nil {
+		if err := down.SendCtx(tc, n, c.cfg.SessionID, m); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"loadbalance/internal/core"
 	"loadbalance/internal/customeragent"
 	"loadbalance/internal/message"
+	"loadbalance/internal/trace"
 	"loadbalance/internal/utilityagent"
 )
 
@@ -129,6 +130,8 @@ type DistributedConfig struct {
 	Shards int
 	// ShardRoundTimeout mirrors Config.ShardRoundTimeout.
 	ShardRoundTimeout time.Duration
+	// TraceParent mirrors Config.TraceParent.
+	TraceParent trace.Context
 }
 
 // DistributedResult extends Result with the transport's view of the run.
@@ -263,6 +266,7 @@ func RunDistributed(cfg DistributedConfig) (*DistributedResult, error) {
 		InitialSlope: s.InitialSlope,
 		RoundTimeout: s.RoundTimeout,
 		WarrantRatio: s.Params.AllowedOveruseRatio,
+		TraceParent:  cfg.TraceParent,
 	})
 	if err != nil {
 		return nil, err

@@ -28,6 +28,7 @@ import (
 	"loadbalance/internal/core"
 	"loadbalance/internal/customeragent"
 	"loadbalance/internal/store"
+	"loadbalance/internal/trace"
 	"loadbalance/internal/utilityagent"
 )
 
@@ -54,6 +55,9 @@ type Config struct {
 	// it is copied into the session record so a resume can refuse an
 	// outcome computed under different parameters.
 	JournalConfig string
+	// TraceParent links the session's root span under an enclosing trace
+	// (a live tick's renegotiation decision); invalid starts a new trace.
+	TraceParent trace.Context
 }
 
 // Result is the outcome of one hierarchical negotiation run.
@@ -199,6 +203,7 @@ func Run(cfg Config) (*Result, error) {
 		InitialSlope: s.InitialSlope,
 		RoundTimeout: s.RoundTimeout,
 		WarrantRatio: s.Params.AllowedOveruseRatio,
+		TraceParent:  cfg.TraceParent,
 	})
 	if err != nil {
 		return nil, err

@@ -19,20 +19,38 @@ import (
 //	uvarint(len(Session)) Session bytes
 //	uvarint(len(Kind))    Kind bytes
 //	uvarint(len(Body))    Body bytes (the payload's JSON document, verbatim)
+//	[uvarint(16) TraceID.be64 SpanID.be64]   optional trace context
 //
 // The Body stays JSON: payload schemas evolve faster than routing metadata,
 // and the frame-level decoder never needs to look inside it.
+//
+// The trailing trace field was added after v2 shipped, so it is optional in
+// both directions: an envelope without a trace context encodes exactly as
+// before (five fields, byte-identical), and the decoder accepts both the
+// five-field and six-field layouts. Peers running the original five-field
+// decoder reject a traced envelope as malformed and drop that frame — the
+// frame counter records it and the negotiation's quorum/timeout rules
+// absorb the loss, the same degradation as any dropped announcement —
+// while every untraced envelope interoperates unchanged.
 
 // ErrTruncated reports a binary envelope that ends mid-field.
 var ErrTruncated = errors.New("message: truncated binary envelope")
 
+// traceFieldLen is the payload size of the optional trace field: two
+// big-endian 64-bit ids.
+const traceFieldLen = 16
+
 // BinarySize returns the exact encoded size of the envelope in bytes.
 func (e Envelope) BinarySize() int {
-	return varintStringSize(len(e.From)) +
+	n := varintStringSize(len(e.From)) +
 		varintStringSize(len(e.To)) +
 		varintStringSize(len(e.Session)) +
 		varintStringSize(len(string(e.Kind))) +
 		varintStringSize(len(e.Body))
+	if e.Traced() {
+		n += varintStringSize(traceFieldLen)
+	}
+	return n
 }
 
 // varintStringSize is the encoded size of one length-prefixed byte string.
@@ -48,7 +66,13 @@ func (e Envelope) AppendBinary(dst []byte) []byte {
 	dst = appendVarintString(dst, e.To)
 	dst = appendVarintString(dst, e.Session)
 	dst = appendVarintString(dst, string(e.Kind))
-	return appendVarintString(dst, string(e.Body))
+	dst = appendVarintString(dst, string(e.Body))
+	if e.Traced() {
+		dst = append(dst, traceFieldLen) // uvarint(16) is one byte
+		dst = binary.BigEndian.AppendUint64(dst, e.TraceID)
+		dst = binary.BigEndian.AppendUint64(dst, e.SpanID)
+	}
+	return dst
 }
 
 // MarshalBinary renders the envelope in the v2 binary layout.
@@ -91,6 +115,18 @@ func UnmarshalBinary(data []byte) (Envelope, error) {
 	}
 	if len(body) > 0 {
 		e.Body = []byte(body)
+	}
+	if len(data) > 0 {
+		// Optional sixth field: the trace context.
+		var tc string
+		if tc, data, err = readVarintString(data); err != nil {
+			return Envelope{}, fmt.Errorf("%w: trace", err)
+		}
+		if len(tc) != traceFieldLen {
+			return Envelope{}, fmt.Errorf("message: trace field is %d bytes, want %d", len(tc), traceFieldLen)
+		}
+		e.TraceID = binary.BigEndian.Uint64([]byte(tc[:8]))
+		e.SpanID = binary.BigEndian.Uint64([]byte(tc[8:]))
 	}
 	if len(data) != 0 {
 		return Envelope{}, fmt.Errorf("message: %d trailing bytes after binary envelope", len(data))

@@ -512,7 +512,17 @@ type Envelope struct {
 	Session string          `json:"session"`
 	Kind    Kind            `json:"kind"`
 	Body    json.RawMessage `json:"body"`
+
+	// TraceID/SpanID carry the distributed-tracing context across process
+	// boundaries (internal/trace). Zero means untraced; the fields are
+	// omitted from both codecs so untraced envelopes stay byte-identical
+	// to the pre-tracing wire format and v1 JSON peers never see them.
+	TraceID uint64 `json:"traceId,omitempty"`
+	SpanID  uint64 `json:"spanId,omitempty"`
 }
+
+// Traced reports whether the envelope carries a trace context.
+func (e Envelope) Traced() bool { return e.TraceID != 0 }
 
 // NewEnvelope validates the payload and wraps it.
 func NewEnvelope(from, to, session string, p Payload) (Envelope, error) {

@@ -3,6 +3,7 @@ package protocol
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"loadbalance/internal/message"
 	"loadbalance/internal/units"
@@ -58,6 +59,10 @@ type RoundRecord struct {
 	MaxDelta     float64 // largest reward increase when advancing the table
 	BetaUsed     float64 // effective beta for the table update (adaptive runs)
 	Outcome      Outcome
+	// Elapsed is the wall-clock time from the round's announcement to its
+	// close — the per-round latency fed to the observability histograms.
+	// Zero when the round closed without ever being announced.
+	Elapsed time.Duration
 }
 
 // RTSession is the Utility Agent's state machine for one negotiation using
@@ -77,6 +82,8 @@ type RTSession struct {
 	outcome   Outcome
 	closed    bool
 	betaScale float64 // adaptive-beta multiplier (Section 7 extension)
+
+	announcedAt time.Time // when the current round's table went out
 }
 
 // NewRTSession starts a reward-table negotiation. initial is the round-1
@@ -136,11 +143,13 @@ func (s *RTSession) History() []RoundRecord {
 	return append([]RoundRecord(nil), s.history...)
 }
 
-// Announce returns the wire form of the current round's table.
+// Announce returns the wire form of the current round's table and starts
+// the round's latency clock.
 func (s *RTSession) Announce() (message.RewardTable, error) {
 	if s.closed {
 		return message.RewardTable{}, ErrSessionClosed
 	}
+	s.announcedAt = time.Now()
 	return s.table.Message(s.window, s.round), nil
 }
 
@@ -205,6 +214,10 @@ func (s *RTSession) CloseRound() (RoundRecord, error) {
 		Table:     s.table.Clone(),
 		Bids:      s.bids,
 		Responses: len(s.bids),
+	}
+	if !s.announcedAt.IsZero() {
+		rec.Elapsed = time.Since(s.announcedAt)
+		s.announcedAt = time.Time{}
 	}
 	s.bids = make(map[string]float64)
 

@@ -42,6 +42,11 @@ func WriteReceiverMetrics(w io.Writer, st ReceiverStatus) {
 	fmt.Fprintf(w, "# TYPE replica_resyncs_total counter\nreplica_resyncs_total %d\n", st.Resyncs)
 	fmt.Fprintf(w, "# TYPE replica_dials_total counter\nreplica_dials_total %d\n", st.Dials)
 	fmt.Fprintf(w, "# TYPE replica_last_contact_age_seconds gauge\nreplica_last_contact_age_seconds %g\n", time.Since(st.LastContact).Seconds())
+	appliedAge := -1.0
+	if !st.LastApplied.IsZero() {
+		appliedAge = time.Since(st.LastApplied).Seconds()
+	}
+	fmt.Fprintf(w, "# TYPE replica_last_applied_age_seconds gauge\nreplica_last_applied_age_seconds %g\n", appliedAge)
 }
 
 // boolGauge renders a boolean as 0/1.

@@ -8,7 +8,12 @@ import (
 
 	"loadbalance/internal/bus"
 	"loadbalance/internal/message"
+	"loadbalance/internal/trace"
 )
+
+// applyHist measures one replicated batch's persist-and-replay latency on
+// the standby (the replica_apply_seconds series on /metrics).
+var applyHist = trace.GetHistogram("replica_apply_seconds")
 
 // Tap is the receiver's application surface: where replicated snapshots and
 // frames land. telemetry.StandbyEngine satisfies it (a hot standby holding
@@ -111,6 +116,7 @@ type ReceiverStatus struct {
 	Connected   bool      `json:"connected"`
 	Addr        string    `json:"addr"` // current (or last) primary address
 	AppliedSeq  uint64    `json:"appliedSeq"`
+	LastApplied time.Time `json:"lastApplied"` // wall time of the newest applied batch or snapshot
 	LastContact time.Time `json:"lastContact"`
 	Batches     uint64    `json:"batches"`
 	Records     uint64    `json:"records"`
@@ -372,6 +378,7 @@ func (r *Receiver) follow(cli *bus.Client) (sealed bool) {
 				r.mu.Lock()
 				r.status.Snapshots++
 				r.status.AppliedSeq = m.Seq
+				r.status.LastApplied = time.Now()
 				r.mu.Unlock()
 				r.ack(cli, m.Seq)
 			case message.ReplBatch:
@@ -382,7 +389,12 @@ func (r *Receiver) follow(cli *bus.Client) (sealed bool) {
 					r.resync(cli)
 					continue
 				}
+				t0 := time.Now()
+				sp := trace.Root("replication.apply")
+				sp.SetAgent(r.cfg.ID)
 				n, gotSeal, err := r.tap.ApplyFrames(m.FirstSeq, m.Frames)
+				sp.End()
+				applyHist.Observe(time.Since(t0))
 				if err != nil {
 					// The journal may now hold records the replica state
 					// could not replay (configuration mismatch, corrupt
@@ -395,6 +407,7 @@ func (r *Receiver) follow(cli *bus.Client) (sealed bool) {
 				r.status.Batches++
 				r.status.Records += uint64(n)
 				r.status.AppliedSeq = applied
+				r.status.LastApplied = time.Now()
 				r.mu.Unlock()
 				r.ack(cli, applied)
 				if gotSeal {

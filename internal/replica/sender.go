@@ -23,7 +23,12 @@ import (
 	"loadbalance/internal/bus"
 	"loadbalance/internal/message"
 	"loadbalance/internal/store"
+	"loadbalance/internal/trace"
 )
+
+// shipHist measures one batch's read-and-ship latency on the primary (the
+// replica_ship_seconds series on /metrics).
+var shipHist = trace.GetHistogram("replica_ship_seconds")
 
 // Errors reported by the package.
 var (
@@ -315,6 +320,7 @@ func (s *Sender) stream(conn string, sb *sub, fromSeq uint64) {
 				if inFlight >= uint64(s.cfg.WindowRecords) {
 					break
 				}
+				t0 := time.Now()
 				batch, err := tl.Next(s.cfg.BatchBytes)
 				if err != nil {
 					// The standby lagged past a prune (ErrGap) or the journal
@@ -328,6 +334,7 @@ func (s *Sender) stream(conn string, sb *sub, fromSeq uint64) {
 				if err := s.send(conn, message.ReplBatch{FirstSeq: batch.FirstSeq, Count: batch.Count, Frames: batch.Frames}); err != nil {
 					return
 				}
+				shipHist.Observe(time.Since(t0))
 				sb.mu.Lock()
 				sb.shippedSeq = batch.LastSeq()
 				sb.mu.Unlock()

@@ -31,6 +31,11 @@ func WriteMetrics(w io.Writer, st Stats) {
 		age = time.Since(st.SnapshotTime).Seconds()
 	}
 	fmt.Fprintf(w, "# TYPE store_snapshot_age_seconds gauge\nstore_snapshot_age_seconds %g\n", age)
+	appendAge := -1.0
+	if !st.LastAppend.IsZero() {
+		appendAge = time.Since(st.LastAppend).Seconds()
+	}
+	fmt.Fprintf(w, "# TYPE store_last_append_age_seconds gauge\nstore_last_append_age_seconds %g\n", appendAge)
 	fmt.Fprintf(w, "# TYPE store_replayed_records gauge\nstore_replayed_records %d\n", st.Replayed)
 	fmt.Fprintf(w, "# TYPE store_recovered gauge\nstore_recovered %d\n", boolGauge(st.Recovered))
 	fmt.Fprintf(w, "# TYPE store_clean_start gauge\nstore_clean_start %d\n", boolGauge(st.CleanStart))

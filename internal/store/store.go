@@ -26,7 +26,17 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"loadbalance/internal/trace"
 )
+
+// appendHist samples the journal append latency (1 in 64 appends, so the
+// hot path pays two clock reads only on sampled iterations) into the
+// store_append_seconds histogram on /metrics.
+var appendHist = trace.GetHistogram("store_append_seconds")
+
+// appendSampleMask selects which appends are timed: Appends&mask == 0.
+const appendSampleMask = 63
 
 // Errors reported by the package.
 var (
@@ -80,10 +90,11 @@ type Stats struct {
 	LastSeq      uint64 // sequence number of the newest record
 	SnapshotSeq  uint64 // journal position of the newest snapshot
 	SnapshotTime time.Time
-	Replayed     int  // records replayed during Open
-	Recovered    bool // Open found prior state
-	CleanStart   bool // prior state ended with a seal record
-	TornBytes    int  // bytes cut from the crash-torn tail during Open
+	LastAppend   time.Time // wall time of the newest committed append (zero until the first commit)
+	Replayed     int       // records replayed during Open
+	Recovered    bool      // Open found prior state
+	CleanStart   bool      // prior state ended with a seal record
+	TornBytes    int       // bytes cut from the crash-torn tail during Open
 }
 
 // Store is one data directory: the live journal plus its snapshots.
@@ -95,6 +106,7 @@ type Store struct {
 
 	tickBuf          []byte // reused body scratch for AppendTick
 	appendsSinceSync int
+	appendPending    bool // appends buffered since the last commit point
 	stats            Stats
 	sealed           bool
 	closed           bool
@@ -205,10 +217,19 @@ func (s *Store) appendLocked(r Record) error {
 	if s.sealed {
 		return ErrSealed
 	}
+	var t0 time.Time
+	sampled := s.stats.Appends&appendSampleMask == 0
+	if sampled {
+		t0 = time.Now()
+	}
 	n, err := s.jw.append(r)
 	if err != nil {
 		return err
 	}
+	if sampled {
+		appendHist.Observe(time.Since(t0))
+	}
+	s.appendPending = true
 	s.stats.Appends++
 	s.stats.BytesWritten += uint64(n)
 	s.stats.LastSeq++
@@ -334,6 +355,10 @@ func (s *Store) commitLocked() error {
 		return err
 	}
 	s.stats.Commits++
+	if s.appendPending {
+		s.stats.LastAppend = time.Now()
+		s.appendPending = false
+	}
 	return nil
 }
 
@@ -355,6 +380,10 @@ func (s *Store) syncLocked() error {
 	s.stats.Commits++
 	s.stats.Fsyncs++
 	s.appendsSinceSync = 0
+	if s.appendPending {
+		s.stats.LastAppend = time.Now()
+		s.appendPending = false
+	}
 	return nil
 }
 

@@ -14,8 +14,16 @@ import (
 	"loadbalance/internal/prediction"
 	"loadbalance/internal/protocol"
 	"loadbalance/internal/store"
+	"loadbalance/internal/trace"
 	"loadbalance/internal/units"
 	"loadbalance/internal/utilityagent"
+)
+
+// Live-loop latency histograms, rendered on gridd's /metrics.
+var (
+	tickHist    = trace.GetHistogram("grid_tick_seconds")
+	renegHist   = trace.GetHistogram("grid_renegotiation_seconds")
+	journalHist = trace.GetHistogram("grid_tick_journal_seconds")
 )
 
 // Names on the live engine's telemetry bus.
@@ -369,14 +377,27 @@ func (e *LiveEngine) Tick() (TickReport, error) {
 	t := e.tick
 	e.tick++
 
+	tickStart := time.Now()
+	tickSpan := trace.Root("tick")
+	tickSpan.SetSession(e.cfg.Scenario.SessionID)
+	defer func() {
+		tickSpan.End()
+		tickHist.Observe(time.Since(tickStart))
+	}()
+
+	collectSpan := trace.Child(tickSpan.Context(), "tick.collect")
+	collectSpan.SetSession(e.cfg.Scenario.SessionID)
 	n, err := e.fleet.PublishTick(e.bus, meteringName, collectorName, e.cfg.Scenario.SessionID, t)
 	if err != nil {
+		collectSpan.End()
 		return TickReport{}, err
 	}
 	if err := e.collector.WaitTick(t, n, ingestDeadline); err != nil {
+		collectSpan.End()
 		return TickReport{}, err
 	}
 	measured := e.collector.CloseTick(t)
+	collectSpan.End()
 
 	rep := TickReport{
 		Tick:          t,
@@ -394,14 +415,20 @@ func (e *LiveEngine) Tick() (TickReport, error) {
 	}
 	if len(fired) > 0 {
 		rep.Breached = fired
-		ev, err := e.renegotiate(t, fired)
+		ev, err := e.renegotiate(tickSpan.Context(), t, fired)
 		if err != nil {
 			return rep, err
 		}
 		rep.Renegotiated = ev
 	}
 	if e.st != nil {
-		if err := e.journalTick(t, measured, int64(n), rep.Renegotiated); err != nil {
+		jStart := time.Now()
+		jSpan := trace.Child(tickSpan.Context(), "tick.journal")
+		jSpan.SetSession(e.cfg.Scenario.SessionID)
+		err := e.journalTick(t, measured, int64(n), rep.Renegotiated)
+		jSpan.End()
+		journalHist.Observe(time.Since(jStart))
+		if err != nil {
 			return rep, err
 		}
 	}
@@ -426,7 +453,7 @@ func (e *LiveEngine) Run(ticks int) ([]TickReport, error) {
 // a sub-scenario over only their members is negotiated through the cluster
 // tier against the fleet's residual capacity, and the resulting awards
 // replace theirs — every other shard's award is untouched.
-func (e *LiveEngine) renegotiate(tick int, shards []int) (*RenegotiateEvent, error) {
+func (e *LiveEngine) renegotiate(parent trace.Context, tick int, shards []int) (*RenegotiateEvent, error) {
 	sort.Ints(shards)
 
 	// Estimate each breaching shard's demand factor: forecast of the
@@ -492,7 +519,19 @@ func (e *LiveEngine) renegotiate(tick int, shards []int) (*RenegotiateEvent, err
 	if err != nil {
 		return nil, err
 	}
-	res, err := cluster.Run(cluster.Config{Scenario: sub, Shards: len(shards)})
+	// The reneg decision span parents the partial session's whole span
+	// tree, so a /trace query for the tick shows why — and how long — the
+	// shards re-negotiated.
+	renegStart := time.Now()
+	renegSpan := trace.Child(parent, "tick.renegotiate")
+	renegSpan.SetSession(sessionID)
+	res, err := cluster.Run(cluster.Config{
+		Scenario:    sub,
+		Shards:      len(shards),
+		TraceParent: renegSpan.Context(),
+	})
+	renegSpan.End()
+	renegHist.Observe(time.Since(renegStart))
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: renegotiate %s: %w", sessionID, err)
 	}

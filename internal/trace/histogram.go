@@ -1,0 +1,274 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Log-linear bucket scheme: each power-of-two range of nanoseconds is
+// split into 4 linear sub-buckets (the top two mantissa bits), giving a
+// worst-case relative error of 12.5% per bucket. The tracked range is
+// [2^minShift, 2^(maxShift+1)) ns — 1.024 µs to ~137 s — with one
+// underflow bucket below and one overflow (+Inf) bucket above.
+const (
+	minShift   = 10 // 2^10 ns ≈ 1 µs
+	maxShift   = 36 // 2^36 ns ≈ 69 s
+	subBuckets = 4
+	nBuckets   = (maxShift-minShift+1)*subBuckets + 2 // + underflow + overflow
+)
+
+// bucketIndex maps a duration in nanoseconds to its bucket.
+func bucketIndex(ns uint64) int {
+	if ns < 1<<minShift {
+		return 0
+	}
+	m := uint(bits.Len64(ns)) - 1 // 2^m <= ns < 2^(m+1)
+	if m > maxShift {
+		return nBuckets - 1
+	}
+	minor := int(ns>>(m-2)) & (subBuckets - 1)
+	return 1 + int(m-minShift)*subBuckets + minor
+}
+
+// bucketUpperNs returns the exclusive upper bound of bucket i in ns, or 0
+// for the overflow bucket (rendered as +Inf).
+func bucketUpperNs(i int) uint64 {
+	if i == 0 {
+		return 1 << minShift
+	}
+	if i == nBuckets-1 {
+		return 0
+	}
+	i--
+	m := uint(i/subBuckets) + minShift
+	minor := uint64(i % subBuckets)
+	return 1<<m + (minor+1)<<(m-2)
+}
+
+// Histogram is a fixed-bucket log-linear latency histogram. Observe is
+// lock-free: one bucket increment plus two running-total adds.
+type Histogram struct {
+	family string // metric family, e.g. "grid_tick_seconds"
+	labels string // rendered label pairs without braces, e.g. `exp="e14"`
+
+	counts [nBuckets]atomic.Uint64
+	sumNs  atomic.Uint64
+	count  atomic.Uint64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil || d < 0 {
+		return
+	}
+	ns := uint64(d)
+	h.counts[bucketIndex(ns)].Add(1)
+	h.sumNs.Add(ns)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// snapshot copies the bucket counts coherently enough for rendering
+// (individual loads are atomic; cross-bucket skew of in-flight Observes
+// is acceptable for monitoring output).
+func (h *Histogram) snapshot() (counts [nBuckets]uint64, sumNs, n uint64) {
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts, h.sumNs.Load(), h.count.Load()
+}
+
+// Quantile returns the q-quantile (0 < q < 1) in seconds, interpolated
+// linearly within the winning bucket. Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts, _, n := h.snapshot()
+	if n == 0 {
+		return 0
+	}
+	rank := q * float64(n)
+	var cum uint64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		ub := bucketUpperNs(i)
+		if ub == 0 { // overflow bucket: report its lower bound
+			return float64(uint64(2)<<maxShift) / 1e9
+		}
+		var lb uint64
+		if i > 0 {
+			lb = bucketUpperNs(i - 1)
+		}
+		frac := (rank - float64(prev)) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return (float64(lb) + frac*float64(ub-lb)) / 1e9
+	}
+	return float64(uint64(2)<<maxShift) / 1e9
+}
+
+// writeTo renders one histogram instance in Prometheus exposition format.
+// Only buckets with occupancy are printed (cumulative values stay
+// correct); +Inf always is.
+func (h *Histogram) writeTo(w io.Writer) {
+	counts, sumNs, n := h.snapshot()
+	lbl := func(extra string) string {
+		switch {
+		case h.labels == "" && extra == "":
+			return ""
+		case h.labels == "":
+			return "{" + extra + "}"
+		case extra == "":
+			return "{" + h.labels + "}"
+		default:
+			return "{" + h.labels + "," + extra + "}"
+		}
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if c == 0 {
+			continue
+		}
+		ub := bucketUpperNs(i)
+		if ub == 0 {
+			continue // overflow counts land in the +Inf line below
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", h.family, lbl(fmt.Sprintf("le=%q", formatSeconds(ub))), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", h.family, lbl(`le="+Inf"`), n)
+	fmt.Fprintf(w, "%s_sum%s %g\n", h.family, lbl(""), float64(sumNs)/1e9)
+	fmt.Fprintf(w, "%s_count%s %d\n", h.family, lbl(""), n)
+}
+
+// formatSeconds renders a nanosecond bound as seconds with enough
+// precision to round-trip the bucket boundary.
+func formatSeconds(ns uint64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.9f", float64(ns)/1e9), "0"), ".")
+}
+
+// Registry holds named histograms and renders them all on /metrics.
+type Registry struct {
+	mu    sync.Mutex
+	hs    map[string]*Histogram // keyed family + "\xff" + labels
+	order []string
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry { return &Registry{hs: make(map[string]*Histogram)} }
+
+// Histogram returns the histogram for family (creating it on first use).
+func (r *Registry) Histogram(family string) *Histogram {
+	return r.HistogramL(family, "", "")
+}
+
+// HistogramL returns the histogram for family with one label pair
+// (creating it on first use). Family names follow Prometheus duration
+// conventions and should end in "_seconds".
+func (r *Registry) HistogramL(family, labelKey, labelVal string) *Histogram {
+	labels := ""
+	if labelKey != "" {
+		labels = fmt.Sprintf("%s=%q", labelKey, labelVal)
+	}
+	key := family + "\xff" + labels
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hs[key]; ok {
+		return h
+	}
+	h := &Histogram{family: family, labels: labels}
+	r.hs[key] = h
+	r.order = append(r.order, key)
+	return h
+}
+
+// WriteMetrics renders every histogram in Prometheus exposition format:
+// a histogram family (cumulative _bucket/_sum/_count series) followed by
+// p50/p95/p99 gauges per instance. Families are sorted for stable output.
+func (r *Registry) WriteMetrics(w io.Writer) {
+	r.mu.Lock()
+	keys := append([]string(nil), r.order...)
+	hs := make([]*Histogram, len(keys))
+	for i, k := range keys {
+		hs[i] = r.hs[k]
+	}
+	r.mu.Unlock()
+
+	sort.Sort(byKey{keys, hs})
+	lastFamily := ""
+	for _, h := range hs {
+		if h.family != lastFamily {
+			fmt.Fprintf(w, "# TYPE %s histogram\n", h.family)
+			lastFamily = h.family
+		}
+		h.writeTo(w)
+	}
+	for _, q := range []struct {
+		suffix string
+		q      float64
+	}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}} {
+		lastFamily = ""
+		for _, h := range hs {
+			if h.Count() == 0 {
+				continue
+			}
+			name := h.family + "_" + q.suffix
+			if h.family != lastFamily {
+				fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+				lastFamily = h.family
+			}
+			lbl := ""
+			if h.labels != "" {
+				lbl = "{" + h.labels + "}"
+			}
+			fmt.Fprintf(w, "%s%s %g\n", name, lbl, h.Quantile(q.q))
+		}
+	}
+}
+
+type byKey struct {
+	keys []string
+	hs   []*Histogram
+}
+
+func (b byKey) Len() int           { return len(b.keys) }
+func (b byKey) Less(i, j int) bool { return b.keys[i] < b.keys[j] }
+func (b byKey) Swap(i, j int) {
+	b.keys[i], b.keys[j] = b.keys[j], b.keys[i]
+	b.hs[i], b.hs[j] = b.hs[j], b.hs[i]
+}
+
+// defaultRegistry backs the package-level helpers; gridd and the
+// experiment runner share it so one /metrics endpoint sees everything.
+var defaultRegistry = NewRegistry()
+
+// DefaultRegistry returns the process-wide histogram registry.
+func DefaultRegistry() *Registry { return defaultRegistry }
+
+// GetHistogram returns a histogram from the default registry.
+func GetHistogram(family string) *Histogram { return defaultRegistry.Histogram(family) }
+
+// GetHistogramL returns a labeled histogram from the default registry.
+func GetHistogramL(family, labelKey, labelVal string) *Histogram {
+	return defaultRegistry.HistogramL(family, labelKey, labelVal)
+}
+
+// WriteMetrics renders the default registry.
+func WriteMetrics(w io.Writer) { defaultRegistry.WriteMetrics(w) }

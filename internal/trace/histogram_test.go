@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexMonotoneAndBounded(t *testing.T) {
+	prev := -1
+	for shift := 0; shift < 40; shift++ {
+		for _, off := range []uint64{0, 1} {
+			ns := uint64(1)<<shift + off
+			i := bucketIndex(ns)
+			if i < 0 || i >= nBuckets {
+				t.Fatalf("bucketIndex(%d) = %d out of range", ns, i)
+			}
+			if i < prev {
+				t.Fatalf("bucketIndex not monotone at %d: %d < %d", ns, i, prev)
+			}
+			prev = i
+		}
+	}
+	if bucketIndex(0) != 0 {
+		t.Fatal("0 should land in the underflow bucket")
+	}
+	if bucketIndex(math.MaxUint64) != nBuckets-1 {
+		t.Fatal("huge value should land in the overflow bucket")
+	}
+}
+
+func TestBucketBoundsContainValues(t *testing.T) {
+	// Every value must fall strictly below its bucket's upper bound and at
+	// or above the previous bucket's upper bound.
+	for _, ns := range []uint64{1500, 4096, 5000, 1 << 20, 3 << 20, 1e9, 30e9} {
+		i := bucketIndex(ns)
+		ub := bucketUpperNs(i)
+		if ub != 0 && ns >= ub {
+			t.Fatalf("ns %d >= upper bound %d of bucket %d", ns, ub, i)
+		}
+		if i > 0 {
+			if lb := bucketUpperNs(i - 1); ns < lb {
+				t.Fatalf("ns %d < lower bound %d of bucket %d", ns, lb, i)
+			}
+		}
+	}
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	h := &Histogram{family: "x_seconds"}
+	// 1000 observations uniform in [1ms, 2ms): p50 should sit near 1.5ms
+	// within the 12.5% bucket resolution.
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Millisecond + time.Duration(i)*time.Microsecond)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 0.0012 || p50 > 0.0018 {
+		t.Fatalf("p50 = %g s, want ~0.0015", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < p50 {
+		t.Fatalf("p99 %g < p50 %g", p99, p50)
+	}
+	if h.Quantile(0.99) > 0.0025 {
+		t.Fatalf("p99 = %g s, too high", p99)
+	}
+}
+
+func TestEmptyHistogramQuantileZero(t *testing.T) {
+	h := &Histogram{family: "x_seconds"}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %g", q)
+	}
+}
+
+func TestRegistryExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("grid_tick_seconds")
+	h.Observe(5 * time.Millisecond)
+	h.Observe(7 * time.Millisecond)
+	le := r.HistogramL("experiment_duration_seconds", "exp", "e14")
+	le.Observe(time.Second)
+
+	var b strings.Builder
+	r.WriteMetrics(&b)
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE grid_tick_seconds histogram\n",
+		"# TYPE experiment_duration_seconds histogram\n",
+		"grid_tick_seconds_count 2\n",
+		`grid_tick_seconds_bucket{le="+Inf"} 2`,
+		`experiment_duration_seconds_bucket{exp="e14",le="+Inf"} 1`,
+		`experiment_duration_seconds_count{exp="e14"} 1`,
+		"# TYPE grid_tick_seconds_p50 gauge\n",
+		"# TYPE grid_tick_seconds_p99 gauge\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// _sum must be in seconds: 12ms total.
+	if !strings.Contains(out, "grid_tick_seconds_sum 0.012") {
+		t.Fatalf("sum not in seconds:\n%s", out)
+	}
+}
+
+func TestRegistryReturnsSameInstance(t *testing.T) {
+	r := NewRegistry()
+	a := r.HistogramL("f_seconds", "exp", "e1")
+	b := r.HistogramL("f_seconds", "exp", "e1")
+	c := r.HistogramL("f_seconds", "exp", "e2")
+	if a != b {
+		t.Fatal("same family+label returned distinct histograms")
+	}
+	if a == c {
+		t.Fatal("different labels shared a histogram")
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := &Histogram{family: "bench_seconds"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i) * time.Nanosecond)
+	}
+}
+
+func BenchmarkSpanStartEnd(b *testing.B) {
+	Enable("bench", 1024)
+	defer Disable()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := Root("bench")
+		sp.End()
+	}
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	Disable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := Root("bench")
+		sp.End()
+	}
+}

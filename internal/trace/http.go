@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// Dump is the JSON document served by /trace and written by gridd's
+// -trace-dump flag: one process's span ring plus enough metadata to know
+// whether the ring wrapped.
+type Dump struct {
+	Proc    string   `json:"proc"`
+	Enabled bool     `json:"enabled"`
+	Total   uint64   `json:"total"`
+	Dropped uint64   `json:"dropped"`
+	Spans   []Record `json:"spans"`
+}
+
+// Snapshot captures the active tracer's ring under the given filter.
+func Snapshot(f Filter) Dump {
+	t := Active()
+	if t == nil {
+		return Dump{Enabled: false, Spans: []Record{}}
+	}
+	total, dropped := t.Stats()
+	return Dump{
+		Proc:    t.Proc(),
+		Enabled: true,
+		Total:   total,
+		Dropped: dropped,
+		Spans:   t.Records(f),
+	}
+}
+
+// WriteDump writes the active tracer's ring as JSON (the -trace-dump
+// format, identical to the /trace response body).
+func WriteDump(w io.Writer, f Filter) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(Snapshot(f))
+}
+
+// Handler serves the active tracer's ring as JSON. Query parameters:
+//
+//	session=ID   only spans of one negotiation session
+//	shard=NAME   only spans labeled with the shard (or whose agent name
+//	             contains it)
+//	trace=HEX    only spans of one trace
+//	limit=N      newest N matching spans
+//
+// When tracing is disabled the response is {"enabled":false,...} with
+// status 200, so scrapers need no special-casing.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		f := Filter{
+			Session: q.Get("session"),
+			Shard:   q.Get("shard"),
+			Trace:   q.Get("trace"),
+		}
+		if s := q.Get("limit"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n > 0 {
+				f.Limit = n
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteDump(w, f)
+	})
+}

@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestDisabledTracingIsNoOp(t *testing.T) {
+	Disable()
+	sp := Root("x")
+	if sp.Context().Valid() {
+		t.Fatalf("disabled Root returned valid context %+v", sp.Context())
+	}
+	sp.SetSession("s")
+	sp.End() // must not panic
+	ch := Child(Context{Trace: 5, Span: 6}, "y")
+	if ch.Context().Valid() {
+		t.Fatalf("disabled Child returned valid context")
+	}
+}
+
+func TestSpanParentChildStitching(t *testing.T) {
+	tr := NewTracer("p1", 64)
+	root := tr.Root("session.open")
+	root.SetSession("s-1")
+	child := tr.Child(root.Context(), "round.announce")
+	child.SetSession("s-1")
+	grand := tr.Child(child.Context(), "handle.reward_table")
+	grand.End()
+	child.End()
+	root.End()
+
+	recs := tr.Records(Filter{})
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	// All three share one trace id.
+	for _, r := range recs {
+		if r.Trace != recs[0].Trace {
+			t.Fatalf("trace ids differ: %q vs %q", r.Trace, recs[0].Trace)
+		}
+	}
+	// Parent links chain root <- child <- grand.
+	var rootRec, childRec, grandRec Record
+	for _, r := range recs {
+		switch r.Name {
+		case "session.open":
+			rootRec = r
+		case "round.announce":
+			childRec = r
+		case "handle.reward_table":
+			grandRec = r
+		}
+	}
+	if rootRec.Parent != "" {
+		t.Fatalf("root has parent %q", rootRec.Parent)
+	}
+	if childRec.Parent != rootRec.Span {
+		t.Fatalf("child parent %q != root span %q", childRec.Parent, rootRec.Span)
+	}
+	if grandRec.Parent != childRec.Span {
+		t.Fatalf("grand parent %q != child span %q", grandRec.Parent, childRec.Span)
+	}
+	if rootRec.Proc != "p1" {
+		t.Fatalf("proc = %q", rootRec.Proc)
+	}
+}
+
+func TestChildOfInvalidContextStartsNewTrace(t *testing.T) {
+	tr := NewTracer("p", 16)
+	sp := tr.Child(Context{}, "orphan")
+	if !sp.Context().Valid() {
+		t.Fatal("child of invalid context should start a new trace")
+	}
+	sp.End()
+	recs := tr.Records(Filter{})
+	if len(recs) != 1 || recs[0].Parent != "" {
+		t.Fatalf("unexpected records %+v", recs)
+	}
+}
+
+func TestRingWrapKeepsNewestAndCountsDropped(t *testing.T) {
+	tr := NewTracer("p", 16)
+	for i := 0; i < 40; i++ {
+		sp := tr.Root("n")
+		sp.End()
+	}
+	total, dropped := tr.Stats()
+	if total != 40 {
+		t.Fatalf("total = %d", total)
+	}
+	if dropped != 40-16 {
+		t.Fatalf("dropped = %d, want 24", dropped)
+	}
+	if got := len(tr.Records(Filter{})); got != 16 {
+		t.Fatalf("ring holds %d, want 16", got)
+	}
+}
+
+func TestFilterSessionShardLimit(t *testing.T) {
+	tr := NewTracer("p", 64)
+	for i := 0; i < 4; i++ {
+		sp := tr.Root("a")
+		sp.SetSession("s-A")
+		sp.SetShard("shard-0")
+		sp.End()
+	}
+	sp := tr.Root("b")
+	sp.SetSession("s-B")
+	sp.SetAgent("conc-shard-3-up")
+	sp.End()
+
+	if got := len(tr.Records(Filter{Session: "s-A"})); got != 4 {
+		t.Fatalf("session filter got %d, want 4", got)
+	}
+	if got := len(tr.Records(Filter{Shard: "shard-0"})); got != 4 {
+		t.Fatalf("shard filter got %d, want 4", got)
+	}
+	// Shard filter also matches agent names that embed the shard token.
+	if got := len(tr.Records(Filter{Shard: "shard-3"})); got != 1 {
+		t.Fatalf("agent-embedded shard filter got %d, want 1", got)
+	}
+	if got := len(tr.Records(Filter{Session: "s-A", Limit: 2})); got != 2 {
+		t.Fatalf("limit got %d, want 2", got)
+	}
+}
+
+func TestHexIDRoundTrip(t *testing.T) {
+	for _, v := range []uint64{1, 0xdeadbeef, ^uint64(0), 1 << 63} {
+		s := hexID(v)
+		if len(s) != 16 {
+			t.Fatalf("hexID(%d) = %q, want 16 digits", v, s)
+		}
+		got, ok := ParseID(s)
+		if !ok || got != v {
+			t.Fatalf("ParseID(hexID(%d)) = %d, %v", v, got, ok)
+		}
+	}
+	if _, ok := ParseID("xyz"); ok {
+		t.Fatal("ParseID accepted garbage")
+	}
+}
+
+func TestHTTPHandlerFiltersAndDisabledState(t *testing.T) {
+	Disable()
+	t.Cleanup(Disable)
+
+	rec := httptest.NewRecorder()
+	Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/trace", nil))
+	var off Dump
+	if err := json.Unmarshal(rec.Body.Bytes(), &off); err != nil {
+		t.Fatal(err)
+	}
+	if off.Enabled {
+		t.Fatal("disabled tracer reported enabled")
+	}
+
+	Enable("webproc", 32)
+	for i := 0; i < 3; i++ {
+		sp := Root("tick")
+		sp.SetSession("live")
+		sp.End()
+	}
+	other := Root("misc")
+	other.End()
+
+	rec = httptest.NewRecorder()
+	Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/trace?session=live&limit=2", nil))
+	var d Dump
+	if err := json.Unmarshal(rec.Body.Bytes(), &d); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Enabled || d.Proc != "webproc" {
+		t.Fatalf("dump header %+v", d)
+	}
+	if len(d.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(d.Spans))
+	}
+	for _, s := range d.Spans {
+		if s.Session != "live" {
+			t.Fatalf("filter leaked span %+v", s)
+		}
+	}
+}
+
+func TestSpanDurationRecorded(t *testing.T) {
+	tr := NewTracer("p", 16)
+	sp := tr.Root("sleep")
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	recs := tr.Records(Filter{})
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0].DurUs < 1000 {
+		t.Fatalf("duration %dus, want >= 1000", recs[0].DurUs)
+	}
+	if recs[0].StartUs == 0 {
+		t.Fatal("start timestamp missing")
+	}
+}
+
+func TestDoubleEndRecordsOnce(t *testing.T) {
+	tr := NewTracer("p", 16)
+	sp := tr.Root("once")
+	sp.End()
+	sp.End()
+	if got := len(tr.Records(Filter{})); got != 1 {
+		t.Fatalf("double End recorded %d spans", got)
+	}
+}

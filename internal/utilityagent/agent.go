@@ -10,7 +10,15 @@ import (
 	"loadbalance/internal/agent"
 	"loadbalance/internal/message"
 	"loadbalance/internal/protocol"
+	"loadbalance/internal/trace"
 	"loadbalance/internal/units"
+)
+
+// Latency histograms shared by every UA in the process; they surface on
+// /metrics as negotiation_round_seconds / negotiation_session_seconds.
+var (
+	roundHist   = trace.GetHistogram("negotiation_round_seconds")
+	sessionHist = trace.GetHistogram("negotiation_session_seconds")
 )
 
 // Config parameterises one Utility Agent negotiation.
@@ -46,6 +54,10 @@ type Config struct {
 	RoundTimeout time.Duration
 	// WarrantRatio is the overuse ratio below which no negotiation starts.
 	WarrantRatio float64
+
+	// TraceParent links this session's root span under an enclosing trace
+	// (a live tick's renegotiation); invalid starts a fresh trace.
+	TraceParent trace.Context
 }
 
 // Result is the UA's "evaluate negotiation process" output.
@@ -80,6 +92,9 @@ type Agent struct {
 	rfb     *protocol.RFBSession
 	method  Method
 	initial float64 // initial overuse kWh
+
+	sessionSpan  trace.Span // session root; ends when the result publishes
+	sessionStart time.Time
 
 	done chan Result
 }
@@ -122,6 +137,13 @@ func (a *Agent) Done() <-chan Result { return a.done }
 // evaluates the predicted balance and, when warranted, opens the session
 // with the chosen announcement method.
 func (a *Agent) OnStart(rt *agent.Runtime) error {
+	a.sessionStart = time.Now()
+	a.sessionSpan = trace.Child(a.cfg.TraceParent, "session.open")
+	a.sessionSpan.SetAgent(a.cfg.Name)
+	a.sessionSpan.SetSession(a.cfg.SessionID)
+	// Everything the UA sends proactively belongs to the session span.
+	rt.SetTraceCtx(a.sessionSpan.Context())
+
 	ratio, negotiate := EvaluatePrediction(a.cfg.Loads, a.cfg.NormalUse, a.cfg.WarrantRatio)
 	a.initial = protocol.PredictedOveruse(a.cfg.Loads, a.cfg.NormalUse)
 	if err := a.model.SetWorldValue("predicted_overuse_ratio", ratio); err != nil {
@@ -182,7 +204,12 @@ func (a *Agent) announceRT(rt *agent.Runtime) error {
 	if err != nil {
 		return err
 	}
-	if err := rt.Broadcast(a.cfg.SessionID, msg); err != nil {
+	sp := trace.Child(a.sessionSpan.Context(), "round.announce")
+	sp.SetAgent(a.cfg.Name)
+	sp.SetSession(a.cfg.SessionID)
+	err = rt.SendCtx(sp.Context(), "", a.cfg.SessionID, msg)
+	sp.End()
+	if err != nil {
 		return err
 	}
 	a.armTimeout(rt, a.rts.Round())
@@ -353,6 +380,9 @@ func (a *Agent) closeRTRound(rt *agent.Runtime) error {
 	if err != nil {
 		return err
 	}
+	if rec.Elapsed > 0 {
+		roundHist.Observe(rec.Elapsed)
+	}
 	if !rec.Outcome.Terminal() {
 		return a.announceRT(rt)
 	}
@@ -360,11 +390,16 @@ func (a *Agent) closeRTRound(rt *agent.Runtime) error {
 	if err != nil {
 		return err
 	}
+	sp := trace.Child(a.sessionSpan.Context(), "award.commit")
+	sp.SetAgent(a.cfg.Name)
+	sp.SetSession(a.cfg.SessionID)
 	for _, aw := range awards {
-		if err := rt.Send(aw.Customer, a.cfg.SessionID, aw.Award); err != nil {
+		if err := rt.SendCtx(sp.Context(), aw.Customer, a.cfg.SessionID, aw.Award); err != nil {
+			sp.End()
 			return err
 		}
 	}
+	sp.End()
 	if err := rt.Broadcast(a.cfg.SessionID, message.SessionEnd{
 		Round:  rec.Round,
 		Reason: rec.Outcome.String(),
@@ -494,8 +529,12 @@ func (a *Agent) handleTimeout(rt *agent.Runtime, round int) error {
 	}
 }
 
-// finish publishes the result exactly once.
+// finish publishes the result exactly once and closes the session span.
 func (a *Agent) finish(r Result) {
+	if !a.sessionStart.IsZero() {
+		sessionHist.Observe(time.Since(a.sessionStart))
+	}
+	a.sessionSpan.End()
 	select {
 	case a.done <- r:
 	default: // result already published (e.g. timeout racing quorum)
