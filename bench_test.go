@@ -462,6 +462,16 @@ func BenchmarkJournalAppend(b *testing.B) { benchrun.JournalAppend(b) }
 // durability path (budget: within 5% of BenchmarkJournalAppend).
 func BenchmarkJournalAppendTraced(b *testing.B) { benchrun.JournalAppendTraced(b) }
 
+// BenchmarkLogEventDisabled measures a below-threshold structured log call
+// — the cost the migrated log sites pay when their level is gated off. The
+// body lives in internal/benchrun; benchrec -check holds it to an absolute
+// 25ns/op budget.
+func BenchmarkLogEventDisabled(b *testing.B) { benchrun.LogEventDisabled(b) }
+
+// BenchmarkFeedbackScoreCompute measures one composite feedback-score
+// recomputation — the health layer's per-tick addition to the live loop.
+func BenchmarkFeedbackScoreCompute(b *testing.B) { benchrun.FeedbackScoreCompute(b) }
+
 // BenchmarkTelemetryIngest measures the live metering hot path: a fleet of
 // meters publishing batched readings over one in-process bus into the
 // collector agent, per-tick. The reported readings/s metric is the sustained

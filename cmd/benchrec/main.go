@@ -70,6 +70,16 @@ var tracedPairs = map[string]string{
 	"wire_codec_bid_traced":   "wire_codec_bid",
 }
 
+// absoluteBudgets are machine-independent-enough ceilings in ns/op on paths
+// whose whole contract is "cheap enough to leave on everywhere". Unlike the
+// baseline comparison these are not speed-normalized: a gated-off log call
+// is one atomic load plus a compare, and if it costs more than this on any
+// plausible runner the implementation regressed structurally (interface
+// boxing, an escaped field slice), not proportionally.
+var absoluteBudgets = map[string]float64{
+	"log_event_disabled": 25,
+}
+
 func main() {
 	var (
 		out       = flag.String("out", "BENCH_gridd.json", "trajectory file to append this run to")
@@ -162,6 +172,7 @@ func run(out string, rounds int, label string, baseline, check bool, maxReg, max
 		return nil
 	}
 	var failures []string
+	failures = append(failures, checkAbsoluteBudgets(rec)...)
 	failures = append(failures, checkTracedOverhead(rec, maxTraced)...)
 	if base := newestBaseline(f, len(f.Runs)-1); base != nil {
 		failures = append(failures, checkBaseline(rec, *base, maxReg)...)
@@ -193,6 +204,22 @@ func pairedTraced(plain string) string {
 		}
 	}
 	return ""
+}
+
+// checkAbsoluteBudgets gates the floors that carry a fixed ns/op ceiling.
+func checkAbsoluteBudgets(rec Run) []string {
+	var failures []string
+	for name, budget := range absoluteBudgets {
+		r, ok := rec.Results[name]
+		if !ok {
+			continue
+		}
+		fmt.Printf("benchrec: %s: %.1f ns/op (absolute budget %.0f ns/op)\n", name, r.NsPerOp, budget)
+		if r.NsPerOp > budget {
+			failures = append(failures, fmt.Sprintf("%s is %.1f ns/op, over its absolute budget of %.0f ns/op", name, r.NsPerOp, budget))
+		}
+	}
+	return failures
 }
 
 // checkTracedOverhead gates each traced/untraced pair measured in this run,

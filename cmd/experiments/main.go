@@ -31,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"loadbalance/internal/health"
 	"loadbalance/internal/sim"
 	"loadbalance/internal/store"
 	"loadbalance/internal/trace"
@@ -46,22 +47,32 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "all", "experiment id: e1..e17, e11c (cluster scale) or all")
-		out     = fs.String("out", "results", "output directory for CSV files")
-		n       = fs.Int("n", 100, "population size (e1, e5)")
-		seed    = fs.Int64("seed", 1, "random seed")
-		sizes   = fs.String("sizes", "10,50,200,1000", "fleet sizes for e7")
-		betas   = fs.String("betas", "0.5,1,1.85,3,5,8", "beta values for e6")
-		runs    = fs.Int("runs", 10, "randomized runs for e8")
-		csizes  = fs.String("cluster-sizes", "1000,5000", "fleet sizes for e11c (the full sweep is 1000,10000,100000)")
-		shards  = fs.String("shards", "4,16,64", "concentrator counts for e11c")
-		ticks   = fs.Int("ticks", 15, "live ticks for e14, e16 and e17")
-		dataDir = fs.String("data-dir", "", "journal completed experiments under this directory; re-running skips them (e16 also keeps its grid journals there)")
-		metrics = fs.String("metrics", "", "optional HTTP listen address answering /metrics with per-experiment latency histograms while the run is in flight")
+		exp      = fs.String("exp", "all", "experiment id: e1..e17, e11c (cluster scale) or all")
+		out      = fs.String("out", "results", "output directory for CSV files")
+		n        = fs.Int("n", 100, "population size (e1, e5)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		sizes    = fs.String("sizes", "10,50,200,1000", "fleet sizes for e7")
+		betas    = fs.String("betas", "0.5,1,1.85,3,5,8", "beta values for e6")
+		runs     = fs.Int("runs", 10, "randomized runs for e8")
+		csizes   = fs.String("cluster-sizes", "1000,5000", "fleet sizes for e11c (the full sweep is 1000,10000,100000)")
+		shards   = fs.String("shards", "4,16,64", "concentrator counts for e11c")
+		ticks    = fs.Int("ticks", 15, "live ticks for e14, e16 and e17")
+		dataDir  = fs.String("data-dir", "", "journal completed experiments under this directory; re-running skips them (e16 also keeps its grid journals there)")
+		metrics  = fs.String("metrics", "", "optional HTTP listen address answering /metrics with per-experiment latency histograms while the run is in flight")
+		logLevel = fs.String("log-level", "info", "structured log level: debug | info | warn | error | off")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	lvl, err := health.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger, err := health.Init(health.Config{Proc: "experiments", MinLevel: lvl, StderrLevel: health.Warn})
+	if err != nil {
+		return err
+	}
+	defer logger.Close()
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		return err
 	}
@@ -74,7 +85,9 @@ func run(args []string) error {
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 			trace.WriteMetrics(w)
+			health.WriteLogMetrics(w, health.Default())
 		})
+		mux.HandleFunc("/logs", health.LogHandler(health.Default()))
 		srv := &http.Server{Handler: mux}
 		go func() { _ = srv.Serve(ln) }()
 		defer srv.Close()

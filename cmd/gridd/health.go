@@ -1,0 +1,278 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"loadbalance/internal/health"
+	"loadbalance/internal/replica"
+	"loadbalance/internal/store"
+	"loadbalance/internal/telemetry"
+	"loadbalance/internal/trace"
+)
+
+// initHealthLogging installs the process-wide structured logger from the
+// -log-level/-log-file flags. With a data dir and no explicit -log-file
+// the durable sink defaults to <data-dir>/gridd.log.
+func initHealthLogging(proc, level, file, dataDir string) (*health.Logger, error) {
+	lvl, err := health.ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	if file == "" && dataDir != "" {
+		file = filepath.Join(dataDir, "gridd.log")
+	}
+	if file != "" {
+		if err := os.MkdirAll(filepath.Dir(file), 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return health.Init(health.Config{
+		Proc:        proc,
+		MinLevel:    lvl,
+		RingSize:    4096,
+		FilePath:    file,
+		StderrLevel: health.Warn,
+	})
+}
+
+// defaultAlertRules is the rule set a live daemon runs when -alerts is not
+// given: the overload floor on the composite score, the latency ceiling on
+// negotiation sessions, and the two staleness signals (standby lag,
+// journal append age).
+func defaultAlertRules() []health.RuleConfig {
+	return []health.RuleConfig{
+		{Name: "overload", Metric: "feedback_score", Op: "<", Threshold: 40, For: 2},
+		{Name: "slow_sessions", Metric: "negotiation_session_seconds_p99", Op: ">", Threshold: 2, For: 2},
+		{Name: "standby_lag", Metric: "replica_lag_records", Op: ">", Threshold: 2048, For: 3},
+		{Name: "journal_stall", Metric: "journal_append_age_seconds", Op: ">", Threshold: 30, For: 3},
+	}
+}
+
+// resolveAlertRules maps the -alerts flag value to a rule set: empty means
+// the defaults, "none" disables alerting, anything else is parsed.
+func resolveAlertRules(flagVal string) ([]health.RuleConfig, error) {
+	switch flagVal {
+	case "":
+		return defaultAlertRules(), nil
+	case "none":
+		return nil, nil
+	default:
+		return health.ParseRules(flagVal)
+	}
+}
+
+// liveHealth bundles the live daemon's health layer: the score, the alert
+// engine, the optional feedback responder and the optional flight
+// recorder. One instance serves both roles — a standby evaluates it from
+// a side ticker, a primary from the tick loop.
+type liveHealth struct {
+	logger    *health.Logger
+	scorer    *health.Scorer
+	alerts    *health.Engine
+	recorder  *health.Recorder // nil without a data dir
+	responder *health.Responder
+}
+
+// newLiveHealth wires the health layer over the live state holder. It
+// registers the gauges the alert rules reference, starts the feedback
+// responder when -feedback-addr is set, and arms the flight recorder when
+// a data dir exists.
+func newLiveHealth(ctx context.Context, opts liveOptions, state *gridState) (*liveHealth, error) {
+	h := &liveHealth{logger: health.Default()}
+
+	h.scorer = health.NewScorer(health.Sources{
+		Utilization: func() float64 {
+			_, snap, _, _, _ := state.view()
+			if snap.TargetKWh <= 0 {
+				return 0
+			}
+			return snap.FleetKWh / snap.TargetKWh
+		},
+		ReplicationLag: func() float64 { return worstStandbyLag(state) },
+	}, health.DefaultBudgets(), health.DefaultWeights())
+
+	health.RegisterGauge("replica_lag_records", func() float64 { return worstStandbyLag(state) })
+	health.RegisterGauge("journal_append_age_seconds", func() float64 { return journalAppendAge(state) })
+
+	rules, err := resolveAlertRules(opts.alerts)
+	if err != nil {
+		return nil, err
+	}
+	h.alerts = health.NewEngine(rules, h.logger)
+
+	if opts.dataDir != "" {
+		h.recorder = health.NewRecorder(filepath.Join(opts.dataDir, "flightrec"), opts.flightrecKeep, h.logger)
+		h.recorder.Bind(h.scorer, h.alerts)
+		h.recorder.MetricsFn = func(w io.Writer) { writeLiveMetrics(w, state, h) }
+		health.SetRecorder(h.recorder)
+		h.alerts.OnFire = func(a health.AlertStatus) {
+			if _, err := h.recorder.Dump("alert", a.Rule.Name); err != nil {
+				h.logger.Logf(health.Error, "flightrec", "alert dump failed: %v", err)
+			}
+		}
+	}
+
+	if opts.feedbackAddr != "" {
+		resp, err := health.NewResponder(opts.feedbackAddr, h.scorer)
+		if err != nil {
+			h.close()
+			return nil, err
+		}
+		h.responder = resp
+		go resp.Serve(ctx)
+		if opts.dataDir != "" {
+			if err := atomicWriteFile(opts.dataDir, "feedback-addr", []byte(resp.Addr())); err != nil {
+				h.close()
+				return nil, err
+			}
+		}
+		fmt.Printf("gridd: feedback responder on %s\n", resp.Addr())
+	}
+	return h, nil
+}
+
+// evalTick recomputes the score and evaluates the alert rules — once per
+// engine tick on a primary, once per ticker interval on a standby.
+func (h *liveHealth) evalTick() {
+	if h == nil {
+		return
+	}
+	h.scorer.Compute()
+	h.alerts.Eval()
+}
+
+// startStandbyEval evaluates the health layer on a side ticker while the
+// daemon is a standby (the tick loop isn't running yet). The returned stop
+// function halts it — call it before promotion hands evaluation to the
+// tick loop.
+func (h *liveHealth) startStandbyEval(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				h.evalTick()
+			}
+		}
+	}()
+	var once bool
+	return func() {
+		if !once {
+			once = true
+			close(done)
+		}
+	}
+}
+
+// close releases listeners and unregisters the state-bound gauges so a
+// later in-process run (tests) starts from a clean namespace.
+func (h *liveHealth) close() {
+	if h == nil {
+		return
+	}
+	if h.responder != nil {
+		_ = h.responder.Close()
+	}
+	if h.recorder != nil {
+		health.SetRecorder(nil)
+	}
+	health.UnregisterGauge("feedback_score")
+	health.UnregisterGauge("replica_lag_records")
+	health.UnregisterGauge("journal_append_age_seconds")
+}
+
+// worstStandbyLag reads the largest standby lag in records: a primary
+// reports over its sender's followers, a standby reports its own apply
+// lag (unknowable against a dead primary, so it reports 0 and the
+// receiver's own staleness signals take over).
+func worstStandbyLag(state *gridState) float64 {
+	_, _, _, _, sender := state.view()
+	if sender == nil {
+		return 0
+	}
+	var worst uint64
+	for _, s := range sender.Status().Standbys {
+		if s.LagRecords > worst {
+			worst = s.LagRecords
+		}
+	}
+	return float64(worst)
+}
+
+// journalAppendAge reads seconds since the last journal append (0 when
+// the process journals nothing).
+func journalAppendAge(state *gridState) float64 {
+	var stats store.Stats
+	state.mu.Lock()
+	stby, st := state.stby, state.st
+	state.mu.Unlock()
+	switch {
+	case stby != nil:
+		stats = stby.Eng.StoreStats()
+	case st != nil:
+		stats = st.Stats()
+	default:
+		return 0
+	}
+	if stats.LastAppend.IsZero() {
+		return 0
+	}
+	return time.Since(stats.LastAppend).Seconds()
+}
+
+// writeLiveMetrics renders the live daemon's full metrics page — the
+// /metrics body and the flight recorder's metrics.prom are the same
+// document.
+func writeLiveMetrics(w io.Writer, state *gridState, h *liveHealth) {
+	_, snap, _, stby, sender := state.view()
+	writeMetrics(w, snap)
+	switch {
+	case stby != nil:
+		store.WriteMetrics(w, stby.Eng.StoreStats())
+		replica.WriteReceiverMetrics(w, stby.Receiver().Status())
+	default:
+		state.mu.Lock()
+		st := state.st
+		state.mu.Unlock()
+		if st != nil {
+			store.WriteMetrics(w, st.Stats())
+		}
+		if sender != nil {
+			replica.WriteSenderMetrics(w, sender.Status())
+		}
+	}
+	if h != nil {
+		health.WriteScoreMetrics(w, h.scorer)
+		health.WriteAlertMetrics(w, h.alerts)
+		health.WriteLogMetrics(w, h.logger)
+	}
+	trace.WriteMetrics(w)
+}
+
+// logRenegotiation emits the structured event for a tick that re-awarded
+// part of the fleet.
+func logRenegotiation(rep telemetry.TickReport) {
+	if rep.Renegotiated == nil || !health.Enabled(health.Info) {
+		return
+	}
+	fields := []health.Field{
+		health.Str("role", "primary"),
+		health.Int("tick", int64(rep.Tick)),
+		health.Str("session", rep.Renegotiated.SessionID),
+		health.Str("outcome", rep.Renegotiated.Outcome),
+		health.Int("members", int64(rep.Renegotiated.Members)),
+	}
+	for _, s := range rep.Renegotiated.Shards {
+		fields = append(fields, health.Int("shard", int64(s)))
+	}
+	health.Log(health.Info, "grid", "shards re-negotiated", fields...)
+}

@@ -72,6 +72,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	httppprof "net/http/pprof"
@@ -89,6 +90,7 @@ import (
 	"loadbalance/internal/cluster"
 	"loadbalance/internal/core"
 	"loadbalance/internal/customeragent"
+	"loadbalance/internal/health"
 	"loadbalance/internal/message"
 	"loadbalance/internal/protocol"
 	"loadbalance/internal/replica"
@@ -122,7 +124,17 @@ func parseShardList(s string) ([]int, error) {
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Unclean exits leave a flight-recorder bundle behind (when a recorder
+	// is armed): a panic dumps before re-raising, an error exit dumps
+	// before reporting.
+	defer func() {
+		if r := recover(); r != nil {
+			health.CrashDump("panic", fmt.Sprint(r))
+			panic(r)
+		}
+	}()
 	if err := run(ctx, os.Args[1:]); err != nil {
+		health.CrashDump("error-exit", err.Error())
 		fmt.Fprintln(os.Stderr, "gridd:", err)
 		os.Exit(1)
 	}
@@ -158,6 +170,12 @@ func run(ctx context.Context, args []string) error {
 		downAddr  = fs.String("down", "", "member-tier server address (concentrator role)")
 		shard     = fs.Int("shard", 0, "shard index this worker fronts (concentrator role)")
 		session   = fs.String("session", "gridd", "negotiation session id (concentrator role)")
+		spikeEnd  = fs.Int("spike-end", 0, "tick the injected demand spike ends on (0 = never)")
+		logLevel  = fs.String("log-level", "info", "structured log level: debug, info, warn, error or off; the ring serves /logs on the HTTP endpoint")
+		logFile   = fs.String("log-file", "", "append structured log events as JSON lines to this file (default: <data-dir>/gridd.log when -data-dir is set)")
+		fbAddr    = fs.String("feedback-addr", "", "TCP listen address answering every connection with the feedback score as \"NN%\\n\" — the lbfeedback/agent-check contract HAProxy-style balancers consume (live mode); the bound address is written to <data-dir>/feedback-addr")
+		alerts    = fs.String("alerts", "", "comma-separated alert rules name:metric<threshold[:for=N] evaluated each tick and served on /alerts (live mode; empty = built-in rule set, \"none\" disables)")
+		frKeep    = fs.Int("flightrec-keep", 8, "flight-recorder bundles to keep under <data-dir>/flightrec/ (oldest pruned)")
 		traceOn   = fs.Bool("trace", false, "record negotiation spans in an in-process ring, served as JSON on /trace (?session=&shard=&trace=&limit=)")
 		traceRing = fs.Int("trace-ring", 4096, "trace ring capacity in spans; the oldest spans are dropped when it wraps")
 		traceDump = fs.String("trace-dump", "", "write the trace ring as JSON to this file on exit (implies -trace; the span-export path for processes without an HTTP endpoint)")
@@ -166,6 +184,11 @@ func run(ctx context.Context, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	logger, err := initHealthLogging(traceProc(*role, *shard, *serveAddr, *connect, *name, *live), *logLevel, *logFile, *dataDir)
+	if err != nil {
+		return err
+	}
+	defer logger.Close()
 	if *traceOn || *traceDump != "" {
 		trace.Enable(traceProc(*role, *shard, *serveAddr, *connect, *name, *live), *traceRing)
 		if *traceDump != "" {
@@ -218,6 +241,10 @@ func run(ctx context.Context, args []string) error {
 				spikeShards:     spikeShards,
 				spikeTick:       *spikeTick,
 				spikeFactor:     *spikeFac,
+				spikeEndTick:    *spikeEnd,
+				feedbackAddr:    *fbAddr,
+				alerts:          *alerts,
+				flightrecKeep:   *frKeep,
 				replAddr:        *replAddr,
 				replicaOf:       bus.SplitAddrList(*replicaOf),
 				replicaID:       *replicaID,
@@ -275,7 +302,7 @@ func dumpTraceFile(path string) {
 	var buf bytes.Buffer
 	trace.WriteDump(&buf, trace.Filter{})
 	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "gridd: trace dump: %v\n", err)
+		health.Logf(health.Error, "trace", "trace dump to %s failed: %v", path, err)
 	}
 }
 
@@ -487,8 +514,10 @@ func serve(ctx context.Context, cfg serveConfig, ready chan<- serveAddrs) error 
 			if sender != nil {
 				replica.WriteSenderMetrics(w, sender.Status())
 			}
+			health.WriteLogMetrics(w, health.Default())
 			trace.WriteMetrics(w)
 		})
+		mux.HandleFunc("/logs", health.LogHandler(health.Default()))
 		mountObservability(mux, cfg.pprof)
 		httpSrv := &http.Server{Handler: mux}
 		go func() { _ = httpSrv.Serve(ln) }()
@@ -726,6 +755,12 @@ type liveOptions struct {
 	spikeShards   []int
 	spikeTick     int // -1 = no spike
 	spikeFactor   float64
+	spikeEndTick  int // 0 = the spike never ends
+
+	// Health layer.
+	feedbackAddr  string // non-empty: TCP feedback responder (lbfeedback contract)
+	alerts        string // -alerts flag value ("" = defaults, "none" = off)
+	flightrecKeep int
 
 	// Replication (requires dataDir).
 	replAddr        string   // non-empty: stream the journal to standbys here
@@ -752,9 +787,13 @@ func (o liveOptions) liveConfig() (telemetry.LiveConfig, error) {
 		Seed:     o.seed,
 	}
 	if o.spikeTick >= 0 && len(o.spikeShards) > 0 {
+		end := 1 << 30
+		if o.spikeEndTick > 0 {
+			end = o.spikeEndTick
+		}
 		cfg.ShardEvents = make(map[int][]telemetry.Event, len(o.spikeShards))
 		for _, i := range o.spikeShards {
-			cfg.ShardEvents[i] = []telemetry.Event{{StartTick: o.spikeTick, EndTick: 1 << 30, Factor: o.spikeFactor}}
+			cfg.ShardEvents[i] = []telemetry.Event{{StartTick: o.spikeTick, EndTick: end, Factor: o.spikeFactor}}
 		}
 	}
 	return cfg, nil
@@ -773,6 +812,7 @@ type gridState struct {
 	st       *store.Store     // primary journal (nil when volatile)
 	sender   *replica.Sender  // non-nil when streaming to standbys
 	stby     *replica.Standby // non-nil while role == standby
+	health   *liveHealth      // set once before the HTTP server starts
 }
 
 // view reads the endpoint-visible state in one consistent snapshot. A
@@ -819,6 +859,12 @@ func (g *gridState) healthDoc() map[string]any {
 		"tick":           snap.Tick,
 		"uptimeSeconds":  time.Since(start).Seconds(),
 		"renegotiations": snap.Renegotiations,
+	}
+	if h := g.health; h != nil {
+		sc := h.scorer.Latest()
+		doc["feedbackScore"] = sc.Value
+		doc["feedbackComponents"] = sc.Components
+		doc["alertsFiring"] = h.alerts.FiringCount()
 	}
 	if rec != nil {
 		doc["recovery"] = map[string]any{
@@ -874,24 +920,7 @@ func liveMux(state *gridState, pprofOn bool) *http.ServeMux {
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		_, snap, _, stby, sender := state.view()
-		writeMetrics(w, snap)
-		switch {
-		case stby != nil:
-			store.WriteMetrics(w, stby.Eng.StoreStats())
-			replica.WriteReceiverMetrics(w, stby.Receiver().Status())
-		default:
-			state.mu.Lock()
-			st := state.st
-			state.mu.Unlock()
-			if st != nil {
-				store.WriteMetrics(w, st.Stats())
-			}
-			if sender != nil {
-				replica.WriteSenderMetrics(w, sender.Status())
-			}
-		}
-		trace.WriteMetrics(w)
+		writeLiveMetrics(w, state, state.health)
 	})
 	mux.HandleFunc("/replication", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -923,6 +952,11 @@ func liveMux(state *gridState, pprofOn bool) *http.ServeMux {
 		}
 		_, _ = w.Write(profile)
 	})
+	if h := state.health; h != nil {
+		mux.HandleFunc("/logs", health.LogHandler(h.logger))
+		mux.HandleFunc("/alerts", health.AlertsHandler(h.alerts))
+		mux.HandleFunc("/feedback", health.FeedbackHandler(h.scorer))
+	}
 	mountObservability(mux, pprofOn)
 	return mux
 }
@@ -997,6 +1031,14 @@ func runLive(ctx context.Context, opts liveOptions, ready chan<- string) error {
 		}
 	}
 	state.st = eng.Store() // stable handle for the handlers; nil when volatile
+
+	h, err := newLiveHealth(ctx, opts, state)
+	if err != nil {
+		_ = eng.Shutdown()
+		return err
+	}
+	defer h.close()
+	state.health = h
 
 	if opts.replAddr != "" {
 		sender, err := replica.StartSender(replica.SenderConfig{Dir: opts.dataDir, Addr: opts.replAddr})
@@ -1089,12 +1131,14 @@ func tickLoop(ctx context.Context, eng *telemetry.LiveEngine, opts liveOptions, 
 		case <-ticker.C:
 			rep, err := eng.Tick()
 			if err != nil {
+				health.CrashDump("tick-error", err.Error())
 				_ = shutdown()
 				return err
 			}
 			if rep.Renegotiated != nil {
 				fmt.Printf("gridd: tick %d: shards %v re-negotiated (%s, %d members)\n",
 					rep.Tick, rep.Renegotiated.Shards, rep.Renegotiated.Outcome, rep.Renegotiated.Members)
+				logRenegotiation(rep)
 			}
 			p, err := json.Marshal(eng.Profile())
 			if err != nil {
@@ -1102,6 +1146,7 @@ func tickLoop(ctx context.Context, eng *telemetry.LiveEngine, opts liveOptions, 
 				return err
 			}
 			state.publish(eng.Snapshot(), p)
+			state.health.evalTick()
 			if done, ok := liveDone(rep.Tick+1, opts.maxTicks); ok {
 				fmt.Println(done)
 				return shutdown()
@@ -1133,6 +1178,16 @@ func runStandby(ctx context.Context, opts liveOptions, cfg telemetry.LiveConfig,
 		fmt.Printf("gridd: standby %s resuming replication from local seq %d (tick %d)\n",
 			opts.replicaID, stby.Eng.LastSeq(), info.ResumeTick)
 	}
+
+	h, err := newLiveHealth(ctx, opts, state)
+	if err != nil {
+		_ = stby.Close()
+		return err
+	}
+	defer h.close()
+	state.health = h
+	stopEval := h.startStandbyEval(opts.tick)
+	defer stopEval()
 
 	ln, httpSrv, httpErr, err := startLiveHTTP(opts.addr, state, opts.pprof)
 	if err != nil {
@@ -1176,6 +1231,7 @@ func runStandby(ctx context.Context, opts liveOptions, cfg telemetry.LiveConfig,
 			fmt.Printf("gridd: standby %s interrupted\n", opts.replicaID)
 			return nil
 		}
+		health.CrashDump("standby-error", res.err.Error())
 		return res.err
 	case res.outcome.CleanShutdown:
 		fmt.Printf("gridd: primary sealed its journal; standby %s shutting down cleanly\n", opts.replicaID)
@@ -1183,13 +1239,19 @@ func runStandby(ctx context.Context, opts liveOptions, cfg telemetry.LiveConfig,
 	}
 
 	// Promoted: continue the run as the serving primary on the same HTTP
-	// address. The availability gap is detect + promote.
+	// address. The availability gap is detect + promote; the tick loop takes
+	// over health evaluation from the standby ticker.
+	stopEval()
 	eng := res.outcome.Engine
 	pinfo := res.outcome.Promotion
 	fmt.Printf("gridd: standby %s promoted to primary at journal seq %d (detect %v + promote %v), resuming at tick %d\n",
 		opts.replicaID, pinfo.FromSeq,
 		res.outcome.DetectLatency.Round(time.Millisecond), pinfo.Elapsed.Round(time.Millisecond),
 		pinfo.ResumeTick)
+	health.Log(health.Warn, "replica", "standby promoted to primary",
+		health.Str("id", opts.replicaID),
+		health.Int("fromSeq", int64(pinfo.FromSeq)),
+		health.Int("resumeTick", int64(pinfo.ResumeTick)))
 	var sender *replica.Sender
 	if opts.replAddr != "" {
 		sender, err = replica.StartSender(replica.SenderConfig{Dir: opts.dataDir, Addr: opts.replAddr})
@@ -1261,7 +1323,7 @@ func writeAwardsFile(dir string, eng *telemetry.LiveEngine) error {
 // writeMetrics renders a snapshot in Prometheus text exposition format. Every
 // family carries its # TYPE line, the per-shard series included, so a strict
 // exposition parser ingests the whole page.
-func writeMetrics(w http.ResponseWriter, snap telemetry.Snapshot) {
+func writeMetrics(w io.Writer, snap telemetry.Snapshot) {
 	fmt.Fprintf(w, "# TYPE grid_tick counter\ngrid_tick %d\n", snap.Tick)
 	fmt.Fprintf(w, "# TYPE grid_readings_total counter\ngrid_readings_total %d\n", snap.Readings)
 	fmt.Fprintf(w, "# TYPE grid_renegotiations_total counter\ngrid_renegotiations_total %d\n", snap.Renegotiations)
@@ -1325,7 +1387,11 @@ func runClient(ctx context.Context, addr, name string, seed int64) error {
 	for env := range cli.Inbox() {
 		reply, ok, err := ca.React(env)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "gridd: %s: %v\n", name, err)
+			// The Warn-level stderr mirror keeps this visible on a client's
+			// console while the ring records it with identity fields.
+			health.Log(health.Warn, "client", "react failed",
+				health.Str("agent", name), health.Str("session", env.Session),
+				health.Str("err", err.Error()))
 			continue
 		}
 		if ok {

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"loadbalance"
+	"loadbalance/internal/health"
 	"loadbalance/internal/sim"
 	"loadbalance/internal/store"
 	"loadbalance/internal/trace"
@@ -60,26 +61,33 @@ func run(args []string) error {
 		tcp          = fs.Bool("tcp", false, "place each concentrator behind its own TCP connections (requires -shards)")
 		dataDir      = fs.String("data-dir", "", "journal the outcome under this directory; re-running the same scenario resumes from the journal")
 		traceDump    = fs.String("trace-dump", "", "record negotiation spans and write the ring as JSON to this file on exit (the same document gridd serves on /trace)")
+		logLevel     = fs.String("log-level", "info", "structured log level: debug | info | warn | error | off")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	lvl, err := health.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger, err := health.Init(health.Config{Proc: "loadsim", MinLevel: lvl, StderrLevel: health.Warn})
+	if err != nil {
+		return err
+	}
+	defer logger.Close()
 	if *traceDump != "" {
 		trace.Enable("loadsim", 16384)
 		defer func() {
 			var buf bytes.Buffer
 			if err := trace.WriteDump(&buf, trace.Filter{}); err == nil {
 				if werr := os.WriteFile(*traceDump, buf.Bytes(), 0o644); werr != nil {
-					fmt.Fprintln(os.Stderr, "loadsim: trace dump:", werr)
+					health.Logf(health.Error, "trace", "trace dump failed: %v", werr)
 				}
 			}
 		}()
 	}
 
-	var (
-		s   loadbalance.Scenario
-		err error
-	)
+	var s loadbalance.Scenario
 	switch *scenario {
 	case "paper":
 		s, err = loadbalance.PaperScenario()

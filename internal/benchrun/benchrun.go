@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"loadbalance/internal/bus"
+	"loadbalance/internal/health"
 	"loadbalance/internal/message"
 	"loadbalance/internal/protocol"
 	"loadbalance/internal/store"
@@ -63,6 +64,8 @@ func Defs() []Def {
 		{"span_start_end", SpanStartEnd},
 		{"span_disabled", SpanDisabled},
 		{"histogram_observe", HistogramObserve},
+		{"log_event_disabled", LogEventDisabled},
+		{"feedback_score_compute", FeedbackScoreCompute},
 	}
 }
 
@@ -295,6 +298,47 @@ func HistogramObserve(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Observe(time.Duration(1000 + i%1000))
+	}
+}
+
+// LogEventDisabled measures a below-threshold structured log call — the
+// cost every migrated log site pays when its level is gated off, which is
+// the default state of the debug-level sites on the hot paths. The gate is
+// one atomic load and the typed fields keep the variadic slice off the
+// heap, so this floor carries an absolute budget (25ns/op) in benchrec
+// -check rather than only a relative one.
+func LogEventDisabled(b *testing.B) {
+	l, err := health.New(health.Config{Proc: "bench", MinLevel: health.Warn, StderrLevel: health.Off})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Log(health.Debug, "bus", "client inbox full",
+			health.Str("client", "c01"), health.Int("dropped", int64(i)))
+	}
+	if b.N > 0 {
+		if total, _, _ := l.Stats(); total != 0 {
+			b.Fatalf("disabled level recorded %d events", total)
+		}
+	}
+}
+
+// FeedbackScoreCompute measures one composite-score recomputation — runtime
+// stats read, histogram percentile lookup and the clamp-linear weighting —
+// the work the live loop adds to every tick.
+func FeedbackScoreCompute(b *testing.B) {
+	s := health.NewScorer(health.Sources{
+		Utilization:    func() float64 { return 1.1 },
+		ReplicationLag: func() float64 { return 12 },
+	}, health.DefaultBudgets(), health.DefaultWeights())
+	defer health.UnregisterGauge("feedback_score")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Compute()
 	}
 }
 

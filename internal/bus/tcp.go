@@ -5,12 +5,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"loadbalance/internal/health"
 	"loadbalance/internal/message"
 )
 
@@ -543,7 +543,8 @@ func (c *Client) readLoop() {
 				// overload — but never silently.
 				c.statDropped.Add(1)
 				c.dropOnce.Do(func() {
-					log.Printf("bus: client %q inbox full, dropping inbound envelopes (counted in Stats)", c.name)
+					health.Log(health.Warn, "bus", "client inbox full, dropping inbound envelopes (counted in Stats)",
+						health.Str("client", c.name))
 				})
 			}
 		case frameError:

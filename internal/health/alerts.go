@@ -1,0 +1,322 @@
+package health
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The alert engine evaluates threshold rules over the metric namespace
+// (registered gauges + histogram percentiles) once per tick. A rule fires
+// only after its condition holds for `for=N` consecutive evaluations —
+// sustain is counted in evaluations, not wall time, so drills running at
+// fast ticks stay deterministic — and resolves the first evaluation the
+// condition clears. Transitions emit structured events and, on firing,
+// invoke the OnFire hook (the flight recorder).
+
+// RuleConfig is one parsed alert rule.
+type RuleConfig struct {
+	Name      string  `json:"name"`
+	Metric    string  `json:"metric"`
+	Op        string  `json:"op"` // "<" or ">"
+	Threshold float64 `json:"threshold"`
+	For       int     `json:"for"` // consecutive breaching evals before firing (>=1)
+}
+
+// ParseRule parses the rule grammar used by the -alerts flag:
+//
+//	name:metric<threshold[:for=N]
+//	name:metric>threshold[:for=N]
+//
+// e.g. "overload:feedback_score<40:for=2" or
+// "slow_sessions:negotiation_session_seconds_p99>1.5".
+func ParseRule(s string) (RuleConfig, error) {
+	var rc RuleConfig
+	name, rest, ok := strings.Cut(s, ":")
+	if !ok || name == "" {
+		return rc, fmt.Errorf("health: rule %q: want name:metric<threshold[:for=N]", s)
+	}
+	rc.Name = name
+	cond := rest
+	if body, forPart, ok := strings.Cut(rest, ":"); ok {
+		cond = body
+		k, v, ok := strings.Cut(forPart, "=")
+		if !ok || k != "for" {
+			return rc, fmt.Errorf("health: rule %q: trailing clause %q (want for=N)", s, forPart)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return rc, fmt.Errorf("health: rule %q: bad for=%q", s, v)
+		}
+		rc.For = n
+	} else {
+		rc.For = 1
+	}
+	opIdx := strings.IndexAny(cond, "<>")
+	if opIdx <= 0 || opIdx == len(cond)-1 {
+		return rc, fmt.Errorf("health: rule %q: want metric<threshold or metric>threshold", s)
+	}
+	rc.Metric = cond[:opIdx]
+	rc.Op = string(cond[opIdx])
+	thr, err := strconv.ParseFloat(cond[opIdx+1:], 64)
+	if err != nil {
+		return rc, fmt.Errorf("health: rule %q: bad threshold %q", s, cond[opIdx+1:])
+	}
+	rc.Threshold = thr
+	return rc, nil
+}
+
+// ParseRules parses a comma-separated rule list (the -alerts flag value).
+func ParseRules(s string) ([]RuleConfig, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []RuleConfig
+	for _, part := range strings.Split(s, ",") {
+		rc, err := ParseRule(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rc)
+	}
+	return out, nil
+}
+
+// Alert states.
+const (
+	StateOK      = "ok"
+	StatePending = "pending" // breaching, sustain not yet met
+	StateFiring  = "firing"
+)
+
+// AlertStatus is one rule's current state as served on /alerts.
+type AlertStatus struct {
+	Rule       RuleConfig `json:"rule"`
+	State      string     `json:"state"`
+	Value      float64    `json:"value"`   // metric value at last eval
+	Breach     int        `json:"breach"`  // consecutive breaching evals
+	FiredUs    int64      `json:"firedUs"` // last transition to firing (0 = never)
+	ResolvedUs int64      `json:"resolvedUs"`
+	FireCount  int        `json:"fireCount"`
+}
+
+// Engine evaluates alert rules. Eval is called from the owning loop (one
+// goroutine); readers come from HTTP handlers, hence the lock.
+type Engine struct {
+	logger *Logger
+	// OnFire runs on each ok/pending→firing transition (the flight
+	// recorder hook). Called without the engine lock held.
+	OnFire func(a AlertStatus)
+
+	mu    sync.Mutex
+	rules []*ruleState
+}
+
+type ruleState struct {
+	cfg        RuleConfig
+	state      string
+	value      float64
+	breach     int
+	firedUs    int64
+	resolvedUs int64
+	fireCount  int
+}
+
+// NewEngine builds an engine over rules, logging transitions to logger
+// (nil = process default).
+func NewEngine(rules []RuleConfig, logger *Logger) *Engine {
+	e := &Engine{logger: logger}
+	for _, rc := range rules {
+		if rc.For < 1 {
+			rc.For = 1
+		}
+		e.rules = append(e.rules, &ruleState{cfg: rc, state: StateOK})
+	}
+	return e
+}
+
+func (e *Engine) log() *Logger {
+	if e.logger != nil {
+		return e.logger
+	}
+	return Default()
+}
+
+// Eval evaluates every rule against the live metric namespace. Returns
+// the statuses after this evaluation (also readable via Status).
+func (e *Engine) Eval() []AlertStatus {
+	var fired []AlertStatus
+	var resolved []AlertStatus
+
+	e.mu.Lock()
+	for _, r := range e.rules {
+		v, ok := LookupMetric(r.cfg.Metric)
+		r.value = v
+		breaching := false
+		if ok {
+			if r.cfg.Op == "<" {
+				breaching = v < r.cfg.Threshold
+			} else {
+				breaching = v > r.cfg.Threshold
+			}
+		}
+		if breaching {
+			r.breach++
+			if r.state != StateFiring {
+				if r.breach >= r.cfg.For {
+					r.state = StateFiring
+					r.firedUs = time.Now().UnixMicro()
+					r.fireCount++
+					fired = append(fired, statusOf(r))
+				} else {
+					r.state = StatePending
+				}
+			}
+		} else {
+			if r.state == StateFiring {
+				r.resolvedUs = time.Now().UnixMicro()
+				resolved = append(resolved, statusOf(r))
+			}
+			r.breach = 0
+			r.state = StateOK
+		}
+	}
+	out := make([]AlertStatus, len(e.rules))
+	for i, r := range e.rules {
+		out[i] = statusOf(r)
+	}
+	e.mu.Unlock()
+
+	for _, a := range fired {
+		e.log().Log(Warn, "alerts", "alert firing",
+			Str("alert", a.Rule.Name),
+			Str("metric", a.Rule.Metric),
+			Str("op", a.Rule.Op),
+			Str("threshold", strconv.FormatFloat(a.Rule.Threshold, 'g', -1, 64)),
+			Str("value", strconv.FormatFloat(a.Value, 'g', -1, 64)),
+			Int("for", int64(a.Rule.For)))
+		if e.OnFire != nil {
+			e.OnFire(a)
+		}
+	}
+	for _, a := range resolved {
+		e.log().Log(Info, "alerts", "alert resolved",
+			Str("alert", a.Rule.Name),
+			Str("metric", a.Rule.Metric),
+			Str("value", strconv.FormatFloat(a.Value, 'g', -1, 64)))
+	}
+	return out
+}
+
+func statusOf(r *ruleState) AlertStatus {
+	return AlertStatus{
+		Rule:       r.cfg,
+		State:      r.state,
+		Value:      r.value,
+		Breach:     r.breach,
+		FiredUs:    r.firedUs,
+		ResolvedUs: r.resolvedUs,
+		FireCount:  r.fireCount,
+	}
+}
+
+// Status returns every rule's current state, sorted by rule name.
+func (e *Engine) Status() []AlertStatus {
+	e.mu.Lock()
+	out := make([]AlertStatus, len(e.rules))
+	for i, r := range e.rules {
+		out[i] = statusOf(r)
+	}
+	e.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Rule.Name < out[j].Rule.Name })
+	return out
+}
+
+// FiringCount returns how many rules are currently firing.
+func (e *Engine) FiringCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, r := range e.rules {
+		if r.state == StateFiring {
+			n++
+		}
+	}
+	return n
+}
+
+// AlertsHandler serves /alerts as JSON.
+func AlertsHandler(e *Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeAlertsJSON(w, e.Status())
+	}
+}
+
+// writeAlertsJSON renders alert statuses without encoding/json (shared
+// with the flight recorder, which runs in failure paths and should not
+// depend on reflection succeeding).
+func writeAlertsJSON(w io.Writer, alerts []AlertStatus) {
+	b := make([]byte, 0, 256+192*len(alerts))
+	b = append(b, `{"alerts":[`...)
+	for i := range alerts {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendAlertJSON(b, &alerts[i])
+	}
+	b = append(b, "]}\n"...)
+	_, _ = w.Write(b)
+}
+
+func appendAlertJSON(b []byte, a *AlertStatus) []byte {
+	b = append(b, `{"name":`...)
+	b = strconv.AppendQuote(b, a.Rule.Name)
+	b = append(b, `,"metric":`...)
+	b = strconv.AppendQuote(b, a.Rule.Metric)
+	b = append(b, `,"op":`...)
+	b = strconv.AppendQuote(b, a.Rule.Op)
+	b = append(b, `,"threshold":`...)
+	b = strconv.AppendFloat(b, a.Rule.Threshold, 'g', -1, 64)
+	b = append(b, `,"for":`...)
+	b = strconv.AppendInt(b, int64(a.Rule.For), 10)
+	b = append(b, `,"state":`...)
+	b = strconv.AppendQuote(b, a.State)
+	b = append(b, `,"value":`...)
+	b = strconv.AppendFloat(b, a.Value, 'g', -1, 64)
+	b = append(b, `,"breach":`...)
+	b = strconv.AppendInt(b, int64(a.Breach), 10)
+	b = append(b, `,"firedUs":`...)
+	b = strconv.AppendInt(b, a.FiredUs, 10)
+	b = append(b, `,"resolvedUs":`...)
+	b = strconv.AppendInt(b, a.ResolvedUs, 10)
+	b = append(b, `,"fireCount":`...)
+	b = strconv.AppendInt(b, int64(a.FireCount), 10)
+	b = append(b, '}')
+	return b
+}
+
+// WriteAlertMetrics renders alert states as gauges (1 = firing).
+func WriteAlertMetrics(w io.Writer, e *Engine) {
+	alerts := e.Status()
+	if len(alerts) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# TYPE health_alert_firing gauge\n")
+	for _, a := range alerts {
+		v := 0
+		if a.State == StateFiring {
+			v = 1
+		}
+		fmt.Fprintf(w, "health_alert_firing{alert=%q} %d\n", a.Rule.Name, v)
+	}
+	fmt.Fprintf(w, "# TYPE health_alert_fired_total counter\n")
+	for _, a := range alerts {
+		fmt.Fprintf(w, "health_alert_fired_total{alert=%q} %d\n", a.Rule.Name, a.FireCount)
+	}
+}

@@ -1,0 +1,118 @@
+package health
+
+import (
+	"strings"
+	"testing"
+)
+
+// quietScorer builds a scorer with deterministic runtime stats so tests
+// exercise only the source under test.
+func quietScorer(src Sources, w Weights) *Scorer {
+	s := NewScorer(src, DefaultBudgets(), w)
+	s.gcStats = func() (float64, float64) { return 0, 0 }
+	return s
+}
+
+func TestClampHealth(t *testing.T) {
+	cases := []struct {
+		raw, good, bad, want float64
+	}{
+		{0, 1, 2, 1},
+		{1, 1, 2, 1},
+		{1.5, 1, 2, 0.5},
+		{2, 1, 2, 0},
+		{99, 1, 2, 0},
+		{5, 3, 3, 0}, // degenerate budgets: step function
+		{2, 3, 3, 1},
+	}
+	for _, c := range cases {
+		if got := clampHealth(c.raw, c.good, c.bad); got != c.want {
+			t.Errorf("clampHealth(%g,%g,%g) = %g, want %g", c.raw, c.good, c.bad, got, c.want)
+		}
+	}
+}
+
+func TestScoreMonotoneInOfferedLoad(t *testing.T) {
+	util := 0.5
+	s := quietScorer(Sources{Utilization: func() float64 { return util }}, DefaultWeights())
+	defer UnregisterGauge("feedback_score")
+	prev := 101.0
+	for _, u := range []float64{0.5, 0.9, 1.0, 1.1, 1.2, 1.35, 1.5, 1.8, 2.5} {
+		util = u
+		sc := s.Compute()
+		if sc.Value > prev {
+			t.Fatalf("score rose from %g to %g when utilization rose to %g", prev, sc.Value, u)
+		}
+		if sc.Value < 0 || sc.Value > 100 {
+			t.Fatalf("score %g out of [0,100]", sc.Value)
+		}
+		prev = sc.Value
+	}
+	// Past the Bad budget the utilization component is fully unhealthy:
+	// with weights Runtime=1 (healthy) Latency=2 (0 latency => healthy)
+	// Utilization=3, the floor is 100*(1+2)/(1+2+3) = 50.
+	if prev != 50 {
+		t.Fatalf("saturated score = %g, want 50", prev)
+	}
+}
+
+func TestScoreDropsAbsentSources(t *testing.T) {
+	// No utilization or replication sources: their weights drop out and a
+	// quiet process scores 100.
+	s := quietScorer(Sources{}, DefaultWeights())
+	defer UnregisterGauge("feedback_score")
+	sc := s.Compute()
+	if sc.Value != 100 {
+		t.Fatalf("quiet process scored %g, want 100", sc.Value)
+	}
+	for _, c := range sc.Components {
+		if c.Name == "utilization" || c.Name == "replication_lag_records" {
+			t.Fatalf("absent source %q still contributed: %+v", c.Name, c)
+		}
+	}
+}
+
+func TestScoreGaugeRegistered(t *testing.T) {
+	util := 2.0
+	s := quietScorer(Sources{Utilization: func() float64 { return util }}, Weights{Utilization: 1})
+	defer UnregisterGauge("feedback_score")
+	s.Compute()
+	v, ok := LookupMetric("feedback_score")
+	if !ok || v != 0 {
+		t.Fatalf("feedback_score gauge = %g, %v; want 0 (fully overloaded, only source)", v, ok)
+	}
+	if s.Value() != 0 {
+		t.Fatalf("Value() = %g, want 0", s.Value())
+	}
+}
+
+func TestLookupMetricPercentiles(t *testing.T) {
+	if _, ok := LookupMetric("no_such_gauge"); ok {
+		t.Fatal("unknown name resolved")
+	}
+	// A histogram-percentile name resolves (to 0 when never observed)
+	// without creating the family.
+	v, ok := LookupMetric("some_unobserved_seconds_p99")
+	if !ok || v != 0 {
+		t.Fatalf("percentile lookup = %g, %v; want 0, true", v, ok)
+	}
+}
+
+func TestWriteScoreMetrics(t *testing.T) {
+	util := 1.25
+	s := quietScorer(Sources{Utilization: func() float64 { return util }}, DefaultWeights())
+	defer UnregisterGauge("feedback_score")
+	s.Compute()
+	var sb strings.Builder
+	WriteScoreMetrics(&sb, s)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE feedback_score gauge",
+		"feedback_score ",
+		`feedback_component_health{component="utilization"} 0.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("score metrics missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package health
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"loadbalance/internal/trace"
+)
+
+// The flight recorder turns "something went wrong" into a self-contained
+// bundle on disk: one directory under <data-dir>/flightrec/ holding the
+// trace ring, log ring, a metrics snapshot, and alert state as they were
+// at the moment of the trigger. Bundles are written to a temp directory
+// and renamed into place so a crash mid-dump never leaves a half bundle
+// with a valid name, and only the newest N are kept.
+
+// BundleMeta is the bundle's meta.json.
+type BundleMeta struct {
+	Proc    string  `json:"proc"`
+	Reason  string  `json:"reason"`
+	Detail  string  `json:"detail,omitempty"`
+	WhenUs  int64   `json:"whenUs"`
+	Slowest string  `json:"slowestSession,omitempty"` // slowest session.open span's session id
+	Score   float64 `json:"feedbackScore"`
+	Firing  int     `json:"alertsFiring"`
+	Layout  string  `json:"layout"` // documents the bundle contents
+}
+
+// Recorder dumps flight-recorder bundles.
+type Recorder struct {
+	dir    string // <data-dir>/flightrec
+	keep   int
+	logger *Logger
+	scorer *Scorer // may be nil
+	engine *Engine // may be nil
+	// MetricsFn writes the process's full /metrics document (the command
+	// wires its own composition of writers here).
+	MetricsFn func(w io.Writer)
+
+	mu  sync.Mutex // serialises dumps
+	seq int        // disambiguates bundles within the same second
+}
+
+// NewRecorder builds a recorder rooted at dir (created on first dump).
+// keep <= 0 means keep 8.
+func NewRecorder(dir string, keep int, logger *Logger) *Recorder {
+	if keep <= 0 {
+		keep = 8
+	}
+	return &Recorder{dir: dir, keep: keep, logger: logger}
+}
+
+// Bind attaches the score and alert state to subsequent bundles.
+func (r *Recorder) Bind(scorer *Scorer, engine *Engine) {
+	r.mu.Lock()
+	r.scorer = scorer
+	r.engine = engine
+	r.mu.Unlock()
+}
+
+// Dir returns the bundle root.
+func (r *Recorder) Dir() string { return r.dir }
+
+func (r *Recorder) log() *Logger {
+	if r.logger != nil {
+		return r.logger
+	}
+	return Default()
+}
+
+// Dump writes one bundle and returns its directory. reason is a short
+// token ("alert", "panic", "shutdown"); detail is free text (the alert
+// name, the panic value).
+func (r *Recorder) Dump(reason, detail string) (string, error) {
+	if r == nil {
+		return "", nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	now := time.Now()
+	r.seq++
+	name := fmt.Sprintf("%s-%s-%03d", now.UTC().Format("20060102T150405Z"), reason, r.seq)
+	tmp := filepath.Join(r.dir, ".tmp-"+name)
+	final := filepath.Join(r.dir, name)
+
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return "", fmt.Errorf("health: flightrec: %w", err)
+	}
+	defer os.RemoveAll(tmp) // no-op after successful rename
+
+	traceDump := trace.Snapshot(trace.Filter{})
+	meta := BundleMeta{
+		Proc:    r.log().Proc(),
+		Reason:  reason,
+		Detail:  detail,
+		WhenUs:  now.UnixMicro(),
+		Slowest: slowestSession(traceDump.Spans),
+		Layout:  "meta.json trace.json logs.json metrics.prom alerts.json",
+	}
+	if r.scorer != nil {
+		meta.Score = r.scorer.Value()
+	}
+	if r.engine != nil {
+		meta.Firing = r.engine.FiringCount()
+	}
+
+	steps := []struct {
+		file  string
+		write func(w io.Writer) error
+	}{
+		{"meta.json", func(w io.Writer) error { return writeMetaJSON(w, &meta) }},
+		{"trace.json", func(w io.Writer) error { return trace.WriteDump(w, trace.Filter{}) }},
+		{"logs.json", func(w io.Writer) error { return WriteLogDump(w, r.log(), LogFilter{}) }},
+		{"metrics.prom", func(w io.Writer) error {
+			if r.MetricsFn != nil {
+				r.MetricsFn(w)
+				return nil
+			}
+			// No command-wired composition: fall back to the families the
+			// health layer owns plus the trace histograms.
+			WriteLogMetrics(w, r.log())
+			if r.scorer != nil {
+				WriteScoreMetrics(w, r.scorer)
+			}
+			if r.engine != nil {
+				WriteAlertMetrics(w, r.engine)
+			}
+			trace.WriteMetrics(w)
+			return nil
+		}},
+		{"alerts.json", func(w io.Writer) error {
+			var alerts []AlertStatus
+			if r.engine != nil {
+				alerts = r.engine.Status()
+			}
+			writeAlertsJSON(w, alerts)
+			return nil
+		}},
+	}
+	for _, s := range steps {
+		if err := writeBundleFile(filepath.Join(tmp, s.file), s.write); err != nil {
+			return "", fmt.Errorf("health: flightrec %s: %w", s.file, err)
+		}
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return "", fmt.Errorf("health: flightrec: %w", err)
+	}
+	r.pruneLocked()
+	r.log().Log(Info, "flightrec", "bundle written",
+		Str("reason", reason), Str("detail", detail), Str("dir", final))
+	return final, nil
+}
+
+func writeBundleFile(path string, write func(w io.Writer) error) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeMetaJSON(w io.Writer, m *BundleMeta) error {
+	b := make([]byte, 0, 256)
+	b = append(b, `{"proc":`...)
+	b = strconv.AppendQuote(b, m.Proc)
+	b = append(b, `,"reason":`...)
+	b = strconv.AppendQuote(b, m.Reason)
+	if m.Detail != "" {
+		b = append(b, `,"detail":`...)
+		b = strconv.AppendQuote(b, m.Detail)
+	}
+	b = append(b, `,"whenUs":`...)
+	b = strconv.AppendInt(b, m.WhenUs, 10)
+	if m.Slowest != "" {
+		b = append(b, `,"slowestSession":`...)
+		b = strconv.AppendQuote(b, m.Slowest)
+	}
+	b = append(b, `,"feedbackScore":`...)
+	b = strconv.AppendFloat(b, m.Score, 'g', -1, 64)
+	b = append(b, `,"alertsFiring":`...)
+	b = strconv.AppendInt(b, int64(m.Firing), 10)
+	b = append(b, `,"layout":`...)
+	b = strconv.AppendQuote(b, m.Layout)
+	b = append(b, "}\n"...)
+	_, err := w.Write(b)
+	return err
+}
+
+// slowestSession returns the session label of the longest session.open
+// span in the snapshot — the negotiation an operator wants to look at
+// first after an overload.
+func slowestSession(spans []trace.Record) string {
+	var best string
+	var bestDur int64 = -1
+	for i := range spans {
+		if spans[i].Name == "session.open" && spans[i].DurUs > bestDur {
+			bestDur = spans[i].DurUs
+			best = spans[i].Session
+		}
+	}
+	return best
+}
+
+// pruneLocked removes the oldest bundles beyond keep, plus any stale
+// temp dirs from crashed dumps. Bundle names sort chronologically.
+func (r *Recorder) pruneLocked() {
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return
+	}
+	var bundles []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if len(e.Name()) > 4 && e.Name()[:5] == ".tmp-" {
+			os.RemoveAll(filepath.Join(r.dir, e.Name()))
+			continue
+		}
+		bundles = append(bundles, e.Name())
+	}
+	sort.Strings(bundles)
+	for len(bundles) > r.keep {
+		os.RemoveAll(filepath.Join(r.dir, bundles[0]))
+		bundles = bundles[1:]
+	}
+}
+
+// ----- crash-dump hook -----
+
+// activeRecorder backs CrashDump so defer/recover sites deep in main can
+// trigger a bundle without threading the recorder through every layer.
+var activeRecorder atomic.Pointer[Recorder]
+
+// SetRecorder installs the process-wide recorder for CrashDump.
+func SetRecorder(r *Recorder) { activeRecorder.Store(r) }
+
+// CrashDump writes a bundle through the process-wide recorder (no-op if
+// none is installed). Safe to call from recover handlers.
+func CrashDump(reason, detail string) string {
+	r := activeRecorder.Load()
+	if r == nil {
+		return ""
+	}
+	dir, err := r.Dump(reason, detail)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "health: crash dump failed: %v\n", err)
+	}
+	return dir
+}

@@ -1,0 +1,163 @@
+package health
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderBundle(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "flightrec")
+	l := newTestLogger(t, Config{Proc: "fr-test", MinLevel: Debug})
+	l.Log(Warn, "alerts", "alert firing", Str("alert", "overload"))
+
+	util := 2.0
+	s := NewScorer(Sources{Utilization: func() float64 { return util }}, DefaultBudgets(), Weights{Utilization: 1})
+	s.gcStats = func() (float64, float64) { return 0, 0 }
+	defer UnregisterGauge("feedback_score")
+	s.Compute()
+
+	e := NewEngine([]RuleConfig{{Name: "overload", Metric: "feedback_score", Op: "<", Threshold: 40, For: 1}}, l)
+	e.Eval()
+
+	r := NewRecorder(dir, 3, l)
+	r.Bind(s, e)
+	bundle, err := r.Dump("alert", "overload")
+	if err != nil {
+		t.Fatalf("Dump: %v", err)
+	}
+
+	for _, f := range []string{"meta.json", "trace.json", "logs.json", "metrics.prom", "alerts.json"} {
+		if _, err := os.Stat(filepath.Join(bundle, f)); err != nil {
+			t.Fatalf("bundle missing %s: %v", f, err)
+		}
+	}
+
+	metaData, _ := os.ReadFile(filepath.Join(bundle, "meta.json"))
+	var meta BundleMeta
+	if err := json.Unmarshal(metaData, &meta); err != nil {
+		t.Fatalf("meta.json: %v\n%s", err, metaData)
+	}
+	if meta.Reason != "alert" || meta.Detail != "overload" || meta.Proc != "fr-test" {
+		t.Fatalf("meta = %+v", meta)
+	}
+	if meta.Score != 0 || meta.Firing != 1 {
+		t.Fatalf("meta score/firing = %g/%d, want 0/1", meta.Score, meta.Firing)
+	}
+
+	logsData, _ := os.ReadFile(filepath.Join(bundle, "logs.json"))
+	if !strings.Contains(string(logsData), "alert firing") {
+		t.Fatalf("logs.json missing the alert-firing event:\n%s", logsData)
+	}
+	alertsData, _ := os.ReadFile(filepath.Join(bundle, "alerts.json"))
+	if !strings.Contains(string(alertsData), `"state":"firing"`) {
+		t.Fatalf("alerts.json missing firing state:\n%s", alertsData)
+	}
+	metricsData, _ := os.ReadFile(filepath.Join(bundle, "metrics.prom"))
+	if len(metricsData) == 0 {
+		t.Fatal("metrics.prom empty")
+	}
+}
+
+func TestFlightRecorderPrune(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "flightrec")
+	l := newTestLogger(t, Config{MinLevel: Off})
+	r := NewRecorder(dir, 2, l)
+	for i := 0; i < 5; i++ {
+		if _, err := r.Dump("test", ""); err != nil {
+			t.Fatalf("Dump %d: %v", i, err)
+		}
+	}
+	// A stale temp dir from a crashed dump gets swept too.
+	stale := filepath.Join(dir, ".tmp-crashed")
+	os.MkdirAll(stale, 0o755)
+	if _, err := r.Dump("test", ""); err != nil {
+		t.Fatalf("Dump: %v", err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 2 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("after prune: %v, want 2 bundles", names)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp dir survived prune: %v", err)
+	}
+}
+
+func TestCrashDumpHook(t *testing.T) {
+	if dir := CrashDump("panic", "no recorder"); dir != "" {
+		t.Fatalf("CrashDump without recorder wrote %q", dir)
+	}
+	dir := filepath.Join(t.TempDir(), "flightrec")
+	r := NewRecorder(dir, 2, newTestLogger(t, Config{MinLevel: Off}))
+	SetRecorder(r)
+	defer SetRecorder(nil)
+	bundle := CrashDump("panic", "boom")
+	if bundle == "" {
+		t.Fatal("CrashDump wrote nothing")
+	}
+	if _, err := os.Stat(filepath.Join(bundle, "meta.json")); err != nil {
+		t.Fatalf("crash bundle incomplete: %v", err)
+	}
+}
+
+func TestResponderLine(t *testing.T) {
+	for score, want := range map[float64]string{0: "0%\n", 49.6: "50%\n", 100: "100%\n", 120: "100%\n", -3: "0%\n"} {
+		if got := feedbackLine(score); got != want {
+			t.Errorf("feedbackLine(%g) = %q, want %q", score, got, want)
+		}
+	}
+}
+
+func TestResponderServes(t *testing.T) {
+	util := 0.5
+	s := NewScorer(Sources{Utilization: func() float64 { return util }}, DefaultBudgets(), Weights{Utilization: 1})
+	s.gcStats = func() (float64, float64) { return 0, 0 }
+	defer UnregisterGauge("feedback_score")
+	s.Compute()
+
+	r, err := NewResponder("127.0.0.1:0", s)
+	if err != nil {
+		t.Fatalf("NewResponder: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { r.Serve(ctx); close(done) }()
+
+	read := func() string {
+		conn, err := net.DialTimeout("tcp", r.Addr(), 2*time.Second)
+		if err != nil {
+			t.Fatalf("dial responder: %v", err)
+		}
+		defer conn.Close()
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		buf := make([]byte, 16)
+		n, _ := conn.Read(buf)
+		return string(buf[:n])
+	}
+
+	if got := read(); got != "100%\n" {
+		t.Fatalf("healthy responder line = %q", got)
+	}
+	util = 2.0
+	s.Compute()
+	if got := read(); got != "0%\n" {
+		t.Fatalf("overloaded responder line = %q", got)
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not exit on cancel")
+	}
+}

@@ -1,0 +1,78 @@
+package health
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"loadbalance/internal/trace"
+)
+
+// The metric namespace the alert engine evaluates over: named gauges
+// registered by the process (feedback score, replication lag, journal
+// append age, ...) plus percentile views over the trace package's latency
+// histograms, addressed as "<family>_p50|_p95|_p99" — e.g.
+// "negotiation_session_seconds_p99".
+
+// GaugeFunc returns a gauge's current value.
+type GaugeFunc func() float64
+
+var (
+	gaugeMu sync.Mutex
+	gauges  = map[string]GaugeFunc{}
+)
+
+// RegisterGauge installs (or replaces) a named gauge.
+func RegisterGauge(name string, fn GaugeFunc) {
+	gaugeMu.Lock()
+	gauges[name] = fn
+	gaugeMu.Unlock()
+}
+
+// UnregisterGauge removes a named gauge.
+func UnregisterGauge(name string) {
+	gaugeMu.Lock()
+	delete(gauges, name)
+	gaugeMu.Unlock()
+}
+
+// GaugeNames returns the registered gauge names, sorted.
+func GaugeNames() []string {
+	gaugeMu.Lock()
+	defer gaugeMu.Unlock()
+	names := make([]string, 0, len(gauges))
+	for n := range gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// quantileSuffixes maps metric-name suffixes to histogram quantiles.
+var quantileSuffixes = []struct {
+	suffix string
+	q      float64
+}{{"_p50", 0.50}, {"_p95", 0.95}, {"_p99", 0.99}}
+
+// LookupMetric resolves a metric name to its current value. Registered
+// gauges win; otherwise a _p50/_p95/_p99 suffix resolves against the
+// default trace histogram registry (an unobserved histogram reads 0).
+// ok=false means the name matches neither namespace.
+func LookupMetric(name string) (v float64, ok bool) {
+	gaugeMu.Lock()
+	fn := gauges[name]
+	gaugeMu.Unlock()
+	if fn != nil {
+		return fn(), true
+	}
+	for _, qs := range quantileSuffixes {
+		if strings.HasSuffix(name, qs.suffix) && len(name) > len(qs.suffix) {
+			family := strings.TrimSuffix(name, qs.suffix)
+			// Lookup (not Get) so probing a family that never observed
+			// anything doesn't add an empty series to /metrics; a missing
+			// or empty histogram reads 0.
+			return trace.LookupHistogram(family).Quantile(qs.q), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,112 @@
+package health
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// appendEventJSON renders one event as a compact JSON object. Hand-rolled
+// for the same reason the trace dump writer is: the fields are dynamic
+// key/value pairs that encoding/json would force through maps, and the
+// file sink runs under the ring lock.
+func appendEventJSON(b []byte, proc string, ev *event) []byte {
+	b = append(b, `{"tsUs":`...)
+	b = strconv.AppendInt(b, ev.timeUs, 10)
+	b = append(b, `,"level":`...)
+	b = strconv.AppendQuote(b, ev.level.String())
+	if proc != "" {
+		b = append(b, `,"proc":`...)
+		b = strconv.AppendQuote(b, proc)
+	}
+	b = append(b, `,"component":`...)
+	b = strconv.AppendQuote(b, ev.component)
+	b = append(b, `,"msg":`...)
+	b = strconv.AppendQuote(b, ev.msg)
+	for _, f := range ev.fields {
+		b = append(b, ',')
+		b = strconv.AppendQuote(b, f.Key)
+		b = append(b, ':')
+		if f.isInt {
+			b = strconv.AppendInt(b, f.Int, 10)
+		} else {
+			b = strconv.AppendQuote(b, f.Str)
+		}
+	}
+	b = append(b, '}')
+	return b
+}
+
+// appendAPIEventJSON renders an /logs API event (same shape as the file
+// sink lines).
+func appendAPIEventJSON(b []byte, ev *Event) []byte {
+	lv, _ := ParseLevel(ev.Level)
+	e := event{timeUs: ev.TimeUs, level: lv, component: ev.Component, msg: ev.Msg, fields: ev.Fields}
+	return appendEventJSON(b, "", &e)
+}
+
+// WriteLogDump renders the logger's ring as one JSON document — the /logs
+// response body and the flight-recorder logs.json payload.
+func WriteLogDump(w io.Writer, l *Logger, f LogFilter) error {
+	events := l.Events(f)
+	total, dropped, _ := l.Stats()
+	b := make([]byte, 0, 256+128*len(events))
+	b = append(b, `{"proc":`...)
+	b = strconv.AppendQuote(b, l.Proc())
+	b = append(b, `,"total":`...)
+	b = strconv.AppendUint(b, total, 10)
+	b = append(b, `,"dropped":`...)
+	b = strconv.AppendUint(b, dropped, 10)
+	b = append(b, `,"events":[`...)
+	for i := range events {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendAPIEventJSON(b, &events[i])
+	}
+	b = append(b, "]}\n"...)
+	_, err := w.Write(b)
+	return err
+}
+
+// LogHandler serves the logger's ring as JSON. Query params: level
+// (minimum level name), component (exact match), limit (newest N).
+// Malformed params are a 400, not a silent full dump.
+func LogHandler(l *Logger) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var f LogFilter
+		q := r.URL.Query()
+		if s := q.Get("level"); s != "" {
+			lv, err := ParseLevel(s)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad level %q", s), http.StatusBadRequest)
+				return
+			}
+			f.MinLevel = lv
+		}
+		f.Component = q.Get("component")
+		if s := q.Get("limit"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n <= 0 {
+				http.Error(w, fmt.Sprintf("bad limit %q", s), http.StatusBadRequest)
+				return
+			}
+			f.Limit = n
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteLogDump(w, l, f)
+	}
+}
+
+// WriteLogMetrics renders the logger's counters in Prometheus exposition
+// format, matching the repo's fmt.Fprintf writer idiom.
+func WriteLogMetrics(w io.Writer, l *Logger) {
+	total, dropped, perLevel := l.Stats()
+	fmt.Fprintf(w, "# TYPE health_log_events_total counter\n")
+	for i, c := range perLevel {
+		fmt.Fprintf(w, "health_log_events_total{level=%q} %d\n", Level(i).String(), c)
+	}
+	fmt.Fprintf(w, "# TYPE health_log_ring_total counter\nhealth_log_ring_total %d\n", total)
+	fmt.Fprintf(w, "# TYPE health_log_ring_dropped_total counter\nhealth_log_ring_dropped_total %d\n", dropped)
+}

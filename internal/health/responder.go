@@ -1,0 +1,79 @@
+package health
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"time"
+)
+
+// The feedback responder speaks the minimal contract HAProxy agent checks
+// and lbfeedback-style balancers consume: connect, read one short
+// plain-text line — "NN%\n" — disconnect. The percentage is the live
+// feedback score rounded to an integer, so a fronting balancer weights
+// this node by its own reported health.
+
+// feedbackLine renders the responder line for a score.
+func feedbackLine(score float64) string {
+	n := int(math.Round(score))
+	if n < 0 {
+		n = 0
+	}
+	if n > 100 {
+		n = 100
+	}
+	return fmt.Sprintf("%d%%\n", n)
+}
+
+// Responder serves the feedback line over TCP, one line per connection.
+type Responder struct {
+	ln     net.Listener
+	scorer *Scorer
+}
+
+// NewResponder listens on addr (e.g. ":3333") and answers every
+// connection with the scorer's current value. Returns the responder with
+// its bound address resolvable via Addr (addr may use port 0).
+func NewResponder(addr string, scorer *Scorer) (*Responder, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("health: feedback responder: %w", err)
+	}
+	return &Responder{ln: ln, scorer: scorer}, nil
+}
+
+// Addr returns the bound listen address.
+func (r *Responder) Addr() string { return r.ln.Addr().String() }
+
+// Serve accepts connections until ctx is cancelled or the listener is
+// closed. Each connection gets the feedback line and an immediate close;
+// a slow or dead peer is abandoned after a short write deadline.
+func (r *Responder) Serve(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+		r.ln.Close()
+	}()
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		_ = conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		_, _ = conn.Write([]byte(feedbackLine(r.scorer.Value())))
+		_ = conn.Close()
+	}
+}
+
+// Close shuts the listener down.
+func (r *Responder) Close() error { return r.ln.Close() }
+
+// FeedbackHandler serves the same plain-text line over HTTP (/feedback),
+// for balancers that health-check via HTTP instead of a raw socket.
+func FeedbackHandler(scorer *Scorer) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, feedbackLine(scorer.Value()))
+	}
+}

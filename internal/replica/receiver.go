@@ -2,11 +2,11 @@ package replica
 
 import (
 	"fmt"
-	"log"
 	"sync"
 	"time"
 
 	"loadbalance/internal/bus"
+	"loadbalance/internal/health"
 	"loadbalance/internal/message"
 	"loadbalance/internal/trace"
 )
@@ -200,7 +200,7 @@ func (r *Receiver) touch() {
 // fatal records a terminal stream failure and emits its event. The run loop
 // exits instead of re-dialing: every terminal condition would simply repeat.
 func (r *Receiver) fatal(kind EventKind, msg string) {
-	log.Printf("replica: %s: %s", r.cfg.ID, msg)
+	health.Log(health.Error, "replica", msg, health.Str("id", r.cfg.ID))
 	r.mu.Lock()
 	r.status.Fatal = msg
 	r.mu.Unlock()

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"loadbalance/internal/cluster"
+	"loadbalance/internal/health"
 	"loadbalance/internal/store"
 )
 
@@ -124,6 +125,13 @@ func OpenDurable(cfg LiveConfig, dcfg DurableConfig) (*LiveEngine, *RecoveryInfo
 	}
 	info.ResumeTick = e.tick
 	info.Elapsed = time.Since(start)
+	if info.Recovered {
+		health.Log(health.Info, "telemetry", "recovered journaled run",
+			health.Str("session", cfg.Scenario.SessionID),
+			health.Int("resumeTick", int64(info.ResumeTick)),
+			health.Int("replayed", int64(info.Replayed)),
+			health.Int("snapshotSeq", int64(info.SnapshotSeq)))
+	}
 	return e, info, nil
 }
 

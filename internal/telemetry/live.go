@@ -11,6 +11,7 @@ import (
 	"loadbalance/internal/cluster"
 	"loadbalance/internal/core"
 	"loadbalance/internal/customeragent"
+	"loadbalance/internal/health"
 	"loadbalance/internal/prediction"
 	"loadbalance/internal/protocol"
 	"loadbalance/internal/store"
@@ -415,6 +416,13 @@ func (e *LiveEngine) Tick() (TickReport, error) {
 	}
 	if len(fired) > 0 {
 		rep.Breached = fired
+		if health.Enabled(health.Warn) {
+			fields := []health.Field{health.Int("tick", int64(t))}
+			for _, i := range fired {
+				fields = append(fields, health.Int("shard", int64(i)))
+			}
+			health.Log(health.Warn, "telemetry", "shard demand breached detector, re-negotiating", fields...)
+		}
 		ev, err := e.renegotiate(tickSpan.Context(), t, fired)
 		if err != nil {
 			return rep, err
@@ -552,6 +560,11 @@ func (e *LiveEngine) renegotiate(parent trace.Context, tick int, shards []int) (
 		Factors:   factors,
 	}
 	e.events = append(e.events, ev)
+	health.Log(health.Info, "telemetry", "partial re-negotiation complete",
+		health.Str("session", sessionID),
+		health.Str("outcome", res.Outcome),
+		health.Int("tick", int64(tick)),
+		health.Int("members", int64(len(members))))
 	return &ev, nil
 }
 

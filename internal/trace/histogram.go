@@ -89,6 +89,9 @@ func (h *Histogram) snapshot() (counts [nBuckets]uint64, sumNs, n uint64) {
 // Quantile returns the q-quantile (0 < q < 1) in seconds, interpolated
 // linearly within the winning bucket. Returns 0 for an empty histogram.
 func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
 	counts, _, n := h.snapshot()
 	if n == 0 {
 		return 0
@@ -199,6 +202,16 @@ func (r *Registry) HistogramL(family, labelKey, labelVal string) *Histogram {
 	return h
 }
 
+// Lookup returns the unlabeled histogram for family, or nil if it has
+// never been created — unlike Histogram it does not instantiate, so
+// read-side callers (alert rules, score sources) can probe without
+// adding empty families to /metrics.
+func (r *Registry) Lookup(family string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hs[family+"\xff"]
+}
+
 // WriteMetrics renders every histogram in Prometheus exposition format:
 // a histogram family (cumulative _bucket/_sum/_count series) followed by
 // p50/p95/p99 gauges per instance. Families are sorted for stable output.
@@ -264,6 +277,10 @@ func DefaultRegistry() *Registry { return defaultRegistry }
 
 // GetHistogram returns a histogram from the default registry.
 func GetHistogram(family string) *Histogram { return defaultRegistry.Histogram(family) }
+
+// LookupHistogram returns the default registry's histogram for family
+// without creating it; nil if it does not exist.
+func LookupHistogram(family string) *Histogram { return defaultRegistry.Lookup(family) }
 
 // GetHistogramL returns a labeled histogram from the default registry.
 func GetHistogramL(family, labelKey, labelVal string) *Histogram {

@@ -50,8 +50,10 @@ func WriteDump(w io.Writer, f Filter) error {
 //	trace=HEX    only spans of one trace
 //	limit=N      newest N matching spans
 //
-// When tracing is disabled the response is {"enabled":false,...} with
-// status 200, so scrapers need no special-casing.
+// A malformed parameter (non-hex trace, non-positive or non-numeric limit)
+// is a 400, not a silently unfiltered dump. When tracing is disabled the
+// response is {"enabled":false,...} with status 200, so scrapers need no
+// special-casing.
 func Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query()
@@ -60,10 +62,19 @@ func Handler() http.Handler {
 			Shard:   q.Get("shard"),
 			Trace:   q.Get("trace"),
 		}
-		if s := q.Get("limit"); s != "" {
-			if n, err := strconv.Atoi(s); err == nil && n > 0 {
-				f.Limit = n
+		if f.Trace != "" {
+			if _, ok := ParseID(f.Trace); !ok {
+				http.Error(w, "bad trace id (want hex)", http.StatusBadRequest)
+				return
 			}
+		}
+		if s := q.Get("limit"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n <= 0 {
+				http.Error(w, "bad limit (want a positive integer)", http.StatusBadRequest)
+				return
+			}
+			f.Limit = n
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = WriteDump(w, f)
