@@ -282,7 +282,7 @@ func checkBaseline(rec, base Run, maxPct float64) []string {
 			continue
 		}
 		r := n / b
-		ratios = append(ratios, r)
+		ratios = append(ratios, r) //gridlint:allow floatmaprange(ratios are sorted before the median is taken, pairs are per-name floors; order-independent)
 		pairs = append(pairs, pair{name, r})
 	}
 	if len(ratios) == 0 {

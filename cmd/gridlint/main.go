@@ -1,0 +1,93 @@
+// Command gridlint runs the repo's custom determinism/logging/locking
+// analyzers (internal/lint) over the packages matching the given patterns.
+//
+// Exit codes follow the gofmt -l convention:
+//
+//	0  no findings: the tree satisfies every invariant
+//	1  findings were printed (one per line)
+//	2  operational error: bad flags, unloadable packages, analyzer crash
+//
+// so CI can distinguish "violations" from "the linter itself broke".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"loadbalance/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gridlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as one JSON object per line ({analyzer,file,line,col,message})")
+	list := fs.Bool("list", false, "list the analyzers and their invariants, then exit 0")
+	dir := fs.String("C", ".", "directory to resolve package patterns from")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, `usage: gridlint [flags] [packages]
+
+Runs the gridlint analyzer suite (floatmaprange, walltime, globalrand,
+structuredlog, lockedsend) over the packages matching the patterns
+(default ./...). Violations can be suppressed at reviewed sites with
+
+    //gridlint:allow analyzer(reason)
+
+on the offending line or the line above; malformed annotations are
+findings themselves and cannot be suppressed.
+
+Exit codes (gofmt-style): 0 clean, 1 findings printed, 2 operational
+error (bad flags, unloadable packages).
+
+Flags:
+`)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "gridlint: %v\n", err)
+		return 2
+	}
+	findings, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "gridlint: %v\n", err)
+		return 2
+	}
+	if len(findings) == 0 {
+		return 0
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		for _, f := range findings {
+			if err := enc.Encode(f); err != nil {
+				fmt.Fprintf(stderr, "gridlint: %v\n", err)
+				return 2
+			}
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	return 1
+}

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// seedModule materializes a minimal module with one package at relPkg
+// containing src, and returns the module root.
+func seedModule(t *testing.T, relPkg, src string) string {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module seeded\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, filepath.FromSlash(relPkg))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "code.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestSeededViolationFailsTheBuild is the negative fixture the acceptance
+// criteria ask for: prove that the exact CI invocation (gridlint over a
+// tree containing a violation) exits non-zero and names the violation. A
+// time.Now inside internal/protocol is the seeded bug — the deterministic
+// replay surface reading the wall clock.
+func TestSeededViolationFailsTheBuild(t *testing.T) {
+	root := seedModule(t, "internal/protocol", `package protocol
+
+import "time"
+
+// Stamp leaks the wall clock into the replay surface.
+func Stamp() time.Time {
+	return time.Now()
+}
+`)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", root, "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("want exit 1 on seeded violation, got %d (stderr: %s)", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "walltime") || !strings.Contains(out, "time.Now") {
+		t.Fatalf("finding should name the analyzer and the call, got:\n%s", out)
+	}
+}
+
+// TestSeededViolationJSONMode checks the -json contract: one valid JSON
+// object per line with the documented keys.
+func TestSeededViolationJSONMode(t *testing.T) {
+	root := seedModule(t, "internal/core", `package core
+
+import "math/rand"
+
+func Draw() float64 { return rand.Float64() }
+`)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "-C", root, "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("want exit 1, got %d (stderr: %s)", code, stderr.String())
+	}
+	sc := bufio.NewScanner(bytes.NewReader(stdout.Bytes()))
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var f struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Message  string `json:"message"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v: %s", lines, err, sc.Text())
+		}
+		if f.Analyzer == "" || f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Fatalf("incomplete JSON finding: %s", sc.Text())
+		}
+	}
+	if lines != 1 {
+		t.Fatalf("want exactly 1 JSON finding line, got %d:\n%s", lines, stdout.String())
+	}
+}
+
+// TestAnnotatedSeedPasses proves the escape hatch: the same violation with
+// a well-formed annotation exits 0.
+func TestAnnotatedSeedPasses(t *testing.T) {
+	root := seedModule(t, "internal/protocol", `package protocol
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now() //gridlint:allow walltime(seeded fixture: genuine measurement site)
+}
+`)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", root, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("want exit 0 with annotation, got %d:\n%s%s", code, stdout.String(), stderr.String())
+	}
+}
+
+// TestMalformedAnnotationStillFails proves a broken escape hatch cannot
+// silence the check it was escaping.
+func TestMalformedAnnotationStillFails(t *testing.T) {
+	root := seedModule(t, "internal/protocol", `package protocol
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now() //gridlint:allow walltime
+}
+`)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", root, "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("want exit 1 on malformed annotation, got %d", code)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "malformed annotation") || !strings.Contains(out, "walltime") {
+		t.Fatalf("want both the malformed-annotation and the walltime finding, got:\n%s", out)
+	}
+}
+
+// TestCleanTreeExitsZero runs the exact CI invocation against this repo:
+// exit 0 and no output is the contract the CI step depends on.
+func TestCleanTreeExitsZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole repo")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", "../..", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("repo must lint clean, got exit %d:\n%s%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("clean run must print nothing, got:\n%s", stdout.String())
+	}
+}
+
+func TestExitCodeContract(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	// Operational error: pattern that matches nothing loadable.
+	if code := run([]string{"-C", t.TempDir(), "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("want exit 2 for unloadable patterns, got %d", code)
+	}
+	// Bad flag.
+	if code := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("want exit 2 for bad flags, got %d", code)
+	}
+	// -list exits 0 and names every analyzer.
+	stdout.Reset()
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("want exit 0 for -list, got %d", code)
+	}
+	for _, name := range []string{"floatmaprange", "walltime", "globalrand", "structuredlog", "lockedsend"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, stdout.String())
+		}
+	}
+}

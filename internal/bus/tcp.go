@@ -606,7 +606,7 @@ func (c *Client) Send(env message.Envelope) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	_ = c.conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
-	_, err := c.conn.Write(buf)
+	_, err := c.conn.Write(buf) //gridlint:allow lockedsend(wmu is a dedicated per-connection writer gate, not a state lock; encode happens outside it and Close aborts in-flight writes)
 	_ = c.conn.SetWriteDeadline(time.Time{})
 	if err != nil {
 		return fmt.Errorf("bus: send: %w", err)

@@ -269,7 +269,7 @@ func (c *Concentrator) relayAnnouncement(tc trace.Context, from string, m messag
 	}
 	if c.cfg.RoundTimeout > 0 {
 		round := m.Round
-		time.AfterFunc(c.cfg.RoundTimeout, func() {
+		time.AfterFunc(c.cfg.RoundTimeout, func() { //gridlint:allow walltime(round liveness timeout; closes a round on silence, never changes a collected bid)
 			_ = c.closeShardRound(round)
 		})
 	}

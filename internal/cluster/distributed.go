@@ -94,7 +94,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 		close(upDead)
 	}()
 
-	tick := time.NewTicker(5 * time.Millisecond)
+	tick := time.NewTicker(5 * time.Millisecond) //gridlint:allow walltime(worker-liveness poll ticker; gates startup, not negotiation values)
 	defer tick.Stop()
 	for !cc.Done() {
 		select {
@@ -203,7 +203,7 @@ func RunDistributed(cfg DistributedConfig) (*DistributedResult, error) {
 	}
 	defer rootSrv.Close()
 
-	start := time.Now()
+	start := time.Now() //gridlint:allow walltime(wall-duration measurement for Result.Elapsed; never feeds negotiated state)
 
 	var runtimes []*agentrt.Runtime
 	var tier *Tier
@@ -280,7 +280,7 @@ func RunDistributed(cfg DistributedConfig) (*DistributedResult, error) {
 	var uaResult utilityagent.Result
 	select {
 	case uaResult = <-ua.Done():
-	case <-time.After(timeout):
+	case <-time.After(timeout): //gridlint:allow walltime(liveness timeout for a stalled distributed fleet; fires only when the run already failed)
 		return nil, fmt.Errorf("%w after %v", ErrTimeout, timeout)
 	}
 
@@ -288,8 +288,8 @@ func RunDistributed(cfg DistributedConfig) (*DistributedResult, error) {
 	// customers; drain until every in-process member saw them (bounded, like
 	// the in-proc engine's drain).
 	if len(uaResult.History) > 0 {
-		drainDeadline := time.Now().Add(2 * time.Second)
-		for time.Now().Before(drainDeadline) {
+		drainDeadline := time.Now().Add(2 * time.Second) //gridlint:allow walltime(bounded award-drain deadline; liveness only, awards are already decided)
+		for time.Now().Before(drainDeadline) {           //gridlint:allow walltime(bounded award-drain deadline; liveness only, awards are already decided)
 			if allRelayed(tier.Concentrators) && allAwarded(tier.Concentrators, cas, s.SessionID) {
 				break
 			}
@@ -303,7 +303,7 @@ func RunDistributed(cfg DistributedConfig) (*DistributedResult, error) {
 			Shards:    topo.Shards(),
 			ParentBus: rootBus.Stats(),
 			FinalBids: make(map[string]float64, len(cas)),
-			Elapsed:   time.Since(start),
+			Elapsed:   time.Since(start), //gridlint:allow walltime(wall-duration measurement for Result.Elapsed; never feeds negotiated state)
 		},
 		MemberAwards: make(map[string]message.Award, len(cas)),
 	}

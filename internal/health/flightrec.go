@@ -256,7 +256,7 @@ func CrashDump(reason, detail string) string {
 	}
 	dir, err := r.Dump(reason, detail)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "health: crash dump failed: %v\n", err)
+		fmt.Fprintf(os.Stderr, "health: crash dump failed: %v\n", err) //gridlint:allow structuredlog(crash-dump failure is the last resort; the logger may be the thing that is broken)
 	}
 	return dir
 }

@@ -260,7 +260,7 @@ func (l *Logger) record(lv Level, component, msg string, fields []Field) {
 	l.mu.Unlock()
 
 	if lv >= l.stderrLevel && l.stderrLevel < Off {
-		fmt.Fprintf(os.Stderr, "%s %s %s: %s%s\n",
+		fmt.Fprintf(os.Stderr, "%s %s %s: %s%s\n", //gridlint:allow structuredlog(this is the structured logger itself: its warn+ stderr mirror)
 			time.UnixMicro(ev.timeUs).UTC().Format(time.RFC3339Nano),
 			lv, component, msg, renderFields(ev.fields))
 	}

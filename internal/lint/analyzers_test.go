@@ -1,0 +1,63 @@
+package lint_test
+
+import (
+	"regexp"
+	"testing"
+
+	"loadbalance/internal/lint"
+	"loadbalance/internal/lint/linttest"
+)
+
+func TestFloatMapRange(t *testing.T) {
+	linttest.Run(t, "testdata/src/floatmaprange/flag", "floatmaprange/flag", lint.FloatMapRange())
+	linttest.Run(t, "testdata/src/floatmaprange/clean", "floatmaprange/clean", lint.FloatMapRange())
+}
+
+func walltimeForTest() *lint.Analyzer {
+	return lint.Walltime(lint.WalltimeConfig{
+		ForbiddenPkgs: []string{"walltime/flag"},
+		RestrictedFuncs: map[string]*regexp.Regexp{
+			"walltime/restricted": regexp.MustCompile(`^(Restore.*|applyJournalRecord)$`),
+		},
+	})
+}
+
+func TestWalltime(t *testing.T) {
+	linttest.Run(t, "testdata/src/walltime/flag", "walltime/flag", walltimeForTest())
+	linttest.Run(t, "testdata/src/walltime/clean", "walltime/clean", walltimeForTest())
+	linttest.Run(t, "testdata/src/walltime/restricted", "walltime/restricted", walltimeForTest())
+}
+
+func TestGlobalRand(t *testing.T) {
+	linttest.Run(t, "testdata/src/globalrand/flag", "globalrand/flag", lint.GlobalRand())
+	linttest.Run(t, "testdata/src/globalrand/clean", "globalrand/clean", lint.GlobalRand())
+}
+
+func TestStructuredLog(t *testing.T) {
+	linttest.Run(t, "testdata/src/structuredlog/flag", "structuredlog/flag", lint.StructuredLog())
+	linttest.Run(t, "testdata/src/structuredlog/clean", "structuredlog/clean", lint.StructuredLog())
+	linttest.Run(t, "testdata/src/structuredlog/mainpkg", "structuredlog/mainpkg", lint.StructuredLog())
+}
+
+func TestLockedSend(t *testing.T) {
+	linttest.Run(t, "testdata/src/lockedsend/flag", "lockedsend/flag", lint.LockedSend())
+	linttest.Run(t, "testdata/src/lockedsend/clean", "lockedsend/clean", lint.LockedSend())
+}
+
+// TestDefaultAnalyzers pins the suite's composition: CI wiring and the
+// README document these five names.
+func TestDefaultAnalyzers(t *testing.T) {
+	want := []string{"floatmaprange", "walltime", "globalrand", "structuredlog", "lockedsend"}
+	got := lint.DefaultAnalyzers()
+	if len(got) != len(want) {
+		t.Fatalf("got %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing doc or run", a.Name)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Annotation grammar
+//
+//	//gridlint:allow name(reason)
+//	//gridlint:allow name(reason), name2(reason2)
+//
+// where name is a registered analyzer name and reason is non-empty free
+// text (anything but an unbalanced ')'). The annotation suppresses findings
+// from the named analyzers on the line it appears on (trailing comment) or
+// on the line directly below it (own-line comment). Anything else after the
+// "//gridlint:" prefix — an unknown verb, an unknown analyzer name, a
+// missing or empty reason, trailing junk — is itself reported as a finding
+// under AnnotationAnalyzerName and suppresses nothing.
+
+const annPrefix = "gridlint:"
+
+// allowSet maps file -> line -> set of analyzer names allowed there.
+// A diagnostic at (file, line) is suppressed when its analyzer is allowed
+// at that line (trailing annotation) or at the line above (own-line
+// annotation).
+type allowSet map[string]map[int]map[string]bool
+
+func (s allowSet) add(file string, line int, analyzer string) {
+	byLine := s[file]
+	if byLine == nil {
+		byLine = make(map[int]map[string]bool)
+		s[file] = byLine
+	}
+	names := byLine[line]
+	if names == nil {
+		names = make(map[string]bool)
+		byLine[line] = names
+	}
+	names[analyzer] = true
+}
+
+func (s allowSet) suppressed(analyzer string, pos token.Position) bool {
+	byLine := s[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	return byLine[pos.Line][analyzer] || byLine[pos.Line-1][analyzer]
+}
+
+// parseAnnotations scans every comment in the files for gridlint
+// annotations. known is the set of analyzer names that may be allowed;
+// anything else is malformed.
+func parseAnnotations(fset *token.FileSet, files []*ast.File, known map[string]bool) (allowSet, []rawDiag) {
+	allows := make(allowSet)
+	var bad []rawDiag
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+annPrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				names, err := parseAllowBody(text)
+				if err != nil {
+					bad = append(bad, rawDiag{
+						analyzer: AnnotationAnalyzerName,
+						pos:      pos,
+						message:  fmt.Sprintf("malformed annotation %q: %v", c.Text, err),
+					})
+					continue
+				}
+				for _, name := range names {
+					if !known[name] {
+						bad = append(bad, rawDiag{
+							analyzer: AnnotationAnalyzerName,
+							pos:      pos,
+							message:  fmt.Sprintf("malformed annotation %q: unknown analyzer %q", c.Text, name),
+						})
+						continue
+					}
+					if name == AnnotationAnalyzerName {
+						bad = append(bad, rawDiag{
+							analyzer: AnnotationAnalyzerName,
+							pos:      pos,
+							message:  fmt.Sprintf("malformed annotation %q: annotation findings cannot be allowed", c.Text),
+						})
+						continue
+					}
+					allows.add(pos.Filename, pos.Line, name)
+				}
+			}
+		}
+	}
+	return allows, bad
+}
+
+// parseAllowBody parses the text after "//gridlint:" into allowed analyzer
+// names. It validates the grammar but not name registration (the caller
+// checks names against the known set so the error message can distinguish
+// the cases).
+func parseAllowBody(text string) ([]string, error) {
+	verb := text
+	if i := strings.IndexAny(verb, " \t("); i >= 0 {
+		verb = verb[:i]
+	}
+	if verb != "allow" {
+		return nil, fmt.Errorf("unknown verb %q (only \"allow\" is defined)", verb)
+	}
+	rest := text[len(verb):]
+	if rest == "" || !(rest[0] == ' ' || rest[0] == '\t') {
+		return nil, fmt.Errorf("missing space after \"allow\"")
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return nil, fmt.Errorf("missing analyzer list")
+	}
+	var names []string
+	for {
+		open := strings.IndexByte(rest, '(')
+		if open < 0 {
+			return nil, fmt.Errorf("missing (reason) after %q", strings.TrimSpace(rest))
+		}
+		name := strings.TrimSpace(rest[:open])
+		if !isIdent(name) {
+			return nil, fmt.Errorf("bad analyzer name %q", name)
+		}
+		close := strings.IndexByte(rest[open:], ')')
+		if close < 0 {
+			return nil, fmt.Errorf("unclosed reason for %q", name)
+		}
+		reason := strings.TrimSpace(rest[open+1 : open+close])
+		if reason == "" {
+			return nil, fmt.Errorf("empty reason for %q", name)
+		}
+		names = append(names, name)
+		rest = strings.TrimSpace(rest[open+close+1:])
+		if rest == "" {
+			return names, nil
+		}
+		var found bool
+		rest, found = strings.CutPrefix(rest, ",")
+		if !found {
+			return nil, fmt.Errorf("trailing text %q", rest)
+		}
+		rest = strings.TrimSpace(rest)
+	}
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !(r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '_') {
+			return false
+		}
+	}
+	return true
+}

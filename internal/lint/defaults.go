@@ -1,0 +1,40 @@
+package lint
+
+import "regexp"
+
+// replayRestoreFuncs matches the telemetry functions that form the
+// replay/restore surface: crash recovery (OpenDurable), standby replay
+// (OpenStandby, Promote, the shared applySnapshotState/applyJournalRecord/
+// finishReplay helpers), and the Restore*/SkipTicks state re-seeding
+// entry points they call.
+var replayRestoreFuncs = regexp.MustCompile(
+	`(?i)^(Restore.*|Replay.*|Recover.*|SkipTicks|applySnapshotState|applyJournalRecord|finishReplay|OpenDurable|OpenStandby|Promote)$`)
+
+// DefaultWalltimeConfig scopes walltime to this repo's deterministic
+// replay surface.
+func DefaultWalltimeConfig() WalltimeConfig {
+	return WalltimeConfig{
+		ForbiddenPkgs: []string{
+			"internal/protocol",
+			"internal/core",
+			"internal/cluster",
+			"internal/utilityagent",
+		},
+		RestrictedFuncs: map[string]*regexp.Regexp{
+			"internal/telemetry": replayRestoreFuncs,
+		},
+	}
+}
+
+// DefaultAnalyzers returns the gridlint suite with repo-default scopes.
+// Order is the order findings list analyzers in -list output; findings
+// themselves sort by position.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		FloatMapRange(),
+		Walltime(DefaultWalltimeConfig()),
+		GlobalRand(),
+		StructuredLog(),
+		LockedSend(),
+	}
+}

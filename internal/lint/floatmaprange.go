@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatMapRange returns the floatmaprange analyzer.
+//
+// Invariant guarded: float accumulation must run in deterministic order.
+// Go map iteration order is deliberately randomized, and float addition is
+// not associative, so `for _, v := range m { total += f(v) }` makes two
+// runs of the same seeded scenario disagree in the last ulp — and every
+// reward table derived from the total with them. PR 3 burned a full
+// debugging cycle on exactly this class before protocol.PredictedOveruse
+// switched to sorted-key summation.
+//
+// The analyzer flags any `for … range` statement over a map whose body
+// accumulates into a float-typed variable: `x += …`, `x -= …`, `x *= …`,
+// `x /= …`, `x = x + …` / `x = f(x, …)` (min/max/method-chain
+// accumulators), or append to a float slice (the append-then-sum pattern).
+// The fix is to collect the keys, sort them, and range over the sorted
+// slice; a provably order-independent accumulation can carry
+// //gridlint:allow floatmaprange(why it is order-independent).
+func FloatMapRange() *Analyzer {
+	return &Analyzer{
+		Name: "floatmaprange",
+		Doc:  "flags order-sensitive float accumulation inside map-range loops",
+		Run:  runFloatMapRange,
+	}
+}
+
+func runFloatMapRange(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(pass, rng)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.RangeStmt:
+			// A nested range gets its own visit from runFloatMapRange;
+			// accumulations inside it are attributed to the inner loop
+			// (sorting the outer keys would not fix them anyway, and
+			// attributing them twice would demand duplicate annotations).
+			if s != rng {
+				return false
+			}
+		case *ast.FuncLit:
+			// A closure's body does not necessarily execute per iteration.
+			return false
+		case *ast.AssignStmt:
+			checkAccumAssign(pass, rng, s)
+		case *ast.CallExpr:
+			checkAccumAppend(pass, rng, s)
+		}
+		return true
+	})
+}
+
+func checkAccumAssign(pass *Pass, rng *ast.RangeStmt, as *ast.AssignStmt) {
+	info := pass.TypesInfo
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range as.Lhs {
+			if t, ok := info.Types[lhs]; ok && isFloat(t.Type) && declaredOutside(pass, rng, lhs) {
+				pass.Reportf(as.Pos(),
+					"float accumulation (%s) inside range over map %s: map order is random and float %s is order-sensitive; iterate sorted keys",
+					as.Tok, types.ExprString(rng.X), as.Tok)
+				return
+			}
+		}
+	case token.ASSIGN:
+		// x = x + v, x = math.Min(x, v), acc = acc.Add(v): a float-typed
+		// LHS that also appears in the RHS is an accumulator.
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			t, ok := info.Types[lhs]
+			if !ok || !isFloat(t.Type) || !declaredOutside(pass, rng, lhs) {
+				continue
+			}
+			lhsObj := lhsObject(info, lhs)
+			if lhsObj == nil {
+				continue
+			}
+			if mentions(info, as.Rhs[i], map[types.Object]bool{lhsObj: true}) {
+				pass.Reportf(as.Pos(),
+					"float accumulator %s updated from itself inside range over map %s: map order is random; iterate sorted keys",
+					types.ExprString(lhs), types.ExprString(rng.X))
+				return
+			}
+		}
+	}
+}
+
+// checkAccumAppend flags append(s, v…) where s has float elements: the
+// appended slice is almost always summed or diffed later, and its order is
+// the map's random iteration order.
+func checkAccumAppend(pass *Pass, rng *ast.RangeStmt, call *ast.CallExpr) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) < 2 {
+		return
+	}
+	if obj := pass.TypesInfo.Uses[id]; obj == nil || obj.Parent() != types.Universe {
+		return
+	}
+	t, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	slice, ok := t.Type.Underlying().(*types.Slice)
+	if !ok || !isFloat(slice.Elem()) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"append to float slice %s inside range over map %s collects values in random map order; iterate sorted keys",
+		types.ExprString(call.Args[0]), types.ExprString(rng.X))
+}
+
+// declaredOutside reports whether the variable behind expr is declared
+// outside the range statement: accumulating into a loop-local resets each
+// iteration and is order-independent.
+func declaredOutside(pass *Pass, rng *ast.RangeStmt, expr ast.Expr) bool {
+	obj := lhsObject(pass.TypesInfo, expr)
+	if obj == nil {
+		// Field or index accumulators (out.Total += v, sums[k] += v): the
+		// container outlives the loop; treat as outside.
+		return true
+	}
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+// lhsObject resolves the root object an assignable expression writes
+// through: the object of `x`, `x.f`, `x[i]`.
+func lhsObject(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[e]; obj != nil {
+				return obj
+			}
+			return info.Defs[e]
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// globalRandExempt are math/rand package-level functions that construct
+// seeded generators or sources rather than consuming the shared global
+// one.
+var globalRandExempt = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// GlobalRand returns the globalrand analyzer.
+//
+// Invariant guarded: every random draw must come from a seeded *rand.Rand
+// threaded in from scenario config. The package-global math/rand functions
+// share one process-wide source, so any draw through them entangles
+// otherwise-independent components: meters, synthetic scenarios and bus
+// jitter each carry their own seed precisely so that a replayed run — and
+// a resharded one — consumes identical streams. (Seeding the global source
+// would not help: draw order across goroutines is still scheduler-
+// dependent.)
+func GlobalRand() *Analyzer {
+	return &Analyzer{
+		Name: "globalrand",
+		Doc:  "forbids package-global math/rand functions in favor of seeded *rand.Rand instances",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := callee(pass.TypesInfo, call)
+					if fn == nil || fn.Pkg() == nil {
+						return true
+					}
+					path := fn.Pkg().Path()
+					if path != "math/rand" && path != "math/rand/v2" {
+						return true
+					}
+					if globalRandExempt[fn.Name()] || !isPkgFunc(fn, path, fn.Name()) {
+						return true
+					}
+					pass.Reportf(call.Pos(),
+						"package-global %s.%s draws from the shared process-wide source: thread a seeded *rand.Rand from scenario config instead",
+						path, fn.Name())
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,148 @@
+// Package lint implements gridlint: a suite of static analyzers that
+// mechanically enforce the invariants this repo's byte-identical-equivalence
+// tests depend on — sorted-order float summation, no wall clock or global RNG
+// in replayed paths, structured logging only, no blocking sends under locks.
+//
+// The API deliberately mirrors golang.org/x/tools/go/analysis (Analyzer,
+// Pass, Diagnostic) so the suite can migrate onto the real framework the day
+// the dependency is available; this build environment is offline with an
+// empty module cache, so everything here is standard library only. Package
+// loading shells out to `go list -export` and type-checks against compiler
+// export data (see load.go), which is the same substrate x/tools uses.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one invariant check. It is run once per loaded
+// package.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in
+	// //gridlint:allow annotations. Lowercase identifier.
+	Name string
+	// Doc is a one-paragraph description: the invariant guarded and why.
+	Doc string
+	// Run inspects the package via pass and reports violations with
+	// pass.Reportf. The error return is for operational failures only
+	// (it aborts the whole run), never for findings.
+	Run func(pass *Pass) error
+}
+
+// A Pass hands one package to one analyzer, mirroring analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	// PkgPath is the package's import path (for testdata fixtures, the
+	// fixture's synthetic path); scope-gated analyzers match against it.
+	PkgPath   string
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	diags     *[]rawDiag
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, rawDiag{
+		analyzer: p.Analyzer.Name,
+		pos:      p.Fset.Position(pos),
+		message:  fmt.Sprintf(format, args...),
+	})
+}
+
+type rawDiag struct {
+	analyzer string
+	pos      token.Position
+	message  string
+}
+
+// A Finding is one reported violation, in the shape cmd/gridlint prints
+// (and marshals in -json mode).
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String renders the finding in the classic file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// AnnotationAnalyzerName is the analyzer name under which malformed
+// //gridlint: annotations are reported. Findings under this name cannot be
+// suppressed: a broken escape hatch must never silence the check it was
+// escaping.
+const AnnotationAnalyzerName = "gridlint"
+
+// Run executes every analyzer over every package, applies //gridlint:allow
+// suppression, and returns the surviving findings sorted by position.
+// Malformed annotations become findings themselves.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var findings []Finding
+	for _, pkg := range pkgs {
+		allows, badAnns := parseAnnotations(pkg.Fset, pkg.Files, known)
+		for _, ba := range badAnns {
+			findings = append(findings, Finding{
+				Analyzer: AnnotationAnalyzerName,
+				File:     ba.pos.Filename,
+				Line:     ba.pos.Line,
+				Col:      ba.pos.Column,
+				Message:  ba.message,
+			})
+		}
+		var diags []rawDiag
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				PkgPath:   pkg.PkgPath,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+		for _, d := range diags {
+			if allows.suppressed(d.analyzer, d.pos) {
+				continue
+			}
+			findings = append(findings, Finding{
+				Analyzer: d.analyzer,
+				File:     d.pos.Filename,
+				Line:     d.pos.Line,
+				Col:      d.pos.Column,
+				Message:  d.message,
+			})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

@@ -1,0 +1,140 @@
+package lint_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"loadbalance/internal/lint"
+)
+
+// writeFixture materializes a one-file package in a temp dir.
+func writeFixture(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "fix.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunReportsSortedAndSuppressed(t *testing.T) {
+	dir := writeFixture(t, `package fix
+
+import "math/rand"
+
+func b() int { return rand.Int() }
+
+func a() float64 {
+	return rand.Float64() //gridlint:allow globalrand(seed irrelevant here: test fixture)
+}
+
+func c() int { return rand.Intn(7) }
+`)
+	pkg, err := lint.LoadDir(dir, "fix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{lint.GlobalRand()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("want 2 findings (one suppressed), got %d: %v", len(findings), findings)
+	}
+	if !sort.SliceIsSorted(findings, func(i, j int) bool {
+		return findings[i].Line < findings[j].Line
+	}) {
+		t.Errorf("findings not sorted by position: %v", findings)
+	}
+	for _, f := range findings {
+		if f.Analyzer != "globalrand" || f.File == "" || f.Line == 0 || f.Col == 0 {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+	}
+}
+
+func TestRunSurfacesMalformedAnnotations(t *testing.T) {
+	dir := writeFixture(t, `package fix
+
+import "math/rand"
+
+func a() float64 {
+	return rand.Float64() //gridlint:allow globalrand
+}
+`)
+	pkg, err := lint.LoadDir(dir, "fix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{lint.GlobalRand()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The malformed annotation must NOT suppress, and must itself be a
+	// finding under the unsuppressable "gridlint" name.
+	var annCount, randCount int
+	for _, f := range findings {
+		switch f.Analyzer {
+		case lint.AnnotationAnalyzerName:
+			annCount++
+		case "globalrand":
+			randCount++
+		}
+	}
+	if annCount != 1 || randCount != 1 {
+		t.Fatalf("want 1 annotation + 1 globalrand finding, got %v", findings)
+	}
+}
+
+func TestFindingJSONShape(t *testing.T) {
+	f := lint.Finding{Analyzer: "walltime", File: "x.go", Line: 3, Col: 9, Message: "m"}
+	b, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"analyzer", "file", "line", "col", "message"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("JSON missing key %q: %s", k, b)
+		}
+	}
+	if got, want := f.String(), "x.go:3:9: walltime: m"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestLoadRepoPackage(t *testing.T) {
+	pkgs, err := lint.Load("../..", "./internal/units")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("want 1 package, got %d", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.PkgPath != "loadbalance/internal/units" || p.Types == nil || p.TypesInfo == nil || len(p.Files) == 0 {
+		t.Fatalf("incomplete package: %+v", p)
+	}
+}
+
+func TestLoadDirRejectsEmptyDir(t *testing.T) {
+	if _, err := lint.LoadDir(t.TempDir(), "empty"); err == nil {
+		t.Fatal("want error for a directory with no Go files")
+	}
+}
+
+func TestLoadDirRejectsBrokenSource(t *testing.T) {
+	dir := writeFixture(t, `package fix
+
+func broken() { undefinedSymbol() }
+`)
+	if _, err := lint.LoadDir(dir, "fix"); err == nil {
+		t.Fatal("want typecheck error for broken source")
+	}
+}

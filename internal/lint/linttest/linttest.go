@@ -1,0 +1,118 @@
+// Package linttest runs lint analyzers over testdata fixture packages and
+// checks reported findings against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest's contract:
+//
+//	total += v // want `float accumulation`
+//
+// A line with one or more want comments must produce exactly the findings
+// whose messages match the given (backquoted) regexps; any other finding,
+// and any unmatched want, fails the test. Annotations (//gridlint:allow)
+// are honored, so fixtures can also prove the escape hatch suppresses.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"loadbalance/internal/lint"
+)
+
+// Run loads the fixture package in dir (relative to the test's working
+// directory, e.g. "testdata/src/floatmaprange/flag"), gives it pkgPath as
+// its import path, runs the analyzers, and diffs findings against the
+// fixture's want comments.
+func Run(t *testing.T, dir, pkgPath string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	pkg, err := lint.LoadDir(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	findings, err := lint.Run([]*lint.Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("run %s: %v", dir, err)
+	}
+	wants := collectWants(t, pkg)
+
+	matched := make([]bool, len(findings))
+	for _, w := range wants {
+		found := false
+		for i, f := range findings {
+			if matched[i] || f.File != w.file || f.Line != w.line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: no finding matching %q", w.file, w.line, w.re)
+		}
+	}
+	for i, f := range findings {
+		if !matched[i] {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// collectWants extracts want expectations from the fixture's comments. A
+// want comment applies to the line it sits on.
+func collectWants(t *testing.T, pkg *lint.Package) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := splitWantPatterns(text)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitWantPatterns parses a want payload: one or more space-separated
+// backquoted regexps.
+func splitWantPatterns(text string) ([]string, error) {
+	var out []string
+	rest := strings.TrimSpace(text)
+	for rest != "" {
+		if rest[0] != '`' {
+			return nil, fmt.Errorf("pattern must be backquoted: %q", rest)
+		}
+		end := strings.IndexByte(rest[1:], '`')
+		if end < 0 {
+			return nil, fmt.Errorf("unclosed backquote in %q", rest)
+		}
+		out = append(out, rest[1:1+end])
+		rest = strings.TrimSpace(rest[end+2:])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want")
+	}
+	return out, nil
+}

@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// A Package is one loaded, parsed and type-checked package ready for
+// analysis.
+type Package struct {
+	PkgPath   string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Load loads the packages matching the go-list patterns (e.g. "./...")
+// rooted at dir, parses their non-test Go files with comments, and
+// type-checks them against compiler export data produced by
+// `go list -export`. It needs no network and no module downloads: export
+// data for the standard library and the module's own packages comes out of
+// the build cache.
+//
+// Test files are not loaded: the invariants gridlint guards are about
+// production replay paths, and test-only wall-clock or logging is fine.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := goList(dir, nil, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	deps, err := goList(dir, []string{"-export", "-deps"}, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(deps))
+	for _, p := range deps {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Standard {
+			continue
+		}
+		pkg, err := checkPackage(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir loads a single package from the .go files directly inside dir
+// (no `go list` involvement, so it works on testdata trees the go tool
+// ignores). pkgPath is the synthetic import path given to the package;
+// scope-gated analyzers match against it. Imports must resolve within the
+// standard library.
+func LoadDir(dir, pkgPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+	sort.Strings(files)
+	fset := token.NewFileSet()
+	imp, err := stdlibImporter(fset)
+	if err != nil {
+		return nil, err
+	}
+	return checkPackage(fset, imp, pkgPath, dir, files)
+}
+
+func checkPackage(fset *token.FileSet, imp types.Importer, pkgPath, dir string, fileNames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", pkgPath, err)
+	}
+	return &Package{PkgPath: pkgPath, Fset: fset, Files: files, Types: tpkg, TypesInfo: info}, nil
+}
+
+// exportImporter type-checks imports from the export-data files goList
+// collected.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// stdlibExports caches standard-library export data across LoadDir calls:
+// `go list -export std` is a one-time ~seconds cost per process, nothing
+// per fixture.
+var stdlibExports struct {
+	once sync.Once
+	m    map[string]string
+	err  error
+}
+
+func stdlibImporter(fset *token.FileSet) (types.Importer, error) {
+	stdlibExports.once.Do(func() {
+		pkgs, err := goList(".", []string{"-export", "-deps"}, "std")
+		if err != nil {
+			stdlibExports.err = err
+			return
+		}
+		stdlibExports.m = make(map[string]string, len(pkgs))
+		for _, p := range pkgs {
+			if p.Export != "" {
+				stdlibExports.m[p.ImportPath] = p.Export
+			}
+		}
+	})
+	if stdlibExports.err != nil {
+		return nil, stdlibExports.err
+	}
+	return exportImporter(fset, stdlibExports.m), nil
+}
+
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+func goList(dir string, extra []string, patterns ...string) ([]listPkg, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,Export,GoFiles,Standard,Error"}, extra...)
+	args = append(args, "--")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v: %s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []listPkg
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decode go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,293 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockedSend returns the lockedsend analyzer.
+//
+// Invariant guarded: never block on a channel send or a network write
+// while holding a mutex. A send under a lock couples the lock's critical
+// section to an arbitrary consumer: one stalled peer parks every other
+// goroutine that needs the mutex — the exact hang class PR 3's
+// encode-outside-lock rework eliminated in internal/bus. The analyzer
+// tracks locks it can prove held by straight-line analysis within one
+// function (x.Lock() … x.Unlock(), or defer x.Unlock()) and flags:
+//
+//   - channel sends (`ch <- v`), except non-blocking sends in a
+//     select that has a default clause;
+//   - method calls on values implementing net.Conn (Write and friends
+//     block on the peer's TCP window).
+//
+// The analysis is deliberately conservative: lock state does not propagate
+// out of nested blocks, across function calls, or into goroutine bodies,
+// so every report is a provable hold.
+func LockedSend() *Analyzer {
+	return &Analyzer{
+		Name: "lockedsend",
+		Doc:  "flags blocking channel sends and net.Conn writes while a sync mutex is provably held",
+		Run: func(pass *Pass) error {
+			connIface := netConnInterface(pass.Pkg)
+			for _, f := range pass.Files {
+				for _, decl := range f.Decls {
+					if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+						walkLocked(pass, connIface, fd.Body, map[string]bool{})
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// blockingConnMethods are the net.Conn methods that block on the peer
+// (deadline setters, Close and the addr accessors are local and fine).
+var blockingConnMethods = map[string]bool{
+	"Write": true, "Read": true, "ReadFrom": true, "WriteTo": true,
+}
+
+// netConnInterface digs the net.Conn interface type out of the package's
+// import graph; nil when the package never pulls in net.
+func netConnInterface(pkg *types.Package) *types.Interface {
+	seen := make(map[*types.Package]bool)
+	var find func(p *types.Package) *types.Interface
+	find = func(p *types.Package) *types.Interface {
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		if p.Path() == "net" {
+			if obj, ok := p.Scope().Lookup("Conn").(*types.TypeName); ok {
+				if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+					return iface
+				}
+			}
+			return nil
+		}
+		for _, imp := range p.Imports() {
+			if iface := find(imp); iface != nil {
+				return iface
+			}
+		}
+		return nil
+	}
+	return find(pkg)
+}
+
+// walkLocked walks stmts in order, tracking which mutexes are held. held
+// maps the rendered receiver expression ("b.mu") to true. Nested blocks
+// get a copy: a Lock inside a branch is not provably held after it.
+func walkLocked(pass *Pass, conn *types.Interface, block *ast.BlockStmt, held map[string]bool) {
+	for _, stmt := range block.List {
+		walkLockedStmt(pass, conn, stmt, held)
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+func walkLockedStmt(pass *Pass, conn *types.Interface, stmt ast.Stmt, held map[string]bool) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if key, op := mutexOp(pass.TypesInfo, s.X); key != "" {
+			if op == "Lock" || op == "RLock" {
+				held[key] = true
+			} else {
+				delete(held, key)
+			}
+			return
+		}
+		checkLockedExpr(pass, conn, s.X, held)
+	case *ast.DeferStmt:
+		// defer x.Unlock() keeps the lock held to the end of the function;
+		// nothing to do — and nothing to descend into, the deferred call
+		// runs after the lock's critical section.
+	case *ast.GoStmt:
+		// A new goroutine does not inherit the spawner's lock holds.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			walkLocked(pass, conn, lit.Body, map[string]bool{})
+		}
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			pass.Reportf(s.Pos(),
+				"blocking channel send while %s is held: a stalled receiver parks every goroutine contending for the lock; send after unlocking or use a select with default",
+				heldNames(held))
+		}
+		checkLockedExpr(pass, conn, s.Value, held)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if send, ok := cc.Comm.(*ast.SendStmt); ok && len(held) > 0 && !hasDefault {
+				pass.Reportf(send.Pos(),
+					"blocking select send while %s is held (no default clause): send after unlocking or add a default",
+					heldNames(held))
+			}
+			inner := copyHeld(held)
+			for _, bodyStmt := range cc.Body {
+				walkLockedStmt(pass, conn, bodyStmt, inner)
+			}
+		}
+	case *ast.BlockStmt:
+		walkLocked(pass, conn, s, copyHeld(held))
+	case *ast.IfStmt:
+		if s.Init != nil {
+			walkLockedStmt(pass, conn, s.Init, held)
+		}
+		checkLockedExpr(pass, conn, s.Cond, held)
+		walkLocked(pass, conn, s.Body, copyHeld(held))
+		if s.Else != nil {
+			walkLockedStmt(pass, conn, s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		walkLocked(pass, conn, s.Body, copyHeld(held))
+	case *ast.RangeStmt:
+		walkLocked(pass, conn, s.Body, copyHeld(held))
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				inner := copyHeld(held)
+				for _, bodyStmt := range cc.Body {
+					walkLockedStmt(pass, conn, bodyStmt, inner)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				inner := copyHeld(held)
+				for _, bodyStmt := range cc.Body {
+					walkLockedStmt(pass, conn, bodyStmt, inner)
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		walkLockedStmt(pass, conn, s.Stmt, held)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			checkLockedExpr(pass, conn, rhs, held)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			checkLockedExpr(pass, conn, r, held)
+		}
+	case *ast.DeclStmt:
+		checkLockedExpr(pass, conn, s, held)
+	}
+}
+
+// checkLockedExpr looks inside an expression (or small node) for net.Conn
+// method calls and immediately-invoked closures while locks are held.
+func checkLockedExpr(pass *Pass, conn *types.Interface, node ast.Node, held map[string]bool) {
+	if node == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			// Only an immediately-invoked literal provably runs under the
+			// lock; a stored closure may run anywhere.
+			return false
+		case *ast.CallExpr:
+			if lit, ok := ast.Unparen(e.Fun).(*ast.FuncLit); ok {
+				walkLocked(pass, conn, lit.Body, copyHeld(held))
+				for _, a := range e.Args {
+					checkLockedExpr(pass, conn, a, held)
+				}
+				return false
+			}
+			if conn != nil {
+				if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok && blockingConnMethods[sel.Sel.Name] {
+					if tv, ok := pass.TypesInfo.Types[sel.X]; ok && implementsConn(tv.Type, conn) {
+						pass.Reportf(e.Pos(),
+							"net.Conn %s while %s is held blocks on the peer's TCP window: write after unlocking (encode under the lock, send outside)",
+							sel.Sel.Name, heldNames(held))
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func implementsConn(t types.Type, conn *types.Interface) bool {
+	return types.Implements(t, conn) ||
+		types.Implements(types.NewPointer(t), conn)
+}
+
+// mutexOp recognizes x.Lock() / x.Unlock() / x.RLock() / x.RUnlock() on
+// sync.Mutex, sync.RWMutex or sync.Locker values and returns the rendered
+// receiver plus the operation name.
+func mutexOp(info *types.Info, expr ast.Expr) (key, op string) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", ""
+	}
+	fn := callee(info, call)
+	if fn == nil {
+		return "", ""
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", ""
+	}
+	if !isSyncLockType(recv.Type()) {
+		return "", ""
+	}
+	return types.ExprString(sel.X), name
+}
+
+func isSyncLockType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	switch obj.Name() {
+	case "Mutex", "RWMutex", "Locker":
+		return true
+	}
+	return false
+}
+
+func heldNames(held map[string]bool) string {
+	// Deterministic rendering for stable findings.
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// logOutputFuncs are the log package entry points that write to the
+// process-wide default logger.
+var logOutputFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fatal": true, "Fatalf": true, "Fatalln": true,
+	"Panic": true, "Panicf": true, "Panicln": true,
+	"Output": true,
+}
+
+// fmtPrintFuncs are fmt functions that write to stdout directly …
+var fmtPrintFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// … and fmtFprintFuncs the ones whose first argument picks the writer.
+var fmtFprintFuncs = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// StructuredLog returns the structuredlog analyzer.
+//
+// Invariant guarded: operational events from library packages go through
+// the internal/health structured logger (leveled, ring-buffered, served on
+// /logs, mirrored to the JSONL sink) — PR 7 migrated the last stray
+// log.Printf sites, and this analyzer keeps them from growing back.
+// main packages (cmd/*, examples/*) may print: CLI output is their job.
+// The logger's own stderr mirror and the crash-dump last resort carry
+// //gridlint:allow structuredlog(reason).
+func StructuredLog() *Analyzer {
+	return &Analyzer{
+		Name: "structuredlog",
+		Doc:  "forbids ad-hoc log/fmt printing in non-main packages; use the internal/health structured logger",
+		Run: func(pass *Pass) error {
+			if pass.Pkg.Name() == "main" {
+				return nil
+			}
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					checkLogCall(pass, call)
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}
+
+func checkLogCall(pass *Pass, call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Uses[id]; obj != nil && obj.Parent() == types.Universe &&
+			(id.Name == "print" || id.Name == "println") {
+			pass.Reportf(call.Pos(), "builtin %s writes to stderr: use the internal/health structured logger", id.Name)
+			return
+		}
+	}
+	fn := callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "log":
+		if logOutputFuncs[fn.Name()] && isPkgFunc(fn, "log", fn.Name()) {
+			pass.Reportf(call.Pos(),
+				"log.%s writes unstructured text to the process-wide logger: use the internal/health structured logger", fn.Name())
+		}
+	case "fmt":
+		switch {
+		case fmtPrintFuncs[fn.Name()] && isPkgFunc(fn, "fmt", fn.Name()):
+			pass.Reportf(call.Pos(),
+				"fmt.%s writes to stdout from a library package: use the internal/health structured logger", fn.Name())
+		case fmtFprintFuncs[fn.Name()] && isPkgFunc(fn, "fmt", fn.Name()) && len(call.Args) > 0:
+			if target := stdStream(pass.TypesInfo, call.Args[0]); target != "" {
+				pass.Reportf(call.Pos(),
+					"fmt.%s to os.%s from a library package: use the internal/health structured logger", fn.Name(), target)
+			}
+		}
+	}
+}
+
+// stdStream reports whether expr denotes os.Stderr or os.Stdout, returning
+// the variable name or "".
+func stdStream(info *types.Info, expr ast.Expr) string {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj := info.Uses[sel.Sel]
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Pkg().Path() != "os" {
+		return ""
+	}
+	if v.Name() == "Stderr" || v.Name() == "Stdout" {
+		return v.Name()
+	}
+	return ""
+}

@@ -1,0 +1,70 @@
+// Fixture: order-independent map-range shapes floatmaprange must NOT flag.
+package clean
+
+import "sort"
+
+// The canonical fix: collect keys, sort, range the sorted slice.
+func sumSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// Integer counters are exact: order-independent.
+func count(m map[string]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// A loop-local accumulator resets every iteration; only the per-key
+// result escapes, keyed by the map key.
+func perEntry(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, vs := range m {
+		s := 0.0
+		for _, v := range vs {
+			s += v
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// A compare-and-replace max is order-independent (no arithmetic).
+func maxValue(m map[string]float64) float64 {
+	hi := 0.0
+	for _, v := range m {
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi
+}
+
+// Pure map-to-map rewrites don't accumulate.
+func rescale(m map[string]float64, f float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v * f
+	}
+	return out
+}
+
+// The escape hatch: a reviewed, annotated site stays silent.
+func annotated(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v //gridlint:allow floatmaprange(fixture: pretend this was proven order-independent)
+	}
+	return total
+}

@@ -1,0 +1,77 @@
+// Fixture: every order-sensitive float accumulation shape floatmaprange
+// must flag.
+package flag
+
+import "math"
+
+func sumDirect(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `float accumulation`
+	}
+	return total
+}
+
+func sumField(m map[string]struct{ X float64 }) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v.X // want `float accumulation`
+	}
+	return total
+}
+
+func sumIndirect(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		scaled := v * 2
+		total += scaled // want `float accumulation`
+	}
+	return total
+}
+
+func minAccum(m map[string]float64) float64 {
+	lo := math.Inf(1)
+	for _, v := range m {
+		lo = math.Min(lo, v) // want `float accumulator`
+	}
+	return lo
+}
+
+func appendThenSum(m map[int]float64) []float64 {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v) // want `append to float slice`
+	}
+	return vals
+}
+
+type energy float64
+
+func (e energy) Add(o energy) energy { return e + o }
+
+func methodChain(m map[string]energy) energy {
+	var total energy
+	for _, v := range m {
+		total = total.Add(v) // want `float accumulator`
+	}
+	return total
+}
+
+func keyIndexed(m map[string]float64) float64 {
+	var total float64
+	for k := range m {
+		total += m[k] // want `float accumulation`
+	}
+	return total
+}
+
+type stats struct{ mean float64 }
+
+func fieldAccum(m map[string]float64) stats {
+	var s stats
+	for _, v := range m {
+		s.mean += v // want `float accumulation`
+	}
+	s.mean /= float64(len(m))
+	return s
+}

@@ -1,0 +1,25 @@
+// Fixture: seeded *rand.Rand instances threaded from config are the
+// sanctioned pattern; constructors are exempt.
+package clean
+
+import "math/rand"
+
+type scenario struct {
+	rng *rand.Rand
+}
+
+func newScenario(seed int64) *scenario {
+	return &scenario{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (s *scenario) draw() float64 {
+	return s.rng.Float64()
+}
+
+func (s *scenario) intn(n int) int {
+	return s.rng.Intn(n)
+}
+
+func derived(parent *rand.Rand) *rand.Rand {
+	return rand.New(rand.NewSource(parent.Int63()))
+}

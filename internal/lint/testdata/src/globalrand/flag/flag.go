@@ -1,0 +1,29 @@
+// Fixture: package-global math/rand draws globalrand must flag.
+package flag
+
+import "math/rand"
+
+func draw() float64 {
+	return rand.Float64() // want `package-global math/rand\.Float64`
+}
+
+func intn(n int) int {
+	return rand.Intn(n) // want `package-global math/rand\.Intn`
+}
+
+func perm(n int) []int {
+	return rand.Perm(n) // want `package-global math/rand\.Perm`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `package-global math/rand\.Shuffle`
+}
+
+func reseed(seed int64) {
+	rand.Seed(seed) // want `package-global math/rand\.Seed`
+}
+
+// The escape hatch, for the rare justified global draw.
+func jitter() float64 {
+	return rand.Float64() //gridlint:allow globalrand(fixture: pretend this jitter was reviewed)
+}

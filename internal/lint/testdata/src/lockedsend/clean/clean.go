@@ -1,0 +1,58 @@
+// Fixture: the sanctioned shapes lockedsend must NOT flag.
+package clean
+
+import (
+	"net"
+	"sync"
+)
+
+type svc struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// Send after releasing.
+func (s *svc) sendOutside(v int) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// Non-blocking send under the lock is the bounded-queue overload pattern.
+func (s *svc) nonBlocking(v int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// A spawned goroutine does not inherit the spawner's holds.
+func (s *svc) spawn(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- v
+	}()
+}
+
+// Encode under the lock, write outside: the bus pattern.
+func (s *svc) encodeThenWrite(c net.Conn, b []byte) error {
+	s.mu.Lock()
+	buf := append([]byte(nil), b...)
+	s.mu.Unlock()
+	_, err := c.Write(buf)
+	return err
+}
+
+// A lock taken inside a branch is not provably held after it.
+func (s *svc) branchScoped(v int, b bool) {
+	if b {
+		s.mu.Lock()
+		s.mu.Unlock()
+	}
+	s.ch <- v
+}

@@ -1,0 +1,68 @@
+// Fixture: blocking sends and conn writes under a held mutex lockedsend
+// must flag.
+package flag
+
+import (
+	"net"
+	"sync"
+)
+
+type svc struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (s *svc) direct(v int) {
+	s.mu.Lock()
+	s.ch <- v // want `blocking channel send while s\.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *svc) deferred(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v // want `blocking channel send while s\.mu is held`
+}
+
+func (s *svc) insideBranch(v int, b bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b {
+		s.ch <- v // want `blocking channel send while s\.mu is held`
+	}
+}
+
+func (s *svc) selectNoDefault(v int, done chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- v: // want `blocking select send while s\.mu is held`
+	case <-done:
+	}
+}
+
+func (s *svc) connWrite(c net.Conn, b []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := c.Write(b) // want `net\.Conn Write while s\.mu is held`
+	return err
+}
+
+type rw struct {
+	mu sync.RWMutex
+	ch chan int
+}
+
+func (r *rw) underReadLock(v int) {
+	r.mu.RLock()
+	r.ch <- v // want `blocking channel send while r\.mu is held`
+	r.mu.RUnlock()
+}
+
+// The escape hatch: a reviewed dedicated writer gate.
+func (s *svc) writerGate(c net.Conn, b []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := c.Write(b) //gridlint:allow lockedsend(fixture: dedicated writer gate, encode happens outside)
+	return err
+}

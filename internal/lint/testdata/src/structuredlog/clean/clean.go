@@ -1,0 +1,33 @@
+// Fixture: non-printing formatting and writer-directed output structuredlog
+// must NOT flag.
+package clean
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+)
+
+// Formatting without output is fine.
+func format(err error) string {
+	return fmt.Sprintf("event: %v", err)
+}
+
+// Writing to a caller-supplied writer is fine (the caller picked it).
+func render(w io.Writer, n int) {
+	fmt.Fprintf(w, "count=%d\n", n)
+}
+
+// Buffers are fine.
+func buffered(n int) string {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "count=%d", n)
+	return buf.String()
+}
+
+// A scoped *log.Logger aimed at a caller-chosen sink is fine; only the
+// process-global logger is forbidden.
+func scoped(w io.Writer, msg string) {
+	log.New(w, "", 0).Println(msg)
+}

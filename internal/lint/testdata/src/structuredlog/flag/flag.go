@@ -1,0 +1,29 @@
+// Fixture: ad-hoc printing from a library (non-main) package structuredlog
+// must flag.
+package flag
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func adHoc(err error) {
+	log.Printf("bad: %v", err)      // want `log\.Printf`
+	log.Println("bad")              // want `log\.Println`
+	log.Print("bad")                // want `log\.Print`
+	fmt.Println("bad")              // want `fmt\.Println writes to stdout`
+	fmt.Printf("bad %v\n", err)     // want `fmt\.Printf writes to stdout`
+	fmt.Fprintf(os.Stderr, "bad\n") // want `fmt\.Fprintf to os\.Stderr`
+	fmt.Fprintln(os.Stdout, "bad")  // want `fmt\.Fprintln to os\.Stdout`
+	println("bad")                  // want `builtin println`
+}
+
+func fatal(err error) {
+	log.Fatalf("bad: %v", err) // want `log\.Fatalf`
+}
+
+// The escape hatch: the structured logger's own stderr mirror pattern.
+func mirror(line string) {
+	fmt.Fprintf(os.Stderr, "%s\n", line) //gridlint:allow structuredlog(fixture: the logger's own mirror)
+}

@@ -1,0 +1,15 @@
+// Fixture: main packages print to the terminal as their job; structuredlog
+// must stay silent.
+package main
+
+import (
+	"fmt"
+	"log"
+)
+
+func main() {
+	fmt.Println("usage: fixture")
+	log.Printf("fatal: %v", run())
+}
+
+func run() error { return nil }

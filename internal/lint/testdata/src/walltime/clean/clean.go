@@ -1,0 +1,13 @@
+// Fixture: a package outside the walltime scope may read the clock freely
+// (measurement packages, main packages, the live tick loop).
+package clean
+
+import "time"
+
+func now() time.Time {
+	return time.Now()
+}
+
+func poll(d time.Duration) *time.Ticker {
+	return time.NewTicker(d)
+}

@@ -1,0 +1,40 @@
+// Fixture: wall-clock reads walltime must flag in a forbidden package
+// (the test scopes the analyzer to this fixture's path).
+package flag
+
+import "time"
+
+func now() time.Time {
+	return time.Now() // want `time\.Now`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since`
+}
+
+func remaining(t1 time.Time) time.Duration {
+	return time.Until(t1) // want `time\.Until`
+}
+
+func wait(d time.Duration) {
+	<-time.After(d) // want `time\.After`
+}
+
+func timers(d time.Duration) {
+	tick := time.NewTicker(d) // want `time\.NewTicker`
+	tick.Stop()
+	tm := time.NewTimer(d) // want `time\.NewTimer`
+	tm.Stop()
+	time.AfterFunc(d, func() {}).Stop() // want `time\.AfterFunc`
+}
+
+// The escape hatch for genuine measurement sites.
+func measured(t0 time.Time) time.Duration {
+	return time.Since(t0) //gridlint:allow walltime(fixture: latency measurement that never feeds replayed state)
+}
+
+// Explicit-instant arithmetic is fine: the instant came from the caller
+// (ultimately from the journal), not the wall clock.
+func derive(t0 time.Time, d time.Duration) time.Time {
+	return t0.Add(d)
+}

@@ -1,0 +1,19 @@
+// Fixture: in a restricted package only the replay/restore functions (by
+// name, per the test's regexp) are clock-free; the live loop is not.
+package restricted
+
+import "time"
+
+// RestoreState is on the replay surface: flagged.
+func RestoreState() time.Time {
+	return time.Now() // want `time\.Now`
+}
+
+func applyJournalRecord(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since`
+}
+
+// TickLoop is live-path code: the clock is its job.
+func TickLoop() time.Time {
+	return time.Now()
+}

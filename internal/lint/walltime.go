@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+)
+
+// WalltimeConfig scopes the walltime analyzer.
+type WalltimeConfig struct {
+	// ForbiddenPkgs are package-path suffixes (see pathMatches) where every
+	// wall-clock call is flagged: the deterministic replay surface.
+	ForbiddenPkgs []string
+	// RestrictedFuncs maps a package-path suffix to a regexp of function
+	// names (methods match on the bare method name) inside which wall-clock
+	// calls are flagged even though the rest of the package is free to use
+	// the clock. This is how the telemetry replay/restore paths are covered
+	// without forbidding the clock in the live tick loop.
+	RestrictedFuncs map[string]*regexp.Regexp
+}
+
+// wallClockFuncs are the time package entry points that read the wall
+// clock or start wall-clock timers.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+// Walltime returns the walltime analyzer.
+//
+// Invariant guarded: the replay surface must be a pure function of the
+// journal. Crash recovery, standby replay and the byte-identical
+// equivalence tests all re-execute these paths at a different wall-clock
+// time than the original run; any time.Now/time.Since/argless timer that
+// leaks into a decision makes replay diverge. Genuine measurement sites —
+// latency records, liveness timeouts, heartbeats — carry
+// //gridlint:allow walltime(reason) so every clock read in the replay
+// surface is a reviewed, justified exception.
+func Walltime(cfg WalltimeConfig) *Analyzer {
+	return &Analyzer{
+		Name: "walltime",
+		Doc:  "forbids wall-clock reads and wall-clock timers in the deterministic replay surface",
+		Run: func(pass *Pass) error {
+			forbidden := pathMatches(pass.PkgPath, cfg.ForbiddenPkgs)
+			var funcRe *regexp.Regexp
+			for suffix, re := range cfg.RestrictedFuncs {
+				if pathMatches(pass.PkgPath, []string{suffix}) {
+					funcRe = re
+					break
+				}
+			}
+			if !forbidden && funcRe == nil {
+				return nil
+			}
+			for _, f := range pass.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					if !forbidden && !funcRe.MatchString(fd.Name.Name) {
+						continue
+					}
+					reportWallClockCalls(pass, fd.Body)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func reportWallClockCalls(pass *Pass, body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := callee(pass.TypesInfo, call)
+		if f == nil || f.Pkg() == nil || f.Pkg().Path() != "time" {
+			return true
+		}
+		if wallClockFuncs[f.Name()] && isPkgFunc(f, "time", f.Name()) {
+			pass.Reportf(call.Pos(),
+				"time.%s in the deterministic replay surface: replay re-executes this path at a different wall-clock time; derive time from the journal or annotate a genuine measurement site",
+				f.Name())
+		}
+		return true
+	})
+}

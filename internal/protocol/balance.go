@@ -59,16 +59,24 @@ func UseWithCutDown(c CustomerLoad) units.Energy {
 // seeded scenario disagree in the last ulp — and every reward table derived
 // from the overuse with them.
 func PredictedOveruse(loads map[string]CustomerLoad, normalUse units.Energy) float64 {
+	total := 0.0
+	for _, n := range sortedLoadNames(loads) {
+		total += UseWithCutDown(loads[n]).KWhs()
+	}
+	return total - normalUse.KWhs()
+}
+
+// sortedLoadNames returns the fleet's customer names in sorted order: every
+// float accumulation over a load map iterates these, never the map itself,
+// so repeated runs of the same scenario stay bitwise identical (enforced by
+// gridlint's floatmaprange analyzer).
+func sortedLoadNames(loads map[string]CustomerLoad) []string {
 	names := make([]string, 0, len(loads))
 	for n := range loads {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	total := 0.0
-	for _, n := range names {
-		total += UseWithCutDown(loads[n]).KWhs()
-	}
-	return total - normalUse.KWhs()
+	return names
 }
 
 // OveruseRatio evaluates overuse = predicted_overuse / normal_use. A zero

@@ -100,7 +100,12 @@ func (s *OfferSession) Close() (OfferOutcome, error) {
 	s.closed = true
 	var out OfferOutcome
 	total := 0.0
-	for name, load := range s.loads {
+	// Sorted-name summation, like PredictedOveruse: float addition is not
+	// associative, so accumulating total and DiscountCost in map-iteration
+	// order would make two runs of the same scenario disagree in the last
+	// ulp.
+	for _, name := range sortedLoadNames(s.loads) {
+		load := s.loads[name]
 		accept, replied := s.replies[name]
 		switch {
 		case !replied:
@@ -326,7 +331,10 @@ func (s *RFBSession) CloseRound() (RFBRound, error) {
 	s.bids = make(map[string]float64)
 
 	total := 0.0
-	for name, load := range s.loads {
+	// Sorted-name summation keeps the overuse bitwise reproducible across
+	// runs (float addition is order-sensitive, map iteration is not).
+	for _, name := range sortedLoadNames(s.loads) {
+		load := s.loads[name]
 		use := load.Predicted.KWhs()
 		if y := s.yMin[name]; load.Responded && y < use {
 			use = y

@@ -149,7 +149,7 @@ func (s *RTSession) Announce() (message.RewardTable, error) {
 	if s.closed {
 		return message.RewardTable{}, ErrSessionClosed
 	}
-	s.announcedAt = time.Now()
+	s.announcedAt = time.Now() //gridlint:allow walltime(round latency clock start; Elapsed is measurement, never negotiated state)
 	return s.table.Message(s.window, s.round), nil
 }
 
@@ -216,7 +216,7 @@ func (s *RTSession) CloseRound() (RoundRecord, error) {
 		Responses: len(s.bids),
 	}
 	if !s.announcedAt.IsZero() {
-		rec.Elapsed = time.Since(s.announcedAt)
+		rec.Elapsed = time.Since(s.announcedAt) //gridlint:allow walltime(round latency measurement for RoundRecord.Elapsed; never feeds negotiated state)
 		s.announcedAt = time.Time{}
 	}
 	s.bids = make(map[string]float64)

@@ -120,8 +120,16 @@ func BuildReport(h *world.Household, iv units.Interval, wm *world.WeatherModel, 
 	for _, slot := range slots {
 		mid := slot.Start.Add(slot.Duration() / 2)
 		byDev := h.DemandByDevice(mid, wm.At(mid))
-		for kind, p := range byDev {
-			e := p.For(slot.Duration())
+		// Sorted-kind summation: accumulating total in map-iteration order
+		// would make repeated runs disagree in the last ulp (float addition
+		// is order-sensitive).
+		kinds := make([]world.DeviceKind, 0, len(byDev))
+		for kind := range byDev {
+			kinds = append(kinds, kind)
+		}
+		sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+		for _, kind := range kinds {
+			e := byDev[kind].For(slot.Duration())
 			perKind[kind] = perKind[kind].Add(e)
 			total = total.Add(e)
 		}

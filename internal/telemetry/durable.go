@@ -74,7 +74,7 @@ type liveState struct {
 // the next tick. The same configuration must be presented on every open —
 // recovery validates it against the journal's scenario registration.
 func OpenDurable(cfg LiveConfig, dcfg DurableConfig) (*LiveEngine, *RecoveryInfo, error) {
-	start := time.Now()
+	start := time.Now() //gridlint:allow walltime(recovery latency measurement for RecoveryInfo.Elapsed; replayed state comes from the journal)
 	if dcfg.SnapshotEvery == 0 {
 		dcfg.SnapshotEvery = 32
 	}
@@ -124,7 +124,7 @@ func OpenDurable(cfg LiveConfig, dcfg DurableConfig) (*LiveEngine, *RecoveryInfo
 		return nil, nil, err
 	}
 	info.ResumeTick = e.tick
-	info.Elapsed = time.Since(start)
+	info.Elapsed = time.Since(start) //gridlint:allow walltime(recovery latency measurement for RecoveryInfo.Elapsed; replayed state comes from the journal)
 	if info.Recovered {
 		health.Log(health.Info, "telemetry", "recovered journaled run",
 			health.Str("session", cfg.Scenario.SessionID),

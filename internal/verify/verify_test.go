@@ -144,6 +144,30 @@ func TestCheckRFBTrace(t *testing.T) {
 	}
 }
 
+func TestCheckRFBTraceTerminationAndRounds(t *testing.T) {
+	nonTerminal := []protocol.RFBRound{
+		{Round: 1, Bids: map[string]float64{"a": 12}, Outcome: protocol.RFBContinue},
+	}
+	rep := CheckRFBTrace(nonTerminal)
+	if rep.OK() || !strings.Contains(rep.Error().Error(), "termination") {
+		t.Fatalf("non-terminal final round must fail termination, report = %+v", rep)
+	}
+
+	gapped := []protocol.RFBRound{
+		{Round: 1, Bids: map[string]float64{"a": 12}, Outcome: protocol.RFBContinue},
+		{Round: 3, Bids: map[string]float64{"a": 11}, Outcome: protocol.RFBConverged},
+	}
+	rep = CheckRFBTrace(gapped)
+	if rep.OK() || !strings.Contains(rep.Error().Error(), "contiguous_rounds") {
+		t.Fatalf("gapped round numbering must fail contiguity, report = %+v", rep)
+	}
+
+	// Every violation wraps ErrViolation so callers can errors.Is it.
+	if !errors.Is(rep.Error(), ErrViolation) {
+		t.Fatalf("violations must wrap ErrViolation, got %v", rep.Error())
+	}
+}
+
 // TestPaperScenarioTraceVerifies runs the canonical scenario end to end and
 // verifies every protocol property on the real trace — the mechanised
 // version of the companion paper's verification (E8).
