@@ -472,6 +472,15 @@ func BenchmarkLogEventDisabled(b *testing.B) { benchrun.LogEventDisabled(b) }
 // recomputation — the health layer's per-tick addition to the live loop.
 func BenchmarkFeedbackScoreCompute(b *testing.B) { benchrun.FeedbackScoreCompute(b) }
 
+// BenchmarkObsWorkload measures the instrumented per-tick path (spans +
+// histogram + sampled log) with nothing consuming the rings.
+func BenchmarkObsWorkload(b *testing.B) { benchrun.ObsWorkload(b) }
+
+// BenchmarkObsWorkloadStreamed is the same workload with a live obs hub and
+// emitter shipping the rings over loopback — the fleet observability
+// plane's overhead gate (budget: within 5% of BenchmarkObsWorkload).
+func BenchmarkObsWorkloadStreamed(b *testing.B) { benchrun.ObsWorkloadStreamed(b) }
+
 // BenchmarkTelemetryIngest measures the live metering hot path: a fleet of
 // meters publishing batched readings over one in-process bus into the
 // collector agent, per-tick. The reported readings/s metric is the sustained

@@ -68,6 +68,7 @@ var tracedPairs = map[string]string{
 	"journal_append_traced":   "journal_append",
 	"wire_codec_table_traced": "wire_codec_table",
 	"wire_codec_bid_traced":   "wire_codec_bid",
+	"obs_workload_streamed":   "obs_workload",
 }
 
 // absoluteBudgets are machine-independent-enough ceilings in ns/op on paths

@@ -1,0 +1,272 @@
+// Command gridctl is the fleet operator console: it reads the /fleet
+// endpoints a hub-hosting gridd daemon serves and renders them for a
+// terminal.
+//
+//	gridctl -addr host:port top   [-interval 2s] [-n 0]
+//	gridctl -addr host:port logs  [-f] [-level warn] [-proc p] [-component c] [-limit 50]
+//	gridctl -addr host:port trace <session> [-limit N]
+//
+// top polls /fleet/status and renders the per-process table (score, replica
+// lag, tick p95, batch age). logs dumps /fleet/logs once, or follows it with
+// -f using the afterUs cursor so each event prints exactly once. trace
+// fetches the stitched /fleet/trace for a session and prints the span tree.
+// -addr defaults to $GRIDCTL_ADDR.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"loadbalance/internal/obsplane"
+	"loadbalance/internal/trace"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "gridctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	if len(args) == 0 {
+		return usageError()
+	}
+	// Accept -addr before the subcommand too (gridctl -addr X top).
+	global := flag.NewFlagSet("gridctl", flag.ContinueOnError)
+	global.SetOutput(io.Discard)
+	addr := global.String("addr", os.Getenv("GRIDCTL_ADDR"), "host:port of the hub daemon's HTTP endpoint")
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	rest := global.Args()
+	if len(rest) == 0 {
+		return usageError()
+	}
+	cmd, rest := rest[0], rest[1:]
+	c := &client{w: w, addr: addr}
+	switch cmd {
+	case "top":
+		return c.top(rest)
+	case "logs":
+		return c.logs(rest)
+	case "trace":
+		return c.trace(rest)
+	default:
+		return fmt.Errorf("unknown command %q\n%s", cmd, usage)
+	}
+}
+
+const usage = `usage:
+  gridctl -addr host:port top   [-interval 2s] [-n 0]
+  gridctl -addr host:port logs  [-f] [-level warn] [-proc p] [-component c] [-limit 50]
+  gridctl -addr host:port trace <session> [-limit N]`
+
+func usageError() error { return fmt.Errorf("no command\n%s", usage) }
+
+// client holds the target address and output sink shared by the
+// subcommands. addr points at the flag so a subcommand may also accept
+// -addr after its name.
+type client struct {
+	w    io.Writer
+	addr *string
+}
+
+// flags builds a subcommand flag set that re-registers -addr, so both
+// `gridctl -addr X top` and `gridctl top -addr X` work.
+func (c *client) flags(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	fs.StringVar(c.addr, "addr", *c.addr, "host:port of the hub daemon's HTTP endpoint")
+	return fs
+}
+
+// get fetches one /fleet document into out.
+func (c *client) get(path string, out any) error {
+	if *c.addr == "" {
+		return fmt.Errorf("no hub address: pass -addr or set GRIDCTL_ADDR")
+	}
+	url := "http://" + *c.addr + path
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// statusDoc mirrors /fleet/status.
+type statusDoc struct {
+	FleetScore float64               `json:"fleetScore"`
+	SilenceAge float64               `json:"silenceAge"`
+	Procs      []obsplane.ProcStatus `json:"procs"`
+}
+
+// top renders the fleet table; -n bounds the refresh count (0 = forever,
+// 1 = print once and exit).
+func (c *client) top(args []string) error {
+	fs := c.flags("top")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	n := fs.Int("n", 1, "refreshes before exiting (0 = forever)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for i := 0; ; i++ {
+		var doc statusDoc
+		if err := c.get("/fleet/status", &doc); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.w, "fleet score %.1f  procs %d  silence %.1fs\n",
+			doc.FleetScore, len(doc.Procs), doc.SilenceAge)
+		fmt.Fprintf(c.w, "%-20s %-12s %7s %8s %10s %8s %8s %6s\n",
+			"PROC", "ROLE", "SCORE", "LAG", "TICK_P95", "BATCHES", "AGE", "STATE")
+		for _, p := range doc.Procs {
+			state := "live"
+			if p.Closed {
+				state = "closed"
+			}
+			fmt.Fprintf(c.w, "%-20s %-12s %7.1f %8.0f %9.3fs %8d %7.1fs %6s\n",
+				p.Proc, p.Role, p.Score, p.Lag, p.TickP95, p.Batches, p.LastBatchAge, state)
+		}
+		if *n > 0 && i+1 >= *n {
+			return nil
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// logs dumps or follows the merged fleet log.
+func (c *client) logs(args []string) error {
+	fs := c.flags("logs")
+	follow := fs.Bool("f", false, "follow: poll for new events")
+	level := fs.String("level", "", "minimum level (debug|info|warn|error)")
+	proc := fs.String("proc", "", "only this process")
+	component := fs.String("component", "", "only this component")
+	limit := fs.Int("limit", 50, "newest N events on the first fetch")
+	interval := fs.Duration("interval", time.Second, "poll interval with -f")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base := "/fleet/logs?"
+	q := make([]string, 0, 4)
+	if *level != "" {
+		q = append(q, "level="+*level)
+	}
+	if *proc != "" {
+		q = append(q, "proc="+*proc)
+	}
+	if *component != "" {
+		q = append(q, "component="+*component)
+	}
+	var afterUs int64
+	first := true
+	for {
+		params := q
+		if first && *limit > 0 {
+			params = append(params, fmt.Sprintf("limit=%d", *limit))
+		}
+		if afterUs > 0 {
+			params = append(params, fmt.Sprintf("afterUs=%d", afterUs))
+		}
+		var doc obsplane.FleetLogsDoc
+		if err := c.get(base+strings.Join(params, "&"), &doc); err != nil {
+			return err
+		}
+		for _, ev := range doc.Events {
+			line := fmt.Sprintf("%s %-5s [%s] %s: %s",
+				time.UnixMicro(ev.TsUs).UTC().Format("15:04:05.000"),
+				strings.ToUpper(ev.Level), ev.Proc, ev.Component, ev.Msg)
+			if len(ev.Fields) > 2 { // more than "{}"
+				line += " " + string(ev.Fields)
+			}
+			fmt.Fprintln(c.w, line)
+			if ev.TsUs > afterUs {
+				afterUs = ev.TsUs
+			}
+		}
+		if !*follow {
+			return nil
+		}
+		first = false
+		time.Sleep(*interval)
+	}
+}
+
+// trace prints the stitched span tree of one session.
+func (c *client) trace(args []string) error {
+	fs := c.flags("trace")
+	limit := fs.Int("limit", 0, "newest N spans (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("trace wants exactly one session argument\n%s", usage)
+	}
+	session := fs.Arg(0)
+	path := "/fleet/trace?session=" + session
+	if *limit > 0 {
+		path += fmt.Sprintf("&limit=%d", *limit)
+	}
+	var doc obsplane.FleetTraceDoc
+	if err := c.get(path, &doc); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.w, "session %s: %d spans from %d processes %v (missed %d)\n",
+		session, len(doc.Spans), len(doc.Procs), doc.Procs, doc.Missed)
+	printTree(c.w, doc.Spans)
+	return nil
+}
+
+// printTree renders spans as an indented forest: children group under their
+// parent, orphans (parent outside the document) and roots print flush left.
+func printTree(w io.Writer, spans []trace.Record) {
+	children := make(map[string][]int, len(spans))
+	have := make(map[string]bool, len(spans))
+	for i := range spans {
+		have[spans[i].Span] = true
+	}
+	var roots []int
+	for i := range spans {
+		if p := spans[i].Parent; p != "" && have[p] {
+			children[p] = append(children[p], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	byStart := func(idx []int) {
+		sort.SliceStable(idx, func(a, b int) bool { return spans[idx[a]].StartUs < spans[idx[b]].StartUs })
+	}
+	byStart(roots)
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		r := &spans[i]
+		fmt.Fprintf(w, "%s%s  %.3fms  proc=%s", strings.Repeat("  ", depth), r.Name,
+			float64(r.DurUs)/1e3, r.Proc)
+		if r.Agent != "" {
+			fmt.Fprintf(w, " agent=%s", r.Agent)
+		}
+		if r.Shard != "" {
+			fmt.Fprintf(w, " shard=%s", r.Shard)
+		}
+		fmt.Fprintln(w)
+		kids := children[r.Span]
+		byStart(kids)
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	for _, i := range roots {
+		walk(i, 0)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"loadbalance/internal/bus"
 	"loadbalance/internal/health"
 	"loadbalance/internal/replica"
 	"loadbalance/internal/store"
@@ -42,14 +43,17 @@ func initHealthLogging(proc, level, file, dataDir string) (*health.Logger, error
 
 // defaultAlertRules is the rule set a live daemon runs when -alerts is not
 // given: the overload floor on the composite score, the latency ceiling on
-// negotiation sessions, and the two staleness signals (standby lag,
-// journal append age).
+// negotiation sessions, the two staleness signals (standby lag, journal
+// append age), and the fleet silence detector. worker_silent references the
+// obs hub's fleet_last_batch_age_seconds gauge; on daemons that host no hub
+// the gauge is unregistered and the engine treats the rule as non-breaching.
 func defaultAlertRules() []health.RuleConfig {
 	return []health.RuleConfig{
 		{Name: "overload", Metric: "feedback_score", Op: "<", Threshold: 40, For: 2},
 		{Name: "slow_sessions", Metric: "negotiation_session_seconds_p99", Op: ">", Threshold: 2, For: 2},
 		{Name: "standby_lag", Metric: "replica_lag_records", Op: ">", Threshold: 2048, For: 3},
 		{Name: "journal_stall", Metric: "journal_append_age_seconds", Op: ">", Threshold: 30, For: 3},
+		{Name: "worker_silent", Metric: "fleet_last_batch_age_seconds", Op: ">", Threshold: 10, For: 2},
 	}
 }
 
@@ -254,6 +258,13 @@ func writeLiveMetrics(w io.Writer, state *gridState, h *liveHealth) {
 		health.WriteScoreMetrics(w, h.scorer)
 		health.WriteAlertMetrics(w, h.alerts)
 		health.WriteLogMetrics(w, h.logger)
+	}
+	state.mu.Lock()
+	hub := state.obs
+	state.mu.Unlock()
+	if hub != nil {
+		hub.WriteSummaryMetrics(w)
+		telemetry.WriteWireMetrics(w, map[string]bus.WireStats{"obs": hub.WireStats()})
 	}
 	trace.WriteMetrics(w)
 }

@@ -92,6 +92,7 @@ import (
 	"loadbalance/internal/customeragent"
 	"loadbalance/internal/health"
 	"loadbalance/internal/message"
+	"loadbalance/internal/obsplane"
 	"loadbalance/internal/protocol"
 	"loadbalance/internal/replica"
 	"loadbalance/internal/sim"
@@ -180,20 +181,65 @@ func run(ctx context.Context, args []string) error {
 		traceRing = fs.Int("trace-ring", 4096, "trace ring capacity in spans; the oldest spans are dropped when it wraps")
 		traceDump = fs.String("trace-dump", "", "write the trace ring as JSON to this file on exit (implies -trace; the span-export path for processes without an HTTP endpoint)")
 		pprofOn   = fs.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/ on the HTTP endpoint")
+		obsAddr   = fs.String("obs-addr", "", "fleet observability hub listen address: worker, standby and serve processes stream metrics, logs and spans here and the root serves /fleet/metrics, /fleet/logs, /fleet/trace and /fleet/status (server modes; the bound address is written to <data-dir>/obs-addr)")
+		obsTarget = fs.String("obs", "", "stream this process's observability state (metric samples, log events, trace spans) to the fleet hub at this address (any role)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	logger, err := initHealthLogging(traceProc(*role, *shard, *serveAddr, *connect, *name, *live), *logLevel, *logFile, *dataDir)
+	proc := traceProc(*role, *shard, *serveAddr, *connect, *name, *replicaOf, *replicaID, *live)
+	logger, err := initHealthLogging(proc, *logLevel, *logFile, *dataDir)
 	if err != nil {
 		return err
 	}
 	defer logger.Close()
+	// One identity event per process at startup: the line every process
+	// contributes to the merged fleet log, tying its proc label to its role.
+	logger.Log(health.Info, "gridd", "process started",
+		health.Str("proc", proc),
+		health.Str("role", obsRole(*role, *serveAddr, *connect, *live, *replicaOf)))
 	if *traceOn || *traceDump != "" {
-		trace.Enable(traceProc(*role, *shard, *serveAddr, *connect, *name, *live), *traceRing)
+		trace.Enable(proc, *traceRing)
 		if *traceDump != "" {
 			defer dumpTraceFile(*traceDump)
 		}
+	}
+	// SIGQUIT is the on-demand flight-recorder trigger on every role: dump a
+	// bundle (when a recorder is armed) and keep running. Subscribing also
+	// replaces the Go runtime's stack-dump-and-exit default.
+	quitCh := make(chan os.Signal, 1)
+	signal.Notify(quitCh, syscall.SIGQUIT)
+	defer signal.Stop(quitCh)
+	go func() {
+		for range quitCh {
+			health.Log(health.Warn, "flightrec", "SIGQUIT received, dumping bundle")
+			health.CrashDump("sigquit", "operator-requested bundle")
+		}
+	}()
+	// Roles that run no health layer of their own (serve daemons, workers,
+	// clients) still get a flight recorder when a data dir exists, so SIGQUIT
+	// and crash dumps work on every role. Live mode arms its richer
+	// score-and-alert-bound recorder inside newLiveHealth.
+	if *dataDir != "" && !*live {
+		rec := health.NewRecorder(filepath.Join(*dataDir, "flightrec"), *frKeep, logger)
+		rec.MetricsFn = writeObsMetrics
+		health.SetRecorder(rec)
+		defer health.SetRecorder(nil)
+	}
+	// The observability stream runs on any role: it drains the process-wide
+	// log ring and trace ring, and renders the registered gauges, so the
+	// wiring needs nothing mode-specific.
+	if *obsTarget != "" {
+		lvl, _ := health.ParseLevel(*logLevel) // validated by initHealthLogging above
+		em := obsplane.StartEmitter(obsplane.EmitterConfig{
+			Hub:       *obsTarget,
+			Proc:      proc,
+			Role:      obsRole(*role, *serveAddr, *connect, *live, *replicaOf),
+			Addr:      *serveAddr,
+			MinLevel:  lvl,
+			MetricsFn: writeObsMetrics,
+		})
+		defer em.Close()
 	}
 	switch {
 	case *role == "concentrator":
@@ -203,7 +249,16 @@ func run(ctx context.Context, args []string) error {
 		if *shard < 0 || *shard >= *shards {
 			return fmt.Errorf("-shard %d out of range for %d shards", *shard, *shards)
 		}
-		return runConcentrator(ctx, *upAddr, *downAddr, *shard, *shards, *customers, *session)
+		return runConcentrator(ctx, concOptions{
+			up:          *upAddr,
+			down:        *downAddr,
+			shard:       *shard,
+			shards:      *shards,
+			customers:   *customers,
+			session:     *session,
+			metricsAddr: *metrics,
+			pprof:       *pprofOn,
+		}, nil)
 	case *role != "":
 		return fmt.Errorf("unknown -role %q (want \"concentrator\")", *role)
 	case *serveAddr != "" && *connect != "":
@@ -231,6 +286,7 @@ func run(ctx context.Context, args []string) error {
 			}
 			return runLive(ctx, liveOptions{
 				addr:            *serveAddr,
+				obsAddr:         *obsAddr,
 				customers:       *customers,
 				shards:          *shards,
 				tick:            *tick,
@@ -259,10 +315,14 @@ func run(ctx context.Context, args []string) error {
 		if *replAddr != "" && *dataDir == "" {
 			return fmt.Errorf("-repl-addr streams the journal and requires -data-dir")
 		}
+		if *obsAddr != "" && *metrics == "" {
+			return fmt.Errorf("-obs-addr serves the /fleet endpoints on -metrics; set both")
+		}
 		return serve(ctx, serveConfig{
 			addr:        *serveAddr,
 			rootAddr:    *rootAddr,
 			metricsAddr: *metrics,
+			obsAddr:     *obsAddr,
 			customers:   *customers,
 			shards:      *shards,
 			timeout:     *timeout,
@@ -282,10 +342,16 @@ func run(ctx context.Context, args []string) error {
 
 // traceProc derives the per-process label stamped on every span this process
 // records — what stitches a multi-process trace back together on inspection.
-func traceProc(role string, shard int, serveAddr, connect, name string, live bool) string {
+func traceProc(role string, shard int, serveAddr, connect, name, replicaOf, replicaID string, live bool) string {
 	switch {
 	case role == "concentrator":
 		return fmt.Sprintf("gridd-cc-%03d", shard)
+	case serveAddr != "" && live && replicaOf != "":
+		// Standbys carry their replica id so a primary and its standbys
+		// streaming to one fleet hub never collide on the proc label (the
+		// name survives promotion, keeping the process's history in one
+		// lane).
+		return "gridd-live-" + replicaID
 	case serveAddr != "" && live:
 		return "gridd-live"
 	case serveAddr != "":
@@ -352,25 +418,106 @@ func fleetLoads(names []string) map[string]protocol.CustomerLoad {
 	return loads
 }
 
+// obsRole names what kind of process this is for the fleet registry.
+func obsRole(role, serveAddr, connect string, live bool, replicaOf string) string {
+	switch {
+	case role == "concentrator":
+		return "worker"
+	case serveAddr != "" && live && replicaOf != "":
+		return "standby"
+	case serveAddr != "" && live:
+		return "live"
+	case serveAddr != "":
+		return "serve"
+	case connect != "":
+		return "client"
+	}
+	return "gridd"
+}
+
+// writeObsMetrics renders the process-wide observability registries — the
+// registered health gauges, the log counters, the trace histograms — as one
+// exposition page. It is the generic metrics source every role streams to
+// the fleet hub; role-specific series (feedback score, replication lag,
+// tick latency) arrive through the same registries because that is where
+// each mode already publishes them.
+func writeObsMetrics(w io.Writer) {
+	for _, n := range health.GaugeNames() {
+		if v, ok := health.LookupMetric(n); ok {
+			fmt.Fprintf(w, "%s %g\n", n, v)
+		}
+	}
+	health.WriteLogMetrics(w, health.Default())
+	trace.WriteMetrics(w)
+}
+
+// concOptions parameterises one concentrator worker process.
+type concOptions struct {
+	up, down    string
+	shard       int
+	shards      int
+	customers   int
+	session     string
+	metricsAddr string // non-empty: HTTP /healthz, /metrics, /logs, /trace
+	pprof       bool
+}
+
 // runConcentrator is the worker process: it fronts one shard of the fleet,
 // dialing the root tier upward and the member tier downward. Membership is
 // derived from the shared c01..cNN convention, so the worker and the root
-// compute identical topologies independently.
-func runConcentrator(ctx context.Context, up, down string, shard, shards, customers int, session string) error {
-	topo, err := cluster.NewTopology(fleetLoads(fleetNames(customers)), shards)
+// compute identical topologies independently. With a metrics address the
+// worker serves the same endpoint contract as the server roles (/healthz,
+// /metrics, /logs, /trace); the optional ready channel receives the bound
+// address (tests binding to ":0").
+func runConcentrator(ctx context.Context, opts concOptions, ready chan<- string) error {
+	topo, err := cluster.NewTopology(fleetLoads(fleetNames(opts.customers)), opts.shards)
 	if err != nil {
 		return err
 	}
-	name := topo.ConcentratorName(shard)
+	name := topo.ConcentratorName(opts.shard)
+
+	if opts.metricsAddr != "" {
+		ln, err := net.Listen("tcp", opts.metricsAddr)
+		if err != nil {
+			return err
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(map[string]any{
+				"status":    "ok",
+				"role":      "worker",
+				"shard":     opts.shard,
+				"customers": len(topo.Members(opts.shard)),
+			})
+		})
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			writeObsMetrics(w)
+		})
+		mux.HandleFunc("/logs", health.LogHandler(health.Default()))
+		mountObservability(mux, opts.pprof)
+		httpSrv := &http.Server{Handler: mux}
+		go func() { _ = httpSrv.Serve(ln) }()
+		defer func() {
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = httpSrv.Shutdown(shutdownCtx)
+		}()
+		if ready != nil {
+			ready <- ln.Addr().String()
+		}
+	}
+
 	fmt.Printf("gridd: concentrator %s fronting %d customers, up %s, down %s\n",
-		name, len(topo.Members(shard)), up, down)
+		name, len(topo.Members(opts.shard)), opts.up, opts.down)
 	err = cluster.RunWorker(ctx, cluster.WorkerConfig{
-		UpAddr:   up,
-		DownAddr: down,
+		UpAddr:   opts.up,
+		DownAddr: opts.down,
 		Concentrator: cluster.ConcentratorConfig{
 			Name:         name,
-			SessionID:    session,
-			Members:      topo.MemberLoads(shard),
+			SessionID:    opts.session,
+			Members:      topo.MemberLoads(opts.shard),
 			RoundTimeout: serveRoundTimeout / 2,
 		},
 	})
@@ -394,12 +541,19 @@ type serveConfig struct {
 	addr        string // member-tier listen address
 	rootAddr    string // non-empty: concentrators are separate worker processes dialing in here
 	metricsAddr string // non-empty: HTTP /healthz and /metrics
+	obsAddr     string // non-empty: fleet observability hub; /fleet/* served on metricsAddr
 	customers   int
 	shards      int
 	timeout     time.Duration
 	dataDir     string // non-empty: journal the session outcome (or its abort)
 	replAddr    string // non-empty: stream the journal to hot standbys (requires dataDir)
 	pprof       bool   // mount /debug/pprof/ on the metrics endpoint
+
+	// linger, when non-nil, keeps the HTTP and obs endpoints up after the
+	// session completes until the channel closes (or ctx is cancelled) —
+	// how tests and drills scrape the merged fleet view of a one-shot
+	// negotiation after every process has flushed its final spans.
+	linger <-chan struct{}
 }
 
 // serveAddrs reports the daemon's bound addresses to tests using ":0".
@@ -407,6 +561,7 @@ type serveAddrs struct {
 	member  string
 	root    string
 	metrics string
+	obs     string
 }
 
 // serve hosts the UA, bridges remote customers onto a local bus and
@@ -485,6 +640,25 @@ func serve(ctx context.Context, cfg serveConfig, ready chan<- serveAddrs) error 
 		addrs.root = rootSrv.Addr()
 	}
 
+	// Fleet observability hub: workers (and any standby tailing this
+	// daemon's journal) stream their metric/log/span state here; the
+	// metrics mux below serves the merged /fleet view.
+	var hub *obsplane.Hub
+	if cfg.obsAddr != "" {
+		hub, err = obsplane.StartHub(obsplane.HubConfig{Addr: cfg.obsAddr})
+		if err != nil {
+			return err
+		}
+		defer hub.Close()
+		addrs.obs = hub.Addr()
+		if cfg.dataDir != "" {
+			if err := writeObsAddrFile(cfg.dataDir, hub.Addr()); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("gridd: fleet observability hub on %s\n", hub.Addr())
+	}
+
 	// Transport observability: /healthz and /metrics with the wire counters
 	// of every server this daemon runs.
 	if cfg.metricsAddr != "" {
@@ -510,6 +684,9 @@ func serve(ctx context.Context, cfg serveConfig, ready chan<- serveAddrs) error 
 			if rootSrv != nil {
 				transports["root"] = rootSrv.WireStats()
 			}
+			if hub != nil {
+				transports["obs"] = hub.WireStats()
+			}
 			telemetry.WriteWireMetrics(w, transports)
 			if sender != nil {
 				replica.WriteSenderMetrics(w, sender.Status())
@@ -518,6 +695,9 @@ func serve(ctx context.Context, cfg serveConfig, ready chan<- serveAddrs) error 
 			trace.WriteMetrics(w)
 		})
 		mux.HandleFunc("/logs", health.LogHandler(health.Default()))
+		if hub != nil {
+			hub.Mount(mux)
+		}
 		mountObservability(mux, cfg.pprof)
 		httpSrv := &http.Server{Handler: mux}
 		go func() { _ = httpSrv.Serve(ln) }()
@@ -676,6 +856,12 @@ func serve(ctx context.Context, cfg serveConfig, ready chan<- serveAddrs) error 
 				return err
 			}
 		}
+		if cfg.linger != nil {
+			select {
+			case <-cfg.linger:
+			case <-ctx.Done():
+			}
+		}
 		return nil
 	case <-ctx.Done():
 		// Drain before teardown: the fleet (and any worker concentrators)
@@ -769,6 +955,11 @@ type liveOptions struct {
 	peers           []string
 	failoverTimeout time.Duration
 
+	// Fleet observability (the tentpole): host the obs hub here and serve
+	// the /fleet endpoints on the live HTTP address.
+	obsAddr string        // non-empty: accept obs streams from the fleet on this address
+	obsHub  *obsplane.Hub // set internally once the hub is up
+
 	pprof bool // mount /debug/pprof/ on the live endpoint
 }
 
@@ -813,6 +1004,7 @@ type gridState struct {
 	sender   *replica.Sender  // non-nil when streaming to standbys
 	stby     *replica.Standby // non-nil while role == standby
 	health   *liveHealth      // set once before the HTTP server starts
+	obs      *obsplane.Hub    // non-nil when this daemon hosts the fleet obs hub
 }
 
 // view reads the endpoint-visible state in one consistent snapshot. A
@@ -957,6 +1149,9 @@ func liveMux(state *gridState, pprofOn bool) *http.ServeMux {
 		mux.HandleFunc("/alerts", health.AlertsHandler(h.alerts))
 		mux.HandleFunc("/feedback", health.FeedbackHandler(h.scorer))
 	}
+	if state.obs != nil {
+		state.obs.Mount(mux)
+	}
 	mountObservability(mux, pprofOn)
 	return mux
 }
@@ -997,11 +1192,25 @@ func runLive(ctx context.Context, opts liveOptions, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
+	if opts.obsAddr != "" {
+		hub, err := obsplane.StartHub(obsplane.HubConfig{Addr: opts.obsAddr})
+		if err != nil {
+			return err
+		}
+		defer hub.Close()
+		opts.obsHub = hub
+		if opts.dataDir != "" {
+			if err := writeObsAddrFile(opts.dataDir, hub.Addr()); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("gridd: fleet observability hub on %s\n", hub.Addr())
+	}
 	if len(opts.replicaOf) > 0 {
 		return runStandby(ctx, opts, cfg, ready)
 	}
 
-	state := &gridState{role: "primary", start: time.Now()}
+	state := &gridState{role: "primary", start: time.Now(), obs: opts.obsHub}
 	var eng *telemetry.LiveEngine
 	if opts.dataDir != "" {
 		var info *telemetry.RecoveryInfo
@@ -1160,7 +1369,7 @@ func tickLoop(ctx context.Context, eng *telemetry.LiveEngine, opts liveOptions, 
 // stream; on primary silence the lowest-id standby promotes in place and
 // continues the run as the serving primary.
 func runStandby(ctx context.Context, opts liveOptions, cfg telemetry.LiveConfig, ready chan<- string) error {
-	state := &gridState{role: "standby", start: time.Now()}
+	state := &gridState{role: "standby", start: time.Now(), obs: opts.obsHub}
 	stby, info, err := replica.StartStandby(replica.StandbyConfig{
 		ID:              opts.replicaID,
 		Peers:           opts.peers,
@@ -1280,6 +1489,13 @@ func runStandby(ctx context.Context, opts liveOptions, cfg telemetry.LiveConfig,
 // it.
 func writeReplAddrFile(dir, addr string) error {
 	return atomicWriteFile(dir, "repl-addr", []byte(addr))
+}
+
+// writeObsAddrFile publishes the fleet obs hub's bound address as
+// <dir>/obs-addr, the same contract as repl-addr: workers started with ":0"
+// hubs read it to find their -obs target.
+func writeObsAddrFile(dir, addr string) error {
+	return atomicWriteFile(dir, "obs-addr", []byte(addr))
 }
 
 // atomicWriteFile publishes <dir>/<name> via temp file + rename, so a

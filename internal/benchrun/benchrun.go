@@ -25,6 +25,7 @@ import (
 	"loadbalance/internal/bus"
 	"loadbalance/internal/health"
 	"loadbalance/internal/message"
+	"loadbalance/internal/obsplane"
 	"loadbalance/internal/protocol"
 	"loadbalance/internal/store"
 	"loadbalance/internal/trace"
@@ -66,6 +67,8 @@ func Defs() []Def {
 		{"histogram_observe", HistogramObserve},
 		{"log_event_disabled", LogEventDisabled},
 		{"feedback_score_compute", FeedbackScoreCompute},
+		{"obs_workload", ObsWorkload},
+		{"obs_workload_streamed", ObsWorkloadStreamed},
 	}
 }
 
@@ -341,6 +344,78 @@ func FeedbackScoreCompute(b *testing.B) {
 		s.Compute()
 	}
 }
+
+// obsWorkloadBody runs the instrumented hot path the fleet observability
+// plane ships: per op, a session-labelled root span with four shard
+// children, one histogram observation and a sampled Info log event — the
+// per-tick shape of a live daemon. streamed additionally runs a real hub
+// and emitter over loopback TCP draining the same rings, so the pair holds
+// the streaming tentpole to its overhead budget: the emitter drains on its
+// own ticker, and the instrumented path must not slow down because its
+// rings are being shipped.
+func obsWorkloadBody(b *testing.B, streamed bool) {
+	// A deliberately small ring: the benchmark produces spans ~1000x
+	// faster than a live daemon, so the ring wraps between drains no
+	// matter its size and each drain ships one full ring as its batch.
+	// The ring size is therefore the drain batch size, and a live-daemon
+	// default (4096+) would turn the pair into a single-core batch-encode
+	// stress test. 1024 keeps the shipped volume proportionate while the
+	// wrap losses exercise the missed accounting the plane is built on.
+	tr := trace.Enable("bench", 1024)
+	defer trace.Disable()
+	l, err := health.New(health.Config{Proc: "bench", MinLevel: health.Info, StderrLevel: health.Off})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	h := trace.GetHistogram("benchrun_observe_seconds")
+	if streamed {
+		hub, err := obsplane.StartHub(obsplane.HubConfig{Addr: "127.0.0.1:0"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer hub.Close()
+		// The production-default drain interval (250ms): a one-second
+		// benchmark round ships the full wrapped ring several times, which
+		// is the shape a live daemon streams at. Tightening the interval
+		// turns the pair into a drain stress test instead of an overhead
+		// gate — the workload generates spans ~1000x faster than a real
+		// tick loop, so each drain already carries a maximal batch.
+		em := obsplane.StartEmitter(obsplane.EmitterConfig{
+			Hub:    hub.Addr(),
+			Proc:   "bench",
+			Role:   "bench",
+			Logger: l,
+			Tracer: func() *trace.Tracer { return tr },
+		})
+		defer em.Close()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Root("bench.tick")
+		sp.SetSession("bench")
+		for s := 0; s < 4; s++ {
+			child := tr.Child(sp.Context(), "bench.shard")
+			child.End()
+		}
+		h.Observe(time.Duration(1000 + i%1000))
+		if i%64 == 0 {
+			l.Log(health.Info, "bench", "op complete", health.Int("op", int64(i)))
+		}
+		sp.End()
+	}
+	b.StopTimer()
+}
+
+// ObsWorkload measures the instrumented per-tick path with tracing and
+// logging on but nothing consuming the rings — the local-only floor.
+func ObsWorkload(b *testing.B) { obsWorkloadBody(b, false) }
+
+// ObsWorkloadStreamed is ObsWorkload with a live obs hub and emitter
+// streaming the rings over loopback — the overhead gate for the fleet
+// observability plane.
+func ObsWorkloadStreamed(b *testing.B) { obsWorkloadBody(b, true) }
 
 // Lookup returns the named def.
 func Lookup(name string) (Def, error) {

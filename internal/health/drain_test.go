@@ -1,0 +1,102 @@
+package health
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// drainLogger builds a ring-only logger for cursor tests.
+func drainLogger(t *testing.T, ring int) *Logger {
+	t.Helper()
+	l, err := New(Config{Proc: "t", MinLevel: Debug, RingSize: ring, StderrLevel: Off})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return l
+}
+
+// TestLogDrainSinceCursor walks the streaming cursor through fills, idle
+// drains and ring wraps — the obsplane emitter's log-export contract.
+func TestLogDrainSinceCursor(t *testing.T) {
+	l := drainLogger(t, 16)
+
+	evs, cur, missed := l.DrainSince(0, Debug)
+	if len(evs) != 0 || cur != 0 || missed != 0 {
+		t.Fatalf("empty drain = %d evs, cur %d, missed %d", len(evs), cur, missed)
+	}
+
+	for i := 0; i < 10; i++ {
+		l.Log(Info, "c", fmt.Sprintf("ev-%02d", i), Int("i", int64(i)))
+	}
+	evs, cur, missed = l.DrainSince(0, Debug)
+	if len(evs) != 10 || cur != 10 || missed != 0 {
+		t.Fatalf("first drain = %d evs, cur %d, missed %d", len(evs), cur, missed)
+	}
+	for i, ev := range evs {
+		if ev.Msg != fmt.Sprintf("ev-%02d", i) {
+			t.Fatalf("event %d = %s, out of order", i, ev.Msg)
+		}
+	}
+	if !strings.Contains(string(evs[3].Fields), `"i":3`) {
+		t.Fatalf("fields not rendered: %s", evs[3].Fields)
+	}
+
+	// Idle drain: nothing new, cursor stable.
+	evs, cur2, missed := l.DrainSince(cur, Debug)
+	if len(evs) != 0 || cur2 != cur || missed != 0 {
+		t.Fatalf("idle drain = %d evs, cur %d, missed %d", len(evs), cur2, missed)
+	}
+
+	// Wrap far past the cursor: losses accounted, window oldest-first.
+	for i := 0; i < 40; i++ {
+		l.Log(Info, "c", fmt.Sprintf("wrap-%02d", i))
+	}
+	evs, cur, missed = l.DrainSince(cur, Debug)
+	if len(evs) != 16 || missed != 24 || cur != 50 {
+		t.Fatalf("wrap drain = %d evs, cur %d, missed %d; want 16, 50, 24", len(evs), cur, missed)
+	}
+	if evs[0].Msg != "wrap-24" || evs[15].Msg != "wrap-39" {
+		t.Fatalf("wrap window = %s..%s", evs[0].Msg, evs[15].Msg)
+	}
+
+	// Stale cursor beyond total is safe.
+	evs, cur2, missed = l.DrainSince(cur+100, Debug)
+	if len(evs) != 0 || cur2 != cur || missed != 0 {
+		t.Fatalf("stale cursor drain = %d evs, cur %d, missed %d", len(evs), cur2, missed)
+	}
+}
+
+// TestLogDrainSinceLevelFilter checks the min level gates what ships while
+// the cursor still advances past filtered events (they are consumed, not
+// re-delivered).
+func TestLogDrainSinceLevelFilter(t *testing.T) {
+	l := drainLogger(t, 64)
+	l.Log(Debug, "c", "noise")
+	l.Log(Info, "c", "info")
+	l.Log(Warn, "c", "warn")
+	l.Log(Error, "c", "error")
+
+	evs, cur, _ := l.DrainSince(0, Warn)
+	if len(evs) != 2 || evs[0].Msg != "warn" || evs[1].Msg != "error" {
+		t.Fatalf("warn drain = %+v", evs)
+	}
+	if cur != 4 {
+		t.Fatalf("cursor = %d, want 4 (filtered events still consumed)", cur)
+	}
+	// The filtered-out info event never re-appears on the next drain.
+	evs, _, _ = l.DrainSince(cur, Debug)
+	if len(evs) != 0 {
+		t.Fatalf("re-delivered %d filtered events", len(evs))
+	}
+}
+
+// TestLogDrainSinceNilLogger checks the nil receiver path the emitter
+// relies on before a logger is installed.
+func TestLogDrainSinceNilLogger(t *testing.T) {
+	var l *Logger
+	evs, cur, missed := l.DrainSince(7, Debug)
+	if evs != nil || cur != 7 || missed != 0 {
+		t.Fatalf("nil drain = %v, cur %d, missed %d", evs, cur, missed)
+	}
+}

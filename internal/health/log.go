@@ -320,6 +320,73 @@ func (l *Logger) Events(f LogFilter) []Event {
 	return out
 }
 
+// StreamEvent is one log event rendered for cross-process streaming: the
+// ring entry with its dynamic fields pre-rendered to a JSON object, so the
+// transit payload and the receiver need no knowledge of the Field type.
+type StreamEvent struct {
+	TimeUs    int64
+	Level     string
+	Component string
+	Msg       string
+	Fields    []byte // JSON object, nil when the event has no fields
+}
+
+// DrainSince returns every event recorded after the cursor (a total-count
+// position from a previous drain; 0 drains from the beginning) at or above
+// min, oldest first, plus the new cursor and the count of events that
+// wrapped out of the ring before this drain reached them. The streaming
+// export path: an obsplane emitter keeps the cursor between flushes.
+func (l *Logger) DrainSince(cursor uint64, min Level) (evs []StreamEvent, newCursor, missed uint64) {
+	if l == nil {
+		return nil, cursor, 0
+	}
+	l.mu.Lock()
+	newCursor = l.total
+	if cursor >= l.total {
+		l.mu.Unlock()
+		return nil, newCursor, 0
+	}
+	pending := l.total - cursor
+	if max := uint64(len(l.ring)); pending > max {
+		missed = pending - max
+		pending = max
+	}
+	n := len(l.ring)
+	start := 0
+	if n == cap(l.ring) {
+		start = l.next
+	}
+	// Copy raw entries under the lock, render outside it: field-JSON
+	// encoding allocates, and a full-ring drain must not stall Log on the
+	// hot path. Each entry owns its fields slice and nothing mutates it
+	// after record, so shallow copies stay valid after unlock.
+	first := uint64(n) - pending
+	raw := make([]event, 0, pending)
+	for i := first; i < uint64(n); i++ {
+		raw = append(raw, l.ring[(start+int(i))%n])
+	}
+	l.mu.Unlock()
+
+	evs = make([]StreamEvent, 0, len(raw))
+	for i := range raw {
+		ev := &raw[i]
+		if ev.level < min {
+			continue
+		}
+		se := StreamEvent{
+			TimeUs:    ev.timeUs,
+			Level:     ev.level.String(),
+			Component: ev.component,
+			Msg:       ev.msg,
+		}
+		if len(ev.fields) > 0 {
+			se.Fields = appendFieldsJSON(nil, ev.fields)
+		}
+		evs = append(evs, se)
+	}
+	return evs, newCursor, missed
+}
+
 // Stats reports ring occupancy and per-level counts.
 func (l *Logger) Stats() (total, dropped uint64, perLevel [int(Off)]uint64) {
 	if l == nil {

@@ -26,16 +26,35 @@ func appendEventJSON(b []byte, proc string, ev *event) []byte {
 	b = strconv.AppendQuote(b, ev.msg)
 	for _, f := range ev.fields {
 		b = append(b, ',')
-		b = strconv.AppendQuote(b, f.Key)
-		b = append(b, ':')
-		if f.isInt {
-			b = strconv.AppendInt(b, f.Int, 10)
-		} else {
-			b = strconv.AppendQuote(b, f.Str)
-		}
+		b = appendFieldJSON(b, &f)
 	}
 	b = append(b, '}')
 	return b
+}
+
+// appendFieldJSON renders one field as `"key":value`.
+func appendFieldJSON(b []byte, f *Field) []byte {
+	b = strconv.AppendQuote(b, f.Key)
+	b = append(b, ':')
+	if f.isInt {
+		b = strconv.AppendInt(b, f.Int, 10)
+	} else {
+		b = strconv.AppendQuote(b, f.Str)
+	}
+	return b
+}
+
+// appendFieldsJSON renders a field list as one JSON object — the transit
+// form a StreamEvent carries across processes.
+func appendFieldsJSON(b []byte, fields []Field) []byte {
+	b = append(b, '{')
+	for i := range fields {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendFieldJSON(b, &fields[i])
+	}
+	return append(b, '}')
 }
 
 // appendAPIEventJSON renders an /logs API event (same shape as the file

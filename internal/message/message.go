@@ -42,6 +42,13 @@ const (
 	KindReplAck       Kind = "repl_ack"       // standby → primary: applied position
 	KindReplSnapshot  Kind = "repl_snapshot"  // primary → standby: snapshot bootstrap
 	KindReplHeartbeat Kind = "repl_heartbeat" // primary → standby: liveness + head position
+
+	// Observability-plane kinds: workers, standbys and serve replicas
+	// streaming their metric/log/span state to the fleet root
+	// (internal/obsplane).
+	KindObsSubscribe Kind = "obs_subscribe" // process → root: identity + subscribed log level
+	KindObsBatch     Kind = "obs_batch"     // process → root: metric samples, log events, spans
+	KindObsAck       Kind = "obs_ack"       // root → process: highest batch applied
 )
 
 // Validation errors.
@@ -505,6 +512,116 @@ func (ReplHeartbeat) Kind() Kind { return KindReplHeartbeat }
 // Validate implements Payload.
 func (ReplHeartbeat) Validate() error { return nil }
 
+// ObsSubscribe announces a process to the fleet root's observability hub:
+// its identity (stamped on every merged record the root serves) and the
+// minimum log level it will stream. Re-subscribing after a reconnect is
+// idempotent — the root replaces the identity and acks its last applied
+// batch so the emitter can trim its resend buffer.
+type ObsSubscribe struct {
+	Proc string `json:"proc"` // process label, e.g. "gridd-cc-003"
+	Role string `json:"role"` // "worker" | "standby" | "serve" | "live" | ...
+	Addr string `json:"addr,omitempty"`
+	// MinLevel is the health log level name the emitter streams from
+	// ("debug".."error"); informational — filtering happens sender-side.
+	MinLevel string `json:"minLevel,omitempty"`
+}
+
+// Kind implements Payload.
+func (ObsSubscribe) Kind() Kind { return KindObsSubscribe }
+
+// Validate implements Payload.
+func (s ObsSubscribe) Validate() error {
+	if s.Proc == "" {
+		return fmt.Errorf("%w: proc", ErrEmptyField)
+	}
+	if s.Role == "" {
+		return fmt.Errorf("%w: role", ErrEmptyField)
+	}
+	return nil
+}
+
+// ObsMetricSample is one rendered metric series: the Prometheus exposition
+// name with its labels, e.g. `grid_shard_load_kwh{shard="2"}`, and the
+// latest value. The root re-labels each sample with the sending process.
+type ObsMetricSample struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// ObsLogEvent is one structured health log event in transit: the logger's
+// ring entry with its fields pre-rendered to a JSON object.
+type ObsLogEvent struct {
+	TsUs      int64           `json:"tsUs"`
+	Level     string          `json:"level"`
+	Component string          `json:"component"`
+	Msg       string          `json:"msg"`
+	Fields    json.RawMessage `json:"fields,omitempty"`
+}
+
+// ObsSpan is one completed trace span in transit — the trace ring's
+// rendered record shape (hex ids), so the root can stitch cross-process
+// trees without re-deriving anything. The root stamps the sender's proc
+// label on each span it merges.
+type ObsSpan struct {
+	Trace   string `json:"trace"`
+	Span    string `json:"span"`
+	Parent  string `json:"parent,omitempty"`
+	Name    string `json:"name"`
+	Agent   string `json:"agent,omitempty"`
+	Session string `json:"session,omitempty"`
+	Shard   string `json:"shard,omitempty"`
+	StartUs int64  `json:"startUs"`
+	DurUs   int64  `json:"durUs"`
+}
+
+// ObsBatch carries one flush of a process's observability state. Batches are
+// sequenced per connection-lifetime and resent until acked, so a root
+// restart loses at most what the emitter's bounded resend buffer had to
+// shed (the Missed counters account for that shedding explicitly).
+type ObsBatch struct {
+	Seq     uint64 `json:"seq"`
+	Closing bool   `json:"closing,omitempty"` // final flush before a clean exit
+
+	Metrics []ObsMetricSample `json:"metrics,omitempty"`
+	Logs    []ObsLogEvent     `json:"logs,omitempty"`
+	Spans   []ObsSpan         `json:"spans,omitempty"`
+
+	// MissedLogs/MissedSpans count ring entries that wrapped (or were shed
+	// under backpressure) before this flush could drain them.
+	MissedLogs  uint64 `json:"missedLogs,omitempty"`
+	MissedSpans uint64 `json:"missedSpans,omitempty"`
+}
+
+// Kind implements Payload.
+func (ObsBatch) Kind() Kind { return KindObsBatch }
+
+// Validate implements Payload. An otherwise-empty batch is a keepalive —
+// it still advances the root's silence gauge.
+func (b ObsBatch) Validate() error {
+	if b.Seq == 0 {
+		return fmt.Errorf("%w: seq 0 (batch sequences count from 1)", ErrBadValue)
+	}
+	return nil
+}
+
+// ObsAck reports the highest batch the root has merged. The emitter drops
+// acked batches from its resend buffer; correctness never depends on it —
+// every surface the root serves is explicitly lossy-but-accounted.
+type ObsAck struct {
+	Seq uint64 `json:"seq"`
+}
+
+// Kind implements Payload.
+func (ObsAck) Kind() Kind { return KindObsAck }
+
+// Validate implements Payload.
+func (a ObsAck) Validate() error {
+	if a.Seq == 0 {
+		return fmt.Errorf("%w: ack of seq 0", ErrBadValue)
+	}
+	return nil
+}
+
 // Envelope wraps a payload with routing metadata.
 type Envelope struct {
 	From    string          `json:"from"`
@@ -579,6 +696,12 @@ func (e Envelope) Decode() (Payload, error) {
 		p = &ReplSnapshot{}
 	case KindReplHeartbeat:
 		p = &ReplHeartbeat{}
+	case KindObsSubscribe:
+		p = &ObsSubscribe{}
+	case KindObsBatch:
+		p = &ObsBatch{}
+	case KindObsAck:
+		p = &ObsAck{}
 	default:
 		return nil, fmt.Errorf("%w: %q", ErrUnknownKind, e.Kind)
 	}
@@ -627,6 +750,12 @@ func deref(p Payload) Payload {
 	case *ReplSnapshot:
 		return *v
 	case *ReplHeartbeat:
+		return *v
+	case *ObsSubscribe:
+		return *v
+	case *ObsBatch:
+		return *v
+	case *ObsAck:
 		return *v
 	default:
 		return p

@@ -1,0 +1,92 @@
+package message
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestObsBinaryRoundTrip runs the observability kinds through the binary
+// codec and checks the decoded payloads survive field-for-field.
+func TestObsBinaryRoundTrip(t *testing.T) {
+	payloads := []Payload{
+		ObsSubscribe{Proc: "gridd-cc-003", Role: "worker", Addr: "127.0.0.1:9", MinLevel: "info"},
+		ObsAck{Seq: 42},
+		ObsBatch{
+			Seq: 7,
+			Metrics: []ObsMetricSample{
+				{Name: "feedback_score", Value: 91.5},
+				{Name: `grid_shard_load_kwh{shard="2"}`, Value: 3.25},
+			},
+			Logs: []ObsLogEvent{{
+				TsUs: 1000, Level: "warn", Component: "overload", Msg: "shed",
+				Fields: json.RawMessage(`{"shard":"2"}`),
+			}},
+			Spans: []ObsSpan{{
+				Trace: "00000000000000a1", Span: "00000000000000a2", Parent: "00000000000000a3",
+				Name: "phase.negotiate", Agent: "cc-2", Session: "gridd", Shard: "2",
+				StartUs: 5, DurUs: 17,
+			}},
+			MissedLogs: 3, MissedSpans: 9,
+		},
+		ObsBatch{Seq: 1, Closing: true}, // keepalive/final shape: no data
+	}
+	for _, p := range payloads {
+		env, err := NewEnvelope("gridd-cc-003", "obshub", "obsplane", p)
+		if err != nil {
+			t.Fatalf("%s: NewEnvelope: %v", p.Kind(), err)
+		}
+		data, err := env.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%s: MarshalBinary: %v", p.Kind(), err)
+		}
+		got, err := UnmarshalBinary(data)
+		if err != nil {
+			t.Fatalf("%s: UnmarshalBinary: %v", p.Kind(), err)
+		}
+		if got.Kind != p.Kind() {
+			t.Fatalf("kind = %s, want %s", got.Kind, p.Kind())
+		}
+		dp, err := got.Decode()
+		if err != nil {
+			t.Fatalf("%s: Decode: %v", p.Kind(), err)
+		}
+		if !reflect.DeepEqual(dp, p) {
+			t.Fatalf("%s round trip:\n got %+v\nwant %+v", p.Kind(), dp, p)
+		}
+	}
+}
+
+// TestObsValidate covers the validation rules of the observability kinds.
+func TestObsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Payload
+		ok   bool
+	}{
+		{"subscribe ok", ObsSubscribe{Proc: "w1", Role: "worker"}, true},
+		{"subscribe no proc", ObsSubscribe{Role: "worker"}, false},
+		{"subscribe no role", ObsSubscribe{Proc: "w1"}, false},
+		{"batch keepalive", ObsBatch{Seq: 1}, true},
+		{"batch seq 0", ObsBatch{}, false},
+		{"ack ok", ObsAck{Seq: 1}, true},
+		{"ack seq 0", ObsAck{}, false},
+	}
+	for _, c := range cases {
+		err := c.p.Validate()
+		if c.ok && err != nil {
+			t.Fatalf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Fatalf("%s: validation passed, want error", c.name)
+		}
+	}
+	// Invalid payloads must be refused at envelope construction too.
+	if _, err := NewEnvelope("w1", "obshub", "obsplane", ObsBatch{}); err == nil {
+		t.Fatal("NewEnvelope accepted a seq-0 batch")
+	}
+	if !errors.Is(ObsAck{}.Validate(), ErrBadValue) {
+		t.Fatal("ack seq 0 should wrap ErrBadValue")
+	}
+}

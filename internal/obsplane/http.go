@@ -1,0 +1,331 @@
+package obsplane
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"loadbalance/internal/health"
+	"loadbalance/internal/trace"
+)
+
+// FleetLogEvent is one merged log event as served on /fleet/logs.
+type FleetLogEvent struct {
+	TsUs      int64           `json:"tsUs"`
+	Level     string          `json:"level"`
+	Proc      string          `json:"proc"`
+	Component string          `json:"component"`
+	Msg       string          `json:"msg"`
+	Fields    json.RawMessage `json:"fields,omitempty"`
+}
+
+// FleetLogsDoc is the /fleet/logs response body.
+type FleetLogsDoc struct {
+	Procs  []string        `json:"procs"`
+	Missed uint64          `json:"missed"` // events lost before reaching the root (wraps + sheds)
+	Events []FleetLogEvent `json:"events"`
+}
+
+// FleetTraceDoc is the /fleet/trace response body: the span rings of every
+// subscribed process merged into one stream, stitched by shared trace ids.
+type FleetTraceDoc struct {
+	Procs  []string       `json:"procs"`
+	Missed uint64         `json:"missed"` // spans lost before reaching the root
+	Spans  []trace.Record `json:"spans"`
+}
+
+// logFilter selects events for /fleet/logs.
+type logFilter struct {
+	proc      string
+	minLevel  health.Level
+	component string
+	afterUs   int64
+	limit     int
+}
+
+// MergedLogs returns the fleet's log events oldest-first under the filter.
+func (h *Hub) mergedLogs(f logFilter) FleetLogsDoc {
+	h.mu.Lock()
+	doc := FleetLogsDoc{Events: []FleetLogEvent{}}
+	names := make([]string, 0, len(h.procs))
+	for n := range h.procs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	doc.Procs = names
+	for _, n := range names {
+		p := h.procs[n]
+		doc.Missed += p.missedLogs + p.logDropped
+		if f.proc != "" && n != f.proc {
+			continue
+		}
+		for _, fl := range ringOrdered(p.logRing, p.logNext, h.cfg.LogRing) {
+			lv, err := health.ParseLevel(fl.ev.Level)
+			if err != nil || lv < f.minLevel {
+				continue
+			}
+			if f.component != "" && fl.ev.Component != f.component {
+				continue
+			}
+			if fl.ev.TsUs <= f.afterUs {
+				continue
+			}
+			doc.Events = append(doc.Events, FleetLogEvent{
+				TsUs:      fl.ev.TsUs,
+				Level:     fl.ev.Level,
+				Proc:      fl.proc,
+				Component: fl.ev.Component,
+				Msg:       fl.ev.Msg,
+				Fields:    fl.ev.Fields,
+			})
+		}
+	}
+	h.mu.Unlock()
+	sort.SliceStable(doc.Events, func(i, j int) bool {
+		if doc.Events[i].TsUs != doc.Events[j].TsUs {
+			return doc.Events[i].TsUs < doc.Events[j].TsUs
+		}
+		return doc.Events[i].Proc < doc.Events[j].Proc
+	})
+	if f.limit > 0 && len(doc.Events) > f.limit {
+		doc.Events = doc.Events[len(doc.Events)-f.limit:]
+	}
+	return doc
+}
+
+// mergedTrace returns the fleet's spans under the filter, the hub process's
+// own active ring included (the root is part of its own fleet).
+func (h *Hub) mergedTrace(f trace.Filter) FleetTraceDoc {
+	doc := FleetTraceDoc{Spans: []trace.Record{}}
+	procSet := make(map[string]bool)
+	if f.Trace != "" {
+		if id, ok := trace.ParseID(f.Trace); ok {
+			f.Trace = fmt.Sprintf("%016x", id) // records render ids zero-padded
+		}
+	}
+
+	if t := trace.Active(); t != nil {
+		for _, r := range t.Records(trace.Filter{Session: f.Session, Trace: f.Trace, Shard: f.Shard}) {
+			doc.Spans = append(doc.Spans, r)
+			procSet[r.Proc] = true
+		}
+	}
+
+	h.mu.Lock()
+	names := make([]string, 0, len(h.procs))
+	for n := range h.procs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p := h.procs[n]
+		doc.Missed += p.missedSpans + p.spanDropped
+		for _, r := range ringOrdered(p.spanRing, p.spanNext, h.cfg.SpanRing) {
+			if f.Session != "" && r.Session != f.Session {
+				continue
+			}
+			if f.Trace != "" && r.Trace != f.Trace {
+				continue
+			}
+			if f.Shard != "" && r.Shard != f.Shard && !strings.Contains(r.Agent, f.Shard) {
+				continue
+			}
+			doc.Spans = append(doc.Spans, r)
+			procSet[r.Proc] = true
+		}
+	}
+	h.mu.Unlock()
+
+	sort.SliceStable(doc.Spans, func(i, j int) bool {
+		if doc.Spans[i].StartUs != doc.Spans[j].StartUs {
+			return doc.Spans[i].StartUs < doc.Spans[j].StartUs
+		}
+		return doc.Spans[i].Span < doc.Spans[j].Span
+	})
+	if f.Limit > 0 && len(doc.Spans) > f.Limit {
+		doc.Spans = doc.Spans[len(doc.Spans)-f.Limit:]
+	}
+	for n := range procSet {
+		doc.Procs = append(doc.Procs, n)
+	}
+	sort.Strings(doc.Procs)
+	return doc
+}
+
+// parseLimit reads a limit query parameter; ok=false means it was present
+// and malformed.
+func parseLimit(s string) (int, bool) {
+	if s == "" {
+		return 0, true
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// FleetLogsHandler serves the merged fleet log view. Query params: proc
+// (exact), level (minimum level name), component (exact), afterUs (only
+// events strictly newer — the gridctl logs -f cursor), limit (newest N).
+// Malformed params are a 400, not a silent full dump.
+func (h *Hub) FleetLogsHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		f := logFilter{proc: q.Get("proc"), component: q.Get("component")}
+		if s := q.Get("level"); s != "" {
+			lv, err := health.ParseLevel(s)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad level %q", s), http.StatusBadRequest)
+				return
+			}
+			f.minLevel = lv
+		}
+		if s := q.Get("afterUs"); s != "" {
+			us, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad afterUs %q", s), http.StatusBadRequest)
+				return
+			}
+			f.afterUs = us
+		}
+		var ok bool
+		if f.limit, ok = parseLimit(q.Get("limit")); !ok {
+			http.Error(w, "bad limit (want a positive integer)", http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(h.mergedLogs(f))
+	}
+}
+
+// FleetTraceHandler serves the stitched cross-process trace view. Query
+// params match /trace: session, shard, trace (hex), limit.
+func (h *Hub) FleetTraceHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		f := trace.Filter{Session: q.Get("session"), Shard: q.Get("shard"), Trace: q.Get("trace")}
+		if f.Trace != "" {
+			if _, ok := trace.ParseID(f.Trace); !ok {
+				http.Error(w, "bad trace id (want hex)", http.StatusBadRequest)
+				return
+			}
+		}
+		var ok bool
+		if f.Limit, ok = parseLimit(q.Get("limit")); !ok {
+			http.Error(w, "bad limit (want a positive integer)", http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(h.mergedTrace(f))
+	}
+}
+
+// FleetStatusHandler serves the per-process streaming state (gridctl top's
+// data source).
+func (h *Hub) FleetStatusHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"fleetScore": h.FleetScore(),
+			"silenceAge": h.SilenceAge(),
+			"procs":      h.Status(),
+		})
+	}
+}
+
+// WriteSummaryMetrics renders the hub's own series — the fleet_* gauges and
+// per-process obs_* counters (each counter series labelled {proc=...}) —
+// without the relayed samples. This is what the host daemon folds into its
+// regular /metrics page.
+func (h *Hub) WriteSummaryMetrics(w io.Writer) {
+	st := h.Status()
+	fmt.Fprintf(w, "# TYPE fleet_procs gauge\nfleet_procs %d\n", len(st))
+	fmt.Fprintf(w, "# TYPE fleet_last_batch_age_seconds gauge\nfleet_last_batch_age_seconds %g\n", h.SilenceAge())
+	fmt.Fprintf(w, "# TYPE fleet_feedback_score gauge\nfleet_feedback_score %g\n", h.FleetScore())
+	counters := []struct {
+		name string
+		get  func(*ProcStatus) uint64
+	}{
+		{"obs_batches_total", func(p *ProcStatus) uint64 { return p.Batches }},
+		{"obs_logs_total", func(p *ProcStatus) uint64 { return p.Logs }},
+		{"obs_spans_total", func(p *ProcStatus) uint64 { return p.Spans }},
+		{"obs_missed_logs_total", func(p *ProcStatus) uint64 { return p.MissedLogs }},
+		{"obs_missed_spans_total", func(p *ProcStatus) uint64 { return p.MissedSpans }},
+	}
+	for _, c := range counters {
+		fmt.Fprintf(w, "# TYPE %s counter\n", c.name)
+		for i := range st {
+			fmt.Fprintf(w, "%s{proc=%q} %d\n", c.name, st[i].Proc, c.get(&st[i]))
+		}
+	}
+}
+
+// WriteFleetMetrics renders the full fleet metrics page: the hub summary,
+// then every process's streamed samples re-labelled with their sender.
+// Relayed series carry no # TYPE line (their types live on the origin
+// pages; untyped is valid exposition).
+func (h *Hub) WriteFleetMetrics(w io.Writer) {
+	h.WriteSummaryMetrics(w)
+
+	h.mu.Lock()
+	names := make([]string, 0, len(h.procs))
+	for n := range h.procs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	type procSamples struct {
+		proc    string
+		samples []struct {
+			name  string
+			value float64
+		}
+	}
+	pages := make([]procSamples, 0, len(names))
+	for _, n := range names {
+		ps := procSamples{proc: n}
+		for _, s := range h.procs[n].metrics {
+			ps.samples = append(ps.samples, struct {
+				name  string
+				value float64
+			}{s.Name, s.Value})
+		}
+		pages = append(pages, ps)
+	}
+	h.mu.Unlock()
+
+	for _, ps := range pages {
+		for _, s := range ps.samples {
+			fmt.Fprintf(w, "%s %g\n", relabel(s.name, ps.proc), s.value)
+		}
+	}
+}
+
+// FleetMetricsHandler serves WriteFleetMetrics over HTTP.
+func (h *Hub) FleetMetricsHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		h.WriteFleetMetrics(w)
+	}
+}
+
+// Mount registers the /fleet endpoints on a mux.
+func (h *Hub) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("/fleet/metrics", h.FleetMetricsHandler())
+	mux.HandleFunc("/fleet/logs", h.FleetLogsHandler())
+	mux.HandleFunc("/fleet/trace", h.FleetTraceHandler())
+	mux.HandleFunc("/fleet/status", h.FleetStatusHandler())
+}
+
+// relabel injects a proc label into one exposition series name:
+// `foo` becomes `foo{proc="x"}`, `foo{a="b"}` becomes `foo{proc="x",a="b"}`.
+func relabel(series, proc string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i+1] + `proc=` + strconv.Quote(proc) + `,` + series[i+1:]
+	}
+	return series + `{proc=` + strconv.Quote(proc) + `}`
+}

@@ -1,0 +1,427 @@
+// Package obsplane is the fleet observability plane: every gridd process —
+// workers, standbys, serve replicas — streams its observability state
+// (metric samples, structured log events, completed trace spans) to the
+// root over the v2 binary wire protocol, and the root merges the batches
+// into one labelled registry served on the /fleet endpoints.
+//
+// The plane is explicitly lossy-but-accounted: emitters drain bounded
+// rings through a bounded resend window, shed under backpressure, and ship
+// Missed counters for everything a ring wrapped past; the hub keeps each
+// process's state in bounded per-process rings. Correctness of the grid
+// never depends on the plane — it is an operator surface, built from the
+// same bus, message and ring machinery as the data path.
+package obsplane
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"loadbalance/internal/bus"
+	"loadbalance/internal/health"
+	"loadbalance/internal/message"
+	"loadbalance/internal/trace"
+)
+
+// hubName is the hub's agent name on its control bus; emitters address
+// their envelopes to it.
+const hubName = "obshub"
+
+// obsSession is the session id stamped on every obs-plane envelope.
+const obsSession = "obsplane"
+
+// ErrClosed is returned by operations on a closed hub.
+var ErrClosed = errors.New("obsplane: closed")
+
+// HubConfig parameterises the fleet root's observability hub.
+type HubConfig struct {
+	// Addr is the TCP listen address emitters dial (":0" for tests).
+	Addr string
+	// LogRing bounds one process's merged log events held by the hub
+	// (default 2048).
+	LogRing int
+	// SpanRing bounds one process's spans held by the hub (default 8192).
+	SpanRing int
+	// MaxFrame bounds one wire frame (default bus.DefaultMaxFrame).
+	MaxFrame int
+	// Logger receives the hub's own health events (default health.Default()).
+	Logger *health.Logger
+}
+
+// withDefaults fills unset fields.
+func (c HubConfig) withDefaults() HubConfig {
+	if c.LogRing <= 0 {
+		c.LogRing = 2048
+	}
+	if c.SpanRing <= 0 {
+		c.SpanRing = 8192
+	}
+	if c.Logger == nil {
+		c.Logger = health.Default()
+	}
+	return c
+}
+
+// fleetLog is one streamed log event with its sender's identity attached.
+type fleetLog struct {
+	proc string
+	ev   message.ObsLogEvent
+}
+
+// procState is one subscribed process's merged observability state.
+type procState struct {
+	proc string
+	role string
+	addr string
+
+	lastSeq   uint64
+	lastBatch time.Time // arrival clock for the silence gauge, never served on a replayed surface
+	closed    bool      // the process flushed with Closing: excluded from silence detection
+
+	batches, logs, spans    uint64
+	missedLogs, missedSpans uint64
+	duplicates              uint64
+	metrics                 []message.ObsMetricSample // latest full sample set
+	logRing                 []fleetLog
+	logNext                 int
+	logDropped              uint64
+	spanRing                []trace.Record
+	spanNext                int
+	spanDropped             uint64
+}
+
+// sample returns the process's latest value for one metric series name.
+func (p *procState) sample(name string) (float64, bool) {
+	for i := range p.metrics {
+		if p.metrics[i].Name == name {
+			return p.metrics[i].Value, true
+		}
+	}
+	return 0, false
+}
+
+// Hub is the root-side receiver: it listens for emitters, merges their
+// batches and serves the fleet view. Close it to release the listener and
+// the fleet gauges.
+type Hub struct {
+	cfg   HubConfig
+	inner *bus.InProc
+	srv   *bus.Server
+	inbox <-chan message.Envelope
+
+	mu     sync.Mutex
+	procs  map[string]*procState
+	closed bool
+
+	done chan struct{}
+}
+
+// StartHub listens on cfg.Addr and merges emitter streams. It registers the
+// fleet_* gauges (silence age, fleet score, process count) with the health
+// registry so the root's alert engine can reference them; Close unregisters
+// them.
+func StartHub(cfg HubConfig) (*Hub, error) {
+	cfg = cfg.withDefaults()
+	inner, err := bus.NewInProc(bus.Config{})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := bus.ListenAndServeConfig(cfg.Addr, inner, bus.ServerConfig{MaxFrame: cfg.MaxFrame})
+	if err != nil {
+		inner.Close()
+		return nil, err
+	}
+	inbox, err := inner.Register(hubName, 1024)
+	if err != nil {
+		srv.Close()
+		inner.Close()
+		return nil, err
+	}
+	h := &Hub{
+		cfg:   cfg,
+		inner: inner,
+		srv:   srv,
+		inbox: inbox,
+		procs: make(map[string]*procState),
+		done:  make(chan struct{}),
+	}
+	health.RegisterGauge("fleet_procs", func() float64 { return float64(h.procCount()) })
+	health.RegisterGauge("fleet_last_batch_age_seconds", h.SilenceAge)
+	health.RegisterGauge("fleet_feedback_score", h.FleetScore)
+	go h.controlLoop()
+	return h, nil
+}
+
+// Addr returns the hub's bound listen address.
+func (h *Hub) Addr() string { return h.srv.Addr() }
+
+// WireStats exposes the hub transport's frame counters for the root's
+// /metrics page.
+func (h *Hub) WireStats() bus.WireStats { return h.srv.WireStats() }
+
+// controlLoop merges subscribe and batch messages from emitters. Acks are
+// sent outside the registry lock.
+func (h *Hub) controlLoop() {
+	defer close(h.done)
+	for env := range h.inbox {
+		p, err := env.Decode()
+		if err != nil {
+			continue
+		}
+		switch m := p.(type) {
+		case message.ObsSubscribe:
+			h.subscribe(env.From, m)
+		case message.ObsBatch:
+			h.merge(env.From, m)
+		}
+	}
+}
+
+// ack confirms the highest merged batch to one emitter so it can trim its
+// resend buffer. Delivery failure means the connection died; the emitter
+// re-subscribes on its next one and resends.
+func (h *Hub) ack(conn string, seq uint64) {
+	if seq == 0 {
+		return
+	}
+	env, err := message.NewEnvelope(hubName, conn, obsSession, message.ObsAck{Seq: seq})
+	if err != nil {
+		return
+	}
+	_ = h.inner.Send(env)
+}
+
+// subscribe registers (or re-registers) a process. The connection name is
+// forced by the wire handshake to the emitter's proc label, so From is the
+// registry key. Re-subscription after a reconnect keeps the merged state
+// and acks the last applied batch.
+func (h *Hub) subscribe(conn string, m message.ObsSubscribe) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	p := h.procs[conn]
+	if p == nil {
+		p = &procState{
+			proc:     conn,
+			logRing:  make([]fleetLog, 0, h.cfg.LogRing),
+			spanRing: make([]trace.Record, 0, h.cfg.SpanRing),
+		}
+		h.procs[conn] = p
+	}
+	p.role, p.addr = m.Role, m.Addr
+	p.lastBatch = time.Now()
+	p.closed = false
+	lastSeq := p.lastSeq
+	h.mu.Unlock()
+	h.cfg.Logger.Log(health.Info, "obsplane", "process subscribed",
+		health.Str("proc", conn), health.Str("role", m.Role), health.Str("addr", m.Addr))
+	h.ack(conn, lastSeq)
+}
+
+// merge folds one batch into the process's state. Duplicate sequences
+// (resends racing an ack) are re-acked but not merged twice.
+func (h *Hub) merge(conn string, m message.ObsBatch) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	p := h.procs[conn]
+	if p == nil {
+		// A batch before any subscription: a protocol error from a v2 peer,
+		// but harmless — register a bare identity rather than losing data.
+		p = &procState{
+			proc:     conn,
+			logRing:  make([]fleetLog, 0, h.cfg.LogRing),
+			spanRing: make([]trace.Record, 0, h.cfg.SpanRing),
+		}
+		h.procs[conn] = p
+	}
+	if m.Seq <= p.lastSeq {
+		p.duplicates++
+		h.mu.Unlock()
+		h.ack(conn, m.Seq)
+		return
+	}
+	p.lastSeq = m.Seq
+	p.lastBatch = time.Now()
+	p.closed = m.Closing
+	p.batches++
+	p.missedLogs += m.MissedLogs
+	p.missedSpans += m.MissedSpans
+	if m.Metrics != nil {
+		p.metrics = m.Metrics
+	}
+	for _, ev := range m.Logs {
+		pushRing(&p.logRing, &p.logNext, &p.logDropped, h.cfg.LogRing, fleetLog{proc: conn, ev: ev})
+		p.logs++
+	}
+	for _, sp := range m.Spans {
+		rec := trace.Record{
+			Trace:   sp.Trace,
+			Span:    sp.Span,
+			Parent:  sp.Parent,
+			Name:    sp.Name,
+			Proc:    conn,
+			Agent:   sp.Agent,
+			Session: sp.Session,
+			Shard:   sp.Shard,
+			StartUs: sp.StartUs,
+			DurUs:   sp.DurUs,
+		}
+		pushRing(&p.spanRing, &p.spanNext, &p.spanDropped, h.cfg.SpanRing, rec)
+		p.spans++
+	}
+	h.mu.Unlock()
+	h.ack(conn, m.Seq)
+}
+
+// pushRing appends into a bounded ring, overwriting the oldest entry once
+// the ring is full — the same wrap discipline the trace and log rings use.
+func pushRing[T any](ring *[]T, next *int, dropped *uint64, capHint int, v T) {
+	if len(*ring) < capHint {
+		*ring = append(*ring, v)
+	} else {
+		(*ring)[*next] = v
+		*dropped++
+	}
+	*next++
+	if *next == capHint {
+		*next = 0
+	}
+}
+
+// ringOrdered returns a ring's entries oldest-first.
+func ringOrdered[T any](ring []T, next, capHint int) []T {
+	out := make([]T, 0, len(ring))
+	if len(ring) < capHint {
+		return append(out, ring...)
+	}
+	out = append(out, ring[next:]...)
+	return append(out, ring[:next]...)
+}
+
+// procCount reports subscribed processes (closed ones included — they
+// stream no more but their state is still served).
+func (h *Hub) procCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.procs)
+}
+
+// SilenceAge is the fleet's worst last-batch age in seconds over processes
+// that have not announced a clean close — the gauge behind the built-in
+// worker_silent alert rule. No subscribed processes means 0 (nothing to be
+// silent).
+func (h *Hub) SilenceAge() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	worst := 0.0
+	for _, p := range h.procs {
+		if p.closed || p.lastBatch.IsZero() {
+			continue
+		}
+		if age := time.Since(p.lastBatch).Seconds(); age > worst {
+			worst = age
+		}
+	}
+	return worst
+}
+
+// FleetScore folds the per-process feedback scores (the feedback_score
+// sample each live process streams) into one fleet number: their mean over
+// reporting processes, 0 when nothing reports a score yet.
+func (h *Hub) FleetScore() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	names := make([]string, 0, len(h.procs))
+	for n, p := range h.procs {
+		if _, ok := p.sample("feedback_score"); ok {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return 0
+	}
+	// Sorted accumulation keeps the fold deterministic across map orders.
+	sort.Strings(names)
+	sum := 0.0
+	for _, n := range names {
+		v, _ := h.procs[n].sample("feedback_score")
+		sum += v
+	}
+	return sum / float64(len(names))
+}
+
+// ProcStatus is one process's row in the fleet status document — what
+// gridctl top renders.
+type ProcStatus struct {
+	Proc         string  `json:"proc"`
+	Role         string  `json:"role"`
+	Addr         string  `json:"addr,omitempty"`
+	Closed       bool    `json:"closed,omitempty"`
+	LastSeq      uint64  `json:"lastSeq"`
+	LastBatchAge float64 `json:"lastBatchAgeSeconds"`
+	Batches      uint64  `json:"batches"`
+	Logs         uint64  `json:"logs"`
+	Spans        uint64  `json:"spans"`
+	MissedLogs   uint64  `json:"missedLogs,omitempty"`
+	MissedSpans  uint64  `json:"missedSpans,omitempty"`
+	Score        float64 `json:"score"`
+	Lag          float64 `json:"lag"`
+	TickP95      float64 `json:"tickP95Seconds"`
+}
+
+// Status snapshots every process's streaming state, sorted by proc label.
+func (h *Hub) Status() []ProcStatus {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]ProcStatus, 0, len(h.procs))
+	for _, p := range h.procs {
+		st := ProcStatus{
+			Proc:        p.proc,
+			Role:        p.role,
+			Addr:        p.addr,
+			Closed:      p.closed,
+			LastSeq:     p.lastSeq,
+			Batches:     p.batches,
+			Logs:        p.logs,
+			Spans:       p.spans,
+			MissedLogs:  p.missedLogs,
+			MissedSpans: p.missedSpans,
+		}
+		if !p.lastBatch.IsZero() {
+			st.LastBatchAge = time.Since(p.lastBatch).Seconds()
+		}
+		st.Score, _ = p.sample("feedback_score")
+		st.Lag, _ = p.sample("replica_lag_records")
+		st.TickP95, _ = p.sample("grid_tick_seconds_p95")
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Proc < out[j].Proc })
+	return out
+}
+
+// Close tears the listener down and unregisters the fleet gauges.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	h.mu.Unlock()
+	health.UnregisterGauge("fleet_procs")
+	health.UnregisterGauge("fleet_last_batch_age_seconds")
+	health.UnregisterGauge("fleet_feedback_score")
+	h.srv.Close()
+	h.inner.Close() // closes the control inbox; controlLoop exits
+	<-h.done
+}
+
+// String implements fmt.Stringer for log lines.
+func (h *Hub) String() string { return fmt.Sprintf("obsplane hub on %s", h.Addr()) }

@@ -1,0 +1,533 @@
+package obsplane
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"loadbalance/internal/bus"
+	"loadbalance/internal/health"
+	"loadbalance/internal/message"
+	"loadbalance/internal/trace"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", msg)
+}
+
+// testLogger builds a quiet ring-only logger for one fake process.
+func testLogger(t *testing.T, proc string, ring int) *health.Logger {
+	t.Helper()
+	l, err := health.New(health.Config{Proc: proc, MinLevel: health.Debug, RingSize: ring, StderrLevel: health.Off})
+	if err != nil {
+		t.Fatalf("health.New: %v", err)
+	}
+	return l
+}
+
+// getJSON fetches one fleet document from the test server.
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+}
+
+// TestHubMergeAndEndpoints drives two emitters into a hub and checks every
+// /fleet surface: status rows, merged logs with all filters, the stitched
+// trace with session and trace-id filters, and the relabelled metrics page.
+func TestHubMergeAndEndpoints(t *testing.T) {
+	hub, err := StartHub(HubConfig{Addr: "127.0.0.1:0", Logger: testLogger(t, "hub", 256)})
+	if err != nil {
+		t.Fatalf("StartHub: %v", err)
+	}
+	defer hub.Close()
+
+	// Process w1: a session trace, an info log, and a metrics page with
+	// labels, a histogram bucket (must be skipped) and a comment line.
+	log1 := testLogger(t, "w1", 256)
+	tr1 := trace.NewTracer("w1", 256)
+	root := tr1.Root("session.run")
+	root.SetSession("s1")
+	child := tr1.Child(root.Context(), "phase.negotiate")
+	child.SetSession("s1")
+	child.End()
+	root.End()
+	other := tr1.Root("background.tick")
+	other.End()
+	log1.Log(health.Info, "comp1", "hello from w1", health.Str("k", "v"))
+	e1 := StartEmitter(EmitterConfig{
+		Hub: hub.Addr(), Proc: "w1", Role: "worker", Addr: "127.0.0.1:1111",
+		Interval: 10 * time.Millisecond,
+		Logger:   log1,
+		Tracer:   func() *trace.Tracer { return tr1 },
+		MetricsFn: func(w io.Writer) {
+			fmt.Fprint(w, "# TYPE feedback_score gauge\n")
+			fmt.Fprint(w, "feedback_score 90\n")
+			fmt.Fprint(w, "replica_lag_records 3\n")
+			fmt.Fprint(w, "grid_tick_seconds_p95 0.01\n")
+			fmt.Fprint(w, "shard_load{shard=\"2\"} 5\n")
+			fmt.Fprint(w, "tick_seconds_bucket{le=\"0.1\"} 7\n")
+		},
+	})
+	defer e1.Close()
+
+	// Process w2: a warn log and a plain score.
+	log2 := testLogger(t, "w2", 256)
+	tr2 := trace.NewTracer("w2", 256)
+	sp := tr2.Root("apply.journal")
+	sp.End()
+	log2.Log(health.Warn, "comp2", "warn from w2")
+	e2 := StartEmitter(EmitterConfig{
+		Hub: hub.Addr(), Proc: "w2", Role: "standby",
+		Interval:  10 * time.Millisecond,
+		Logger:    log2,
+		Tracer:    func() *trace.Tracer { return tr2 },
+		MetricsFn: func(w io.Writer) { fmt.Fprint(w, "feedback_score 70\n") },
+	})
+	defer e2.Close()
+
+	waitFor(t, 5*time.Second, func() bool {
+		st := hub.Status()
+		if len(st) != 2 {
+			return false
+		}
+		return st[0].Spans >= 3 && st[0].Logs >= 1 && st[0].Score == 90 &&
+			st[1].Spans >= 1 && st[1].Logs >= 1 && st[1].Score == 70
+	}, "both processes merged")
+
+	if got := hub.FleetScore(); got != 80 {
+		t.Fatalf("FleetScore = %v, want 80 (mean of 90 and 70)", got)
+	}
+	st := hub.Status()
+	if st[0].Proc != "w1" || st[1].Proc != "w2" {
+		t.Fatalf("Status not sorted by proc: %+v", st)
+	}
+	if st[0].Role != "worker" || st[0].Addr != "127.0.0.1:1111" || st[0].Lag != 3 || st[0].TickP95 != 0.01 {
+		t.Fatalf("w1 row wrong: %+v", st[0])
+	}
+
+	mux := http.NewServeMux()
+	hub.Mount(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	// /fleet/status carries the score and both rows.
+	var status struct {
+		FleetScore float64      `json:"fleetScore"`
+		Procs      []ProcStatus `json:"procs"`
+	}
+	getJSON(t, srv.URL+"/fleet/status", &status)
+	if status.FleetScore != 80 || len(status.Procs) != 2 {
+		t.Fatalf("/fleet/status = score %v, %d procs", status.FleetScore, len(status.Procs))
+	}
+
+	// /fleet/logs merges both processes; filters narrow it.
+	var logs FleetLogsDoc
+	getJSON(t, srv.URL+"/fleet/logs", &logs)
+	if len(logs.Procs) != 2 || len(logs.Events) < 2 {
+		t.Fatalf("/fleet/logs: procs %v, %d events", logs.Procs, len(logs.Events))
+	}
+	getJSON(t, srv.URL+"/fleet/logs?proc=w1", &logs)
+	for _, ev := range logs.Events {
+		if ev.Proc != "w1" {
+			t.Fatalf("proc filter leaked %+v", ev)
+		}
+	}
+	getJSON(t, srv.URL+"/fleet/logs?level=warn", &logs)
+	if len(logs.Events) != 1 || logs.Events[0].Msg != "warn from w2" {
+		t.Fatalf("level filter: %+v", logs.Events)
+	}
+	getJSON(t, srv.URL+"/fleet/logs?component=comp1", &logs)
+	if len(logs.Events) != 1 || logs.Events[0].Component != "comp1" {
+		t.Fatalf("component filter: %+v", logs.Events)
+	}
+	if len(logs.Events[0].Fields) == 0 || !strings.Contains(string(logs.Events[0].Fields), `"k"`) {
+		t.Fatalf("fields not carried: %s", logs.Events[0].Fields)
+	}
+	// afterUs is the follow cursor: everything at or before it is excluded.
+	getJSON(t, srv.URL+"/fleet/logs", &logs)
+	last := logs.Events[len(logs.Events)-1].TsUs
+	getJSON(t, fmt.Sprintf("%s/fleet/logs?afterUs=%d", srv.URL, last), &logs)
+	if len(logs.Events) != 0 {
+		t.Fatalf("afterUs cursor returned %d old events", len(logs.Events))
+	}
+	getJSON(t, srv.URL+"/fleet/logs?limit=1", &logs)
+	if len(logs.Events) != 1 {
+		t.Fatalf("limit=1 returned %d events", len(logs.Events))
+	}
+
+	// /fleet/trace stitches: the session filter keeps only s1's tree, with
+	// the child's parent resolving inside the document.
+	var tdoc FleetTraceDoc
+	getJSON(t, srv.URL+"/fleet/trace", &tdoc)
+	if len(tdoc.Spans) < 4 {
+		t.Fatalf("unfiltered trace has %d spans", len(tdoc.Spans))
+	}
+	getJSON(t, srv.URL+"/fleet/trace?session=s1", &tdoc)
+	if len(tdoc.Spans) != 2 {
+		t.Fatalf("session filter: %d spans, want 2", len(tdoc.Spans))
+	}
+	have := map[string]bool{}
+	for _, r := range tdoc.Spans {
+		have[r.Span] = true
+		if r.Proc != "w1" {
+			t.Fatalf("session span from wrong proc: %+v", r)
+		}
+	}
+	for _, r := range tdoc.Spans {
+		if r.Parent != "" && !have[r.Parent] {
+			t.Fatalf("unresolved parent %s", r.Parent)
+		}
+	}
+	// A trace id with leading zeros stripped still matches (ParseID
+	// normalisation on the filter side).
+	id := tdoc.Spans[0].Trace
+	getJSON(t, srv.URL+"/fleet/trace?trace="+strings.TrimLeft(id, "0"), &tdoc)
+	if len(tdoc.Spans) != 2 {
+		t.Fatalf("trace-id filter: %d spans, want 2", len(tdoc.Spans))
+	}
+
+	// /fleet/metrics: hub summary plus relayed samples relabelled with
+	// their sender; bucket series never travel.
+	resp, err := http.Get(srv.URL + "/fleet/metrics")
+	if err != nil {
+		t.Fatalf("GET /fleet/metrics: %v", err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"fleet_procs 2",
+		"fleet_feedback_score 80",
+		`obs_batches_total{proc="w1"}`,
+		`obs_spans_total{proc="w2"}`,
+		`feedback_score{proc="w1"} 90`,
+		`shard_load{proc="w1",shard="2"} 5`,
+		`feedback_score{proc="w2"} 70`,
+	} {
+		if !strings.Contains(string(page), want) {
+			t.Fatalf("/fleet/metrics missing %q:\n%s", want, page)
+		}
+	}
+	if strings.Contains(string(page), "_bucket") {
+		t.Fatalf("/fleet/metrics carries a histogram bucket:\n%s", page)
+	}
+
+	// Malformed query params are 400s, not silent full dumps.
+	for _, path := range []string{
+		"/fleet/logs?level=nope",
+		"/fleet/logs?afterUs=abc",
+		"/fleet/logs?limit=-1",
+		"/fleet/trace?trace=zzz",
+		"/fleet/trace?limit=0",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET %s = %s, want 400", path, resp.Status)
+		}
+	}
+
+	// Clean emitter shutdown ships a Closing batch: the silence gauge must
+	// ignore closed processes.
+	e1.Close()
+	e2.Close()
+	waitFor(t, 5*time.Second, func() bool {
+		st := hub.Status()
+		return len(st) == 2 && st[0].Closed && st[1].Closed
+	}, "closing batches merged")
+	if age := hub.SilenceAge(); age != 0 {
+		t.Fatalf("SilenceAge = %v after clean close, want 0", age)
+	}
+	s1 := e1.Stats()
+	if s1.Batches == 0 || s1.Acked == 0 || s1.Dials != 1 || s1.Resubscribes != 0 || s1.Sheds != 0 {
+		t.Fatalf("w1 stats: %+v", s1)
+	}
+}
+
+// TestEmitterReconnectAfterHubRestart kills the hub mid-stream, restarts it
+// on the same address, and checks the emitter redials, re-subscribes and
+// resumes shipping — the root-restart failure mode.
+func TestEmitterReconnectAfterHubRestart(t *testing.T) {
+	hub, err := StartHub(HubConfig{Addr: "127.0.0.1:0", Logger: testLogger(t, "hub", 256)})
+	if err != nil {
+		t.Fatalf("StartHub: %v", err)
+	}
+	addr := hub.Addr()
+
+	logger := testLogger(t, "w1", 256)
+	logger.Log(health.Info, "boot", "before restart")
+	em := StartEmitter(EmitterConfig{
+		Hub: addr, Proc: "w1", Role: "worker",
+		Interval: 10 * time.Millisecond,
+		Redial:   20 * time.Millisecond,
+		Logger:   logger,
+		Tracer:   func() *trace.Tracer { return nil },
+	})
+	defer em.Close()
+
+	waitFor(t, 5*time.Second, func() bool {
+		st := hub.Status()
+		return len(st) == 1 && st[0].Logs >= 1
+	}, "first hub merged the boot log")
+	hub.Close()
+
+	logger.Log(health.Warn, "boot", "after restart")
+
+	// Rebind the same address; the listener may linger briefly.
+	var hub2 *Hub
+	waitFor(t, 5*time.Second, func() bool {
+		h, err := StartHub(HubConfig{Addr: addr, Logger: testLogger(t, "hub2", 256)})
+		if err != nil {
+			return false
+		}
+		hub2 = h
+		return true
+	}, "rebinding the hub address")
+	defer hub2.Close()
+
+	waitFor(t, 5*time.Second, func() bool {
+		doc := hub2.mergedLogs(logFilter{})
+		for _, ev := range doc.Events {
+			if ev.Msg == "after restart" {
+				return true
+			}
+		}
+		return false
+	}, "post-restart event reaching the new hub")
+
+	st := em.Stats()
+	if st.Dials < 2 {
+		t.Fatalf("Dials = %d, want >= 2 after hub restart", st.Dials)
+	}
+	if st.Resubscribes < 1 {
+		t.Fatalf("Resubscribes = %d, want >= 1 after hub restart", st.Resubscribes)
+	}
+}
+
+// TestEmitterShedsUnderBackpressure points an emitter at a hub that never
+// acks: the resend window must fill, further flushes must shed (counted),
+// and the pending buffer must stay bounded at the window size.
+func TestEmitterShedsUnderBackpressure(t *testing.T) {
+	inner, err := bus.NewInProc(bus.Config{})
+	if err != nil {
+		t.Fatalf("NewInProc: %v", err)
+	}
+	srv, err := bus.ListenAndServeConfig("127.0.0.1:0", inner, bus.ServerConfig{})
+	if err != nil {
+		t.Fatalf("ListenAndServe: %v", err)
+	}
+	inbox, err := inner.Register(hubName, 1024)
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	// Drain so sends never block, but never ack.
+	go func() {
+		for range inbox {
+		}
+	}()
+
+	em := StartEmitter(EmitterConfig{
+		Hub: srv.Addr(), Proc: "w1", Role: "worker",
+		Interval: 5 * time.Millisecond,
+		Window:   2,
+		Logger:   testLogger(t, "w1", 256),
+		Tracer:   func() *trace.Tracer { return nil },
+	})
+
+	waitFor(t, 5*time.Second, func() bool { return em.Stats().Sheds >= 3 }, "sheds under backpressure")
+	em.mu.Lock()
+	pending := len(em.pending)
+	em.mu.Unlock()
+	if pending > 2 {
+		t.Fatalf("pending window grew to %d, want <= 2", pending)
+	}
+	if st := em.Stats(); st.Acked != 0 {
+		t.Fatalf("Acked = %d with a mute hub", st.Acked)
+	}
+
+	// Tear the fake hub down first so the emitter's final flush fails fast
+	// instead of waiting out its ack deadline.
+	srv.Close()
+	inner.Close()
+	em.Close()
+}
+
+// TestMissedCountersAccounted wraps the source rings before the first drain
+// and checks the losses are shipped and served as Missed counts — the
+// lossy-but-accounted contract.
+func TestMissedCountersAccounted(t *testing.T) {
+	hub, err := StartHub(HubConfig{Addr: "127.0.0.1:0", Logger: testLogger(t, "hub", 256)})
+	if err != nil {
+		t.Fatalf("StartHub: %v", err)
+	}
+	defer hub.Close()
+
+	// Ring size 16 is the logger minimum; 100 events wrap 84 past it.
+	logger := testLogger(t, "w1", 16)
+	for i := 0; i < 100; i++ {
+		logger.Log(health.Info, "burst", "event", health.Int("i", int64(i)))
+	}
+	tr := trace.NewTracer("w1", 16)
+	for i := 0; i < 40; i++ {
+		sp := tr.Root("burst.span")
+		sp.End()
+	}
+
+	em := StartEmitter(EmitterConfig{
+		Hub: hub.Addr(), Proc: "w1", Role: "worker",
+		Interval: 10 * time.Millisecond,
+		Logger:   logger,
+		Tracer:   func() *trace.Tracer { return tr },
+	})
+	defer em.Close()
+
+	waitFor(t, 5*time.Second, func() bool {
+		st := hub.Status()
+		return len(st) == 1 && st[0].Batches >= 1
+	}, "first batch merged")
+
+	st := hub.Status()[0]
+	if st.MissedLogs != 84 {
+		t.Fatalf("MissedLogs = %d, want 84 (100 events through a 16-ring)", st.MissedLogs)
+	}
+	if st.MissedSpans != 24 {
+		t.Fatalf("MissedSpans = %d, want 24 (40 spans through a 16-ring)", st.MissedSpans)
+	}
+	if st.Logs != 16 || st.Spans != 16 {
+		t.Fatalf("merged %d logs / %d spans, want 16/16", st.Logs, st.Spans)
+	}
+	if doc := hub.mergedLogs(logFilter{}); doc.Missed != 84 {
+		t.Fatalf("/fleet/logs missed = %d, want 84", doc.Missed)
+	}
+	es := em.Stats()
+	if es.MissedLogs != 84 || es.MissedSpans != 24 {
+		t.Fatalf("emitter stats missed = %d/%d, want 84/24", es.MissedLogs, es.MissedSpans)
+	}
+}
+
+// TestSilentWorkerAlertDrill subscribes a raw wire client that goes silent
+// without a Closing batch, then drives the alert engine on the hub's
+// silence gauge: the worker_silent rule must fire and the bound flight
+// recorder must write a bundle.
+func TestSilentWorkerAlertDrill(t *testing.T) {
+	logger := testLogger(t, "root", 256)
+	hub, err := StartHub(HubConfig{Addr: "127.0.0.1:0", Logger: logger})
+	if err != nil {
+		t.Fatalf("StartHub: %v", err)
+	}
+	defer hub.Close()
+
+	cli, err := bus.DialConfig(hub.Addr(), "w-silent", bus.ClientConfig{InboxSize: 8})
+	if err != nil {
+		t.Fatalf("DialConfig: %v", err)
+	}
+	send := func(p message.Payload) {
+		t.Helper()
+		env, err := message.NewEnvelope("w-silent", hubName, obsSession, p)
+		if err != nil {
+			t.Fatalf("NewEnvelope: %v", err)
+		}
+		if err := cli.Send(env); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	send(message.ObsSubscribe{Proc: "w-silent", Role: "worker"})
+	send(message.ObsBatch{Seq: 1})
+	waitFor(t, 5*time.Second, func() bool {
+		st := hub.Status()
+		return len(st) == 1 && st[0].LastSeq == 1
+	}, "silent worker's first batch")
+	// Abrupt close: no Closing batch, so the process stays in the silence
+	// gauge and its age starts growing.
+	cli.Close()
+
+	dir := t.TempDir()
+	rec := health.NewRecorder(dir, 4, logger)
+	rec.MetricsFn = hub.WriteSummaryMetrics
+	engine := health.NewEngine([]health.RuleConfig{{
+		Name: "worker_silent", Metric: "fleet_last_batch_age_seconds",
+		Op: ">", Threshold: 0.01, For: 2,
+	}}, logger)
+	engine.OnFire = func(a health.AlertStatus) { rec.Dump("alert", a.Rule.Name) }
+
+	time.Sleep(30 * time.Millisecond) // let the batch age past the threshold
+	engine.Eval()
+	engine.Eval()
+	if n := engine.FiringCount(); n != 1 {
+		t.Fatalf("FiringCount = %d, want 1", n)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no flight-recorder bundle written (err=%v)", err)
+	}
+	if !strings.Contains(entries[0].Name(), "-alert-") {
+		t.Fatalf("bundle %q not an alert bundle", entries[0].Name())
+	}
+}
+
+// TestParseExposition checks the metrics page parser: comments and bucket
+// series skipped, labelled series kept whole, malformed lines dropped.
+func TestParseExposition(t *testing.T) {
+	page := []byte(`# TYPE foo counter
+foo 1
+bar{a="b",c="d"} 2.5
+baz_bucket{le="0.1"} 9
+baz_sum 0.4
+baz_count 3
+malformed
+also_malformed notanumber
+`)
+	got := parseExposition(page)
+	want := []message.ObsMetricSample{
+		{Name: "foo", Value: 1},
+		{Name: `bar{a="b",c="d"}`, Value: 2.5},
+		{Name: "baz_sum", Value: 0.4},
+		{Name: "baz_count", Value: 3},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d samples, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRelabel checks proc-label injection on plain and labelled series.
+func TestRelabel(t *testing.T) {
+	if got := relabel("foo", "w1"); got != `foo{proc="w1"}` {
+		t.Fatalf("relabel plain = %s", got)
+	}
+	if got := relabel(`foo{a="b"}`, "w1"); got != `foo{proc="w1",a="b"}` {
+		t.Fatalf("relabel labelled = %s", got)
+	}
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestDrainSinceCursor walks the streaming-export cursor through fills,
+// idle drains, and ring wraps — the obsplane emitter's contract.
+func TestDrainSinceCursor(t *testing.T) {
+	tr := NewTracer("p1", 16)
+
+	// Empty ring: nothing pending, cursor stays at zero.
+	recs, cur, missed := tr.DrainSince(0)
+	if len(recs) != 0 || cur != 0 || missed != 0 {
+		t.Fatalf("empty drain = %d recs, cur %d, missed %d", len(recs), cur, missed)
+	}
+
+	for i := 0; i < 10; i++ {
+		sp := tr.Root(fmt.Sprintf("span-%02d", i))
+		sp.End()
+	}
+	recs, cur, missed = tr.DrainSince(0)
+	if len(recs) != 10 || cur != 10 || missed != 0 {
+		t.Fatalf("first drain = %d recs, cur %d, missed %d", len(recs), cur, missed)
+	}
+	// Oldest first, every record labelled with the tracer's proc.
+	for i, r := range recs {
+		if r.Name != fmt.Sprintf("span-%02d", i) {
+			t.Fatalf("record %d = %s, out of order", i, r.Name)
+		}
+		if r.Proc != "p1" {
+			t.Fatalf("record %d proc = %q", i, r.Proc)
+		}
+	}
+
+	// Idle drain from the returned cursor: nothing new.
+	recs, cur2, missed := tr.DrainSince(cur)
+	if len(recs) != 0 || cur2 != cur || missed != 0 {
+		t.Fatalf("idle drain = %d recs, cur %d, missed %d", len(recs), cur2, missed)
+	}
+
+	// Drain only the delta.
+	sp := tr.Root("span-10")
+	sp.End()
+	recs, cur, missed = tr.DrainSince(cur)
+	if len(recs) != 1 || recs[0].Name != "span-10" || missed != 0 {
+		t.Fatalf("delta drain = %+v, missed %d", recs, missed)
+	}
+
+	// Wrap the ring far past the cursor: the overwritten spans are counted,
+	// the surviving window is returned oldest-first.
+	for i := 0; i < 40; i++ {
+		sp := tr.Root(fmt.Sprintf("wrap-%02d", i))
+		sp.End()
+	}
+	recs, cur, missed = tr.DrainSince(cur)
+	if len(recs) != 16 {
+		t.Fatalf("wrap drain returned %d recs, want the full 16-ring", len(recs))
+	}
+	if missed != 24 {
+		t.Fatalf("wrap drain missed = %d, want 24 (40 new through a 16-ring)", missed)
+	}
+	if cur != 51 {
+		t.Fatalf("cursor = %d, want 51 spans total", cur)
+	}
+	if recs[0].Name != "wrap-24" || recs[15].Name != "wrap-39" {
+		t.Fatalf("wrap window = %s..%s, want wrap-24..wrap-39", recs[0].Name, recs[15].Name)
+	}
+
+	// A stale cursor beyond total (e.g. after tracer replacement) is safe.
+	recs, cur2, missed = tr.DrainSince(cur + 100)
+	if len(recs) != 0 || cur2 != cur || missed != 0 {
+		t.Fatalf("stale cursor drain = %d recs, cur %d, missed %d", len(recs), cur2, missed)
+	}
+}
+
+// TestDrainSinceParentIDs checks parent span ids survive the drain as the
+// same zero-padded hex the /trace endpoint renders, so cross-process
+// stitching works on equal strings.
+func TestDrainSinceParentIDs(t *testing.T) {
+	tr := NewTracer("p1", 16)
+	root := tr.Root("root")
+	child := tr.Child(root.Context(), "child")
+	child.End()
+	root.End()
+
+	recs, _, _ := tr.DrainSince(0)
+	if len(recs) != 2 {
+		t.Fatalf("drained %d records, want 2", len(recs))
+	}
+	byName := map[string]Record{}
+	for _, r := range recs {
+		if len(r.Span) != 16 || len(r.Trace) != 16 {
+			t.Fatalf("ids not 16-hex: %+v", r)
+		}
+		byName[r.Name] = r
+	}
+	if byName["child"].Parent != byName["root"].Span {
+		t.Fatalf("child parent %q != root span %q", byName["child"].Parent, byName["root"].Span)
+	}
+	if byName["root"].Parent != "" {
+		t.Fatalf("root has parent %q", byName["root"].Parent)
+	}
+	if byName["child"].Trace != byName["root"].Trace {
+		t.Fatal("child and root on different traces")
+	}
+}

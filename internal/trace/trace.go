@@ -284,6 +284,64 @@ func (t *Tracer) Stats() (total, dropped uint64) {
 	return t.total, t.dropped
 }
 
+// DrainSince returns every span recorded after the cursor (a total-count
+// position from a previous drain; 0 drains from the beginning), oldest
+// first, plus the new cursor and the count of spans that wrapped out of the
+// ring before this drain could reach them. It is the streaming export path:
+// an obsplane emitter keeps the cursor between flushes and ships exactly
+// the new spans, with losses accounted rather than silent.
+func (t *Tracer) DrainSince(cursor uint64) (recs []Record, newCursor, missed uint64) {
+	t.mu.Lock()
+	newCursor = t.total
+	if cursor >= t.total {
+		t.mu.Unlock()
+		return nil, newCursor, 0
+	}
+	pending := t.total - cursor
+	if max := uint64(len(t.ring)); pending > max {
+		missed = pending - max
+		pending = max
+	}
+	n := len(t.ring)
+	start := 0
+	if n == cap(t.ring) {
+		start = t.next // ring has wrapped; t.next is the oldest entry
+	}
+	// The newest entry sits just before the write position; the pending
+	// run is the last `pending` entries in ring order. Only the raw entry
+	// copy happens under the lock: hex rendering allocates per record, and
+	// a full-ring drain must not stall Span.End on the hot path. Entries
+	// are value types whose strings are never mutated in place, so shallow
+	// copies stay valid after unlock.
+	first := uint64(n) - pending
+	raw := make([]ringRec, 0, pending)
+	for i := first; i < uint64(n); i++ {
+		raw = append(raw, t.ring[(start+int(i))%n])
+	}
+	t.mu.Unlock()
+
+	recs = make([]Record, 0, len(raw))
+	for i := range raw {
+		r := &raw[i]
+		rec := Record{
+			Trace:   hexID(r.trace),
+			Span:    hexID(r.span),
+			Name:    r.name,
+			Proc:    t.proc,
+			Agent:   r.agent,
+			Session: r.session,
+			Shard:   r.shard,
+			StartUs: r.startUs,
+			DurUs:   r.durUs,
+		}
+		if r.parent != 0 {
+			rec.Parent = hexID(r.parent)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, newCursor, missed
+}
+
 // containsToken reports whether s contains sub (plain substring; agent
 // names embed shard tokens like "conc-s3-up").
 func containsToken(s, sub string) bool {
