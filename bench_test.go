@@ -481,6 +481,23 @@ func BenchmarkObsWorkload(b *testing.B) { benchrun.ObsWorkload(b) }
 // plane's overhead gate (budget: within 5% of BenchmarkObsWorkload).
 func BenchmarkObsWorkloadStreamed(b *testing.B) { benchrun.ObsWorkloadStreamed(b) }
 
+// BenchmarkTsdbAppend measures one metrics-history store append — the
+// per-sample scrape cost.
+func BenchmarkTsdbAppend(b *testing.B) { benchrun.TsdbAppend(b) }
+
+// BenchmarkTsdbRangeQuery measures one rate() range query over a full raw
+// ring — the /query and gridctl plot hot path.
+func BenchmarkTsdbRangeQuery(b *testing.B) { benchrun.TsdbRangeQuery(b) }
+
+// BenchmarkTsdbWorkload measures the instrumented observe path with no
+// history scraper running.
+func BenchmarkTsdbWorkload(b *testing.B) { benchrun.TsdbWorkload(b) }
+
+// BenchmarkTsdbWorkloadScraped is the same workload with a live scraper
+// snapshotting the registry into a store — the metrics-history tentpole's
+// overhead gate (budget: within 5% of BenchmarkTsdbWorkload).
+func BenchmarkTsdbWorkloadScraped(b *testing.B) { benchrun.TsdbWorkloadScraped(b) }
+
 // BenchmarkTelemetryIngest measures the live metering hot path: a fleet of
 // meters publishing batched readings over one in-process bus into the
 // collector agent, per-tick. The reported readings/s metric is the sustained

@@ -69,6 +69,7 @@ var tracedPairs = map[string]string{
 	"wire_codec_table_traced": "wire_codec_table",
 	"wire_codec_bid_traced":   "wire_codec_bid",
 	"obs_workload_streamed":   "obs_workload",
+	"tsdb_workload_scraped":   "tsdb_workload",
 }
 
 // absoluteBudgets are machine-independent-enough ceilings in ns/op on paths

@@ -18,7 +18,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
 	"strings"
@@ -26,6 +28,7 @@ import (
 
 	"loadbalance/internal/obsplane"
 	"loadbalance/internal/trace"
+	"loadbalance/internal/tsdb"
 )
 
 func main() {
@@ -59,15 +62,25 @@ func run(w io.Writer, args []string) error {
 		return c.logs(rest)
 	case "trace":
 		return c.trace(rest)
+	case "plot":
+		return c.plot(rest)
 	default:
 		return fmt.Errorf("unknown command %q\n%s", cmd, usage)
 	}
 }
 
 const usage = `usage:
-  gridctl -addr host:port top   [-interval 2s] [-n 0]
+  gridctl -addr host:port top   [-interval 2s] [-n 0] [-watch]
   gridctl -addr host:port logs  [-f] [-level warn] [-proc p] [-component c] [-limit 50]
-  gridctl -addr host:port trace <session> [-limit N]`
+  gridctl -addr host:port trace <session> [-limit N]
+  gridctl -addr host:port plot  <series> [-from -60s] [-to 0s] [-step 1s] [-height 8] [-local]
+
+plot renders a range query as a terminal chart. <series> is a /fleet/query
+expression — a series name or rate()/increase()/avg_over_time()/
+max_over_time() over one, e.g. 'rate(negotiation_session_seconds_count{proc="gridd-cc-000"}[10s])'.
+-local queries the daemon's own /query history instead of the fleet's.
+top -watch adds per-proc score and session-rate trend sparklines from the
+fleet history.`
 
 func usageError() error { return fmt.Errorf("no command\n%s", usage) }
 
@@ -114,11 +127,15 @@ type statusDoc struct {
 }
 
 // top renders the fleet table; -n bounds the refresh count (0 = forever,
-// 1 = print once and exit).
+// 1 = print once and exit). -watch appends per-proc trend sparklines
+// (score and negotiation-session rate) read from the hub's /fleet/query
+// history.
 func (c *client) top(args []string) error {
 	fs := c.flags("top")
 	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
 	n := fs.Int("n", 1, "refreshes before exiting (0 = forever)")
+	watch := fs.Bool("watch", false, "show score and session-rate trends from fleet history")
+	window := fs.Duration("window", time.Minute, "trend window with -watch")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -129,21 +146,201 @@ func (c *client) top(args []string) error {
 		}
 		fmt.Fprintf(c.w, "fleet score %.1f  procs %d  silence %.1fs\n",
 			doc.FleetScore, len(doc.Procs), doc.SilenceAge)
-		fmt.Fprintf(c.w, "%-20s %-12s %7s %8s %10s %8s %8s %6s\n",
+		fmt.Fprintf(c.w, "%-20s %-12s %7s %8s %10s %8s %8s %6s",
 			"PROC", "ROLE", "SCORE", "LAG", "TICK_P95", "BATCHES", "AGE", "STATE")
+		if *watch {
+			fmt.Fprintf(c.w, "  %-16s %-16s", "SCORE_TREND", "SESSIONS/S")
+		}
+		fmt.Fprintln(c.w)
 		for _, p := range doc.Procs {
 			state := "live"
 			if p.Closed {
 				state = "closed"
 			}
-			fmt.Fprintf(c.w, "%-20s %-12s %7.1f %8.0f %9.3fs %8d %7.1fs %6s\n",
+			fmt.Fprintf(c.w, "%-20s %-12s %7.1f %8.0f %9.3fs %8d %7.1fs %6s",
 				p.Proc, p.Role, p.Score, p.Lag, p.TickP95, p.Batches, p.LastBatchAge, state)
+			if *watch {
+				fmt.Fprintf(c.w, "  %-16s %-16s",
+					c.trend(fmt.Sprintf("feedback_score{proc=%q}", p.Proc), *window),
+					c.trend(fmt.Sprintf("rate(negotiation_session_seconds_count{proc=%q}[10s])", p.Proc), *window))
+			}
+			fmt.Fprintln(c.w)
 		}
 		if *n > 0 && i+1 >= *n {
 			return nil
 		}
 		time.Sleep(*interval)
 	}
+}
+
+// queryDoc mirrors the /query and /fleet/query response body.
+type queryDoc struct {
+	Series string       `json:"series"`
+	FromUs int64        `json:"fromUs"`
+	ToUs   int64        `json:"toUs"`
+	StepUs int64        `json:"stepUs"`
+	Points []tsdb.Point `json:"points"`
+}
+
+// rangeQuery fetches one range query from path (/query or /fleet/query).
+func (c *client) rangeQuery(path, series, from, to, step string) (queryDoc, error) {
+	v := url.Values{}
+	v.Set("series", series)
+	v.Set("from", from)
+	v.Set("to", to)
+	v.Set("step", step)
+	var doc queryDoc
+	err := c.get(path+"?"+v.Encode(), &doc)
+	return doc, err
+}
+
+// trend renders a one-line sparkline of a fleet series over the trailing
+// window, or "-" when the hub has no history for it.
+func (c *client) trend(series string, window time.Duration) string {
+	doc, err := c.rangeQuery("/fleet/query", series,
+		"-"+window.String(), "0s", (window / 16).String())
+	if err != nil || len(doc.Points) == 0 {
+		return "-"
+	}
+	vals := make([]float64, len(doc.Points))
+	for i, p := range doc.Points {
+		vals[i] = p.Value
+	}
+	return sparkline(vals, 16)
+}
+
+// sparkBlocks are the eight partial-height block characters a sparkline
+// cell maps a normalized value onto.
+var sparkBlocks = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders vals as a width-bounded run of block characters
+// normalized to the series' own min..max (a flat series renders low).
+func sparkline(vals []float64, width int) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	if len(vals) > width {
+		vals = vals[len(vals)-width:]
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkBlocks)-1))
+		}
+		b.WriteRune(sparkBlocks[idx])
+	}
+	return b.String()
+}
+
+// plot renders one range query as a terminal chart: a block-character
+// column per step, scaled to the series' own range, with axis labels.
+func (c *client) plot(args []string) error {
+	fs := c.flags("plot")
+	from := fs.String("from", "-60s", "range start (duration back from now, or unix µs)")
+	to := fs.String("to", "0s", "range end")
+	step := fs.String("step", "1s", "step between points")
+	height := fs.Int("height", 8, "chart height in rows")
+	local := fs.Bool("local", false, "query the daemon's own /query instead of /fleet/query")
+	// The documented shape is series-first (plot <series> -from -5m); stdlib
+	// flag parsing stops at the first positional, so lift it out before Parse
+	// while still accepting flags-first.
+	series := ""
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		series, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if series == "" && fs.NArg() == 1 {
+		series = fs.Arg(0)
+	} else if fs.NArg() != 0 {
+		return fmt.Errorf("plot wants exactly one series argument\n%s", usage)
+	}
+	if series == "" {
+		return fmt.Errorf("plot wants exactly one series argument\n%s", usage)
+	}
+	path := "/fleet/query"
+	if *local {
+		path = "/query"
+	}
+	doc, err := c.rangeQuery(path, series, *from, *to, *step)
+	if err != nil {
+		return err
+	}
+	if len(doc.Points) == 0 {
+		fmt.Fprintf(c.w, "%s: no points in range\n", doc.Series)
+		return nil
+	}
+	renderChart(c.w, doc, *height)
+	return nil
+}
+
+// renderChart draws the chart body: each point is one column, each row an
+// eighth-resolved band of the value range, newest point rightmost.
+func renderChart(w io.Writer, doc queryDoc, height int) {
+	if height < 1 {
+		height = 1
+	}
+	const maxCols = 72
+	pts := doc.Points
+	if len(pts) > maxCols {
+		pts = pts[len(pts)-maxCols:]
+	}
+	lo, hi := pts[0].Value, pts[0].Value
+	for _, p := range pts {
+		lo = math.Min(lo, p.Value)
+		hi = math.Max(hi, p.Value)
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	// levels[i] is the column height in eighths of a row.
+	levels := make([]int, len(pts))
+	for i, p := range pts {
+		lv := int(math.Round((p.Value - lo) / span * float64(height*8)))
+		// A sliver marks every sampled point, so a flat series (or one at
+		// the range floor) still draws a baseline rather than blank space.
+		if lv == 0 && (p.Value > lo || hi == lo) {
+			lv = 1
+		}
+		levels[i] = lv
+	}
+	fmt.Fprintf(w, "%s  [%s .. %s] step %s\n", doc.Series,
+		time.UnixMicro(doc.FromUs).UTC().Format("15:04:05"),
+		time.UnixMicro(doc.ToUs).UTC().Format("15:04:05"),
+		time.Duration(doc.StepUs)*time.Microsecond)
+	for row := height - 1; row >= 0; row-- {
+		label := ""
+		switch row {
+		case height - 1:
+			label = fmt.Sprintf("%.4g", hi)
+		case 0:
+			label = fmt.Sprintf("%.4g", lo)
+		}
+		fmt.Fprintf(w, "%10s |", label)
+		for _, lv := range levels {
+			eighths := lv - row*8
+			switch {
+			case eighths >= 8:
+				fmt.Fprint(w, "█")
+			case eighths >= 1:
+				fmt.Fprint(w, string(sparkBlocks[eighths-1]))
+			default:
+				fmt.Fprint(w, " ")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%10s +%s\n", "", strings.Repeat("-", len(pts)))
+	fmt.Fprintf(w, "%10s  last %.6g  min %.6g  max %.6g  points %d\n",
+		"", pts[len(pts)-1].Value, lo, hi, len(doc.Points))
 }
 
 // logs dumps or follows the merged fleet log.

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"net/url"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -569,6 +571,7 @@ func TestWorkerEndpointContentTypes(t *testing.T) {
 		var ready chan<- string
 		if i == 0 {
 			opts.metricsAddr = "127.0.0.1:0"
+			opts.history = historyOptions{interval: 50 * time.Millisecond, retention: time.Minute}
 			ready = workerReady
 		}
 		go func(opts concOptions, ready chan<- string) {
@@ -590,6 +593,7 @@ func TestWorkerEndpointContentTypes(t *testing.T) {
 		{"/metrics", "text/plain; version=0.0.4"},
 		{"/logs", "application/json"},
 		{"/trace", "application/json"},
+		{"/query?series=tsdb_points", "application/json"},
 	}
 	for _, tt := range tests {
 		resp, err := http.Get("http://" + workerAddr + tt.path)
@@ -640,6 +644,186 @@ func TestWorkerEndpointContentTypes(t *testing.T) {
 	}
 }
 
+// parityDoc mirrors the /query and /fleet/query response document.
+type parityDoc struct {
+	Series string `json:"series"`
+	Points []struct {
+		TsUs  int64   `json:"tsUs"`
+		Value float64 `json:"value"`
+	} `json:"points"`
+}
+
+// TestFleetQueryParity is the metrics-history acceptance check: the hub's
+// streamed history behind /fleet/query must agree with the worker's locally
+// scraped history behind /query on the worker's own negotiation counter
+// rate, to within one scrape interval of skew — the fleet view is the local
+// view, one hop later.
+func TestFleetQueryParity(t *testing.T) {
+	const scrape = 50 * time.Millisecond
+	hist := historyOptions{interval: scrape, retention: time.Minute}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan serveAddrs, 1)
+	serverErr := make(chan error, 1)
+	go func() {
+		serverErr <- serve(ctx, serveConfig{
+			addr:        "127.0.0.1:0",
+			rootAddr:    "127.0.0.1:0",
+			metricsAddr: "127.0.0.1:0",
+			obsAddr:     "127.0.0.1:0",
+			customers:   4,
+			shards:      2,
+			timeout:     60 * time.Second,
+			history:     hist,
+		}, ready)
+	}()
+	var addrs serveAddrs
+	select {
+	case addrs = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	// In-process workers as in TestWorkerEndpointContentTypes; the first one
+	// serves HTTP with a local history scraper. No customers connect, so the
+	// fleet idles while both histories fill.
+	workerReady := make(chan string, 1)
+	workerErrs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		opts := concOptions{
+			up: addrs.root, down: addrs.member,
+			shard: i, shards: 2, customers: 4, session: "gridd",
+		}
+		var ready chan<- string
+		if i == 0 {
+			opts.metricsAddr = "127.0.0.1:0"
+			opts.history = hist
+			ready = workerReady
+		}
+		go func(opts concOptions, ready chan<- string) {
+			workerErrs <- runConcentrator(ctx, opts, ready)
+		}(opts, ready)
+	}
+	var workerAddr string
+	select {
+	case workerAddr = <-workerReady:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker metrics endpoint never became ready")
+	}
+
+	// Stream the worker's observability state to the hub exactly as the -obs
+	// flag wires it: same proc label, same metrics page. The hub stamps each
+	// arriving sample into the store behind /fleet/query.
+	em := obsplane.StartEmitter(obsplane.EmitterConfig{
+		Hub:       addrs.obs,
+		Proc:      "gridd-cc-000",
+		Role:      "worker",
+		Interval:  scrape,
+		MetricsFn: writeObsMetrics,
+	})
+	defer em.Close()
+
+	// Steady negotiation traffic: the session histogram advances at a fixed
+	// pace so both stores record the same counter slope.
+	driveCtx, stopDrive := context.WithCancel(ctx)
+	defer stopDrive()
+	go func() {
+		h := trace.GetHistogram("negotiation_session_seconds")
+		tk := time.NewTicker(5 * time.Millisecond)
+		defer tk.Stop()
+		for {
+			select {
+			case <-driveCtx.Done():
+				return
+			case <-tk.C:
+				h.Observe(2 * time.Millisecond)
+			}
+		}
+	}()
+
+	queryHistory := func(addr, path, series string) (parityDoc, error) {
+		v := url.Values{}
+		v.Set("series", series)
+		v.Set("from", "-5s")
+		v.Set("to", "0s")
+		v.Set("step", "1s")
+		resp, err := http.Get("http://" + addr + path + "?" + v.Encode())
+		if err != nil {
+			return parityDoc{}, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			return parityDoc{}, fmt.Errorf("GET %s: %s: %s", path, resp.Status, body)
+		}
+		var doc parityDoc
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			return parityDoc{}, err
+		}
+		return doc, nil
+	}
+	last := func(doc parityDoc) float64 {
+		if len(doc.Points) == 0 {
+			return 0
+		}
+		return doc.Points[len(doc.Points)-1].Value
+	}
+
+	// Poll until both histories hold enough of the counter to evaluate a
+	// positive rate at the latest step, then compare that step. The 2s rate
+	// window spans ~40 samples per store at the 50ms cadence.
+	localSeries := "rate(negotiation_session_seconds_count[2s])"
+	fleetSeries := `rate(negotiation_session_seconds_count{proc="gridd-cc-000"}[2s])`
+	var local, fleet parityDoc
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		l, lerr := queryHistory(workerAddr, "/query", localSeries)
+		f, ferr := queryHistory(addrs.metrics, "/fleet/query", fleetSeries)
+		if lerr == nil && ferr == nil && last(l) > 0 && last(f) > 0 {
+			local, fleet = l, f
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("histories never converged:\nlocal: %+v (%v)\nfleet: %+v (%v)", l, lerr, f, ferr)
+		}
+		time.Sleep(scrape)
+	}
+
+	// Both stores sample the same monotone counter; their windows can be
+	// offset by at most one scrape interval at each edge, so the rates must
+	// match well inside 20% even with scheduler jitter on top.
+	lv, fv := last(local), last(fleet)
+	if diff := math.Abs(lv - fv); diff > 0.2*math.Max(lv, fv) {
+		t.Fatalf("fleet rate %g diverges from local rate %g (diff %g)", fv, lv, diff)
+	}
+	if !strings.Contains(local.Series, "negotiation_session_seconds_count") ||
+		!strings.Contains(fleet.Series, `proc="gridd-cc-000"`) {
+		t.Fatalf("series round-trip: local %q, fleet %q", local.Series, fleet.Series)
+	}
+
+	stopDrive()
+	cancel()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-workerErrs:
+			if err != nil {
+				t.Errorf("worker returned %v, want nil on cancellation", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("worker did not shut down on cancellation")
+		}
+	}
+	select {
+	case err := <-serverErr:
+		if err != nil {
+			t.Errorf("server returned %v, want nil on cancellation", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down on cancellation")
+	}
+}
+
 // TestServeEndpointContentTypes audits the serve role's endpoint contract,
 // the /fleet surfaces included when the daemon hosts the obs hub.
 func TestServeEndpointContentTypes(t *testing.T) {
@@ -655,6 +839,7 @@ func TestServeEndpointContentTypes(t *testing.T) {
 			customers:   4,
 			shards:      1,
 			timeout:     30 * time.Second,
+			history:     historyOptions{interval: 50 * time.Millisecond, retention: time.Minute},
 		}, ready)
 	}()
 	var addrs serveAddrs
@@ -676,6 +861,8 @@ func TestServeEndpointContentTypes(t *testing.T) {
 		{"/fleet/logs", "application/json"},
 		{"/fleet/trace", "application/json"},
 		{"/fleet/metrics", "text/plain; version=0.0.4"},
+		{"/query?series=tsdb_points", "application/json"},
+		{"/fleet/query?series=tsdb_points", "application/json"},
 	}
 	for _, tt := range tests {
 		resp, err := http.Get("http://" + addrs.metrics + tt.path)

@@ -14,6 +14,7 @@ import (
 	"loadbalance/internal/store"
 	"loadbalance/internal/telemetry"
 	"loadbalance/internal/trace"
+	"loadbalance/internal/tsdb"
 )
 
 // initHealthLogging installs the process-wide structured logger from the
@@ -80,6 +81,8 @@ type liveHealth struct {
 	alerts    *health.Engine
 	recorder  *health.Recorder // nil without a data dir
 	responder *health.Responder
+	history   *tsdb.Store   // nil when -tsdb-interval is 0
+	scraper   *tsdb.Scraper // fills history from the live metrics page
 }
 
 // newLiveHealth wires the health layer over the live state holder. It
@@ -109,10 +112,21 @@ func newLiveHealth(ctx context.Context, opts liveOptions, state *gridState) (*li
 	}
 	h.alerts = health.NewEngine(rules, h.logger)
 
+	// Metrics history: scrape the live metrics page into the embedded
+	// store each interval; windowed and burn-rate alert rules evaluate
+	// against it, and /query serves it.
+	if h.history = newHistoryStore(opts.history); h.history != nil {
+		h.alerts.History = h.history
+		h.scraper = startHistoryScraper(opts.history, h.history, func(w io.Writer) { writeLiveMetrics(w, state, h) })
+	}
+
 	if opts.dataDir != "" {
 		h.recorder = health.NewRecorder(filepath.Join(opts.dataDir, "flightrec"), opts.flightrecKeep, h.logger)
 		h.recorder.Bind(h.scorer, h.alerts)
 		h.recorder.MetricsFn = func(w io.Writer) { writeLiveMetrics(w, state, h) }
+		if opts.profileOnAlert {
+			h.recorder.ProfileDur = 2 * time.Second
+		}
 		health.SetRecorder(h.recorder)
 		h.alerts.OnFire = func(a health.AlertStatus) {
 			if _, err := h.recorder.Dump("alert", a.Rule.Name); err != nil {
@@ -183,11 +197,13 @@ func (h *liveHealth) close() {
 	if h == nil {
 		return
 	}
+	closeScraper(h.scraper)
 	if h.responder != nil {
 		_ = h.responder.Close()
 	}
 	if h.recorder != nil {
 		health.SetRecorder(nil)
+		h.recorder.WaitProfiles()
 	}
 	health.UnregisterGauge("feedback_score")
 	health.UnregisterGauge("replica_lag_records")
@@ -258,6 +274,9 @@ func writeLiveMetrics(w io.Writer, state *gridState, h *liveHealth) {
 		health.WriteScoreMetrics(w, h.scorer)
 		health.WriteAlertMetrics(w, h.alerts)
 		health.WriteLogMetrics(w, h.logger)
+		if h.history != nil {
+			h.history.WriteMetrics(w)
+		}
 	}
 	state.mu.Lock()
 	hub := state.obs

@@ -53,6 +53,7 @@ func TestEndpointContentTypes(t *testing.T) {
 	addr := startDrillGrid(t, liveOptions{
 		addr: "127.0.0.1:0", customers: 16, shards: 4,
 		tick: 20 * time.Millisecond, seed: 1, spikeTick: -1,
+		history: historyOptions{interval: 50 * time.Millisecond, retention: time.Minute},
 	})
 
 	tests := []struct {
@@ -67,6 +68,7 @@ func TestEndpointContentTypes(t *testing.T) {
 		{"/logs", "application/json"},
 		{"/alerts", "application/json"},
 		{"/feedback", "text/plain; charset=utf-8"},
+		{"/query?series=feedback_score", "application/json"},
 	}
 	for _, tt := range tests {
 		resp, err := http.Get("http://" + addr + tt.path)

@@ -183,6 +183,9 @@ func run(ctx context.Context, args []string) error {
 		pprofOn   = fs.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/ on the HTTP endpoint")
 		obsAddr   = fs.String("obs-addr", "", "fleet observability hub listen address: worker, standby and serve processes stream metrics, logs and spans here and the root serves /fleet/metrics, /fleet/logs, /fleet/trace and /fleet/status (server modes; the bound address is written to <data-dir>/obs-addr)")
 		obsTarget = fs.String("obs", "", "stream this process's observability state (metric samples, log events, trace spans) to the fleet hub at this address (any role)")
+		tsdbInt   = fs.Duration("tsdb-interval", time.Second, "metrics-history scrape interval: each tick the process samples its own metrics page into the embedded time-series store behind /query and windowed alert rules (0 disables history)")
+		tsdbRet   = fs.Duration("tsdb-retention", 15*time.Minute, "metrics-history raw retention: the per-series raw ring spans this much history at -tsdb-interval; older points survive downsampled")
+		profAlert = fs.Bool("profile-on-alert", false, "capture runtime profiles into each alert-triggered flight-recorder bundle: heap.pprof inline plus a 2s cpu.pprof in the background (live mode with -data-dir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -258,6 +261,7 @@ func run(ctx context.Context, args []string) error {
 			session:     *session,
 			metricsAddr: *metrics,
 			pprof:       *pprofOn,
+			history:     historyOptions{interval: *tsdbInt, retention: *tsdbRet},
 		}, nil)
 	case *role != "":
 		return fmt.Errorf("unknown -role %q (want \"concentrator\")", *role)
@@ -307,6 +311,8 @@ func run(ctx context.Context, args []string) error {
 				peers:           bus.SplitAddrList(*peers),
 				failoverTimeout: *failover,
 				pprof:           *pprofOn,
+				history:         historyOptions{interval: *tsdbInt, retention: *tsdbRet},
+				profileOnAlert:  *profAlert,
 			}, nil)
 		}
 		if *replicaOf != "" {
@@ -329,6 +335,7 @@ func run(ctx context.Context, args []string) error {
 			dataDir:     *dataDir,
 			replAddr:    *replAddr,
 			pprof:       *pprofOn,
+			history:     historyOptions{interval: *tsdbInt, retention: *tsdbRet},
 		}, nil)
 	case *connect != "":
 		if *name == "" {
@@ -458,8 +465,9 @@ type concOptions struct {
 	shards      int
 	customers   int
 	session     string
-	metricsAddr string // non-empty: HTTP /healthz, /metrics, /logs, /trace
+	metricsAddr string // non-empty: HTTP /healthz, /metrics, /logs, /trace, /query
 	pprof       bool
+	history     historyOptions
 }
 
 // runConcentrator is the worker process: it fronts one shard of the fleet,
@@ -491,11 +499,17 @@ func runConcentrator(ctx context.Context, opts concOptions, ready chan<- string)
 				"customers": len(topo.Members(opts.shard)),
 			})
 		})
+		history := newHistoryStore(opts.history)
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 			writeObsMetrics(w)
+			if history != nil {
+				history.WriteMetrics(w)
+			}
 		})
 		mux.HandleFunc("/logs", health.LogHandler(health.Default()))
+		mountQuery(mux, history)
+		defer closeScraper(startHistoryScraper(opts.history, history, writeObsMetrics))
 		mountObservability(mux, opts.pprof)
 		httpSrv := &http.Server{Handler: mux}
 		go func() { _ = httpSrv.Serve(ln) }()
@@ -548,6 +562,7 @@ type serveConfig struct {
 	dataDir     string // non-empty: journal the session outcome (or its abort)
 	replAddr    string // non-empty: stream the journal to hot standbys (requires dataDir)
 	pprof       bool   // mount /debug/pprof/ on the metrics endpoint
+	history     historyOptions
 
 	// linger, when non-nil, keeps the HTTP and obs endpoints up after the
 	// session completes until the channel closes (or ctx is cancelled) —
@@ -645,7 +660,7 @@ func serve(ctx context.Context, cfg serveConfig, ready chan<- serveAddrs) error 
 	// metrics mux below serves the merged /fleet view.
 	var hub *obsplane.Hub
 	if cfg.obsAddr != "" {
-		hub, err = obsplane.StartHub(obsplane.HubConfig{Addr: cfg.obsAddr})
+		hub, err = obsplane.StartHub(obsplane.HubConfig{Addr: cfg.obsAddr, History: newHistoryStore(cfg.history)})
 		if err != nil {
 			return err
 		}
@@ -678,8 +693,8 @@ func serve(ctx context.Context, cfg serveConfig, ready chan<- serveAddrs) error 
 			}
 			_ = json.NewEncoder(w).Encode(doc)
 		})
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		history := newHistoryStore(cfg.history)
+		writeServeMetrics := func(w io.Writer) {
 			transports := map[string]bus.WireStats{"member": srv.WireStats()}
 			if rootSrv != nil {
 				transports["root"] = rootSrv.WireStats()
@@ -693,11 +708,20 @@ func serve(ctx context.Context, cfg serveConfig, ready chan<- serveAddrs) error 
 			}
 			health.WriteLogMetrics(w, health.Default())
 			trace.WriteMetrics(w)
+			if history != nil {
+				history.WriteMetrics(w)
+			}
+		}
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			writeServeMetrics(w)
 		})
 		mux.HandleFunc("/logs", health.LogHandler(health.Default()))
 		if hub != nil {
 			hub.Mount(mux)
 		}
+		mountQuery(mux, history)
+		defer closeScraper(startHistoryScraper(cfg.history, history, writeServeMetrics))
 		mountObservability(mux, cfg.pprof)
 		httpSrv := &http.Server{Handler: mux}
 		go func() { _ = httpSrv.Serve(ln) }()
@@ -944,9 +968,13 @@ type liveOptions struct {
 	spikeEndTick  int // 0 = the spike never ends
 
 	// Health layer.
-	feedbackAddr  string // non-empty: TCP feedback responder (lbfeedback contract)
-	alerts        string // -alerts flag value ("" = defaults, "none" = off)
-	flightrecKeep int
+	feedbackAddr   string // non-empty: TCP feedback responder (lbfeedback contract)
+	alerts         string // -alerts flag value ("" = defaults, "none" = off)
+	flightrecKeep  int
+	profileOnAlert bool // add heap + 2s CPU profiles to alert bundles
+
+	// Metrics history: the embedded tsdb behind /query and windowed rules.
+	history historyOptions
 
 	// Replication (requires dataDir).
 	replAddr        string   // non-empty: stream the journal to standbys here
@@ -1148,6 +1176,7 @@ func liveMux(state *gridState, pprofOn bool) *http.ServeMux {
 		mux.HandleFunc("/logs", health.LogHandler(h.logger))
 		mux.HandleFunc("/alerts", health.AlertsHandler(h.alerts))
 		mux.HandleFunc("/feedback", health.FeedbackHandler(h.scorer))
+		mountQuery(mux, h.history)
 	}
 	if state.obs != nil {
 		state.obs.Mount(mux)
@@ -1193,7 +1222,7 @@ func runLive(ctx context.Context, opts liveOptions, ready chan<- string) error {
 		return err
 	}
 	if opts.obsAddr != "" {
-		hub, err := obsplane.StartHub(obsplane.HubConfig{Addr: opts.obsAddr})
+		hub, err := obsplane.StartHub(obsplane.HubConfig{Addr: opts.obsAddr, History: newHistoryStore(opts.history)})
 		if err != nil {
 			return err
 		}

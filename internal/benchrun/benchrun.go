@@ -29,6 +29,7 @@ import (
 	"loadbalance/internal/protocol"
 	"loadbalance/internal/store"
 	"loadbalance/internal/trace"
+	"loadbalance/internal/tsdb"
 	"loadbalance/internal/units"
 )
 
@@ -69,6 +70,10 @@ func Defs() []Def {
 		{"feedback_score_compute", FeedbackScoreCompute},
 		{"obs_workload", ObsWorkload},
 		{"obs_workload_streamed", ObsWorkloadStreamed},
+		{"tsdb_append", TsdbAppend},
+		{"tsdb_range_query", TsdbRangeQuery},
+		{"tsdb_workload", TsdbWorkload},
+		{"tsdb_workload_scraped", TsdbWorkloadScraped},
 	}
 }
 
@@ -416,6 +421,80 @@ func ObsWorkload(b *testing.B) { obsWorkloadBody(b, false) }
 // streaming the rings over loopback — the overhead gate for the fleet
 // observability plane.
 func ObsWorkloadStreamed(b *testing.B) { obsWorkloadBody(b, true) }
+
+// TsdbAppend measures one history-store append — the per-sample cost every
+// scrape pays, times the series count, once per interval. Round-robins over
+// 16 series so the map lookup and per-series ring both stay on the path.
+func TsdbAppend(b *testing.B) {
+	st := tsdb.New(tsdb.Config{})
+	names := make([]string, 16)
+	for i := range names {
+		names[i] = fmt.Sprintf("bench_series_%02d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Append(names[i%len(names)], int64(i/len(names)+1), float64(i))
+	}
+	b.StopTimer()
+}
+
+// TsdbRangeQuery measures one derived range query — a rate() over a full
+// raw ring at the default 1s step, the shape /query and gridctl plot issue.
+func TsdbRangeQuery(b *testing.B) {
+	st := tsdb.New(tsdb.Config{})
+	const n = 1024
+	const stepUs = int64(time.Second / time.Microsecond)
+	for i := 0; i < n; i++ {
+		st.Append("bench_counter", int64(i+1)*stepUs, float64(i*3))
+	}
+	e, err := tsdb.ParseExpr("rate(bench_counter[10s])")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pts := st.Query(e, 0, n*stepUs, stepUs); len(pts) == 0 {
+			b.Fatal("empty query result")
+		}
+	}
+	b.StopTimer()
+}
+
+// tsdbWorkloadBody runs the instrumented hot path the history scraper
+// samples: per op, one histogram observation into a private registry.
+// scraped additionally runs a live Scraper snapshotting that registry into
+// a store on a tight interval, so the pair holds the metrics-history
+// tentpole to its overhead budget: the observe path must not slow down
+// because a scraper is reading the registry concurrently.
+func tsdbWorkloadBody(b *testing.B, scraped bool) {
+	reg := trace.NewRegistry()
+	h := reg.Histogram("tsdb_bench_seconds")
+	if scraped {
+		st := tsdb.New(tsdb.Config{})
+		// 50ms: ~20 scrapes per one-second round — far denser than the 1s
+		// production default, so the pair overstates contention rather than
+		// missing it.
+		sc := tsdb.NewScraper(tsdb.ScrapeConfig{Store: st, Interval: 50 * time.Millisecond, Registry: reg})
+		sc.Start()
+		defer sc.Close()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(1000 + i%1000))
+	}
+	b.StopTimer()
+}
+
+// TsdbWorkload measures the instrumented observe path with no scraper — the
+// unscraped floor.
+func TsdbWorkload(b *testing.B) { tsdbWorkloadBody(b, false) }
+
+// TsdbWorkloadScraped is TsdbWorkload with a live history scraper
+// snapshotting the registry — the overhead gate for metrics history.
+func TsdbWorkloadScraped(b *testing.B) { tsdbWorkloadBody(b, true) }
 
 // Lookup returns the named def.
 func Lookup(name string) (Def, error) {

@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"sync"
@@ -43,9 +44,17 @@ type Recorder struct {
 	// MetricsFn writes the process's full /metrics document (the command
 	// wires its own composition of writers here).
 	MetricsFn func(w io.Writer)
+	// ProfileDur > 0 adds runtime profiles to each bundle: heap.pprof
+	// inline, plus a CPU profile of this duration captured asynchronously
+	// (cpu.pprof appears in the bundle once the capture window closes, so
+	// the triggering path — an alert inside the tick loop — never blocks
+	// on it). Set before the first Dump.
+	ProfileDur time.Duration
 
-	mu  sync.Mutex // serialises dumps
-	seq int        // disambiguates bundles within the same second
+	mu        sync.Mutex // serialises dumps
+	seq       int        // disambiguates bundles within the same second
+	cpuBusy   atomic.Bool
+	profileWG sync.WaitGroup
 }
 
 // NewRecorder builds a recorder rooted at dir (created on first dump).
@@ -105,6 +114,9 @@ func (r *Recorder) Dump(reason, detail string) (string, error) {
 		Slowest: slowestSession(traceDump.Spans),
 		Layout:  "meta.json trace.json logs.json metrics.prom alerts.json",
 	}
+	if r.ProfileDur > 0 {
+		meta.Layout += " heap.pprof cpu.pprof"
+	}
 	if r.scorer != nil {
 		meta.Score = r.scorer.Value()
 	}
@@ -145,6 +157,12 @@ func (r *Recorder) Dump(reason, detail string) (string, error) {
 			return nil
 		}},
 	}
+	if r.ProfileDur > 0 {
+		steps = append(steps, struct {
+			file  string
+			write func(w io.Writer) error
+		}{"heap.pprof", func(w io.Writer) error { return pprof.WriteHeapProfile(w) }})
+	}
 	for _, s := range steps {
 		if err := writeBundleFile(filepath.Join(tmp, s.file), s.write); err != nil {
 			return "", fmt.Errorf("health: flightrec %s: %w", s.file, err)
@@ -154,9 +172,56 @@ func (r *Recorder) Dump(reason, detail string) (string, error) {
 		return "", fmt.Errorf("health: flightrec: %w", err)
 	}
 	r.pruneLocked()
+	if r.ProfileDur > 0 {
+		r.startCPUProfile(final)
+	}
 	r.log().Log(Info, "flightrec", "bundle written",
 		Str("reason", reason), Str("detail", detail), Str("dir", final))
 	return final, nil
+}
+
+// startCPUProfile captures cpu.pprof into an already-renamed bundle in
+// the background. Only one capture runs at a time (the runtime allows a
+// single CPU profile per process); overlapping dumps skip theirs and log
+// the gap rather than queueing behind a 2s window.
+func (r *Recorder) startCPUProfile(bundleDir string) {
+	if !r.cpuBusy.CompareAndSwap(false, true) {
+		r.log().Log(Info, "flightrec", "cpu profile skipped (capture in progress)",
+			Str("dir", bundleDir))
+		return
+	}
+	path := filepath.Join(bundleDir, "cpu.pprof")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		r.cpuBusy.Store(false)
+		return
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		r.cpuBusy.Store(false)
+		r.log().Log(Info, "flightrec", "cpu profile unavailable", Str("err", err.Error()))
+		return
+	}
+	dur := r.ProfileDur
+	r.profileWG.Add(1)
+	go func() {
+		defer r.profileWG.Done()
+		defer r.cpuBusy.Store(false)
+		timer := time.NewTimer(dur) //gridlint:allow walltime(profile capture window is a genuine wall-clock measurement)
+		<-timer.C
+		pprof.StopCPUProfile()
+		f.Close()
+	}()
+}
+
+// WaitProfiles blocks until any in-flight CPU profile capture finishes —
+// shutdown paths and tests call it so bundles are complete on disk.
+func (r *Recorder) WaitProfiles() {
+	if r == nil {
+		return
+	}
+	r.profileWG.Wait()
 }
 
 func writeBundleFile(path string, write func(w io.Writer) error) error {

@@ -64,6 +64,43 @@ func TestFlightRecorderBundle(t *testing.T) {
 	}
 }
 
+func TestFlightRecorderProfileCapture(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "flightrec")
+	l := newTestLogger(t, Config{MinLevel: Off})
+	r := NewRecorder(dir, 2, l)
+	r.ProfileDur = 50 * time.Millisecond
+	bundle, err := r.Dump("alert", "overload")
+	if err != nil {
+		t.Fatalf("Dump: %v", err)
+	}
+	// The heap profile is written inline; the CPU profile lands async.
+	if fi, err := os.Stat(filepath.Join(bundle, "heap.pprof")); err != nil || fi.Size() == 0 {
+		t.Fatalf("heap.pprof: %v", err)
+	}
+	r.WaitProfiles()
+	if fi, err := os.Stat(filepath.Join(bundle, "cpu.pprof")); err != nil || fi.Size() == 0 {
+		t.Fatalf("cpu.pprof after WaitProfiles: %v", err)
+	}
+	metaData, _ := os.ReadFile(filepath.Join(bundle, "meta.json"))
+	var meta BundleMeta
+	if err := json.Unmarshal(metaData, &meta); err != nil {
+		t.Fatalf("meta.json: %v", err)
+	}
+	if !strings.Contains(meta.Layout, "heap.pprof") || !strings.Contains(meta.Layout, "cpu.pprof") {
+		t.Fatalf("layout missing profile entries: %q", meta.Layout)
+	}
+	// Keep-N pruning still applies to profiled bundles.
+	for i := 0; i < 4; i++ {
+		if _, err := r.Dump("test", ""); err != nil {
+			t.Fatalf("Dump %d: %v", i, err)
+		}
+		r.WaitProfiles()
+	}
+	if entries, _ := os.ReadDir(dir); len(entries) != 2 {
+		t.Fatalf("profiled bundles escaped pruning: %d entries", len(entries))
+	}
+}
+
 func TestFlightRecorderPrune(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "flightrec")
 	l := newTestLogger(t, Config{MinLevel: Off})

@@ -10,6 +10,15 @@ import "regexp"
 var replayRestoreFuncs = regexp.MustCompile(
 	`(?i)^(Restore.*|Replay.*|Recover.*|SkipTicks|applySnapshotState|applyJournalRecord|finishReplay|OpenDurable|OpenStandby|Promote)$`)
 
+// tsdbDeterministicFuncs matches the tsdb store's deterministic surface:
+// every append/fold/query path takes injected timestamps and must never
+// read the clock, or replaying the same scrape sequence would produce a
+// different history. The scraper's own run loop (NewScraper/Start/run)
+// stays unmatched — its ticker and wall-clock default are the one place
+// time legitimately enters.
+var tsdbDeterministicFuncs = regexp.MustCompile(
+	`^(Append|AppendBatch|appendLocked|foldLocked|window|Query|Instant|ScrapeAt|scrapeExposition|snapshotInto|parseExpositionInto|evalWindow|thin)$`)
+
 // DefaultWalltimeConfig scopes walltime to this repo's deterministic
 // replay surface.
 func DefaultWalltimeConfig() WalltimeConfig {
@@ -22,6 +31,7 @@ func DefaultWalltimeConfig() WalltimeConfig {
 		},
 		RestrictedFuncs: map[string]*regexp.Regexp{
 			"internal/telemetry": replayRestoreFuncs,
+			"internal/tsdb":      tsdbDeterministicFuncs,
 		},
 	}
 }

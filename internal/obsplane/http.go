@@ -8,9 +8,11 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"loadbalance/internal/health"
 	"loadbalance/internal/trace"
+	"loadbalance/internal/tsdb"
 )
 
 // FleetLogEvent is one merged log event as served on /fleet/logs.
@@ -156,19 +158,6 @@ func (h *Hub) mergedTrace(f trace.Filter) FleetTraceDoc {
 	return doc
 }
 
-// parseLimit reads a limit query parameter; ok=false means it was present
-// and malformed.
-func parseLimit(s string) (int, bool) {
-	if s == "" {
-		return 0, true
-	}
-	n, err := strconv.Atoi(s)
-	if err != nil || n <= 0 {
-		return 0, false
-	}
-	return n, true
-}
-
 // FleetLogsHandler serves the merged fleet log view. Query params: proc
 // (exact), level (minimum level name), component (exact), afterUs (only
 // events strictly newer — the gridctl logs -f cursor), limit (newest N).
@@ -193,9 +182,9 @@ func (h *Hub) FleetLogsHandler() http.HandlerFunc {
 			}
 			f.afterUs = us
 		}
-		var ok bool
-		if f.limit, ok = parseLimit(q.Get("limit")); !ok {
-			http.Error(w, "bad limit (want a positive integer)", http.StatusBadRequest)
+		var err error
+		if f.limit, err = tsdb.ParseLimitParam(q.Get("limit"), 0); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -215,9 +204,9 @@ func (h *Hub) FleetTraceHandler() http.HandlerFunc {
 				return
 			}
 		}
-		var ok bool
-		if f.Limit, ok = parseLimit(q.Get("limit")); !ok {
-			http.Error(w, "bad limit (want a positive integer)", http.StatusBadRequest)
+		var err error
+		if f.Limit, err = tsdb.ParseLimitParam(q.Get("limit"), 0); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -313,12 +302,16 @@ func (h *Hub) FleetMetricsHandler() http.HandlerFunc {
 	}
 }
 
-// Mount registers the /fleet endpoints on a mux.
+// Mount registers the /fleet endpoints on a mux. /fleet/query appears
+// only when the hub retains history.
 func (h *Hub) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("/fleet/metrics", h.FleetMetricsHandler())
 	mux.HandleFunc("/fleet/logs", h.FleetLogsHandler())
 	mux.HandleFunc("/fleet/trace", h.FleetTraceHandler())
 	mux.HandleFunc("/fleet/status", h.FleetStatusHandler())
+	if h.cfg.History != nil {
+		mux.HandleFunc("/fleet/query", tsdb.Handler(h.cfg.History, func() int64 { return time.Now().UnixMicro() }))
+	}
 }
 
 // relabel injects a proc label into one exposition series name:

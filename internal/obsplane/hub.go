@@ -23,6 +23,7 @@ import (
 	"loadbalance/internal/health"
 	"loadbalance/internal/message"
 	"loadbalance/internal/trace"
+	"loadbalance/internal/tsdb"
 )
 
 // hubName is the hub's agent name on its control bus; emitters address
@@ -48,6 +49,11 @@ type HubConfig struct {
 	MaxFrame int
 	// Logger receives the hub's own health events (default health.Default()).
 	Logger *health.Logger
+	// History, when set, retains every streamed metric sample as a
+	// proc-labeled series (stamped at arrival), so the root answers
+	// /fleet/query range queries for the whole fleet. Nil keeps the hub
+	// instantaneous-only.
+	History *tsdb.Store
 }
 
 // withDefaults fills unset fields.
@@ -255,6 +261,12 @@ func (h *Hub) merge(conn string, m message.ObsBatch) {
 	p.missedSpans += m.MissedSpans
 	if m.Metrics != nil {
 		p.metrics = m.Metrics
+		if h.cfg.History != nil {
+			ts := time.Now().UnixMicro()
+			for _, s := range m.Metrics {
+				h.cfg.History.Append(relabel(s.Name, conn), ts, s.Value)
+			}
+		}
 	}
 	for _, ev := range m.Logs {
 		pushRing(&p.logRing, &p.logNext, &p.logDropped, h.cfg.LogRing, fleetLog{proc: conn, ev: ev})

@@ -6,8 +6,10 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"os"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -15,6 +17,7 @@ import (
 	"loadbalance/internal/health"
 	"loadbalance/internal/message"
 	"loadbalance/internal/trace"
+	"loadbalance/internal/tsdb"
 )
 
 // waitFor polls cond until it holds or the deadline passes.
@@ -519,6 +522,103 @@ also_malformed notanumber
 		if got[i] != want[i] {
 			t.Fatalf("sample %d = %+v, want %+v", i, got[i], want[i])
 		}
+	}
+}
+
+// TestFleetQueryFromHubHistory wires a hub with a history store, streams a
+// worker's metrics into it, and checks /fleet/query serves proc-labelled
+// range queries over the retained samples — including the same 400
+// discipline as the other fleet endpoints.
+func TestFleetQueryFromHubHistory(t *testing.T) {
+	hist := tsdb.New(tsdb.Config{})
+	hub, err := StartHub(HubConfig{Addr: "127.0.0.1:0", Logger: testLogger(t, "hub", 256), History: hist})
+	if err != nil {
+		t.Fatalf("StartHub: %v", err)
+	}
+	defer hub.Close()
+
+	var flushes atomic.Int64
+	em := StartEmitter(EmitterConfig{
+		Hub: hub.Addr(), Proc: "w1", Role: "worker",
+		Interval: 10 * time.Millisecond,
+		Logger:   testLogger(t, "w1", 256),
+		MetricsFn: func(w io.Writer) {
+			fmt.Fprintf(w, "feedback_score 90\n")
+			fmt.Fprintf(w, "session_count %d\n", 5*flushes.Add(1))
+		},
+	})
+	defer em.Close()
+
+	series := `feedback_score{proc="w1"}`
+	waitFor(t, 5*time.Second, func() bool {
+		pts := hist.Query(tsdb.Expr{Series: series}, time.Now().Add(-time.Minute).UnixMicro(), time.Now().UnixMicro(), 1000)
+		return len(pts) >= 3
+	}, "streamed samples retained in hub history")
+
+	mux := http.NewServeMux()
+	hub.Mount(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var doc struct {
+		Series string       `json:"series"`
+		Points []tsdb.Point `json:"points"`
+	}
+	getJSON(t, srv.URL+"/fleet/query?"+url.Values{"series": {series}, "step": {"10ms"}}.Encode(), &doc)
+	if doc.Series != series || len(doc.Points) == 0 {
+		t.Fatalf("/fleet/query = %+v", doc)
+	}
+	if last := doc.Points[len(doc.Points)-1].Value; last != 90 {
+		t.Fatalf("last feedback_score point = %g, want 90", last)
+	}
+
+	// A derived query over the streamed counter works and never dips
+	// negative (the counter only climbs).
+	rateSeries := `rate(session_count{proc="w1"}[1s])`
+	getJSON(t, srv.URL+"/fleet/query?"+url.Values{"series": {rateSeries}, "step": {"100ms"}}.Encode(), &doc)
+	for _, p := range doc.Points {
+		if p.Value < 0 {
+			t.Fatalf("negative fleet rate %g", p.Value)
+		}
+	}
+
+	// The shared 400 discipline: malformed series/from/to/step/limit fail
+	// like the other fleet endpoints, with a reasoned body.
+	for _, q := range []string{
+		"", "series=rate(x", "series=g&from=nope", "series=g&to=nope",
+		"series=g&step=0s", "series=g&limit=0", "series=g&from=0s&to=-10s",
+	} {
+		resp, err := http.Get(srv.URL + "/fleet/query?" + q)
+		if err != nil {
+			t.Fatalf("GET ?%s: %v", q, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || len(body) == 0 {
+			t.Fatalf("GET ?%s = %s %q, want 400 with body", q, resp.Status, body)
+		}
+	}
+}
+
+// TestFleetQueryUnmountedWithoutHistory checks a hub with no history store
+// serves 404 on /fleet/query rather than an empty result.
+func TestFleetQueryUnmountedWithoutHistory(t *testing.T) {
+	hub, err := StartHub(HubConfig{Addr: "127.0.0.1:0", Logger: testLogger(t, "hub", 256)})
+	if err != nil {
+		t.Fatalf("StartHub: %v", err)
+	}
+	defer hub.Close()
+	mux := http.NewServeMux()
+	hub.Mount(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/fleet/query?series=feedback_score")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("historyless /fleet/query = %s, want 404", resp.Status)
 	}
 }
 

@@ -256,6 +256,67 @@ func (r *Registry) WriteMetrics(w io.Writer) {
 	}
 }
 
+// HistogramBucket is one cumulative bucket in a snapshot: the rendered
+// le= bound ("+Inf" for overflow) and the cumulative count at it.
+type HistogramBucket struct {
+	LE  string
+	Cum uint64
+}
+
+// HistogramSnapshot is a point-in-time copy of one histogram instance in
+// the shape the exposition renders: occupied buckets (plus +Inf)
+// cumulative, totals in seconds, and the served percentiles. It exists
+// for scrapers (the tsdb store) that need the series values without
+// parsing exposition text.
+type HistogramSnapshot struct {
+	Family        string
+	Labels        string // rendered label pairs without braces, "" if none
+	Buckets       []HistogramBucket
+	SumSeconds    float64
+	Count         uint64
+	P50, P95, P99 float64
+}
+
+// Snapshots copies every histogram in the registry, sorted the same way
+// WriteMetrics renders them.
+func (r *Registry) Snapshots() []HistogramSnapshot {
+	r.mu.Lock()
+	keys := append([]string(nil), r.order...)
+	hs := make([]*Histogram, len(keys))
+	for i, k := range keys {
+		hs[i] = r.hs[k]
+	}
+	r.mu.Unlock()
+
+	sort.Sort(byKey{keys, hs})
+	out := make([]HistogramSnapshot, 0, len(hs))
+	for _, h := range hs {
+		counts, sumNs, n := h.snapshot()
+		s := HistogramSnapshot{
+			Family:     h.family,
+			Labels:     h.labels,
+			SumSeconds: float64(sumNs) / 1e9,
+			Count:      n,
+		}
+		var cum uint64
+		for i, c := range counts {
+			cum += c
+			if c == 0 {
+				continue
+			}
+			if ub := bucketUpperNs(i); ub != 0 {
+				s.Buckets = append(s.Buckets, HistogramBucket{LE: formatSeconds(ub), Cum: cum})
+			}
+		}
+		s.Buckets = append(s.Buckets, HistogramBucket{LE: "+Inf", Cum: n})
+		if n > 0 {
+			s.P50, s.P95, s.P99 = h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
 type byKey struct {
 	keys []string
 	hs   []*Histogram

@@ -74,6 +74,82 @@ func TestEmptyHistogramQuantileZero(t *testing.T) {
 	}
 }
 
+func TestQuantileEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	if q := nilH.Quantile(0.5); q != 0 {
+		t.Fatalf("nil histogram quantile = %g", q)
+	}
+	empty := &Histogram{family: "x_seconds"}
+	if empty.Quantile(0) != 0 || empty.Quantile(1) != 0 {
+		t.Fatal("empty histogram extreme quantiles nonzero")
+	}
+
+	// All mass in a single bucket: every quantile interpolates within that
+	// bucket's bounds, q=0 pins the lower bound, q=1 the upper, and the
+	// function stays monotone in q.
+	h := &Histogram{family: "x_seconds"}
+	for i := 0; i < 100; i++ {
+		h.Observe(5 * time.Millisecond)
+	}
+	idx := bucketIndex(uint64(5 * time.Millisecond / time.Nanosecond))
+	lb := float64(bucketUpperNs(idx-1)) / 1e9
+	ub := float64(bucketUpperNs(idx)) / 1e9
+	if q0 := h.Quantile(0); q0 != lb {
+		t.Fatalf("q=0 gives %g, want bucket lower bound %g", q0, lb)
+	}
+	if q1 := h.Quantile(1); q1 != ub {
+		t.Fatalf("q=1 gives %g, want bucket upper bound %g", q1, ub)
+	}
+	prev := 0.0
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		v := h.Quantile(q)
+		if v < lb || v > ub {
+			t.Fatalf("Quantile(%g) = %g outside bucket [%g, %g]", q, v, lb, ub)
+		}
+		if v < prev {
+			t.Fatalf("Quantile not monotone at q=%g: %g < %g", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestRegistrySnapshots(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("a_seconds")
+	h.Observe(time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	r.HistogramL("b_seconds", "exp", "e1") // registered but never observed
+
+	snaps := r.Snapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("got %d snapshots, want 2", len(snaps))
+	}
+	a, b := snaps[0], snaps[1]
+	if a.Family != "a_seconds" || b.Family != "b_seconds" || b.Labels != `exp="e1"` {
+		t.Fatalf("snapshot order/identity wrong: %+v / %+v", a, b)
+	}
+	if a.Count != 2 || a.SumSeconds != 0.003 {
+		t.Fatalf("a count/sum = %d/%g", a.Count, a.SumSeconds)
+	}
+	last := a.Buckets[len(a.Buckets)-1]
+	if last.LE != "+Inf" || last.Cum != 2 {
+		t.Fatalf("a final bucket = %+v", last)
+	}
+	if len(a.Buckets) < 2 {
+		t.Fatalf("occupied buckets missing: %+v", a.Buckets)
+	}
+	if a.P50 <= 0 || a.P99 < a.P50 {
+		t.Fatalf("a quantiles = p50 %g p99 %g", a.P50, a.P99)
+	}
+	// The empty histogram still renders its +Inf bucket but no quantiles.
+	if len(b.Buckets) != 1 || b.Buckets[0].LE != "+Inf" || b.Buckets[0].Cum != 0 {
+		t.Fatalf("b buckets = %+v", b.Buckets)
+	}
+	if b.Count != 0 || b.P50 != 0 {
+		t.Fatalf("b count/p50 = %d/%g", b.Count, b.P50)
+	}
+}
+
 func TestRegistryExpositionFormat(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("grid_tick_seconds")

@@ -1,0 +1,56 @@
+package tsdb
+
+// Shared query-parameter parsing for every history/observability
+// endpoint: /query, /fleet/query and the PR-9 fleet endpoints all accept
+// the same from/to/step/limit shapes and must reject malformed values
+// with the same 400 text, so the helpers live here and the handlers stay
+// one-liners.
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// ParseLimitParam parses a limit query parameter: "" yields def, and any
+// other value must be a positive integer.
+func ParseLimitParam(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("bad limit %q: want a positive integer", s)
+	}
+	return n, nil
+}
+
+// ParseTimeParam parses a from/to query parameter into absolute
+// microseconds: "" yields def, a bare integer is an absolute unix-µs
+// timestamp, and a signed duration ("-30s", "1m") is relative to nowUs.
+func ParseTimeParam(s string, def, nowUs int64) (int64, error) {
+	if s == "" {
+		return def, nil
+	}
+	if us, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return us, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad time %q: want unix microseconds or a relative duration like -30s", s)
+	}
+	return nowUs + d.Microseconds(), nil
+}
+
+// ParseStepParam parses a step/window query parameter into microseconds:
+// "" yields defUs, anything else must be a positive duration.
+func ParseStepParam(s string, defUs int64) (int64, error) {
+	if s == "" {
+		return defUs, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("bad step %q: want a positive duration like 1s", s)
+	}
+	return d.Microseconds(), nil
+}
